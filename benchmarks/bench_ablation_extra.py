@@ -1,0 +1,160 @@
+"""Extra ablations beyond the paper's Figure 17, covering design choices
+DESIGN.md calls out:
+
+1. **Memory planning x CUDA Graph interaction** (§4.3/§4.5): CUDA Graph
+   offloading *requires* a static memory plan; without planning the pass
+   must refuse, and the combination planning+graph is what delivers the
+   stable steady state.
+2. **Upper bound declaration ablation**: without declared symbolic bounds,
+   planning degrades to symbolic-equality reuse (still correct, still
+   reusing across provably-equal sizes) but cannot produce the static plan
+   CUDA Graph needs.
+3. **Workspace lifting** (§4.4): lifted workspaces join global memory
+   planning; without the lifting pass the tensor-program allocation stays
+   invisible to the planner.
+"""
+
+import pytest
+
+from repro.bench import RelaxLLM, print_table
+from repro.models import LLAMA3_8B
+from repro.runtime import RTX_4090
+
+DEVICE = RTX_4090
+CONTEXT = 512
+BOUNDS = {"b": 8, "s": 512, "m": 512}
+
+
+def test_ablation_planning_enables_cuda_graph(relax_llm, benchmark):
+    planned = relax_llm(LLAMA3_8B, DEVICE, sym_var_upper_bounds=BOUNDS)
+    unplanned = relax_llm(
+        LLAMA3_8B, DEVICE, sym_var_upper_bounds=BOUNDS,
+        enable_memory_planning=False,
+    )
+    unbounded = relax_llm(LLAMA3_8B, DEVICE, sym_var_upper_bounds={})
+
+    # Static plan -> decode is graph-offloaded; otherwise not.
+    assert planned.exe.functions["decode"].attrs.get("cuda_graph") is True
+    assert not unplanned.exe.functions["decode"].attrs.get("cuda_graph")
+    assert not unbounded.exe.functions["decode"].attrs.get("cuda_graph")
+
+    rows = {
+        "planning + graph": [planned.decode_step_time(1, CONTEXT) * 1000],
+        "no planning": [unplanned.decode_step_time(1, CONTEXT) * 1000],
+        "no declared bounds": [unbounded.decode_step_time(1, CONTEXT) * 1000],
+    }
+    print_table(
+        "Extra ablation — planning/CUDA Graph interaction (Llama3-8B decode "
+        f"ms, {DEVICE.name})",
+        "config", ["batch 1"], rows, "ms",
+        notes=["CUDA Graph requires the static plan (§4.5); without bounds "
+               "planning stays symbolic and capture is refused"],
+    )
+    assert rows["planning + graph"][0] <= rows["no planning"][0]
+    assert rows["planning + graph"][0] <= rows["no declared bounds"][0]
+
+    benchmark.pedantic(lambda: planned.run_decode(1, CONTEXT), rounds=3, iterations=1)
+
+
+def test_ablation_symbolic_reuse_without_bounds(relax_llm, benchmark):
+    """Even without declared bounds, symbolic-equality reuse (Fig. 10)
+    determines the allocation plan *ahead of time*: the number of storages
+    is fixed at compile time and far smaller than the number of tensors,
+    matching (never exceeding) what the runtime pool discovers dynamically
+    — the paper's predictability argument (§4.3), minus the static sizing
+    that bounds would add."""
+    from repro.runtime import AllocStorage, AllocTensor
+
+    unbounded = relax_llm(LLAMA3_8B, DEVICE, sym_var_upper_bounds={})
+    unplanned = relax_llm(
+        LLAMA3_8B, DEVICE, sym_var_upper_bounds={},
+        enable_memory_planning=False,
+    )
+
+    decode_planned = unbounded.exe.functions["decode"].body
+    decode_pooled = unplanned.exe.functions["decode"].body
+    plan_storages = sum(isinstance(i, AllocStorage) for i in decode_planned)
+    tensor_count = sum(isinstance(i, AllocTensor) for i in decode_pooled)
+    print(f"\nstatic plan: {plan_storages} storages for {tensor_count} tensors")
+    assert plan_storages < tensor_count / 2, "plan must reuse heavily"
+    assert unbounded.exe.functions["decode"].attrs.get("memory_planned") == "symbolic"
+
+    # Runtime behaviour: the symbolic plan allocates no more than the pool.
+    unbounded.run_decode(1, CONTEXT)
+    unbounded.vm.reset_stats()
+    unplanned.run_decode(1, CONTEXT)
+    unplanned.vm.reset_stats()
+    unbounded.run_decode(1, CONTEXT)
+    unplanned.run_decode(1, CONTEXT)
+    assert unbounded.vm.stats.allocations <= unplanned.vm.stats.allocations
+
+    benchmark.pedantic(lambda: unbounded.run_decode(1, CONTEXT), rounds=3, iterations=1)
+
+
+def test_ablation_workspace_lifting_joins_planning(benchmark):
+    """§4.4: a lifted Stream-K-style workspace participates in global
+    memory planning; its allocation is shared with other activations."""
+    import numpy as np
+
+    from repro import sym, tir, transform
+    from repro.core import BlockBuilder, TensorAnn, Call
+    from repro.transform import PassContext, alloc_storage_op
+
+    n = sym.SymVar("n")
+    f = tir.TirBuilder("mm_split_k")
+    a = f.arg("A", (n, 64), "f32")
+    y = f.out("Y", (n, 64), "f32")
+    ws = f.alloc("workspace", (n, 64), "f32", scope="global")
+    i, j = f.spatial(n, 64)
+    k = f.reduce(32)
+    f.store(ws, [i, j], a[i, (j + k) % 64], combiner="sum", init=0.0)
+    i, j = f.spatial(n, 64)
+    f.store(y, [i, j], ws[i, j] * 0.5)
+    prim = f.build()
+
+    bb = BlockBuilder()
+    gv = bb.add_func(prim, "mm_split_k")
+    with bb.function("main", {"x": TensorAnn(("n", 64), "f32")}) as frame:
+        (x,) = frame.params
+        nn_ = bb.shape_var("n")
+        from repro import ops
+
+        with bb.dataflow():
+            h = bb.emit(ops.exp(x))  # a transient with the same size
+            out = bb.call_tir(gv, [h], TensorAnn((nn_, 64), "f32"))
+            gvv = bb.emit_output(out)
+        bb.emit_func_output(gvv)
+    mod = bb.get()
+
+    ctx = PassContext(device=DEVICE, sym_var_upper_bounds={"n": 128},
+                      enable_library_dispatch=False)
+    lowered = transform.optimize(mod, ctx)
+    bindings = lowered["main"].body.blocks[0].bindings
+    storages = [
+        b for b in bindings
+        if isinstance(b.value, Call) and b.value.op is alloc_storage_op
+        and not b.value.attrs.get("escapes")
+    ]
+    # The exp intermediate and the lifted workspace share one transient
+    # storage (equal upper-bound sizes, non-overlapping lifetimes)... or at
+    # most two chunks when lifetimes overlap; never three.
+    assert 1 <= len(storages) <= 2
+
+    # And numerics survive the whole pipeline.
+    exe = transform.build(mod, DEVICE, sym_var_upper_bounds={"n": 128},
+                          enable_library_dispatch=False)
+    from repro.runtime import NDArray, VirtualMachine
+
+    vm = VirtualMachine(exe, DEVICE, concrete=True)
+    x = np.random.default_rng(0).standard_normal((4, 64)).astype(np.float32)
+    got = vm.run("main", NDArray.from_numpy(x)).numpy()
+    e = np.exp(x)
+    want = np.stack(
+        [sum(e[:, (j + k) % 64] for k in range(32)) * 0.5 for j in range(64)],
+        axis=1,
+    )
+    np.testing.assert_allclose(got, want, rtol=1e-4)
+
+    benchmark.pedantic(
+        lambda: vm.run("main", NDArray.from_numpy(x)), rounds=3, iterations=1
+    )

@@ -1,0 +1,53 @@
+"""Figure 15: decode latency on AMD Radeon 7900 XTX.
+
+Paper shape: Relax consistently competitive, with its largest advantage at
+batch size 1 (up to 1.50x) — compiler-generated matrix-vector kernels beat
+the less-tuned ROCm library path that every baseline leans on.
+"""
+
+import pytest
+
+from repro.baselines import ALL_LLM_BASELINES, HF_COMPILE
+from repro.bench import best_competitor, print_table
+from repro.models import GEMMA_7B, LLAMA3_8B, QWEN2_7B
+from repro.runtime import RADEON_7900XTX
+
+DEVICE = RADEON_7900XTX
+BATCHES = [1, 4, 8, 16, 32, 64]
+CONTEXT = 1024
+MODELS = [LLAMA3_8B, GEMMA_7B, QWEN2_7B]
+
+
+@pytest.mark.parametrize("cfg", MODELS, ids=[m.name for m in MODELS])
+def test_fig15_decode_latency(relax_llm, cfg, benchmark):
+    relax = relax_llm(cfg, DEVICE)
+    rows = {"Relax": [relax.decode_step_time(b, CONTEXT) * 1000 for b in BATCHES]}
+    for system in ALL_LLM_BASELINES:
+        if system is HF_COMPILE and cfg is QWEN2_7B:
+            rows[system.name] = [None] * len(BATCHES)
+            continue
+        if system.supports(DEVICE):
+            rows[system.name] = [
+                system.decode_step_time(cfg, DEVICE, b, CONTEXT) * 1000
+                for b in BATCHES
+            ]
+    print_table(
+        f"Figure 15 — {cfg.name} decode step latency on {DEVICE.name} "
+        f"(context {CONTEXT})",
+        "batch size", BATCHES, rows, "ms",
+        notes=["paper: up to 1.50x over baselines at batch size 1"],
+    )
+
+    # Batch-1 advantage: generated matvec kernels vs the weaker ROCm
+    # library path the frameworks lean on (paper: up to 1.50x).
+    eager_ratio = rows["HF (eager)"][0] / rows["Relax"][0]
+    assert eager_ratio >= 1.18, "expected a clear batch-1 win over eager on AMD"
+    assert eager_ratio <= 1.60, "batch-1 advantage should stay near the paper's 1.5x"
+    for col in range(len(BATCHES)):
+        best = best_competitor(rows, col, exclude="Relax")
+        assert rows["Relax"][col] <= best * 1.10
+
+    benchmark.pedantic(
+        lambda: relax.run_decode(1, CONTEXT), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )

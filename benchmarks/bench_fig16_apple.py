@@ -1,0 +1,54 @@
+"""Figure 16: decode latency on Apple M2 Ultra.
+
+Paper shape: hand-optimized llama.cpp is very strong on Apple GPUs; Relax
+stays competitive with it; HF compile and vLLM have no Apple support and
+HF eager trails.
+"""
+
+import pytest
+
+from repro.baselines import ALL_LLM_BASELINES
+from repro.bench import print_table
+from repro.models import GEMMA_7B, LLAMA3_8B, QWEN2_7B
+from repro.runtime import M2_ULTRA
+
+DEVICE = M2_ULTRA
+BATCHES = [1, 4, 8, 16, 32, 64]
+CONTEXT = 1024
+MODELS = [LLAMA3_8B, GEMMA_7B, QWEN2_7B]
+
+
+@pytest.mark.parametrize("cfg", MODELS, ids=[m.name for m in MODELS])
+def test_fig16_decode_latency(relax_llm, cfg, benchmark):
+    relax = relax_llm(cfg, DEVICE)
+    rows = {"Relax": [relax.decode_step_time(b, CONTEXT) * 1000 for b in BATCHES]}
+    supported = []
+    for system in ALL_LLM_BASELINES:
+        if system.supports(DEVICE):
+            supported.append(system.name)
+            rows[system.name] = [
+                system.decode_step_time(cfg, DEVICE, b, CONTEXT) * 1000
+                for b in BATCHES
+            ]
+    print_table(
+        f"Figure 16 — {cfg.name} decode step latency on {DEVICE.name} "
+        f"(context {CONTEXT})",
+        "batch size", BATCHES, rows, "ms",
+        notes=[
+            "paper: competitive with hand-optimized llama.cpp; "
+            "vLLM / torch.compile lack Apple GPU support",
+        ],
+    )
+    # Coverage shape: vLLM and HF compile must be absent on Metal.
+    assert "vLLM" not in supported
+    assert "HF (compile)" not in supported
+    # Competitive with llama.cpp: within 35% at every batch size.
+    for col in range(len(BATCHES)):
+        assert rows["Relax"][col] <= rows["llama.cpp"][col] * 1.35
+    # And clearly ahead of the framework baseline.
+    assert rows["Relax"][0] < rows["HF (eager)"][0]
+
+    benchmark.pedantic(
+        lambda: relax.run_decode(1, CONTEXT), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )

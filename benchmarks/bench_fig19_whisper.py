@@ -1,0 +1,95 @@
+"""Figure 19: transcription time of a 30-second speech file with
+Whisper-large-v3 on NVIDIA RTX 4090 and Apple M2 Ultra, vs HF Transformers,
+WhisperX, Faster Whisper and whisper.cpp.
+
+Paper shape: Relax is ~14% faster than the best baseline on the 4090 and
+competitive on the Apple GPU; WhisperX and Faster Whisper have no Apple
+GPU support.
+"""
+
+import pytest
+
+from repro.baselines import (
+    FASTER_WHISPER,
+    WHISPER_CPP,
+    WHISPER_HF,
+    WHISPER_X,
+    cross_decoder_step_ops,
+    cross_kv_ops,
+    encoder_ops,
+    llama_like,
+)
+from repro.bench import RelaxWhisper, best_competitor, print_table
+from repro.models import WHISPER_LARGE_V3
+from repro.runtime import M2_ULTRA, RTX_4090
+
+FRAMES = 3000  # 30 s of audio
+N_TOKENS = 200  # transcript length
+ENC_LEN = FRAMES // 2
+
+_ENC_CFG = llama_like(
+    "whisper-enc", hidden=WHISPER_LARGE_V3.d_model,
+    layers=WHISPER_LARGE_V3.encoder_layers, heads=WHISPER_LARGE_V3.num_heads,
+    ffn=WHISPER_LARGE_V3.ffn_dim, vocab=WHISPER_LARGE_V3.vocab_size,
+)
+_DEC_CFG = llama_like(
+    "whisper-dec", hidden=WHISPER_LARGE_V3.d_model,
+    layers=WHISPER_LARGE_V3.decoder_layers, heads=WHISPER_LARGE_V3.num_heads,
+    ffn=WHISPER_LARGE_V3.ffn_dim, vocab=WHISPER_LARGE_V3.vocab_size,
+)
+
+_RELAX_CACHE = {}
+
+
+def _relax_transcribe(device) -> float:
+    if device.name not in _RELAX_CACHE:
+        _RELAX_CACHE[device.name] = RelaxWhisper(WHISPER_LARGE_V3, device)
+    return _RELAX_CACHE[device.name].transcribe_time(FRAMES, N_TOKENS)
+
+
+def _baseline_transcribe(system, device) -> float:
+    total = system.run_trace(encoder_ops(_ENC_CFG, 1, ENC_LEN), device)
+    total += system.run_trace(cross_kv_ops(_DEC_CFG, 1, ENC_LEN), device)
+    first = system.run_trace(
+        cross_decoder_step_ops(_DEC_CFG, 1, 1, 0, ENC_LEN), device
+    )
+    last = system.run_trace(
+        cross_decoder_step_ops(_DEC_CFG, 1, 1, N_TOKENS - 1, ENC_LEN), device
+    )
+    return total + N_TOKENS * (first + last) / 2.0
+
+
+@pytest.mark.parametrize("device", [RTX_4090, M2_ULTRA],
+                         ids=["rtx4090", "m2ultra"])
+def test_fig19_whisper_transcription(device, benchmark):
+    baselines = [WHISPER_HF, WHISPER_X, FASTER_WHISPER, WHISPER_CPP]
+    rows = {"Relax": [_relax_transcribe(device)]}
+    for system in baselines:
+        if system.supports(device):
+            rows[system.name] = [_baseline_transcribe(system, device)]
+    print_table(
+        f"Figure 19 — Whisper-large-v3, 30 s transcription time on "
+        f"{device.name}",
+        "", ["seconds"], rows, "s",
+        notes=["paper: Relax ~14% faster on the 4090; WhisperX / Faster "
+               "Whisper have no Apple GPU support"],
+    )
+
+    if device is RTX_4090:
+        assert "WhisperX" in rows and "Faster Whisper" in rows
+        best = best_competitor(rows, 0, exclude="Relax")
+        ratio = best / rows["Relax"][0]
+        print(f"  speedup over best baseline: {ratio:.2f}x (paper ~1.14x)")
+        assert 1.00 <= ratio <= 1.40
+    else:
+        # Apple: only HF eager and whisper.cpp remain.  The hand-written
+        # Metal kernels keep an edge (as llama.cpp does in Fig. 16); Relax
+        # stays competitive (within ~30%) and well ahead of the framework.
+        assert "WhisperX" not in rows and "Faster Whisper" not in rows
+        assert rows["Relax"][0] <= rows["whisper.cpp"][0] * 1.30
+        assert rows["Relax"][0] < rows["HF (eager)"][0]
+
+    runner = _RELAX_CACHE[device.name]
+    benchmark.pedantic(
+        lambda: runner.decode_step_time(1, 64, ENC_LEN), rounds=3, iterations=1
+    )

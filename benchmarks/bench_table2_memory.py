@@ -1,0 +1,104 @@
+"""Table 2: Llama3-8B activation memory with and without static memory
+planning, over successive prefills (lengths 128/256/512/1024, batch 1) and
+successive decodes (batches 1/16/32/64).
+
+Paper numbers: prefill 192.7 MiB -> 149.7 MiB (-22%); decode 150.0 MiB ->
+88.2 MiB (-41%).  Mechanism: planning with declared upper bounds allocates
+one static set of storages reused across *all* input lengths and batch
+sizes; without planning, the runtime pool recycles only exact-size blocks,
+so every new dynamic shape allocates fresh memory.
+
+We report transient (activation) allocation totals — escaping results (KV
+caches, logits) are accounted separately, as the paper's activation-memory
+metric excludes weights and the KV cache itself.
+"""
+
+from repro.bench import RelaxLLM, print_table
+from repro.models import LLAMA3_8B
+from repro.runtime import RTX_4090
+
+DEVICE = RTX_4090
+PREFILL_LENGTHS = [128, 256, 512, 1024]
+DECODE_BATCHES = [1, 16, 32, 64]
+MIB = 1 << 20
+
+
+def _prefill_workload(runner: RelaxLLM) -> float:
+    runner.vm.reset_stats()
+    for length in PREFILL_LENGTHS:
+        runner.run_prefill(1, length)
+    return runner.vm.stats.transient_bytes_total / MIB
+
+
+def _decode_workload(runner: RelaxLLM) -> float:
+    runner.vm.reset_stats()
+    for batch in DECODE_BATCHES:
+        runner.run_decode(batch, 512)
+    return runner.vm.stats.transient_bytes_total / MIB
+
+
+def test_table2_memory_planning(relax_llm, benchmark):
+    # Upper bounds are declared per deployment scenario (paper §4.3: "e.g.
+    # annotated by users, such as the inherent context lengths in LLMs"):
+    # the prefill study runs batch 1 up to length 1024, the decode study
+    # batch up to 64 at a fixed context.
+    prefill_bounds = {"b": 1, "s": 1024, "m": 1024}
+    decode_bounds = {"b": 64, "s": 1, "m": 512}
+    planned_prefill = relax_llm(
+        LLAMA3_8B, DEVICE, sym_var_upper_bounds=prefill_bounds
+    )
+    planned_decode = relax_llm(
+        LLAMA3_8B, DEVICE, sym_var_upper_bounds=decode_bounds
+    )
+    pooled = relax_llm(
+        LLAMA3_8B, DEVICE, sym_var_upper_bounds=decode_bounds,
+        enable_memory_planning=False, enable_cuda_graph=False,
+    )
+
+    rows = {
+        "Relax w/o planning": [_prefill_workload(pooled), _decode_workload(pooled)],
+        "Relax w/ planning": [
+            _prefill_workload(planned_prefill),
+            _decode_workload(planned_decode),
+        ],
+    }
+    planned = planned_decode
+    print_table(
+        "Table 2 — Llama3-8B activation memory (MiB allocated) with/without "
+        "static memory planning",
+        "workload", ["prefill 128..1024", "decode b=1..64"], rows, "",
+        notes=[
+            "paper: prefill 192.7 -> 149.7 MiB (-22%); decode 150.0 -> 88.2 "
+            "MiB (-41%)",
+        ],
+    )
+
+    prefill_saving = 1 - rows["Relax w/ planning"][0] / rows["Relax w/o planning"][0]
+    decode_saving = 1 - rows["Relax w/ planning"][1] / rows["Relax w/o planning"][1]
+    print(f"  measured savings: prefill {prefill_saving:.0%}, decode {decode_saving:.0%}")
+    # Shape: static planning reduces allocated activation memory on both
+    # workloads (paper: 22% prefill, 41% decode).  Our runtime pool
+    # recycles exact sizes only, so the prefill saving comes out larger
+    # than the paper's; the decode saving lands on the paper's ~40%.
+    assert prefill_saving >= 0.15
+    assert decode_saving >= 0.25
+
+    benchmark.pedantic(lambda: planned.run_decode(1, 512), rounds=3, iterations=1)
+
+
+def test_table2_planning_reuses_across_shapes(relax_llm, benchmark):
+    """Mechanism: with planning + bounds, repeating the mixed-shape
+    workload allocates nothing new; without planning, every new shape
+    allocates."""
+    bounds = {"b": 1, "s": 1024, "m": 1024}
+    planned = relax_llm(LLAMA3_8B, DEVICE, sym_var_upper_bounds=bounds)
+
+    _prefill_workload(planned)
+    planned.vm.reset_stats()
+    for length in PREFILL_LENGTHS:
+        planned.run_prefill(1, length)
+    # Second pass over the same shapes: storages all cached.
+    transient_second = planned.vm.stats.transient_bytes_total
+    assert transient_second == 0, "static plan must be fully reused"
+
+    benchmark.pedantic(lambda: planned.run_prefill(1, 128), rounds=3, iterations=1)

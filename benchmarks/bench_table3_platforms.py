@@ -1,0 +1,128 @@
+"""Table 3: single-sequence throughput (tokens/s) of 4-bit quantized models
+on emerging platforms — iPhone 14 Pro, Samsung S23, Orange Pi 5, Steam
+Deck, Jetson Orin, and in-browser WebGPU.
+
+Paper rows (tokens/s):
+
+    device        Llama   Phi3   RedPajama
+    iPhone 14 Pro   5.1*  13.8   19.5
+    Samsung S23     7.9*  13.1   20.5
+    Orange Pi 5     2.3    5.0    6.1
+    Steam Deck     14.0   20.2   22.9
+    Jetson Orin    32.0   59.1   65.2
+    WebGPU (M3)    37.8   68.0   68.6
+
+    * 3-bit / 4-bit Llama2-7B on the phones to fit VRAM (paper footnote);
+      Llama3-8B elsewhere.
+
+Shape checks: every platform sustains generation (the paper's point is
+these deployments *exist* at usable speed), the device ordering matches,
+and the 7/8B model is the slowest of the three models everywhere.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines import kv_cache_bytes, weights_bytes
+from repro.bench import print_table
+from repro.models import LLAMA2_7B, LLAMA3_8B, PHI3_MINI, REDPAJAMA_3B
+from repro.runtime import (
+    IPHONE_14_PRO,
+    JETSON_ORIN,
+    ORANGE_PI_5,
+    SAMSUNG_S23,
+    STEAM_DECK,
+    WEBGPU_M3_MAX,
+)
+
+CONTEXT = 256
+BOUNDS = {"b": 1, "s": 512, "m": 768}
+
+
+def _quant(cfg, bits=4):
+    return dataclasses.replace(
+        cfg, name=f"{cfg.name}-q{bits}", quantize_bits=bits, context_length=2048
+    )
+
+
+#: (device, big-model override, paper row) — phones run Llama2 at 3/4 bits.
+PLATFORMS = [
+    (IPHONE_14_PRO, _quant(LLAMA2_7B, 3), (5.1, 13.8, 19.5)),
+    (SAMSUNG_S23, _quant(LLAMA2_7B, 4), (7.9, 13.1, 20.5)),
+    (ORANGE_PI_5, _quant(LLAMA3_8B, 4), (2.3, 5.0, 6.1)),
+    (STEAM_DECK, _quant(LLAMA3_8B, 4), (14.0, 20.2, 22.9)),
+    (JETSON_ORIN, _quant(LLAMA3_8B, 4), (32.0, 59.1, 65.2)),
+    (WEBGPU_M3_MAX, _quant(LLAMA3_8B, 4), (37.8, 68.0, 68.6)),
+]
+
+
+def test_table3_emerging_platforms(relax_llm, benchmark):
+    phi3 = _quant(PHI3_MINI, 4)
+    redpajama = _quant(REDPAJAMA_3B, 4)
+
+    rows = {}
+    paper_rows = {}
+    for device, llama_cfg, paper in PLATFORMS:
+        measured = []
+        for cfg in (llama_cfg, phi3, redpajama):
+            runner = relax_llm(cfg, device, sym_var_upper_bounds=BOUNDS)
+            measured.append(runner.decode_throughput(1, CONTEXT))
+        rows[device.name] = measured
+        paper_rows[device.name] = paper
+
+    print_table(
+        "Table 3 — single-sequence throughput (tokens/s), 4-bit models on "
+        "emerging platforms",
+        "device", ["Llama", "Phi3", "RedPajama"], rows, "",
+        notes=[
+            f"paper: {name}: {p}" for name, p in paper_rows.items()
+        ],
+    )
+
+    for device, llama_cfg, paper in PLATFORMS:
+        measured = rows[device.name]
+        # Usable generation everywhere; within 2x of the paper's numbers
+        # (absolute clocks are modeled; see DESIGN.md §2).
+        for got, want in zip(measured, paper):
+            assert got > 1.0, f"{device.name}: generation not usable"
+            assert want / 2 <= got <= want * 2, (
+                f"{device.name}: {got:.1f} vs paper {want}"
+            )
+        # Per-device ordering: the 7/8B model is slowest, RedPajama-3B is
+        # fastest or close to Phi3.
+        assert measured[0] == min(measured)
+
+    # Cross-device ordering on the big model: Pi < phones < Deck < Jetson.
+    assert rows[ORANGE_PI_5.name][0] < rows[SAMSUNG_S23.name][0]
+    assert rows[SAMSUNG_S23.name][0] < rows[STEAM_DECK.name][0]
+    assert rows[STEAM_DECK.name][0] < rows[JETSON_ORIN.name][0]
+
+    runner = relax_llm(_quant(PHI3_MINI, 4), JETSON_ORIN, sym_var_upper_bounds=BOUNDS)
+    benchmark.pedantic(lambda: runner.run_decode(1, CONTEXT), rounds=3, iterations=1)
+
+
+def test_table3_memory_fits_vram(relax_llm, benchmark):
+    """§5.3: 'Without memory planning that pre-allocates all needed memory
+    and keeps it within the budget, these models are not even runnable on
+    some of the environments' — check the planned total (weights + caches +
+    activations) fits each device's VRAM."""
+    for device, llama_cfg, _ in PLATFORMS:
+        runner = relax_llm(llama_cfg, device, sym_var_upper_bounds=BOUNDS)
+        runner.vm.reset_stats()
+        runner.run_decode(1, CONTEXT)
+        stats = runner.vm.stats
+        total = (
+            weights_bytes(llama_cfg)
+            + kv_cache_bytes(llama_cfg, 1, BOUNDS["m"])
+            + stats.allocated_bytes_total
+        )
+        assert total < device.vram_bytes, (
+            f"{device.name}: planned footprint {total / (1 << 30):.2f} GiB "
+            f"exceeds VRAM"
+        )
+
+    runner = relax_llm(
+        PLATFORMS[0][1], IPHONE_14_PRO, sym_var_upper_bounds=BOUNDS
+    )
+    benchmark.pedantic(lambda: runner.run_decode(1, CONTEXT), rounds=3, iterations=1)

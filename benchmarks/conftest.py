@@ -1,0 +1,37 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Compiled Relax models are cached per (config, device, pipeline options) for
+the whole session, so the sweep benchmarks pay each compile once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import RelaxLLM
+
+_CACHE = {}
+
+
+@pytest.fixture(scope="session")
+def relax_llm():
+    """Factory returning (and caching) compiled RelaxLLM instances."""
+
+    def get(cfg, device, **kwargs):
+        def freeze(value):
+            if isinstance(value, dict):
+                return tuple(sorted(value.items()))
+            return value
+
+        key = (cfg.name, cfg.quantize_bits, device.name,
+               tuple(sorted((k, freeze(v)) for k, v in kwargs.items())))
+        if key not in _CACHE:
+            _CACHE[key] = RelaxLLM(cfg, device, **kwargs)
+        return _CACHE[key]
+
+    return get
+
+
+def pytest_configure(config):
+    # Benchmarks print their tables; keep them visible under -q.
+    config.option.verbose = max(config.option.verbose, 0)

@@ -1,0 +1,80 @@
+"""Universal deployment: one model, many emerging platforms (paper §5.3).
+
+Compiles a 4-bit quantized Llama2-7B at full paper configuration for every
+device in the paper's Table 3 — phone GPUs, an SBC, a handheld, an edge
+box, and in-browser WebGPU — and reports simulated single-sequence
+throughput plus the static memory plan that makes the memory-constrained
+targets viable ("Without memory planning ... these models are not even
+runnable on some of the environments").
+
+Runs in abstract mode: the full-size module compiles and executes its real
+instruction stream; kernels meter on each device's analytical model
+instead of computing values.
+
+Run:  python examples/cross_platform.py
+"""
+
+import dataclasses
+
+from repro.baselines import kv_cache_bytes, weights_bytes
+from repro.bench import RelaxLLM
+from repro.models import LLAMA2_7B
+from repro.runtime import (
+    IPHONE_14_PRO,
+    JETSON_ORIN,
+    ORANGE_PI_5,
+    SAMSUNG_S23,
+    STEAM_DECK,
+    WEBGPU_M3_MAX,
+)
+
+DEVICES = [
+    IPHONE_14_PRO,
+    SAMSUNG_S23,
+    ORANGE_PI_5,
+    STEAM_DECK,
+    JETSON_ORIN,
+    WEBGPU_M3_MAX,
+]
+
+CFG = dataclasses.replace(
+    LLAMA2_7B, name="Llama2-7B-q4", quantize_bits=4, context_length=2048
+)
+BOUNDS = {"b": 1, "s": 512, "m": 768}
+CONTEXT = 256
+
+
+def main():
+    print(f"model: {CFG.name} "
+          f"({weights_bytes(CFG) / (1 << 30):.2f} GiB quantized weights)\n")
+    header = (f"{'device':<38}{'backend':>9}{'tok/s':>9}{'kernels':>9}"
+              f"{'lib':>6}{'footprint':>12}")
+    print(header)
+    print("-" * len(header))
+
+    for device in DEVICES:
+        runner = RelaxLLM(CFG, device, sym_var_upper_bounds=BOUNDS)
+        tput = runner.decode_throughput(1, CONTEXT)
+        stats = runner.vm.stats
+        footprint = (
+            weights_bytes(CFG)
+            + kv_cache_bytes(CFG, 1, BOUNDS["m"])
+            + stats.allocated_bytes_total
+        )
+        fits = "ok" if footprint < device.vram_bytes else "OVER BUDGET"
+        print(
+            f"{device.name:<38}{device.backend:>9}{tput:>9.1f}"
+            f"{stats.kernel_launches:>9}{stats.lib_calls:>6}"
+            f"{footprint / (1 << 30):>9.2f}GiB  {fits}"
+        )
+
+    print("\nNotes:")
+    print("  * devices without vendor libraries run entirely on")
+    print("    compiler-generated kernels (lib column = 0) — the paper's")
+    print("    point: codegen replaces per-platform hand-written kernels;")
+    print("  * the quantization decode is fused into every matmul, so the")
+    print("    f16 weights never materialize (examples/custom_quantization.py).")
+
+
+if __name__ == "__main__":
+    main()

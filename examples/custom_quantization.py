@@ -1,0 +1,130 @@
+"""The paper's Figure 9 case study: fusing a *custom* quantization-decode
+tensor program into a matmul — cross-level abstraction at work.
+
+The 4-bit decode has no graph-level operator; it exists only as a
+hand-written loop-level tensor program.  Watch the pipeline:
+
+1. **analysis feedback** (Algorithm 1) classifies the decode as Injective
+   and the matmul as OutputEwiseFusible — no manual operator annotation;
+2. **FuseOps** (Algorithm 2) groups the two ``call_tir`` bindings into a
+   subgraph function;
+3. **FuseTensorIR** merges the tensor programs, inlining the decode into
+   the matmul's multiply-accumulate read: the f16 weight matrix never
+   touches global memory — which is why 4-bit LLMs fit on phones (§5.3).
+
+Run:  python examples/custom_quantization.py
+"""
+
+import numpy as np
+
+from repro import sym, tir, transform
+from repro.core import BlockBuilder, TensorAnn, format_module
+from repro.frontend import decode_prim_func, dequantize_weight, quantize_weight
+from repro.runtime import NDArray, TEST_DEVICE, VirtualMachine
+from repro.transform import PassContext
+
+K, N = 64, 32
+BITS, GROUP = 4, 16
+
+
+def build_module():
+    bb = BlockBuilder()
+    decode_gv = bb.add_func(decode_prim_func(K, N, BITS, GROUP), "decode_q4")
+
+    n = sym.SymVar("n")
+    f = tir.TirBuilder("mm")
+    f.attr("op_kind", "matmul")
+    x = f.arg("X", (n, K), "f32")
+    w = f.arg("W", (K, N), "f32")
+    y = f.out("Y", (n, N), "f32")
+    i, j = f.spatial(n, N)
+    kk = f.reduce(K)
+    f.store(y, [i, j], x[i, kk] * w[kk, j], combiner="sum", init=0.0)
+    mm_gv = bb.add_func(f.build(), "mm")
+
+    with bb.function(
+        "main",
+        {
+            "x": TensorAnn(("n", K), "f32"),
+            "Wdata": TensorAnn((K, N * BITS // 32), "u32"),
+            "Wscale": TensorAnn((K, N // GROUP), "f32"),
+        },
+    ) as frame:
+        x, wdata, wscale = frame.params
+        nn = bb.shape_var("n")
+        with bb.dataflow():
+            w = bb.call_tir(decode_gv, [wdata, wscale], TensorAnn((K, N), "f32"))
+            out = bb.call_tir(mm_gv, [x, w], TensorAnn((nn, N), "f32"))
+            gv = bb.emit_output(out)
+        bb.emit_func_output(gv)
+    return bb.get()
+
+
+def main():
+    mod = build_module()
+    ctx = PassContext(device=TEST_DEVICE, enable_library_dispatch=False)
+
+    print("=" * 72)
+    print("Step 1 — analysis feedback classifies the tensor programs:")
+    print("=" * 72)
+    transform.AnnotatePatternKind()(mod, ctx)
+    for name in ("decode_q4", "mm"):
+        print(f"  {name:10s} -> {mod[name].attrs['compute_pattern'].name}")
+
+    print()
+    print("=" * 72)
+    print("Step 2 — FuseOps groups them into a subgraph function:")
+    print("=" * 72)
+    fused = transform.FuseOps()(mod, ctx)
+    print(format_module(fused))
+
+    print()
+    print("=" * 72)
+    print("Step 3 — FuseTensorIR merges into one kernel (decode inlined):")
+    print("=" * 72)
+    merged = transform.FuseTensorIR()(fused, ctx)
+    print(format_module(merged))
+    fused_prim = next(f for _, f in merged.tir_functions() if f.attrs.get("fused"))
+    print(f"\nmerged kernel stages: {len(fused_prim.stages)} "
+          f"(decode inlined into the FMA), intermediates: "
+          f"{len(fused_prim.intermediate_buffers())}")
+
+    # Numerics: the fused module matches dequantize-then-matmul.
+    rng = np.random.default_rng(7)
+    weight = rng.standard_normal((K, N)).astype(np.float32) * 0.1
+    packed, scales = quantize_weight(weight, BITS, GROUP)
+    w_ref = dequantize_weight(packed, scales, BITS, GROUP, N)
+
+    exe = transform.build(build_module(), TEST_DEVICE, enable_library_dispatch=False)
+    vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+    x = rng.standard_normal((5, K)).astype(np.float32)
+    out = vm.run(
+        "main",
+        NDArray.from_numpy(x),
+        NDArray.from_numpy(packed),
+        NDArray.from_numpy(scales),
+    )
+    err = np.abs(out.numpy() - x @ w_ref).max()
+    print(f"\nfused numerics vs dequantized reference: max |err| = {err:.2e}")
+
+    # Performance: fusion removes the materialized weight from global memory.
+    for fusion in (False, True):
+        exe = transform.build(
+            build_module(), TEST_DEVICE, enable_fusion=fusion,
+            enable_library_dispatch=False, enable_cuda_graph=False,
+        )
+        vm = VirtualMachine(exe, TEST_DEVICE, concrete=False)
+        vm.run(
+            "main",
+            NDArray.abstract((128, K), "f32"),
+            NDArray.abstract((K, N * BITS // 32), "u32"),
+            NDArray.abstract((K, N // GROUP), "f32"),
+        )
+        label = "fused " if fusion else "unfused"
+        print(f"  {label}: kernels={vm.stats.kernel_launches}, "
+              f"allocated={vm.stats.allocated_bytes_total}B, "
+              f"simulated time={vm.stats.time_s * 1e6:.2f}us")
+
+
+if __name__ == "__main__":
+    main()

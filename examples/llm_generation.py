@@ -1,0 +1,87 @@
+"""End-to-end LLM text generation with a KV cache (paper §5.1 workload).
+
+Builds a small Llama-architecture model through the nn.Module frontend,
+compiles it once, and then generates greedily: one ``prefill`` over the
+prompt, followed by ``decode`` steps whose KV caches grow by one position
+each token — the ``m -> m+1`` symbolic shape relation flowing through the
+whole compiled module.
+
+Run:  python examples/llm_generation.py
+"""
+
+import numpy as np
+
+from repro import transform
+from repro.models import LlamaConfig, ReferenceLlama, build_llama, empty_caches
+from repro.runtime import NDArray, TEST_DEVICE, VirtualMachine
+
+CFG = LlamaConfig(
+    name="demo-llama", hidden_size=32, intermediate_size=64,
+    num_layers=3, num_heads=4, num_kv_heads=2, vocab_size=64,
+    context_length=64, dtype="f32",
+)
+
+
+def main():
+    exported = build_llama(CFG)
+    exported.module.initialize(seed=42, scale=0.2)
+    print(f"model: {CFG.name}, {exported.module.num_parameters():,} parameters, "
+          f"{len(exported.mod)} functions/tensor-programs in the IRModule")
+
+    exe = transform.build(
+        exported.mod, TEST_DEVICE,
+        sym_var_upper_bounds={"b": 4, "s": 64, "m": 64},
+    )
+    vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+    params = exported.concrete_params()
+
+    prompt = np.array([[5, 17, 3, 42, 8]], dtype=np.int64)
+    max_new = 12
+
+    # Prefill the prompt.
+    result = vm.run("prefill", NDArray.from_numpy(prompt),
+                    *empty_caches(CFG, 1, concrete=True), *params)
+    logits, caches = result[0], list(result[1:])
+    generated = []
+    for step in range(max_new):
+        next_token = int(logits.numpy()[0, -1].argmax())
+        generated.append(next_token)
+        tokens = NDArray.from_numpy(np.array([[next_token]], dtype=np.int64))
+        result = vm.run("decode", tokens, *caches, *params)
+        logits, caches = result[0], list(result[1:])
+        cache_len = caches[0].shape[1]
+        print(f"  step {step:2d}: token {next_token:3d}   "
+              f"(KV cache length now {cache_len})")
+
+    print(f"\nprompt  : {prompt[0].tolist()}")
+    print(f"generated: {generated}")
+
+    # Validate the whole generation against the NumPy reference model.
+    reference = ReferenceLlama(
+        CFG, {name: p.data for name, p in exported.param_order}
+    )
+    ref_logits, ref_caches = reference.forward(
+        prompt, [np.zeros((1, 0, CFG.num_kv_heads, CFG.head_dim), np.float32)]
+        * (2 * CFG.num_layers),
+    )
+    ref_generated = []
+    for _ in range(max_new):
+        tok = int(ref_logits[0, -1].argmax())
+        ref_generated.append(tok)
+        ref_logits, ref_caches = reference.forward(
+            np.array([[tok]], dtype=np.int64), ref_caches
+        )
+    assert generated == ref_generated, "compiled output diverged from reference"
+    print("generation matches the pure-NumPy reference token-for-token")
+
+    stats = vm.stats
+    print(f"\nexecution: {stats.kernel_launches} generated-kernel launches, "
+          f"{stats.lib_calls} library calls, "
+          f"{stats.graph_captures} graph captures, "
+          f"{stats.graph_replays} graph replays")
+    print(f"simulated device time: {stats.time_s * 1000:.3f} ms; "
+          f"peak memory {stats.peak_bytes / 1024:.1f} KiB")
+
+
+if __name__ == "__main__":
+    main()

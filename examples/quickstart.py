@@ -1,0 +1,86 @@
+"""Quickstart: build, compile and run a dynamic-shape model with Relax.
+
+Walks the full journey of the paper's Figure 1:
+
+1. construct a graph-level program with *symbolic shapes* — the batch
+   dimension ``n`` is unknown at compile time;
+2. run the cross-level optimization pipeline (library dispatch,
+   legalization to tensor programs, fusion, memory planning, ...);
+3. execute the compiled module on the VM — once compiled, the same module
+   serves any batch size, with runtime shape checks at the boundary.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ops, transform
+from repro.core import BlockBuilder, TensorAnn, const, format_module
+from repro.runtime import NDArray, TEST_DEVICE, VirtualMachine, disassemble_function
+
+
+def build_model():
+    """main(x: Tensor((n, 16), f32)) = relu(x @ W1) @ W2 + b"""
+    rng = np.random.default_rng(0)
+    w1 = rng.standard_normal((16, 32)).astype(np.float32)
+    w2 = rng.standard_normal((32, 8)).astype(np.float32)
+    b = rng.standard_normal((8,)).astype(np.float32)
+
+    bb = BlockBuilder()
+    with bb.function("main", {"x": TensorAnn(("n", 16), "f32")}) as frame:
+        (x,) = frame.params
+        with bb.dataflow():
+            h = bb.emit(ops.matmul(x, const(w1)))
+            h = bb.emit(ops.relu(h))
+            out = bb.emit(ops.matmul(h, const(w2)))
+            out = bb.emit(ops.add(out, const(b)))
+            gv = bb.emit_output(out)
+        bb.emit_func_output(gv)
+    return bb.get(), (w1, w2, b)
+
+
+def main():
+    mod, (w1, w2, b) = build_model()
+
+    print("=" * 72)
+    print("High-level program (note the symbolic batch dimension n):")
+    print("=" * 72)
+    print(format_module(mod))
+
+    # Compile: the full Figure 13 pipeline.
+    exe = transform.build(mod, TEST_DEVICE, sym_var_upper_bounds={"n": 256})
+    vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+
+    print()
+    print("=" * 72)
+    print("Compiled once; now running three different batch sizes:")
+    print("=" * 72)
+    rng = np.random.default_rng(1)
+    for n in (1, 4, 100):
+        x = rng.standard_normal((n, 16)).astype(np.float32)
+        out = vm.run("main", NDArray.from_numpy(x))
+        expect = np.maximum(x @ w1, 0) @ w2 + b
+        err = np.abs(out.numpy() - expect).max()
+        print(f"  batch {n:4d}: output {out.shape}, max |err| vs NumPy = {err:.2e}")
+
+    print()
+    print("Execution statistics (simulated device clock + real allocations):")
+    for key, value in vm.stats.summary().items():
+        print(f"  {key:>18}: {value:.6g}")
+
+    print()
+    print("=" * 72)
+    print("Compiled VM instructions (the paper's §4.7 end state):")
+    print("=" * 72)
+    print(disassemble_function(exe.functions["main"]))
+
+    # The boundary checks of §4.1 fire on malformed inputs:
+    bad = NDArray.from_numpy(np.zeros((3, 17), dtype=np.float32))
+    try:
+        vm.run("main", bad)
+    except Exception as err:
+        print(f"\nRuntime shape check caught a bad input: {err}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""repro — reproduction of "Relax: Composable Abstractions for End-to-End
+Dynamic Machine Learning" (ASPLOS 2025).
+
+Layers (bottom up):
+
+* :mod:`repro.sym` — symbolic integer expressions (shared by shapes and
+  tensor programs);
+* :mod:`repro.tir` — loop-level tensor programs (TensorIR-like);
+* :mod:`repro.core` — the Relax cross-level IR with first-class symbolic
+  shapes (the paper's contribution);
+* :mod:`repro.ops` — graph-level operators with shape deduction and
+  legalization rules;
+* :mod:`repro.transform` — the optimization and lowering pipeline
+  (fusion, workspace lifting, memory planning, graph offloading, VM
+  code generation);
+* :mod:`repro.runtime` — NDArrays, device models, the register VM, the
+  library registry, and capture/replay graph execution;
+* :mod:`repro.frontend` / :mod:`repro.models` — nn.Module-style model
+  construction and the paper's evaluated model families;
+* :mod:`repro.baselines` / :mod:`repro.bench` — baseline system simulators
+  and the experiment harness regenerating the paper's tables and figures.
+"""
+
+__version__ = "0.1.0"
+
+from . import dtypes, sym
+
+__all__ = ["dtypes", "sym", "__version__"]

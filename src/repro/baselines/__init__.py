@@ -1,0 +1,47 @@
+"""Baseline system simulators for the paper's comparison set (§5)."""
+
+from .systems import (
+    ALL_LLM_BASELINES,
+    FASTER_WHISPER,
+    HF_COMPILE,
+    HF_EAGER,
+    LLAMA_CPP,
+    VLLM,
+    WHISPER_CPP,
+    WHISPER_HF,
+    WHISPER_X,
+    BaselineSystem,
+    Policy,
+)
+from .trace import (
+    OpSpec,
+    cross_decoder_step_ops,
+    cross_kv_ops,
+    decoder_step_ops,
+    encoder_ops,
+    kv_cache_bytes,
+    llama_like,
+    weights_bytes,
+)
+
+__all__ = [
+    "ALL_LLM_BASELINES",
+    "BaselineSystem",
+    "FASTER_WHISPER",
+    "HF_COMPILE",
+    "HF_EAGER",
+    "LLAMA_CPP",
+    "OpSpec",
+    "Policy",
+    "VLLM",
+    "WHISPER_CPP",
+    "WHISPER_HF",
+    "WHISPER_X",
+    "cross_decoder_step_ops",
+    "cross_kv_ops",
+    "decoder_step_ops",
+    "encoder_ops",
+    "kv_cache_bytes",
+    "llama_like",
+    "weights_bytes",
+]

@@ -1,0 +1,164 @@
+"""Operator-level traces of transformer workloads.
+
+Baseline systems (HF Transformers, vLLM, llama.cpp, ...) are modeled at the
+*execution strategy* level (DESIGN.md §2): given a model configuration, the
+functions here enumerate the operators one forward step performs, with
+FLOP and byte counts; each baseline then applies its own policy (how many
+kernels, what efficiency, what host overhead per op) on the shared device
+model.  The Relax side of every comparison runs the real compiled VM, so
+baselines and Relax meter on the same clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..models.llama import LlamaConfig
+
+
+@dataclass
+class OpSpec:
+    """One logical operator in a forward step."""
+
+    kind: str  # gemm | attention | norm | ewise | embed
+    flops: float
+    bytes: float
+
+
+def _dtype_bytes(cfg: LlamaConfig) -> int:
+    return 2 if cfg.dtype == "f16" else 4
+
+
+def _weight_bytes(cfg: LlamaConfig, k: int, n: int) -> float:
+    if cfg.quantize_bits is not None:
+        return k * n * cfg.quantize_bits / 8 + k * (n / cfg.quantize_group) * 2
+    return k * n * _dtype_bytes(cfg)
+
+
+def _gemm(cfg: LlamaConfig, rows: int, k: int, n: int) -> OpSpec:
+    act = _dtype_bytes(cfg)
+    return OpSpec(
+        "gemm",
+        flops=2.0 * rows * k * n,
+        bytes=_weight_bytes(cfg, k, n) + rows * (k + n) * act,
+    )
+
+
+def _ewise(cfg: LlamaConfig, elems: float, ops_per_elem: int = 2,
+           kind: str = "ewise") -> OpSpec:
+    act = _dtype_bytes(cfg)
+    return OpSpec(kind, flops=ops_per_elem * elems, bytes=2 * elems * act)
+
+
+def _attention_op(cfg: LlamaConfig, batch: int, s: int, m: int) -> OpSpec:
+    act = _dtype_bytes(cfg)
+    h, d, kv = cfg.num_heads, cfg.head_dim, cfg.num_kv_heads
+    flops = 2.0 * batch * h * s * m * d * 2
+    nbytes = batch * (s * h * d + 2 * m * kv * d + s * h * d) * act
+    return OpSpec("attention", flops=flops, bytes=nbytes)
+
+
+def decoder_step_ops(cfg: LlamaConfig, batch: int, s: int, past: int,
+                     causal: bool = True) -> List[OpSpec]:
+    """Operators of one decoder forward: ``s`` new tokens, ``past`` cached."""
+    rows = batch * s
+    hidden, inter = cfg.hidden_size, cfg.intermediate_size
+    h, d, kv = cfg.num_heads, cfg.head_dim, cfg.num_kv_heads
+    m = past + s
+    act = _dtype_bytes(cfg)
+
+    ops: List[OpSpec] = [
+        OpSpec("embed", flops=0.0, bytes=rows * hidden * act)
+    ]
+    for _ in range(cfg.num_layers):
+        ops.append(_ewise(cfg, rows * hidden, 4, "norm"))
+        ops.append(_gemm(cfg, rows, hidden, h * d))  # q
+        ops.append(_gemm(cfg, rows, hidden, kv * d))  # k
+        ops.append(_gemm(cfg, rows, hidden, kv * d))  # v
+        ops.append(_ewise(cfg, rows * h * d, 6))  # rope q
+        ops.append(_ewise(cfg, rows * kv * d, 6))  # rope k
+        ops.append(_ewise(cfg, batch * m * kv * d, 1))  # k append (copy)
+        ops.append(_ewise(cfg, batch * m * kv * d, 1))  # v append (copy)
+        ops.append(_attention_op(cfg, batch, s, m))
+        ops.append(_gemm(cfg, rows, h * d, hidden))  # o proj
+        ops.append(_ewise(cfg, rows * hidden, 1))  # residual add
+        ops.append(_ewise(cfg, rows * hidden, 4, "norm"))
+        if cfg.gated_mlp:
+            ops.append(_gemm(cfg, rows, hidden, inter))  # gate
+            ops.append(_gemm(cfg, rows, hidden, inter))  # up
+            ops.append(_ewise(cfg, rows * inter, 4))  # act * up
+        else:
+            ops.append(_gemm(cfg, rows, hidden, inter))
+            ops.append(_ewise(cfg, rows * inter, 4))
+        ops.append(_gemm(cfg, rows, inter, hidden))  # down
+        ops.append(_ewise(cfg, rows * hidden, 1))  # residual add
+    ops.append(_ewise(cfg, rows * hidden, 4, "norm"))
+    ops.append(_gemm(cfg, batch, hidden, cfg.vocab_size))  # lm head (last pos)
+    return ops
+
+
+def encoder_ops(cfg: LlamaConfig, batch: int, s: int) -> List[OpSpec]:
+    """Operators of one non-causal encoder pass over ``s`` positions."""
+    return decoder_step_ops(cfg, batch, s, past=0, causal=False)[:-1]
+
+
+def llama_like(name: str, hidden: int, layers: int, heads: int, ffn: int,
+               vocab: int, dtype: str = "f16") -> LlamaConfig:
+    """Shim config so encoder/decoder traces cover Whisper/ViT stacks."""
+    return LlamaConfig(
+        name=name, hidden_size=hidden, intermediate_size=ffn,
+        num_layers=layers, num_heads=heads, num_kv_heads=heads,
+        vocab_size=vocab, norm="layer", act="gelu", gated_mlp=False,
+        dtype=dtype,
+    )
+
+
+def cross_decoder_step_ops(cfg: LlamaConfig, batch: int, s: int, past: int,
+                           cross_len: int) -> List[OpSpec]:
+    """Decoder step with per-layer cross-attention over ``cross_len``
+    precomputed encoder positions (Whisper-style)."""
+    ops = decoder_step_ops(cfg, batch, s, past)
+    rows = batch * s
+    hidden = cfg.hidden_size
+    for _ in range(cfg.num_layers):
+        ops.append(_ewise(cfg, rows * hidden, 4, "norm"))
+        ops.append(_gemm(cfg, rows, hidden, hidden))  # cross q proj
+        ops.append(_attention_op(cfg, batch, s, cross_len))
+        ops.append(_gemm(cfg, rows, hidden, hidden))  # cross out proj
+        ops.append(_ewise(cfg, rows * hidden, 1))  # residual add
+    return ops
+
+
+def cross_kv_ops(cfg: LlamaConfig, batch: int, cross_len: int) -> List[OpSpec]:
+    """Per-layer cross K/V projections of the encoder states (done once)."""
+    rows = batch * cross_len
+    return [
+        _gemm(cfg, rows, cfg.hidden_size, cfg.hidden_size)
+        for _ in range(2 * cfg.num_layers)
+    ]
+
+
+def weights_bytes(cfg: LlamaConfig) -> float:
+    """Total parameter bytes (embedding fp + quantized/full projections)."""
+    act = _dtype_bytes(cfg)
+    hidden, inter = cfg.hidden_size, cfg.intermediate_size
+    h, d, kv = cfg.num_heads, cfg.head_dim, cfg.num_kv_heads
+    total = cfg.vocab_size * hidden * act  # embedding
+    per_layer = (
+        _weight_bytes(cfg, hidden, h * d)
+        + 2 * _weight_bytes(cfg, hidden, kv * d)
+        + _weight_bytes(cfg, h * d, hidden)
+        + (2 if cfg.gated_mlp else 1) * _weight_bytes(cfg, hidden, inter)
+        + _weight_bytes(cfg, inter, hidden)
+        + 2 * hidden * act
+    )
+    total += cfg.num_layers * per_layer
+    if not cfg.tie_embeddings:
+        total += _weight_bytes(cfg, hidden, cfg.vocab_size)
+    return total
+
+
+def kv_cache_bytes(cfg: LlamaConfig, batch: int, length: int) -> float:
+    act = _dtype_bytes(cfg)
+    return 2.0 * batch * length * cfg.num_kv_heads * cfg.head_dim * act * cfg.num_layers

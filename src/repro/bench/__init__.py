@@ -1,0 +1,21 @@
+"""Benchmark harness shared by the scripts in ``benchmarks/``."""
+
+from .harness import (
+    best_competitor,
+    fmt_value,
+    geomean_ratio,
+    print_table,
+    speedup,
+)
+from .relax_runner import RelaxLLM, RelaxLlava, RelaxWhisper
+
+__all__ = [
+    "RelaxLLM",
+    "RelaxLlava",
+    "RelaxWhisper",
+    "best_competitor",
+    "fmt_value",
+    "geomean_ratio",
+    "print_table",
+    "speedup",
+]

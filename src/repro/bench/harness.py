@@ -1,0 +1,81 @@
+"""Table / series printing and shape-checking for the experiment harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it prints
+the measured series in the same rows/columns the paper reports, alongside
+the paper's qualitative expectations, and returns the data so the calling
+test can assert the reproduction's *shape* (who wins, roughly by what
+factor, where crossovers fall — DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def fmt_value(value, unit: str = "") -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        if value >= 100:
+            text = f"{value:.0f}"
+        elif value >= 1:
+            text = f"{value:.2f}"
+        else:
+            text = f"{value:.3f}"
+    else:
+        text = str(value)
+    return f"{text}{unit}"
+
+
+def print_table(
+    title: str,
+    col_header: str,
+    columns: Sequence,
+    rows: Dict[str, List],
+    unit: str = "",
+    notes: Optional[Sequence[str]] = None,
+) -> None:
+    """Print one experiment's series: rows = systems, columns = sweep."""
+    width = max(18, max((len(name) for name in rows), default=10) + 2)
+    col_w = max(10, max(len(fmt_value(c)) for c in columns) + 2)
+    print()
+    print(f"=== {title} ===")
+    header = f"{col_header:<{width}}" + "".join(
+        f"{fmt_value(c):>{col_w}}" for c in columns
+    )
+    print(header)
+    print("-" * len(header))
+    for name, values in rows.items():
+        line = f"{name:<{width}}" + "".join(
+            f"{fmt_value(v, unit):>{col_w}}" for v in values
+        )
+        print(line)
+    for note in notes or ():
+        print(f"  note: {note}")
+
+
+def speedup(baseline: float, measured: float) -> float:
+    """baseline / measured — >1 means `measured` is faster."""
+    return baseline / measured
+
+
+def best_competitor(rows: Dict[str, List], column: int, exclude: str) -> float:
+    """Fastest (smallest) competitor value in one column."""
+    values = [
+        series[column]
+        for name, series in rows.items()
+        if name != exclude and series[column] is not None
+    ]
+    return min(values)
+
+
+def geomean_ratio(a: Sequence[float], b: Sequence[float]) -> float:
+    """Geometric mean of a_i / b_i over defined pairs."""
+    import math
+
+    logs = [
+        math.log(x / y)
+        for x, y in zip(a, b)
+        if x is not None and y is not None and y > 0
+    ]
+    return math.exp(sum(logs) / len(logs)) if logs else float("nan")

@@ -1,0 +1,210 @@
+"""Relax-side runner for the benchmark harness.
+
+Unlike the baselines (trace policies), the Relax numbers come from the real
+compiled artifact: the model is exported through the nn frontend, compiled
+by the full pipeline at paper configuration, and executed by the VM in
+abstract mode — the actual instruction stream runs, kernels meter on the
+device model, allocations and graph capture/replay happen for real.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .. import transform
+from ..models.llama import LlamaConfig, build_llama
+from ..runtime import NDArray, VirtualMachine
+from ..runtime.device import Device
+from ..runtime.profiler import ExecutionStats
+
+
+class RelaxLLM:
+    """A compiled LLM plus helpers to meter decode/prefill steps."""
+
+    def __init__(
+        self,
+        cfg: LlamaConfig,
+        device: Device,
+        *,
+        sym_var_upper_bounds: Optional[Dict[str, int]] = None,
+        enable_library_dispatch: bool = True,
+        enable_fusion: bool = True,
+        enable_memory_planning: bool = True,
+        enable_cuda_graph: bool = True,
+    ):
+        self.cfg = cfg
+        self.device = device
+        self.exported = build_llama(cfg)
+        if sym_var_upper_bounds is None:
+            bounds = {"b": 64, "s": cfg.context_length, "m": cfg.context_length}
+        else:
+            bounds = sym_var_upper_bounds  # {} means: no declared bounds
+        self.exe = transform.build(
+            self.exported.mod,
+            device,
+            sym_var_upper_bounds=bounds,
+            enable_library_dispatch=enable_library_dispatch,
+            enable_fusion=enable_fusion,
+            enable_memory_planning=enable_memory_planning,
+            enable_cuda_graph=enable_cuda_graph,
+        )
+        self.vm = VirtualMachine(
+            self.exe, device, concrete=False, enable_cuda_graph=enable_cuda_graph
+        )
+        self.params = self.exported.abstract_params()
+
+    # -- workload helpers -------------------------------------------------------
+
+    def _caches(self, batch: int, length: int) -> List[NDArray]:
+        cfg = self.cfg
+        shape = (batch, length, cfg.num_kv_heads, cfg.head_dim)
+        return [
+            NDArray.abstract(shape, cfg.dtype)
+            for _ in range(2 * cfg.num_layers)
+        ]
+
+    def run_decode(self, batch: int, context: int) -> None:
+        tokens = NDArray.abstract((batch, 1), "i64")
+        self.vm.run("decode", tokens, *self._caches(batch, context), *self.params)
+
+    def run_prefill(self, batch: int, seq: int, past: int = 0) -> None:
+        tokens = NDArray.abstract((batch, seq), "i64")
+        self.vm.run("prefill", tokens, *self._caches(batch, past), *self.params)
+
+    def decode_step_time(self, batch: int, context: int, warmup: int = 1) -> float:
+        """Steady-state simulated time of one decode step."""
+        for _ in range(max(warmup, 0)):
+            self.run_decode(batch, context)
+        self.vm.reset_stats()
+        self.run_decode(batch, context)
+        return self.vm.stats.time_s
+
+    def prefill_time(self, batch: int, seq: int, warmup: int = 1) -> float:
+        for _ in range(max(warmup, 0)):
+            self.run_prefill(batch, seq)
+        self.vm.reset_stats()
+        self.run_prefill(batch, seq)
+        return self.vm.stats.time_s
+
+    def decode_throughput(self, batch: int, context: int) -> float:
+        """Tokens per second per sequence at steady state."""
+        return batch / self.decode_step_time(batch, context)
+
+    def stats_snapshot(self) -> ExecutionStats:
+        return self.vm.stats
+
+
+class RelaxWhisper:
+    """Compiled Whisper encoder-decoder on the analytical device model."""
+
+    def __init__(self, cfg, device: Device,
+                 sym_var_upper_bounds: Optional[Dict[str, int]] = None):
+        from ..models.whisper import build_whisper
+
+        self.cfg = cfg
+        self.device = device
+        self.exported = build_whisper(cfg)
+        bounds = sym_var_upper_bounds or {
+            "b": 8, "f": cfg.max_frames, "m": cfg.max_target,
+            "t": cfg.enc_positions,
+        }
+        self.exe = transform.build(
+            self.exported.mod, device, sym_var_upper_bounds=bounds
+        )
+        self.vm = VirtualMachine(self.exe, device, concrete=False)
+        self.params = self.exported.abstract_params()
+
+    def encode_time(self, batch: int, frames: int) -> float:
+        mel = NDArray.abstract((batch, frames, self.cfg.n_mel), self.cfg.dtype)
+        self.vm.run("encode", mel, *self.params)  # warm (capture)
+        self.vm.reset_stats()
+        self.vm.run("encode", mel, *self.params)
+        return self.vm.stats.time_s
+
+    def decode_step_time(self, batch: int, past: int, enc_len: int) -> float:
+        cfg = self.cfg
+        tokens = NDArray.abstract((batch, 1), "i64")
+        self_caches = [
+            NDArray.abstract((batch, past, cfg.num_heads, cfg.head_dim), cfg.dtype)
+            for _ in range(2 * cfg.decoder_layers)
+        ]
+        cross = [
+            NDArray.abstract((batch, enc_len, cfg.num_heads, cfg.head_dim), cfg.dtype)
+            for _ in range(2 * cfg.decoder_layers)
+        ]
+        args = [tokens] + self_caches + cross + self.params
+        self.vm.run("decode", *args)  # warm
+        self.vm.reset_stats()
+        self.vm.run("decode", *args)
+        return self.vm.stats.time_s
+
+    def transcribe_time(self, frames: int, n_tokens: int, batch: int = 1) -> float:
+        """Encode once + ``n_tokens`` decode steps (trapezoid over cache
+        growth: decode cost is affine in the cache length)."""
+        enc_len = frames // 2
+        total = self.encode_time(batch, frames)
+        first = self.decode_step_time(batch, 1, enc_len)
+        last = self.decode_step_time(batch, n_tokens, enc_len)
+        total += n_tokens * (first + last) / 2.0
+        return total
+
+
+class RelaxLlava:
+    """Compiled LLaVA (vision tower + Vicuna) on the device model."""
+
+    def __init__(self, cfg, device: Device,
+                 sym_var_upper_bounds: Optional[Dict[str, int]] = None):
+        from ..models.llava import build_llava
+
+        self.cfg = cfg
+        self.device = device
+        self.exported = build_llava(cfg)
+        bounds = sym_var_upper_bounds or {
+            "b": 8, "s": cfg.vision.num_patches + 64,
+            "m": cfg.llm.context_length, "t": cfg.vision.num_patches,
+        }
+        self.exe = transform.build(
+            self.exported.mod, device, sym_var_upper_bounds=bounds
+        )
+        self.vm = VirtualMachine(self.exe, device, concrete=False)
+        self.params = self.exported.abstract_params()
+
+    def _llm_caches(self, batch: int, length: int):
+        llm = self.cfg.llm
+        return [
+            NDArray.abstract((batch, length, llm.num_kv_heads, llm.head_dim),
+                             llm.dtype)
+            for _ in range(2 * llm.num_layers)
+        ]
+
+    def _timed(self, fn: str, *args) -> float:
+        self.vm.run(fn, *args)  # warm
+        self.vm.reset_stats()
+        self.vm.run(fn, *args)
+        return self.vm.stats.time_s
+
+    def generation_time(self, n_tokens: int = 32, batch: int = 1) -> float:
+        """Image encode + image prefill + ``n_tokens`` decode steps."""
+        vis = self.cfg.vision
+        patches = NDArray.abstract((batch, vis.num_patches, vis.patch_dim),
+                                   vis.dtype)
+        total = self._timed("encode_image", patches, *self.params)
+
+        embeds = NDArray.abstract(
+            (batch, vis.num_patches, self.cfg.llm.hidden_size), self.cfg.llm.dtype
+        )
+        total += self._timed(
+            "prefill_embeds", embeds, *self._llm_caches(batch, 0), *self.params
+        )
+
+        tokens = NDArray.abstract((batch, 1), "i64")
+        first = self._timed(
+            "decode", tokens, *self._llm_caches(batch, vis.num_patches),
+            *self.params,
+        )
+        last = self._timed(
+            "decode", tokens,
+            *self._llm_caches(batch, vis.num_patches + n_tokens), *self.params,
+        )
+        total += n_tokens * (first + last) / 2.0
+        return total

@@ -1,0 +1,130 @@
+"""Relax core: cross-level IR with first-class symbolic shapes.
+
+This package is the paper's primary contribution: structural annotations
+(Table 1), dataflow blocks, cross-level function calls (``call_tir`` /
+``call_dps_library``), first-class symbolic shapes with forward deduction,
+and the construction / traversal / verification infrastructure that the
+optimization passes in :mod:`repro.transform` are written against.
+"""
+
+from .annotations import (
+    Annotation,
+    CallableAnn,
+    ObjectAnn,
+    PrimAnn,
+    ShapeAnn,
+    TensorAnn,
+    TupleAnn,
+    unify_call,
+)
+from .block_builder import BlockBuilder
+from .deduction import (
+    DeductionError,
+    deduce_annotation,
+    deduce_call,
+    join_annotations,
+    rededuce_function,
+)
+from .expr import (
+    Binding,
+    BindingBlock,
+    Call,
+    Constant,
+    DataflowBlock,
+    DataflowVar,
+    Expr,
+    ExternFunc,
+    Function,
+    GlobalVar,
+    If,
+    MatchCast,
+    Op,
+    PrimValue,
+    SeqExpr,
+    ShapeExpr,
+    Tuple,
+    TupleGetItem,
+    Var,
+    VarBinding,
+    const,
+    shape,
+    sym_var,
+)
+from .ir_module import IRModule
+from .op import (
+    call_dps_library,
+    call_dps_library_op,
+    call_tir,
+    call_tir_op,
+    call_tir_parts,
+    is_call_to,
+)
+from .printer import format_expr, format_function, format_module
+from .visitor import ExprMutator, ExprVisitor
+from .well_formed import WellFormedError, well_formed
+
+# Short aliases matching the paper's annotation syntax (Table 1).
+Object = ObjectAnn
+Shape = ShapeAnn
+Tensor = TensorAnn
+TupleA = TupleAnn
+Callable = CallableAnn
+
+__all__ = [
+    "Annotation",
+    "Binding",
+    "BindingBlock",
+    "BlockBuilder",
+    "Call",
+    "Callable",
+    "CallableAnn",
+    "Constant",
+    "DataflowBlock",
+    "DataflowVar",
+    "DeductionError",
+    "Expr",
+    "ExternFunc",
+    "Function",
+    "GlobalVar",
+    "IRModule",
+    "If",
+    "MatchCast",
+    "Object",
+    "ObjectAnn",
+    "Op",
+    "PrimAnn",
+    "PrimValue",
+    "SeqExpr",
+    "Shape",
+    "ShapeAnn",
+    "ShapeExpr",
+    "Tensor",
+    "TensorAnn",
+    "Tuple",
+    "TupleA",
+    "TupleAnn",
+    "TupleGetItem",
+    "Var",
+    "VarBinding",
+    "WellFormedError",
+    "call_dps_library",
+    "call_dps_library_op",
+    "call_tir",
+    "call_tir_op",
+    "call_tir_parts",
+    "const",
+    "deduce_annotation",
+    "deduce_call",
+    "ExprMutator",
+    "ExprVisitor",
+    "format_expr",
+    "format_function",
+    "format_module",
+    "is_call_to",
+    "join_annotations",
+    "rededuce_function",
+    "shape",
+    "sym_var",
+    "unify_call",
+    "well_formed",
+]

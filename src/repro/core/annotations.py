@@ -1,0 +1,527 @@
+"""Structural annotations — Relax's "static types plus shapes" (paper §3.1).
+
+Each Relax value carries an annotation conveying structural information at
+compile time (Table 1 of the paper):
+
+=============  =========================================================
+``ObjectAnn``  any runtime value
+``PrimAnn``    a scalar integer value, possibly a known symbolic expr
+``ShapeAnn``   a symbolic shape value, e.g. ``Shape([n, 4])``
+``TensorAnn``  tensor with symbolic shape and dtype, e.g.
+               ``Tensor((n, 4), "f32")``
+``TupleAnn``   tuple of other annotations
+``CallableAnn``  function annotation: parameter and result annotations
+=============  =========================================================
+
+Shape dimensions are symbolic integer expressions (:mod:`repro.sym`).  They
+may also be written as *quoted strings* (``"n * 4"``) in signatures, as the
+paper does when the symbolic variables are not declared yet; such
+annotations must be :meth:`resolved <Annotation.resolve>` against a
+:class:`~repro.sym.ShapeVarContext` before analysis uses them.
+
+The lattice operations used throughout the compiler live here too:
+
+* :func:`erase_to_coarse` — forget symbolic values but keep structure
+  (the "safety net" of forward deduction, §4.1);
+* :meth:`Annotation.is_base_of` — can a value with annotation B flow where
+  A is expected (possibly needing a runtime check);
+* :func:`unify_call` — bind the symbolic variables of a callee signature
+  against argument annotations and derive the return annotation (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .. import dtypes, sym
+
+DimLike = Union[int, str, sym.PrimExpr]
+
+
+class Annotation:
+    """Base class of all structural annotations."""
+
+    def resolve(self, ctx: sym.ShapeVarContext) -> "Annotation":
+        """Replace quoted string dimensions with symbolic expressions."""
+        return self
+
+    def is_resolved(self) -> bool:
+        return True
+
+    def free_sym_vars(self) -> List[sym.SymVar]:
+        return []
+
+    def substitute_syms(self, mapping: Dict[sym.SymVar, sym.ExprLike]) -> "Annotation":
+        """Substitute symbolic variables in every embedded expression."""
+        return self
+
+    def erased(self) -> "Annotation":
+        """Coarse version: same structure, symbolic values forgotten."""
+        return self
+
+    def is_base_of(self, other: "Annotation") -> bool:
+        """True when a value annotated ``other`` always fits this annotation.
+
+        This is the static direction; passing a *coarser* value into a finer
+        annotation is still allowed at function boundaries but requires the
+        lightweight runtime check of §4.1.
+        """
+        raise NotImplementedError
+
+    def possibly_matches(self, other: "Annotation") -> bool:
+        """True unless the two annotations are provably incompatible."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return str(self)
+
+
+def _as_dim(dim: DimLike) -> Union[str, sym.PrimExpr]:
+    if isinstance(dim, str):
+        return dim
+    return sym.PrimExpr.convert(dim)
+
+
+def _resolve_dims(dims, ctx: sym.ShapeVarContext) -> Tuple[sym.PrimExpr, ...]:
+    return tuple(sym.parse_dim(d, ctx) for d in dims)
+
+
+def _dims_resolved(dims) -> bool:
+    return all(isinstance(d, sym.PrimExpr) for d in dims)
+
+
+def _require_resolved(ann: Annotation) -> None:
+    if not ann.is_resolved():
+        raise ValueError(
+            f"annotation {ann} contains unresolved quoted dimensions; "
+            "resolve it against a ShapeVarContext first"
+        )
+
+
+def _dims_equal(a: Sequence[sym.PrimExpr], b: Sequence[sym.PrimExpr]) -> bool:
+    return len(a) == len(b) and all(sym.prove_equal(x, y) for x, y in zip(a, b))
+
+
+def _dims_possibly_equal(a, b) -> bool:
+    # Incompatible only when two static dims are provably different.
+    for x, y in zip(a, b):
+        if sym.is_static(x) and sym.is_static(y):
+            if sym.as_static_int(sym.simplify(x)) != sym.as_static_int(sym.simplify(y)):
+                return False
+    return len(a) == len(b)
+
+
+class ObjectAnn(Annotation):
+    """Any runtime value — the top of the annotation lattice."""
+
+    def is_base_of(self, other: Annotation) -> bool:
+        return True
+
+    def possibly_matches(self, other: Annotation) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "Object"
+
+
+class PrimAnn(Annotation):
+    """A scalar (host) integer value, optionally a known symbolic expr."""
+
+    def __init__(self, dtype: str = "i64", value: Optional[sym.ExprLike] = None):
+        self.dtype = dtypes.check_dtype(dtype)
+        self.value = None if value is None else sym.PrimExpr.convert(value)
+
+    def free_sym_vars(self) -> List[sym.SymVar]:
+        return [] if self.value is None else sym.free_vars(self.value)
+
+    def substitute_syms(self, mapping) -> "PrimAnn":
+        if self.value is None:
+            return self
+        return PrimAnn(self.dtype, sym.substitute(self.value, mapping))
+
+    def erased(self) -> "PrimAnn":
+        return PrimAnn(self.dtype)
+
+    def is_base_of(self, other: Annotation) -> bool:
+        if not isinstance(other, PrimAnn) or other.dtype != self.dtype:
+            return False
+        if self.value is None:
+            return True
+        return other.value is not None and sym.prove_equal(self.value, other.value)
+
+    def possibly_matches(self, other: Annotation) -> bool:
+        if isinstance(other, ObjectAnn):
+            return True
+        return isinstance(other, PrimAnn) and other.dtype == self.dtype
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return f"Prim({self.dtype})"
+        return f"Prim({self.dtype}, {self.value})"
+
+
+class ShapeAnn(Annotation):
+    """A symbolic shape value: ``Shape([n, 4])`` or ``Shape(ndim=2)``."""
+
+    def __init__(self, values: Optional[Sequence[DimLike]] = None, ndim: Optional[int] = None):
+        if values is not None:
+            self.values: Optional[Tuple] = tuple(_as_dim(v) for v in values)
+            self.ndim = len(self.values)
+            if ndim is not None and ndim != self.ndim:
+                raise ValueError("ndim conflicts with explicit shape values")
+        else:
+            self.values = None
+            self.ndim = -1 if ndim is None else ndim
+
+    def resolve(self, ctx: sym.ShapeVarContext) -> "ShapeAnn":
+        if self.values is None or _dims_resolved(self.values):
+            return self
+        return ShapeAnn(_resolve_dims(self.values, ctx))
+
+    def is_resolved(self) -> bool:
+        return self.values is None or _dims_resolved(self.values)
+
+    def free_sym_vars(self) -> List[sym.SymVar]:
+        _require_resolved(self)
+        out, seen = [], set()
+        for dim in self.values or ():
+            for var in sym.free_vars(dim):
+                if var.key() not in seen:
+                    seen.add(var.key())
+                    out.append(var)
+        return out
+
+    def substitute_syms(self, mapping) -> "ShapeAnn":
+        if self.values is None:
+            return self
+        _require_resolved(self)
+        return ShapeAnn([sym.substitute(v, mapping) for v in self.values])
+
+    def erased(self) -> "ShapeAnn":
+        return ShapeAnn(ndim=self.ndim) if self.values is not None else self
+
+    def is_base_of(self, other: Annotation) -> bool:
+        if not isinstance(other, ShapeAnn):
+            return False
+        if self.values is None:
+            return self.ndim == -1 or self.ndim == other.ndim
+        if other.values is None:
+            return False
+        _require_resolved(self)
+        _require_resolved(other)
+        return _dims_equal(self.values, other.values)
+
+    def possibly_matches(self, other: Annotation) -> bool:
+        if isinstance(other, ObjectAnn):
+            return True
+        if not isinstance(other, ShapeAnn):
+            return False
+        if self.ndim != -1 and other.ndim != -1 and self.ndim != other.ndim:
+            return False
+        if self.values is not None and other.values is not None:
+            return _dims_possibly_equal(self.values, other.values)
+        return True
+
+    def __str__(self) -> str:
+        if self.values is not None:
+            inner = ", ".join(str(v) for v in self.values)
+            return f"Shape([{inner}])"
+        if self.ndim == -1:
+            return "Shape"
+        return f"Shape(ndim={self.ndim})"
+
+
+class TensorAnn(Annotation):
+    """Tensor annotation: symbolic shape plus dtype.
+
+    ``TensorAnn((n, 4), "f32")``, ``TensorAnn(ndim=2, dtype="f32")``, or
+    fully unknown ``TensorAnn()``.
+    """
+
+    def __init__(
+        self,
+        shape: Optional[Sequence[DimLike]] = None,
+        dtype: Optional[str] = None,
+        ndim: Optional[int] = None,
+    ):
+        if shape is not None:
+            self.shape: Optional[Tuple] = tuple(_as_dim(d) for d in shape)
+            self.ndim = len(self.shape)
+            if ndim is not None and ndim != self.ndim:
+                raise ValueError("ndim conflicts with explicit shape")
+        else:
+            self.shape = None
+            self.ndim = -1 if ndim is None else ndim
+        self.dtype = None if dtype is None else dtypes.check_dtype(dtype)
+
+    def resolve(self, ctx: sym.ShapeVarContext) -> "TensorAnn":
+        if self.shape is None or _dims_resolved(self.shape):
+            return self
+        return TensorAnn(_resolve_dims(self.shape, ctx), self.dtype)
+
+    def is_resolved(self) -> bool:
+        return self.shape is None or _dims_resolved(self.shape)
+
+    def free_sym_vars(self) -> List[sym.SymVar]:
+        _require_resolved(self)
+        out, seen = [], set()
+        for dim in self.shape or ():
+            for var in sym.free_vars(dim):
+                if var.key() not in seen:
+                    seen.add(var.key())
+                    out.append(var)
+        return out
+
+    def substitute_syms(self, mapping) -> "TensorAnn":
+        if self.shape is None:
+            return self
+        _require_resolved(self)
+        return TensorAnn([sym.substitute(d, mapping) for d in self.shape], self.dtype)
+
+    def erased(self) -> "TensorAnn":
+        return TensorAnn(dtype=self.dtype, ndim=self.ndim) if self.shape is not None else self
+
+    def num_elements(self) -> sym.PrimExpr:
+        """Element count as a symbolic expression (shape must be known)."""
+        if self.shape is None:
+            raise ValueError(f"cannot count elements of {self}")
+        _require_resolved(self)
+        return sym.shape_product(self.shape)
+
+    def size_bytes(self) -> sym.PrimExpr:
+        """Byte size as a symbolic expression (shape and dtype known)."""
+        if self.dtype is None:
+            raise ValueError(f"cannot size {self} without dtype")
+        return self.num_elements() * dtypes.itemsize(self.dtype)
+
+    def is_base_of(self, other: Annotation) -> bool:
+        if not isinstance(other, TensorAnn):
+            return False
+        if self.dtype is not None and other.dtype != self.dtype:
+            return False
+        if self.shape is None:
+            return self.ndim == -1 or self.ndim == other.ndim
+        if other.shape is None:
+            return False
+        _require_resolved(self)
+        _require_resolved(other)
+        return _dims_equal(self.shape, other.shape)
+
+    def possibly_matches(self, other: Annotation) -> bool:
+        if isinstance(other, ObjectAnn):
+            return True
+        if not isinstance(other, TensorAnn):
+            return False
+        if self.dtype is not None and other.dtype is not None and self.dtype != other.dtype:
+            return False
+        if self.ndim != -1 and other.ndim != -1 and self.ndim != other.ndim:
+            return False
+        if self.shape is not None and other.shape is not None:
+            return _dims_possibly_equal(self.shape, other.shape)
+        return True
+
+    def __str__(self) -> str:
+        if self.shape is not None:
+            dims = ", ".join(str(d) for d in self.shape)
+            return f"Tensor(({dims}), {self.dtype!r})"
+        if self.ndim == -1:
+            return f"Tensor(ndim=None, dtype={self.dtype!r})"
+        return f"Tensor(ndim={self.ndim}, dtype={self.dtype!r})"
+
+
+class TupleAnn(Annotation):
+    """Tuple of annotations."""
+
+    def __init__(self, fields: Sequence[Annotation]):
+        self.fields: Tuple[Annotation, ...] = tuple(fields)
+        for field in self.fields:
+            if not isinstance(field, Annotation):
+                raise TypeError(f"tuple field must be an Annotation, got {field!r}")
+
+    def resolve(self, ctx: sym.ShapeVarContext) -> "TupleAnn":
+        return TupleAnn([f.resolve(ctx) for f in self.fields])
+
+    def is_resolved(self) -> bool:
+        return all(f.is_resolved() for f in self.fields)
+
+    def free_sym_vars(self) -> List[sym.SymVar]:
+        out, seen = [], set()
+        for field in self.fields:
+            for var in field.free_sym_vars():
+                if var.key() not in seen:
+                    seen.add(var.key())
+                    out.append(var)
+        return out
+
+    def substitute_syms(self, mapping) -> "TupleAnn":
+        return TupleAnn([f.substitute_syms(mapping) for f in self.fields])
+
+    def erased(self) -> "TupleAnn":
+        return TupleAnn([f.erased() for f in self.fields])
+
+    def is_base_of(self, other: Annotation) -> bool:
+        return (
+            isinstance(other, TupleAnn)
+            and len(self.fields) == len(other.fields)
+            and all(a.is_base_of(b) for a, b in zip(self.fields, other.fields))
+        )
+
+    def possibly_matches(self, other: Annotation) -> bool:
+        if isinstance(other, ObjectAnn):
+            return True
+        return (
+            isinstance(other, TupleAnn)
+            and len(self.fields) == len(other.fields)
+            and all(a.possibly_matches(b) for a, b in zip(self.fields, other.fields))
+        )
+
+    def __str__(self) -> str:
+        return "Tuple[" + ", ".join(str(f) for f in self.fields) + "]"
+
+
+class CallableAnn(Annotation):
+    """Function annotation: parameter and return annotations.
+
+    Symbolic relations are isolated at function boundaries (§4.1): the
+    variables appearing here are the callee's own, and calls are deduced by
+    unifying against them (Fig. 7).
+    """
+
+    def __init__(self, params: Optional[Sequence[Annotation]], ret: Annotation, pure: bool = True):
+        self.params = None if params is None else tuple(params)
+        self.ret = ret
+        self.pure = pure
+
+    def resolve(self, ctx: sym.ShapeVarContext) -> "CallableAnn":
+        # A callable's symbolic scope is its own: resolve against a fresh
+        # context so signature vars never leak into the enclosing function.
+        inner = sym.ShapeVarContext()
+        params = None if self.params is None else [p.resolve(inner) for p in self.params]
+        return CallableAnn(params, self.ret.resolve(inner), self.pure)
+
+    def is_resolved(self) -> bool:
+        params_ok = self.params is None or all(p.is_resolved() for p in self.params)
+        return params_ok and self.ret.is_resolved()
+
+    def erased(self) -> "CallableAnn":
+        return self
+
+    def substitute_syms(self, mapping) -> "CallableAnn":
+        # Callee-scope variables are not the caller's; nothing to substitute.
+        return self
+
+    def is_base_of(self, other: Annotation) -> bool:
+        if not isinstance(other, CallableAnn):
+            return False
+        if self.params is None:
+            return True
+        if other.params is None or len(self.params) != len(other.params):
+            return False
+        # Conservative: require identical structure.
+        params_ok = all(
+            a.possibly_matches(b) for a, b in zip(self.params, other.params)
+        )
+        return params_ok and self.ret.possibly_matches(other.ret)
+
+    def possibly_matches(self, other: Annotation) -> bool:
+        return isinstance(other, (ObjectAnn, CallableAnn))
+
+    def __str__(self) -> str:
+        if self.params is None:
+            return f"Callable(..., {self.ret})"
+        params = ", ".join(str(p) for p in self.params)
+        return f"Callable([{params}], {self.ret})"
+
+
+def unify_call(
+    callee: CallableAnn, arg_anns: Sequence[Annotation]
+) -> Annotation:
+    """Derive the return annotation of a call from the callee signature.
+
+    Implements the paper's interprocedural deduction (Fig. 7): bind each
+    symbolic variable appearing *alone* as a dimension of a parameter
+    annotation to the corresponding argument expression, substitute the
+    bindings into the return annotation, and erase any return dimension
+    whose variables remain unbound (the coarse-grained safety net).
+    """
+    if callee.params is None:
+        return callee.ret.erased()
+    if len(callee.params) != len(arg_anns):
+        raise ValueError(
+            f"call arity mismatch: signature has {len(callee.params)} params, "
+            f"got {len(arg_anns)} arguments"
+        )
+
+    bindings: Dict[sym.SymVar, sym.PrimExpr] = {}
+
+    def bind_dims(param_dims, arg_dims) -> None:
+        for p_dim, a_dim in zip(param_dims, arg_dims):
+            if isinstance(p_dim, sym.SymVar) and p_dim not in bindings:
+                bindings[p_dim] = sym.PrimExpr.convert(a_dim)
+
+    for param, arg in zip(callee.params, arg_anns):
+        if isinstance(param, TensorAnn) and isinstance(arg, TensorAnn):
+            if param.shape is not None and arg.shape is not None:
+                _require_resolved(param)
+                _require_resolved(arg)
+                bind_dims(param.shape, arg.shape)
+        elif isinstance(param, ShapeAnn) and isinstance(arg, ShapeAnn):
+            if param.values is not None and arg.values is not None:
+                _require_resolved(param)
+                _require_resolved(arg)
+                bind_dims(param.values, arg.values)
+        elif isinstance(param, PrimAnn) and isinstance(arg, PrimAnn):
+            if (
+                param.value is not None
+                and isinstance(param.value, sym.SymVar)
+                and arg.value is not None
+                and param.value not in bindings
+            ):
+                bindings[param.value] = arg.value
+        elif isinstance(param, TupleAnn) and isinstance(arg, TupleAnn):
+            for p_field, a_field in zip(param.fields, arg.fields):
+                if isinstance(p_field, TensorAnn) and isinstance(a_field, TensorAnn):
+                    if p_field.shape is not None and a_field.shape is not None:
+                        bind_dims(p_field.shape, a_field.shape)
+                elif isinstance(p_field, ShapeAnn) and isinstance(a_field, ShapeAnn):
+                    if p_field.values is not None and a_field.values is not None:
+                        bind_dims(p_field.values, a_field.values)
+
+    return _substitute_or_erase(callee.ret, bindings)
+
+
+def _substitute_or_erase(ann: Annotation, bindings) -> Annotation:
+    """Substitute bindings into ``ann``; erase dims with unbound vars."""
+    bound_keys = {var.key() for var in bindings}
+
+    def dim_ok(dim: sym.PrimExpr) -> bool:
+        return all(v.key() in bound_keys for v in sym.free_vars(dim))
+
+    if isinstance(ann, TensorAnn):
+        if ann.shape is None:
+            return ann
+        _require_resolved(ann)
+        if all(dim_ok(d) for d in ann.shape):
+            return TensorAnn(
+                [sym.simplify(sym.substitute(d, bindings)) for d in ann.shape],
+                ann.dtype,
+            )
+        return ann.erased()
+    if isinstance(ann, ShapeAnn):
+        if ann.values is None:
+            return ann
+        _require_resolved(ann)
+        if all(dim_ok(v) for v in ann.values):
+            return ShapeAnn(
+                [sym.simplify(sym.substitute(v, bindings)) for v in ann.values]
+            )
+        return ann.erased()
+    if isinstance(ann, PrimAnn):
+        if ann.value is None:
+            return ann
+        if dim_ok(ann.value):
+            return PrimAnn(ann.dtype, sym.simplify(sym.substitute(ann.value, bindings)))
+        return ann.erased()
+    if isinstance(ann, TupleAnn):
+        return TupleAnn([_substitute_or_erase(f, bindings) for f in ann.fields])
+    return ann

@@ -1,0 +1,288 @@
+"""BlockBuilder: the programmatic construction API for Relax IR.
+
+Front-ends (the nn.Module interface, model importers) and compiler passes
+build IR through this class.  It mirrors the ergonomics of the paper's
+examples::
+
+    bb = BlockBuilder()
+    with bb.function("main", {"x": TensorAnn(("n", 128), "f32")}) as frame:
+        x, = frame.params
+        with bb.dataflow():
+            lv0 = bb.emit(op.matmul(x, w))
+            gv = bb.emit_output(lv0)
+        bb.emit_func_output(gv)
+    mod = bb.get()
+
+Every ``emit`` runs forward deduction immediately, so annotations are
+always present — construction-time deduction is half of the paper's §4.1
+(the other half being re-deduction between passes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from .. import sym
+from .annotations import Annotation, ObjectAnn
+from .deduction import check_match_cast, deduce_annotation
+from .expr import (
+    Binding,
+    BindingBlock,
+    Call,
+    DataflowBlock,
+    DataflowVar,
+    Expr,
+    Function,
+    GlobalVar,
+    MatchCast,
+    SeqExpr,
+    ShapeExpr,
+    Var,
+    VarBinding,
+)
+from .ir_module import IRModule
+from . import op as _op
+
+
+class _FunctionFrame:
+    """State for one function under construction."""
+
+    def __init__(self, builder: "BlockBuilder", name: str, params: List[Var],
+                 shape_ctx: sym.ShapeVarContext, ret_ann: Optional[Annotation]):
+        self.builder = builder
+        self.name = name
+        self.params = params
+        self.shape_ctx = shape_ctx
+        self.ret_ann = ret_ann
+        self.blocks: List[BindingBlock] = []
+        self.pending: List[Binding] = []
+        self.in_dataflow = False
+        self.output: Optional[Expr] = None
+        self.attrs: Dict = {}
+
+    def __enter__(self) -> "_FunctionFrame":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.builder._abort_function()
+            return
+        self.builder._finish_function()
+
+
+class _DataflowFrame:
+    def __init__(self, builder: "BlockBuilder"):
+        self.builder = builder
+
+    def __enter__(self) -> "_DataflowFrame":
+        self.builder._begin_dataflow()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.builder._end_dataflow()
+
+
+class BlockBuilder:
+    """Builds Relax functions binding-by-binding into an IRModule."""
+
+    def __init__(self, mod: Optional[IRModule] = None):
+        self.mod = mod if mod is not None else IRModule()
+        self._frame: Optional[_FunctionFrame] = None
+        self._name_counter: Dict[str, int] = {}
+
+    # -- function scope ---------------------------------------------------------
+
+    def function(
+        self,
+        name: str,
+        params: Union[Dict[str, Annotation], Sequence[Var]],
+        ret_ann: Optional[Annotation] = None,
+        attrs: Optional[Dict] = None,
+    ) -> _FunctionFrame:
+        """Open a function scope (use as a context manager).
+
+        ``params`` is either a dict of name → annotation (annotations may
+        contain quoted string dims, resolved against this function's shape
+        context) or a prebuilt list of Vars.
+        """
+        if self._frame is not None:
+            raise RuntimeError("BlockBuilder does not support nested functions")
+        ctx = sym.ShapeVarContext()
+        if isinstance(params, dict):
+            param_vars = [
+                Var(pname, ann.resolve(ctx)) for pname, ann in params.items()
+            ]
+        else:
+            param_vars = list(params)
+            for var in param_vars:
+                if var.ann is not None:
+                    var.ann = var.ann.resolve(ctx)
+        if ret_ann is not None:
+            ret_ann = ret_ann.resolve(ctx)
+        self._frame = _FunctionFrame(self, name, param_vars, ctx, ret_ann)
+        if attrs:
+            self._frame.attrs.update(attrs)
+        return self._frame
+
+    def shape_var(self, name: str) -> sym.SymVar:
+        """The symbolic variable bound to ``name`` in the current signature."""
+        return self._current_frame().shape_ctx.get(name)
+
+    def dataflow(self) -> _DataflowFrame:
+        """Open a dataflow block (side effect-free region, paper §3.1)."""
+        return _DataflowFrame(self)
+
+    # -- emission -----------------------------------------------------------------
+
+    def emit(self, expr: Expr, name_hint: str = "lv") -> Var:
+        """Bind ``expr`` to a fresh variable; runs forward deduction."""
+        frame = self._current_frame()
+        self._normalize(expr)
+        ann = deduce_annotation(expr, self.lookup_signature)
+        var_cls = DataflowVar if frame.in_dataflow else Var
+        var = var_cls(self._fresh_name(name_hint), ann)
+        frame.pending.append(VarBinding(var, expr))
+        return var
+
+    def match_cast(self, value: Expr, target_ann: Annotation, name_hint: str = "lv") -> Var:
+        """Emit a ``match_cast`` asserting ``target_ann`` for ``value``."""
+        frame = self._current_frame()
+        self._normalize(value)
+        target_ann = target_ann.resolve(frame.shape_ctx)
+        var_cls = DataflowVar if frame.in_dataflow else Var
+        var = var_cls(self._fresh_name(name_hint), target_ann)
+        binding = MatchCast(var, value, target_ann)
+        check_match_cast(binding)
+        frame.pending.append(binding)
+        return var
+
+    def emit_output(self, expr: Expr, name_hint: str = "gv") -> Var:
+        """Bind a dataflow-block output (visible outside the block)."""
+        frame = self._current_frame()
+        if not frame.in_dataflow:
+            raise RuntimeError("emit_output is only valid inside a dataflow block")
+        self._normalize(expr)
+        ann = deduce_annotation(expr, self.lookup_signature)
+        var = Var(self._fresh_name(name_hint), ann)
+        frame.pending.append(VarBinding(var, expr))
+        return var
+
+    def emit_func_output(self, expr: Expr) -> None:
+        """Set the function result (closes the last binding block)."""
+        frame = self._current_frame()
+        if frame.in_dataflow:
+            raise RuntimeError("close the dataflow block before emitting the output")
+        self._flush_block(dataflow=False)
+        self._normalize(expr)
+        frame.output = expr
+
+    def call_tir(self, tir_func: GlobalVar, args: Sequence[Expr], out_ann,
+                 sym_args: Optional[ShapeExpr] = None, name_hint: str = "lv") -> Var:
+        """Convenience: build + emit a ``call_tir``."""
+        return self.emit(_op.call_tir(tir_func, args, out_ann, sym_args), name_hint)
+
+    def call_dps_library(self, func_name: str, args: Sequence[Expr], out_ann,
+                         name_hint: str = "lv") -> Var:
+        """Convenience: build + emit a ``call_dps_library``."""
+        return self.emit(_op.call_dps_library(func_name, args, out_ann), name_hint)
+
+    # -- module-level -----------------------------------------------------------
+
+    def add_func(self, func: object, name: str) -> GlobalVar:
+        """Add a function (Relax or TensorIR) to the module being built."""
+        return self.mod.add_unique(name, func)
+
+    def lookup_signature(self, gvar: GlobalVar):
+        """Signature annotation of a module function (for call deduction)."""
+        name = gvar.name_hint
+        if name not in self.mod:
+            return None
+        func = self.mod[name]
+        if isinstance(func, Function):
+            return func.signature_ann()
+        from ..tir.function import PrimFunc
+
+        if isinstance(func, PrimFunc):
+            return None
+        return None
+
+    def get(self) -> IRModule:
+        """The built IRModule."""
+        if self._frame is not None:
+            raise RuntimeError("a function is still under construction")
+        return self.mod
+
+    # -- internals ----------------------------------------------------------------
+
+    def _current_frame(self) -> _FunctionFrame:
+        if self._frame is None:
+            raise RuntimeError("no function scope open; use bb.function(...)")
+        return self._frame
+
+    def _fresh_name(self, hint: str) -> str:
+        count = self._name_counter.get(hint, 0)
+        self._name_counter[hint] = count + 1
+        return hint if count == 0 else f"{hint}{count}"
+
+    def _normalize(self, expr: Expr) -> None:
+        """Fill in annotations of a freshly constructed expression tree."""
+        if expr.ann is not None:
+            return
+        if isinstance(expr, Call):
+            for arg in expr.args:
+                self._normalize(arg)
+            expr.ann = deduce_annotation(expr, self.lookup_signature)
+            return
+        from .expr import Tuple, TupleGetItem, If
+
+        if isinstance(expr, Tuple):
+            for field in expr.fields:
+                self._normalize(field)
+        elif isinstance(expr, TupleGetItem):
+            self._normalize(expr.tuple_value)
+        elif isinstance(expr, If):
+            self._normalize(expr.cond)
+            self._normalize(expr.true_branch)
+            self._normalize(expr.false_branch)
+        expr.ann = deduce_annotation(expr, self.lookup_signature)
+
+    def _begin_dataflow(self) -> None:
+        frame = self._current_frame()
+        if frame.in_dataflow:
+            raise RuntimeError("dataflow blocks do not nest")
+        self._flush_block(dataflow=False)
+        frame.in_dataflow = True
+
+    def _end_dataflow(self) -> None:
+        frame = self._current_frame()
+        frame.in_dataflow = False
+        self._flush_block(dataflow=True)
+
+    def _flush_block(self, dataflow: bool) -> None:
+        frame = self._current_frame()
+        if not frame.pending:
+            return
+        cls = DataflowBlock if dataflow else BindingBlock
+        frame.blocks.append(cls(frame.pending))
+        frame.pending = []
+
+    def _finish_function(self) -> None:
+        frame = self._frame
+        self._frame = None
+        if frame.output is None:
+            raise RuntimeError(
+                f"function {frame.name!r} closed without emit_func_output"
+            )
+        body = SeqExpr(frame.blocks, frame.output)
+        body.ann = frame.output.ann if frame.output.ann is not None else ObjectAnn()
+        ret_ann = frame.ret_ann
+        if ret_ann is None:
+            ret_ann = body.ann
+        func = Function(frame.params, body, ret_ann, frame.attrs, frame.name)
+        func.ann = func.signature_ann()
+        self.mod.add(frame.name, func)
+        self._name_counter = {}
+
+    def _abort_function(self) -> None:
+        self._frame = None

@@ -1,0 +1,210 @@
+"""Forward shape-annotation deduction (paper §4.1).
+
+Relax deduces the annotation of every expression from its inputs — forward,
+local, and linear in program size — so it can rerun cheaply between compiler
+passes and keep symbolic shape information alive through every incremental
+transformation.  The rules:
+
+* each operator has a registered deduction rule taking input annotations
+  (and values, e.g. the target shape of ``reshape``);
+* ``call_tir`` / ``call_dps_library`` read the output annotation off their
+  arguments;
+* subgraph-function calls are deduced from the callee *signature only*
+  (isolated symbolic relations at function boundaries), by unifying the
+  signature's symbolic variables against argument annotations (Fig. 7);
+* coarse-grained annotations are the safety net whenever more specific
+  information cannot be inferred;
+* ``match_cast`` installs the asserted annotation (the runtime check is
+  generated at lowering).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .annotations import (
+    Annotation,
+    CallableAnn,
+    ObjectAnn,
+    TensorAnn,
+    TupleAnn,
+    unify_call,
+)
+from .expr import (
+    Call,
+    Constant,
+    Expr,
+    ExternFunc,
+    Function,
+    GlobalVar,
+    If,
+    MatchCast,
+    Op,
+    PrimValue,
+    SeqExpr,
+    ShapeExpr,
+    Tuple,
+    TupleGetItem,
+    Var,
+)
+
+#: Resolves a GlobalVar to the signature annotation of the named function.
+SignatureLookup = Callable[[GlobalVar], Optional[CallableAnn]]
+
+
+class DeductionError(Exception):
+    """Raised when an expression's annotation cannot be deduced at all."""
+
+
+def join_annotations(a: Annotation, b: Annotation) -> Annotation:
+    """Least informative annotation covering both (used for If branches)."""
+    if a.is_base_of(b):
+        return a
+    if b.is_base_of(a):
+        return b
+    if isinstance(a, TensorAnn) and isinstance(b, TensorAnn):
+        dtype = a.dtype if a.dtype == b.dtype else None
+        ndim = a.ndim if a.ndim == b.ndim else -1
+        if ndim == -1:
+            return TensorAnn(dtype=dtype)
+        return TensorAnn(dtype=dtype, ndim=ndim)
+    if isinstance(a, TupleAnn) and isinstance(b, TupleAnn) and len(a.fields) == len(b.fields):
+        return TupleAnn([join_annotations(x, y) for x, y in zip(a.fields, b.fields)])
+    return ObjectAnn()
+
+
+def deduce_annotation(
+    expr: Expr, lookup: Optional[SignatureLookup] = None
+) -> Annotation:
+    """Annotation of ``expr``, assuming sub-expression annotations are set."""
+    if isinstance(expr, (Constant, ShapeExpr, PrimValue, ExternFunc)):
+        return expr.ann
+    if isinstance(expr, Var):
+        if expr.ann is None:
+            return ObjectAnn()
+        return expr.ann
+    if isinstance(expr, GlobalVar):
+        if lookup is not None:
+            signature = lookup(expr)
+            if signature is not None:
+                return signature
+        return ObjectAnn()
+    if isinstance(expr, Tuple):
+        return TupleAnn([_ann_of(f) for f in expr.fields])
+    if isinstance(expr, TupleGetItem):
+        tup_ann = _ann_of(expr.tuple_value)
+        if isinstance(tup_ann, TupleAnn):
+            if not 0 <= expr.index < len(tup_ann.fields):
+                raise DeductionError(
+                    f"tuple index {expr.index} out of range for {tup_ann}"
+                )
+            return tup_ann.fields[expr.index]
+        return ObjectAnn()
+    if isinstance(expr, Call):
+        return deduce_call(expr, lookup)
+    if isinstance(expr, If):
+        return join_annotations(_ann_of(expr.true_branch), _ann_of(expr.false_branch))
+    if isinstance(expr, SeqExpr):
+        return _ann_of(expr.body)
+    if isinstance(expr, Function):
+        return expr.signature_ann()
+    if isinstance(expr, Op):
+        return ObjectAnn()
+    raise DeductionError(f"cannot deduce annotation for {type(expr).__name__}")
+
+
+def deduce_call(call: Call, lookup: Optional[SignatureLookup] = None) -> Annotation:
+    """Forward deduction for a call expression."""
+    op = call.op
+    if isinstance(op, Op):
+        if op.deduce is None:
+            return ObjectAnn()
+        return op.deduce(call)
+    if isinstance(op, GlobalVar):
+        signature = lookup(op) if lookup is not None else None
+        if signature is None:
+            return ObjectAnn()
+        return unify_call(signature, [_ann_of(a) for a in call.args])
+    if isinstance(op, Var):
+        callee_ann = op.ann
+        if isinstance(callee_ann, CallableAnn):
+            return unify_call(callee_ann, [_ann_of(a) for a in call.args])
+        return ObjectAnn()
+    if isinstance(op, ExternFunc):
+        # Raw extern calls (not DPS) are opaque unless annotated explicitly.
+        if call.sinfo_args:
+            if len(call.sinfo_args) == 1:
+                return call.sinfo_args[0]
+            return TupleAnn(call.sinfo_args)
+        return ObjectAnn()
+    if isinstance(op, Function):
+        return unify_call(op.signature_ann(), [_ann_of(a) for a in call.args])
+    raise DeductionError(f"cannot deduce call with callee {type(op).__name__}")
+
+
+def check_match_cast(binding: MatchCast) -> None:
+    """Static sanity check for a match_cast (the dynamic check comes later).
+
+    A match_cast may *refine* (assert more) or *coarsen*; it is rejected
+    only when the value's annotation and the target are provably
+    incompatible, e.g. casting an f32 tensor to an i32 tensor.
+    """
+    value_ann = _ann_of(binding.value)
+    if not binding.target_ann.possibly_matches(value_ann):
+        raise DeductionError(
+            f"match_cast target {binding.target_ann} is provably incompatible "
+            f"with value annotation {value_ann}"
+        )
+
+
+def _ann_of(expr: Expr) -> Annotation:
+    return expr.ann if expr.ann is not None else ObjectAnn()
+
+
+def rededuce_function(
+    func: Function, lookup: Optional[SignatureLookup] = None
+) -> None:
+    """Recompute binding annotations through ``func`` in place.
+
+    Used between passes so newly introduced variables get annotations
+    deduced locally (§4.1: deduction runs for every pass, hence forward and
+    linear-time).
+    """
+
+    def visit_expr(expr: Expr) -> None:
+        if isinstance(expr, SeqExpr):
+            for block in expr.blocks:
+                for binding in block.bindings:
+                    visit_expr(binding.value)
+                    if isinstance(binding, MatchCast):
+                        check_match_cast(binding)
+                        binding.var.ann = binding.target_ann
+                    else:
+                        binding.var.ann = deduce_annotation(binding.value, lookup)
+            visit_expr(expr.body)
+            expr.ann = _ann_of(expr.body)
+            return
+        if isinstance(expr, Call):
+            for arg in expr.args:
+                visit_expr(arg)
+            expr.ann = deduce_call(expr, lookup)
+            return
+        if isinstance(expr, Tuple):
+            for field in expr.fields:
+                visit_expr(field)
+            expr.ann = deduce_annotation(expr, lookup)
+            return
+        if isinstance(expr, TupleGetItem):
+            visit_expr(expr.tuple_value)
+            expr.ann = deduce_annotation(expr, lookup)
+            return
+        if isinstance(expr, If):
+            visit_expr(expr.cond)
+            visit_expr(expr.true_branch)
+            visit_expr(expr.false_branch)
+            expr.ann = deduce_annotation(expr, lookup)
+            return
+        if expr.ann is None:
+            expr.ann = deduce_annotation(expr, lookup)
+
+    visit_expr(func.body)

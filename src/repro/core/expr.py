@@ -1,0 +1,306 @@
+"""Relax IR expressions — the graph-level language constructs (paper §3.1).
+
+Relax is an imperative abstraction with first-class functions operating on
+whole tensors.  The constructs here map one-to-one onto the paper's
+elements:
+
+* annotations on every value (``expr.ann``);
+* **dataflow blocks** — side-effect-free straight-line regions that make
+  transformations such as dead code elimination trivially safe;
+* **function calls** within the graph level (``Call`` of a ``GlobalVar`` or
+  closure ``Var``) and *across* levels: ``call_tir`` into loop-level tensor
+  programs and ``call_dps_library`` into external libraries (§3.3);
+* ``match_cast`` — the dynamic fallback that introduces fresh symbolic
+  variables for data-dependent shapes (§3.2, Fig. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import dtypes, sym
+from .annotations import (
+    Annotation,
+    CallableAnn,
+    ObjectAnn,
+    PrimAnn,
+    ShapeAnn,
+    TensorAnn,
+)
+
+
+class Expr:
+    """Base class of Relax expressions.
+
+    ``ann`` is the structural annotation; the normalizer / deduction engine
+    fills it in, and compiler passes keep it up to date so that symbolic
+    shape information is preserved across every transformation.
+    """
+
+    def __init__(self):
+        self.ann: Optional[Annotation] = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        from .printer import format_expr
+
+        return format_expr(self)
+
+
+class Var(Expr):
+    """A named graph-level variable."""
+
+    _counter = 0
+
+    def __init__(self, name_hint: str, ann: Optional[Annotation] = None):
+        super().__init__()
+        self.name_hint = name_hint
+        self.ann = ann
+        Var._counter += 1
+        self._id = Var._counter
+
+
+class DataflowVar(Var):
+    """A variable bound inside a dataflow block (not visible outside it)."""
+
+
+class GlobalVar(Expr):
+    """Reference to a function in the enclosing IRModule."""
+
+    def __init__(self, name_hint: str):
+        super().__init__()
+        self.name_hint = name_hint
+
+
+class ExternFunc(Expr):
+    """A named external (library) function, resolved by the runtime registry."""
+
+    def __init__(self, global_symbol: str):
+        super().__init__()
+        self.global_symbol = global_symbol
+        self.ann = ObjectAnn()
+
+
+class Constant(Expr):
+    """A tensor constant holding a NumPy array."""
+
+    def __init__(self, data):
+        super().__init__()
+        self.data = np.asarray(data)
+        dtype = dtypes.from_numpy(self.data.dtype)
+        self.ann = TensorAnn(tuple(int(d) for d in self.data.shape), dtype)
+
+
+class ShapeExpr(Expr):
+    """A first-class symbolic shape value, e.g. ``shape(n, 4)``."""
+
+    def __init__(self, values: Sequence[sym.ExprLike]):
+        super().__init__()
+        self.values: Tuple[sym.PrimExpr, ...] = tuple(
+            sym.PrimExpr.convert(v) for v in values
+        )
+        self.ann = ShapeAnn(self.values)
+
+
+class PrimValue(Expr):
+    """A scalar integer value lifted into the graph level."""
+
+    def __init__(self, value: sym.ExprLike, dtype: str = "i64"):
+        super().__init__()
+        self.value = sym.PrimExpr.convert(value)
+        self.dtype = dtypes.check_dtype(dtype)
+        self.ann = PrimAnn(dtype, self.value)
+
+
+class Tuple(Expr):
+    """Tuple construction."""
+
+    def __init__(self, fields: Sequence[Expr]):
+        super().__init__()
+        self.fields: List[Expr] = list(fields)
+
+
+class TupleGetItem(Expr):
+    """Projection out of a tuple value."""
+
+    def __init__(self, tuple_value: Expr, index: int):
+        super().__init__()
+        self.tuple_value = tuple_value
+        self.index = index
+
+
+class Call(Expr):
+    """A call — to an operator, a graph-level function, or across levels.
+
+    ``op`` may be an :class:`Op` (graph-level operator, including the
+    cross-level primitives ``call_tir`` / ``call_dps_library``), a
+    ``GlobalVar`` (subgraph function call), a ``Var`` with a Callable
+    annotation (first-class function value), or an ``ExternFunc``.
+
+    ``sinfo_args`` carries annotation arguments; for the cross-level call
+    primitives this is the output annotation that flows shape information
+    from the graph level into tensor programs (paper Fig. 4/5).
+    """
+
+    def __init__(
+        self,
+        op: Expr,
+        args: Sequence[Expr],
+        attrs: Optional[Dict] = None,
+        sinfo_args: Sequence[Annotation] = (),
+    ):
+        super().__init__()
+        self.op = op
+        self.args: List[Expr] = list(args)
+        self.attrs: Dict = dict(attrs) if attrs else {}
+        self.sinfo_args: Tuple[Annotation, ...] = tuple(sinfo_args)
+
+
+class Op(Expr):
+    """A graph-level operator (registered in :mod:`repro.ops.registry`)."""
+
+    _registry: Dict[str, "Op"] = {}
+
+    def __init__(self, name: str, *, deduce=None, legalize=None, attrs_schema=()):
+        super().__init__()
+        self.name = name
+        self.deduce = deduce
+        self.legalize = legalize
+        self.attrs_schema = tuple(attrs_schema)
+        self.ann = ObjectAnn()
+
+    @staticmethod
+    def register(name: str, *, deduce=None, legalize=None, attrs_schema=()) -> "Op":
+        if name in Op._registry:
+            raise ValueError(f"operator {name!r} already registered")
+        op = Op(name, deduce=deduce, legalize=legalize, attrs_schema=attrs_schema)
+        Op._registry[name] = op
+        return op
+
+    @staticmethod
+    def get(name: str) -> "Op":
+        if name not in Op._registry:
+            raise KeyError(f"unknown operator {name!r}")
+        return Op._registry[name]
+
+    @staticmethod
+    def exists(name: str) -> bool:
+        return name in Op._registry
+
+
+class Binding:
+    """Base class for bindings inside binding blocks."""
+
+    var: Var
+    value: Expr
+
+
+class VarBinding(Binding):
+    """``var = value``"""
+
+    def __init__(self, var: Var, value: Expr):
+        self.var = var
+        self.value = value
+
+
+class MatchCast(Binding):
+    """``var = match_cast(value, ann)`` — assert a finer annotation.
+
+    New symbolic variables may be introduced by the target annotation; the
+    compiler emits a runtime check that the value actually matches (§3.2).
+    """
+
+    def __init__(self, var: Var, value: Expr, target_ann: Annotation):
+        self.var = var
+        self.value = value
+        self.target_ann = target_ann
+
+
+class BindingBlock:
+    """Straight-line sequence of bindings (may contain impure calls)."""
+
+    is_dataflow = False
+
+    def __init__(self, bindings: Sequence[Binding]):
+        self.bindings: List[Binding] = list(bindings)
+
+
+class DataflowBlock(BindingBlock):
+    """A side-effect-free region without control flow (paper §3.1).
+
+    Inside a dataflow block every binding is pure, so passes may freely
+    reorder or delete unused computations.
+    """
+
+    is_dataflow = True
+
+
+class SeqExpr(Expr):
+    """A sequence of binding blocks followed by a result expression."""
+
+    def __init__(self, blocks: Sequence[BindingBlock], body: Expr):
+        super().__init__()
+        self.blocks: List[BindingBlock] = list(blocks)
+        self.body = body
+
+
+class If(Expr):
+    """Conditional at the graph level (outside dataflow blocks)."""
+
+    def __init__(self, cond: Expr, true_branch: Expr, false_branch: Expr):
+        super().__init__()
+        self.cond = cond
+        self.true_branch = true_branch
+        self.false_branch = false_branch
+
+
+class Function(Expr):
+    """A graph-level function.
+
+    The signature (parameter and return annotations) is the unit of
+    interprocedural shape deduction: calls are deduced from the signature
+    alone, and the signature generates lightweight runtime checks at the
+    boundary (§4.1).
+    """
+
+    def __init__(
+        self,
+        params: Sequence[Var],
+        body: Expr,
+        ret_ann: Optional[Annotation] = None,
+        attrs: Optional[Dict] = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__()
+        self.params: List[Var] = list(params)
+        self.body = body
+        self.ret_ann = ret_ann
+        self.attrs: Dict = dict(attrs) if attrs else {}
+        self.name = name
+
+    def signature_ann(self) -> CallableAnn:
+        params = [p.ann if p.ann is not None else ObjectAnn() for p in self.params]
+        ret = self.ret_ann if self.ret_ann is not None else ObjectAnn()
+        return CallableAnn(params, ret)
+
+
+# --- convenience constructors mirroring the paper's surface syntax ---------
+
+
+def const(data, dtype: Optional[str] = None) -> Constant:
+    """Create a tensor constant (optionally casting to ``dtype``)."""
+    array = np.asarray(data)
+    if dtype is not None:
+        array = array.astype(dtypes.to_numpy(dtype))
+    return Constant(array)
+
+
+def shape(*values: sym.ExprLike) -> ShapeExpr:
+    """``shape(n, 4)`` — a first-class symbolic shape value."""
+    return ShapeExpr(values)
+
+
+def sym_var(name: str = "v") -> sym.SymVar:
+    """Introduce a symbolic shape variable (paper's ``sym_var()``)."""
+    return sym.SymVar(name)

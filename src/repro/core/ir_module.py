@@ -1,0 +1,107 @@
+"""IRModule: the unit of cross-level compilation.
+
+An IRModule maps global names to functions of *different abstraction
+levels* side by side — graph-level Relax :class:`~repro.core.expr.Function`
+and loop-level :class:`~repro.tir.PrimFunc` — which is what makes the
+paper's cross-level transformations (partial lowering, analysis feedback,
+joint graph/tensor-program rewrites) expressible as ordinary passes over a
+single object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from .expr import Function, GlobalVar
+
+
+class IRModule:
+    """Mapping from global names to functions (Relax or TensorIR)."""
+
+    def __init__(self, functions: Optional[Dict[str, object]] = None):
+        self._functions: Dict[str, object] = {}
+        self._global_vars: Dict[str, GlobalVar] = {}
+        if functions:
+            for name, func in functions.items():
+                self.add(name, func)
+
+    # -- construction --------------------------------------------------------
+
+    def add(self, name: str, func: object) -> GlobalVar:
+        """Add (or replace) a function under ``name``; returns its GlobalVar."""
+        self._functions[name] = func
+        if name not in self._global_vars:
+            self._global_vars[name] = GlobalVar(name)
+        if isinstance(func, Function) and func.name is None:
+            func.name = name
+        return self._global_vars[name]
+
+    def add_unique(self, name_hint: str, func: object) -> GlobalVar:
+        """Add under a fresh name derived from ``name_hint``."""
+        name = name_hint
+        counter = 1
+        while name in self._functions:
+            name = f"{name_hint}_{counter}"
+            counter += 1
+        return self.add(name, func)
+
+    def remove(self, name: str) -> None:
+        if name not in self._functions:
+            raise KeyError(f"no function named {name!r}")
+        del self._functions[name]
+        del self._global_vars[name]
+
+    # -- lookup ----------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def __getitem__(self, key) -> object:
+        if isinstance(key, GlobalVar):
+            key = key.name_hint
+        if key not in self._functions:
+            raise KeyError(f"no function named {key!r}")
+        return self._functions[key]
+
+    def get_global_var(self, name: str) -> GlobalVar:
+        if name not in self._global_vars:
+            raise KeyError(f"no function named {name!r}")
+        return self._global_vars[name]
+
+    def functions(self) -> Iterator[Tuple[str, object]]:
+        """Iterate (name, function) pairs in deterministic (sorted) order."""
+        for name in sorted(self._functions):
+            yield name, self._functions[name]
+
+    def relax_functions(self) -> Iterator[Tuple[str, Function]]:
+        for name, func in self.functions():
+            if isinstance(func, Function):
+                yield name, func
+
+    def tir_functions(self) -> Iterator[Tuple[str, object]]:
+        from ..tir.function import PrimFunc
+
+        for name, func in self.functions():
+            if isinstance(func, PrimFunc):
+                yield name, func
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    # -- copying ----------------------------------------------------------------
+
+    def copy(self) -> "IRModule":
+        """Shallow copy: new tables, shared function objects.
+
+        Passes follow a functional discipline: they build new function
+        objects rather than mutating, so a shallow copy is the right unit.
+        """
+        new = IRModule()
+        new._functions = dict(self._functions)
+        new._global_vars = dict(self._global_vars)
+        return new
+
+    def __repr__(self) -> str:  # pragma: no cover
+        from .printer import format_module
+
+        return format_module(self)

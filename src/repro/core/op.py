@@ -1,0 +1,118 @@
+"""Cross-level call primitives: ``call_tir`` and ``call_dps_library``.
+
+These two primitives are the bridge between abstraction levels (paper §3.3,
+Figures 4–5).  Both follow destination-passing style (DPS): the callee
+receives its output buffer(s) as trailing arguments and mutates them, while
+the *graph level* sees a pure call returning a fresh tensor.  The output
+annotation is passed explicitly (``sinfo_args``), flowing symbolic shape
+information from the graph level down into tensor programs, plus optional
+extra symbolic arguments (Fig. 8's fused-function pattern).
+
+Lowering expands them per Figure 5::
+
+    def call_tir(tir_func, args, annotation, sym_args):
+        output = alloc_tensor(annotation.shape, annotation.dtype)
+        tir_func(*args, output, *sym_args)
+        return output
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .annotations import Annotation, TensorAnn, TupleAnn
+from .expr import Call, Expr, ExternFunc, GlobalVar, Op, ShapeExpr, Tuple
+
+
+def _deduce_from_sinfo(call: Call) -> Annotation:
+    if not call.sinfo_args:
+        raise ValueError(f"{call.op.name} requires an output annotation")
+    if len(call.sinfo_args) == 1:
+        return call.sinfo_args[0]
+    return TupleAnn(call.sinfo_args)
+
+
+call_tir_op = Op.register("call_tir", deduce=_deduce_from_sinfo)
+call_dps_library_op = Op.register("call_dps_library", deduce=_deduce_from_sinfo)
+
+
+def call_tir(
+    tir_func: GlobalVar,
+    args: Sequence[Expr],
+    out_ann,
+    sym_args: Optional[ShapeExpr] = None,
+) -> Call:
+    """Invoke a loop-level tensor program from the graph level.
+
+    ``out_ann`` is one TensorAnn or a sequence of them (multi-output).
+    ``sym_args`` optionally passes extra symbolic values (a ShapeExpr) when
+    the tensor program's symbolic variables cannot all be inferred from the
+    argument shapes — the extra-parameter pattern of Figure 8.
+    """
+    if not isinstance(tir_func, GlobalVar):
+        raise TypeError("call_tir callee must be a GlobalVar naming a tensor program")
+    sinfo = _normalize_out_ann(out_ann)
+    call_args = [tir_func, Tuple(list(args))]
+    if sym_args is not None:
+        if not isinstance(sym_args, ShapeExpr):
+            raise TypeError("sym_args must be a ShapeExpr")
+        call_args.append(sym_args)
+    return Call(call_tir_op, call_args, sinfo_args=sinfo)
+
+
+def call_dps_library(
+    func_name: str,
+    args: Sequence[Expr],
+    out_ann,
+    attrs: Optional[dict] = None,
+) -> Call:
+    """Invoke an external library function (by registry name) in DPS.
+
+    Mirrors ``call_tir``: the callee is the name of a library routine
+    supplied by the runtime registry and linked into the final module.
+    """
+    sinfo = _normalize_out_ann(out_ann)
+    return Call(
+        call_dps_library_op,
+        [ExternFunc(func_name), Tuple(list(args))],
+        attrs=attrs,
+        sinfo_args=sinfo,
+    )
+
+
+def _normalize_out_ann(out_ann) -> Sequence[Annotation]:
+    if isinstance(out_ann, Annotation):
+        anns = (out_ann,)
+    else:
+        anns = tuple(out_ann)
+    for ann in anns:
+        if not isinstance(ann, TensorAnn):
+            raise TypeError(f"DPS output annotation must be a TensorAnn, got {ann}")
+        if not ann.is_resolved():
+            raise ValueError(f"output annotation {ann} has unresolved dimensions")
+        if ann.shape is None:
+            raise ValueError(
+                "DPS calls require a known (possibly symbolic) output shape; "
+                "use match_cast for data-dependent outputs"
+            )
+        if ann.dtype is None:
+            raise ValueError("DPS output annotation requires a dtype")
+    return anns
+
+
+def is_call_to(expr: Expr, op: Op) -> bool:
+    """True when ``expr`` is a Call to exactly ``op``."""
+    return isinstance(expr, Call) and expr.op is op
+
+
+def call_tir_parts(call: Call):
+    """Destructure a call_tir / call_dps_library into (callee, args, sym_args).
+
+    ``sym_args`` is the optional trailing ShapeExpr (None when absent).
+    """
+    callee = call.args[0]
+    args = call.args[1]
+    if not isinstance(args, Tuple):
+        raise TypeError("malformed cross-level call: second argument must be a Tuple")
+    sym_args = call.args[2] if len(call.args) > 2 else None
+    return callee, args.fields, sym_args

@@ -1,0 +1,146 @@
+"""Text printer for Relax IR, in the paper's surface syntax.
+
+Produces output close to the paper's figures::
+
+    def main(x: Tensor((n, 128), "f32"), w: Tensor((128, 256), "f32")):
+      with dataflow():
+        lv0: Tensor((n, 256), "f32") = call_tir(mm, [x, w], Tensor((n, 256), "f32"))
+        gv: Tensor((n, 256), "f32") = lv0
+      return gv
+
+Printing is for humans (examples, debugging, docs); tests assert on
+structure, not on exact text.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .expr import (
+    BindingBlock,
+    Call,
+    Constant,
+    Expr,
+    ExternFunc,
+    Function,
+    GlobalVar,
+    If,
+    MatchCast,
+    Op,
+    PrimValue,
+    SeqExpr,
+    ShapeExpr,
+    Tuple,
+    TupleGetItem,
+    Var,
+    VarBinding,
+)
+
+
+def format_expr(expr: Expr) -> str:
+    """One-line textual form of an expression."""
+    if isinstance(expr, Var):
+        return expr.name_hint
+    if isinstance(expr, GlobalVar):
+        return f"@{expr.name_hint}"
+    if isinstance(expr, ExternFunc):
+        return f'"{expr.global_symbol}"'
+    if isinstance(expr, Op):
+        return expr.name
+    if isinstance(expr, Constant):
+        if expr.data.ndim == 0:
+            return f"const({expr.data.item()!r}, {expr.ann.dtype!r})"
+        dims = "x".join(str(d) for d in expr.data.shape)
+        return f"const(<{dims} {expr.ann.dtype}>)"
+    if isinstance(expr, ShapeExpr):
+        inner = ", ".join(str(v) for v in expr.values)
+        return f"shape({inner})"
+    if isinstance(expr, PrimValue):
+        return f"prim({expr.value})"
+    if isinstance(expr, Tuple):
+        return "(" + ", ".join(format_expr(f) for f in expr.fields) + ")"
+    if isinstance(expr, TupleGetItem):
+        return f"{format_expr(expr.tuple_value)}[{expr.index}]"
+    if isinstance(expr, Call):
+        head = format_expr(expr.op)
+        args = ", ".join(format_expr(a) for a in expr.args)
+        parts = [args] if args else []
+        if expr.sinfo_args:
+            parts.append(", ".join(str(s) for s in expr.sinfo_args))
+        if expr.attrs:
+            attrs = ", ".join(f"{k}={v!r}" for k, v in sorted(expr.attrs.items()))
+            parts.append(attrs)
+        return f"{head}(" + ", ".join(parts) + ")"
+    if isinstance(expr, If):
+        return (
+            f"if {format_expr(expr.cond)} then {{...}} else {{...}}"
+        )
+    if isinstance(expr, SeqExpr):
+        return "{...}"
+    if isinstance(expr, Function):
+        return format_function(expr)
+    return f"<{type(expr).__name__}>"
+
+
+def format_function(func: Function, name: str = None) -> str:
+    """Multi-line textual form of a function."""
+    name = name or func.name or "fn"
+    params = ", ".join(
+        f"{p.name_hint}: {p.ann}" if p.ann is not None else p.name_hint
+        for p in func.params
+    )
+    header = f"def {name}({params})"
+    if func.ret_ann is not None:
+        header += f" -> {func.ret_ann}"
+    header += ":"
+    lines = [header]
+    if func.attrs:
+        attrs = ", ".join(f"{k}={v!r}" for k, v in sorted(func.attrs.items()))
+        lines.append(f"  # attrs: {attrs}")
+    body = func.body
+    if isinstance(body, SeqExpr):
+        for block in body.blocks:
+            lines.extend(_format_block(block, indent=2))
+        lines.append(f"  return {format_expr(body.body)}")
+    else:
+        lines.append(f"  return {format_expr(body)}")
+    return "\n".join(lines)
+
+
+def _format_block(block: BindingBlock, indent: int) -> List[str]:
+    pad = " " * indent
+    lines = []
+    if block.is_dataflow:
+        lines.append(f"{pad}with dataflow():")
+        inner = pad + "  "
+    else:
+        inner = pad
+    for binding in block.bindings:
+        if isinstance(binding, MatchCast):
+            rhs = f"match_cast({format_expr(binding.value)}, {binding.target_ann})"
+        elif isinstance(binding, VarBinding):
+            rhs = format_expr(binding.value)
+        else:  # pragma: no cover - future binding kinds
+            rhs = f"<{type(binding).__name__}>"
+        var = binding.var
+        ann = f": {var.ann}" if var.ann is not None else ""
+        lines.append(f"{inner}{var.name_hint}{ann} = {rhs}")
+    if block.is_dataflow and len(lines) == 1:
+        lines.append(f"{pad}  pass")
+    return lines
+
+
+def format_module(mod) -> str:
+    """Multi-line textual form of a whole IRModule (all levels)."""
+    from ..tir.function import PrimFunc
+    from ..tir.printer import format_prim_func
+
+    chunks = []
+    for name, func in mod.functions():
+        if isinstance(func, Function):
+            chunks.append(format_function(func, name))
+        elif isinstance(func, PrimFunc):
+            chunks.append("@tensorir_function\n" + format_prim_func(func, name))
+        else:  # pragma: no cover
+            chunks.append(f"# <{type(func).__name__}> {name}")
+    return "\n\n".join(chunks)

@@ -1,0 +1,218 @@
+"""Visitor / mutator infrastructure for Relax IR.
+
+Passes are written against these two classes: :class:`ExprVisitor` for
+analyses and :class:`ExprMutator` for transformations.  The mutator keeps a
+variable remap table so rebuilt bindings rewire uses automatically, and
+preserves annotations on unchanged nodes — keeping symbolic shape
+information alive through every transformation is a core requirement of the
+paper's design (§3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .expr import (
+    Binding,
+    BindingBlock,
+    Call,
+    Constant,
+    DataflowBlock,
+    DataflowVar,
+    Expr,
+    ExternFunc,
+    Function,
+    GlobalVar,
+    If,
+    MatchCast,
+    Op,
+    PrimValue,
+    SeqExpr,
+    ShapeExpr,
+    Tuple,
+    TupleGetItem,
+    Var,
+    VarBinding,
+)
+
+
+class ExprVisitor:
+    """Read-only traversal; override ``visit_*`` methods as needed."""
+
+    def visit(self, expr: Expr) -> None:
+        method = getattr(self, f"visit_{type(expr).__name__.lower()}", None)
+        if method is not None:
+            method(expr)
+        else:
+            self.generic_visit(expr)
+
+    def generic_visit(self, expr: Expr) -> None:
+        if isinstance(expr, Call):
+            self.visit(expr.op)
+            for arg in expr.args:
+                self.visit(arg)
+        elif isinstance(expr, Tuple):
+            for field in expr.fields:
+                self.visit(field)
+        elif isinstance(expr, TupleGetItem):
+            self.visit(expr.tuple_value)
+        elif isinstance(expr, SeqExpr):
+            for block in expr.blocks:
+                self.visit_block(block)
+            self.visit(expr.body)
+        elif isinstance(expr, If):
+            self.visit(expr.cond)
+            self.visit(expr.true_branch)
+            self.visit(expr.false_branch)
+        elif isinstance(expr, Function):
+            for param in expr.params:
+                self.visit(param)
+            self.visit(expr.body)
+        # Leaves: Var, GlobalVar, Constant, ShapeExpr, PrimValue, Op, ExternFunc.
+
+    def visit_block(self, block: BindingBlock) -> None:
+        for binding in block.bindings:
+            self.visit_binding(binding)
+
+    def visit_binding(self, binding: Binding) -> None:
+        self.visit(binding.value)
+        self.visit(binding.var)
+
+
+class ExprMutator:
+    """Rebuild-on-change traversal with automatic variable rewiring.
+
+    ``visit(expr)`` returns the (possibly new) expression.  When a binding's
+    value changes, the mutator creates a fresh bound variable with the same
+    name hint and records it in ``var_remap`` so later uses resolve to the
+    new variable.  Subclasses typically override ``visit_call`` (rewrites)
+    or ``rewrite_binding_value``.
+    """
+
+    def __init__(self):
+        self.var_remap: Dict[int, Var] = {}
+
+    # -- public entry points ---------------------------------------------------
+
+    def visit(self, expr: Expr) -> Expr:
+        method = getattr(self, f"visit_{type(expr).__name__.lower()}", None)
+        if method is not None:
+            return method(expr)
+        return self.generic_visit(expr)
+
+    def visit_function(self, func: Function) -> Function:
+        new_params = [self.visit(p) for p in func.params]
+        new_body = self.visit(func.body)
+        if new_body is func.body and all(
+            a is b for a, b in zip(new_params, func.params)
+        ):
+            return func
+        out = Function(new_params, new_body, func.ret_ann, func.attrs, func.name)
+        out.ann = func.ann
+        return out
+
+    # -- default traversals ------------------------------------------------------
+
+    def generic_visit(self, expr: Expr) -> Expr:
+        if isinstance(expr, (Var,)):
+            return self.var_remap.get(expr._id, expr)
+        if isinstance(expr, (GlobalVar, Constant, ShapeExpr, PrimValue, Op, ExternFunc)):
+            return expr
+        if isinstance(expr, Call):
+            return self.visit_call(expr)
+        if isinstance(expr, Tuple):
+            new_fields = [self.visit(f) for f in expr.fields]
+            if all(a is b for a, b in zip(new_fields, expr.fields)):
+                return expr
+            out = Tuple(new_fields)
+            out.ann = expr.ann
+            return out
+        if isinstance(expr, TupleGetItem):
+            new_tuple = self.visit(expr.tuple_value)
+            if new_tuple is expr.tuple_value:
+                return expr
+            out = TupleGetItem(new_tuple, expr.index)
+            out.ann = expr.ann
+            return out
+        if isinstance(expr, SeqExpr):
+            return self.visit_seq(expr)
+        if isinstance(expr, If):
+            new_cond = self.visit(expr.cond)
+            new_true = self.visit(expr.true_branch)
+            new_false = self.visit(expr.false_branch)
+            if (
+                new_cond is expr.cond
+                and new_true is expr.true_branch
+                and new_false is expr.false_branch
+            ):
+                return expr
+            out = If(new_cond, new_true, new_false)
+            out.ann = expr.ann
+            return out
+        if isinstance(expr, Function):
+            return self.visit_function(expr)
+        raise TypeError(f"unhandled expression type {type(expr).__name__}")
+
+    def visit_call(self, call: Call) -> Expr:
+        new_op = self.visit(call.op)
+        new_args = [self.visit(a) for a in call.args]
+        if new_op is call.op and all(a is b for a, b in zip(new_args, call.args)):
+            return call
+        out = Call(new_op, new_args, call.attrs, call.sinfo_args)
+        out.ann = call.ann
+        return out
+
+    def visit_seq(self, seq: SeqExpr) -> Expr:
+        new_blocks = [self.visit_block(b) for b in seq.blocks]
+        new_body = self.visit(seq.body)
+        if new_body is seq.body and all(a is b for a, b in zip(new_blocks, seq.blocks)):
+            return seq
+        out = SeqExpr(new_blocks, new_body)
+        out.ann = seq.ann
+        return out
+
+    def visit_block(self, block: BindingBlock) -> BindingBlock:
+        new_bindings = []
+        changed = False
+        for binding in block.bindings:
+            new_binding = self.visit_binding(binding)
+            if new_binding is None:
+                changed = True
+                continue
+            if isinstance(new_binding, list):
+                new_bindings.extend(new_binding)
+                changed = True
+                continue
+            new_bindings.append(new_binding)
+            if new_binding is not binding:
+                changed = True
+        if not changed:
+            return block
+        cls = DataflowBlock if block.is_dataflow else BindingBlock
+        return cls(new_bindings)
+
+    def visit_binding(self, binding: Binding):
+        """Return the new binding, a list of bindings, or None to drop it."""
+        if isinstance(binding, VarBinding):
+            new_value = self.visit(binding.value)
+            if new_value is binding.value:
+                return binding
+            new_var = self.rebind(binding.var, new_value)
+            return VarBinding(new_var, new_value)
+        if isinstance(binding, MatchCast):
+            new_value = self.visit(binding.value)
+            if new_value is binding.value:
+                return binding
+            new_var = self.rebind(binding.var, new_value, ann=binding.target_ann)
+            return MatchCast(new_var, new_value, binding.target_ann)
+        raise TypeError(f"unhandled binding type {type(binding).__name__}")
+
+    def rebind(self, old_var: Var, new_value: Expr, ann=None) -> Var:
+        """Fresh variable for a changed binding, recorded for later uses."""
+        cls = DataflowVar if isinstance(old_var, DataflowVar) else Var
+        new_ann = ann if ann is not None else (
+            new_value.ann if new_value.ann is not None else old_var.ann
+        )
+        new_var = cls(old_var.name_hint, new_ann)
+        self.var_remap[old_var._id] = new_var
+        return new_var

@@ -1,0 +1,177 @@
+"""Well-formedness checker for Relax IR.
+
+Verifies the structural invariants the paper's abstraction relies on, so
+that every pass can assume (and tests can assert) them:
+
+* every variable use is dominated by its binding (or is a parameter);
+* DataflowVars never escape their dataflow block;
+* dataflow blocks contain only pure operations — no ``If``, no calls to
+  impure externs (purity is what licenses free rewriting, §3.1);
+* cross-level calls are structurally sound: ``call_tir`` callees name
+  tensor programs in the module, output annotations have shape+dtype;
+* every symbolic variable used in a binding annotation is *in scope*:
+  introduced by the function signature, a match_cast, or a prior binding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from .. import sym
+from .annotations import Annotation
+from .expr import (
+    Call,
+    Constant,
+    DataflowVar,
+    Expr,
+    ExternFunc,
+    Function,
+    GlobalVar,
+    If,
+    MatchCast,
+    Op,
+    PrimValue,
+    SeqExpr,
+    ShapeExpr,
+    Tuple,
+    TupleGetItem,
+    Var,
+)
+from .ir_module import IRModule
+from .op import call_dps_library_op, call_tir_op
+
+
+class WellFormedError(Exception):
+    """An IR invariant is violated."""
+
+
+def well_formed(mod: IRModule, check_sym_scope: bool = True) -> bool:
+    """Check the module; raises :class:`WellFormedError` on violation."""
+    for name, func in mod.relax_functions():
+        _check_function(mod, name, func, check_sym_scope)
+    return True
+
+
+def _check_function(mod, name: str, func: Function, check_sym_scope: bool) -> None:
+    in_scope: Set[int] = {p._id for p in func.params}
+    sym_scope: Set = set()
+    for param in func.params:
+        if param.ann is not None:
+            for var in param.ann.free_sym_vars():
+                sym_scope.add(var.key())
+
+    def err(msg: str) -> None:
+        raise WellFormedError(f"in function {name!r}: {msg}")
+
+    def check_ann_scope(ann: Optional[Annotation], where: str) -> None:
+        if not check_sym_scope or ann is None:
+            return
+        if not ann.is_resolved():
+            err(f"{where}: annotation {ann} has unresolved quoted dims")
+        for var in ann.free_sym_vars():
+            if var.key() not in sym_scope:
+                err(f"{where}: symbolic variable '{var.name}' is not in scope")
+
+    def visit_value(expr: Expr, in_dataflow: bool) -> None:
+        if isinstance(expr, Var):
+            if expr._id not in in_scope:
+                err(f"use of unbound variable '{expr.name_hint}'")
+            return
+        if isinstance(expr, GlobalVar):
+            if expr.name_hint not in mod:
+                err(f"reference to unknown global '@{expr.name_hint}'")
+            return
+        if isinstance(expr, (Constant, ShapeExpr, PrimValue, Op, ExternFunc)):
+            if check_sym_scope and isinstance(expr, ShapeExpr):
+                for value in expr.values:
+                    for var in sym.free_vars(value):
+                        if var.key() not in sym_scope:
+                            err(
+                                f"shape expression uses out-of-scope symbolic "
+                                f"variable '{var.name}'"
+                            )
+            return
+        if isinstance(expr, Tuple):
+            for field in expr.fields:
+                visit_value(field, in_dataflow)
+            return
+        if isinstance(expr, TupleGetItem):
+            visit_value(expr.tuple_value, in_dataflow)
+            return
+        if isinstance(expr, Call):
+            _check_call(expr, err)
+            visit_value(expr.op, in_dataflow)
+            for arg in expr.args:
+                visit_value(arg, in_dataflow)
+            return
+        if isinstance(expr, If):
+            if in_dataflow:
+                err("control flow (If) is not allowed inside a dataflow block")
+            visit_value(expr.cond, in_dataflow)
+            visit_seq_or_leaf(expr.true_branch)
+            visit_seq_or_leaf(expr.false_branch)
+            return
+        if isinstance(expr, SeqExpr):
+            err("nested SeqExpr must appear only as If branches or function body")
+        if isinstance(expr, Function):
+            err("nested function literals are not supported")
+
+    def visit_seq_or_leaf(expr: Expr) -> None:
+        if isinstance(expr, SeqExpr):
+            visit_seq(expr)
+        else:
+            visit_value(expr, in_dataflow=False)
+
+    def visit_seq(seq: SeqExpr) -> None:
+        dataflow_vars_here: List[int] = []
+        for block in seq.blocks:
+            for binding in block.bindings:
+                visit_value(binding.value, block.is_dataflow)
+                if isinstance(binding.var, DataflowVar) and not block.is_dataflow:
+                    err(
+                        f"DataflowVar '{binding.var.name_hint}' bound outside "
+                        "a dataflow block"
+                    )
+                in_scope.add(binding.var._id)
+                if isinstance(binding.var, DataflowVar):
+                    dataflow_vars_here.append(binding.var._id)
+                if isinstance(binding, MatchCast):
+                    # match_cast introduces new symbolic variables (§3.2).
+                    if binding.target_ann is not None:
+                        if check_sym_scope and not binding.target_ann.is_resolved():
+                            err("match_cast target has unresolved quoted dims")
+                        for var in binding.target_ann.free_sym_vars():
+                            sym_scope.add(var.key())
+                elif binding.var.ann is not None:
+                    check_ann_scope(
+                        binding.var.ann, f"binding of '{binding.var.name_hint}'"
+                    )
+            if block.is_dataflow:
+                # DataflowVars die at the end of their block.
+                for var_id in dataflow_vars_here:
+                    in_scope.discard(var_id)
+                dataflow_vars_here = []
+        visit_value(seq.body, in_dataflow=False)
+
+    if isinstance(func.body, SeqExpr):
+        visit_seq(func.body)
+    else:
+        visit_value(func.body, in_dataflow=False)
+    # Checked last: match_cast bindings in the body may introduce the
+    # symbolic variables the return annotation mentions (§3.2).
+    check_ann_scope(func.ret_ann, "return annotation")
+
+
+def _check_call(call: Call, err) -> None:
+    if call.op is call_tir_op or call.op is call_dps_library_op:
+        if len(call.args) < 2 or not isinstance(call.args[1], Tuple):
+            err(f"malformed {call.op.name}: expected (callee, Tuple(args), ...)")
+        callee = call.args[0]
+        if call.op is call_tir_op and not isinstance(callee, GlobalVar):
+            err("call_tir callee must be a GlobalVar")
+        if call.op is call_dps_library_op and not isinstance(callee, ExternFunc):
+            err("call_dps_library callee must be an ExternFunc")
+        if not call.sinfo_args:
+            err(f"{call.op.name} requires an output annotation")
+        if len(call.args) > 2 and not isinstance(call.args[2], ShapeExpr):
+            err(f"{call.op.name} trailing symbolic args must be a ShapeExpr")

@@ -1,0 +1,66 @@
+"""Data type names shared by the graph level, tensor programs and runtime.
+
+Relax uses short dtype strings ("f32", "f16", "i32", "u32", ...) in tensor
+annotations and buffer declarations.  This module maps them to NumPy dtypes
+and byte sizes; it is deliberately tiny so every level of the stack agrees
+on the same vocabulary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_DTYPE_TABLE = {
+    "f64": (np.float64, 8),
+    "f32": (np.float32, 4),
+    "f16": (np.float16, 2),
+    "i64": (np.int64, 8),
+    "i32": (np.int32, 4),
+    "i16": (np.int16, 2),
+    "i8": (np.int8, 1),
+    "u64": (np.uint64, 8),
+    "u32": (np.uint32, 4),
+    "u16": (np.uint16, 2),
+    "u8": (np.uint8, 1),
+    "bool": (np.bool_, 1),
+}
+
+_NUMPY_TO_NAME = {np.dtype(np_dtype): name for name, (np_dtype, _) in _DTYPE_TABLE.items()}
+
+
+def is_valid_dtype(name: str) -> bool:
+    return name in _DTYPE_TABLE
+
+
+def check_dtype(name: str) -> str:
+    """Validate a dtype string, returning it (raises ValueError otherwise)."""
+    if name not in _DTYPE_TABLE:
+        raise ValueError(f"unknown dtype {name!r}; expected one of {sorted(_DTYPE_TABLE)}")
+    return name
+
+
+def to_numpy(name: str):
+    """NumPy scalar type for a dtype string."""
+    return _DTYPE_TABLE[check_dtype(name)][0]
+
+
+def itemsize(name: str) -> int:
+    """Bytes per element."""
+    return _DTYPE_TABLE[check_dtype(name)][1]
+
+
+def from_numpy(np_dtype) -> str:
+    """Short dtype string for a NumPy dtype."""
+    key = np.dtype(np_dtype)
+    if key not in _NUMPY_TO_NAME:
+        raise ValueError(f"unsupported NumPy dtype {np_dtype}")
+    return _NUMPY_TO_NAME[key]
+
+
+def is_float(name: str) -> bool:
+    return check_dtype(name).startswith("f")
+
+
+def is_integer(name: str) -> bool:
+    name = check_dtype(name)
+    return name.startswith("i") or name.startswith("u")

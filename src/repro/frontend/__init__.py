@@ -1,0 +1,33 @@
+"""Model construction frontends: nn.Module interface and quantization."""
+
+from .nn import (
+    Embedding,
+    ExportedModule,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    RMSNorm,
+    export_module,
+)
+from .quantize import (
+    QuantizedLinear,
+    decode_prim_func,
+    dequantize_weight,
+    quantize_weight,
+)
+
+__all__ = [
+    "Embedding",
+    "ExportedModule",
+    "LayerNorm",
+    "Linear",
+    "Module",
+    "Parameter",
+    "QuantizedLinear",
+    "RMSNorm",
+    "decode_prim_func",
+    "dequantize_weight",
+    "export_module",
+    "quantize_weight",
+]

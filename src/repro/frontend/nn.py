@@ -1,0 +1,200 @@
+"""PyTorch-like ``nn.Module`` frontend (paper §5.1: "We construct Relax IR
+with a PyTorch-like nn.Module interface").
+
+A module tree declares :class:`Parameter` leaves; :func:`export_module`
+turns a set of forward functions into one IRModule whose functions take the
+user inputs first and every parameter after them (in stable traversal
+order), so a compiled executable can be invoked with abstract
+(paper-configuration-sized) or concrete (test-sized) weights alike.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import dtypes, ops
+from ..core import BlockBuilder, IRModule, TensorAnn, Var
+from ..core.annotations import Annotation
+from ..core.expr import Expr
+from ..runtime import NDArray
+
+
+class Parameter:
+    """A named weight with a (static) shape and dtype."""
+
+    def __init__(self, shape: Sequence[int], dtype: str = "f32"):
+        self.shape = tuple(int(d) for d in shape)
+        self.dtype = dtypes.check_dtype(dtype)
+        self.name: Optional[str] = None  # assigned at export
+        self._var: Optional[Var] = None
+        self.data: Optional[np.ndarray] = None
+
+    @property
+    def var(self) -> Var:
+        if self._var is None:
+            raise RuntimeError(
+                f"parameter {self.name or '<unnamed>'} used outside export"
+            )
+        return self._var
+
+    def num_elements(self) -> int:
+        count = 1
+        for d in self.shape:
+            count *= d
+        return count
+
+    def size_bytes(self) -> int:
+        return self.num_elements() * dtypes.itemsize(self.dtype)
+
+    def initialize(self, rng: np.random.Generator, scale: float = 0.02) -> None:
+        array = rng.standard_normal(self.shape) * scale
+        self.data = array.astype(dtypes.to_numpy(self.dtype))
+
+
+class Module:
+    """Base class; submodules and Parameters register via attribute set."""
+
+    def __setattr__(self, name, value):
+        object.__setattr__(self, name, value)
+
+    def named_parameters(self, prefix: str = "") -> List[Tuple[str, Parameter]]:
+        out: List[Tuple[str, Parameter]] = []
+        for name, value in vars(self).items():
+            path = f"{prefix}.{name}" if prefix else name
+            if isinstance(value, Parameter):
+                out.append((path, value))
+            elif isinstance(value, Module):
+                out.extend(value.named_parameters(path))
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        out.extend(item.named_parameters(f"{path}.{i}"))
+                    elif isinstance(item, Parameter):
+                        out.append((f"{path}.{i}", item))
+        return out
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        return sum(p.num_elements() for p in self.parameters())
+
+    def initialize(self, seed: int = 0, scale: float = 0.02) -> None:
+        rng = np.random.default_rng(seed)
+        for _, param in self.named_parameters():
+            param.initialize(rng, scale)
+
+
+# -- standard layers ---------------------------------------------------------------
+
+
+class Linear(Module):
+    def __init__(self, in_features: int, out_features: int, bias: bool = False,
+                 dtype: str = "f32"):
+        self.weight = Parameter((in_features, out_features), dtype)
+        self.bias = Parameter((out_features,), dtype) if bias else None
+
+    def forward(self, bb: BlockBuilder, x: Expr) -> Expr:
+        out = bb.emit(ops.matmul(x, self.weight.var))
+        if self.bias is not None:
+            out = bb.emit(ops.add(out, self.bias.var))
+        return out
+
+
+class Embedding(Module):
+    def __init__(self, vocab: int, dim: int, dtype: str = "f32"):
+        self.weight = Parameter((vocab, dim), dtype)
+
+    def forward(self, bb: BlockBuilder, token_ids: Expr) -> Expr:
+        return bb.emit(ops.take(self.weight.var, token_ids, axis=0))
+
+
+class RMSNorm(Module):
+    def __init__(self, dim: int, eps: float = 1e-5, dtype: str = "f32"):
+        self.weight = Parameter((dim,), dtype)
+        self.eps = eps
+
+    def forward(self, bb: BlockBuilder, x: Expr) -> Expr:
+        return bb.emit(ops.rms_norm(x, self.weight.var, eps=self.eps))
+
+
+class LayerNorm(Module):
+    def __init__(self, dim: int, eps: float = 1e-5, dtype: str = "f32"):
+        self.gamma = Parameter((dim,), dtype)
+        self.beta = Parameter((dim,), dtype)
+        self.eps = eps
+
+    def forward(self, bb: BlockBuilder, x: Expr) -> Expr:
+        return bb.emit(ops.layer_norm(x, self.gamma.var, self.beta.var, eps=self.eps))
+
+
+# -- export -----------------------------------------------------------------------
+
+#: A forward function: (bb, *input_vars) -> output expression.
+ForwardFn = Callable[..., Expr]
+
+#: Export spec: function name -> (ordered input annotations, forward fn).
+ExportSpec = Dict[str, Tuple[Dict[str, Annotation], ForwardFn]]
+
+
+class ExportedModule:
+    """An IRModule plus the parameter order its functions expect."""
+
+    def __init__(self, mod: IRModule, module: Module,
+                 param_order: List[Tuple[str, Parameter]]):
+        self.mod = mod
+        self.module = module
+        self.param_order = param_order
+
+    def abstract_params(self) -> List[NDArray]:
+        """Shape-only parameter arrays (paper-scale benchmarking)."""
+        return [
+            NDArray.abstract(p.shape, p.dtype) for _, p in self.param_order
+        ]
+
+    def concrete_params(self) -> List[NDArray]:
+        """NumPy-backed parameter arrays (requires initialize())."""
+        arrays = []
+        for name, p in self.param_order:
+            if p.data is None:
+                raise RuntimeError(f"parameter {name} has no data; call initialize()")
+            arrays.append(NDArray.from_numpy(p.data))
+        return arrays
+
+    def param_bytes(self) -> int:
+        return sum(p.size_bytes() for _, p in self.param_order)
+
+
+def export_module(module: Module, spec: ExportSpec) -> ExportedModule:
+    """Build an IRModule from a module tree and a set of forward functions.
+
+    Every exported function's signature is ``(user inputs..., params...)``;
+    parameter order is the module's stable traversal order, identical
+    across functions (so prefill/decode share one weight list).
+    """
+    named = module.named_parameters()
+    bb = BlockBuilder()
+    for fn_name, (inputs, forward) in spec.items():
+        all_params: Dict[str, Annotation] = dict(inputs)
+        for pname, param in named:
+            key = f"p_{pname.replace('.', '_')}"
+            if key in all_params:
+                raise ValueError(f"parameter name collision: {key}")
+            all_params[key] = TensorAnn(param.shape, param.dtype)
+        with bb.function(fn_name, all_params) as frame:
+            user_vars = frame.params[: len(inputs)]
+            param_vars = frame.params[len(inputs):]
+            for (pname, param), var in zip(named, param_vars):
+                param.name = pname
+                param._var = var
+            try:
+                with bb.dataflow():
+                    result = forward(bb, *user_vars)
+                    gv = bb.emit_output(result)
+                bb.emit_func_output(gv)
+            finally:
+                for _, param in named:
+                    param._var = None
+    return ExportedModule(bb.get(), module, named)

@@ -1,0 +1,49 @@
+"""Model zoo: the paper's evaluated model families."""
+
+from .llama import (
+    GEMMA_7B,
+    LLAMA2_7B,
+    LLAMA3_8B,
+    PHI3_MINI,
+    QWEN2_7B,
+    REDPAJAMA_3B,
+    TINY_GEMMA,
+    TINY_LLAMA,
+    TINY_NEOX,
+    TINY_QWEN,
+    LlamaConfig,
+    LlamaForCausalLM,
+    build_llama,
+    empty_caches,
+)
+from .whisper import TINY_WHISPER, WHISPER_LARGE_V3, WhisperConfig, build_whisper
+from .llava import CLIP_VIT_L14, LLAVA_7B, TINY_LLAVA, LlavaConfig, VisionConfig, build_llava
+from .reference import ReferenceLlama
+
+__all__ = [
+    "GEMMA_7B",
+    "LLAMA2_7B",
+    "LLAMA3_8B",
+    "LlamaConfig",
+    "LlamaForCausalLM",
+    "PHI3_MINI",
+    "QWEN2_7B",
+    "REDPAJAMA_3B",
+    "ReferenceLlama",
+    "TINY_GEMMA",
+    "TINY_LLAMA",
+    "TINY_QWEN",
+    "TINY_NEOX",
+    "build_llama",
+    "build_llava",
+    "build_whisper",
+    "CLIP_VIT_L14",
+    "LLAVA_7B",
+    "LlavaConfig",
+    "TINY_LLAVA",
+    "TINY_WHISPER",
+    "VisionConfig",
+    "WHISPER_LARGE_V3",
+    "WhisperConfig",
+    "empty_caches",
+]

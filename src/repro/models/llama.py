@@ -1,0 +1,331 @@
+"""Decoder-only transformer family (paper §5.1, §5.3).
+
+One configurable implementation covers every decoder-only model the paper
+evaluates: Llama3-8B / Llama2-7B (RMSNorm + SwiGLU + GQA), Gemma1.1-7B
+(GeGLU, tied embeddings, embedding scaling), Qwen2-7B (attention bias),
+Phi3-mini, and RedPajama-3B (GPT-NeoX: LayerNorm, parallel residual,
+plain GELU MLP).
+
+The exported module has two functions sharing one weight list:
+
+* ``prefill(tokens (b, s), k/v caches (b, m, h_kv, d) x L)``
+* ``decode(tokens (b, 1), k/v caches (b, m, h_kv, d) x L)``
+
+both returning ``(logits (b, 1, vocab), new caches (b, m+s, ...))``.
+Batch ``b``, sequence ``s`` and cache length ``m`` are *symbolic*: the
+module compiles once for arbitrary batch sizes and sequence lengths
+(§5.1: "Relax compiles models only once for arbitrary batch sizes and
+sequence lengths"), with the KV concatenation producing the ``m + s``
+shape relation that memory planning and CUDA-graph keying reason about.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .. import ops, sym
+from ..core import BlockBuilder, TensorAnn
+from ..core.expr import Expr, ShapeExpr, const
+from ..frontend.nn import (
+    Embedding,
+    ExportedModule,
+    LayerNorm,
+    Linear,
+    Module,
+    RMSNorm,
+    export_module,
+)
+from ..frontend.quantize import QuantizedLinear
+
+import numpy as np
+
+
+@dataclass
+class LlamaConfig:
+    name: str
+    hidden_size: int
+    intermediate_size: int
+    num_layers: int
+    num_heads: int
+    num_kv_heads: int
+    vocab_size: int
+    norm: str = "rms"  # rms | layer
+    act: str = "silu"  # silu | gelu
+    gated_mlp: bool = True
+    rope_theta: float = 10000.0
+    attention_bias: bool = False
+    tie_embeddings: bool = False
+    scale_embeddings: bool = False  # Gemma multiplies by sqrt(hidden)
+    parallel_residual: bool = False  # GPT-NeoX style
+    context_length: int = 4096
+    dtype: str = "f32"
+    quantize_bits: Optional[int] = None  # None = full precision
+    quantize_group: int = 32
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_heads
+
+
+# -- the paper's evaluated configurations ------------------------------------------
+
+LLAMA3_8B = LlamaConfig(
+    name="Llama3-8B", hidden_size=4096, intermediate_size=14336,
+    num_layers=32, num_heads=32, num_kv_heads=8, vocab_size=128256,
+    rope_theta=500000.0, context_length=8192, dtype="f16",
+)
+
+LLAMA2_7B = LlamaConfig(
+    name="Llama2-7B", hidden_size=4096, intermediate_size=11008,
+    num_layers=32, num_heads=32, num_kv_heads=32, vocab_size=32000,
+    context_length=4096, dtype="f16",
+)
+
+GEMMA_7B = LlamaConfig(
+    name="Gemma1.1-7B", hidden_size=3072, intermediate_size=24576,
+    num_layers=28, num_heads=16, num_kv_heads=16, vocab_size=256000,
+    act="gelu", tie_embeddings=True, scale_embeddings=True,
+    context_length=8192, dtype="f16",
+)
+
+QWEN2_7B = LlamaConfig(
+    name="Qwen2-7B", hidden_size=3584, intermediate_size=18944,
+    num_layers=28, num_heads=28, num_kv_heads=4, vocab_size=152064,
+    attention_bias=True, rope_theta=1000000.0, context_length=8192,
+    dtype="f16",
+)
+
+PHI3_MINI = LlamaConfig(
+    name="Phi3-mini-4k", hidden_size=3072, intermediate_size=8192,
+    num_layers=32, num_heads=32, num_kv_heads=32, vocab_size=32064,
+    context_length=4096, dtype="f16",
+)
+
+REDPAJAMA_3B = LlamaConfig(
+    name="RedPajama-3B", hidden_size=2560, intermediate_size=10240,
+    num_layers=32, num_heads=32, num_kv_heads=32, vocab_size=50432,
+    norm="layer", act="gelu", gated_mlp=False, parallel_residual=True,
+    context_length=2048, dtype="f16",
+)
+
+TINY_LLAMA = LlamaConfig(
+    name="tiny-llama", hidden_size=16, intermediate_size=32,
+    num_layers=2, num_heads=2, num_kv_heads=1, vocab_size=32,
+    context_length=64, dtype="f32",
+)
+
+TINY_NEOX = LlamaConfig(
+    name="tiny-neox", hidden_size=16, intermediate_size=32,
+    num_layers=2, num_heads=2, num_kv_heads=2, vocab_size=32,
+    norm="layer", act="gelu", gated_mlp=False, parallel_residual=True,
+    context_length=64, dtype="f32",
+)
+
+TINY_GEMMA = LlamaConfig(
+    name="tiny-gemma", hidden_size=16, intermediate_size=48,
+    num_layers=2, num_heads=2, num_kv_heads=2, vocab_size=32,
+    act="gelu", tie_embeddings=True, scale_embeddings=True,
+    context_length=64, dtype="f32",
+)
+
+TINY_QWEN = LlamaConfig(
+    name="tiny-qwen", hidden_size=16, intermediate_size=32,
+    num_layers=2, num_heads=4, num_kv_heads=2, vocab_size=32,
+    attention_bias=True, context_length=64, dtype="f32",
+)
+
+
+def _make_linear(cfg: LlamaConfig, in_f: int, out_f: int, bias: bool = False):
+    if cfg.quantize_bits is not None:
+        return QuantizedLinear(
+            in_f, out_f, bits=cfg.quantize_bits, group_size=cfg.quantize_group,
+            dtype=cfg.dtype,
+        )
+    return Linear(in_f, out_f, bias=bias, dtype=cfg.dtype)
+
+
+def _make_norm(cfg: LlamaConfig, dim: int):
+    if cfg.norm == "rms":
+        return RMSNorm(dim, dtype=cfg.dtype)
+    return LayerNorm(dim, dtype=cfg.dtype)
+
+
+class LlamaAttention(Module):
+    def __init__(self, cfg: LlamaConfig):
+        h, d, kv = cfg.num_heads, cfg.head_dim, cfg.num_kv_heads
+        self.cfg = cfg
+        self.q_proj = _make_linear(cfg, cfg.hidden_size, h * d, cfg.attention_bias)
+        self.k_proj = _make_linear(cfg, cfg.hidden_size, kv * d, cfg.attention_bias)
+        self.v_proj = _make_linear(cfg, cfg.hidden_size, kv * d, cfg.attention_bias)
+        self.o_proj = _make_linear(cfg, h * d, cfg.hidden_size)
+
+    def forward(self, bb: BlockBuilder, x: Expr, k_cache: Expr, v_cache: Expr,
+                b, s, m) -> Tuple[Expr, Expr, Expr]:
+        cfg = self.cfg
+        h, d, kv = cfg.num_heads, cfg.head_dim, cfg.num_kv_heads
+        q = bb.emit(ops.reshape(self.q_proj.forward(bb, x), ShapeExpr([b, s, h, d])))
+        k = bb.emit(ops.reshape(self.k_proj.forward(bb, x), ShapeExpr([b, s, kv, d])))
+        v = bb.emit(ops.reshape(self.v_proj.forward(bb, x), ShapeExpr([b, s, kv, d])))
+        q = bb.emit(ops.rope(q, offset=m, theta=cfg.rope_theta))
+        k = bb.emit(ops.rope(k, offset=m, theta=cfg.rope_theta))
+        k_full = bb.emit(ops.concat([k_cache, k], axis=1))
+        v_full = bb.emit(ops.concat([v_cache, v], axis=1))
+        attn = bb.emit(ops.attention(q, k_full, v_full, causal=True))
+        attn = bb.emit(ops.reshape(attn, ShapeExpr([b, s, h * d])))
+        return self.o_proj.forward(bb, attn), k_full, v_full
+
+
+class LlamaMLP(Module):
+    def __init__(self, cfg: LlamaConfig):
+        self.cfg = cfg
+        if cfg.gated_mlp:
+            self.gate_proj = _make_linear(cfg, cfg.hidden_size, cfg.intermediate_size)
+        self.up_proj = _make_linear(cfg, cfg.hidden_size, cfg.intermediate_size)
+        self.down_proj = _make_linear(cfg, cfg.intermediate_size, cfg.hidden_size)
+
+    def forward(self, bb: BlockBuilder, x: Expr) -> Expr:
+        cfg = self.cfg
+        act = ops.silu if cfg.act == "silu" else ops.gelu
+        if cfg.gated_mlp:
+            gate = bb.emit(act(self.gate_proj.forward(bb, x)))
+            up = self.up_proj.forward(bb, x)
+            hidden = bb.emit(ops.multiply(gate, up))
+        else:
+            hidden = bb.emit(act(self.up_proj.forward(bb, x)))
+        return self.down_proj.forward(bb, hidden)
+
+
+class LlamaDecoderLayer(Module):
+    def __init__(self, cfg: LlamaConfig):
+        self.cfg = cfg
+        self.input_norm = _make_norm(cfg, cfg.hidden_size)
+        self.attn = LlamaAttention(cfg)
+        self.post_norm = _make_norm(cfg, cfg.hidden_size)
+        self.mlp = LlamaMLP(cfg)
+
+    def forward(self, bb, x, k_cache, v_cache, b, s, m):
+        attn_out, k_full, v_full = self.attn.forward(
+            bb, self.input_norm.forward(bb, x), k_cache, v_cache, b, s, m
+        )
+        if self.cfg.parallel_residual:
+            mlp_out = self.mlp.forward(bb, self.post_norm.forward(bb, x))
+            x = bb.emit(ops.add(bb.emit(ops.add(x, attn_out)), mlp_out))
+        else:
+            x = bb.emit(ops.add(x, attn_out))
+            mlp_out = self.mlp.forward(bb, self.post_norm.forward(bb, x))
+            x = bb.emit(ops.add(x, mlp_out))
+        return x, k_full, v_full
+
+
+class LlamaForCausalLM(Module):
+    def __init__(self, cfg: LlamaConfig):
+        self.cfg = cfg
+        self.embed = Embedding(cfg.vocab_size, cfg.hidden_size, dtype=cfg.dtype)
+        self.layers = [LlamaDecoderLayer(cfg) for _ in range(cfg.num_layers)]
+        self.final_norm = _make_norm(cfg, cfg.hidden_size)
+        if not cfg.tie_embeddings:
+            self.lm_head = _make_linear(cfg, cfg.hidden_size, cfg.vocab_size)
+
+    def forward(self, bb: BlockBuilder, tokens: Expr, caches: List[Expr],
+                b, s, m) -> Expr:
+        cfg = self.cfg
+        x = self.embed.forward(bb, tokens)  # (b, s, hidden)
+        if cfg.scale_embeddings:
+            scale = const(np.asarray(math.sqrt(cfg.hidden_size)), cfg.dtype)
+            x = bb.emit(ops.multiply(x, scale))
+        return self.forward_hidden(bb, x, caches, b, s, m)
+
+    def forward_hidden(self, bb: BlockBuilder, x: Expr, caches: List[Expr],
+                       b, s, m) -> Expr:
+        """Run the decoder stack from hidden states (LLaVA feeds image
+        embeddings here directly)."""
+        cfg = self.cfg
+        new_caches: List[Expr] = []
+        for layer, (k_cache, v_cache) in zip(
+            self.layers, zip(caches[0::2], caches[1::2])
+        ):
+            x, k_full, v_full = layer.forward(bb, x, k_cache, v_cache, b, s, m)
+            new_caches.extend([k_full, v_full])
+
+        x = self.final_norm.forward(bb, x)
+        # Only the last position feeds the LM head (per-token decode cost).
+        last_idx = bb.emit(ops.arange(1, start=s - 1, dtype="i64"))
+        last = bb.emit(ops.take(x, last_idx, axis=1))  # (b, 1, hidden)
+        if cfg.tie_embeddings:
+            logits = bb.emit(
+                ops.matmul(last, self.embed.weight.var, transpose_b=True)
+            )
+        else:
+            logits = self.lm_head.forward(bb, last)
+        if cfg.dtype != "f32":
+            logits = bb.emit(ops.astype(logits, "f32"))
+
+        from ..core.expr import Tuple as TupleExpr
+
+        return bb.emit(TupleExpr([logits] + new_caches))
+
+
+def _cache_annotations(cfg: LlamaConfig, b, m) -> dict:
+    anns = {}
+    for layer in range(cfg.num_layers):
+        shape = (b, m, cfg.num_kv_heads, cfg.head_dim)
+        anns[f"k_cache_{layer}"] = TensorAnn(shape, cfg.dtype)
+        anns[f"v_cache_{layer}"] = TensorAnn(shape, cfg.dtype)
+    return anns
+
+
+def build_llama(cfg: LlamaConfig) -> ExportedModule:
+    """Export prefill + decode functions for a decoder-only config."""
+    model = LlamaForCausalLM(cfg)
+
+    def prefill(bb: BlockBuilder, tokens, *caches):
+        b = bb.shape_var("b")
+        s = bb.shape_var("s")
+        m = bb.shape_var("m")
+        return model.forward(bb, tokens, list(caches), b, s, m)
+
+    def decode(bb: BlockBuilder, tokens, *caches):
+        b = bb.shape_var("b")
+        m = bb.shape_var("m")
+        return model.forward(bb, tokens, list(caches), b, sym.IntImm(1), m)
+
+    spec = {
+        "prefill": (
+            {
+                "tokens": TensorAnn(("b", "s"), "i64"),
+                **_cache_annotations(cfg, "b", "m"),
+            },
+            prefill,
+        ),
+        "decode": (
+            {
+                "tokens": TensorAnn(("b", 1), "i64"),
+                **_cache_annotations(cfg, "b", "m"),
+            },
+            decode,
+        ),
+    }
+    return export_module(model, spec)
+
+
+def empty_caches(cfg: LlamaConfig, batch: int, concrete: bool):
+    """Zero-length KV caches to start generation."""
+    from ..runtime import NDArray
+
+    caches = []
+    for _ in range(cfg.num_layers):
+        shape = (batch, 0, cfg.num_kv_heads, cfg.head_dim)
+        for _kv in range(2):
+            if concrete:
+                from .. import dtypes
+
+                caches.append(
+                    NDArray.from_numpy(
+                        np.zeros(shape, dtype=dtypes.to_numpy(cfg.dtype))
+                    )
+                )
+            else:
+                caches.append(NDArray.abstract(shape, cfg.dtype))
+    return caches

@@ -1,0 +1,144 @@
+"""Pure-NumPy reference implementation of the decoder-only transformer.
+
+Ground truth for end-to-end model tests: given the same weights as an
+exported :mod:`repro.models.llama` module, computes logits and caches with
+plain NumPy so the compiled VM output can be checked numerically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .llama import LlamaConfig
+
+
+def _rms_norm(x, w, eps=1e-5):
+    return x / np.sqrt((x.astype(np.float64) ** 2).mean(-1, keepdims=True) + eps) * w
+
+
+def _layer_norm(x, g, b, eps=1e-5):
+    x = x.astype(np.float64)
+    mu = x.mean(-1, keepdims=True)
+    var = ((x - mu) ** 2).mean(-1, keepdims=True)
+    return (x - mu) / np.sqrt(var + eps) * g + b
+
+
+def _silu(x):
+    return x / (1 + np.exp(-x))
+
+
+def _gelu(x):
+    from scipy.special import erf
+
+    return x * 0.5 * (1 + erf(x / math.sqrt(2)))
+
+
+def _rope(x, offset, theta):
+    b, s, h, d = x.shape
+    half = d // 2
+    pos = np.arange(s)[:, None] + offset
+    freqs = theta ** (-2.0 * (np.arange(d) % half) / (2 * half))
+    angle = pos * freqs
+    rotated = np.concatenate([-x[..., half:], x[..., :half]], axis=-1)
+    return x * np.cos(angle)[None, :, None, :] + rotated * np.sin(angle)[None, :, None, :]
+
+
+def _attention(q, k, v, causal=True):
+    b, s, h, d = q.shape
+    m, h_kv = k.shape[1], k.shape[2]
+    group = h // h_kv
+    out = np.zeros_like(q)
+    scale = 1.0 / math.sqrt(d)
+    for head in range(h):
+        kv_head = head // group
+        scores = q[:, :, head, :] @ k[:, :, kv_head, :].transpose(0, 2, 1) * scale
+        if causal:
+            i = np.arange(s)[:, None]
+            j = np.arange(m)[None, :]
+            scores = np.where(j <= i + (m - s), scores, -1e9)
+        e = np.exp(scores - scores.max(-1, keepdims=True))
+        probs = e / e.sum(-1, keepdims=True)
+        out[:, :, head, :] = probs @ v[:, :, kv_head, :]
+    return out
+
+
+class ReferenceLlama:
+    """NumPy twin of LlamaForCausalLM; weights come from the nn module."""
+
+    def __init__(self, cfg: LlamaConfig, params: Dict[str, np.ndarray]):
+        self.cfg = cfg
+        self.p = {k: v.astype(np.float64) for k, v in params.items()}
+
+    def _linear(self, name: str, x):
+        out = x @ self.p[f"{name}.weight"]
+        bias_key = f"{name}.bias"
+        if bias_key in self.p:
+            out = out + self.p[bias_key]
+        return out
+
+    def _norm(self, name: str, x):
+        if self.cfg.norm == "rms":
+            return _rms_norm(x, self.p[f"{name}.weight"])
+        return _layer_norm(x, self.p[f"{name}.gamma"], self.p[f"{name}.beta"])
+
+    def forward(self, tokens: np.ndarray, caches: List[np.ndarray]
+                ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        cfg = self.cfg
+        b, s = tokens.shape
+        m = caches[0].shape[1]
+        act = _silu if cfg.act == "silu" else _gelu
+
+        x = self.p["embed.weight"][tokens]
+        if cfg.scale_embeddings:
+            x = x * math.sqrt(cfg.hidden_size)
+
+        new_caches = []
+        for layer in range(cfg.num_layers):
+            prefix = f"layers.{layer}"
+            h_in = self._norm(f"{prefix}.input_norm", x)
+            q = self._linear(f"{prefix}.attn.q_proj", h_in).reshape(
+                b, s, cfg.num_heads, cfg.head_dim
+            )
+            k = self._linear(f"{prefix}.attn.k_proj", h_in).reshape(
+                b, s, cfg.num_kv_heads, cfg.head_dim
+            )
+            v = self._linear(f"{prefix}.attn.v_proj", h_in).reshape(
+                b, s, cfg.num_kv_heads, cfg.head_dim
+            )
+            q = _rope(q, m, cfg.rope_theta)
+            k = _rope(k, m, cfg.rope_theta)
+            k_full = np.concatenate([caches[2 * layer], k], axis=1)
+            v_full = np.concatenate([caches[2 * layer + 1], v], axis=1)
+            new_caches.extend([k_full, v_full])
+            attn = _attention(q, k_full, v_full)
+            attn = self._linear(
+                f"{prefix}.attn.o_proj", attn.reshape(b, s, -1)
+            )
+            if cfg.parallel_residual:
+                mlp_in = self._norm(f"{prefix}.post_norm", x)
+                mlp = self._mlp(prefix, mlp_in, act)
+                x = x + attn + mlp
+            else:
+                x = x + attn
+                mlp = self._mlp(prefix, self._norm(f"{prefix}.post_norm", x), act)
+                x = x + mlp
+
+        x = self._norm("final_norm", x)
+        last = x[:, -1:, :]
+        if cfg.tie_embeddings:
+            logits = last @ self.p["embed.weight"].T
+        else:
+            logits = self._linear("lm_head", last)
+        return logits.astype(np.float32), new_caches
+
+    def _mlp(self, prefix: str, x, act):
+        if self.cfg.gated_mlp:
+            gate = act(self._linear(f"{prefix}.mlp.gate_proj", x))
+            up = self._linear(f"{prefix}.mlp.up_proj", x)
+            hidden = gate * up
+        else:
+            hidden = act(self._linear(f"{prefix}.mlp.up_proj", x))
+        return self._linear(f"{prefix}.mlp.down_proj", hidden)

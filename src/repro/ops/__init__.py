@@ -1,0 +1,115 @@
+"""Graph-level operators with registered shape deduction and legalization.
+
+Importing this package registers every operator with the core Op registry;
+each operator carries a forward shape-deduction rule (§4.1) and, for all
+but the data-dependent ops, a legalization rule generating the loop-level
+tensor program (§4.7 "generate tensor programs for all high-level operator
+calls").
+"""
+
+from .registry import (
+    Legalized,
+    finalize_prim_func,
+    needed_sym_params,
+    register_op,
+    spatial_axes,
+)
+from .elementwise import (
+    abs_,
+    add,
+    astype,
+    broadcast_shapes,
+    divide,
+    erf,
+    exp,
+    gelu,
+    log,
+    maximum,
+    minimum,
+    multiply,
+    negative,
+    power,
+    relu,
+    rsqrt,
+    sigmoid,
+    silu,
+    sqrt,
+    subtract,
+    tanh,
+)
+from .matmul import matmul
+from .manipulate import (
+    broadcast_to,
+    concat,
+    expand_dims,
+    flatten,
+    permute_dims,
+    reshape,
+    split,
+    squeeze,
+    take,
+)
+from .reduce import max_, mean, min_, sum_
+from .nn import causal_mask, layer_norm, rms_norm, rope, softmax
+from .attention import attention
+from .create import arange, full, ones, zeros
+from .datadep import argmax, nonzero, unique, unique_op
+from .shape_of import shape_of, shape_of_op
+
+__all__ = [
+    "Legalized",
+    "abs_",
+    "add",
+    "arange",
+    "attention",
+    "argmax",
+    "astype",
+    "broadcast_shapes",
+    "broadcast_to",
+    "causal_mask",
+    "concat",
+    "divide",
+    "erf",
+    "exp",
+    "expand_dims",
+    "finalize_prim_func",
+    "flatten",
+    "full",
+    "gelu",
+    "layer_norm",
+    "log",
+    "matmul",
+    "max_",
+    "maximum",
+    "mean",
+    "min_",
+    "minimum",
+    "multiply",
+    "needed_sym_params",
+    "negative",
+    "nonzero",
+    "ones",
+    "permute_dims",
+    "power",
+    "register_op",
+    "relu",
+    "reshape",
+    "rms_norm",
+    "rope",
+    "rsqrt",
+    "sigmoid",
+    "shape_of",
+    "silu",
+    "softmax",
+    "spatial_axes",
+    "split",
+    "sqrt",
+    "squeeze",
+    "subtract",
+    "sum_",
+    "take",
+    "tanh",
+    "unique",
+    "unique_op",
+    "zeros",
+]

@@ -1,0 +1,115 @@
+"""Fused scaled-dot-product attention operator.
+
+The paper (§4.2) notes fusion passes can cover "all sub-operators in scaled
+dot-product attention"; we expose the result directly as an ``attention``
+operator whose legalization generates one multi-stage tensor program
+(scores → online max → exp-sum → weighted value), with grouped-query head
+sharing expressed as pure index arithmetic (``h // group``) and the causal
+mask folded into the score reads.  Library dispatch (§4.6) can instead
+lower causal attention to the FlashAttention-style registry kernel on
+backends that ship one.
+
+Layout: q is (b, s, h, d); k and v are (b, m, h_kv, d) with the full
+(cached) sequence; output is (b, s, h, d).
+"""
+
+from __future__ import annotations
+
+from .. import sym, tir
+from ..core.annotations import TensorAnn
+from ..core.expr import Call, Expr
+from .registry import Legalized, register_op, require_known_shape, tensor_ann_of
+
+
+def _deduce(call: Call):
+    q = tensor_ann_of(call.args[0], "attention", 0)
+    if q.shape is None:
+        return TensorAnn(dtype=q.dtype, ndim=4)
+    return TensorAnn(q.shape, q.dtype)
+
+
+def _legalize(call: Call) -> Legalized:
+    q_ann = tensor_ann_of(call.args[0], "attention", 0)
+    k_ann = tensor_ann_of(call.args[1], "attention", 1)
+    v_ann = tensor_ann_of(call.args[2], "attention", 2)
+    q_shape = require_known_shape(q_ann, "attention")
+    k_shape = require_known_shape(k_ann, "attention")
+    causal = call.attrs.get("causal", True)
+
+    b, s, h, d = q_shape
+    m, h_kv = k_shape[1], k_shape[2]
+    if not (sym.is_static(h) and sym.is_static(h_kv) and sym.is_static(d)):
+        raise ValueError("attention: head counts and head_dim must be static")
+    group = sym.as_static_int(sym.simplify(h)) // sym.as_static_int(
+        sym.simplify(h_kv)
+    )
+    scale = 1.0 / (sym.as_static_int(sym.simplify(d)) ** 0.5)
+
+    f = tir.TirBuilder("attention")
+    f.attr("op_kind", "attention")
+    qb = f.arg("Q", q_shape, q_ann.dtype)
+    kb = f.arg("K", k_shape, k_ann.dtype)
+    vb = f.arg("V", v_ann.shape, v_ann.dtype)
+    ob = f.out("O", q_shape, q_ann.dtype)
+
+    acc = q_ann.dtype if q_ann.dtype == "f32" else "f32"
+    scores = f.alloc("S", (b, h, s, m), acc)
+    row_max = f.alloc("M", (b, h, s), acc)
+    row_sum = f.alloc("E", (b, h, s), acc)
+
+    def masked(expr, i, j):
+        if not causal:
+            return expr
+        # Query i (aligned to the end of the keys) may attend key j iff
+        # j <= i + (m - s).
+        allowed = tir.Cmp("le", tir.IndexValue(j), tir.IndexValue(i + (m - s)))
+        return tir.select(allowed, expr, -1e9)
+
+    # Stage 1: scaled (masked) scores.
+    bi, hi, si, ji = f.spatial(b, h, s, m)
+    di = f.reduce(d)
+    prod = tir.cast(acc, qb[bi, si, hi, di]) * tir.cast(
+        acc, kb[bi, ji, hi // group, di]
+    )
+    f.store(scores, [bi, hi, si, ji], prod * scale, combiner="sum", init=0.0)
+
+    # Stage 2: row max of masked scores.
+    bi, hi, si = f.spatial(b, h, s)
+    ji = f.reduce(m)
+    f.store(row_max, [bi, hi, si], masked(scores[bi, hi, si, ji], si, ji),
+            combiner="max")
+
+    # Stage 3: exp-sum.
+    bi, hi, si = f.spatial(b, h, s)
+    ji = f.reduce(m)
+    f.store(
+        row_sum,
+        [bi, hi, si],
+        tir.exp(masked(scores[bi, hi, si, ji], si, ji) - row_max[bi, hi, si]),
+        combiner="sum",
+        init=0.0,
+    )
+
+    # Stage 4: probability-weighted values.
+    bi, si, hi, di = f.spatial(b, s, h, d)
+    ji = f.reduce(m)
+    prob = tir.exp(
+        masked(scores[bi, hi, si, ji], si, ji) - row_max[bi, hi, si]
+    ) / row_sum[bi, hi, si]
+    weighted = prob * tir.cast(acc, vb[bi, ji, hi // group, di])
+    f.store(ob, [bi, si, hi, di], tir.cast(q_ann.dtype, weighted),
+            combiner="sum", init=0.0)
+
+    return Legalized(
+        f.build(),
+        [call.args[0], call.args[1], call.args[2]],
+        TensorAnn(q_shape, q_ann.dtype),
+    )
+
+
+attention_op = register_op("attention", _deduce, _legalize)
+
+
+def attention(q: Expr, k: Expr, v: Expr, causal: bool = True) -> Call:
+    """Fused attention over cached keys/values (GQA via head grouping)."""
+    return Call(attention_op, [q, k, v], attrs={"causal": causal})

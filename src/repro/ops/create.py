@@ -1,0 +1,92 @@
+"""Tensor creation operators: zeros, ones, full, arange.
+
+Creation ops take their shape as a first-class symbolic shape value
+(ShapeExpr).  Their generated tensor programs have *no input buffers*, so
+any symbolic dims become explicit symbolic parameters on the tensor program
+— another natural appearance of the Fig. 8 extra-symbolic-argument pattern.
+"""
+
+from __future__ import annotations
+
+from .. import sym, tir
+from ..core.annotations import TensorAnn
+from ..core.expr import Call, Expr, ShapeExpr
+from .registry import Legalized, register_op, spatial_axes
+
+
+def _create_deduce(call: Call):
+    target = call.args[0]
+    dtype = call.attrs["dtype"]
+    if isinstance(target, ShapeExpr):
+        return TensorAnn(target.values, dtype)
+    ann = target.ann
+    from ..core.annotations import ShapeAnn
+
+    if isinstance(ann, ShapeAnn):
+        if ann.values is not None:
+            return TensorAnn(ann.values, dtype)
+        return TensorAnn(dtype=dtype, ndim=ann.ndim)
+    return TensorAnn(dtype=dtype)
+
+
+def _fill_legalize(call: Call) -> Legalized:
+    target = call.args[0]
+    if not isinstance(target, ShapeExpr):
+        raise ValueError("creation ops require a ShapeExpr to legalize")
+    dtype = call.attrs["dtype"]
+    value = float(call.attrs["fill_value"])
+    f = tir.TirBuilder("full")
+    dst = f.out("Y", target.values, dtype)
+    axes = spatial_axes(f, target.values)
+    f.store(dst, axes, tir.cast(dtype, value))
+    return Legalized(f.build(), [], TensorAnn(target.values, dtype))
+
+
+full_op = register_op("full", _create_deduce, _fill_legalize)
+
+
+def full(shape, fill_value: float, dtype: str = "f32") -> Call:
+    if not isinstance(shape, (ShapeExpr, Expr)):
+        shape = ShapeExpr(shape)
+    return Call(full_op, [shape], attrs={"dtype": dtype, "fill_value": fill_value})
+
+
+def zeros(shape, dtype: str = "f32") -> Call:
+    return full(shape, 0.0, dtype)
+
+
+def ones(shape, dtype: str = "f32") -> Call:
+    return full(shape, 1.0, dtype)
+
+
+def _arange_deduce(call: Call):
+    target = call.args[0]
+    dtype = call.attrs["dtype"]
+    if isinstance(target, ShapeExpr):
+        return TensorAnn(target.values, dtype)
+    return TensorAnn(dtype=dtype, ndim=1)
+
+
+def _arange_legalize(call: Call) -> Legalized:
+    target = call.args[0]
+    if not isinstance(target, ShapeExpr) or len(target.values) != 1:
+        raise ValueError("arange requires a 1-d ShapeExpr")
+    dtype = call.attrs["dtype"]
+    start = sym.PrimExpr.convert(call.attrs["start"])
+    f = tir.TirBuilder("arange")
+    dst = f.out("Y", target.values, dtype)
+    i = f.spatial(target.values[0])
+    f.store(dst, [i], tir.cast(dtype, tir.IndexValue(i + start)))
+    return Legalized(f.build(), [], TensorAnn(target.values, dtype))
+
+
+arange_op = register_op("arange", _arange_deduce, _arange_legalize)
+
+
+def arange(extent: sym.ExprLike, start: sym.ExprLike = 0, dtype: str = "i64") -> Call:
+    """``[start, start + extent)`` as a 1-d tensor; both ends may be symbolic."""
+    return Call(
+        arange_op,
+        [ShapeExpr([extent])],
+        attrs={"dtype": dtype, "start": sym.PrimExpr.convert(start)},
+    )

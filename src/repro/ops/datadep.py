@@ -1,0 +1,104 @@
+"""Data-dependent operators: unique, nonzero, argmax sampling.
+
+``unique`` is the paper's running example (Fig. 3): its output shape
+depends on runtime *values*, so forward deduction returns the coarse
+annotation ``Tensor(ndim=1, dtype=...)`` and programs refine it with
+``match_cast``.  These ops cannot be DPS tensor programs (no compile-time
+output shape), so they legalize to opaque extern calls that the VM serves
+with allocating builtins.
+"""
+
+from __future__ import annotations
+
+from ..core.annotations import TensorAnn
+from ..core.expr import Call, Expr
+from .registry import register_op, tensor_ann_of
+
+
+def _unique_deduce(call: Call):
+    x = tensor_ann_of(call.args[0], "unique", 0)
+    # Output length is data-dependent: coarse-grained annotation (§3.2).
+    return TensorAnn(dtype=x.dtype, ndim=1)
+
+
+def _unique_legalize(call: Call):
+    # Not a DPS tensor program: handled by the extern lowering path (the
+    # LegalizeOps pass rewrites it to an allocating extern call).
+    return None
+
+
+unique_op = register_op("unique", _unique_deduce)
+unique_op.extern_name = "vm.builtin.unique"
+
+
+def unique(x: Expr) -> Call:
+    return Call(unique_op, [x])
+
+
+def _nonzero_deduce(call: Call):
+    x = tensor_ann_of(call.args[0], "nonzero", 0)
+    return TensorAnn(dtype="i64", ndim=1)
+
+
+nonzero_op = register_op("nonzero", _nonzero_deduce)
+nonzero_op.extern_name = "vm.builtin.nonzero"
+
+
+def nonzero(x: Expr) -> Call:
+    """Flat indices of nonzero elements (data-dependent output length)."""
+    return Call(nonzero_op, [x])
+
+
+def _argmax_deduce(call: Call):
+    x = tensor_ann_of(call.args[0], "argmax", 0)
+    if x.shape is None:
+        return TensorAnn(dtype="i64")
+    outer = x.shape[:-1]
+    # 1-d inputs produce a length-1 vector (scalar tensors stay out of the
+    # DPS path, which wants at least one dimension).
+    return TensorAnn(outer if outer else (1,), "i64")
+
+
+def _argmax_legalize(call: Call):
+    from .. import sym, tir
+    from .registry import Legalized, require_known_shape
+
+    # argmax via two stages: rowmax then first matching index (a reduction
+    # with min over matching positions).
+    x = tensor_ann_of(call.args[0], "argmax", 0)
+    shape = require_known_shape(x, "argmax")
+    outer = list(shape[:-1])
+    inner = shape[-1]
+    f = tir.TirBuilder("argmax")
+    src = f.arg("X", shape, x.dtype)
+    dst = f.out("Y", outer or (1,), "i64")
+    mx = f.alloc("mx", outer or (1,), x.dtype)
+
+    from .registry import spatial_axes
+
+    def outer_idx(axes):
+        return axes if outer else [sym.IntImm(0)]
+
+    axes = spatial_axes(f, outer)
+    r = f.reduce(inner)
+    f.store(mx, outer_idx(axes), src[tuple(axes + [r])], combiner="max")
+
+    axes = spatial_axes(f, outer)
+    r = f.reduce(inner)
+    big = tir.IndexValue(inner)
+    candidate = tir.select(
+        tir.eq(src[tuple(axes + [r])], mx[tuple(outer_idx(axes))]),
+        tir.IndexValue(r),
+        big,
+    )
+    f.store(dst, outer_idx(axes), tir.cast("i64", candidate), combiner="min")
+    out_ann = TensorAnn(tuple(outer) if outer else (1,), "i64")
+    return Legalized(f.build(), [call.args[0]], out_ann)
+
+
+argmax_op = register_op("argmax", _argmax_deduce, _argmax_legalize)
+
+
+def argmax(x: Expr) -> Call:
+    """Argmax over the last axis (greedy sampling in the LLM examples)."""
+    return Call(argmax_op, [x])

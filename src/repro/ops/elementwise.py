@@ -1,0 +1,214 @@
+"""Elementwise and broadcast operators.
+
+Unary: exp, sqrt, rsqrt, tanh, erf, sigmoid, silu, gelu, relu, neg, abs,
+log, sin, cos, astype.  Binary (NumPy-style broadcasting over symbolic
+shapes): add, subtract, multiply, divide, maximum, minimum, power.
+
+Broadcast deduction over symbolic dims: dimensions unify when provably
+equal; a static 1 broadcasts against anything; otherwise the two dims must
+be provably equal or deduction fails loudly (silent ``any`` erasure is
+exactly what the paper's first-class symbolic shapes avoid).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from .. import sym, tir
+from ..core.annotations import TensorAnn
+from ..core.expr import Call, Expr
+from .registry import Legalized, register_op, require_known_shape, tensor_ann_of
+
+
+def broadcast_shapes(a, b, op_name: str) -> List[sym.PrimExpr]:
+    """NumPy-style broadcast of two symbolic shapes."""
+    out = []
+    la, lb = len(a), len(b)
+    for i in range(max(la, lb)):
+        dim_a = a[la - 1 - i] if i < la else sym.IntImm(1)
+        dim_b = b[lb - 1 - i] if i < lb else sym.IntImm(1)
+        a_is_one = sym.is_static(dim_a) and sym.as_static_int(sym.simplify(dim_a)) == 1
+        b_is_one = sym.is_static(dim_b) and sym.as_static_int(sym.simplify(dim_b)) == 1
+        if a_is_one:
+            out.append(dim_b)
+        elif b_is_one:
+            out.append(dim_a)
+        elif sym.prove_equal(dim_a, dim_b):
+            out.append(dim_a)
+        else:
+            raise ValueError(
+                f"{op_name}: cannot broadcast dims {dim_a} and {dim_b}"
+            )
+    out.reverse()
+    return out
+
+
+def _unary_deduce(name: str, dtype_override=None):
+    def deduce(call: Call):
+        ann = tensor_ann_of(call.args[0], name, 0)
+        dtype = dtype_override(call) if dtype_override else ann.dtype
+        if ann.shape is None:
+            return TensorAnn(dtype=dtype, ndim=ann.ndim)
+        return TensorAnn(ann.shape, dtype)
+
+    return deduce
+
+
+def _unary_legalize(name: str, value_fn: Callable, dtype_override=None):
+    def legalize(call: Call) -> Legalized:
+        ann = tensor_ann_of(call.args[0], name, 0)
+        shape = require_known_shape(ann, name)
+        out_dtype = dtype_override(call) if dtype_override else ann.dtype
+        f = tir.TirBuilder(name.replace(".", "_"))
+        x = f.arg("X", shape, ann.dtype)
+        y = f.out("Y", shape, out_dtype)
+        axes = f.spatial(*shape)
+        if len(shape) == 1:
+            axes = (axes,)
+        f.store(y, list(axes), value_fn(x[tuple(axes)], call))
+        return Legalized(f.build(), [call.args[0]], TensorAnn(shape, out_dtype))
+
+    return legalize
+
+
+def _register_unary(name: str, value_fn: Callable, dtype_override=None):
+    return register_op(
+        f"{name}",
+        deduce=_unary_deduce(name, dtype_override),
+        legalize=_unary_legalize(name, value_fn, dtype_override),
+    )
+
+
+def _binary_deduce(name: str):
+    def deduce(call: Call):
+        a = tensor_ann_of(call.args[0], name, 0)
+        b = tensor_ann_of(call.args[1], name, 1)
+        dtype = a.dtype if a.dtype is not None else b.dtype
+        if a.dtype and b.dtype and a.dtype != b.dtype:
+            raise TypeError(f"{name}: dtype mismatch {a.dtype} vs {b.dtype}")
+        if a.shape is None or b.shape is None:
+            ndim = max(a.ndim, b.ndim) if (a.ndim != -1 and b.ndim != -1) else -1
+            return TensorAnn(dtype=dtype, ndim=ndim)
+        return TensorAnn(broadcast_shapes(a.shape, b.shape, name), dtype)
+
+    return deduce
+
+
+def _binary_legalize(name: str, value_fn: Callable):
+    def legalize(call: Call) -> Legalized:
+        a = tensor_ann_of(call.args[0], name, 0)
+        b = tensor_ann_of(call.args[1], name, 1)
+        sa = require_known_shape(a, name)
+        sb = require_known_shape(b, name)
+        out_shape = broadcast_shapes(sa, sb, name)
+        f = tir.TirBuilder(name.replace(".", "_"))
+        x = f.arg("A", sa, a.dtype)
+        y = f.arg("B", sb, b.dtype)
+        out = f.out("C", out_shape, a.dtype or b.dtype)
+        axes = f.spatial(*out_shape)
+        if len(out_shape) == 1:
+            axes = (axes,)
+        axes = list(axes)
+
+        def read(buf, shape):
+            # Map output axes onto this operand's axes, collapsing
+            # broadcast (static-1) dimensions to index 0.
+            idx = []
+            offset = len(out_shape) - len(shape)
+            for d, dim in enumerate(shape):
+                is_one = sym.is_static(dim) and sym.as_static_int(sym.simplify(dim)) == 1
+                idx.append(sym.IntImm(0) if is_one else axes[offset + d])
+            return buf[tuple(idx)] if idx else buf[()]
+
+        f.store(out, axes, value_fn(read(x, sa), read(y, sb)))
+        return Legalized(
+            f.build(), [call.args[0], call.args[1]], TensorAnn(out_shape, a.dtype or b.dtype)
+        )
+
+    return legalize
+
+
+def _register_binary(name: str, value_fn: Callable):
+    return register_op(
+        name,
+        deduce=_binary_deduce(name),
+        legalize=_binary_legalize(name, value_fn),
+    )
+
+
+# -- unary operators ----------------------------------------------------------
+
+_SILU = lambda v, call: v * tir.sigmoid(v)
+_GELU = lambda v, call: v * 0.5 * (1.0 + tir.erf(v * 0.7071067811865475))
+
+exp_op = _register_unary("exp", lambda v, call: tir.exp(v))
+log_op = _register_unary("log", lambda v, call: tir.log(v))
+sqrt_op = _register_unary("sqrt", lambda v, call: tir.sqrt(v))
+rsqrt_op = _register_unary("rsqrt", lambda v, call: tir.rsqrt(v))
+tanh_op = _register_unary("tanh", lambda v, call: tir.tanh(v))
+erf_op = _register_unary("erf", lambda v, call: tir.erf(v))
+sigmoid_op = _register_unary("sigmoid", lambda v, call: tir.sigmoid(v))
+silu_op = _register_unary("silu", _SILU)
+gelu_op = _register_unary("gelu", _GELU)
+relu_op = _register_unary("relu", lambda v, call: tir.vmax(v, 0.0))
+neg_op = _register_unary("negative", lambda v, call: -v)
+abs_op = _register_unary("abs", lambda v, call: tir.UnaryValue("abs", v))
+
+astype_op = _register_unary(
+    "astype",
+    lambda v, call: tir.cast(call.attrs["dtype"], v),
+    dtype_override=lambda call: call.attrs["dtype"],
+)
+
+# -- binary operators ----------------------------------------------------------
+
+add_op = _register_binary("add", lambda a, b: a + b)
+subtract_op = _register_binary("subtract", lambda a, b: a - b)
+multiply_op = _register_binary("multiply", lambda a, b: a * b)
+divide_op = _register_binary("divide", lambda a, b: a / b)
+maximum_op = _register_binary("maximum", tir.vmax)
+minimum_op = _register_binary("minimum", tir.vmin)
+power_op = _register_binary("power", lambda a, b: tir.BinValue("pow", a, b))
+
+
+# -- user-facing constructors ---------------------------------------------------
+
+
+def _unary_call(op):
+    def make(x: Expr) -> Call:
+        return Call(op, [x])
+
+    return make
+
+
+def _binary_call(op):
+    def make(a: Expr, b: Expr) -> Call:
+        return Call(op, [a, b])
+
+    return make
+
+
+exp = _unary_call(exp_op)
+log = _unary_call(log_op)
+sqrt = _unary_call(sqrt_op)
+rsqrt = _unary_call(rsqrt_op)
+tanh = _unary_call(tanh_op)
+erf = _unary_call(erf_op)
+sigmoid = _unary_call(sigmoid_op)
+silu = _unary_call(silu_op)
+gelu = _unary_call(gelu_op)
+relu = _unary_call(relu_op)
+negative = _unary_call(neg_op)
+abs_ = _unary_call(abs_op)
+
+add = _binary_call(add_op)
+subtract = _binary_call(subtract_op)
+multiply = _binary_call(multiply_op)
+divide = _binary_call(divide_op)
+maximum = _binary_call(maximum_op)
+minimum = _binary_call(minimum_op)
+power = _binary_call(power_op)
+
+
+def astype(x: Expr, dtype: str) -> Call:
+    return Call(astype_op, [x], attrs={"dtype": dtype})

@@ -1,0 +1,456 @@
+"""Shape manipulation operators: reshape, flatten, permute, concat, split,
+broadcast_to, expand_dims, squeeze, take (gather / embedding lookup).
+
+``reshape`` takes its target as a *first-class symbolic shape value* — a
+``ShapeExpr`` argument, exactly as in the paper's Figure 3 — and its
+deduction rule consumes that value, demonstrating the "shape as value"
+side of the symbolic shape design.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .. import sym, tir
+from ..core.annotations import ShapeAnn, TensorAnn, TupleAnn
+from ..core.expr import Call, Expr, ShapeExpr
+from .registry import Legalized, register_op, require_known_shape, tensor_ann_of
+
+
+def _shape_values_of(expr: Expr, op_name: str):
+    """Target shape values from a ShapeExpr arg (or its Shape annotation)."""
+    if isinstance(expr, ShapeExpr):
+        return expr.values
+    ann = expr.ann
+    if isinstance(ann, ShapeAnn) and ann.values is not None:
+        return ann.values
+    return None
+
+
+def _row_major_index(flat: sym.PrimExpr, shape) -> List[sym.PrimExpr]:
+    """Decompose a flat index into row-major multi-dim indices."""
+    idx = []
+    remaining = flat
+    for d in range(len(shape) - 1, -1, -1):
+        if d == 0:
+            idx.append(remaining)
+        else:
+            idx.append(remaining % shape[d])
+            remaining = remaining // shape[d]
+    idx.reverse()
+    return idx
+
+
+def _flatten_index(indices, shape) -> sym.PrimExpr:
+    """Row-major flat index from multi-dim indices."""
+    flat: sym.PrimExpr = sym.IntImm(0)
+    for idx, dim in zip(indices, shape):
+        flat = flat * dim + idx
+    return flat
+
+
+# -- reshape ---------------------------------------------------------------------
+
+
+def _reshape_deduce(call: Call):
+    x = tensor_ann_of(call.args[0], "reshape", 0)
+    target = _shape_values_of(call.args[1], "reshape")
+    if target is None:
+        ann = call.args[1].ann
+        ndim = ann.ndim if isinstance(ann, ShapeAnn) else -1
+        return TensorAnn(dtype=x.dtype, ndim=ndim)
+    if x.shape is not None and not sym.prove_equal(
+        sym.shape_product(x.shape), sym.shape_product(target)
+    ):
+        # Cannot *disprove* either for symbolic dims; only reject when both
+        # sides are static and different.
+        if sym.is_static(sym.shape_product(x.shape)) and sym.is_static(
+            sym.shape_product(target)
+        ):
+            raise ValueError(
+                f"reshape: element count mismatch {x.shape} -> {tuple(target)}"
+            )
+    return TensorAnn(target, x.dtype)
+
+
+def _reshape_legalize(call: Call) -> Legalized:
+    x = tensor_ann_of(call.args[0], "reshape", 0)
+    in_shape = require_known_shape(x, "reshape")
+    target = _shape_values_of(call.args[1], "reshape")
+    if target is None:
+        raise ValueError("reshape: target shape must be a ShapeExpr to legalize")
+    f = tir.TirBuilder("reshape")
+    src = f.arg("X", in_shape, x.dtype)
+    dst = f.out("Y", target, x.dtype)
+    axes = f.spatial(*target)
+    if len(target) == 1:
+        axes = (axes,)
+    axes = list(axes)
+    flat = _flatten_index(axes, target)
+    f.store(dst, axes, src[tuple(_row_major_index(flat, in_shape))])
+    return Legalized(f.build(), [call.args[0]], TensorAnn(target, x.dtype))
+
+
+reshape_op = register_op("reshape", deduce=_reshape_deduce, legalize=_reshape_legalize)
+
+
+def reshape(x: Expr, target) -> Call:
+    if not isinstance(target, (ShapeExpr, Expr)):
+        target = ShapeExpr(target)
+    return Call(reshape_op, [x, target])
+
+
+# -- flatten ---------------------------------------------------------------------
+
+
+def _flatten_deduce(call: Call):
+    x = tensor_ann_of(call.args[0], "flatten", 0)
+    if x.shape is None:
+        return TensorAnn(dtype=x.dtype, ndim=1)
+    return TensorAnn((sym.simplify(sym.shape_product(x.shape)),), x.dtype)
+
+
+def _flatten_legalize(call: Call) -> Legalized:
+    x = tensor_ann_of(call.args[0], "flatten", 0)
+    in_shape = require_known_shape(x, "flatten")
+    total = sym.simplify(sym.shape_product(in_shape))
+    f = tir.TirBuilder("flatten")
+    src = f.arg("X", in_shape, x.dtype)
+    dst = f.out("Y", (total,), x.dtype)
+    k = f.spatial(total)
+    f.store(dst, [k], src[tuple(_row_major_index(k, in_shape))])
+    return Legalized(f.build(), [call.args[0]], TensorAnn((total,), x.dtype))
+
+
+flatten_op = register_op("flatten", deduce=_flatten_deduce, legalize=_flatten_legalize)
+
+
+def flatten(x: Expr) -> Call:
+    return Call(flatten_op, [x])
+
+
+# -- permute_dims -------------------------------------------------------------------
+
+
+def _permute_deduce(call: Call):
+    x = tensor_ann_of(call.args[0], "permute_dims", 0)
+    axes = call.attrs["axes"]
+    if x.shape is None:
+        return TensorAnn(dtype=x.dtype, ndim=x.ndim)
+    if sorted(axes) != list(range(len(x.shape))):
+        raise ValueError(f"permute_dims: invalid axes {axes} for {x}")
+    return TensorAnn(tuple(x.shape[a] for a in axes), x.dtype)
+
+
+def _permute_legalize(call: Call) -> Legalized:
+    x = tensor_ann_of(call.args[0], "permute_dims", 0)
+    in_shape = require_known_shape(x, "permute_dims")
+    axes = call.attrs["axes"]
+    out_shape = tuple(in_shape[a] for a in axes)
+    f = tir.TirBuilder("permute_dims")
+    src = f.arg("X", in_shape, x.dtype)
+    dst = f.out("Y", out_shape, x.dtype)
+    loop = f.spatial(*out_shape)
+    if len(out_shape) == 1:
+        loop = (loop,)
+    loop = list(loop)
+    src_idx = [None] * len(in_shape)
+    for out_pos, in_pos in enumerate(axes):
+        src_idx[in_pos] = loop[out_pos]
+    f.store(dst, loop, src[tuple(src_idx)])
+    return Legalized(f.build(), [call.args[0]], TensorAnn(out_shape, x.dtype))
+
+
+permute_dims_op = register_op(
+    "permute_dims", deduce=_permute_deduce, legalize=_permute_legalize
+)
+
+
+def permute_dims(x: Expr, axes: Sequence[int]) -> Call:
+    return Call(permute_dims_op, [x], attrs={"axes": tuple(axes)})
+
+
+# -- expand_dims / squeeze --------------------------------------------------------------
+
+
+def _expand_deduce(call: Call):
+    x = tensor_ann_of(call.args[0], "expand_dims", 0)
+    axis = call.attrs["axis"]
+    if x.shape is None:
+        ndim = x.ndim + 1 if x.ndim != -1 else -1
+        return TensorAnn(dtype=x.dtype, ndim=ndim)
+    shape = list(x.shape)
+    shape.insert(axis if axis >= 0 else axis + len(shape) + 1, sym.IntImm(1))
+    return TensorAnn(shape, x.dtype)
+
+
+def _squeeze_deduce(call: Call):
+    x = tensor_ann_of(call.args[0], "squeeze", 0)
+    axis = call.attrs["axis"]
+    if x.shape is None:
+        ndim = x.ndim - 1 if x.ndim != -1 else -1
+        return TensorAnn(dtype=x.dtype, ndim=ndim)
+    shape = list(x.shape)
+    dim = shape[axis]
+    if sym.is_static(dim) and sym.as_static_int(sym.simplify(dim)) != 1:
+        raise ValueError(f"squeeze: axis {axis} has extent {dim} != 1")
+    shape.pop(axis)
+    return TensorAnn(shape, x.dtype)
+
+
+def _reindex_legalize(name, out_shape_fn, src_idx_fn):
+    def legalize(call: Call) -> Legalized:
+        x = tensor_ann_of(call.args[0], name, 0)
+        in_shape = require_known_shape(x, name)
+        out_shape = out_shape_fn(call, in_shape)
+        f = tir.TirBuilder(name)
+        src = f.arg("X", in_shape, x.dtype)
+        dst = f.out("Y", out_shape, x.dtype)
+        loop = f.spatial(*out_shape)
+        if len(out_shape) == 1:
+            loop = (loop,)
+        loop = list(loop)
+        f.store(dst, loop, src[tuple(src_idx_fn(call, loop, in_shape))])
+        return Legalized(f.build(), [call.args[0]], TensorAnn(out_shape, x.dtype))
+
+    return legalize
+
+
+def _expand_out_shape(call, in_shape):
+    axis = call.attrs["axis"]
+    shape = list(in_shape)
+    shape.insert(axis if axis >= 0 else axis + len(shape) + 1, sym.IntImm(1))
+    return tuple(shape)
+
+
+def _expand_src_idx(call, loop, in_shape):
+    axis = call.attrs["axis"]
+    axis = axis if axis >= 0 else axis + len(in_shape) + 1
+    return [v for d, v in enumerate(loop) if d != axis]
+
+
+def _squeeze_out_shape(call, in_shape):
+    shape = list(in_shape)
+    shape.pop(call.attrs["axis"])
+    return tuple(shape)
+
+
+def _squeeze_src_idx(call, loop, in_shape):
+    axis = call.attrs["axis"]
+    axis = axis if axis >= 0 else axis + len(in_shape)
+    idx = list(loop)
+    idx.insert(axis, sym.IntImm(0))
+    return idx
+
+
+expand_dims_op = register_op(
+    "expand_dims",
+    deduce=_expand_deduce,
+    legalize=_reindex_legalize("expand_dims", _expand_out_shape, _expand_src_idx),
+)
+squeeze_op = register_op(
+    "squeeze",
+    deduce=_squeeze_deduce,
+    legalize=_reindex_legalize("squeeze", _squeeze_out_shape, _squeeze_src_idx),
+)
+
+
+def expand_dims(x: Expr, axis: int) -> Call:
+    return Call(expand_dims_op, [x], attrs={"axis": axis})
+
+
+def squeeze(x: Expr, axis: int) -> Call:
+    return Call(squeeze_op, [x], attrs={"axis": axis})
+
+
+# -- broadcast_to -------------------------------------------------------------------
+
+
+def _broadcast_to_deduce(call: Call):
+    x = tensor_ann_of(call.args[0], "broadcast_to", 0)
+    target = _shape_values_of(call.args[1], "broadcast_to")
+    if target is None:
+        return TensorAnn(dtype=x.dtype)
+    return TensorAnn(target, x.dtype)
+
+
+def _broadcast_to_legalize(call: Call) -> Legalized:
+    x = tensor_ann_of(call.args[0], "broadcast_to", 0)
+    in_shape = require_known_shape(x, "broadcast_to")
+    target = _shape_values_of(call.args[1], "broadcast_to")
+    f = tir.TirBuilder("broadcast_to")
+    src = f.arg("X", in_shape, x.dtype)
+    dst = f.out("Y", target, x.dtype)
+    loop = f.spatial(*target)
+    if len(target) == 1:
+        loop = (loop,)
+    loop = list(loop)
+    offset = len(target) - len(in_shape)
+    idx = []
+    for d, dim in enumerate(in_shape):
+        is_one = sym.is_static(dim) and sym.as_static_int(sym.simplify(dim)) == 1
+        idx.append(sym.IntImm(0) if is_one else loop[offset + d])
+    f.store(dst, loop, src[tuple(idx)])
+    return Legalized(f.build(), [call.args[0]], TensorAnn(target, x.dtype))
+
+
+broadcast_to_op = register_op(
+    "broadcast_to", deduce=_broadcast_to_deduce, legalize=_broadcast_to_legalize
+)
+
+
+def broadcast_to(x: Expr, target) -> Call:
+    if not isinstance(target, (ShapeExpr, Expr)):
+        target = ShapeExpr(target)
+    return Call(broadcast_to_op, [x, target])
+
+
+# -- concat / split -------------------------------------------------------------------
+
+
+def _concat_deduce(call: Call):
+    anns = [tensor_ann_of(a, "concat", i) for i, a in enumerate(call.args)]
+    axis = call.attrs["axis"]
+    dtype = anns[0].dtype
+    if any(a.shape is None for a in anns):
+        return TensorAnn(dtype=dtype, ndim=anns[0].ndim)
+    out = list(anns[0].shape)
+    total = out[axis]
+    for ann in anns[1:]:
+        for d in range(len(out)):
+            if d != axis and not sym.prove_equal(out[d], ann.shape[d]):
+                raise ValueError(
+                    f"concat: non-axis dim {d} mismatch {out[d]} vs {ann.shape[d]}"
+                )
+        total = total + ann.shape[axis]
+    out[axis] = sym.simplify(total)
+    return TensorAnn(out, dtype)
+
+
+def _concat_legalize(call: Call) -> Legalized:
+    anns = [tensor_ann_of(a, "concat", i) for i, a in enumerate(call.args)]
+    axis = call.attrs["axis"]
+    out_ann = _concat_deduce(call)
+    f = tir.TirBuilder("concat")
+    srcs = [f.arg(f"X{i}", ann.shape, ann.dtype) for i, ann in enumerate(anns)]
+    dst = f.out("Y", out_ann.shape, out_ann.dtype)
+    # One copy stage per input, writing into its slice along `axis`.
+    offset: sym.PrimExpr = sym.IntImm(0)
+    for src, ann in zip(srcs, anns):
+        loop = f.spatial(*ann.shape)
+        if len(ann.shape) == 1:
+            loop = (loop,)
+        loop = list(loop)
+        out_idx = list(loop)
+        out_idx[axis] = sym.simplify(loop[axis] + offset)
+        f.store(dst, out_idx, src[tuple(loop)])
+        offset = offset + ann.shape[axis]
+    return Legalized(f.build(), list(call.args), out_ann)
+
+
+concat_op = register_op("concat", deduce=_concat_deduce, legalize=_concat_legalize)
+
+
+def concat(tensors: Sequence[Expr], axis: int = 0) -> Call:
+    return Call(concat_op, list(tensors), attrs={"axis": axis})
+
+
+def _split_deduce(call: Call):
+    x = tensor_ann_of(call.args[0], "split", 0)
+    sections = call.attrs["sections"]
+    axis = call.attrs["axis"]
+    if x.shape is None:
+        return TupleAnn([TensorAnn(dtype=x.dtype, ndim=x.ndim)] * sections)
+    dim = x.shape[axis]
+    part = sym.simplify(dim // sections)
+    fields = []
+    for _ in range(sections):
+        shape = list(x.shape)
+        shape[axis] = part
+        fields.append(TensorAnn(shape, x.dtype))
+    return TupleAnn(fields)
+
+
+def _split_legalize(call: Call) -> Legalized:
+    # Multi-output DPS: one copy stage per section (exercises call_tir's
+    # tuple-result path end to end).
+    x = tensor_ann_of(call.args[0], "split", 0)
+    in_shape = require_known_shape(x, "split")
+    sections = call.attrs["sections"]
+    axis = call.attrs["axis"]
+    part = sym.simplify(in_shape[axis] // sections)
+    out_shape = list(in_shape)
+    out_shape[axis] = part
+
+    f = tir.TirBuilder("split")
+    src = f.arg("X", in_shape, x.dtype)
+    outs = [f.out(f"Y{k}", out_shape, x.dtype) for k in range(sections)]
+    for k, out in enumerate(outs):
+        loop = f.spatial(*out_shape)
+        if len(out_shape) == 1:
+            loop = (loop,)
+        loop = list(loop)
+        src_idx = list(loop)
+        src_idx[axis] = sym.simplify(loop[axis] + part * k)
+        f.store(out, loop, src[tuple(src_idx)])
+    out_anns = tuple(TensorAnn(out_shape, x.dtype) for _ in range(sections))
+    legalized = Legalized(f.build(), [call.args[0]], out_anns[0])
+    legalized.out_anns = out_anns
+    return legalized
+
+
+split_op = register_op("split", deduce=_split_deduce, legalize=_split_legalize)
+
+
+def split(x: Expr, sections: int, axis: int = 0) -> Call:
+    """Split into ``sections`` equal parts along ``axis`` (tuple result)."""
+    return Call(split_op, [x], attrs={"sections": sections, "axis": axis})
+
+
+# -- take (gather / embedding lookup) -----------------------------------------------------
+
+
+def _take_deduce(call: Call):
+    x = tensor_ann_of(call.args[0], "take", 0)
+    idx = tensor_ann_of(call.args[1], "take", 1)
+    axis = call.attrs["axis"]
+    if x.shape is None or idx.shape is None:
+        return TensorAnn(dtype=x.dtype)
+    out = list(x.shape[:axis]) + list(idx.shape) + list(x.shape[axis + 1:])
+    return TensorAnn(out, x.dtype)
+
+
+def _take_legalize(call: Call) -> Legalized:
+    # Gather reads a data-dependent index, so the read index is not a pure
+    # function of the loop vars; we model it with an extern-style tensor
+    # program using an index read per output element.
+    x = tensor_ann_of(call.args[0], "take", 0)
+    idx = tensor_ann_of(call.args[1], "take", 1)
+    axis = call.attrs["axis"]
+    in_shape = require_known_shape(x, "take")
+    idx_shape = require_known_shape(idx, "take")
+    out_ann = _take_deduce(call)
+
+    f = tir.TirBuilder("take")
+    src = f.arg("X", in_shape, x.dtype)
+    indices = f.arg("I", idx_shape, idx.dtype)
+    dst = f.out("Y", out_ann.shape, x.dtype)
+    loop = f.spatial(*out_ann.shape)
+    if len(out_ann.shape) == 1:
+        loop = (loop,)
+    loop = list(loop)
+    pre = loop[:axis]
+    mid = loop[axis: axis + len(idx_shape)]
+    post = loop[axis + len(idx_shape):]
+    # Gather is expressed with an IndirectRead (read index from buffer).
+    gathered = tir.GatherRead(src, indices, tuple(pre), tuple(mid), tuple(post))
+    f.store(dst, loop, gathered)
+    return Legalized(f.build(), [call.args[0], call.args[1]], out_ann)
+
+
+take_op = register_op("take", deduce=_take_deduce, legalize=_take_legalize)
+
+
+def take(x: Expr, indices: Expr, axis: int = 0) -> Call:
+    """Gather along ``axis`` (embedding lookup when axis=0)."""
+    return Call(take_op, [x, indices], attrs={"axis": axis})

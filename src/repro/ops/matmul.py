@@ -1,0 +1,140 @@
+"""Matrix multiplication (batched, broadcasting, symbolic-shape aware)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import sym, tir
+from ..core.annotations import TensorAnn
+from ..core.expr import Call, Expr
+from .elementwise import broadcast_shapes
+from .registry import Legalized, register_op, require_known_shape, tensor_ann_of
+
+
+def _matmul_shapes(a_shape, b_shape):
+    """Output shape of a (batched) matmul; raises on contraction mismatch."""
+    if len(a_shape) < 1 or len(b_shape) < 1:
+        raise ValueError("matmul requires at least 1-d operands")
+    if len(a_shape) == 1:
+        a_shape = (sym.IntImm(1),) + tuple(a_shape)
+        squeeze_front = True
+    else:
+        squeeze_front = False
+    if len(b_shape) == 1:
+        b_shape = tuple(b_shape) + (sym.IntImm(1),)
+        squeeze_back = True
+    else:
+        squeeze_back = False
+    k_a, k_b = a_shape[-1], b_shape[-2]
+    if not sym.prove_equal(k_a, k_b):
+        raise ValueError(f"matmul: contraction mismatch {k_a} vs {k_b}")
+    batch = broadcast_shapes(a_shape[:-2], b_shape[:-2], "matmul")
+    out = list(batch) + [a_shape[-2], b_shape[-1]]
+    if squeeze_front:
+        out.pop(-2)
+    if squeeze_back:
+        out.pop(-1)
+    return tuple(a_shape), tuple(b_shape), tuple(out), squeeze_front, squeeze_back
+
+
+def _b_shape(call: Call, b_ann):
+    """Effective shape of the second operand (transpose_b swaps the last
+    two dims; the kernel reads the stored layout directly, so tied-embedding
+    LM heads never materialize a transposed copy)."""
+    shape = b_ann.shape
+    if call.attrs.get("transpose_b") and shape is not None and len(shape) >= 2:
+        shape = tuple(shape[:-2]) + (shape[-1], shape[-2])
+    return shape
+
+
+def _deduce(call: Call):
+    a = tensor_ann_of(call.args[0], "matmul", 0)
+    b = tensor_ann_of(call.args[1], "matmul", 1)
+    out_dtype = call.attrs.get("out_dtype") or a.dtype or b.dtype
+    if a.shape is None or b.shape is None:
+        return TensorAnn(dtype=out_dtype)
+    _, _, out_shape, _, _ = _matmul_shapes(a.shape, _b_shape(call, b))
+    return TensorAnn(out_shape, out_dtype)
+
+
+def _legalize(call: Call) -> Legalized:
+    a = tensor_ann_of(call.args[0], "matmul", 0)
+    b = tensor_ann_of(call.args[1], "matmul", 1)
+    sa = require_known_shape(a, "matmul")
+    sb = require_known_shape(b, "matmul")
+    transpose_b = bool(call.attrs.get("transpose_b"))
+    eff_sb = _b_shape(call, b)
+    out_dtype = call.attrs.get("out_dtype") or a.dtype or b.dtype
+    a2, b2, out_shape, squeeze_front, squeeze_back = _matmul_shapes(sa, eff_sb)
+
+    # Work in the padded (>=2-d) space; the output buffer uses out_shape.
+    batch = broadcast_shapes(a2[:-2], b2[:-2], "matmul")
+    m, n, k = a2[-2], b2[-1], a2[-1]
+
+    f = tir.TirBuilder("matmul")
+    f.attr("op_kind", "matmul")
+    x = f.arg("X", sa, a.dtype)
+    w = f.arg("W", sb, b.dtype)
+    y = f.out("Y", out_shape, out_dtype)
+
+    padded_out = list(batch) + [m, n]
+    axes = f.spatial(*padded_out)
+    if len(padded_out) == 1:
+        axes = (axes,)
+    axes = list(axes)
+    kv = f.reduce(k)
+
+    batch_axes = axes[:-2]
+    mi, ni = axes[-2], axes[-1]
+
+    def operand_idx(shape_full, row, col):
+        # Map padded batch axes onto the operand, collapsing broadcasts.
+        idx = []
+        obatch = shape_full[:-2]
+        offset = len(batch) - len(obatch)
+        for d, dim in enumerate(obatch):
+            is_one = sym.is_static(dim) and sym.as_static_int(sym.simplify(dim)) == 1
+            idx.append(sym.IntImm(0) if is_one else batch_axes[offset + d])
+        idx.extend([row, col])
+        return idx
+
+    a_idx = operand_idx(a2, mi, kv)
+    b_idx = operand_idx(b2, ni, kv) if transpose_b else operand_idx(b2, kv, ni)
+    if len(sa) == 1:
+        a_idx = [kv]
+    if len(sb) == 1:
+        b_idx = [kv]
+
+    a_read = x[tuple(a_idx)]
+    b_read = w[tuple(b_idx)]
+    if out_dtype and out_dtype != a.dtype:
+        a_read = tir.cast(out_dtype, a_read)
+        b_read = tir.cast(out_dtype, b_read)
+
+    out_idx = list(axes)
+    if squeeze_front:
+        out_idx.pop(-2)
+    if squeeze_back:
+        out_idx.pop(-1)
+    f.store(y, out_idx, a_read * b_read, combiner="sum", init=0.0)
+    return Legalized(
+        f.build(), [call.args[0], call.args[1]], TensorAnn(out_shape, out_dtype)
+    )
+
+
+matmul_op = register_op("matmul", deduce=_deduce, legalize=_legalize)
+
+
+def matmul(a: Expr, b: Expr, out_dtype: Optional[str] = None,
+           transpose_b: bool = False) -> Call:
+    """Batched matrix multiplication with NumPy broadcasting semantics.
+
+    ``transpose_b`` contracts against the *rows* of ``b`` (reading the
+    stored layout directly), so tied-embedding LM heads avoid materializing
+    a transposed weight copy."""
+    attrs = {}
+    if out_dtype:
+        attrs["out_dtype"] = out_dtype
+    if transpose_b:
+        attrs["transpose_b"] = True
+    return Call(matmul_op, [a, b], attrs=attrs)

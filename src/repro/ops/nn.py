@@ -1,0 +1,314 @@
+"""Neural-network operators: softmax, rms_norm, layer_norm, rotary
+embeddings (RoPE), and causal attention masks.
+
+These are the operators the paper's LLM evaluation leans on: RMSNorm is one
+of the fusion examples in §5.2, and RoPE with a *symbolic position offset*
+exercises the Fig. 8 pattern — the offset is a symbolic variable not
+inferable from any buffer shape, so legalization threads it through
+``call_tir``'s extra symbolic arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import sym, tir
+from ..core.annotations import TensorAnn
+from ..core.expr import Call, Expr, ShapeExpr
+from .registry import (
+    Legalized,
+    register_op,
+    require_known_shape,
+    spatial_axes,
+    tensor_ann_of,
+)
+
+
+def _last_axis(shape):
+    return len(shape) - 1
+
+
+# -- softmax ----------------------------------------------------------------------
+
+
+def _softmax_deduce(call: Call):
+    x = tensor_ann_of(call.args[0], "softmax", 0)
+    return TensorAnn(x.shape, x.dtype) if x.shape is not None else x
+
+
+def _softmax_legalize(call: Call) -> Legalized:
+    x = tensor_ann_of(call.args[0], "softmax", 0)
+    shape = require_known_shape(x, "softmax")
+    axis = _last_axis(shape)
+    outer = list(shape[:axis])
+    inner = shape[axis]
+
+    f = tir.TirBuilder("softmax")
+    src = f.arg("X", shape, x.dtype)
+    dst = f.out("Y", shape, x.dtype)
+    mx = f.alloc("mx", outer or (1,), x.dtype)
+    sm = f.alloc("sm", outer or (1,), x.dtype)
+
+    def outer_idx(axes):
+        return axes if outer else [sym.IntImm(0)]
+
+    axes = spatial_axes(f, outer)
+    r = f.reduce(inner)
+    f.store(mx, outer_idx(axes), src[tuple(axes + [r])], combiner="max")
+
+    axes = spatial_axes(f, outer)
+    r = f.reduce(inner)
+    f.store(
+        sm,
+        outer_idx(axes),
+        tir.exp(src[tuple(axes + [r])] - mx[tuple(outer_idx(axes))]),
+        combiner="sum",
+        init=0.0,
+    )
+
+    axes = spatial_axes(f, outer)
+    j = f.spatial(inner)
+    f.store(
+        dst,
+        axes + [j],
+        tir.exp(src[tuple(axes + [j])] - mx[tuple(outer_idx(axes))])
+        / sm[tuple(outer_idx(axes))],
+    )
+    return Legalized(f.build(), [call.args[0]], TensorAnn(shape, x.dtype))
+
+
+softmax_op = register_op("softmax", _softmax_deduce, _softmax_legalize)
+
+
+def softmax(x: Expr) -> Call:
+    """Softmax over the last axis."""
+    return Call(softmax_op, [x])
+
+
+# -- rms_norm ---------------------------------------------------------------------
+
+
+def _rms_norm_deduce(call: Call):
+    x = tensor_ann_of(call.args[0], "rms_norm", 0)
+    return TensorAnn(x.shape, x.dtype) if x.shape is not None else x
+
+
+def _rms_norm_legalize(call: Call) -> Legalized:
+    x = tensor_ann_of(call.args[0], "rms_norm", 0)
+    w = tensor_ann_of(call.args[1], "rms_norm", 1)
+    shape = require_known_shape(x, "rms_norm")
+    eps = call.attrs.get("eps", 1e-5)
+    axis = _last_axis(shape)
+    outer = list(shape[:axis])
+    inner = shape[axis]
+
+    f = tir.TirBuilder("rms_norm")
+    src = f.arg("X", shape, x.dtype)
+    weight = f.arg("W", w.shape, w.dtype)
+    dst = f.out("Y", shape, x.dtype)
+    ss = f.alloc("ss", outer or (1,), x.dtype)
+
+    def outer_idx(axes):
+        return axes if outer else [sym.IntImm(0)]
+
+    axes = spatial_axes(f, outer)
+    r = f.reduce(inner)
+    val = src[tuple(axes + [r])]
+    f.store(ss, outer_idx(axes), val * val, combiner="sum", init=0.0)
+
+    axes = spatial_axes(f, outer)
+    j = f.spatial(inner)
+    denom = tir.rsqrt(
+        ss[tuple(outer_idx(axes))] / tir.cast(x.dtype, tir.IndexValue(inner)) + eps
+    )
+    f.store(dst, axes + [j], src[tuple(axes + [j])] * denom * weight[j])
+    return Legalized(
+        f.build(), [call.args[0], call.args[1]], TensorAnn(shape, x.dtype)
+    )
+
+
+rms_norm_op = register_op("rms_norm", _rms_norm_deduce, _rms_norm_legalize)
+
+
+def rms_norm(x: Expr, weight: Expr, eps: float = 1e-5) -> Call:
+    """RMS normalization over the last axis, scaled by ``weight``."""
+    return Call(rms_norm_op, [x, weight], attrs={"eps": eps})
+
+
+# -- layer_norm --------------------------------------------------------------------
+
+
+def _layer_norm_deduce(call: Call):
+    x = tensor_ann_of(call.args[0], "layer_norm", 0)
+    return TensorAnn(x.shape, x.dtype) if x.shape is not None else x
+
+
+def _layer_norm_legalize(call: Call) -> Legalized:
+    x = tensor_ann_of(call.args[0], "layer_norm", 0)
+    g = tensor_ann_of(call.args[1], "layer_norm", 1)
+    b = tensor_ann_of(call.args[2], "layer_norm", 2)
+    shape = require_known_shape(x, "layer_norm")
+    eps = call.attrs.get("eps", 1e-5)
+    axis = _last_axis(shape)
+    outer = list(shape[:axis])
+    inner = shape[axis]
+
+    f = tir.TirBuilder("layer_norm")
+    src = f.arg("X", shape, x.dtype)
+    gamma = f.arg("G", g.shape, g.dtype)
+    beta = f.arg("B", b.shape, b.dtype)
+    dst = f.out("Y", shape, x.dtype)
+    mu = f.alloc("mu", outer or (1,), x.dtype)
+    var = f.alloc("var", outer or (1,), x.dtype)
+
+    def outer_idx(axes):
+        return axes if outer else [sym.IntImm(0)]
+
+    inner_count = tir.cast(x.dtype, tir.IndexValue(inner))
+
+    axes = spatial_axes(f, outer)
+    r = f.reduce(inner)
+    f.store(
+        mu, outer_idx(axes), src[tuple(axes + [r])] / inner_count,
+        combiner="sum", init=0.0,
+    )
+
+    axes = spatial_axes(f, outer)
+    r = f.reduce(inner)
+    diff = src[tuple(axes + [r])] - mu[tuple(outer_idx(axes))]
+    f.store(
+        var, outer_idx(axes), diff * diff / inner_count, combiner="sum", init=0.0
+    )
+
+    axes = spatial_axes(f, outer)
+    j = f.spatial(inner)
+    norm = (src[tuple(axes + [j])] - mu[tuple(outer_idx(axes))]) * tir.rsqrt(
+        var[tuple(outer_idx(axes))] + eps
+    )
+    f.store(dst, axes + [j], norm * gamma[j] + beta[j])
+    return Legalized(
+        f.build(),
+        [call.args[0], call.args[1], call.args[2]],
+        TensorAnn(shape, x.dtype),
+    )
+
+
+layer_norm_op = register_op("layer_norm", _layer_norm_deduce, _layer_norm_legalize)
+
+
+def layer_norm(x: Expr, gamma: Expr, beta: Expr, eps: float = 1e-5) -> Call:
+    """Layer normalization over the last axis."""
+    return Call(layer_norm_op, [x, gamma, beta], attrs={"eps": eps})
+
+
+# -- rotary position embedding ---------------------------------------------------------
+
+
+def _rope_deduce(call: Call):
+    x = tensor_ann_of(call.args[0], "rope", 0)
+    return TensorAnn(x.shape, x.dtype) if x.shape is not None else x
+
+
+def _rope_legalize(call: Call) -> Legalized:
+    x = tensor_ann_of(call.args[0], "rope", 0)
+    shape = require_known_shape(x, "rope")
+    if len(shape) != 4:
+        raise ValueError("rope expects (batch, seq, heads, head_dim)")
+    offset = sym.PrimExpr.convert(call.attrs["offset"])
+    theta_base = float(call.attrs.get("theta", 10000.0))
+    bsz, seq, heads, dim = shape
+    if not sym.is_static(dim):
+        raise ValueError("rope head_dim must be static")
+    half = sym.as_static_int(sym.simplify(dim)) // 2
+
+    f = tir.TirBuilder("rope")
+    src = f.arg("X", shape, x.dtype)
+    dst = f.out("Y", shape, x.dtype)
+    b, s, h, d = f.spatial(bsz, seq, heads, dim)
+    pos = tir.cast("f32", tir.IndexValue(s + offset))
+    freq_idx = tir.cast("f32", tir.IndexValue(d % half))
+    inv_freq = tir.BinValue(
+        "pow", tir.FloatConst(theta_base), freq_idx * (-2.0 / (2 * half))
+    )
+    angle = pos * inv_freq
+    # Both select branches are evaluated over the full grid, so indices are
+    # wrapped with mod to stay in range; select discards the wrong branch.
+    dim_int = 2 * half
+    rotated = tir.select(
+        tir.lt(tir.IndexValue(d), half),
+        -src[b, s, h, (d + half) % dim_int],
+        src[b, s, h, (d + half) % dim_int],
+    )
+    out_val = src[b, s, h, d] * tir.cos(angle) + rotated * tir.sin(angle)
+    if x.dtype != "f32":
+        out_val = tir.cast(x.dtype, out_val)
+    f.store(dst, [b, s, h, d], out_val)
+    return Legalized(f.build(), [call.args[0]], TensorAnn(shape, x.dtype))
+
+
+rope_op = register_op("rope", _rope_deduce, _rope_legalize)
+
+
+def rope(x: Expr, offset: sym.ExprLike = 0, theta: float = 10000.0) -> Call:
+    """Rotary position embedding; ``offset`` may be a symbolic expression
+    (the KV-cache length during decode)."""
+    return Call(rope_op, [x], attrs={"offset": sym.PrimExpr.convert(offset),
+                                     "theta": theta})
+
+
+# -- causal mask -----------------------------------------------------------------------
+
+
+def _causal_mask_deduce(call: Call):
+    target = call.args[0]
+    if isinstance(target, ShapeExpr):
+        return TensorAnn(target.values, call.attrs["dtype"])
+    return TensorAnn(dtype=call.attrs["dtype"], ndim=2)
+
+
+def _causal_mask_legalize(call: Call) -> Legalized:
+    target = call.args[0]
+    if not isinstance(target, ShapeExpr):
+        raise ValueError("causal_mask requires a ShapeExpr target")
+    s, m = target.values
+    dtype = call.attrs["dtype"]
+    fill = float(call.attrs["fill_value"])
+    offset = sym.PrimExpr.convert(call.attrs["offset"])
+
+    f = tir.TirBuilder("causal_mask")
+    dst = f.out("M", (s, m), dtype)
+    i, j = f.spatial(s, m)
+    allowed = tir.Cmp("le", tir.IndexValue(j), tir.IndexValue(i + offset))
+    f.store(dst, [i, j], tir.select(allowed, tir.cast(dtype, 0.0), tir.cast(dtype, fill)))
+    return Legalized(f.build(), [], TensorAnn((s, m), dtype))
+
+
+causal_mask_op = register_op("causal_mask", _causal_mask_deduce, _causal_mask_legalize)
+
+
+def causal_mask(
+    seq_q: sym.ExprLike,
+    seq_k: sym.ExprLike,
+    offset: Optional[sym.ExprLike] = None,
+    dtype: str = "f32",
+    fill_value: float = -1e9,
+) -> Call:
+    """Additive causal mask of shape (seq_q, seq_k).
+
+    Query ``i`` may attend key ``j`` iff ``j <= i + offset``; the default
+    offset ``seq_k - seq_q`` aligns the query block to the end of the keys
+    (the standard prefill/decode layout).
+    """
+    seq_q = sym.PrimExpr.convert(seq_q)
+    seq_k = sym.PrimExpr.convert(seq_k)
+    if offset is None:
+        offset = sym.simplify(seq_k - seq_q)
+    return Call(
+        causal_mask_op,
+        [ShapeExpr([seq_q, seq_k])],
+        attrs={
+            "offset": sym.PrimExpr.convert(offset),
+            "dtype": dtype,
+            "fill_value": fill_value,
+        },
+    )

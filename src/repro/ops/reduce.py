@@ -1,0 +1,121 @@
+"""Reduction operators: sum, max, min, mean (over one axis or all axes)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import sym, tir
+from ..core.annotations import TensorAnn
+from ..core.expr import Call, Expr
+from .registry import (
+    Legalized,
+    register_op,
+    require_known_shape,
+    spatial_axes,
+    tensor_ann_of,
+)
+
+
+def _norm_axis(axis: Optional[int], ndim: int) -> Optional[int]:
+    if axis is None:
+        return None
+    axis = axis if axis >= 0 else axis + ndim
+    if not 0 <= axis < ndim:
+        raise ValueError(f"reduction axis {axis} out of range for ndim {ndim}")
+    return axis
+
+
+def _reduce_out_shape(shape, axis: Optional[int], keepdims: bool):
+    if axis is None:
+        return (sym.IntImm(1),) * len(shape) if keepdims else ()
+    out = list(shape)
+    if keepdims:
+        out[axis] = sym.IntImm(1)
+    else:
+        out.pop(axis)
+    return tuple(out)
+
+
+def _reduce_deduce(name: str):
+    def deduce(call: Call):
+        x = tensor_ann_of(call.args[0], name, 0)
+        axis = call.attrs["axis"]
+        keepdims = call.attrs["keepdims"]
+        if x.shape is None:
+            return TensorAnn(dtype=x.dtype)
+        axis = _norm_axis(axis, len(x.shape))
+        return TensorAnn(_reduce_out_shape(x.shape, axis, keepdims), x.dtype)
+
+    return deduce
+
+
+def _reduce_legalize(name: str, combiner: str, mean: bool = False):
+    def legalize(call: Call) -> Legalized:
+        x = tensor_ann_of(call.args[0], name, 0)
+        shape = require_known_shape(x, name)
+        axis = _norm_axis(call.attrs["axis"], len(shape))
+        keepdims = call.attrs["keepdims"]
+        out_shape = _reduce_out_shape(shape, axis, keepdims)
+
+        f = tir.TirBuilder(name)
+        src = f.arg("X", shape, x.dtype)
+        dst = f.out("Y", out_shape, x.dtype)
+
+        if axis is None:
+            spatial = []
+            reduce_axes = list(range(len(shape)))
+        else:
+            spatial = [d for d in range(len(shape)) if d != axis]
+            reduce_axes = [axis]
+
+        s_vars = spatial_axes(f, [shape[d] for d in spatial])
+        r_vars = [f.reduce(shape[d]) for d in reduce_axes]
+
+        src_idx = [None] * len(shape)
+        for pos, d in enumerate(spatial):
+            src_idx[d] = s_vars[pos]
+        for pos, d in enumerate(reduce_axes):
+            src_idx[d] = r_vars[pos]
+
+        out_idx = list(s_vars)
+        if keepdims:
+            full = []
+            pos = 0
+            for d in range(len(shape)):
+                if axis is None or d == axis:
+                    full.append(sym.IntImm(0))
+                else:
+                    full.append(s_vars[pos])
+                    pos += 1
+            out_idx = full
+
+        value = src[tuple(src_idx)]
+        reduce_count = sym.shape_product([shape[d] for d in reduce_axes])
+        init = 0.0 if combiner == "sum" else None
+        if mean:
+            value = value / tir.cast(x.dtype, tir.IndexValue(reduce_count))
+        f.store(dst, out_idx, value, combiner=combiner, init=init)
+        return Legalized(f.build(), [call.args[0]], TensorAnn(out_shape, x.dtype))
+
+    return legalize
+
+
+sum_op = register_op("sum", _reduce_deduce("sum"), _reduce_legalize("sum", "sum"))
+max_op = register_op("max", _reduce_deduce("max"), _reduce_legalize("max", "max"))
+min_op = register_op("min", _reduce_deduce("min"), _reduce_legalize("min", "min"))
+mean_op = register_op(
+    "mean", _reduce_deduce("mean"), _reduce_legalize("mean", "sum", mean=True)
+)
+
+
+def _make(op):
+    def make(x: Expr, axis: Optional[int] = None, keepdims: bool = False) -> Call:
+        return Call(op, [x], attrs={"axis": axis, "keepdims": keepdims})
+
+    return make
+
+
+sum_ = _make(sum_op)
+max_ = _make(max_op)
+min_ = _make(min_op)
+mean = _make(mean_op)

@@ -1,0 +1,107 @@
+"""Operator registration utilities.
+
+Every graph-level operator registers (paper §4.1, §4.7):
+
+* a **shape deduction rule** — forward deduction from input annotations
+  (and input *values*, e.g. the target ShapeExpr of ``reshape``);
+* a **legalization rule** — emit the loop-level tensor program implementing
+  the operator, so the pipeline can lower every remaining high-level call
+  to ``call_tir``.
+
+A legalization returns a :class:`Legalized` bundle; the LegalizeOps pass
+adds the PrimFunc to the module and rewrites the call site, wiring up the
+extra symbolic arguments (Fig. 8) when the tensor program has symbolic
+variables not inferable from its buffer shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from .. import sym
+from ..core.annotations import Annotation, TensorAnn
+from ..core.expr import Call, Expr, Op
+from ..tir.function import PrimFunc
+
+
+class Legalized:
+    """Result of legalizing one operator call."""
+
+    def __init__(
+        self,
+        prim_func: PrimFunc,
+        args: Sequence[Expr],
+        out_ann: TensorAnn,
+        extern: Optional[str] = None,
+    ):
+        self.prim_func = prim_func
+        self.args = list(args)
+        self.out_ann = out_ann
+        self.extern = extern  # set when legalizing to a library call instead
+
+
+def register_op(
+    name: str,
+    deduce: Callable[[Call], Annotation],
+    legalize: Optional[Callable[[Call], Legalized]] = None,
+) -> Op:
+    """Register a graph-level operator."""
+    return Op.register(name, deduce=deduce, legalize=legalize)
+
+
+def tensor_ann_of(expr: Expr, op_name: str, arg_idx: int) -> TensorAnn:
+    """Input annotation as a TensorAnn, or raise a clear error."""
+    ann = expr.ann
+    if not isinstance(ann, TensorAnn):
+        raise TypeError(
+            f"{op_name}: argument {arg_idx} must be a tensor, got {ann}"
+        )
+    return ann
+
+
+def require_known_shape(ann: TensorAnn, op_name: str) -> tuple:
+    if ann.shape is None:
+        raise ValueError(
+            f"{op_name}: requires a known (symbolic) input shape, got {ann}; "
+            "insert a match_cast to provide one"
+        )
+    return ann.shape
+
+
+def spatial_axes(builder, extents) -> list:
+    """Declare spatial loops and always get back a list of variables."""
+    extents = list(extents)
+    if not extents:
+        return []
+    got = builder.spatial(*extents)
+    return [got] if len(extents) == 1 else list(got)
+
+
+def needed_sym_params(func: PrimFunc) -> List[sym.SymVar]:
+    """Symbolic variables of ``func`` not inferable from its buffer shapes.
+
+    A variable is inferable when it appears *alone* as a dimension of some
+    parameter buffer (inputs or the DPS outputs).  The rest must be passed
+    explicitly — the extra symbolic arguments of Fig. 8.
+    """
+    inferable = set()
+    for buf in func.params:
+        for dim in buf.shape:
+            if isinstance(dim, sym.SymVar):
+                inferable.add(dim.key())
+    return [v for v in func.free_sym_vars() if v.key() not in inferable]
+
+
+def finalize_prim_func(func: PrimFunc) -> PrimFunc:
+    """Attach the required explicit symbolic parameters to ``func``."""
+    needed = needed_sym_params(func)
+    if not needed:
+        return func
+    return PrimFunc(
+        name=func.name,
+        params=func.params,
+        stages=func.stages,
+        num_outputs=func.num_outputs,
+        sym_params=needed,
+        attrs=dict(func.attrs),
+    )

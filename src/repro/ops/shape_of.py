@@ -1,0 +1,31 @@
+"""``shape_of`` — read a tensor's shape as a first-class value.
+
+The paper's Figure 3 opens with ``n = get_shape_value(x, axis=0)``:
+shapes are values that can flow through the program (and e.g. feed
+``reshape``).  When the operand's symbolic shape is known, legalization
+replaces the call with a plain ``ShapeExpr`` over the same symbolic
+expressions — a purely static rewrite.  For coarse operands the VM builtin
+reads the shape at runtime.
+"""
+
+from __future__ import annotations
+
+from ..core.annotations import ShapeAnn
+from ..core.expr import Call, Expr
+from .registry import register_op, tensor_ann_of
+
+
+def _deduce(call: Call):
+    x = tensor_ann_of(call.args[0], "shape_of", 0)
+    if x.shape is not None:
+        return ShapeAnn(x.shape)
+    return ShapeAnn(ndim=x.ndim)
+
+
+shape_of_op = register_op("shape_of", _deduce)
+shape_of_op.extern_name = "vm.builtin.shape_of"
+
+
+def shape_of(x: Expr) -> Call:
+    """The tensor's shape as a first-class Shape value."""
+    return Call(shape_of_op, [x])

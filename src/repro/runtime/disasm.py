@@ -1,0 +1,108 @@
+"""Disassembler for compiled executables.
+
+Renders the §4.7 end state — "a sequence of virtual machine instructions,
+each of which is a call into a generated or builtin function" — as text,
+for debugging and for the examples.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import vm as rvm
+
+
+def _dim(spec: rvm.DimSpec) -> str:
+    kind, payload = spec
+    return str(payload) if kind == "const" else f"heap[{payload}]"
+
+
+def _instr_lines(instr: rvm.Instr, indent: int) -> List[str]:
+    pad = "  " * indent
+    if isinstance(instr, rvm.MatchShape):
+        actions = ", ".join(
+            f"d{d}{'->' if kind == 'store' else '=='}"
+            f"{f'heap[{p}]' if kind != 'assert_const' else p}"
+            for d, kind, p in instr.actions
+        )
+        extra = f" ndim={instr.ndim}" if instr.ndim is not None else ""
+        dtype = f" dtype={instr.dtype}" if instr.dtype else ""
+        return [f"{pad}match_shape r{instr.reg} [{actions}]{extra}{dtype}"]
+    if isinstance(instr, rvm.ComputeShape):
+        env = ", ".join(f"{v.name}=heap[{s}]" for v, s in instr.var_slots)
+        return [f"{pad}heap[{instr.dst_slot}] = eval({instr.expr}; {env})"]
+    if isinstance(instr, rvm.MakeShape):
+        dims = ", ".join(_dim(d) for d in instr.dims)
+        return [f"{pad}r{instr.dst} = make_shape({dims})"]
+    if isinstance(instr, rvm.LoadConst):
+        return [f"{pad}r{instr.dst} = const[{instr.const_idx}]"]
+    if isinstance(instr, rvm.AllocStorage):
+        esc = " escapes" if instr.escapes else ""
+        return [f"{pad}r{instr.dst} = alloc_storage({_dim(instr.size)}B){esc}"]
+    if isinstance(instr, rvm.AllocTensor):
+        dims = ", ".join(_dim(d) for d in instr.dims)
+        src = f" from r{instr.storage}" if instr.storage is not None else " (pool)"
+        esc = " escapes" if instr.escapes else ""
+        return [f"{pad}r{instr.dst} = alloc_tensor(({dims}), {instr.dtype}){src}{esc}"]
+    if isinstance(instr, rvm.KillTensor):
+        return [f"{pad}kill r{instr.reg}"]
+    if isinstance(instr, rvm.CallTir):
+        args = ", ".join(f"r{a}" for a in instr.args)
+        outs = ", ".join(f"r{o}" for o in instr.outs)
+        syms = ""
+        if instr.sym_args:
+            syms = "; sym=[" + ", ".join(_dim(d) for d in instr.sym_args) + "]"
+        return [f"{pad}call_tir @{instr.func}({args} -> {outs}{syms})"]
+    if isinstance(instr, rvm.CallLib):
+        args = ", ".join(f"r{a}" for a in instr.args)
+        outs = ", ".join(f"r{o}" for o in instr.outs)
+        return [f"{pad}call_lib \"{instr.name}\"({args} -> {outs})"]
+    if isinstance(instr, rvm.CallBuiltin):
+        args = ", ".join(f"r{a}" for a in instr.args)
+        dst = f"r{instr.dst} = " if instr.dst is not None else ""
+        return [f"{pad}{dst}builtin \"{instr.name}\"({args})"]
+    if isinstance(instr, rvm.CallFunc):
+        args = ", ".join(f"r{a}" for a in instr.args)
+        return [f"{pad}r{instr.dst} = call @{instr.func}({args})"]
+    if isinstance(instr, rvm.MakeTupleI):
+        srcs = ", ".join(f"r{s}" for s in instr.srcs)
+        return [f"{pad}r{instr.dst} = tuple({srcs})"]
+    if isinstance(instr, rvm.GetItemI):
+        return [f"{pad}r{instr.dst} = r{instr.src}[{instr.index}]"]
+    if isinstance(instr, rvm.If):
+        lines = [f"{pad}if r{instr.cond}:"]
+        for sub in instr.then_body:
+            lines.extend(_instr_lines(sub, indent + 1))
+        lines.append(f"{pad}  -> r{instr.dst} = r{instr.then_out}")
+        lines.append(f"{pad}else:")
+        for sub in instr.else_body:
+            lines.extend(_instr_lines(sub, indent + 1))
+        lines.append(f"{pad}  -> r{instr.dst} = r{instr.else_out}")
+        return lines
+    if isinstance(instr, rvm.Ret):
+        return [f"{pad}ret r{instr.reg}"]
+    return [f"{pad}<{type(instr).__name__}>"]  # pragma: no cover
+
+
+def disassemble_function(func: rvm.VMFunction) -> str:
+    header = (
+        f"func @{func.name}({', '.join(func.params)}) "
+        f"regs={func.num_regs} shape_heap={func.num_slots}"
+    )
+    if func.attrs:
+        header += f" attrs={sorted(func.attrs)}"
+    lines = [header]
+    for instr in func.body:
+        lines.extend(_instr_lines(instr, 1))
+    return "\n".join(lines)
+
+
+def disassemble(exe: rvm.Executable) -> str:
+    """Full textual form of an executable (VM functions + kernel list)."""
+    chunks = [disassemble_function(f) for _, f in sorted(exe.functions.items())]
+    if exe.tir_funcs:
+        kernels = ", ".join(sorted(exe.tir_funcs))
+        chunks.append(f"; tensor programs: {kernels}")
+    if exe.constants:
+        chunks.append(f"; constants: {len(exe.constants)}")
+    return "\n\n".join(chunks)

@@ -1,0 +1,108 @@
+"""Execution statistics and memory accounting.
+
+The VM reports through these classes exactly the quantities the paper's
+evaluation measures: simulated wall time (Figs. 14–20), kernel/graph
+launch counts (Fig. 17's CUDA Graph ablation), and allocated activation
+memory (Table 2).
+
+Two allocation modes mirror §5.2's memory study:
+
+* **planned** — storages come from `AllocStorage` instructions emitted by
+  static memory planning; each is allocated once, up front;
+* **pooled** — without planning, tensors allocate through a
+  :class:`RuntimePool` that recycles *exact-size* free blocks, so every
+  new dynamic shape triggers a fresh allocation (the unpredictable growth
+  the paper describes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass
+class ExecutionStats:
+    """Accumulated over one or more VM invocations."""
+
+    time_s: float = 0.0
+    kernel_launches: int = 0
+    lib_calls: int = 0
+    builtin_calls: int = 0
+    graph_captures: int = 0
+    graph_replays: int = 0
+    replayed_kernels: int = 0
+    allocations: int = 0
+    allocated_bytes_total: int = 0
+    escaping_bytes_total: int = 0
+    current_bytes: int = 0
+    peak_bytes: int = 0
+    kernel_time_s: float = 0.0
+    launch_overhead_s: float = 0.0
+
+    def record_alloc(self, size: int, escaping: bool = False) -> None:
+        self.allocations += 1
+        self.allocated_bytes_total += size
+        if escaping:
+            self.escaping_bytes_total += size
+        self.current_bytes += size
+        self.peak_bytes = max(self.peak_bytes, self.current_bytes)
+
+    @property
+    def transient_bytes_total(self) -> int:
+        """Allocated bytes excluding escaping results (KV caches, logits)
+        — the paper's Table 2 'activation memory' quantity."""
+        return self.allocated_bytes_total - self.escaping_bytes_total
+
+    def record_free(self, size: int) -> None:
+        self.current_bytes -= size
+
+    def merge(self, other: "ExecutionStats") -> None:
+        self.time_s += other.time_s
+        self.kernel_launches += other.kernel_launches
+        self.lib_calls += other.lib_calls
+        self.builtin_calls += other.builtin_calls
+        self.graph_captures += other.graph_captures
+        self.graph_replays += other.graph_replays
+        self.replayed_kernels += other.replayed_kernels
+        self.allocations += other.allocations
+        self.allocated_bytes_total += other.allocated_bytes_total
+        self.escaping_bytes_total += other.escaping_bytes_total
+        self.peak_bytes = max(self.peak_bytes, other.peak_bytes)
+        self.kernel_time_s += other.kernel_time_s
+        self.launch_overhead_s += other.launch_overhead_s
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "time_s": self.time_s,
+            "kernel_launches": self.kernel_launches,
+            "lib_calls": self.lib_calls,
+            "graph_captures": self.graph_captures,
+            "graph_replays": self.graph_replays,
+            "allocations": self.allocations,
+            "allocated_MiB": self.allocated_bytes_total / (1 << 20),
+            "peak_MiB": self.peak_bytes / (1 << 20),
+        }
+
+
+class RuntimePool:
+    """Exact-size-recycling allocator (the no-planning baseline of §5.2)."""
+
+    def __init__(self, stats: ExecutionStats):
+        self.stats = stats
+        self._free: Dict[int, List[int]] = {}  # size -> free block count
+
+    def allocate(self, size: int, escaping: bool = False) -> bool:
+        """Returns True when a recycled block was used (no new allocation)."""
+        bucket = self._free.get(size)
+        if bucket:
+            bucket.pop()
+            self.stats.current_bytes += size
+            self.stats.peak_bytes = max(self.stats.peak_bytes, self.stats.current_bytes)
+            return True
+        self.stats.record_alloc(size, escaping)
+        return False
+
+    def release(self, size: int) -> None:
+        self._free.setdefault(size, []).append(0)
+        self.stats.record_free(size)

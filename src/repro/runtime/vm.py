@@ -1,0 +1,660 @@
+"""The Relax virtual machine.
+
+After the lowering pipeline (§4.7) a Relax program is "a sequence of
+virtual machine instructions, each of which is a call into a generated or
+builtin function".  This module defines that instruction set and its
+interpreter.
+
+Symbolic shapes at runtime follow the paper's design: each VM function owns
+an integer *shape heap*; ``MatchShape`` populates variable slots from input
+tensor shapes (and asserts the lightweight §4.1 boundary checks),
+``ComputeShape`` evaluates derived symbolic expressions into slots, and
+every downstream shape-consuming instruction (``AllocStorage``,
+``AllocTensor``, ``MakeShape``, ``CallTir`` symbolic arguments) reads slots.
+
+Execution accounting runs on the analytical device model (DESIGN.md §2):
+each kernel contributes roofline time + launch overhead; captured graphs
+replay with one graph-launch overhead (§4.5); storages and pool traffic
+feed the Table 2 memory numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import dtypes, sym, tir
+from .device import Device
+from .library import REGISTRY, LibraryRegistry
+from .ndarray import NDArray, ShapeTuple, Storage
+from .profiler import ExecutionStats, RuntimePool
+
+# A shape dimension spec: ("const", value) or ("slot", heap index).
+DimSpec = Tuple[str, int]
+
+
+def const_dim(value: int) -> DimSpec:
+    return ("const", int(value))
+
+
+def slot_dim(slot: int) -> DimSpec:
+    return ("slot", slot)
+
+
+# -- instructions ------------------------------------------------------------------
+
+
+@dataclass
+class Instr:
+    pass
+
+
+@dataclass
+class MatchShape(Instr):
+    """Read a tensor's shape; store into / assert against heap slots.
+
+    ``actions`` is a list of (dim_index, kind, payload):
+    ``("store", slot)`` binds a fresh symbolic variable;
+    ``("assert_slot", slot)`` / ``("assert_const", value)`` are the runtime
+    checks generated from annotations (§4.1, match_cast §3.2).
+    """
+
+    reg: int
+    actions: List[Tuple[int, str, int]]
+    ndim: Optional[int] = None
+    dtype: Optional[str] = None
+    context: str = ""
+
+
+@dataclass
+class ComputeShape(Instr):
+    """Evaluate a symbolic expression over heap slots into a slot."""
+
+    dst_slot: int
+    expr: sym.PrimExpr
+    var_slots: List[Tuple[sym.SymVar, int]]
+
+
+@dataclass
+class MakeShape(Instr):
+    """Construct a first-class runtime ShapeTuple from slots/consts."""
+
+    dst: int
+    dims: List[DimSpec]
+
+
+@dataclass
+class LoadConst(Instr):
+    dst: int
+    const_idx: int
+
+
+@dataclass
+class AllocStorage(Instr):
+    """Allocate (or reuse, across calls) a storage of ``size`` bytes."""
+
+    dst: int
+    size: DimSpec
+    escapes: bool = False  # holds a returned value (KV cache, logits)
+
+
+@dataclass
+class AllocTensor(Instr):
+    """Instantiate a tensor, either from a planned storage or the pool."""
+
+    dst: int
+    dims: List[DimSpec]
+    dtype: str
+    storage: Optional[int] = None  # register holding a Storage
+    escapes: bool = False
+
+
+@dataclass
+class KillTensor(Instr):
+    """Last use passed: release a pool-allocated tensor."""
+
+    reg: int
+
+
+@dataclass
+class CallTir(Instr):
+    """Launch a tensor program in destination-passing style."""
+
+    func: str
+    args: List[int]
+    outs: List[int]
+    sym_args: List[DimSpec] = field(default_factory=list)
+
+
+@dataclass
+class CallLib(Instr):
+    """Launch an external library kernel in DPS."""
+
+    name: str
+    args: List[int]
+    outs: List[int]
+
+
+@dataclass
+class CallBuiltin(Instr):
+    """Call a VM builtin (allocating/data-dependent routines)."""
+
+    dst: Optional[int]
+    name: str
+    args: List[int]
+
+
+@dataclass
+class CallFunc(Instr):
+    """Call another VM-level function (subgraph function call)."""
+
+    dst: int
+    func: str
+    args: List[int]
+
+
+@dataclass
+class MakeTupleI(Instr):
+    dst: int
+    srcs: List[int]
+
+
+@dataclass
+class GetItemI(Instr):
+    dst: int
+    src: int
+    index: int
+
+
+@dataclass
+class If(Instr):
+    cond: int
+    then_body: List[Instr]
+    then_out: int
+    else_body: List[Instr]
+    else_out: int
+    dst: int
+
+
+@dataclass
+class Ret(Instr):
+    reg: int
+
+
+@dataclass
+class VMFunction:
+    name: str
+    params: List[str]
+    body: List[Instr]
+    num_regs: int
+    num_slots: int
+    attrs: Dict = field(default_factory=dict)
+
+
+class Executable:
+    """A compiled module: VM functions + bound tensor programs + constants."""
+
+    def __init__(self):
+        self.functions: Dict[str, VMFunction] = {}
+        self.tir_funcs: Dict[str, tir.PrimFunc] = {}
+        self.constants: List[np.ndarray] = []
+
+    def add_constant(self, array: np.ndarray) -> int:
+        self.constants.append(array)
+        return len(self.constants) - 1
+
+
+class VMError(Exception):
+    pass
+
+
+class _Frame:
+    __slots__ = ("regs", "heap")
+
+    def __init__(self, num_regs: int, num_slots: int):
+        self.regs: List = [None] * num_regs
+        self.heap = np.zeros(num_slots, dtype=np.int64)
+
+
+class VirtualMachine:
+    """Interprets an Executable on a modeled device.
+
+    ``concrete`` selects the execution mode: with it, kernels compute real
+    values via the tensor-program interpreter and the library registry;
+    without it, only shapes, allocations and the device clock advance.
+    """
+
+    def __init__(
+        self,
+        executable: Executable,
+        device: Device,
+        concrete: bool = True,
+        enable_cuda_graph: bool = True,
+        registry: LibraryRegistry = REGISTRY,
+    ):
+        self.exe = executable
+        self.device = device
+        self.concrete = concrete
+        self.enable_cuda_graph = enable_cuda_graph
+        self.registry = registry
+        self.stats = ExecutionStats()
+        self.pool = RuntimePool(self.stats)
+        self._storage_cache: Dict[Tuple[str, int], Storage] = {}
+        self._graph_cache: Dict[Tuple, int] = {}
+        self._cost_cache: Dict[Tuple, Tuple[int, int]] = {}
+        self._replay_depth = 0
+        self._const_cache: Dict[int, NDArray] = {}
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self, func_name: str, *args):
+        """Invoke a VM function with NDArray / ShapeTuple / int arguments."""
+        return self._call(func_name, list(args))
+
+    def reset_stats(self) -> ExecutionStats:
+        old = self.stats
+        self.stats = ExecutionStats()
+        self.pool = RuntimePool(self.stats)
+        return old
+
+    # -- function invocation ------------------------------------------------------
+
+    def _call(self, func_name: str, args: List):
+        if func_name not in self.exe.functions:
+            raise VMError(f"no VM function named {func_name!r}")
+        func = self.exe.functions[func_name]
+        if len(args) != len(func.params):
+            raise VMError(
+                f"{func_name}: expected {len(func.params)} arguments, got {len(args)}"
+            )
+
+        use_graph = (
+            func.attrs.get("cuda_graph")
+            and self.enable_cuda_graph
+            and self._replay_depth == 0
+        )
+        if use_graph:
+            key = (func_name, self._graph_signature(func, args))
+            if key in self._graph_cache:
+                return self._run_replayed(func, args)
+            # First run with this shape signature: capture.
+            self.stats.graph_captures += 1
+            self.stats.time_s += 10 * self.device.kernel_launch_overhead
+            result = self._run_body(func, args)
+            self._graph_cache[key] = 1
+            return result
+        return self._run_body(func, args)
+
+    def _run_replayed(self, func: VMFunction, args: List):
+        self._replay_depth += 1
+        launches_before = self.stats.kernel_launches + self.stats.lib_calls
+        try:
+            result = self._run_body(func, args)
+        finally:
+            self._replay_depth -= 1
+        self.stats.graph_replays += 1
+        self.stats.replayed_kernels += (
+            self.stats.kernel_launches + self.stats.lib_calls - launches_before
+        )
+        self.stats.time_s += self.device.graph_launch_overhead
+        return result
+
+    @staticmethod
+    def _graph_signature(func: VMFunction, args: List) -> Tuple:
+        """Capture key: like _signature but skipping bounded dynamic dims.
+
+        Dims planned with worst-case storage (declared upper bounds) do not
+        invalidate the captured graph when they vary — the replay updates
+        kernel parameters in place (cudaGraphExecUpdate semantics) — so
+        they are excluded from the key.
+        """
+        dynamic = func.attrs.get("graph_dynamic_dims") or {}
+        sig = []
+        for i, arg in enumerate(args):
+            skip = set(dynamic.get(i, ()))
+            if isinstance(arg, NDArray):
+                dims = tuple(
+                    -1 if d in skip else v for d, v in enumerate(arg.shape)
+                )
+                sig.append(("t",) + dims)
+            else:
+                sig.append(VirtualMachine._signature([arg])[0])
+        return tuple(sig)
+
+    @staticmethod
+    def _signature(args: List) -> Tuple:
+        sig = []
+        for arg in args:
+            if isinstance(arg, NDArray):
+                sig.append(("t",) + arg.shape)
+            elif isinstance(arg, ShapeTuple):
+                sig.append(("s",) + arg.values)
+            elif isinstance(arg, int):
+                sig.append(("i", arg))
+            elif isinstance(arg, tuple):
+                sig.append(("tup", VirtualMachine._signature(list(arg))))
+            else:
+                sig.append(("o",))
+        return tuple(sig)
+
+    def _run_body(self, func: VMFunction, args: List):
+        frame = _Frame(func.num_regs, func.num_slots)
+        for i, arg in enumerate(args):
+            frame.regs[i] = arg
+        result = self._exec_block(func, func.body, frame)
+        if result is _NO_RETURN:
+            raise VMError(f"{func.name}: function body fell through without Ret")
+        return result
+
+    # -- instruction dispatch --------------------------------------------------------
+
+    def _exec_block(self, func: VMFunction, body: List[Instr], frame: _Frame):
+        for instr in body:
+            if isinstance(instr, Ret):
+                return frame.regs[instr.reg]
+            self._exec_instr(func, instr, frame)
+        return _NO_RETURN
+
+    def _exec_instr(self, func: VMFunction, instr: Instr, frame: _Frame) -> None:
+        if isinstance(instr, MatchShape):
+            self._exec_match_shape(instr, frame)
+        elif isinstance(instr, ComputeShape):
+            env = {var: int(frame.heap[slot]) for var, slot in instr.var_slots}
+            frame.heap[instr.dst_slot] = sym.evaluate(instr.expr, env)
+        elif isinstance(instr, MakeShape):
+            frame.regs[instr.dst] = ShapeTuple(
+                [self._dim_value(d, frame) for d in instr.dims]
+            )
+        elif isinstance(instr, LoadConst):
+            frame.regs[instr.dst] = self._load_const(instr.const_idx)
+        elif isinstance(instr, AllocStorage):
+            frame.regs[instr.dst] = self._alloc_storage(func, instr, frame)
+        elif isinstance(instr, AllocTensor):
+            frame.regs[instr.dst] = self._alloc_tensor(instr, frame)
+        elif isinstance(instr, KillTensor):
+            arr = frame.regs[instr.reg]
+            if isinstance(arr, NDArray) and arr.storage is None:
+                self.pool.release(arr.size_bytes())
+            frame.regs[instr.reg] = None
+        elif isinstance(instr, CallTir):
+            self._exec_call_tir(instr, frame)
+        elif isinstance(instr, CallLib):
+            self._exec_call_lib(instr, frame)
+        elif isinstance(instr, CallBuiltin):
+            self._exec_builtin(instr, frame)
+        elif isinstance(instr, CallFunc):
+            callee_args = [frame.regs[r] for r in instr.args]
+            frame.regs[instr.dst] = self._call(instr.func, callee_args)
+        elif isinstance(instr, MakeTupleI):
+            frame.regs[instr.dst] = tuple(frame.regs[r] for r in instr.srcs)
+        elif isinstance(instr, GetItemI):
+            frame.regs[instr.dst] = frame.regs[instr.src][instr.index]
+        elif isinstance(instr, If):
+            cond = frame.regs[instr.cond]
+            taken = self._truth_value(cond)
+            body = instr.then_body if taken else instr.else_body
+            out = instr.then_out if taken else instr.else_out
+            result = self._exec_block(func, body, frame)
+            if result is not _NO_RETURN:
+                raise VMError("Ret inside If branches is not supported")
+            frame.regs[instr.dst] = frame.regs[out]
+        else:
+            raise VMError(f"unknown instruction {type(instr).__name__}")
+
+    # -- shape machinery -------------------------------------------------------------
+
+    def _dim_value(self, dim: DimSpec, frame: _Frame) -> int:
+        kind, payload = dim
+        if kind == "const":
+            return payload
+        return int(frame.heap[payload])
+
+    def _exec_match_shape(self, instr: MatchShape, frame: _Frame) -> None:
+        value = frame.regs[instr.reg]
+        if isinstance(value, NDArray):
+            shape = value.shape
+            if instr.dtype is not None and value.dtype != instr.dtype:
+                raise VMError(
+                    f"{instr.context}: dtype mismatch, expected {instr.dtype}, "
+                    f"got {value.dtype}"
+                )
+        elif isinstance(value, ShapeTuple):
+            shape = value.values
+        else:
+            raise VMError(f"{instr.context}: cannot match shape of {type(value).__name__}")
+        if instr.ndim is not None and len(shape) != instr.ndim:
+            raise VMError(
+                f"{instr.context}: rank mismatch, expected {instr.ndim}, got {len(shape)}"
+            )
+        for dim_idx, kind, payload in instr.actions:
+            actual = shape[dim_idx]
+            if kind == "store":
+                frame.heap[payload] = actual
+            elif kind == "assert_slot":
+                if int(frame.heap[payload]) != actual:
+                    raise VMError(
+                        f"{instr.context}: symbolic dim {dim_idx} expected "
+                        f"{int(frame.heap[payload])}, got {actual}"
+                    )
+            elif kind == "assert_const":
+                if actual != payload:
+                    raise VMError(
+                        f"{instr.context}: dim {dim_idx} expected {payload}, got {actual}"
+                    )
+            else:  # pragma: no cover
+                raise VMError(f"unknown MatchShape action {kind!r}")
+
+    # -- memory ------------------------------------------------------------------------
+
+    def _alloc_storage(self, func: VMFunction, instr: AllocStorage, frame: _Frame) -> Storage:
+        size = self._dim_value(instr.size, frame)
+        key = (func.name, id(instr))
+        cached = self._storage_cache.get(key)
+        if cached is not None and cached.size == size:
+            return cached
+        if cached is not None:
+            self.stats.record_free(cached.size)
+        self.stats.record_alloc(size, instr.escapes)
+        self.stats.time_s += self.device.alloc_overhead
+        storage = Storage(size, self.concrete)
+        self._storage_cache[key] = storage
+        return storage
+
+    def _alloc_tensor(self, instr: AllocTensor, frame: _Frame) -> NDArray:
+        shape = [self._dim_value(d, frame) for d in instr.dims]
+        if instr.storage is not None:
+            storage = frame.regs[instr.storage]
+            if not isinstance(storage, Storage):
+                raise VMError("AllocTensor storage register does not hold a Storage")
+            needed = int(np.prod(shape, dtype=np.int64)) * dtypes.itemsize(instr.dtype) if shape else dtypes.itemsize(instr.dtype)
+            if needed > storage.size:
+                raise VMError(
+                    f"tensor of {needed} bytes does not fit storage of {storage.size}"
+                )
+            return NDArray.empty(shape, instr.dtype, self.concrete, storage=storage)
+        arr = NDArray.empty(shape, instr.dtype, self.concrete)
+        reused = self.pool.allocate(arr.size_bytes(), instr.escapes)
+        if not reused:
+            self.stats.time_s += self.device.alloc_overhead
+        return arr
+
+    # -- kernels -----------------------------------------------------------------------
+
+    def _exec_call_tir(self, instr: CallTir, frame: _Frame) -> None:
+        if instr.func not in self.exe.tir_funcs:
+            raise VMError(f"no tensor program named {instr.func!r}")
+        func = self.exe.tir_funcs[instr.func]
+        inputs = [self._as_ndarray(frame.regs[r], instr.func) for r in instr.args]
+        outputs = [self._as_ndarray(frame.regs[r], instr.func) for r in instr.outs]
+        sym_values = [self._dim_value(d, frame) for d in instr.sym_args]
+
+        bindings = self._bind_shapes(func, inputs + outputs, sym_values)
+        flops, nbytes = self._kernel_cost(instr.func, func, inputs + outputs, bindings)
+        self._account_kernel(func, outputs, flops, nbytes, is_lib=False)
+
+        if self.concrete:
+            arrays = [a.numpy() for a in inputs] + [a.numpy() for a in outputs]
+            sym_bindings = {
+                var: value for var, value in bindings.items()
+            }
+            tir.run_prim_func(func, arrays, sym_bindings=sym_bindings)
+
+    def _exec_call_lib(self, instr: CallLib, frame: _Frame) -> None:
+        kernel = self.registry.get(instr.name)
+        if self.device.backend not in kernel.backends:
+            raise VMError(
+                f"library {instr.name!r} is unavailable on backend "
+                f"{self.device.backend!r}"
+            )
+        inputs = [self._as_ndarray(frame.regs[r], instr.name) for r in instr.args]
+        outputs = [self._as_ndarray(frame.regs[r], instr.name) for r in instr.outs]
+        in_sd = [(a.shape, a.dtype) for a in inputs]
+        out_sd = [(a.shape, a.dtype) for a in outputs]
+        flops, nbytes = kernel.cost(in_sd, out_sd)
+        eff_class = kernel.efficiency_class(in_sd, out_sd)
+        efficiency = {
+            "lib": self.device.lib_efficiency,
+            "gen": self.device.gen_efficiency,
+            "gen_matvec": self.device.gen_matvec_efficiency,
+        }[eff_class]
+        include_launch = self._replay_depth == 0
+        time = self.device.kernel_time(flops, nbytes, efficiency, include_launch)
+        if not include_launch:
+            time += self.device.graph_kernel_overhead
+        self.stats.time_s += time
+        self.stats.kernel_time_s += time
+        if include_launch:
+            self.stats.launch_overhead_s += self.device.kernel_launch_overhead
+        self.stats.lib_calls += 1
+        if self.concrete:
+            kernel.compute([a.numpy() for a in inputs], [a.numpy() for a in outputs])
+
+    def _account_kernel(self, func: tir.PrimFunc, outputs, flops, nbytes, is_lib):
+        efficiency = self.device.gen_efficiency
+        if func.attrs.get("schedule_class") == "opaque":
+            # No analysis rule covers this program: the naive fallback
+            # schedule applies unless Ansor-style tuning found better
+            # (§4.6's "rare tensor programs" case).
+            efficiency = self.device.gen_efficiency * 0.6
+        tuned = func.attrs.get("tuned_efficiency")
+        if tuned is not None:
+            efficiency = float(tuned)
+        if func.attrs.get("op_kind") == "matmul" and outputs:
+            rows = 1
+            for d in outputs[0].shape[:-1]:
+                rows *= d
+            if rows == 1:
+                # Compiler-specialized matrix-vector kernels at batch 1
+                # (the paper's Fig. 15 advantage).
+                efficiency = self.device.gen_matvec_efficiency
+            else:
+                # Analysis-based schedules without autotuning trail the
+                # vendor GEMM on compute-bound shapes (why partial library
+                # lowering is the biggest Fig. 17 contributor).
+                efficiency = self.device.gen_gemm_efficiency
+        include_launch = self._replay_depth == 0
+        time = self.device.kernel_time(flops, nbytes, efficiency, include_launch)
+        if not include_launch:
+            time += self.device.graph_kernel_overhead
+        self.stats.time_s += time
+        self.stats.kernel_time_s += time
+        if include_launch:
+            self.stats.launch_overhead_s += self.device.kernel_launch_overhead
+        self.stats.kernel_launches += 1
+
+    def _bind_shapes(self, func: tir.PrimFunc, arrays: List[NDArray], sym_values):
+        bindings: Dict[sym.SymVar, int] = {}
+        for var, value in zip(func.sym_params, sym_values):
+            bindings[var] = int(value)
+        for buf, arr in zip(func.params, arrays):
+            for dim, actual in zip(buf.shape, arr.shape):
+                if isinstance(dim, sym.SymVar) and dim not in bindings:
+                    bindings[dim] = int(actual)
+        return bindings
+
+    def _kernel_cost(self, name, func, arrays, bindings):
+        key = (name, tuple(a.shape for a in arrays))
+        cached = self._cost_cache.get(key)
+        if cached is not None:
+            return cached
+        flops = tir.count_flops(func, bindings)
+        nbytes = tir.count_bytes(func, bindings)
+        self._cost_cache[key] = (flops, nbytes)
+        return flops, nbytes
+
+    # -- builtins -----------------------------------------------------------------------
+
+    def _exec_builtin(self, instr: CallBuiltin, frame: _Frame) -> None:
+        args = [frame.regs[r] for r in instr.args]
+        self.stats.builtin_calls += 1
+        if instr.name == "vm.builtin.shape_of":
+            arr = args[0]
+            result = ShapeTuple(arr.shape)
+        elif instr.name == "vm.builtin.unique":
+            result = self._builtin_unique(args[0])
+        elif instr.name == "vm.builtin.nonzero":
+            result = self._builtin_nonzero(args[0])
+        else:
+            raise VMError(f"unknown builtin {instr.name!r}")
+        if instr.dst is not None:
+            frame.regs[instr.dst] = result
+
+    def _builtin_unique(self, arr: NDArray) -> NDArray:
+        self.stats.time_s += self.device.kernel_launch_overhead * 2
+        if self.concrete:
+            out = np.unique(arr.numpy())
+            self.pool.allocate(out.nbytes)
+            return NDArray.from_numpy(out)
+        # Abstract mode: data-dependent length is unknowable; use the upper
+        # bound (every element distinct), matching §4.3's bound-based planning.
+        result = NDArray.abstract((arr.num_elements(),), arr.dtype)
+        self.pool.allocate(result.size_bytes())
+        return result
+
+    def _builtin_nonzero(self, arr: NDArray) -> NDArray:
+        self.stats.time_s += self.device.kernel_launch_overhead * 2
+        if self.concrete:
+            out = np.flatnonzero(arr.numpy()).astype(np.int64)
+            self.pool.allocate(out.nbytes)
+            return NDArray.from_numpy(out)
+        result = NDArray.abstract((arr.num_elements(),), "i64")
+        self.pool.allocate(result.size_bytes())
+        return result
+
+    # -- misc --------------------------------------------------------------------------
+
+    def _load_const(self, idx: int) -> NDArray:
+        cached = self._const_cache.get(idx)
+        if cached is None:
+            array = self.exe.constants[idx]
+            if self.concrete:
+                cached = NDArray.from_numpy(array)
+            else:
+                cached = NDArray.abstract(array.shape, dtypes.from_numpy(array.dtype))
+            self._const_cache[idx] = cached
+        return cached
+
+    def _as_ndarray(self, value, context: str) -> NDArray:
+        if not isinstance(value, NDArray):
+            raise VMError(f"{context}: expected a tensor argument, got {type(value).__name__}")
+        return value
+
+    def _truth_value(self, cond) -> bool:
+        if isinstance(cond, bool):
+            return cond
+        if isinstance(cond, int):
+            return bool(cond)
+        if isinstance(cond, NDArray):
+            if not self.concrete:
+                raise VMError("cannot evaluate a data-dependent branch in abstract mode")
+            return bool(cond.numpy().reshape(()))
+        raise VMError(f"invalid condition value {type(cond).__name__}")
+
+
+class _NoReturn:
+    pass
+
+
+_NO_RETURN = _NoReturn()

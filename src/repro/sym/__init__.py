@@ -1,0 +1,62 @@
+"""Symbolic integer expression system shared by shapes and tensor programs.
+
+Relax's first-class symbolic shapes (paper §3.2) reuse the tensor-program
+expression system so that one analysis layer — canonical simplification,
+equality proving, interval bounds — serves shape annotations at the graph
+level and loop extents / buffer indices at the tensor-program level alike.
+"""
+
+from .expr import (
+    Add,
+    ExprLike,
+    FloorDiv,
+    FloorMod,
+    IntImm,
+    Max,
+    Min,
+    Mul,
+    PrimExpr,
+    Sub,
+    SymVar,
+    as_static_int,
+    evaluate,
+    free_vars,
+    is_static,
+    shape_product,
+    substitute,
+)
+from .simplify import canonical_key, prove_divisible, prove_equal, simplify
+from .analysis import Interval, VarBounds, infer_bound, prove_nonnegative, upper_bound
+from .parser import ShapeVarContext, parse_dim, parse_expr
+
+__all__ = [
+    "Add",
+    "ExprLike",
+    "FloorDiv",
+    "FloorMod",
+    "IntImm",
+    "Interval",
+    "Max",
+    "Min",
+    "Mul",
+    "PrimExpr",
+    "ShapeVarContext",
+    "Sub",
+    "SymVar",
+    "VarBounds",
+    "as_static_int",
+    "canonical_key",
+    "evaluate",
+    "free_vars",
+    "infer_bound",
+    "is_static",
+    "parse_dim",
+    "parse_expr",
+    "prove_divisible",
+    "prove_equal",
+    "prove_nonnegative",
+    "shape_product",
+    "simplify",
+    "substitute",
+    "upper_bound",
+]

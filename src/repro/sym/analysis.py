@@ -1,0 +1,196 @@
+"""Interval (bounds) analysis over symbolic expressions.
+
+Memory planning (paper §4.3) statically allocates storage for dynamic-shape
+tensors by taking the *upper bound* of symbolic shape values when the bounds
+are known (e.g. the context length of an LLM, annotated by the user).  This
+module provides the interval arithmetic behind that: given per-variable
+bounds, compute a sound bound for any expression.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+_INF = math.inf
+
+from .expr import (
+    Add,
+    ExprLike,
+    FloorDiv,
+    FloorMod,
+    IntImm,
+    Max,
+    Min,
+    Mul,
+    PrimExpr,
+    Sub,
+    SymVar,
+)
+
+
+class Interval:
+    """Closed integer interval; ``None`` endpoints mean unbounded."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Optional[int], hi: Optional[int]):
+        if lo is not None and hi is not None and lo > hi:
+            raise ValueError(f"empty interval [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+
+    @staticmethod
+    def point(value: int) -> "Interval":
+        return Interval(value, value)
+
+    @staticmethod
+    def everything() -> "Interval":
+        return Interval(None, None)
+
+    @staticmethod
+    def nonnegative() -> "Interval":
+        return Interval(0, None)
+
+    def is_bounded(self) -> bool:
+        return self.lo is not None and self.hi is not None
+
+    def __add__(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.lo is None else self.lo + other.lo
+        hi = None if self.hi is None or other.hi is None else self.hi + other.hi
+        return Interval(lo, hi)
+
+    def __neg__(self) -> "Interval":
+        lo = None if self.hi is None else -self.hi
+        hi = None if self.lo is None else -self.lo
+        return Interval(lo, hi)
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return self + (-other)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        # Extended-real corner products; lo=None means -inf, hi=None +inf.
+        # inf * 0 is taken as 0, which is sound for interval endpoints.
+        def corner(a, a_inf_sign, b, b_inf_sign):
+            a_val = a if a is not None else a_inf_sign * _INF
+            b_val = b if b is not None else b_inf_sign * _INF
+            if a_val in (_INF, -_INF) and b_val == 0:
+                return 0
+            if b_val in (_INF, -_INF) and a_val == 0:
+                return 0
+            return a_val * b_val
+
+        corners = [
+            corner(self.lo, -1, other.lo, -1),
+            corner(self.lo, -1, other.hi, +1),
+            corner(self.hi, +1, other.lo, -1),
+            corner(self.hi, +1, other.hi, +1),
+        ]
+        lo, hi = min(corners), max(corners)
+        return Interval(
+            None if lo == -_INF else int(lo), None if hi == _INF else int(hi)
+        )
+
+    def floordiv(self, other: "Interval") -> "Interval":
+        if other.lo is not None and other.lo > 0:
+            # Positive divisor: monotone in numerator.
+            divisors = [d for d in (other.lo, other.hi) if d is not None]
+            los = [] if self.lo is None else [self.lo // d for d in divisors]
+            his = [] if self.hi is None else [self.hi // d for d in divisors]
+            lo = min(los) if self.lo is not None else None
+            hi = max(his) if self.hi is not None else None
+            return Interval(lo, hi)
+        return Interval.everything()
+
+    def floormod(self, other: "Interval") -> "Interval":
+        if other.lo is not None and other.lo > 0 and other.hi is not None:
+            return Interval(0, other.hi - 1)
+        return Interval.everything()
+
+    def union(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.lo is None else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None else max(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    def intersect_min(self, other: "Interval") -> "Interval":
+        lo = None
+        if self.lo is not None and other.lo is not None:
+            lo = min(self.lo, other.lo)
+        hi = None
+        if self.hi is not None and other.hi is not None:
+            hi = min(self.hi, other.hi)
+        elif self.hi is not None:
+            hi = self.hi
+        elif other.hi is not None:
+            hi = other.hi
+        return Interval(lo, hi)
+
+    def intersect_max(self, other: "Interval") -> "Interval":
+        hi = None
+        if self.hi is not None and other.hi is not None:
+            hi = max(self.hi, other.hi)
+        lo = None
+        if self.lo is not None and other.lo is not None:
+            lo = max(self.lo, other.lo)
+        elif self.lo is not None:
+            lo = self.lo
+        elif other.lo is not None:
+            lo = other.lo
+        return Interval(lo, hi)
+
+    def __str__(self) -> str:
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Interval({self.lo}, {self.hi})"
+
+
+#: Map from symbolic variable to its declared interval.
+VarBounds = Dict[SymVar, Interval]
+
+
+def infer_bound(expr: ExprLike, var_bounds: Optional[VarBounds] = None) -> Interval:
+    """Sound interval for ``expr`` given per-variable bounds.
+
+    Variables without declared bounds are assumed nonnegative (shape
+    dimensions are sizes), which keeps products of shape dims monotone.
+    """
+    expr = PrimExpr.convert(expr)
+    table = {}
+    if var_bounds:
+        table = {var.key(): bound for var, bound in var_bounds.items()}
+
+    def visit(e: PrimExpr) -> Interval:
+        if isinstance(e, IntImm):
+            return Interval.point(e.value)
+        if isinstance(e, SymVar):
+            return table.get(e.key(), Interval.nonnegative())
+        if isinstance(e, Add):
+            return visit(e.a) + visit(e.b)
+        if isinstance(e, Sub):
+            return visit(e.a) - visit(e.b)
+        if isinstance(e, Mul):
+            return visit(e.a) * visit(e.b)
+        if isinstance(e, FloorDiv):
+            return visit(e.a).floordiv(visit(e.b))
+        if isinstance(e, FloorMod):
+            return visit(e.a).floormod(visit(e.b))
+        if isinstance(e, Min):
+            return visit(e.a).intersect_min(visit(e.b))
+        if isinstance(e, Max):
+            return visit(e.a).intersect_max(visit(e.b))
+        raise TypeError(f"unknown expression node {type(e).__name__}")
+
+    return visit(expr)
+
+
+def upper_bound(expr: ExprLike, var_bounds: Optional[VarBounds] = None) -> Optional[int]:
+    """Upper bound of ``expr`` or None if unbounded (static planning gate)."""
+    return infer_bound(expr, var_bounds).hi
+
+
+def prove_nonnegative(expr: ExprLike, var_bounds: Optional[VarBounds] = None) -> bool:
+    bound = infer_bound(expr, var_bounds)
+    return bound.lo is not None and bound.lo >= 0

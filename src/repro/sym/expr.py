@@ -1,0 +1,284 @@
+"""Symbolic integer expressions.
+
+Relax reuses the loop-level tensor-program expression system for shape
+annotations (paper §3.1), so that shape annotations support every integer
+expression tensor programs support and a single analysis layer (equality
+proving, bounds) serves both levels.  This module is that shared expression
+system: a small integer expression tree with operator overloading.
+
+Every node is immutable.  Structural identity is exposed through
+:meth:`PrimExpr.key`, a hashable tuple used by the canonical simplifier and
+by dict-based analyses (memory planning keys storage requests by the
+canonical form of the size expression).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple, Union
+
+ExprLike = Union["PrimExpr", int]
+
+
+class PrimExpr:
+    """Base class of all symbolic integer expressions."""
+
+    __slots__ = ()
+
+    # -- construction helpers ------------------------------------------------
+
+    @staticmethod
+    def convert(value: ExprLike) -> "PrimExpr":
+        """Coerce an int (or PrimExpr) into a PrimExpr."""
+        if isinstance(value, PrimExpr):
+            return value
+        if isinstance(value, bool):
+            raise TypeError("bool is not a valid symbolic integer")
+        if isinstance(value, int):
+            return IntImm(value)
+        raise TypeError(f"cannot convert {type(value).__name__} to PrimExpr")
+
+    # -- operator overloading ------------------------------------------------
+
+    def __add__(self, other: ExprLike) -> "PrimExpr":
+        return Add(self, PrimExpr.convert(other))
+
+    def __radd__(self, other: ExprLike) -> "PrimExpr":
+        return Add(PrimExpr.convert(other), self)
+
+    def __sub__(self, other: ExprLike) -> "PrimExpr":
+        return Sub(self, PrimExpr.convert(other))
+
+    def __rsub__(self, other: ExprLike) -> "PrimExpr":
+        return Sub(PrimExpr.convert(other), self)
+
+    def __mul__(self, other: ExprLike) -> "PrimExpr":
+        return Mul(self, PrimExpr.convert(other))
+
+    def __rmul__(self, other: ExprLike) -> "PrimExpr":
+        return Mul(PrimExpr.convert(other), self)
+
+    def __floordiv__(self, other: ExprLike) -> "PrimExpr":
+        return FloorDiv(self, PrimExpr.convert(other))
+
+    def __rfloordiv__(self, other: ExprLike) -> "PrimExpr":
+        return FloorDiv(PrimExpr.convert(other), self)
+
+    def __mod__(self, other: ExprLike) -> "PrimExpr":
+        return FloorMod(self, PrimExpr.convert(other))
+
+    def __rmod__(self, other: ExprLike) -> "PrimExpr":
+        return FloorMod(PrimExpr.convert(other), self)
+
+    def __neg__(self) -> "PrimExpr":
+        return Mul(IntImm(-1), self)
+
+    # NOTE: __eq__ stays identity-based so expressions can live in sets and
+    # dicts; use ``sym.prove_equal`` for semantic equality and ``key()`` for
+    # structural equality.
+
+    def key(self) -> Tuple:
+        """Hashable structural key (subclasses override)."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["PrimExpr", ...]:
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return str(self)
+
+
+class IntImm(PrimExpr):
+    """Integer constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise TypeError(f"IntImm requires int, got {type(value).__name__}")
+        self.value = value
+
+    def key(self) -> Tuple:
+        return ("int", self.value)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+class SymVar(PrimExpr):
+    """Symbolic integer variable (a dynamic shape dimension).
+
+    Two SymVars with the same name are distinct variables; identity is the
+    variable's identity.  This mirrors the paper's ``sym_var()`` construct,
+    where variables are introduced explicitly and scoped per function.
+    """
+
+    __slots__ = ("name", "_id")
+
+    _counter = 0
+
+    def __init__(self, name: str = "v"):
+        self.name = name
+        SymVar._counter += 1
+        self._id = SymVar._counter
+
+    def key(self) -> Tuple:
+        return ("var", self._id)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class _BinaryOp(PrimExpr):
+    __slots__ = ("a", "b")
+
+    _opname = "?"
+    _symbol = "?"
+
+    def __init__(self, a: ExprLike, b: ExprLike):
+        self.a = PrimExpr.convert(a)
+        self.b = PrimExpr.convert(b)
+
+    def key(self) -> Tuple:
+        return (self._opname, self.a.key(), self.b.key())
+
+    def children(self) -> Tuple[PrimExpr, ...]:
+        return (self.a, self.b)
+
+    def __str__(self) -> str:
+        return f"({self.a} {self._symbol} {self.b})"
+
+
+class Add(_BinaryOp):
+    __slots__ = ()
+    _opname = "add"
+    _symbol = "+"
+
+
+class Sub(_BinaryOp):
+    __slots__ = ()
+    _opname = "sub"
+    _symbol = "-"
+
+
+class Mul(_BinaryOp):
+    __slots__ = ()
+    _opname = "mul"
+    _symbol = "*"
+
+
+class FloorDiv(_BinaryOp):
+    __slots__ = ()
+    _opname = "floordiv"
+    _symbol = "//"
+
+
+class FloorMod(_BinaryOp):
+    __slots__ = ()
+    _opname = "floormod"
+    _symbol = "%"
+
+
+class Min(_BinaryOp):
+    __slots__ = ()
+    _opname = "min"
+
+    def __str__(self) -> str:
+        return f"min({self.a}, {self.b})"
+
+
+class Max(_BinaryOp):
+    __slots__ = ()
+    _opname = "max"
+
+    def __str__(self) -> str:
+        return f"max({self.a}, {self.b})"
+
+
+def free_vars(expr: PrimExpr) -> "list[SymVar]":
+    """All symbolic variables in ``expr``, in first-occurrence order."""
+    seen: Dict[Tuple, SymVar] = {}
+    order = []
+
+    def visit(e: PrimExpr) -> None:
+        if isinstance(e, SymVar):
+            if e.key() not in seen:
+                seen[e.key()] = e
+                order.append(e)
+            return
+        for child in e.children():
+            visit(child)
+
+    visit(expr)
+    return order
+
+
+def substitute(expr: PrimExpr, mapping: Dict[SymVar, ExprLike]) -> PrimExpr:
+    """Replace variables in ``expr`` per ``mapping`` (keyed by identity)."""
+    table = {var.key(): PrimExpr.convert(val) for var, val in mapping.items()}
+
+    def visit(e: PrimExpr) -> PrimExpr:
+        if isinstance(e, SymVar):
+            return table.get(e.key(), e)
+        if isinstance(e, IntImm):
+            return e
+        if isinstance(e, _BinaryOp):
+            a, b = visit(e.a), visit(e.b)
+            if a is e.a and b is e.b:
+                return e
+            return type(e)(a, b)
+        raise TypeError(f"unknown expression node {type(e).__name__}")
+
+    return visit(expr)
+
+
+def evaluate(expr: ExprLike, bindings: Dict[SymVar, int]) -> int:
+    """Evaluate ``expr`` to a concrete integer under ``bindings``.
+
+    Raises ``KeyError`` if a free variable is unbound — the runtime uses this
+    to surface missing symbolic shape information early.
+    """
+    expr = PrimExpr.convert(expr)
+    table = {var.key(): int(val) for var, val in bindings.items()}
+
+    def visit(e: PrimExpr) -> int:
+        if isinstance(e, IntImm):
+            return e.value
+        if isinstance(e, SymVar):
+            if e.key() not in table:
+                raise KeyError(f"unbound symbolic variable '{e.name}'")
+            return table[e.key()]
+        if isinstance(e, Add):
+            return visit(e.a) + visit(e.b)
+        if isinstance(e, Sub):
+            return visit(e.a) - visit(e.b)
+        if isinstance(e, Mul):
+            return visit(e.a) * visit(e.b)
+        if isinstance(e, FloorDiv):
+            return visit(e.a) // visit(e.b)
+        if isinstance(e, FloorMod):
+            return visit(e.a) % visit(e.b)
+        if isinstance(e, Min):
+            return min(visit(e.a), visit(e.b))
+        if isinstance(e, Max):
+            return max(visit(e.a), visit(e.b))
+        raise TypeError(f"unknown expression node {type(e).__name__}")
+
+    return visit(expr)
+
+
+def is_static(expr: ExprLike) -> bool:
+    """True when ``expr`` contains no symbolic variables."""
+    return not free_vars(PrimExpr.convert(expr))
+
+
+def as_static_int(expr: ExprLike) -> int:
+    """Evaluate a variable-free expression to an int."""
+    return evaluate(PrimExpr.convert(expr), {})
+
+
+def shape_product(dims: Iterable[ExprLike]) -> PrimExpr:
+    """Product of shape dimensions (number of elements)."""
+    result: PrimExpr = IntImm(1)
+    for dim in dims:
+        result = result * PrimExpr.convert(dim)
+    return result

@@ -1,0 +1,96 @@
+"""Parse quoted symbolic shape expressions.
+
+The paper's annotation syntax quotes symbolic expressions into strings in
+function signatures — ``Tensor(("n", 4), "f32")``, ``Tensor(("n * 4",), ...)``
+— because the symbolic variables are not yet declared at the point of
+annotation (paper §3.1, footnote 2).  This module resolves those strings to
+:class:`~repro.sym.expr.PrimExpr` against a variable environment, creating
+fresh variables for names seen for the first time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict
+
+from .expr import FloorDiv, FloorMod, Max, Min, PrimExpr, SymVar
+
+
+class ShapeVarContext:
+    """Environment mapping names to symbolic variables.
+
+    A context is scoped to one function signature, matching the paper's rule
+    that symbolic relations are isolated at function boundaries (§4.1).
+    """
+
+    def __init__(self):
+        self.vars: Dict[str, SymVar] = {}
+
+    def get(self, name: str) -> SymVar:
+        """Variable for ``name``, created on first use."""
+        if name not in self.vars:
+            self.vars[name] = SymVar(name)
+        return self.vars[name]
+
+    def declare(self, name: str, var: SymVar) -> None:
+        """Bind an externally created variable (e.g. from ``sym_var()``)."""
+        self.vars[name] = var
+
+
+_BIN_OPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.FloorDiv: FloorDiv,
+    ast.Mod: FloorMod,
+}
+
+_CALLS = {"min": Min, "max": Max}
+
+
+def parse_expr(text: str, ctx: ShapeVarContext) -> PrimExpr:
+    """Parse a quoted symbolic expression like ``"n * 4 + m"``.
+
+    Only integer arithmetic is accepted: names, integer literals, ``+ - *``,
+    ``//``, ``%``, unary minus, and ``min``/``max`` calls.
+    """
+    try:
+        tree = ast.parse(text, mode="eval")
+    except SyntaxError as err:
+        raise ValueError(f"invalid symbolic expression {text!r}: {err}") from err
+
+    def visit(node: ast.AST) -> PrimExpr:
+        if isinstance(node, ast.Expression):
+            return visit(node.body)
+        if isinstance(node, ast.Name):
+            return ctx.get(node.id)
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, int) and not isinstance(node.value, bool):
+                return PrimExpr.convert(node.value)
+            raise ValueError(f"non-integer constant in shape expression: {node.value!r}")
+        if isinstance(node, ast.BinOp):
+            op = _BIN_OPS.get(type(node.op))
+            if op is None:
+                raise ValueError(f"unsupported operator in {text!r}")
+            return op(visit(node.left), visit(node.right))
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            return -visit(node.operand)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            ctor = _CALLS.get(node.func.id)
+            if ctor is None or len(node.args) != 2 or node.keywords:
+                raise ValueError(f"unsupported call in shape expression {text!r}")
+            return ctor(visit(node.args[0]), visit(node.args[1]))
+        raise ValueError(f"unsupported construct in shape expression {text!r}")
+
+    return visit(tree)
+
+
+def parse_dim(dim, ctx: ShapeVarContext) -> PrimExpr:
+    """Coerce one annotation dimension: int, str (quoted expr) or PrimExpr."""
+    if isinstance(dim, PrimExpr):
+        return dim
+    if isinstance(dim, str):
+        return parse_expr(dim, ctx)
+    if isinstance(dim, int) and not isinstance(dim, bool):
+        return PrimExpr.convert(dim)
+    raise TypeError(f"invalid shape dimension {dim!r}")

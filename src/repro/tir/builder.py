@@ -1,0 +1,130 @@
+"""Concise construction DSL for tensor programs.
+
+Operator legalization (:mod:`repro.ops`) and tests build PrimFuncs through
+this builder::
+
+    f = TirBuilder("mm")
+    X = f.arg("X", (n, 128), "f16")
+    W = f.arg("W", (128, 256), "f16")
+    Y = f.out("Y", (n, 256), "f16")
+    i, j = f.spatial(n, 256)
+    k = f.reduce(128)
+    f.store(Y, [i, j], X[i, k] * W[k, j], combiner="sum", init=0.0)
+    func = f.build()
+
+Each ``store`` closes the pending iteration variables into one
+:class:`~repro.tir.function.Stage`; a builder can emit several stages (e.g.
+softmax: max, sum-exp, normalize).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .. import sym
+from .expr import Value
+from .function import Buffer, PrimFunc, Stage
+
+
+class TirBuilder:
+    """Accumulates buffers and stages for one PrimFunc."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._inputs: List[Buffer] = []
+        self._outputs: List[Buffer] = []
+        self._stages: List[Stage] = []
+        self._pending_spatial: List[Tuple[sym.SymVar, sym.PrimExpr]] = []
+        self._pending_reduce: List[Tuple[sym.SymVar, sym.PrimExpr]] = []
+        self._sym_params: List[sym.SymVar] = []
+        self._attrs = {}
+        self._var_counter = 0
+
+    # -- buffers -------------------------------------------------------------
+
+    def arg(self, name: str, shape: Sequence[sym.ExprLike], dtype: str) -> Buffer:
+        buf = Buffer(name, shape, dtype, scope="param")
+        self._inputs.append(buf)
+        return buf
+
+    def out(self, name: str, shape: Sequence[sym.ExprLike], dtype: str) -> Buffer:
+        buf = Buffer(name, shape, dtype, scope="param")
+        self._outputs.append(buf)
+        return buf
+
+    def alloc(self, name: str, shape: Sequence[sym.ExprLike], dtype: str,
+              scope: str = "local") -> Buffer:
+        """Intermediate buffer; ``scope="global"`` declares a workspace."""
+        return Buffer(name, shape, dtype, scope=scope)
+
+    # -- iteration variables ---------------------------------------------------
+
+    def spatial(self, *extents: sym.ExprLike):
+        """Fresh spatial loop variables over the given extents."""
+        out = []
+        for extent in extents:
+            var = self._fresh_var("i")
+            self._pending_spatial.append((var, sym.PrimExpr.convert(extent)))
+            out.append(var)
+        return out[0] if len(out) == 1 else tuple(out)
+
+    def reduce(self, *extents: sym.ExprLike):
+        """Fresh reduction loop variables over the given extents."""
+        out = []
+        for extent in extents:
+            var = self._fresh_var("k")
+            self._pending_reduce.append((var, sym.PrimExpr.convert(extent)))
+            out.append(var)
+        return out[0] if len(out) == 1 else tuple(out)
+
+    def _fresh_var(self, prefix: str) -> sym.SymVar:
+        self._var_counter += 1
+        return sym.SymVar(f"{prefix}{self._var_counter}")
+
+    # -- stages ----------------------------------------------------------------
+
+    def store(
+        self,
+        output: Buffer,
+        indices: Sequence[sym.ExprLike],
+        value: Union[Value, int, float],
+        combiner: Optional[str] = None,
+        init: Optional[float] = None,
+    ) -> None:
+        """Close the pending loops into a stage writing ``output[indices]``."""
+        stage = Stage(
+            loop_vars=self._pending_spatial,
+            output=output,
+            output_indices=indices,
+            value=Value.convert(value),
+            reduce_vars=self._pending_reduce,
+            combiner=combiner,
+            init=init,
+        )
+        self._stages.append(stage)
+        self._pending_spatial = []
+        self._pending_reduce = []
+
+    # -- misc -------------------------------------------------------------------
+
+    def sym_param(self, var: sym.SymVar) -> sym.SymVar:
+        """Declare an explicit symbolic parameter (Fig. 8 extra argument)."""
+        self._sym_params.append(var)
+        return var
+
+    def attr(self, key: str, value) -> None:
+        self._attrs[key] = value
+
+    def build(self) -> PrimFunc:
+        if self._pending_spatial or self._pending_reduce:
+            raise RuntimeError("loop variables declared but never stored")
+        if not self._outputs:
+            raise RuntimeError(f"tensor program {self.name!r} has no outputs")
+        return PrimFunc(
+            name=self.name,
+            params=self._inputs + self._outputs,
+            stages=self._stages,
+            num_outputs=len(self._outputs),
+            sym_params=self._sym_params,
+            attrs=self._attrs,
+        )

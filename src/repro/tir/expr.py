@@ -1,0 +1,365 @@
+"""Scalar value expressions for tensor program bodies.
+
+A tensor program stage computes one scalar value per output index from
+buffer reads and arithmetic.  *Index* expressions (loop-variable
+arithmetic) reuse :mod:`repro.sym` — the same expression system as shape
+annotations, which is precisely the paper's design (§3.1): one expression
+system spans shapes and tensor programs so analyses are shared.
+
+*Value* expressions (this module) are the floating point / integer scalar
+computation: buffer reads, arithmetic, intrinsics (exp, tanh, ...), casts,
+comparisons, selects, and the bit operations needed for quantization decode
+(Fig. 9's ``(data[k, j//8] >> (k%8*4)) & 15``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+from .. import dtypes, sym
+
+ValueLike = Union["Value", int, float]
+
+
+class Value:
+    """Base class of scalar value expressions."""
+
+    __slots__ = ()
+
+    @staticmethod
+    def convert(value: ValueLike) -> "Value":
+        if isinstance(value, Value):
+            return value
+        if isinstance(value, bool):
+            raise TypeError("bool is not a scalar value; use Cmp")
+        if isinstance(value, int):
+            return IntConst(value)
+        if isinstance(value, float):
+            return FloatConst(value)
+        if isinstance(value, sym.PrimExpr):
+            return IndexValue(value)
+        raise TypeError(f"cannot convert {type(value).__name__} to a Value")
+
+    def __add__(self, other: ValueLike) -> "Value":
+        return BinValue("add", self, Value.convert(other))
+
+    def __radd__(self, other: ValueLike) -> "Value":
+        return BinValue("add", Value.convert(other), self)
+
+    def __sub__(self, other: ValueLike) -> "Value":
+        return BinValue("sub", self, Value.convert(other))
+
+    def __rsub__(self, other: ValueLike) -> "Value":
+        return BinValue("sub", Value.convert(other), self)
+
+    def __mul__(self, other: ValueLike) -> "Value":
+        return BinValue("mul", self, Value.convert(other))
+
+    def __rmul__(self, other: ValueLike) -> "Value":
+        return BinValue("mul", Value.convert(other), self)
+
+    def __truediv__(self, other: ValueLike) -> "Value":
+        return BinValue("div", self, Value.convert(other))
+
+    def __rtruediv__(self, other: ValueLike) -> "Value":
+        return BinValue("div", Value.convert(other), self)
+
+    def __rshift__(self, other: ValueLike) -> "Value":
+        return BinValue("shr", self, Value.convert(other))
+
+    def __lshift__(self, other: ValueLike) -> "Value":
+        return BinValue("shl", self, Value.convert(other))
+
+    def __and__(self, other: ValueLike) -> "Value":
+        return BinValue("bitand", self, Value.convert(other))
+
+    def __or__(self, other: ValueLike) -> "Value":
+        return BinValue("bitor", self, Value.convert(other))
+
+    def __neg__(self) -> "Value":
+        return BinValue("sub", IntConst(0), self)
+
+    def children(self) -> Tuple["Value", ...]:
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return str(self)
+
+
+class IntConst(Value):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = int(value)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+class FloatConst(Value):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float):
+        self.value = float(value)
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+class IndexValue(Value):
+    """A symbolic index expression used as a scalar value (e.g. iota)."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: sym.ExprLike):
+        self.expr = sym.PrimExpr.convert(expr)
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+class BufferRead(Value):
+    """``A[i, j]`` — read one element of a buffer."""
+
+    __slots__ = ("buffer", "indices")
+
+    def __init__(self, buffer, indices: Sequence[sym.ExprLike]):
+        self.buffer = buffer
+        self.indices: Tuple[sym.PrimExpr, ...] = tuple(
+            sym.PrimExpr.convert(i) for i in indices
+        )
+        if len(self.indices) != len(buffer.shape):
+            raise ValueError(
+                f"buffer {buffer.name} has {len(buffer.shape)} dims, "
+                f"got {len(self.indices)} indices"
+            )
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(i) for i in self.indices)
+        return f"{self.buffer.name}[{inner}]"
+
+
+_BIN_OPS = {
+    "add", "sub", "mul", "div", "min", "max", "pow",
+    "shr", "shl", "bitand", "bitor",
+}
+
+_UNARY_OPS = {
+    "exp", "log", "sqrt", "rsqrt", "tanh", "erf", "sigmoid", "neg", "abs",
+    "sin", "cos", "floor", "ceil", "round",
+}
+
+_CMP_OPS = {"lt", "le", "gt", "ge", "eq", "ne"}
+
+
+class BinValue(Value):
+    __slots__ = ("op", "a", "b")
+
+    def __init__(self, op: str, a: ValueLike, b: ValueLike):
+        if op not in _BIN_OPS:
+            raise ValueError(f"unknown binary op {op!r}")
+        self.op = op
+        self.a = Value.convert(a)
+        self.b = Value.convert(b)
+
+    def children(self) -> Tuple[Value, ...]:
+        return (self.a, self.b)
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.a}, {self.b})"
+
+
+class UnaryValue(Value):
+    __slots__ = ("op", "a")
+
+    def __init__(self, op: str, a: ValueLike):
+        if op not in _UNARY_OPS:
+            raise ValueError(f"unknown unary op {op!r}")
+        self.op = op
+        self.a = Value.convert(a)
+
+    def children(self) -> Tuple[Value, ...]:
+        return (self.a,)
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.a})"
+
+
+class Cast(Value):
+    __slots__ = ("dtype", "a")
+
+    def __init__(self, dtype: str, a: ValueLike):
+        self.dtype = dtypes.check_dtype(dtype)
+        self.a = Value.convert(a)
+
+    def children(self) -> Tuple[Value, ...]:
+        return (self.a,)
+
+    def __str__(self) -> str:
+        return f"cast[{self.dtype}]({self.a})"
+
+
+class Cmp(Value):
+    """Comparison producing a boolean (used as Select condition)."""
+
+    __slots__ = ("op", "a", "b")
+
+    def __init__(self, op: str, a: ValueLike, b: ValueLike):
+        if op not in _CMP_OPS:
+            raise ValueError(f"unknown comparison {op!r}")
+        self.op = op
+        self.a = Value.convert(a)
+        self.b = Value.convert(b)
+
+    def children(self) -> Tuple[Value, ...]:
+        return (self.a, self.b)
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.a}, {self.b})"
+
+
+class Select(Value):
+    __slots__ = ("cond", "true_value", "false_value")
+
+    def __init__(self, cond: ValueLike, true_value: ValueLike, false_value: ValueLike):
+        self.cond = Value.convert(cond)
+        self.true_value = Value.convert(true_value)
+        self.false_value = Value.convert(false_value)
+
+    def children(self) -> Tuple[Value, ...]:
+        return (self.cond, self.true_value, self.false_value)
+
+    def __str__(self) -> str:
+        return f"select({self.cond}, {self.true_value}, {self.false_value})"
+
+
+class GatherRead(Value):
+    """Data-dependent read: ``data[pre..., I[mid...], post...]``.
+
+    The gather index comes from a buffer *value*, so the read position is
+    not a pure function of the loop variables — which is exactly why
+    Algorithm 1 classifies stages containing gathers as Opaque.
+    """
+
+    __slots__ = ("data", "index_buffer", "pre", "mid", "post")
+
+    def __init__(self, data, index_buffer, pre, mid, post):
+        self.data = data
+        self.index_buffer = index_buffer
+        self.pre = tuple(sym.PrimExpr.convert(i) for i in pre)
+        self.mid = tuple(sym.PrimExpr.convert(i) for i in mid)
+        self.post = tuple(sym.PrimExpr.convert(i) for i in post)
+        if len(self.mid) != len(index_buffer.shape):
+            raise ValueError("gather index rank mismatch")
+        if len(self.pre) + 1 + len(self.post) != len(data.shape):
+            raise ValueError("gather data rank mismatch")
+
+    def __str__(self) -> str:
+        pre = "".join(f"{i}, " for i in self.pre)
+        mid = ", ".join(str(i) for i in self.mid)
+        post = "".join(f", {i}" for i in self.post)
+        return f"{self.data.name}[{pre}{self.index_buffer.name}[{mid}]{post}]"
+
+
+def contains_gather(value: Value) -> bool:
+    """True when the value tree contains a data-dependent read."""
+    if isinstance(value, GatherRead):
+        return True
+    return any(contains_gather(c) for c in value.children())
+
+
+# -- convenience constructors -------------------------------------------------
+
+
+def vmin(a: ValueLike, b: ValueLike) -> Value:
+    return BinValue("min", a, b)
+
+
+def vmax(a: ValueLike, b: ValueLike) -> Value:
+    return BinValue("max", a, b)
+
+
+def exp(a: ValueLike) -> Value:
+    return UnaryValue("exp", a)
+
+
+def log(a: ValueLike) -> Value:
+    return UnaryValue("log", a)
+
+
+def sqrt(a: ValueLike) -> Value:
+    return UnaryValue("sqrt", a)
+
+
+def rsqrt(a: ValueLike) -> Value:
+    return UnaryValue("rsqrt", a)
+
+
+def tanh(a: ValueLike) -> Value:
+    return UnaryValue("tanh", a)
+
+
+def erf(a: ValueLike) -> Value:
+    return UnaryValue("erf", a)
+
+
+def sigmoid(a: ValueLike) -> Value:
+    return UnaryValue("sigmoid", a)
+
+
+def sin(a: ValueLike) -> Value:
+    return UnaryValue("sin", a)
+
+
+def cos(a: ValueLike) -> Value:
+    return UnaryValue("cos", a)
+
+
+def cast(dtype: str, a: ValueLike) -> Value:
+    return Cast(dtype, a)
+
+
+def select(cond: ValueLike, t: ValueLike, f: ValueLike) -> Value:
+    return Select(cond, t, f)
+
+
+def lt(a: ValueLike, b: ValueLike) -> Value:
+    return Cmp("lt", a, b)
+
+
+def ge(a: ValueLike, b: ValueLike) -> Value:
+    return Cmp("ge", a, b)
+
+
+def eq(a: ValueLike, b: ValueLike) -> Value:
+    return Cmp("eq", a, b)
+
+
+def count_arith_ops(value: Value) -> int:
+    """Number of arithmetic operations in a value tree (FLOP estimation)."""
+    count = 1 if isinstance(value, (BinValue, UnaryValue, Cmp, Select)) else 0
+    return count + sum(count_arith_ops(c) for c in value.children())
+
+
+def collect_reads(value: Value) -> "list[BufferRead]":
+    """All buffer reads in a value tree, in traversal order.
+
+    Gathers contribute a read of their index buffer; the data buffer read
+    is surfaced with the *pre/post* indices and a zero placeholder for the
+    gathered axis (its true index is data-dependent).  Callers that care
+    about data-dependence should check :func:`contains_gather`.
+    """
+    reads = []
+
+    def visit(v: Value) -> None:
+        if isinstance(v, BufferRead):
+            reads.append(v)
+        elif isinstance(v, GatherRead):
+            reads.append(BufferRead(v.index_buffer, v.mid))
+            placeholder = list(v.pre) + [sym.IntImm(0)] + list(v.post)
+            reads.append(BufferRead(v.data, placeholder))
+        for child in v.children():
+            visit(child)
+
+    visit(value)
+    return reads

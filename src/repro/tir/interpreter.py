@@ -1,0 +1,309 @@
+"""NumPy reference interpreter for tensor programs.
+
+Executes a :class:`~repro.tir.function.PrimFunc` on concrete NumPy arrays.
+Evaluation is vectorized: each stage materializes its full iteration grid
+(spatial × reduction), evaluates index and value expressions as arrays,
+reduces over the reduction axes with the stage combiner, and scatters into
+the output via (possibly fancy) indexing.  This is the ground truth the
+test suite compares the compiled VM and every fusion/lowering pass against.
+"""
+
+from __future__ import annotations
+
+from math import erf as _erf
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .. import dtypes, sym
+from .expr import (
+    BinValue,
+    BufferRead,
+    Cast,
+    Cmp,
+    FloatConst,
+    GatherRead,
+    IndexValue,
+    IntConst,
+    Select,
+    UnaryValue,
+    Value,
+)
+from .function import PrimFunc, Stage
+
+_erf_vec = np.vectorize(_erf, otypes=[np.float64])
+
+
+class TirInterpreterError(Exception):
+    pass
+
+
+def _eval_index(expr: sym.PrimExpr, env: Dict) -> np.ndarray:
+    """Evaluate a symbolic index expression over grid arrays."""
+    if isinstance(expr, sym.IntImm):
+        return np.int64(expr.value)
+    if isinstance(expr, sym.SymVar):
+        if expr.key() not in env:
+            raise TirInterpreterError(f"unbound index variable '{expr.name}'")
+        return env[expr.key()]
+    if isinstance(expr, sym.Add):
+        return _eval_index(expr.a, env) + _eval_index(expr.b, env)
+    if isinstance(expr, sym.Sub):
+        return _eval_index(expr.a, env) - _eval_index(expr.b, env)
+    if isinstance(expr, sym.Mul):
+        return _eval_index(expr.a, env) * _eval_index(expr.b, env)
+    if isinstance(expr, sym.FloorDiv):
+        return _eval_index(expr.a, env) // _eval_index(expr.b, env)
+    if isinstance(expr, sym.FloorMod):
+        return _eval_index(expr.a, env) % _eval_index(expr.b, env)
+    if isinstance(expr, sym.Min):
+        return np.minimum(_eval_index(expr.a, env), _eval_index(expr.b, env))
+    if isinstance(expr, sym.Max):
+        return np.maximum(_eval_index(expr.a, env), _eval_index(expr.b, env))
+    raise TirInterpreterError(f"unknown index node {type(expr).__name__}")
+
+
+def _eval_value(value: Value, env: Dict, buffers: Dict[int, np.ndarray]):
+    if isinstance(value, IntConst):
+        return np.int64(value.value)
+    if isinstance(value, FloatConst):
+        return np.float64(value.value)
+    if isinstance(value, IndexValue):
+        return _eval_index(value.expr, env)
+    if isinstance(value, BufferRead):
+        data = buffers.get(value.buffer._id)
+        if data is None:
+            raise TirInterpreterError(f"buffer {value.buffer.name} not materialized")
+        idx = tuple(_eval_index(i, env) for i in value.indices)
+        return data[idx]
+    if isinstance(value, GatherRead):
+        data = buffers.get(value.data._id)
+        index = buffers.get(value.index_buffer._id)
+        if data is None or index is None:
+            raise TirInterpreterError("gather buffers not materialized")
+        mid = tuple(_eval_index(i, env) for i in value.mid)
+        gathered = index[mid].astype(np.int64)
+        idx = tuple(
+            [_eval_index(i, env) for i in value.pre]
+            + [gathered]
+            + [_eval_index(i, env) for i in value.post]
+        )
+        return data[idx]
+    if isinstance(value, BinValue):
+        a = _eval_value(value.a, env, buffers)
+        b = _eval_value(value.b, env, buffers)
+        op = value.op
+        if op == "add":
+            return a + b
+        if op == "sub":
+            return a - b
+        if op == "mul":
+            return a * b
+        if op == "div":
+            return a / b
+        if op == "min":
+            return np.minimum(a, b)
+        if op == "max":
+            return np.maximum(a, b)
+        if op == "pow":
+            return np.power(a, b)
+        if op == "shr":
+            return a >> b
+        if op == "shl":
+            return a << b
+        if op == "bitand":
+            return a & b
+        if op == "bitor":
+            return a | b
+        raise TirInterpreterError(f"unknown binary op {op!r}")
+    if isinstance(value, UnaryValue):
+        a = _eval_value(value.a, env, buffers)
+        op = value.op
+        if op == "exp":
+            return np.exp(a)
+        if op == "log":
+            return np.log(a)
+        if op == "sqrt":
+            return np.sqrt(a)
+        if op == "rsqrt":
+            return 1.0 / np.sqrt(a)
+        if op == "tanh":
+            return np.tanh(a)
+        if op == "erf":
+            return _erf_vec(a)
+        if op == "sigmoid":
+            return 1.0 / (1.0 + np.exp(-a))
+        if op == "neg":
+            return -a
+        if op == "abs":
+            return np.abs(a)
+        if op == "sin":
+            return np.sin(a)
+        if op == "cos":
+            return np.cos(a)
+        if op == "floor":
+            return np.floor(a)
+        if op == "ceil":
+            return np.ceil(a)
+        if op == "round":
+            return np.round(a)
+        raise TirInterpreterError(f"unknown unary op {op!r}")
+    if isinstance(value, Cast):
+        a = _eval_value(value.a, env, buffers)
+        return np.asarray(a).astype(dtypes.to_numpy(value.dtype))
+    if isinstance(value, Cmp):
+        a = _eval_value(value.a, env, buffers)
+        b = _eval_value(value.b, env, buffers)
+        return {
+            "lt": np.less, "le": np.less_equal, "gt": np.greater,
+            "ge": np.greater_equal, "eq": np.equal, "ne": np.not_equal,
+        }[value.op](a, b)
+    if isinstance(value, Select):
+        cond = _eval_value(value.cond, env, buffers)
+        t = _eval_value(value.true_value, env, buffers)
+        f = _eval_value(value.false_value, env, buffers)
+        return np.where(cond, t, f)
+    raise TirInterpreterError(f"unknown value node {type(value).__name__}")
+
+
+def _eval_extent(extent: sym.PrimExpr, sym_env: Dict) -> int:
+    value = _eval_index(extent, sym_env)
+    return int(value)
+
+
+def run_stage(stage: Stage, buffers: Dict[int, np.ndarray], sym_env: Dict) -> None:
+    domain = stage.iter_domain()
+    extents = [_eval_extent(extent, sym_env) for _, extent in domain]
+    env = dict(sym_env)
+    ndim = len(extents)
+    for axis, (var, _) in enumerate(domain):
+        shape = [1] * ndim
+        shape[axis] = extents[axis]
+        env[var.key()] = np.arange(extents[axis], dtype=np.int64).reshape(shape)
+
+    values = _eval_value(stage.value, env, buffers)
+    full_shape = tuple(extents)
+    values = np.broadcast_to(np.asarray(values), full_shape)
+
+    n_spatial = len(stage.loop_vars)
+    if stage.reduce_vars:
+        reduce_axes = tuple(range(n_spatial, ndim))
+        if stage.combiner == "sum":
+            values = values.sum(axis=reduce_axes)
+        elif stage.combiner == "max":
+            values = values.max(axis=reduce_axes)
+        elif stage.combiner == "min":
+            values = values.min(axis=reduce_axes)
+        elif stage.combiner == "prod":
+            values = values.prod(axis=reduce_axes)
+        else:  # pragma: no cover
+            raise TirInterpreterError(f"unknown combiner {stage.combiner!r}")
+        if stage.init is not None:
+            if stage.combiner == "sum":
+                values = values + stage.init
+            elif stage.combiner == "prod":
+                values = values * stage.init
+            elif stage.combiner == "max":
+                values = np.maximum(values, stage.init)
+            elif stage.combiner == "min":
+                values = np.minimum(values, stage.init)
+
+    out = buffers.get(stage.output._id)
+    if out is None:
+        raise TirInterpreterError(f"output buffer {stage.output.name} not materialized")
+    out_dtype = dtypes.to_numpy(stage.output.dtype)
+    values = np.asarray(values).astype(out_dtype)
+
+    # Spatial-only index environment for the write side.
+    spatial_env = dict(sym_env)
+    for axis, (var, _) in enumerate(stage.loop_vars):
+        shape = [1] * n_spatial
+        shape[axis] = extents[axis]
+        spatial_env[var.key()] = np.arange(extents[axis], dtype=np.int64).reshape(shape)
+
+    spatial_shape = tuple(extents[:n_spatial])
+    write_idx = []
+    trivial = True
+    for dim, idx_expr in enumerate(stage.output_indices):
+        arr = _eval_index(idx_expr, spatial_env)
+        arr = np.broadcast_to(np.asarray(arr), spatial_shape)
+        write_idx.append(arr)
+        var_match = (
+            dim < n_spatial
+            and isinstance(idx_expr, sym.SymVar)
+            and idx_expr.key() == stage.loop_vars[dim][0].key()
+        )
+        trivial = trivial and var_match
+    if trivial and len(stage.output_indices) == n_spatial:
+        out[tuple(slice(0, e) for e in spatial_shape)] = values
+    else:
+        out[tuple(write_idx)] = values
+
+
+def run_prim_func(
+    func: PrimFunc,
+    args: Sequence[np.ndarray],
+    sym_bindings: Dict[sym.SymVar, int] = None,
+) -> None:
+    """Execute ``func`` in DPS: ``args`` maps to params; outputs are mutated.
+
+    ``sym_bindings`` supplies values for symbolic variables that cannot be
+    inferred from the argument shapes (explicit sym params).  Variables
+    inferable from shapes are bound automatically by matching parameter
+    buffer shapes against argument shapes.
+    """
+    if len(args) != len(func.params):
+        raise TirInterpreterError(
+            f"{func.name}: expected {len(func.params)} buffers, got {len(args)}"
+        )
+    sym_env: Dict = {}
+    if sym_bindings:
+        for var, value in sym_bindings.items():
+            sym_env[var.key()] = np.int64(int(value))
+
+    # Infer symbolic dims from argument shapes (single-variable dims only;
+    # composite dims are checked afterwards).
+    for buf, arr in zip(func.params, args):
+        if arr.ndim != len(buf.shape):
+            raise TirInterpreterError(
+                f"{func.name}: buffer {buf.name} expects {len(buf.shape)} dims, "
+                f"got array with {arr.ndim}"
+            )
+        for dim_expr, actual in zip(buf.shape, arr.shape):
+            if isinstance(dim_expr, sym.SymVar) and dim_expr.key() not in sym_env:
+                sym_env[dim_expr.key()] = np.int64(actual)
+
+    # Shape checks (the lightweight runtime checks of §4.1).
+    for buf, arr in zip(func.params, args):
+        for dim_expr, actual in zip(buf.shape, arr.shape):
+            expected = _eval_extent(dim_expr, sym_env)
+            if expected != actual:
+                raise TirInterpreterError(
+                    f"{func.name}: buffer {buf.name} dim mismatch: "
+                    f"expected {expected} ({dim_expr}), got {actual}"
+                )
+
+    buffers: Dict[int, np.ndarray] = {
+        buf._id: arr for buf, arr in zip(func.params, args)
+    }
+    for buf in func.intermediate_buffers():
+        shape = tuple(_eval_extent(d, sym_env) for d in buf.shape)
+        buffers[buf._id] = np.zeros(shape, dtype=dtypes.to_numpy(buf.dtype))
+
+    for stage in func.stages:
+        run_stage(stage, buffers, sym_env)
+
+
+def call_prim_func(
+    func: PrimFunc,
+    inputs: Sequence[np.ndarray],
+    out_shapes: Sequence[Sequence[int]],
+    sym_bindings: Dict[sym.SymVar, int] = None,
+) -> List[np.ndarray]:
+    """Allocate outputs, run in DPS, return the outputs (test convenience)."""
+    outputs = [
+        np.zeros(tuple(shape), dtype=dtypes.to_numpy(buf.dtype))
+        for shape, buf in zip(out_shapes, func.output_buffers())
+    ]
+    run_prim_func(func, list(inputs) + outputs, sym_bindings)
+    return outputs

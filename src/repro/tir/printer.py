@@ -1,0 +1,54 @@
+"""Text printer for tensor programs (paper's ``@tensorir_function`` style)."""
+
+from __future__ import annotations
+
+from .function import PrimFunc, Stage
+
+
+def _format_stage(stage: Stage, indent: int = 2) -> str:
+    pad = " " * indent
+    lines = []
+    spatial = ", ".join(str(v) for v, _ in stage.loop_vars)
+    extents = ", ".join(str(e) for _, e in stage.loop_vars)
+    if stage.loop_vars:
+        lines.append(f"{pad}for {spatial} in grid({extents}):")
+        inner = pad + "  "
+    else:
+        inner = pad
+    out_idx = ", ".join(str(i) for i in stage.output_indices)
+    target = f"{stage.output.name}[{out_idx}]"
+    if stage.is_reduction():
+        rvars = ", ".join(str(v) for v, _ in stage.reduce_vars)
+        rexts = ", ".join(str(e) for _, e in stage.reduce_vars)
+        lines.append(f"{inner}for {rvars} in grid({rexts}):  # reduce")
+        inner2 = inner + "  "
+        if stage.init is not None:
+            lines.append(f"{inner2}with init(): {target} = {stage.init}")
+        op = {"sum": "+=", "prod": "*=", "max": "max=", "min": "min="}[stage.combiner]
+        lines.append(f"{inner2}{target} {op} {stage.value}")
+    else:
+        lines.append(f"{inner}{target} = {stage.value}")
+    return "\n".join(lines)
+
+
+def format_prim_func(func: PrimFunc, name: str = None) -> str:
+    name = name or func.name
+    params = ", ".join(
+        f"{b.name}: Buffer(({', '.join(str(d) for d in b.shape)}), {b.dtype!r})"
+        for b in func.params
+    )
+    lines = [f"def {name}({params}):"]
+    if func.sym_params:
+        syms = ", ".join(v.name for v in func.sym_params)
+        lines.append(f"  # symbolic params: {syms}")
+    if func.attrs:
+        attrs = ", ".join(f"{k}={v!r}" for k, v in sorted(func.attrs.items()))
+        lines.append(f"  # attrs: {attrs}")
+    for buf in func.intermediate_buffers():
+        dims = ", ".join(str(d) for d in buf.shape)
+        lines.append(
+            f"  {buf.name} = alloc_buffer(({dims}), {buf.dtype!r}, scope={buf.scope!r})"
+        )
+    for stage in func.stages:
+        lines.append(_format_stage(stage))
+    return "\n".join(lines)

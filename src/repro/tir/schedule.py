@@ -1,0 +1,261 @@
+"""Transformations on tensor programs.
+
+These are the TIR-side mechanics behind the paper's cross-level passes:
+
+* :func:`substitute_stage` — re-instantiate a stage with new buffers /
+  symbolic bindings (used when merging tensor programs, FuseTensorIR §4.2);
+* :func:`inline_producers` — inline spatial (non-reduction) producer stages
+  into their consumers, eliminating intermediate buffers: this is where
+  fused kernels actually stop touching global memory;
+* :func:`replace_workspace_with_param` — rewrite a tensor program to take a
+  lifted workspace as an explicit parameter (workspace lifting §4.4);
+* :func:`bind_symbolic` — specialize a tensor program for concrete values
+  of some symbolic variables (static-dimension specialization, §3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .. import sym
+from .expr import (
+    BinValue,
+    BufferRead,
+    Cast,
+    Cmp,
+    FloatConst,
+    GatherRead,
+    IndexValue,
+    IntConst,
+    Select,
+    UnaryValue,
+    Value,
+)
+from .function import Buffer, PrimFunc, Stage
+
+
+def substitute_value(
+    value: Value,
+    buffer_map: Dict[int, Buffer],
+    var_map: Dict[sym.SymVar, sym.ExprLike],
+    read_rewrites: Optional[Dict[int, "ProducerInfo"]] = None,
+) -> Value:
+    """Rebuild a value tree with buffers remapped and index vars substituted.
+
+    ``read_rewrites`` optionally maps buffer ids to producer info; reads of
+    those buffers are replaced by the producer's value expression with the
+    producer's loop variables bound to the read indices (inlining).
+    """
+    if isinstance(value, (IntConst, FloatConst)):
+        return value
+    if isinstance(value, IndexValue):
+        return IndexValue(sym.substitute(value.expr, var_map))
+    if isinstance(value, BufferRead):
+        indices = [sym.substitute(i, var_map) for i in value.indices]
+        if read_rewrites and value.buffer._id in read_rewrites:
+            producer = read_rewrites[value.buffer._id]
+            inline_map = {
+                var: idx for var, idx in zip(producer.loop_vars, indices)
+            }
+            return substitute_value(producer.value, {}, inline_map, read_rewrites)
+        buffer = buffer_map.get(value.buffer._id, value.buffer)
+        return BufferRead(buffer, indices)
+    if isinstance(value, GatherRead):
+        # Never inlined into: gather reads stay materialized.
+        return GatherRead(
+            buffer_map.get(value.data._id, value.data),
+            buffer_map.get(value.index_buffer._id, value.index_buffer),
+            [sym.substitute(i, var_map) for i in value.pre],
+            [sym.substitute(i, var_map) for i in value.mid],
+            [sym.substitute(i, var_map) for i in value.post],
+        )
+    if isinstance(value, BinValue):
+        return BinValue(
+            value.op,
+            substitute_value(value.a, buffer_map, var_map, read_rewrites),
+            substitute_value(value.b, buffer_map, var_map, read_rewrites),
+        )
+    if isinstance(value, UnaryValue):
+        return UnaryValue(
+            value.op, substitute_value(value.a, buffer_map, var_map, read_rewrites)
+        )
+    if isinstance(value, Cast):
+        return Cast(
+            value.dtype, substitute_value(value.a, buffer_map, var_map, read_rewrites)
+        )
+    if isinstance(value, Cmp):
+        return Cmp(
+            value.op,
+            substitute_value(value.a, buffer_map, var_map, read_rewrites),
+            substitute_value(value.b, buffer_map, var_map, read_rewrites),
+        )
+    if isinstance(value, Select):
+        return Select(
+            substitute_value(value.cond, buffer_map, var_map, read_rewrites),
+            substitute_value(value.true_value, buffer_map, var_map, read_rewrites),
+            substitute_value(value.false_value, buffer_map, var_map, read_rewrites),
+        )
+    raise TypeError(f"unknown value node {type(value).__name__}")
+
+
+def substitute_stage(
+    stage: Stage,
+    buffer_map: Dict[int, Buffer],
+    var_map: Dict[sym.SymVar, sym.ExprLike],
+) -> Stage:
+    """New stage with buffers remapped and symbolic variables substituted.
+
+    Loop variables are renewed (alpha-renamed) so stages from different
+    functions never collide when merged into one PrimFunc.
+    """
+    full_map = dict(var_map)
+    new_spatial = []
+    for var, extent in stage.loop_vars:
+        fresh = sym.SymVar(var.name)
+        full_map[var] = fresh
+        new_spatial.append((fresh, sym.substitute(extent, var_map)))
+    new_reduce = []
+    for var, extent in stage.reduce_vars:
+        fresh = sym.SymVar(var.name)
+        full_map[var] = fresh
+        new_reduce.append((fresh, sym.substitute(extent, var_map)))
+
+    return Stage(
+        loop_vars=new_spatial,
+        output=buffer_map.get(stage.output._id, stage.output),
+        output_indices=[sym.substitute(i, full_map) for i in stage.output_indices],
+        value=substitute_value(stage.value, buffer_map, full_map),
+        reduce_vars=new_reduce,
+        combiner=stage.combiner,
+        init=stage.init,
+    )
+
+
+class ProducerInfo:
+    """A spatial producer stage eligible for inlining into its readers."""
+
+    def __init__(self, loop_vars: List[sym.SymVar], value: Value):
+        self.loop_vars = loop_vars
+        self.value = value
+
+
+def _inlinable_producer(stage: Stage) -> Optional[ProducerInfo]:
+    """Inlinable iff spatial-only with canonical writes (B[i,j] = f(i,j))."""
+    if stage.is_reduction():
+        return None
+    if len(stage.output_indices) != len(stage.loop_vars):
+        return None
+    for idx, (var, _) in zip(stage.output_indices, stage.loop_vars):
+        if not (isinstance(idx, sym.SymVar) and idx.key() == var.key()):
+            return None
+    return ProducerInfo([var for var, _ in stage.loop_vars], stage.value)
+
+
+def inline_producers(func: PrimFunc) -> PrimFunc:
+    """Inline every inlinable intermediate producer into its consumers.
+
+    An intermediate buffer disappears when its producer stage is spatial
+    with canonical writes: each read ``B[e...]`` becomes the producer value
+    with loop variables bound to ``e...``.  Reduction producers stay; their
+    outputs remain materialized.  Explicit ``global`` workspaces are never
+    inlined (they exist to be lifted, not folded away).
+    """
+    param_ids = {b._id for b in func.params}
+    producers: Dict[int, ProducerInfo] = {}
+    new_stages: List[Stage] = []
+
+    for stage in func.stages:
+        new_value = substitute_value(stage.value, {}, {}, read_rewrites=producers)
+        new_stage = Stage(
+            loop_vars=stage.loop_vars,
+            output=stage.output,
+            output_indices=stage.output_indices,
+            value=new_value,
+            reduce_vars=stage.reduce_vars,
+            combiner=stage.combiner,
+            init=stage.init,
+        )
+        out_buf = stage.output
+        if out_buf._id not in param_ids and out_buf.scope != "global":
+            info = _inlinable_producer(new_stage)
+            if info is not None:
+                producers[out_buf._id] = info
+                continue  # fully inlined: do not materialize this stage
+        new_stages.append(new_stage)
+
+    # Drop producers whose buffers are still read somewhere (safety): if a
+    # read remains (e.g. consumed before the producer ran — impossible in
+    # SSA order), we would have inlined it above, so nothing to re-add.
+    return PrimFunc(
+        name=func.name,
+        params=func.params,
+        stages=new_stages,
+        num_outputs=func.num_outputs,
+        sym_params=func.sym_params,
+        attrs=dict(func.attrs),
+    )
+
+
+def replace_workspace_with_param(func: PrimFunc, workspace: Buffer) -> PrimFunc:
+    """Turn a global workspace allocation into an explicit parameter.
+
+    The new parameter is inserted *before* the output buffers, matching the
+    call-site rewrite in workspace lifting (Fig. 11: the lifted allocation
+    is passed explicitly via call_tir).
+    """
+    if workspace not in func.workspace_buffers():
+        raise ValueError(f"{workspace.name} is not a workspace of {func.name}")
+    param = Buffer(workspace.name, workspace.shape, workspace.dtype, scope="param")
+    buffer_map = {workspace._id: param}
+    new_stages = [substitute_stage(s, buffer_map, {}) for s in func.stages]
+    inputs = func.input_buffers()
+    outputs = func.output_buffers()
+    return PrimFunc(
+        name=func.name,
+        params=inputs + [param] + outputs,
+        stages=new_stages,
+        num_outputs=func.num_outputs,
+        sym_params=func.sym_params,
+        attrs=dict(func.attrs),
+    )
+
+
+def bind_symbolic(func: PrimFunc, bindings: Dict[sym.SymVar, int],
+                  name: Optional[str] = None) -> PrimFunc:
+    """Specialize a tensor program for concrete symbolic values.
+
+    This is how Relax generates code specialized to static dimensions while
+    staying dynamic only where necessary (§3.3): known dims get folded into
+    constants; remaining variables stay symbolic.
+    """
+    var_map: Dict[sym.SymVar, sym.ExprLike] = {
+        var: sym.IntImm(int(val)) for var, val in bindings.items()
+    }
+    bound_keys = {var.key() for var in bindings}
+    buffer_map: Dict[int, Buffer] = {}
+    new_params = []
+    for buf in func.params:
+        new_buf = Buffer(
+            buf.name,
+            [sym.simplify(sym.substitute(d, var_map)) for d in buf.shape],
+            buf.dtype,
+            scope="param",
+        )
+        buffer_map[buf._id] = new_buf
+        new_params.append(new_buf)
+    for buf in func.intermediate_buffers():
+        buffer_map[buf._id] = Buffer(
+            buf.name,
+            [sym.simplify(sym.substitute(d, var_map)) for d in buf.shape],
+            buf.dtype,
+            scope=buf.scope,
+        )
+    new_stages = [substitute_stage(s, buffer_map, var_map) for s in func.stages]
+    return PrimFunc(
+        name=name or func.name,
+        params=new_params,
+        stages=new_stages,
+        num_outputs=func.num_outputs,
+        sym_params=[v for v in func.sym_params if v.key() not in bound_keys],
+        attrs=dict(func.attrs),
+    )

@@ -1,0 +1,99 @@
+"""Cross-level optimization passes and the compilation pipeline (§4)."""
+
+from .annotate_pattern import PATTERN_ATTR, AnnotatePatternKind, pattern_of
+from .cuda_graph import CUDAGraphOffload
+from .dead_code import DeadCodeElimination
+from .fold_constant import FoldConstant
+from .fuse_ops import FuseOps, substitute_vars
+from .fuse_pattern import FuseByPattern
+from .fuse_tensorir import FuseTensorIR
+from .legalize import LegalizeOps
+from .library_dispatch import LibraryDispatch, register_dispatch
+from .lower_call_tir import LowerCallTIR
+from .memory_plan import InsertKills, MemoryPlan
+from .memory_ops import (
+    alloc_storage,
+    alloc_storage_op,
+    alloc_tensor,
+    alloc_tensor_from_storage,
+    alloc_tensor_from_storage_op,
+    alloc_tensor_op,
+    call_lib_dps,
+    call_lib_dps_op,
+    call_tir_dps,
+    call_tir_dps_op,
+    dps_parts,
+    kill,
+    kill_op,
+)
+from .pass_infra import (
+    FunctionPass,
+    LambdaPass,
+    Pass,
+    PassContext,
+    Sequential,
+)
+from .pipeline import build, compile_and_load, default_pipeline, optimize
+from .refine_shapes import SHAPE_PRESERVING_UNARY, RefineShapes
+from .to_vm import VMCodegen, VMCodegenError
+from .tune_tir import (
+    SCHEDULE_ATTR,
+    ScheduleCandidate,
+    ScheduleRules,
+    TUNE_ATTR,
+    TuneTir,
+    classify_schedule,
+)
+from .workspace_lift import WorkspaceLifting
+
+__all__ = [
+    "AnnotatePatternKind",
+    "CUDAGraphOffload",
+    "DeadCodeElimination",
+    "FunctionPass",
+    "FoldConstant",
+    "FuseByPattern",
+    "FuseOps",
+    "FuseTensorIR",
+    "InsertKills",
+    "LambdaPass",
+    "LegalizeOps",
+    "LibraryDispatch",
+    "LowerCallTIR",
+    "MemoryPlan",
+    "PATTERN_ATTR",
+    "Pass",
+    "RefineShapes",
+    "SHAPE_PRESERVING_UNARY",
+    "PassContext",
+    "Sequential",
+    "VMCodegen",
+    "VMCodegenError",
+    "SCHEDULE_ATTR",
+    "ScheduleCandidate",
+    "ScheduleRules",
+    "TUNE_ATTR",
+    "TuneTir",
+    "classify_schedule",
+    "WorkspaceLifting",
+    "alloc_storage",
+    "alloc_storage_op",
+    "alloc_tensor",
+    "alloc_tensor_from_storage",
+    "alloc_tensor_from_storage_op",
+    "alloc_tensor_op",
+    "build",
+    "call_lib_dps",
+    "call_lib_dps_op",
+    "call_tir_dps",
+    "call_tir_dps_op",
+    "compile_and_load",
+    "default_pipeline",
+    "dps_parts",
+    "kill",
+    "kill_op",
+    "optimize",
+    "pattern_of",
+    "register_dispatch",
+    "substitute_vars",
+]

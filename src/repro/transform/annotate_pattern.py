@@ -1,0 +1,37 @@
+"""AnnotatePatternKind — the analysis feedback pass (§4 "Analysis feedback",
+Algorithm 1).
+
+Classifies every tensor program in the module by inspecting its loops and
+buffer access indices, and records the result as the ``compute_pattern``
+function attribute.  FuseOps consumes these attributes instead of manual
+per-operator annotations — the paper's point being that cross-level
+analysis replaces "heavy and inflexible manual operator annotations".
+"""
+
+from __future__ import annotations
+
+from .. import tir
+from ..core.ir_module import IRModule
+from .pass_infra import Pass, PassContext
+
+PATTERN_ATTR = "compute_pattern"
+
+
+class AnnotatePatternKind(Pass):
+    name = "AnnotatePatternKind"
+
+    def run(self, mod: IRModule, ctx: PassContext) -> IRModule:
+        for _, func in mod.tir_functions():
+            kind = tir.pattern_kind(func)
+            func.attrs[PATTERN_ATTR] = kind
+        return mod
+
+
+def pattern_of(mod: IRModule, gvar_name: str) -> tir.PatternKind:
+    """Pattern kind of a tensor program, computing it on demand."""
+    func = mod[gvar_name]
+    kind = func.attrs.get(PATTERN_ATTR)
+    if kind is None:
+        kind = tir.pattern_kind(func)
+        func.attrs[PATTERN_ATTR] = kind
+    return kind

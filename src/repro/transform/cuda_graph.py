@@ -1,0 +1,132 @@
+"""CUDA Graph offloading (§4.5).
+
+After static memory planning the kernel launch sequence of a function
+touches only statically allocated storages, which is exactly the condition
+the GPU driver imposes for graph capture.  This pass analyzes the lowered
+function and marks it for capture/replay when every operation is
+graph-safe:
+
+* planned allocations (``memory.alloc_storage`` with static size,
+  ``memory.alloc_tensor_from_storage``) — static memory;
+* ``vm.call_tir_dps`` / ``vm.call_lib_dps`` kernel launches;
+* shape-heap arithmetic, tuples, aliases (host-side, cheap).
+
+Pool allocations, data-dependent builtins, control flow and nested calls
+disqualify a function.  At runtime the VM captures on the first execution
+of each shape signature and replays afterwards, paying one graph-launch
+overhead instead of per-kernel launch overhead (the 1–2% of Fig. 17).
+"""
+
+from __future__ import annotations
+
+from ..core.expr import (
+    Call,
+    Constant,
+    ExternFunc,
+    Function,
+    GlobalVar,
+    If,
+    Op,
+    SeqExpr,
+    ShapeExpr,
+    Tuple,
+    TupleGetItem,
+    Var,
+)
+from ..core.ir_module import IRModule
+from .memory_ops import (
+    alloc_storage_op,
+    alloc_tensor_from_storage_op,
+    alloc_tensor_op,
+    call_lib_dps_op,
+    call_tir_dps_op,
+    kill_op,
+)
+from .pass_infra import FunctionPass, PassContext
+
+#: Backends with driver-level static execution graphs.  The paper notes the
+#: principle generalizes to "any GPU backend that supports static execution
+#: graphs"; CUDA is the one it evaluates.
+GRAPH_BACKENDS = ("cuda",)
+
+MIN_KERNELS = 2
+
+
+class CUDAGraphOffload(FunctionPass):
+    name = "CUDAGraphOffload"
+
+    def transform_function(self, name, func: Function, mod: IRModule, ctx: PassContext):
+        if not ctx.enable_cuda_graph:
+            return func
+        if ctx.device.backend not in GRAPH_BACKENDS:
+            return func
+        if func.attrs.get("memory_planned") != "static":
+            return func
+        body = func.body
+        if not isinstance(body, SeqExpr):
+            return func
+
+        kernels = 0
+        for block in body.blocks:
+            for binding in block.bindings:
+                safety = self._binding_safety(binding.value)
+                if safety is None:
+                    return func
+                kernels += safety
+        if kernels < MIN_KERNELS:
+            return func
+
+        attrs = dict(func.attrs)
+        attrs["cuda_graph"] = True
+        attrs["graph_dynamic_dims"] = self._dynamic_dims(func, ctx)
+        out = Function(func.params, func.body, func.ret_ann, attrs, func.name)
+        out.ann = func.ann
+        return out
+
+    @staticmethod
+    def _dynamic_dims(func: Function, ctx: PassContext):
+        """Parameter dims excluded from the capture key.
+
+        A symbolic dimension whose variables all carry declared upper
+        bounds was planned with worst-case storage; the captured graph's
+        memory stays valid as its value varies, so replay only needs the
+        kernel parameters updated (cudaGraphExecUpdate-style).  Static and
+        unbounded dims stay in the key.
+        """
+        from .. import sym
+        from ..core.annotations import TensorAnn
+
+        dynamic = {}
+        for idx, param in enumerate(func.params):
+            ann = param.ann
+            if not isinstance(ann, TensorAnn) or ann.shape is None:
+                continue
+            dims = []
+            for d, dim in enumerate(ann.shape):
+                fvs = sym.free_vars(dim)
+                if fvs and all(v.name in ctx.sym_var_upper_bounds for v in fvs):
+                    dims.append(d)
+            if dims:
+                dynamic[idx] = tuple(dims)
+        return dynamic
+
+    @staticmethod
+    def _binding_safety(value) -> "int | None":
+        """Return kernel count contribution, or None when graph-unsafe."""
+        if isinstance(value, (Var, Constant, ShapeExpr, Tuple, TupleGetItem)):
+            return 0
+        if isinstance(value, If):
+            return None
+        if isinstance(value, Call):
+            op = value.op
+            if op in (call_tir_dps_op, call_lib_dps_op):
+                return 1
+            if op in (alloc_storage_op, alloc_tensor_from_storage_op, kill_op):
+                return 0
+            if op is alloc_tensor_op:
+                return None  # dynamic pool allocation: not static memory
+            if isinstance(op, (GlobalVar, ExternFunc)):
+                return None  # nested call / data-dependent builtin
+            if isinstance(op, Op):
+                return None
+        return None

@@ -1,0 +1,100 @@
+"""Dead code elimination over dataflow blocks.
+
+The paper's motivating example for dataflow blocks (§3.1): inside a
+side-effect-free region one can "safely remove unused operators without
+having to consider whether this could affect the visible behavior of the
+program".  Bindings in *non*-dataflow blocks are conservatively kept —
+they may be effectful (DPS calls, kills, allocations).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..core.expr import (
+    Call,
+    DataflowBlock,
+    Expr,
+    Function,
+    If,
+    MatchCast,
+    SeqExpr,
+    Tuple,
+    TupleGetItem,
+    Var,
+)
+from ..core.ir_module import IRModule
+from .pass_infra import FunctionPass, PassContext
+
+
+def _collect_uses(expr: Expr, used: Set[int]) -> None:
+    if isinstance(expr, Var):
+        used.add(expr._id)
+    elif isinstance(expr, Call):
+        _collect_uses(expr.op, used)
+        for arg in expr.args:
+            _collect_uses(arg, used)
+    elif isinstance(expr, Tuple):
+        for f in expr.fields:
+            _collect_uses(f, used)
+    elif isinstance(expr, TupleGetItem):
+        _collect_uses(expr.tuple_value, used)
+    elif isinstance(expr, If):
+        _collect_uses(expr.cond, used)
+        _collect_uses(expr.true_branch, used)
+        _collect_uses(expr.false_branch, used)
+    elif isinstance(expr, SeqExpr):
+        for block in expr.blocks:
+            for binding in block.bindings:
+                _collect_uses(binding.value, used)
+        _collect_uses(expr.body, used)
+
+
+class DeadCodeElimination(FunctionPass):
+    """Remove dataflow bindings whose results are never used."""
+
+    name = "DeadCodeElimination"
+
+    def transform_function(self, name, func: Function, mod: IRModule, ctx: PassContext):
+        body = func.body
+        if not isinstance(body, SeqExpr):
+            return func
+
+        # Iterate to a local fixed point: removing one dead binding can make
+        # its producers dead too.  Bounded by the number of bindings.
+        changed_any = False
+        while True:
+            used: Set[int] = set()
+            _collect_uses(body.body, used)
+            for block in body.blocks:
+                for binding in block.bindings:
+                    _collect_uses(binding.value, used)
+            # A match_cast may introduce symbolic vars used by annotations;
+            # keep any match_cast whose target has free symbolic variables.
+            new_blocks = []
+            changed = False
+            for block in body.blocks:
+                if not block.is_dataflow:
+                    new_blocks.append(block)
+                    continue
+                kept = []
+                for binding in block.bindings:
+                    keep = binding.var._id in used
+                    if not keep and isinstance(binding, MatchCast):
+                        keep = bool(binding.target_ann.free_sym_vars())
+                    if keep:
+                        kept.append(binding)
+                    else:
+                        changed = True
+                new_blocks.append(DataflowBlock(kept) if changed else block)
+            if not changed:
+                break
+            changed_any = True
+            body = SeqExpr(new_blocks, body.body)
+            body.ann = func.body.ann
+
+        if not changed_any:
+            return func
+        out = Function(func.params, body, func.ret_ann, func.attrs, func.name)
+        out.ann = func.ann
+        return out

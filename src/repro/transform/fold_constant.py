@@ -1,0 +1,98 @@
+"""FoldConstant: evaluate operator calls over constant inputs at compile
+time.
+
+A standard graph-level optimization the cross-level design makes nearly
+free: a call is foldable when every tensor argument is a Constant and the
+operator has a legalization — the *same* tensor program that would run at
+runtime is executed once by the TIR interpreter and replaced by its result.
+(Quantization weight pre-packing and mask precomputation are the typical
+beneficiaries.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import dtypes, sym, tir
+from ..core.annotations import TensorAnn
+from ..core.expr import Call, Constant, Expr, Op, ShapeExpr
+from ..core.ir_module import IRModule
+from ..core.deduction import rededuce_function
+from ..core.visitor import ExprMutator
+from ..ops.registry import finalize_prim_func
+from .pass_infra import FunctionPass, PassContext
+
+
+def _try_fold(call: Call) -> Optional[Constant]:
+    op = call.op
+    if not isinstance(op, Op) or op.legalize is None:
+        return None
+    tensor_args = []
+    for arg in call.args:
+        if isinstance(arg, Constant):
+            tensor_args.append(arg)
+        elif isinstance(arg, ShapeExpr):
+            if any(not sym.is_static(v) for v in arg.values):
+                return None
+        else:
+            return None
+    out_ann = call.ann
+    if not isinstance(out_ann, TensorAnn) or out_ann.shape is None:
+        return None
+    if any(not sym.is_static(d) for d in out_ann.shape):
+        return None
+
+    try:
+        legalized = op.legalize(call)
+    except (ValueError, TypeError):
+        return None
+    if legalized is None:
+        return None
+    func = finalize_prim_func(legalized.prim_func)
+    if func.sym_params:
+        return None  # needs runtime symbolic values
+
+    out_shape = tuple(sym.as_static_int(sym.simplify(d)) for d in out_ann.shape)
+    out = np.zeros(out_shape, dtype=dtypes.to_numpy(out_ann.dtype))
+    arrays = [a.data for a in tensor_args] + [out]
+    try:
+        tir.run_prim_func(func, arrays)
+    except tir.TirInterpreterError:
+        return None
+    folded = Constant(out)
+    return folded
+
+
+class _Folder(ExprMutator):
+    def __init__(self):
+        super().__init__()
+        self.folded = 0
+
+    def visit_call(self, call: Call) -> Expr:
+        visited = super().visit_call(call)
+        if not isinstance(visited, Call):
+            return visited
+        result = _try_fold(visited)
+        if result is not None:
+            self.folded += 1
+            return result
+        return visited
+
+
+class FoldConstant(FunctionPass):
+    name = "FoldConstant"
+
+    def transform_function(self, name, func, mod: IRModule, ctx: PassContext):
+        folder = _Folder()
+        new_func = folder.visit_function(func)
+        if new_func is not func:
+            from ..core.expr import Function
+
+            def lookup(gvar):
+                target = mod[gvar.name_hint] if gvar.name_hint in mod else None
+                return target.signature_ann() if isinstance(target, Function) else None
+
+            rededuce_function(new_func, lookup)
+        return new_func

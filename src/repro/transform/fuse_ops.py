@@ -1,0 +1,404 @@
+"""FuseOps — dynamic shape-aware operator fusion (Algorithm 2, §4.2).
+
+Groups chains of ``call_tir`` bindings inside dataflow blocks using the
+pattern kinds produced by the analysis-feedback pass (Algorithm 1), and
+outlines each group into a *subgraph function*.  Grouping rules follow the
+classic TVM lattice, driven entirely by analyzed (not hand-annotated)
+pattern kinds:
+
+* elementwise / broadcast / injective chains fuse together;
+* injective producers fuse into the inputs of an OutputEwiseFusible
+  consumer (the Fig. 9 quantization-decode-into-matmul case);
+* elementwise epilogues fuse into the back of OutputEwiseFusible or
+  Reduction producers (matmul+ReLU);
+* Opaque never fuses; at most one "heavy" (OEF/Reduction) op per group.
+
+Symbolic shapes are preserved throughout: the outlined function's parameter
+annotations may contain symbolic *expressions*, and when the expressions'
+variables cannot be re-derived from parameter shapes, an extra ``Shape``
+parameter threads them in (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .. import sym
+from ..core.annotations import ShapeAnn, TensorAnn
+from ..core.expr import (
+    Call,
+    Constant,
+    DataflowBlock,
+    Expr,
+    Function,
+    SeqExpr,
+    ShapeExpr,
+    Tuple,
+    TupleGetItem,
+    Var,
+    VarBinding,
+)
+from ..core.ir_module import IRModule
+from ..core.deduction import rededuce_function
+from ..core import op as core_op
+from ..tir.analysis import PatternKind
+from .annotate_pattern import pattern_of
+from .pass_infra import FunctionPass, PassContext
+
+
+def substitute_vars(expr: Expr, var_map: Dict[int, Expr]) -> Expr:
+    """Replace Var references (by identity) throughout an expression."""
+    if isinstance(expr, Var):
+        return var_map.get(expr._id, expr)
+    if isinstance(expr, Call):
+        new = Call(
+            substitute_vars(expr.op, var_map),
+            [substitute_vars(a, var_map) for a in expr.args],
+            expr.attrs,
+            expr.sinfo_args,
+        )
+        new.ann = expr.ann
+        return new
+    if isinstance(expr, Tuple):
+        new = Tuple([substitute_vars(f, var_map) for f in expr.fields])
+        new.ann = expr.ann
+        return new
+    if isinstance(expr, TupleGetItem):
+        new = TupleGetItem(substitute_vars(expr.tuple_value, var_map), expr.index)
+        new.ann = expr.ann
+        return new
+    return expr
+
+
+class _UnionFind:
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, i: int) -> int:
+        while self.parent[i] != i:
+            self.parent[i] = self.parent[self.parent[i]]
+            i = self.parent[i]
+        return i
+
+    def union(self, a: int, b: int) -> int:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[max(ra, rb)] = min(ra, rb)
+        return min(ra, rb)
+
+
+def _mergeable(producer_kind, consumer_kind, producer_heavy, consumer_heavy):
+    """Fusion lattice: may a producer group merge into its consumer group?"""
+    if producer_heavy + consumer_heavy > 1:
+        return None
+    injective = PatternKind.INJECTIVE
+    if producer_kind <= injective and consumer_kind <= injective:
+        return max(producer_kind, consumer_kind)
+    if producer_kind <= injective and consumer_kind in (
+        PatternKind.OUT_EWISE_FUSIBLE,
+        PatternKind.REDUCTION,
+    ):
+        return consumer_kind
+    if (
+        producer_kind in (PatternKind.OUT_EWISE_FUSIBLE, PatternKind.REDUCTION)
+        and consumer_kind == PatternKind.ELEMENT_WISE
+    ):
+        return producer_kind
+    return None
+
+
+class FuseOps(FunctionPass):
+    name = "FuseOps"
+
+    def transform_function(self, name, func: Function, mod: IRModule, ctx: PassContext):
+        if not ctx.enable_fusion:
+            return func
+        if func.attrs.get("fusion_group"):
+            return func
+        body = func.body
+        if not isinstance(body, SeqExpr):
+            return func
+
+        changed = False
+        new_blocks = []
+        for block in body.blocks:
+            if block.is_dataflow:
+                new_block, block_changed = self._fuse_block(name, block, body, mod)
+                changed = changed or block_changed
+                new_blocks.append(new_block)
+            else:
+                new_blocks.append(block)
+        if not changed:
+            return func
+        new_body = SeqExpr(new_blocks, body.body)
+        new_body.ann = body.ann
+        out = Function(func.params, new_body, func.ret_ann, func.attrs, func.name)
+        out.ann = func.ann
+
+        def lookup(gvar):
+            target = mod[gvar.name_hint] if gvar.name_hint in mod else None
+            return target.signature_ann() if isinstance(target, Function) else None
+
+        rededuce_function(out, lookup)
+        return out
+
+    # -- group discovery ---------------------------------------------------------
+
+    def _fuse_block(self, fn_name, block: DataflowBlock, body: SeqExpr, mod: IRModule):
+        bindings = block.bindings
+        n = len(bindings)
+        var_to_idx: Dict[int, int] = {}
+        kinds: Dict[int, PatternKind] = {}
+        for i, binding in enumerate(bindings):
+            var_to_idx[binding.var._id] = i
+            value = binding.value
+            if core_op.is_call_to(value, core_op.call_tir_op):
+                callee, _, _ = core_op.call_tir_parts(value)
+                kinds[i] = pattern_of(mod, callee.name_hint)
+
+        # Use counts of every var across the whole function body (a var used
+        # twice cannot be absorbed into a consumer without duplication).
+        use_count: Dict[int, int] = {}
+
+        def count(expr: Expr) -> None:
+            from ..core.expr import If as IfExpr
+
+            if isinstance(expr, Var):
+                use_count[expr._id] = use_count.get(expr._id, 0) + 1
+                return
+            if isinstance(expr, Call):
+                for a in expr.args:
+                    count(a)
+            elif isinstance(expr, Tuple):
+                for f in expr.fields:
+                    count(f)
+            elif isinstance(expr, TupleGetItem):
+                count(expr.tuple_value)
+            elif isinstance(expr, IfExpr):
+                count(expr.cond)
+                for branch in (expr.true_branch, expr.false_branch):
+                    if isinstance(branch, SeqExpr):
+                        for block in branch.blocks:
+                            for b in block.bindings:
+                                count(b.value)
+                        count(branch.body)
+                    else:
+                        count(branch)
+
+        for blk in body.blocks:
+            for b in blk.bindings:
+                count(b.value)
+        count(body.body)
+
+        uf = _UnionFind(n)
+        group_kind: Dict[int, PatternKind] = dict(kinds)
+        heavy = {
+            i: 1 if kinds.get(i) in (PatternKind.OUT_EWISE_FUSIBLE, PatternKind.REDUCTION) else 0
+            for i in kinds
+        }
+
+        for i, binding in enumerate(bindings):
+            if i not in kinds:
+                continue
+            value = binding.value
+            _, args, _ = core_op.call_tir_parts(value)
+            for arg in args:
+                if not isinstance(arg, Var) or arg._id not in var_to_idx:
+                    continue
+                p = var_to_idx[arg._id]
+                if p not in kinds:
+                    continue
+                if use_count.get(arg._id, 0) != 1:
+                    continue
+                rp, rc = uf.find(p), uf.find(i)
+                if rp == rc:
+                    continue
+                merged = _mergeable(
+                    group_kind[rp], group_kind[rc], heavy[rp], heavy[rc]
+                )
+                if merged is None:
+                    continue
+                root = uf.union(rp, rc)
+                other = rc if root == rp else rp
+                group_kind[root] = merged
+                heavy[root] = heavy[rp] + heavy[rc]
+                group_kind.pop(other, None)
+                heavy.pop(other, None)
+
+        # Collect groups of size >= 2.
+        members: Dict[int, List[int]] = {}
+        for i in kinds:
+            members.setdefault(uf.find(i), []).append(i)
+        groups = [sorted(m) for m in members.values() if len(m) >= 2]
+        if not groups:
+            return block, False
+
+        # Outline each group; rebuild the binding list.
+        replaced: Dict[int, Optional[VarBinding]] = {}
+        for group in groups:
+            outlined = self._outline_group(fn_name, bindings, group, mod)
+            if outlined is None:
+                continue
+            for i in group[:-1]:
+                replaced[i] = None
+            replaced[group[-1]] = outlined
+
+        if not replaced:
+            return block, False
+        new_bindings = []
+        for i, binding in enumerate(bindings):
+            if i in replaced:
+                if replaced[i] is not None:
+                    new_bindings.append(replaced[i])
+            else:
+                new_bindings.append(binding)
+        return DataflowBlock(new_bindings), True
+
+    # -- outlining ------------------------------------------------------------------
+
+    def _outline_group(self, fn_name, bindings, group: List[int], mod: IRModule):
+        group_set: Set[int] = set(group)
+        bound_here = {bindings[i].var._id for i in group}
+
+        # The group has exactly one output by construction (single-use merge
+        # rule), and it is the last member.
+        out_binding = bindings[group[-1]]
+
+        # External inputs in first-use order (Vars and Constants).
+        inputs: List[Expr] = []
+        seen: Set[int] = set()
+
+        def scan(expr: Expr) -> None:
+            if isinstance(expr, Var):
+                if expr._id not in bound_here and expr._id not in seen:
+                    seen.add(expr._id)
+                    inputs.append(expr)
+                return
+            if isinstance(expr, Constant):
+                if id(expr) not in seen:
+                    seen.add(id(expr))
+                    inputs.append(expr)
+                return
+            if isinstance(expr, Call):
+                for a in expr.args:
+                    scan(a)
+            elif isinstance(expr, Tuple):
+                for f in expr.fields:
+                    scan(f)
+            elif isinstance(expr, TupleGetItem):
+                scan(expr.tuple_value)
+
+        for i in group:
+            scan(bindings[i].value)
+
+        # Fresh parameters mirroring each input's annotation.
+        params: List[Var] = []
+        var_map: Dict[int, Expr] = {}
+        const_map: List = []
+        for idx, inp in enumerate(inputs):
+            ann = inp.ann
+            pname = inp.name_hint if isinstance(inp, Var) else f"const{idx}"
+            param = Var(pname, ann)
+            params.append(param)
+            if isinstance(inp, Var):
+                var_map[inp._id] = param
+            else:
+                const_map.append((inp, param))
+
+        # Symbolic variables used by the group vs. derivable from params.
+        used_syms: Dict = {}
+
+        def note_syms(exprs) -> None:
+            for e in exprs:
+                for v in sym.free_vars(e):
+                    used_syms.setdefault(v.key(), v)
+
+        for i in group:
+            value = bindings[i].value
+            for ann in value.sinfo_args:
+                if isinstance(ann, TensorAnn) and ann.shape is not None:
+                    note_syms(ann.shape)
+            _, args, sym_args = core_op.call_tir_parts(value)
+            if sym_args is not None:
+                note_syms(sym_args.values)
+            for arg in args:
+                if isinstance(arg, ShapeExpr):
+                    note_syms(arg.values)
+
+        derivable: Set = set()
+        for param in params:
+            ann = param.ann
+            if isinstance(ann, TensorAnn) and ann.shape is not None:
+                for dim in ann.shape:
+                    if isinstance(dim, sym.SymVar):
+                        derivable.add(dim.key())
+        missing = [v for key, v in sorted(used_syms.items()) if key not in derivable]
+
+        shape_param = None
+        if missing:
+            shape_param = Var("s", ShapeAnn(missing))
+            params.append(shape_param)
+
+        # Rebuild the group bindings against the new parameters.
+        inner_bindings = []
+        const_subst = {id(c): p for c, p in const_map}
+
+        def substitute_all(expr: Expr) -> Expr:
+            if isinstance(expr, Constant) and id(expr) in const_subst:
+                return const_subst[id(expr)]
+            if isinstance(expr, Var):
+                return var_map.get(expr._id, expr)
+            if isinstance(expr, Call):
+                new = Call(
+                    expr.op,
+                    [substitute_all(a) for a in expr.args],
+                    expr.attrs,
+                    expr.sinfo_args,
+                )
+                new.ann = expr.ann
+                return new
+            if isinstance(expr, Tuple):
+                new = Tuple([substitute_all(f) for f in expr.fields])
+                new.ann = expr.ann
+                return new
+            if isinstance(expr, TupleGetItem):
+                new = TupleGetItem(substitute_all(expr.tuple_value), expr.index)
+                new.ann = expr.ann
+                return new
+            return expr
+
+        for i in group:
+            binding = bindings[i]
+            inner_bindings.append(VarBinding(binding.var, substitute_all(binding.value)))
+
+        gv = Var("gv", out_binding.var.ann)
+        inner_bindings.append(VarBinding(gv, inner_bindings[-1].var))
+        inner_body = SeqExpr([DataflowBlock(inner_bindings)], gv)
+        inner_body.ann = gv.ann
+
+        fused_name = self._fused_name(bindings, group, mod)
+        fused_fn = Function(
+            params,
+            inner_body,
+            ret_ann=out_binding.var.ann,
+            attrs={"fusion_group": True, "primitive": True},
+            name=fused_name,
+        )
+        fused_fn.ann = fused_fn.signature_ann()
+        gvar = mod.add_unique(fused_name, fused_fn)
+
+        call_args: List[Expr] = list(inputs)
+        if shape_param is not None:
+            call_args.append(ShapeExpr(missing))
+        call = Call(gvar, call_args)
+        call.ann = out_binding.var.ann
+        return VarBinding(out_binding.var, call)
+
+    @staticmethod
+    def _fused_name(bindings, group, mod: IRModule) -> str:
+        parts = []
+        for i in group:
+            callee, _, _ = core_op.call_tir_parts(bindings[i].value)
+            prim = mod[callee.name_hint]
+            parts.append(prim.attrs.get("source_op", callee.name_hint).replace(".", "_"))
+        return "fused_" + "_".join(parts[:4])

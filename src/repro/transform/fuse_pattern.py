@@ -1,0 +1,161 @@
+"""FuseByPattern — user-defined fusion patterns (§4.2).
+
+The paper: "we can apply a pass to fuse new sets of patterns that are not
+covered by FuseOps (e.g., fusing all sub-operators in scaled dot-product
+attention), and use FuseOps for the remainder.  FuseTensorIR can then
+transform the fused subgraph function from both customized and standard
+fusion."
+
+This pass fuses *linear chains* of ``call_tir`` bindings whose tensor
+programs' source operators match a user-given name sequence — regardless
+of their pattern kinds, so chains containing Opaque programs (softmax!)
+fuse too.  It reuses FuseOps' outlining machinery, producing the same
+subgraph-function form, so the standard FuseTensorIR merges the result —
+the composability the paper advertises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..core.expr import Function, SeqExpr, Var
+from ..core.ir_module import IRModule
+from ..core.deduction import rededuce_function
+from ..core import op as core_op
+from ..core.expr import Call, DataflowBlock, Tuple, TupleGetItem
+from .fuse_ops import FuseOps
+from .pass_infra import FunctionPass, PassContext
+
+
+class FuseByPattern(FunctionPass):
+    """Fuse chains matching the given source-operator name sequences."""
+
+    name = "FuseByPattern"
+
+    def __init__(self, patterns: Sequence[Sequence[str]]):
+        self.patterns = [tuple(p) for p in patterns]
+        for pattern in self.patterns:
+            if len(pattern) < 2:
+                raise ValueError("fusion patterns need at least two operators")
+
+    def transform_function(self, name, func: Function, mod: IRModule, ctx: PassContext):
+        body = func.body
+        if not isinstance(body, SeqExpr):
+            return func
+
+        changed = False
+        new_blocks = []
+        outliner = FuseOps()
+        for block in body.blocks:
+            if not block.is_dataflow:
+                new_blocks.append(block)
+                continue
+            block, block_changed = self._fuse_block(name, block, body, mod, outliner)
+            changed = changed or block_changed
+            new_blocks.append(block)
+        if not changed:
+            return func
+
+        new_body = SeqExpr(new_blocks, body.body)
+        new_body.ann = body.ann
+        out = Function(func.params, new_body, func.ret_ann, func.attrs, func.name)
+        out.ann = func.ann
+
+        def lookup(gvar):
+            target = mod[gvar.name_hint] if gvar.name_hint in mod else None
+            return target.signature_ann() if isinstance(target, Function) else None
+
+        rededuce_function(out, lookup)
+        return out
+
+    def _fuse_block(self, fn_name, block, body, mod, outliner: FuseOps):
+        bindings = block.bindings
+        source_ops: Dict[int, str] = {}
+        var_to_idx: Dict[int, int] = {}
+        for i, binding in enumerate(bindings):
+            var_to_idx[binding.var._id] = i
+            value = binding.value
+            if core_op.is_call_to(value, core_op.call_tir_op):
+                callee, _, _ = core_op.call_tir_parts(value)
+                prim = mod[callee.name_hint]
+                source_ops[i] = prim.attrs.get("source_op", callee.name_hint)
+
+        use_count: Dict[int, int] = {}
+
+        def count(expr):
+            if isinstance(expr, Var):
+                use_count[expr._id] = use_count.get(expr._id, 0) + 1
+            elif isinstance(expr, Call):
+                for a in expr.args:
+                    count(a)
+            elif isinstance(expr, Tuple):
+                for f in expr.fields:
+                    count(f)
+            elif isinstance(expr, TupleGetItem):
+                count(expr.tuple_value)
+
+        for blk in body.blocks:
+            for b in blk.bindings:
+                count(b.value)
+        count(body.body)
+
+        consumed: set = set()
+        replaced: Dict[int, Optional[object]] = {}
+        for start in range(len(bindings)):
+            if start in consumed or start not in source_ops:
+                continue
+            for pattern in self.patterns:
+                group = self._match_chain(
+                    start, pattern, bindings, source_ops, var_to_idx,
+                    use_count, consumed,
+                )
+                if group is None:
+                    continue
+                outlined = outliner._outline_group(fn_name, bindings, group, mod)
+                if outlined is None:
+                    continue
+                consumed.update(group)
+                for i in group[:-1]:
+                    replaced[i] = None
+                replaced[group[-1]] = outlined
+                break
+
+        if not replaced:
+            return block, False
+        new_bindings = []
+        for i, binding in enumerate(bindings):
+            if i in replaced:
+                if replaced[i] is not None:
+                    new_bindings.append(replaced[i])
+            else:
+                new_bindings.append(binding)
+        return DataflowBlock(new_bindings), True
+
+    @staticmethod
+    def _match_chain(start, pattern, bindings, source_ops, var_to_idx,
+                     use_count, consumed):
+        """Follow single-use producer->consumer links along ``pattern``."""
+        if source_ops.get(start) != pattern[0]:
+            return None
+        group = [start]
+        current = start
+        for want in pattern[1:]:
+            var = bindings[current].var
+            if use_count.get(var._id, 0) != 1:
+                return None
+            # Find the unique consumer among later call_tir bindings.
+            consumer = None
+            for j in range(current + 1, len(bindings)):
+                if j not in source_ops:
+                    continue
+                _, args, _ = core_op.call_tir_parts(bindings[j].value)
+                if any(isinstance(a, Var) and a._id == var._id for a in args):
+                    consumer = j
+                    break
+            if consumer is None or consumer in consumed:
+                return None
+            if source_ops.get(consumer) != want:
+                return None
+            group.append(consumer)
+            current = consumer
+        return group

@@ -1,0 +1,338 @@
+"""FuseTensorIR — merge the tensor programs of a fusion group (§4.2).
+
+The cross-level half of operator fusion: for every subgraph function
+produced by FuseOps, merge the tensor programs it calls into a single
+PrimFunc (instantiating each callee's stages with unified symbolic shapes
+and shared intermediate buffers, then inlining spatial producers), and
+replace the subgraph-function call in the caller with one ``call_tir``
+(Fig. 9's final stage, yellow).
+
+Symbolic shape handling mirrors §4.1 throughout: callee shape variables are
+unified against the graph-level annotations at each internal call, and the
+merged tensor program's non-inferable variables surface as explicit
+symbolic parameters threaded from the caller via the trailing ShapeExpr.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .. import sym, tir
+from ..core.annotations import ShapeAnn, TensorAnn
+from ..core.expr import (
+    Call,
+    Expr,
+    Function,
+    GlobalVar,
+    SeqExpr,
+    ShapeExpr,
+    Var,
+)
+from ..core.ir_module import IRModule
+from ..core.deduction import rededuce_function
+from ..core import op as core_op
+from ..core.visitor import ExprMutator
+from ..ops.registry import needed_sym_params
+from .pass_infra import Pass, PassContext
+
+
+class _FusedPrim:
+    def __init__(self, prim: tir.PrimFunc, sub_fn: Function):
+        self.prim = prim
+        self.sub_fn = sub_fn
+
+
+class FuseTensorIR(Pass):
+    name = "FuseTensorIR"
+
+    def run(self, mod: IRModule, ctx: PassContext) -> IRModule:
+        out = mod.copy()
+        fused: Dict[str, _FusedPrim] = {}
+        for name, func in list(mod.relax_functions()):
+            if func.attrs.get("fusion_group"):
+                merged = self._merge(name, func, out)
+                if merged is not None:
+                    fused[name] = merged
+        if not fused:
+            return out
+
+        # Register merged tensor programs and rewrite all call sites.
+        prim_gvars: Dict[str, GlobalVar] = {}
+        for name, bundle in fused.items():
+            prim_gvars[name] = out.add_unique(bundle.prim.name, bundle.prim)
+
+        for name, func in list(out.relax_functions()):
+            if name in fused:
+                continue
+            rewriter = _CallRewriter(out, fused, prim_gvars)
+            new_func = rewriter.visit_function(func)
+            if new_func is not func:
+                def lookup(gvar):
+                    target = out[gvar.name_hint] if gvar.name_hint in out else None
+                    return (
+                        target.signature_ann() if isinstance(target, Function) else None
+                    )
+
+                rededuce_function(new_func, lookup)
+                out.add(name, new_func)
+
+        # Remove subgraph functions whose every call site was rewritten.
+        still_used = _referenced_globals(out)
+        for name in fused:
+            if name not in still_used:
+                out.remove(name)
+        _remove_unused_tir(out)
+        return out
+
+    # -- merging one subgraph function ------------------------------------------------
+
+    def _merge(self, name: str, func: Function, mod: IRModule) -> Optional[_FusedPrim]:
+        body = func.body
+        if not isinstance(body, SeqExpr) or len(body.blocks) != 1:
+            return None
+        bindings = body.blocks[0].bindings
+
+        # Map graph variables to buffers.
+        var_buffers: Dict[int, tir.Buffer] = {}
+        param_buffers: List[tir.Buffer] = []
+        tensor_params: List[Var] = []
+        shape_param_vars: List[sym.SymVar] = []
+        for param in func.params:
+            ann = param.ann
+            if isinstance(ann, TensorAnn):
+                buf = tir.Buffer(param.name_hint, ann.shape, ann.dtype, scope="param")
+                var_buffers[param._id] = buf
+                param_buffers.append(buf)
+                tensor_params.append(param)
+            elif isinstance(ann, ShapeAnn) and ann.values is not None:
+                for value in ann.values:
+                    if isinstance(value, sym.SymVar):
+                        shape_param_vars.append(value)
+            else:
+                return None
+
+        # Output: the seq body var aliases the last call binding.
+        out_var = body.body
+        if not isinstance(out_var, Var):
+            return None
+        alias_target: Dict[int, int] = {}
+        out_ann = out_var.ann
+        if not isinstance(out_ann, TensorAnn) or out_ann.shape is None:
+            return None
+        output_buffer = tir.Buffer("Y_out", out_ann.shape, out_ann.dtype, scope="param")
+
+        # Resolve which binding produces the output (follow aliases).
+        producing: Dict[int, Expr] = {}
+        final_producer_id = None
+        for binding in bindings:
+            value = binding.value
+            if isinstance(value, Var):
+                alias_target[binding.var._id] = value._id
+            else:
+                producing[binding.var._id] = value
+        target = out_var._id
+        while target in alias_target:
+            target = alias_target[target]
+        final_producer_id = target
+
+        stages: List[tir.Stage] = []
+        attrs: Dict = {"fused": True}
+        for binding in bindings:
+            value = binding.value
+            if isinstance(value, Var):
+                var_buffers[binding.var._id] = var_buffers.get(value._id)
+                continue
+            if not core_op.is_call_to(value, core_op.call_tir_op):
+                return None
+            callee_gv, args, sym_args = core_op.call_tir_parts(value)
+            callee = mod[callee_gv.name_hint]
+            if not isinstance(callee, tir.PrimFunc):
+                return None
+            if callee.attrs.get("op_kind") == "matmul":
+                attrs["op_kind"] = "matmul"
+            if callee.attrs.get("source_op"):
+                attrs.setdefault("source_ops", []).append(callee.attrs["source_op"])
+
+            # Buffers for this call's inputs.
+            arg_buffers = []
+            for arg in args:
+                if isinstance(arg, Var):
+                    buf = var_buffers.get(arg._id)
+                    if buf is None:
+                        return None
+                    arg_buffers.append(buf)
+                else:
+                    return None  # FuseOps parameterizes constants
+
+            # Output buffer for this call.
+            if binding.var._id == final_producer_id:
+                out_buf = output_buffer
+            else:
+                ann = binding.var.ann
+                if not isinstance(ann, TensorAnn) or ann.shape is None:
+                    return None
+                out_buf = tir.Buffer(
+                    f"T_{binding.var.name_hint}", ann.shape, ann.dtype, scope="local"
+                )
+            var_buffers[binding.var._id] = out_buf
+
+            # Unify callee symbolic variables with the graph-level shapes.
+            var_map: Dict[sym.SymVar, sym.ExprLike] = {}
+            callee_bufs = list(callee.params)
+            actual_bufs = arg_buffers + [out_buf]
+            if len(callee_bufs) != len(actual_bufs):
+                return None
+            for cbuf, abuf in zip(callee_bufs, actual_bufs):
+                for cdim, adim in zip(cbuf.shape, abuf.shape):
+                    if isinstance(cdim, sym.SymVar) and cdim not in var_map:
+                        var_map[cdim] = adim
+            if sym_args is not None:
+                for cvar, expr in zip(callee.sym_params, sym_args.values):
+                    if cvar not in var_map:
+                        var_map[cvar] = expr
+
+            buffer_map = {
+                cbuf._id: abuf for cbuf, abuf in zip(callee_bufs, actual_bufs)
+            }
+            for inter in callee.intermediate_buffers():
+                buffer_map[inter._id] = tir.Buffer(
+                    f"{inter.name}_{len(stages)}",
+                    [sym.simplify(sym.substitute(d, var_map)) for d in inter.shape],
+                    inter.dtype,
+                    scope=inter.scope,
+                )
+            for stage in callee.stages:
+                stages.append(tir.substitute_stage(stage, buffer_map, var_map))
+
+        merged = tir.PrimFunc(
+            name=name if name.startswith("fused_") else f"fused_{name}",
+            params=param_buffers + [output_buffer],
+            stages=stages,
+            num_outputs=1,
+            attrs=attrs,
+        )
+        merged = tir.inline_producers(merged)
+        needed = needed_sym_params(merged)
+        if needed:
+            merged = tir.PrimFunc(
+                name=merged.name,
+                params=merged.params,
+                stages=merged.stages,
+                num_outputs=1,
+                sym_params=needed,
+                attrs=merged.attrs,
+            )
+        merged.attrs["compute_pattern"] = tir.pattern_kind(merged)
+        return _FusedPrim(merged, func)
+
+
+class _CallRewriter(ExprMutator):
+    """Replace calls to fusion-group functions with direct call_tir."""
+
+    def __init__(self, mod: IRModule, fused: Dict[str, _FusedPrim], prim_gvars):
+        super().__init__()
+        self.mod = mod
+        self.fused = fused
+        self.prim_gvars = prim_gvars
+
+    def visit_call(self, call: Call) -> Expr:
+        visited = super().visit_call(call)
+        if not isinstance(visited, Call):
+            return visited
+        call = visited
+        if not isinstance(call.op, GlobalVar) or call.op.name_hint not in self.fused:
+            return call
+        bundle = self.fused[call.op.name_hint]
+        sub_fn = bundle.sub_fn
+        prim = bundle.prim
+
+        # Map the subgraph function's symbolic variables to caller expressions.
+        mapping: Dict[sym.SymVar, sym.ExprLike] = {}
+        tensor_args: List[Expr] = []
+        for param, arg in zip(sub_fn.params, call.args):
+            ann = param.ann
+            if isinstance(ann, TensorAnn):
+                tensor_args.append(arg)
+                arg_ann = arg.ann
+                if (
+                    ann.shape is not None
+                    and isinstance(arg_ann, TensorAnn)
+                    and arg_ann.shape is not None
+                ):
+                    for pdim, adim in zip(ann.shape, arg_ann.shape):
+                        if isinstance(pdim, sym.SymVar) and pdim not in mapping:
+                            mapping[pdim] = adim
+            elif isinstance(ann, ShapeAnn) and ann.values is not None:
+                if isinstance(arg, ShapeExpr):
+                    for pval, aval in zip(ann.values, arg.values):
+                        if isinstance(pval, sym.SymVar) and pval not in mapping:
+                            mapping[pval] = aval
+
+        out_shape = [
+            sym.simplify(sym.substitute(d, mapping))
+            for d in prim.output_buffers()[0].shape
+        ]
+        out_dtype = prim.output_buffers()[0].dtype
+        sym_args = None
+        if prim.sym_params:
+            values = []
+            for var in prim.sym_params:
+                expr = mapping.get(var)
+                if expr is None:
+                    return call  # cannot thread the symbolic value: keep subgraph call
+                values.append(sym.simplify(sym.PrimExpr.convert(expr)))
+            sym_args = ShapeExpr(values)
+
+        new_call = core_op.call_tir(
+            self.prim_gvars[call.op.name_hint],
+            tensor_args,
+            TensorAnn(out_shape, out_dtype),
+            sym_args,
+        )
+        new_call.ann = call.ann
+        return new_call
+
+
+def _referenced_globals(mod: IRModule) -> set:
+    """Names of globals referenced from any Relax function body."""
+    used = set()
+
+    def scan(expr: Expr) -> None:
+        if isinstance(expr, GlobalVar):
+            used.add(expr.name_hint)
+            return
+        if isinstance(expr, Call):
+            scan(expr.op)
+            for a in expr.args:
+                scan(a)
+        elif isinstance(expr, SeqExpr):
+            for block in expr.blocks:
+                for b in block.bindings:
+                    scan(b.value)
+            scan(expr.body)
+        elif isinstance(expr, Function):
+            scan(expr.body)
+        else:
+            from ..core.expr import Tuple, TupleGetItem, If
+
+            if isinstance(expr, Tuple):
+                for f in expr.fields:
+                    scan(f)
+            elif isinstance(expr, TupleGetItem):
+                scan(expr.tuple_value)
+            elif isinstance(expr, If):
+                scan(expr.cond)
+                scan(expr.true_branch)
+                scan(expr.false_branch)
+
+    for _, func in mod.relax_functions():
+        scan(func)
+    return used
+
+
+def _remove_unused_tir(mod: IRModule) -> None:
+    """Drop tensor programs no longer referenced by any Relax function."""
+    used = _referenced_globals(mod)
+    for name, _ in list(mod.tir_functions()):
+        if name not in used:
+            mod.remove(name)

@@ -1,0 +1,91 @@
+"""LegalizeOps: lower every high-level operator call to ``call_tir``.
+
+The pipeline step of §4.7: "we go through the whole program, generate
+tensor programs for all high-level operator calls, and lower the operator
+calls to call_tir of corresponding tensor programs."  Data-dependent
+operators without tensor programs (unique, nonzero) become allocating
+extern calls served by VM builtins.
+
+When a generated tensor program has symbolic variables not inferable from
+its buffer shapes, the call site passes them explicitly via the trailing
+ShapeExpr — the Fig. 8 extra-symbolic-argument pattern, applied
+mechanically.
+"""
+
+from __future__ import annotations
+
+from ..core.expr import Call, Expr, ExternFunc, Op, ShapeExpr
+from ..core.ir_module import IRModule
+from ..core import op as core_op
+from ..core.deduction import rededuce_function
+from ..core.visitor import ExprMutator
+from ..ops.registry import finalize_prim_func
+from .pass_infra import FunctionPass, PassContext
+
+
+class _Legalizer(ExprMutator):
+    def __init__(self, mod: IRModule):
+        super().__init__()
+        self.mod = mod
+
+    def visit_call(self, call: Call) -> Expr:
+        visited = super().visit_call(call)
+        if not isinstance(visited, Call):
+            return visited
+        call = visited
+        op = call.op
+        if not isinstance(op, Op):
+            return call
+        if op is core_op.call_tir_op or op is core_op.call_dps_library_op:
+            return call
+        if op.name.startswith("memory.") or op.name.startswith("vm."):
+            return call
+        if op.name == "shape_of":
+            arg_ann = call.args[0].ann
+            from ..core.annotations import TensorAnn
+
+            if isinstance(arg_ann, TensorAnn) and arg_ann.shape is not None:
+                # Static rewrite: the symbolic shape is already known.
+                out = ShapeExpr(arg_ann.shape)
+                return out
+        if op.legalize is None:
+            extern = getattr(op, "extern_name", None)
+            if extern is not None:
+                out = Call(ExternFunc(extern), list(call.args),
+                           sinfo_args=(call.ann,) if call.ann is not None else ())
+                out.ann = call.ann
+                return out
+            return call
+        legalized = op.legalize(call)
+        if legalized is None:
+            return call
+        prim_func = finalize_prim_func(legalized.prim_func)
+        prim_func.attrs.setdefault("source_op", op.name)
+        gvar = self.mod.add_unique(prim_func.name, prim_func)
+        sym_args = None
+        if prim_func.sym_params:
+            sym_args = ShapeExpr(list(prim_func.sym_params))
+        out_ann = getattr(legalized, "out_anns", None) or legalized.out_ann
+        new_call = core_op.call_tir(gvar, legalized.args, out_ann, sym_args)
+        new_call.ann = call.ann
+        return new_call
+
+
+class LegalizeOps(FunctionPass):
+    name = "LegalizeOps"
+
+    def transform_function(self, name, func, mod: IRModule, ctx: PassContext):
+        legalizer = _Legalizer(mod)
+        new_func = legalizer.visit_function(func)
+        if new_func is not func:
+            def lookup(gvar):
+                if gvar.name_hint in mod:
+                    target = mod[gvar.name_hint]
+                    from ..core.expr import Function
+
+                    if isinstance(target, Function):
+                        return target.signature_ann()
+                return None
+
+            rededuce_function(new_func, lookup)
+        return new_func

@@ -1,0 +1,130 @@
+"""LibraryDispatch — partial lowering to external libraries (§4.6).
+
+Registered "(subgraph pattern, library function)" pairs drive a
+pattern-match-and-rewrite pass that lowers matched high-level operator
+calls to ``call_dps_library``, gated on the target backend actually
+shipping the library (the registry's availability table).  Everything the
+pass does not match simply flows to later passes — the essence of partial
+lowering (Fig. 6): no single-shot boundary, later passes handle the rest.
+
+Users can register custom patterns (§4.6 "Relax also allows users to
+register patterns for customizability") via :func:`register_dispatch`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..core.expr import Call, Expr, Op
+from ..core.ir_module import IRModule
+from ..core.deduction import rededuce_function
+from ..core import op as core_op
+from ..core.visitor import ExprMutator
+from .pass_infra import FunctionPass, PassContext
+
+#: A dispatch rule: (op name, matcher(call) -> bool, library function name).
+DispatchRule = Tuple[str, Callable[[Call], bool], str]
+
+_DISPATCH_RULES: List[DispatchRule] = []
+
+
+def register_dispatch(op_name: str, library_fn: str,
+                      matcher: Optional[Callable[[Call], bool]] = None) -> None:
+    """Register a pattern: calls to ``op_name`` satisfying ``matcher`` lower
+    to ``library_fn``."""
+    _DISPATCH_RULES.append((op_name, matcher or (lambda call: True), library_fn))
+
+
+def default_rules() -> List[DispatchRule]:
+    return list(_DISPATCH_RULES)
+
+
+def _is_heavy_matmul(call: Call) -> bool:
+    """Dispatch matmuls to the vendor GEMM; the paper lowers 'heavy-load
+    matrix multiplications' while keeping matvec on generated kernels.
+    Quantized-weight matmuls opt out (the dequant must fuse in, Fig. 9)."""
+    return not call.attrs.get("no_library")
+
+
+register_dispatch(
+    "matmul", "cublas.matmul",
+    lambda call: _is_heavy_matmul(call) and not call.attrs.get("transpose_b"),
+)
+register_dispatch(
+    "matmul", "cublas.matmul_nt",
+    lambda call: _is_heavy_matmul(call) and bool(call.attrs.get("transpose_b")),
+)
+register_dispatch(
+    "attention", "flashinfer.attention", lambda call: call.attrs.get("causal", True)
+)
+register_dispatch("rms_norm", "cutlass.rms_norm")
+register_dispatch("softmax", "cudnn.softmax")
+
+
+class _Dispatcher(ExprMutator):
+    def __init__(self, ctx: PassContext, rules: List[DispatchRule]):
+        super().__init__()
+        self.ctx = ctx
+        self.rules = rules
+        self.rewritten = 0
+
+    def visit_call(self, call: Call) -> Expr:
+        visited = super().visit_call(call)
+        if not isinstance(visited, Call):
+            return visited
+        call = visited
+        op = call.op
+        if not isinstance(op, Op):
+            return call
+        for op_name, matcher, lib_name in self.rules:
+            if op.name != op_name:
+                continue
+            if not self.ctx.registry.available(lib_name, self.ctx.device.backend):
+                continue
+            if not matcher(call):
+                continue
+            out_ann = call.ann if call.ann is not None else op.deduce(call)
+            from ..core.annotations import TensorAnn
+
+            if not isinstance(out_ann, TensorAnn) or out_ann.shape is None:
+                continue
+            # Library calls are DPS: only tensor args flow through.
+            tensor_args = [a for a in call.args if _is_tensor(a)]
+            if len(tensor_args) != len(call.args):
+                continue  # shape-valued args need the tensor-program path
+            new_call = core_op.call_dps_library(lib_name, tensor_args, out_ann)
+            new_call.ann = out_ann
+            self.rewritten += 1
+            return new_call
+        return call
+
+
+def _is_tensor(expr: Expr) -> bool:
+    from ..core.annotations import TensorAnn
+
+    return isinstance(expr.ann, TensorAnn)
+
+
+class LibraryDispatch(FunctionPass):
+    name = "LibraryDispatch"
+
+    def __init__(self, rules: Optional[List[DispatchRule]] = None):
+        self.rules = rules
+
+    def transform_function(self, name, func, mod: IRModule, ctx: PassContext):
+        if not ctx.enable_library_dispatch:
+            return func
+        if not ctx.device.has_vendor_library:
+            return func
+        rules = self.rules if self.rules is not None else default_rules()
+        dispatcher = _Dispatcher(ctx, rules)
+        new_func = dispatcher.visit_function(func)
+        if new_func is not func:
+            from ..core.expr import Function
+
+            def lookup(gvar):
+                target = mod[gvar.name_hint] if gvar.name_hint in mod else None
+                return target.signature_ann() if isinstance(target, Function) else None
+
+            rededuce_function(new_func, lookup)
+        return new_func

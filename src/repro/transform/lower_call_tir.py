@@ -1,0 +1,131 @@
+"""LowerCallTIR — expand cross-level calls to explicit allocation + DPS.
+
+Implements the Figure 5 semantics as a rewrite (Algorithm 3 step 3)::
+
+    lv = call_tir(f, [args], Tensor((n, 256), "f32"), sym)
+        =>
+    lv = memory.alloc_tensor((n, 256), "f32")
+    _  = vm.call_tir_dps(f, [args], [lv], sym)
+
+exposing every output allocation to the memory planner.  Dataflow blocks
+become plain binding blocks here: the DPS calls mutate their outputs, so
+the purity guarantee no longer holds past this point.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.annotations import ObjectAnn, TensorAnn, TupleAnn
+from ..core.expr import (
+    BindingBlock,
+    DataflowVar,
+    Expr,
+    Function,
+    MatchCast,
+    SeqExpr,
+    Tuple,
+    Var,
+    VarBinding,
+)
+from ..core.ir_module import IRModule
+from ..core import op as core_op
+from .memory_ops import alloc_tensor, call_lib_dps, call_tir_dps
+from .pass_infra import FunctionPass, PassContext
+
+
+class LowerCallTIR(FunctionPass):
+    name = "LowerCallTIR"
+
+    def transform_function(self, name, func: Function, mod: IRModule, ctx: PassContext):
+        body = func.body
+        if not isinstance(body, SeqExpr):
+            return func
+
+        var_remap = {}
+
+        def remap(expr: Expr) -> Expr:
+            from .fuse_ops import substitute_vars
+
+            return substitute_vars(expr, var_remap)
+
+        changed = False
+        new_blocks = []
+        for block in body.blocks:
+            new_bindings: List[VarBinding] = []
+            for binding in block.bindings:
+                if isinstance(binding, MatchCast):
+                    new_bindings.append(
+                        MatchCast(binding.var, remap(binding.value), binding.target_ann)
+                    )
+                    continue
+                value = remap(binding.value)
+                from ..core.expr import If as IfExpr
+
+                if isinstance(value, IfExpr):
+                    true_b = self._lower_branch(value.true_branch, mod, ctx)
+                    false_b = self._lower_branch(value.false_branch, mod, ctx)
+                    if true_b is not value.true_branch or false_b is not value.false_branch:
+                        changed = True
+                    new_if = IfExpr(value.cond, true_b, false_b)
+                    new_if.ann = binding.value.ann
+                    value = new_if
+                is_tir = core_op.is_call_to(value, core_op.call_tir_op)
+                is_lib = core_op.is_call_to(value, core_op.call_dps_library_op)
+                if not (is_tir or is_lib):
+                    new_var = self._demote(binding.var, var_remap)
+                    new_bindings.append(VarBinding(new_var, value))
+                    continue
+                changed = True
+                callee, args, sym_args = core_op.call_tir_parts(value)
+                out_anns = value.sinfo_args
+                out_vars: List[Var] = []
+                for k, ann in enumerate(out_anns):
+                    assert isinstance(ann, TensorAnn) and ann.shape is not None
+                    alloc = alloc_tensor(ann.shape, ann.dtype)
+                    alloc.ann = TensorAnn(ann.shape, ann.dtype)
+                    if len(out_anns) == 1:
+                        out_var = self._demote(binding.var, var_remap)
+                    else:
+                        out_var = Var(f"{binding.var.name_hint}_o{k}", alloc.ann)
+                    new_bindings.append(VarBinding(out_var, alloc))
+                    out_vars.append(out_var)
+                if is_tir:
+                    dps = call_tir_dps(callee, list(args), out_vars, sym_args)
+                else:
+                    dps = call_lib_dps(callee.global_symbol, list(args), out_vars)
+                dps.ann = ObjectAnn()
+                new_bindings.append(VarBinding(Var("_", ObjectAnn()), dps))
+                if len(out_anns) > 1:
+                    tup = Tuple(out_vars)
+                    tup.ann = TupleAnn([v.ann for v in out_vars])
+                    new_var = self._demote(binding.var, var_remap)
+                    new_bindings.append(VarBinding(new_var, tup))
+            # Purity is gone after introducing DPS mutation: plain block.
+            new_blocks.append(BindingBlock(new_bindings))
+            changed = changed or block.is_dataflow
+
+        if not changed:
+            return func
+        new_body = SeqExpr(new_blocks, remap(body.body))
+        new_body.ann = body.ann
+        out = Function(func.params, new_body, func.ret_ann, func.attrs, func.name)
+        out.ann = func.ann
+        return out
+
+    def _lower_branch(self, branch, mod, ctx):
+        """Lower a branch SeqExpr through the same rewrite."""
+        if not isinstance(branch, SeqExpr):
+            return branch
+        wrapper = Function([], branch, None, None, "branch")
+        lowered = self.transform_function("branch", wrapper, mod, ctx)
+        return lowered.body
+
+    @staticmethod
+    def _demote(var: Var, var_remap) -> Var:
+        """DataflowVars cannot live in plain blocks; demote to plain Vars."""
+        if isinstance(var, DataflowVar):
+            new = Var(var.name_hint, var.ann)
+            var_remap[var._id] = new
+            return new
+        return var

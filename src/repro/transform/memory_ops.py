@@ -1,0 +1,114 @@
+"""Low-level memory and DPS-call operators used after lowering.
+
+``LowerCallTIR`` expands the cross-level call primitives into these
+explicit operations (the Figure 5 semantics), exposing every allocation to
+the memory planner (Alg. 3, step 3: "Lower call_tir and call_dps_library,
+expanding them to explicit memory allocation and DPS calls"):
+
+* ``memory.alloc_tensor(shape)`` — allocate via the runtime pool;
+* ``memory.alloc_storage(size)`` — allocate a raw storage (planner output);
+* ``memory.alloc_tensor_from_storage(storage, shape)`` — instantiate a
+  tensor inside a planned storage;
+* ``memory.kill(tensor)`` — end-of-life marker feeding pool recycling;
+* ``vm.call_tir_dps`` / ``vm.call_lib_dps`` — destination-passing calls
+  whose trailing tensor arguments are the outputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .. import sym
+from ..core.annotations import ObjectAnn, TensorAnn
+from ..core.expr import Call, Expr, ExternFunc, GlobalVar, Op, ShapeExpr, Tuple
+
+
+def _alloc_tensor_deduce(call: Call):
+    shape = call.args[0]
+    if not isinstance(shape, ShapeExpr):
+        raise TypeError("memory.alloc_tensor requires a ShapeExpr")
+    return TensorAnn(shape.values, call.attrs["dtype"])
+
+
+alloc_tensor_op = Op.register("memory.alloc_tensor", deduce=_alloc_tensor_deduce)
+
+
+def alloc_tensor(shape: Sequence[sym.ExprLike], dtype: str) -> Call:
+    return Call(alloc_tensor_op, [ShapeExpr(shape)], attrs={"dtype": dtype})
+
+
+def _alloc_storage_deduce(call: Call):
+    return ObjectAnn()
+
+
+alloc_storage_op = Op.register("memory.alloc_storage", deduce=_alloc_storage_deduce)
+
+
+def alloc_storage(size: sym.ExprLike) -> Call:
+    """Allocate ``size`` bytes of raw storage."""
+    return Call(alloc_storage_op, [ShapeExpr([size])])
+
+
+def _alloc_from_storage_deduce(call: Call):
+    shape = call.args[1]
+    if not isinstance(shape, ShapeExpr):
+        raise TypeError("memory.alloc_tensor_from_storage requires a ShapeExpr")
+    return TensorAnn(shape.values, call.attrs["dtype"])
+
+
+alloc_tensor_from_storage_op = Op.register(
+    "memory.alloc_tensor_from_storage", deduce=_alloc_from_storage_deduce
+)
+
+
+def alloc_tensor_from_storage(
+    storage: Expr, shape: Sequence[sym.ExprLike], dtype: str
+) -> Call:
+    return Call(
+        alloc_tensor_from_storage_op, [storage, ShapeExpr(shape)], attrs={"dtype": dtype}
+    )
+
+
+kill_op = Op.register("memory.kill", deduce=lambda call: ObjectAnn())
+
+
+def kill(tensor: Expr) -> Call:
+    return Call(kill_op, [tensor])
+
+
+def _dps_deduce(call: Call):
+    return ObjectAnn()
+
+
+call_tir_dps_op = Op.register("vm.call_tir_dps", deduce=_dps_deduce)
+call_lib_dps_op = Op.register("vm.call_lib_dps", deduce=_dps_deduce)
+
+
+def call_tir_dps(
+    func: GlobalVar,
+    inputs: Sequence[Expr],
+    outputs: Sequence[Expr],
+    sym_args: Optional[ShapeExpr] = None,
+) -> Call:
+    """In-place DPS call: ``func(*inputs, *outputs, *sym_args)``."""
+    args: List[Expr] = [func, Tuple(list(inputs)), Tuple(list(outputs))]
+    if sym_args is not None:
+        args.append(sym_args)
+    return Call(call_tir_dps_op, args)
+
+
+def call_lib_dps(
+    name: str, inputs: Sequence[Expr], outputs: Sequence[Expr]
+) -> Call:
+    return Call(
+        call_lib_dps_op, [ExternFunc(name), Tuple(list(inputs)), Tuple(list(outputs))]
+    )
+
+
+def dps_parts(call: Call):
+    """Destructure a vm.call_*_dps into (callee, inputs, outputs, sym_args)."""
+    callee = call.args[0]
+    inputs = call.args[1].fields
+    outputs = call.args[2].fields
+    sym_args = call.args[3] if len(call.args) > 3 else None
+    return callee, inputs, outputs, sym_args

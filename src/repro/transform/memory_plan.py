@@ -1,0 +1,330 @@
+"""Dynamic shape-aware memory planning (Algorithm 3, §4.3).
+
+Walks the lowered function in order, maintaining a storage pool with
+symbolic-shape awareness:
+
+* in **symbolic mode**, ``RequestReuseWithSymShape`` reuses a free storage
+  when its size expression is *provably equal* to the requested one
+  (``sym.prove_equal``), so a ``(2, n)`` f32 tensor reuses the storage of a
+  dead ``(n, 2)`` f32 tensor (Fig. 10);
+* in **upper-bound mode** (when the context declares bounds for the
+  symbolic variables, e.g. an LLM's context length), sizes become static
+  worst-case byte counts and reuse is best-fit — enabling a fully static
+  allocation plan, the prerequisite for CUDA Graph offloading (§4.5) and
+  for memory-constrained deployment (§5.3).
+
+Allocations the pass cannot bound stay on the runtime pool, and an
+``InsertKills`` pass adds end-of-life markers so the pool can recycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .. import dtypes, sym
+from ..core.annotations import ObjectAnn
+from ..core.expr import (
+    BindingBlock,
+    Call,
+    Expr,
+    Function,
+    If,
+    SeqExpr,
+    Tuple as TupleExpr,
+    TupleGetItem,
+    Var,
+    VarBinding,
+)
+from ..core.ir_module import IRModule
+from .memory_ops import (
+    alloc_storage,
+    alloc_tensor_from_storage,
+    alloc_tensor_op,
+    kill,
+)
+from .pass_infra import FunctionPass, PassContext
+
+
+class _StoragePool:
+    """Algorithm 3's storage pool with symbolic shape awareness."""
+
+    def __init__(self, static_mode: bool):
+        self.static_mode = static_mode
+        self.free: List[Tuple[Var, object]] = []  # (storage var, size expr/int)
+
+    def request_reuse(self, size) -> Optional[Var]:
+        if self.static_mode:
+            # Best-fit among adequate free storages.
+            best = None
+            for idx, (var, cap) in enumerate(self.free):
+                if cap >= size and (best is None or cap < self.free[best][1]):
+                    best = idx
+            if best is None:
+                return None
+            var, _ = self.free.pop(best)
+            return var
+        for idx, (var, cap) in enumerate(self.free):
+            if sym.prove_equal(cap, size):
+                self.free.pop(idx)
+                return var
+        return None
+
+    def recycle(self, storage_var: Var, size) -> None:
+        self.free.append((storage_var, size))
+
+
+def _escaping_vars(blocks, body_expr) -> set:
+    """Vars whose values escape the function (returned, possibly through
+    tuples / aliases).  Escaping tensors must keep dedicated storage."""
+    escaping = set()
+
+    def roots(expr: Expr) -> None:
+        if isinstance(expr, Var):
+            escaping.add(expr._id)
+        elif isinstance(expr, TupleExpr):
+            for f in expr.fields:
+                roots(f)
+        elif isinstance(expr, TupleGetItem):
+            roots(expr.tuple_value)
+
+    roots(body_expr)
+    # Propagate backwards through value-forwarding bindings.
+    all_bindings = [b for block in blocks for b in block.bindings]
+    for binding in reversed(all_bindings):
+        if binding.var._id not in escaping:
+            continue
+        value = binding.value
+        if isinstance(value, (Var, TupleExpr, TupleGetItem)):
+            roots(value)
+    return escaping
+
+
+def _last_uses(blocks, body_expr) -> Dict[int, int]:
+    """Map var id -> index of its last use (body counts as infinity)."""
+    last: Dict[int, int] = {}
+    order = 0
+    uses_at: Dict[int, int] = {}
+
+    def note(expr: Expr, idx: int) -> None:
+        if isinstance(expr, Var):
+            uses_at[expr._id] = idx
+        elif isinstance(expr, Call):
+            for a in expr.args:
+                note(a, idx)
+        elif isinstance(expr, TupleExpr):
+            for f in expr.fields:
+                note(f, idx)
+        elif isinstance(expr, TupleGetItem):
+            note(expr.tuple_value, idx)
+        elif isinstance(expr, If):
+            # Conservative: everything a branch touches is used here.
+            note(expr.cond, idx)
+            for branch in (expr.true_branch, expr.false_branch):
+                if isinstance(branch, SeqExpr):
+                    for block in branch.blocks:
+                        for b in block.bindings:
+                            note(b.value, idx)
+                    note(branch.body, idx)
+                else:
+                    note(branch, idx)
+
+    for block in blocks:
+        for binding in block.bindings:
+            note(binding.value, order)
+            order += 1
+    note(body_expr, 1 << 60)
+    return uses_at
+
+
+class MemoryPlan(FunctionPass):
+    name = "MemoryPlan"
+
+    def transform_function(self, name, func: Function, mod: IRModule, ctx: PassContext):
+        if not ctx.enable_memory_planning:
+            return func
+        body = func.body
+        if not isinstance(body, SeqExpr):
+            return func
+
+        # Gather every symbolic variable with a declared bound; static mode
+        # requires all alloc sizes to be boundable.
+        last_use = _last_uses(body.blocks, body.body)
+        escaping_vars = _escaping_vars(body.blocks, body.body)
+
+        changed = False
+        new_blocks = []
+        order = 0
+        # (tensor var id -> (storage var, size)) for recycling at death.
+        tensor_storage: Dict[int, Tuple[Var, object]] = {}
+        planned_static = True
+        pool_symbolic = _StoragePool(static_mode=False)
+        pool_static = _StoragePool(static_mode=True)
+
+        for block in body.blocks:
+            new_bindings: List[VarBinding] = []
+            for binding in block.bindings:
+                value = binding.value
+                is_alloc = (
+                    isinstance(value, Call) and value.op is alloc_tensor_op
+                )
+                if not is_alloc:
+                    new_bindings.append(binding)
+                    self._recycle_dead(
+                        value, order, last_use, tensor_storage,
+                        pool_symbolic, pool_static,
+                    )
+                    order += 1
+                    continue
+
+                shape_expr = value.args[0]
+                dtype = value.attrs["dtype"]
+                size = sym.simplify(
+                    sym.shape_product(shape_expr.values) * dtypes.itemsize(dtype)
+                )
+                static_size = None
+                if sym.is_static(size):
+                    static_size = sym.as_static_int(size)
+                else:
+                    bounds = ctx.bounds_for(sym.free_vars(size))
+                    static_size = sym.upper_bound(size, bounds) if bounds else None
+                    if static_size is not None and not all(
+                        v.name in ctx.sym_var_upper_bounds
+                        for v in sym.free_vars(size)
+                    ):
+                        static_size = None
+
+                changed = True
+                if static_size is not None:
+                    pool, size_key = pool_static, static_size
+                    size_arg: sym.ExprLike = sym.IntImm(static_size)
+                else:
+                    planned_static = False
+                    pool, size_key = pool_symbolic, size
+                    size_arg = size
+
+                # Tensors that escape the function (returned values: KV
+                # caches, logits) get dedicated storages: results must
+                # survive past the call, so letting them consume reusable
+                # chunks would permanently drain the transient pool (every
+                # KV cache would eat one activation chunk per layer).  The
+                # dedicated storages are tagged so memory accounting can
+                # separate results from transient activations (Table 2
+                # counts only the latter).
+                escaping = (
+                    binding.var._id in escaping_vars
+                    or last_use.get(binding.var._id, -1) >= (1 << 60)
+                )
+
+                storage_var = None if escaping else pool.request_reuse(size_key)
+                if storage_var is None:
+                    sto_call = alloc_storage(size_arg)
+                    if escaping:
+                        sto_call.attrs["escapes"] = True
+                    sto_call.ann = ObjectAnn()
+                    storage_var = Var(f"storage{len(tensor_storage)}", ObjectAnn())
+                    new_bindings.append(VarBinding(storage_var, sto_call))
+
+                inst = alloc_tensor_from_storage(storage_var, shape_expr.values, dtype)
+                inst.ann = binding.var.ann
+                new_bindings.append(VarBinding(binding.var, inst))
+                if not escaping:
+                    tensor_storage[binding.var._id] = (storage_var, size_key)
+                order += 1
+            new_blocks.append(BindingBlock(new_bindings))
+
+        if not changed:
+            return func
+        new_body = SeqExpr(new_blocks, body.body)
+        new_body.ann = body.ann
+        attrs = dict(func.attrs)
+        attrs["memory_planned"] = "static" if planned_static else "symbolic"
+        out = Function(func.params, new_body, func.ret_ann, attrs, func.name)
+        out.ann = func.ann
+        return out
+
+    @staticmethod
+    def _recycle_dead(value, order, last_use, tensor_storage, pool_sym, pool_static):
+        """After an op, recycle storages of tensors that just died."""
+
+        def scan(expr: Expr) -> None:
+            if isinstance(expr, Var):
+                entry = tensor_storage.get(expr._id)
+                if entry is not None and last_use.get(expr._id, -1) == order:
+                    storage_var, size_key = entry
+                    pool = pool_static if isinstance(size_key, int) else pool_sym
+                    pool.recycle(storage_var, size_key)
+                    del tensor_storage[expr._id]
+            elif isinstance(expr, Call):
+                for a in expr.args:
+                    scan(a)
+            elif isinstance(expr, TupleExpr):
+                for f in expr.fields:
+                    scan(f)
+            elif isinstance(expr, TupleGetItem):
+                scan(expr.tuple_value)
+            elif isinstance(expr, If):
+                scan(expr.cond)
+                for branch in (expr.true_branch, expr.false_branch):
+                    if isinstance(branch, SeqExpr):
+                        for block in branch.blocks:
+                            for b in block.bindings:
+                                scan(b.value)
+                        scan(branch.body)
+                    else:
+                        scan(branch)
+
+        scan(value)
+
+
+class InsertKills(FunctionPass):
+    """Add ``memory.kill`` after the last use of pool-allocated tensors."""
+
+    name = "InsertKills"
+
+    def transform_function(self, name, func: Function, mod: IRModule, ctx: PassContext):
+        body = func.body
+        if not isinstance(body, SeqExpr):
+            return func
+        last_use = _last_uses(body.blocks, body.body)
+        escaping_vars = _escaping_vars(body.blocks, body.body)
+
+        pool_vars: Dict[int, Var] = {}
+        for block in body.blocks:
+            for binding in block.bindings:
+                value = binding.value
+                if isinstance(value, Call) and value.op is alloc_tensor_op:
+                    if (binding.var._id in escaping_vars
+                            or last_use.get(binding.var._id, -1) >= (1 << 60)):
+                        value.attrs["escapes"] = True  # returned: never killed
+                    else:
+                        pool_vars[binding.var._id] = binding.var
+        if not pool_vars:
+            return func
+
+        changed = False
+        order = 0
+        new_blocks = []
+        for block in body.blocks:
+            new_bindings = []
+            for binding in block.bindings:
+                new_bindings.append(binding)
+                dying = [
+                    var
+                    for vid, var in pool_vars.items()
+                    if last_use.get(vid, -1) == order
+                ]
+                for var in dying:
+                    kill_call = kill(var)
+                    kill_call.ann = ObjectAnn()
+                    new_bindings.append(VarBinding(Var("_", ObjectAnn()), kill_call))
+                    changed = True
+                order += 1
+            new_blocks.append(BindingBlock(new_bindings))
+
+        if not changed:
+            return func
+        new_body = SeqExpr(new_blocks, body.body)
+        new_body.ann = body.ann
+        out = Function(func.params, new_body, func.ret_ann, func.attrs, func.name)
+        out.ann = func.ann
+        return out

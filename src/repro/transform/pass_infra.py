@@ -1,0 +1,102 @@
+"""Pass infrastructure: module-to-module transformations with contexts.
+
+Relax uses a fixed-order pipeline *without* fixed-point iteration (§4.7);
+the infrastructure here is correspondingly simple: a :class:`Pass` maps an
+IRModule to a new IRModule under a :class:`PassContext` carrying pipeline
+options (target device, symbolic variable bounds, feature toggles), and
+:class:`Sequential` composes passes, optionally verifying well-formedness
+between steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .. import sym
+from ..core.ir_module import IRModule
+from ..core.well_formed import well_formed
+from ..runtime.device import Device, TEST_DEVICE
+from ..runtime.library import REGISTRY, LibraryRegistry
+
+
+@dataclass
+class PassContext:
+    """Options threaded through the pipeline."""
+
+    device: Device = TEST_DEVICE
+    registry: LibraryRegistry = field(default_factory=lambda: REGISTRY)
+    #: Declared upper bounds for symbolic variables by *name* (e.g. the LLM
+    #: context length), enabling static memory planning (§4.3).
+    sym_var_upper_bounds: Dict[str, int] = field(default_factory=dict)
+    enable_library_dispatch: bool = True
+    enable_fusion: bool = True
+    enable_memory_planning: bool = True
+    enable_cuda_graph: bool = True
+    enable_autotuning: bool = False  # Ansor-style tuning for opaque kernels
+    verify_each_pass: bool = False
+
+    def bounds_for(self, variables) -> sym.VarBounds:
+        """Interval table for the given symbolic variables (matched by name)."""
+        out: sym.VarBounds = {}
+        for var in variables:
+            bound = self.sym_var_upper_bounds.get(var.name)
+            if bound is not None:
+                out[var] = sym.Interval(0, int(bound))
+        return out
+
+
+class Pass:
+    """A module-to-module transformation."""
+
+    name = "pass"
+
+    def run(self, mod: IRModule, ctx: PassContext) -> IRModule:
+        raise NotImplementedError
+
+    def __call__(self, mod: IRModule, ctx: Optional[PassContext] = None) -> IRModule:
+        ctx = ctx or PassContext()
+        out = self.run(mod, ctx)
+        if ctx.verify_each_pass:
+            well_formed(out, check_sym_scope=False)
+        return out
+
+
+class FunctionPass(Pass):
+    """Applies a per-function rewrite to every Relax function."""
+
+    def transform_function(self, name, func, mod: IRModule, ctx: PassContext):
+        raise NotImplementedError
+
+    def run(self, mod: IRModule, ctx: PassContext) -> IRModule:
+        out = mod.copy()
+        for name, func in list(mod.relax_functions()):
+            new_func = self.transform_function(name, func, out, ctx)
+            if new_func is not None and new_func is not func:
+                out.add(name, new_func)
+        return out
+
+
+class Sequential(Pass):
+    """Runs passes in order (the fixed-order pipeline of §4.7)."""
+
+    name = "sequential"
+
+    def __init__(self, passes: List[Pass]):
+        self.passes = list(passes)
+
+    def run(self, mod: IRModule, ctx: PassContext) -> IRModule:
+        for p in self.passes:
+            mod = p(mod, ctx)
+        return mod
+
+
+class LambdaPass(Pass):
+    """Wrap a plain function as a pass (testing convenience)."""
+
+    def __init__(self, fn: Callable[[IRModule, PassContext], IRModule], name="lambda"):
+        self.fn = fn
+        self.name = name
+
+    def run(self, mod: IRModule, ctx: PassContext) -> IRModule:
+        return self.fn(mod, ctx)

@@ -1,0 +1,124 @@
+"""The end-to-end compilation pipeline (Figure 13).
+
+Fixed order, no fixed point (§4.7):
+
+1.  **LibraryDispatch** — partial library lowering first, to leverage
+    external libraries on the target platform;
+2.  **LegalizeOps** — generate tensor programs for the remaining
+    high-level operator calls;
+3.  **DeadCodeElimination** on dataflow blocks;
+4.  **AnnotatePatternKind** — Algorithm 1 analysis feedback;
+5.  **FuseOps** (Algorithm 2) + **FuseTensorIR** — cross-level fusion;
+6.  **WorkspaceLifting** — tensor-program workspaces to graph level
+    (before memory planning, which is what "necessitates Relax's
+    cross-level abstraction design");
+7.  **LowerCallTIR** — explicit allocation + DPS calls (Fig. 5);
+8.  **MemoryPlan** (Algorithm 3) + **InsertKills**;
+9.  **CUDAGraphOffload**;
+10. **VMCodegen** — symbolic shape lowering + instruction emission.
+
+``build()`` runs the whole pipeline and returns a runnable Executable;
+each stage can also be invoked separately for testing and ablations
+(Fig. 17 toggles fusion / library dispatch / CUDA Graph via PassContext
+flags).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.ir_module import IRModule
+from ..runtime.device import Device, TEST_DEVICE
+from ..runtime.vm import Executable, VirtualMachine
+from .annotate_pattern import AnnotatePatternKind
+from .cuda_graph import CUDAGraphOffload
+from .dead_code import DeadCodeElimination
+from .fold_constant import FoldConstant
+from .fuse_ops import FuseOps
+from .fuse_tensorir import FuseTensorIR
+from .legalize import LegalizeOps
+from .library_dispatch import LibraryDispatch
+from .lower_call_tir import LowerCallTIR
+from .memory_plan import InsertKills, MemoryPlan
+from .pass_infra import Pass, PassContext, Sequential
+from .to_vm import VMCodegen
+from .tune_tir import ScheduleRules, TuneTir
+from .workspace_lift import WorkspaceLifting
+
+
+class _OptionalTuning(Pass):
+    """Runs Ansor-style tuning when the context asks for it (§4.6)."""
+
+    name = "OptionalTuning"
+
+    def run(self, mod, ctx):
+        if ctx.enable_autotuning:
+            return TuneTir()(mod, ctx)
+        return mod
+
+
+def default_pipeline() -> Sequential:
+    """The optimization pipeline up to (but excluding) codegen."""
+    return Sequential(
+        [
+            FoldConstant(),
+            LibraryDispatch(),
+            LegalizeOps(),
+            DeadCodeElimination(),
+            AnnotatePatternKind(),
+            FuseOps(),
+            FuseTensorIR(),
+            ScheduleRules(),
+            _OptionalTuning(),
+            WorkspaceLifting(),
+            LowerCallTIR(),
+            MemoryPlan(),
+            InsertKills(),
+            CUDAGraphOffload(),
+        ]
+    )
+
+
+def optimize(mod: IRModule, ctx: Optional[PassContext] = None) -> IRModule:
+    """Run the optimization pipeline, returning the lowered module."""
+    ctx = ctx or PassContext()
+    return default_pipeline()(mod, ctx)
+
+
+def build(
+    mod: IRModule,
+    device: Device = TEST_DEVICE,
+    *,
+    sym_var_upper_bounds: Optional[Dict[str, int]] = None,
+    enable_library_dispatch: bool = True,
+    enable_fusion: bool = True,
+    enable_memory_planning: bool = True,
+    enable_cuda_graph: bool = True,
+    enable_autotuning: bool = False,
+) -> Executable:
+    """Compile an IRModule into a VM executable for ``device``."""
+    ctx = PassContext(
+        device=device,
+        sym_var_upper_bounds=dict(sym_var_upper_bounds or {}),
+        enable_library_dispatch=enable_library_dispatch,
+        enable_fusion=enable_fusion,
+        enable_memory_planning=enable_memory_planning,
+        enable_cuda_graph=enable_cuda_graph,
+        enable_autotuning=enable_autotuning,
+    )
+    lowered = optimize(mod, ctx)
+    return VMCodegen()(lowered, ctx)
+
+
+def compile_and_load(
+    mod: IRModule,
+    device: Device = TEST_DEVICE,
+    concrete: bool = True,
+    **build_kwargs,
+) -> VirtualMachine:
+    """Convenience: build + instantiate a VM."""
+    exe = build(mod, device, **build_kwargs)
+    return VirtualMachine(
+        exe, device, concrete=concrete,
+        enable_cuda_graph=build_kwargs.get("enable_cuda_graph", True),
+    )

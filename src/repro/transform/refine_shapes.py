@@ -1,0 +1,123 @@
+"""RefineShapes — backward constraint propagation (optional extension).
+
+The paper's related-work section notes that "Relax could still apply a
+similar constraint-solving approach [to Axon's], despite its additional
+compile time costs."  This pass is that approach in its sound core: a
+backward dataflow over *equality* constraints.
+
+When a value's annotation is known downstream — typically because a
+``match_cast`` asserted it — and the producing operator provably preserves
+shape (elementwise unary ops, normalizations, softmax), the finer
+annotation propagates backwards onto the producer's operands.  Only
+intermediate variables are refined (function parameters keep their public
+signature), and only from coarse to provably-compatible finer annotations,
+so the pass cannot reject programs the forward deduction accepted.
+
+Run it after construction (or between passes) to recover precision that
+forward-only deduction gave up at data-dependent operators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.annotations import TensorAnn
+from ..core.expr import Call, Function, MatchCast, Op, SeqExpr, Var
+from ..core.ir_module import IRModule
+from .pass_infra import FunctionPass, PassContext
+
+#: Operators whose (single tensor) input provably has the output's shape.
+SHAPE_PRESERVING_UNARY = {
+    "relu", "exp", "log", "sqrt", "rsqrt", "tanh", "erf", "sigmoid", "silu",
+    "gelu", "negative", "abs", "astype", "softmax", "rms_norm", "layer_norm",
+}
+
+
+def _finer(current: Optional[TensorAnn], candidate: TensorAnn) -> bool:
+    """Is ``candidate`` strictly more informative and compatible?"""
+    if not isinstance(candidate, TensorAnn) or candidate.shape is None:
+        return False
+    if not isinstance(current, TensorAnn):
+        return False
+    if current.shape is not None:
+        return False  # already fine
+    return current.possibly_matches(candidate)
+
+
+class RefineShapes(FunctionPass):
+    name = "RefineShapes"
+
+    def transform_function(self, name, func: Function, mod: IRModule, ctx: PassContext):
+        body = func.body
+        if not isinstance(body, SeqExpr):
+            return func
+
+        bindings = [b for block in body.blocks for b in block.bindings]
+        producer_of: Dict[int, object] = {b.var._id: b for b in bindings}
+        binding_index = {b.var._id: i for i, b in enumerate(bindings)}
+        param_ids = {p._id for p in func.params}
+
+        # Symbolic-variable scoping: a constraint may only flow to program
+        # points *after* its variables' introduction (signature: -1;
+        # match_cast: its binding index).  Otherwise the refined annotation
+        # would reference a value with no runtime source yet — exactly the
+        # §3.2 scoping rule the verifier enforces.
+        intro_index: Dict = {}
+        for param in func.params:
+            if param.ann is not None:
+                for var in param.ann.free_sym_vars():
+                    intro_index.setdefault(var.key(), -1)
+        for i, binding in enumerate(bindings):
+            if isinstance(binding, MatchCast):
+                for var in binding.target_ann.free_sym_vars():
+                    intro_index.setdefault(var.key(), i)
+
+        def in_scope_at(ann: TensorAnn, index: int) -> bool:
+            return all(
+                intro_index.get(var.key(), 1 << 60) <= index
+                for var in ann.free_sym_vars()
+            )
+
+        changed = True
+        rounds = 0
+        while changed and rounds < len(bindings) + 1:
+            changed = False
+            rounds += 1
+            for binding in reversed(bindings):
+                target_ann = binding.var.ann
+                value = binding.value
+                # match_cast: the asserted annotation constrains its operand.
+                if isinstance(binding, MatchCast):
+                    source = value
+                    constraint = binding.target_ann
+                elif (
+                    isinstance(value, Call)
+                    and isinstance(value.op, Op)
+                    and value.op.name in SHAPE_PRESERVING_UNARY
+                    and value.args
+                ):
+                    source = value.args[0]
+                    constraint = target_ann
+                else:
+                    continue
+                if not isinstance(source, Var) or source._id in param_ids:
+                    continue
+                if not isinstance(constraint, TensorAnn) or constraint.shape is None:
+                    continue
+                src_index = binding_index.get(source._id)
+                if src_index is None or not in_scope_at(constraint, src_index - 1):
+                    continue
+                src_ann = source.ann
+                if _finer(src_ann, constraint):
+                    dtype = (
+                        src_ann.dtype if isinstance(src_ann, TensorAnn)
+                        and src_ann.dtype is not None else constraint.dtype
+                    )
+                    source.ann = TensorAnn(constraint.shape, dtype)
+                    changed = True
+                    # The producer binding's value annotation follows too.
+                    producer = producer_of.get(source._id)
+                    if producer is not None and producer.value.ann is not None:
+                        if _finer(producer.value.ann, source.ann):
+                            producer.value.ann = source.ann
+        return func

@@ -1,0 +1,364 @@
+"""VMCodegen — shape lowering and instruction emission (§4.7).
+
+The final pipeline stage: "a fundamental task is to associate symbolic
+variables with concrete shape values and compute symbolic expressions at
+runtime.  We create an integer host tensor to store runtime values of all
+symbolic expressions in the program."
+
+For each function the codegen:
+
+1. emits ``MatchShape`` for every parameter — populating symbolic-variable
+   slots of the per-function shape heap on first occurrence and asserting
+   the boundary checks otherwise (§4.1's lightweight runtime checks);
+2. materializes derived symbolic expressions on demand with
+   ``ComputeShape`` (the "generated tensor programs that load from the
+   tensor, evaluate symbolic expressions, and store results");
+3. maps every binding to VM instructions, erasing annotations: the result
+   is "a program comprised mainly of low-level function calls".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .. import sym, tir
+from ..core.annotations import ShapeAnn, TensorAnn
+from ..core.expr import (
+    Call,
+    Constant,
+    Expr,
+    ExternFunc,
+    Function,
+    GlobalVar,
+    If as IfExpr,
+    MatchCast,
+    Op,
+    PrimValue,
+    SeqExpr,
+    ShapeExpr,
+    Tuple,
+    TupleGetItem,
+    Var,
+)
+from ..core.ir_module import IRModule
+from ..runtime import vm as rvm
+from .memory_ops import (
+    alloc_storage_op,
+    alloc_tensor_from_storage_op,
+    alloc_tensor_op,
+    call_lib_dps_op,
+    call_tir_dps_op,
+    dps_parts,
+    kill_op,
+)
+from .pass_infra import Pass, PassContext
+
+
+class VMCodegenError(Exception):
+    pass
+
+
+class _FunctionCodegen:
+    def __init__(self, exe: rvm.Executable, mod: IRModule, func: Function):
+        self.exe = exe
+        self.mod = mod
+        self.func = func
+        self.reg_map: Dict[int, int] = {}
+        self.num_regs = 0
+        self.slot_map: Dict = {}  # sym var key / canonical expr key -> slot
+        self.num_slots = 0
+        self.instrs: List[rvm.Instr] = []
+
+    # -- registers and slots -----------------------------------------------------
+
+    def new_reg(self) -> int:
+        reg = self.num_regs
+        self.num_regs += 1
+        return reg
+
+    def reg_of(self, var: Var) -> int:
+        if var._id not in self.reg_map:
+            raise VMCodegenError(f"use of unbound variable {var.name_hint!r}")
+        return self.reg_map[var._id]
+
+    def new_slot(self) -> int:
+        slot = self.num_slots
+        self.num_slots += 1
+        return slot
+
+    def dim_spec(self, expr: sym.ExprLike, body: List[rvm.Instr]) -> rvm.DimSpec:
+        """Materialize a symbolic expression as a const or heap slot."""
+        expr = sym.PrimExpr.convert(expr)
+        if sym.is_static(expr):
+            return rvm.const_dim(sym.as_static_int(sym.simplify(expr)))
+        if isinstance(expr, sym.SymVar):
+            slot = self.slot_map.get(expr.key())
+            if slot is None:
+                raise VMCodegenError(
+                    f"symbolic variable '{expr.name}' has no runtime value source"
+                )
+            return rvm.slot_dim(slot)
+        key = sym.canonical_key(expr)
+        slot = self.slot_map.get(("expr", key))
+        if slot is None:
+            var_slots = []
+            for var in sym.free_vars(expr):
+                vslot = self.slot_map.get(var.key())
+                if vslot is None:
+                    raise VMCodegenError(
+                        f"symbolic variable '{var.name}' has no runtime value source"
+                    )
+                var_slots.append((var, vslot))
+            slot = self.new_slot()
+            body.append(rvm.ComputeShape(slot, expr, var_slots))
+            self.slot_map[("expr", key)] = slot
+        return rvm.slot_dim(slot)
+
+    # -- parameter matching ----------------------------------------------------------
+
+    def match_annotation(self, reg: int, ann, context: str,
+                         body: List[rvm.Instr]) -> None:
+        """Emit shape checks / symbolic variable stores for a value."""
+        if isinstance(ann, TensorAnn):
+            if ann.shape is None:
+                if ann.ndim != -1 or ann.dtype is not None:
+                    body.append(
+                        rvm.MatchShape(
+                            reg, [], ndim=None if ann.ndim == -1 else ann.ndim,
+                            dtype=ann.dtype, context=context,
+                        )
+                    )
+                return
+            actions = self._dim_actions(ann.shape, body)
+            body.append(
+                rvm.MatchShape(reg, actions, ndim=len(ann.shape),
+                               dtype=ann.dtype, context=context)
+            )
+        elif isinstance(ann, ShapeAnn):
+            if ann.values is None:
+                if ann.ndim != -1:
+                    body.append(
+                        rvm.MatchShape(reg, [], ndim=ann.ndim, context=context)
+                    )
+                return
+            actions = self._dim_actions(ann.values, body)
+            body.append(
+                rvm.MatchShape(reg, actions, ndim=len(ann.values), context=context)
+            )
+        # Tuples / Objects / Prims: no runtime shape to match.
+
+    def _dim_actions(self, dims, body: List[rvm.Instr]) -> List:
+        actions = []
+        for d, dim in enumerate(dims):
+            if sym.is_static(dim):
+                actions.append((d, "assert_const", sym.as_static_int(sym.simplify(dim))))
+            elif isinstance(dim, sym.SymVar):
+                slot = self.slot_map.get(dim.key())
+                if slot is None:
+                    slot = self.new_slot()
+                    self.slot_map[dim.key()] = slot
+                    actions.append((d, "store", slot))
+                else:
+                    actions.append((d, "assert_slot", slot))
+            else:
+                # Composite expression: assert when all vars already bound,
+                # otherwise skip (cannot invert the expression).
+                if all(
+                    v.key() in self.slot_map for v in sym.free_vars(dim)
+                ):
+                    spec = self.dim_spec(dim, body)
+                    if spec[0] == "slot":
+                        actions.append((d, "assert_slot", spec[1]))
+        return actions
+
+    # -- main ------------------------------------------------------------------------
+
+    def build(self) -> rvm.VMFunction:
+        body = self.instrs
+        for param in self.func.params:
+            reg = self.new_reg()
+            self.reg_map[param._id] = reg
+        for param in self.func.params:
+            self.match_annotation(
+                self.reg_map[param._id], param.ann,
+                f"{self.func.name}: param {param.name_hint}", body,
+            )
+
+        result_reg = self.compile_seq(self.func.body, body)
+        body.append(rvm.Ret(result_reg))
+        attrs = {
+            k: v
+            for k, v in self.func.attrs.items()
+            if k in ("cuda_graph", "graph_dynamic_dims", "memory_planned")
+        }
+        return rvm.VMFunction(
+            self.func.name or "fn",
+            [p.name_hint for p in self.func.params],
+            body,
+            num_regs=self.num_regs,
+            num_slots=self.num_slots,
+            attrs=attrs,
+        )
+
+    def compile_seq(self, seq: Expr, body: List[rvm.Instr]) -> int:
+        if not isinstance(seq, SeqExpr):
+            return self.compile_expr(seq, body)
+        for block in seq.blocks:
+            for binding in block.bindings:
+                self.compile_binding(binding, body)
+        return self.compile_expr(seq.body, body)
+
+    def compile_binding(self, binding, body: List[rvm.Instr]) -> None:
+        if isinstance(binding, MatchCast):
+            reg = self.compile_expr(binding.value, body)
+            self.match_annotation(
+                reg, binding.target_ann,
+                f"{self.func.name}: match_cast {binding.var.name_hint}", body,
+            )
+            self.reg_map[binding.var._id] = reg
+            return
+        value = binding.value
+        if isinstance(value, Var):
+            self.reg_map[binding.var._id] = self.reg_of(value)
+            return
+        reg = self.compile_expr(value, body)
+        self.reg_map[binding.var._id] = reg
+
+    # -- expressions ---------------------------------------------------------------------
+
+    def compile_expr(self, expr: Expr, body: List[rvm.Instr]) -> int:
+        if isinstance(expr, Var):
+            return self.reg_of(expr)
+        if isinstance(expr, Constant):
+            idx = self.exe.add_constant(expr.data)
+            dst = self.new_reg()
+            body.append(rvm.LoadConst(dst, idx))
+            return dst
+        if isinstance(expr, ShapeExpr):
+            dims = [self.dim_spec(v, body) for v in expr.values]
+            dst = self.new_reg()
+            body.append(rvm.MakeShape(dst, dims))
+            return dst
+        if isinstance(expr, PrimValue):
+            dims = [self.dim_spec(expr.value, body)]
+            dst = self.new_reg()
+            body.append(rvm.MakeShape(dst, dims))
+            return dst
+        if isinstance(expr, Tuple):
+            srcs = [self.compile_expr(f, body) for f in expr.fields]
+            dst = self.new_reg()
+            body.append(rvm.MakeTupleI(dst, srcs))
+            return dst
+        if isinstance(expr, TupleGetItem):
+            src = self.compile_expr(expr.tuple_value, body)
+            dst = self.new_reg()
+            body.append(rvm.GetItemI(dst, src, expr.index))
+            return dst
+        if isinstance(expr, Call):
+            return self.compile_call(expr, body)
+        if isinstance(expr, IfExpr):
+            cond = self.compile_expr(expr.cond, body)
+            # Branch-local ComputeShape results must not leak: an else-path
+            # (or post-If) use would read a slot the taken branch never
+            # computed.  Snapshot and restore the slot cache per branch.
+            outer_slots = dict(self.slot_map)
+            then_body: List[rvm.Instr] = []
+            then_out = self.compile_seq(expr.true_branch, then_body)
+            self.slot_map = dict(outer_slots)
+            else_body: List[rvm.Instr] = []
+            else_out = self.compile_seq(expr.false_branch, else_body)
+            self.slot_map = outer_slots
+            dst = self.new_reg()
+            body.append(rvm.If(cond, then_body, then_out, else_body, else_out, dst))
+            return dst
+        raise VMCodegenError(f"cannot compile {type(expr).__name__} to VM")
+
+    def compile_call(self, call: Call, body: List[rvm.Instr]) -> int:
+        op = call.op
+        if isinstance(op, Op):
+            return self.compile_op_call(op, call, body)
+        if isinstance(op, GlobalVar):
+            args = [self.compile_expr(a, body) for a in call.args]
+            dst = self.new_reg()
+            body.append(rvm.CallFunc(dst, op.name_hint, args))
+            return dst
+        if isinstance(op, ExternFunc):
+            args = [self.compile_expr(a, body) for a in call.args]
+            dst = self.new_reg()
+            body.append(rvm.CallBuiltin(dst, op.global_symbol, args))
+            return dst
+        raise VMCodegenError(
+            f"cannot compile call with callee {type(op).__name__}; "
+            "first-class function values must be resolved before codegen"
+        )
+
+    def compile_op_call(self, op: Op, call: Call, body: List[rvm.Instr]) -> int:
+        if op is alloc_storage_op:
+            size_spec = self.dim_spec(call.args[0].values[0], body)
+            dst = self.new_reg()
+            body.append(
+                rvm.AllocStorage(dst, size_spec,
+                                 escapes=bool(call.attrs.get("escapes")))
+            )
+            return dst
+        if op is alloc_tensor_from_storage_op:
+            storage_reg = self.compile_expr(call.args[0], body)
+            dims = [self.dim_spec(v, body) for v in call.args[1].values]
+            dst = self.new_reg()
+            body.append(
+                rvm.AllocTensor(dst, dims, call.attrs["dtype"], storage=storage_reg)
+            )
+            return dst
+        if op is alloc_tensor_op:
+            dims = [self.dim_spec(v, body) for v in call.args[0].values]
+            dst = self.new_reg()
+            body.append(
+                rvm.AllocTensor(dst, dims, call.attrs["dtype"],
+                                escapes=bool(call.attrs.get("escapes")))
+            )
+            return dst
+        if op is kill_op:
+            reg = self.compile_expr(call.args[0], body)
+            body.append(rvm.KillTensor(reg))
+            return reg
+        if op is call_tir_dps_op or op is call_lib_dps_op:
+            callee, inputs, outputs, sym_args = dps_parts(call)
+            in_regs = [self.compile_expr(a, body) for a in inputs]
+            out_regs = [self.compile_expr(a, body) for a in outputs]
+            if op is call_tir_dps_op:
+                name = callee.name_hint
+                self._ensure_tir(name)
+                specs = []
+                if sym_args is not None:
+                    specs = [self.dim_spec(v, body) for v in sym_args.values]
+                body.append(rvm.CallTir(name, in_regs, out_regs, specs))
+            else:
+                body.append(rvm.CallLib(callee.global_symbol, in_regs, out_regs))
+            return out_regs[0] if out_regs else self.new_reg()
+        raise VMCodegenError(
+            f"operator {op.name!r} survived to codegen; the lowering pipeline "
+            "must legalize and lower it first"
+        )
+
+    def _ensure_tir(self, name: str) -> None:
+        if name in self.exe.tir_funcs:
+            return
+        func = self.mod[name]
+        if not isinstance(func, tir.PrimFunc):
+            raise VMCodegenError(f"{name!r} is not a tensor program")
+        self.exe.tir_funcs[name] = func
+
+
+class VMCodegen(Pass):
+    """Compile every Relax function of a fully lowered module."""
+
+    name = "VMCodegen"
+
+    def run(self, mod: IRModule, ctx: PassContext):  # returns Executable
+        exe = rvm.Executable()
+        for name, func in mod.relax_functions():
+            codegen = _FunctionCodegen(exe, mod, func)
+            vm_func = codegen.build()
+            vm_func.name = name
+            exe.functions[name] = vm_func
+        return exe

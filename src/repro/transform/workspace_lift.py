@@ -1,0 +1,127 @@
+"""Cross-level tensor program workspace lifting (§4.4, Fig. 11).
+
+Analysis feedback detects ``global``-scope intermediate allocations inside
+tensor programs (e.g. the Stream-K split-K matmul's partial-accumulation
+buffer) and jointly rewrites both levels: the tensor program gains an
+explicit workspace parameter, and the graph-level call site allocates the
+workspace with ``memory.alloc_tensor`` and passes it through ``call_tir``.
+The lifted allocation then participates in global memory planning — the
+optimization the paper notes is "only possible with the cross-level
+abstractions".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .. import sym, tir
+from ..core.annotations import TensorAnn
+from ..core.expr import (
+    DataflowBlock,
+    DataflowVar,
+    Function,
+    GlobalVar,
+    SeqExpr,
+    Var,
+    VarBinding,
+)
+from ..core.ir_module import IRModule
+from ..core import op as core_op
+from .memory_ops import alloc_tensor
+from .pass_infra import FunctionPass, PassContext
+
+
+class WorkspaceLifting(FunctionPass):
+    name = "WorkspaceLifting"
+
+    def transform_function(self, name, func: Function, mod: IRModule, ctx: PassContext):
+        body = func.body
+        if not isinstance(body, SeqExpr):
+            return func
+
+        lifted_cache: Dict[str, GlobalVar] = {}
+        changed = False
+        new_blocks = []
+        for block in body.blocks:
+            new_bindings: List[VarBinding] = []
+            for binding in block.bindings:
+                value = binding.value
+                if not core_op.is_call_to(value, core_op.call_tir_op):
+                    new_bindings.append(binding)
+                    continue
+                callee_gv, args, sym_args = core_op.call_tir_parts(value)
+                callee = mod[callee_gv.name_hint]
+                if not isinstance(callee, tir.PrimFunc):
+                    new_bindings.append(binding)
+                    continue
+                workspaces = callee.workspace_buffers()
+                if not workspaces:
+                    new_bindings.append(binding)
+                    continue
+
+                changed = True
+                # Rewrite the tensor program once per callee; reuse after.
+                if callee_gv.name_hint in lifted_cache:
+                    new_gv = lifted_cache[callee_gv.name_hint]
+                    lifted = mod[new_gv.name_hint]
+                else:
+                    lifted = callee
+                    for ws in workspaces:
+                        lifted = tir.replace_workspace_with_param(lifted, ws)
+                    lifted = tir.PrimFunc(
+                        name=f"{callee.name}_lifted",
+                        params=lifted.params,
+                        stages=lifted.stages,
+                        num_outputs=lifted.num_outputs,
+                        sym_params=lifted.sym_params,
+                        attrs=dict(callee.attrs),
+                    )
+                    new_gv = mod.add_unique(lifted.name, lifted)
+                    lifted_cache[callee_gv.name_hint] = new_gv
+
+                # Map the workspace shapes into the caller's symbolic scope.
+                var_map: Dict[sym.SymVar, sym.ExprLike] = {}
+                for cbuf, arg in zip(callee.params, list(args)):
+                    ann = arg.ann
+                    if isinstance(ann, TensorAnn) and ann.shape is not None:
+                        for cdim, adim in zip(cbuf.shape, ann.shape):
+                            if isinstance(cdim, sym.SymVar) and cdim not in var_map:
+                                var_map[cdim] = adim
+                if sym_args is not None:
+                    for cvar, expr in zip(callee.sym_params, sym_args.values):
+                        if cvar not in var_map:
+                            var_map[cvar] = expr
+
+                ws_vars: List[Var] = []
+                var_cls = DataflowVar if block.is_dataflow else Var
+                for ws in workspaces:
+                    shape = [
+                        sym.simplify(sym.substitute(d, var_map)) for d in ws.shape
+                    ]
+                    alloc_call = alloc_tensor(shape, ws.dtype)
+                    alloc_call.ann = TensorAnn(shape, ws.dtype)
+                    ws_var = var_cls(f"{ws.name}_lifted", alloc_call.ann)
+                    new_bindings.append(VarBinding(ws_var, alloc_call))
+                    ws_vars.append(ws_var)
+
+                new_call = core_op.call_tir(
+                    new_gv,
+                    list(args) + ws_vars,
+                    value.sinfo_args,
+                    sym_args,
+                )
+                new_call.ann = value.ann
+                new_bindings.append(VarBinding(binding.var, new_call))
+            if changed:
+                cls = DataflowBlock if block.is_dataflow else type(block)
+                new_blocks.append(cls(new_bindings))
+            else:
+                new_blocks.append(block)
+
+        if not changed:
+            return func
+        new_body = SeqExpr(new_blocks, body.body)
+        new_body.ann = body.ann
+        out = Function(func.params, new_body, func.ret_ann, func.attrs, func.name)
+        out.ann = func.ann
+        return out

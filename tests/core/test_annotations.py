@@ -1,0 +1,222 @@
+"""Structural annotations (Table 1) and signature unification (Fig. 7)."""
+
+import pytest
+
+from repro import sym
+from repro.core import (
+    CallableAnn,
+    ObjectAnn,
+    PrimAnn,
+    ShapeAnn,
+    TensorAnn,
+    TupleAnn,
+    unify_call,
+)
+
+
+class TestConstruction:
+    def test_tensor_symbolic(self):
+        n = sym.SymVar("n")
+        t = TensorAnn((n, 4), "f32")
+        assert t.ndim == 2
+        assert t.dtype == "f32"
+        assert [v.name for v in t.free_sym_vars()] == ["n"]
+
+    def test_tensor_unknown_dims(self):
+        t = TensorAnn(ndim=2, dtype="f32")
+        assert t.shape is None and t.ndim == 2
+        t2 = TensorAnn(dtype="f32")
+        assert t2.ndim == -1
+
+    def test_tensor_quoted_dims_resolve(self):
+        t = TensorAnn(("n", 4), "f32")
+        assert not t.is_resolved()
+        ctx = sym.ShapeVarContext()
+        r = t.resolve(ctx)
+        assert r.is_resolved()
+        assert r.shape[0] is ctx.get("n")
+
+    def test_tensor_quoted_expression(self):
+        ctx = sym.ShapeVarContext()
+        t = TensorAnn(("n * 4",), "f32").resolve(ctx)
+        assert sym.prove_equal(t.shape[0], ctx.get("n") * 4)
+
+    def test_shape_ann(self):
+        n = sym.SymVar("n")
+        s = ShapeAnn([n, 4])
+        assert s.ndim == 2
+        s2 = ShapeAnn(ndim=2)
+        assert s2.values is None and s2.ndim == 2
+
+    def test_ndim_conflict_rejected(self):
+        with pytest.raises(ValueError):
+            TensorAnn((1, 2), "f32", ndim=3)
+        with pytest.raises(ValueError):
+            ShapeAnn([1, 2], ndim=3)
+
+    def test_tuple_requires_annotations(self):
+        with pytest.raises(TypeError):
+            TupleAnn([42])
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            TensorAnn((1,), "float99")
+
+    def test_size_helpers(self):
+        n = sym.SymVar("n")
+        t = TensorAnn((n, 4), "f32")
+        assert sym.evaluate(t.num_elements(), {n: 3}) == 12
+        assert sym.evaluate(t.size_bytes(), {n: 3}) == 48
+
+    def test_size_requires_shape(self):
+        with pytest.raises(ValueError):
+            TensorAnn(ndim=2, dtype="f32").num_elements()
+
+
+class TestLattice:
+    def test_object_is_top(self):
+        assert ObjectAnn().is_base_of(TensorAnn((1,), "f32"))
+        assert ObjectAnn().is_base_of(ShapeAnn([1]))
+
+    def test_tensor_base_of_equal_shape(self):
+        n = sym.SymVar("n")
+        a = TensorAnn((n * 2,), "f32")
+        b = TensorAnn((2 * n,), "f32")
+        assert a.is_base_of(b)
+        assert b.is_base_of(a)
+
+    def test_coarse_base_of_fine(self):
+        fine = TensorAnn((3, 4), "f32")
+        coarse = TensorAnn(ndim=2, dtype="f32")
+        assert coarse.is_base_of(fine)
+        assert not fine.is_base_of(coarse)
+
+    def test_dtype_mismatch(self):
+        assert not TensorAnn((3,), "f32").is_base_of(TensorAnn((3,), "i32"))
+
+    def test_possibly_matches_static_conflict(self):
+        a = TensorAnn((3, 4), "f32")
+        b = TensorAnn((3, 5), "f32")
+        assert not a.possibly_matches(b)
+
+    def test_possibly_matches_symbolic(self):
+        n, m = sym.SymVar("n"), sym.SymVar("m")
+        assert TensorAnn((n,), "f32").possibly_matches(TensorAnn((m,), "f32"))
+
+    def test_possibly_matches_cross_kind(self):
+        assert not TensorAnn((3,), "f32").possibly_matches(ShapeAnn([3]))
+        assert TensorAnn((3,), "f32").possibly_matches(ObjectAnn())
+
+    def test_erased(self):
+        n = sym.SymVar("n")
+        e = TensorAnn((n, 4), "f32").erased()
+        assert e.shape is None and e.ndim == 2 and e.dtype == "f32"
+        s = ShapeAnn([n]).erased()
+        assert s.values is None and s.ndim == 1
+
+    def test_tuple_lattice(self):
+        a = TupleAnn([TensorAnn((3,), "f32"), ObjectAnn()])
+        b = TupleAnn([TensorAnn((3,), "f32"), TensorAnn((1,), "f32")])
+        assert a.is_base_of(b)
+        assert not b.is_base_of(a)
+
+    def test_substitute_syms(self):
+        n, m = sym.SymVar("n"), sym.SymVar("m")
+        t = TensorAnn((n, m), "f32").substitute_syms({n: m})
+        assert sym.prove_equal(t.shape[0], m)
+
+
+class TestUnifyCall:
+    def _subfn_sig(self):
+        # subfn(s: Shape(["n", "m"])) -> Tensor(("n * m",), "f32")  (Fig. 7)
+        ctx = sym.ShapeVarContext()
+        param = ShapeAnn(["n", "m"]).resolve(ctx)
+        ret = TensorAnn(("n * m",), "f32").resolve(ctx)
+        return CallableAnn([param], ret)
+
+    def test_fig7_symbolic_arg(self):
+        # subfn(shape(n, 4)) : Tensor((n * 4,), "f32")
+        sig = self._subfn_sig()
+        n = sym.SymVar("n")
+        out = unify_call(sig, [ShapeAnn([n, 4])])
+        assert isinstance(out, TensorAnn)
+        assert sym.prove_equal(out.shape[0], n * 4)
+
+    def test_fig7_static_arg(self):
+        # subfn(shape(3, 4)) : Tensor((12,), "f32")
+        sig = self._subfn_sig()
+        out = unify_call(sig, [ShapeAnn([3, 4])])
+        assert sym.as_static_int(out.shape[0]) == 12
+
+    def test_fig7_expression_arg(self):
+        # subfn(shape(n + 1, 4)) : Tensor(((n + 1) * 4,), "f32")
+        sig = self._subfn_sig()
+        n = sym.SymVar("n")
+        out = unify_call(sig, [ShapeAnn([n + 1, 4])])
+        assert sym.prove_equal(out.shape[0], (n + 1) * 4)
+
+    def test_fig7_coarse_arg_erases(self):
+        # subfn(y: Shape(ndim=2)) : Tensor(ndim=1, dtype="f32")
+        sig = self._subfn_sig()
+        out = unify_call(sig, [ShapeAnn(ndim=2)])
+        assert isinstance(out, TensorAnn)
+        assert out.shape is None and out.ndim == 1 and out.dtype == "f32"
+
+    def test_tensor_param_binding(self):
+        ctx = sym.ShapeVarContext()
+        sig = CallableAnn(
+            [TensorAnn(("n", 4), "f32").resolve(ctx)],
+            TensorAnn(("n",), "f32").resolve(ctx),
+        )
+        m = sym.SymVar("m")
+        out = unify_call(sig, [TensorAnn((m * 2, 4), "f32")])
+        assert sym.prove_equal(out.shape[0], m * 2)
+
+    def test_expression_param_annotation(self):
+        # Fig. 8: parameter annotation contains an expression (n * 2) plus
+        # an extra Shape(["n"]) parameter supplying n.
+        ctx = sym.ShapeVarContext()
+        sig = CallableAnn(
+            [
+                TensorAnn(("n * 2",), "f32").resolve(ctx),
+                ShapeAnn(["n"]).resolve(ctx),
+            ],
+            TensorAnn(("n * 2",), "f32").resolve(ctx),
+        )
+        k = sym.SymVar("k")
+        out = unify_call(
+            sig, [TensorAnn((k * 2,), "f32"), ShapeAnn([k])]
+        )
+        assert sym.prove_equal(out.shape[0], k * 2)
+
+    def test_arity_mismatch(self):
+        sig = self._subfn_sig()
+        with pytest.raises(ValueError):
+            unify_call(sig, [])
+
+    def test_unknown_params_erases_ret(self):
+        n = sym.SymVar("n")
+        sig = CallableAnn(None, TensorAnn((n,), "f32"))
+        out = unify_call(sig, [ObjectAnn()])
+        assert out.shape is None
+
+    def test_tuple_param_binding(self):
+        ctx = sym.ShapeVarContext()
+        sig = CallableAnn(
+            [TupleAnn([TensorAnn(("n",), "f32"), TensorAnn(("m",), "f32")]).resolve(ctx)],
+            TensorAnn(("n + m",), "f32").resolve(ctx),
+        )
+        a, b = sym.SymVar("a"), sym.SymVar("b")
+        out = unify_call(
+            sig,
+            [TupleAnn([TensorAnn((a,), "f32"), TensorAnn((b,), "f32")])],
+        )
+        assert sym.prove_equal(out.shape[0], a + b)
+
+    def test_prim_value_binding(self):
+        ctx = sym.ShapeVarContext()
+        n = ctx.get("n")
+        sig = CallableAnn([PrimAnn("i64", n)], TensorAnn((n,), "f32"))
+        k = sym.SymVar("k")
+        out = unify_call(sig, [PrimAnn("i64", k + 1)])
+        assert sym.prove_equal(out.shape[0], k + 1)

@@ -1,0 +1,292 @@
+"""BlockBuilder construction, cross-level calls, deduction, verification."""
+
+import numpy as np
+import pytest
+
+from repro import core, sym, tir
+from repro.core import (
+    BlockBuilder,
+    CallableAnn,
+    ObjectAnn,
+    ShapeAnn,
+    TensorAnn,
+    WellFormedError,
+    well_formed,
+)
+
+
+def _mm_prim_func():
+    n = sym.SymVar("n")
+    f = tir.TirBuilder("mm")
+    x = f.arg("X", (n, 128), "f32")
+    w = f.arg("W", (128, 256), "f32")
+    y = f.out("Y", (n, 256), "f32")
+    i, j = f.spatial(n, 256)
+    k = f.reduce(128)
+    f.store(y, [i, j], x[i, k] * w[k, j], combiner="sum", init=0.0)
+    return f.build()
+
+
+def build_fig4_module():
+    """The paper's Figure 4: graph-level main calling mm via call_tir."""
+    bb = BlockBuilder()
+    mm = bb.add_func(_mm_prim_func(), "mm")
+    with bb.function(
+        "main",
+        {
+            "x": TensorAnn(("n", 128), "f32"),
+            "w": TensorAnn((128, 256), "f32"),
+        },
+    ) as frame:
+        x, w = frame.params
+        n = bb.shape_var("n")
+        with bb.dataflow():
+            lv0 = bb.call_tir(mm, [x, w], TensorAnn((n, 256), "f32"))
+            gv = bb.emit_output(lv0)
+        bb.emit_func_output(gv)
+    return bb.get()
+
+
+class TestBlockBuilder:
+    def test_fig4_module_well_formed(self):
+        mod = build_fig4_module()
+        assert well_formed(mod)
+        assert "main" in mod and "mm" in mod
+
+    def test_call_tir_annotation_deduced(self):
+        mod = build_fig4_module()
+        main = mod["main"]
+        block = main.body.blocks[0]
+        lv0 = block.bindings[0].var
+        assert isinstance(lv0.ann, TensorAnn)
+        assert lv0.ann.dtype == "f32"
+        n = main.params[0].ann.shape[0]
+        assert sym.prove_equal(lv0.ann.shape[0], n)
+        assert sym.as_static_int(lv0.ann.shape[1]) == 256
+
+    def test_shared_sym_var_across_params(self):
+        bb = BlockBuilder()
+        with bb.function(
+            "f",
+            {
+                "a": TensorAnn(("n", 2), "f32"),
+                "b": TensorAnn(("n", 2), "f32"),
+            },
+        ) as frame:
+            a, b = frame.params
+            bb.emit_func_output(a)
+        mod = bb.get()
+        f = mod["f"]
+        assert f.params[0].ann.shape[0] is f.params[1].ann.shape[0]
+
+    def test_dataflow_vars_are_dataflow(self):
+        mod = build_fig4_module()
+        main = mod["main"]
+        block = main.body.blocks[0]
+        assert isinstance(block.bindings[0].var, core.DataflowVar)
+        assert not isinstance(block.bindings[1].var, core.DataflowVar)
+
+    def test_match_cast_introduces_sym_var(self):
+        # Figure 3: match_cast after a data-dependent operator.
+        bb = BlockBuilder()
+        with bb.function("f", {"x": TensorAnn(("n",), "f32")}) as frame:
+            (x,) = frame.params
+            m = core.sym_var("m")
+            with bb.dataflow():
+                lv = bb.match_cast(x, TensorAnn((m,), "f32"))
+                gv = bb.emit_output(lv)
+            bb.emit_func_output(gv)
+        mod = bb.get()
+        assert well_formed(mod)
+        binding = mod["f"].body.blocks[0].bindings[0]
+        assert isinstance(binding, core.MatchCast)
+        assert sym.prove_equal(binding.var.ann.shape[0], m)
+
+    def test_match_cast_incompatible_rejected(self):
+        bb = BlockBuilder()
+        with pytest.raises(core.DeductionError):
+            with bb.function("f", {"x": TensorAnn((4,), "f32")}) as frame:
+                (x,) = frame.params
+                bb.match_cast(x, TensorAnn((5,), "f32"))
+                bb.emit_func_output(x)
+
+    def test_emit_output_outside_dataflow_rejected(self):
+        bb = BlockBuilder()
+        with pytest.raises(RuntimeError):
+            with bb.function("f", {"x": TensorAnn((4,), "f32")}) as frame:
+                (x,) = frame.params
+                bb.emit_output(x)
+                bb.emit_func_output(x)
+
+    def test_missing_output_rejected(self):
+        bb = BlockBuilder()
+        with pytest.raises(RuntimeError):
+            with bb.function("f", {"x": TensorAnn((4,), "f32")}):
+                pass
+        # builder is reusable after the failure
+        with bb.function("g", {"x": TensorAnn((4,), "f32")}) as frame:
+            bb.emit_func_output(frame.params[0])
+
+    def test_tuple_and_getitem(self):
+        bb = BlockBuilder()
+        with bb.function("f", {"x": TensorAnn(("n",), "f32")}) as frame:
+            (x,) = frame.params
+            with bb.dataflow():
+                t = bb.emit(core.Tuple([x, x]))
+                first = bb.emit(core.TupleGetItem(t, 0))
+                gv = bb.emit_output(first)
+            bb.emit_func_output(gv)
+        mod = bb.get()
+        f = mod["f"]
+        bindings = f.body.blocks[0].bindings
+        assert isinstance(bindings[0].var.ann, core.TupleAnn)
+        assert isinstance(bindings[1].var.ann, TensorAnn)
+
+    def test_call_dps_library(self):
+        bb = BlockBuilder()
+        with bb.function("f", {"x": TensorAnn(("n", 4), "f32")}) as frame:
+            (x,) = frame.params
+            n = bb.shape_var("n")
+            with bb.dataflow():
+                lv = bb.call_dps_library(
+                    "cutlass.rms_norm", [x], TensorAnn((n, 4), "f32")
+                )
+                gv = bb.emit_output(lv)
+            bb.emit_func_output(gv)
+        mod = bb.get()
+        assert well_formed(mod)
+        call = mod["f"].body.blocks[0].bindings[0].value
+        assert core.is_call_to(call, core.call_dps_library_op)
+        callee, args, sym_args = core.call_tir_parts(call)
+        assert callee.global_symbol == "cutlass.rms_norm"
+        assert len(args) == 1 and sym_args is None
+
+
+class TestInterproceduralDeduction:
+    def test_subgraph_call_deduction(self):
+        # A graph-level function calling another graph-level function:
+        # annotations at the call site come from the callee signature.
+        bb = BlockBuilder()
+        with bb.function("inner", {"x": TensorAnn(("k", 2), "f32")}) as frame:
+            (x,) = frame.params
+            bb.emit_func_output(x)
+        inner_gv = bb.mod.get_global_var("inner")
+        with bb.function("outer", {"y": TensorAnn(("n", 2), "f32")}) as frame:
+            (y,) = frame.params
+            n = bb.shape_var("n")
+            with bb.dataflow():
+                lv = bb.emit(core.Call(inner_gv, [y]))
+                gv = bb.emit_output(lv)
+            bb.emit_func_output(gv)
+        mod = bb.get()
+        lv = mod["outer"].body.blocks[0].bindings[0].var
+        assert sym.prove_equal(lv.ann.shape[0], n)
+
+    def test_first_class_function_var(self):
+        # Calling through a Var with a Callable annotation (Fig. 7's f0).
+        ctx = sym.ShapeVarContext()
+        callable_ann = CallableAnn(
+            [ShapeAnn(["n", "m"]).resolve(ctx)],
+            TensorAnn(("n * m",), "f32").resolve(ctx),
+        )
+        bb = BlockBuilder()
+        with bb.function("f", {"fn": callable_ann}) as frame:
+            (fn,) = frame.params
+            n = core.sym_var("n")
+            with bb.dataflow():
+                lv = bb.emit(core.Call(fn, [core.shape(n, 4)]))
+                gv = bb.emit_output(lv)
+            bb.emit_func_output(gv)
+        mod = bb.get()
+        lv = mod["f"].body.blocks[0].bindings[0].var
+        assert sym.prove_equal(lv.ann.shape[0], n * 4)
+
+
+class TestWellFormed:
+    def test_unbound_var_rejected(self):
+        stray = core.Var("stray", TensorAnn((1,), "f32"))
+        func = core.Function(
+            params=[],
+            body=core.SeqExpr([], stray),
+            ret_ann=ObjectAnn(),
+        )
+        mod = core.IRModule({"f": func})
+        with pytest.raises(WellFormedError):
+            well_formed(mod)
+
+    def test_dataflow_var_escape_rejected(self):
+        x = core.Var("x", TensorAnn((1,), "f32"))
+        dvar = core.DataflowVar("d", TensorAnn((1,), "f32"))
+        block = core.DataflowBlock([core.VarBinding(dvar, x)])
+        func = core.Function([x], core.SeqExpr([block], dvar), ObjectAnn())
+        mod = core.IRModule({"f": func})
+        with pytest.raises(WellFormedError):
+            well_formed(mod)
+
+    def test_out_of_scope_sym_var_rejected(self):
+        x = core.Var("x", TensorAnn((4,), "f32"))
+        rogue = sym.SymVar("rogue")
+        v = core.Var("v", TensorAnn((rogue,), "f32"))
+        block = core.BindingBlock([core.VarBinding(v, x)])
+        func = core.Function([x], core.SeqExpr([block], v), ObjectAnn())
+        mod = core.IRModule({"f": func})
+        with pytest.raises(WellFormedError):
+            well_formed(mod)
+
+    def test_unknown_global_rejected(self):
+        x = core.Var("x", TensorAnn((4,), "f32"))
+        call = core.Call(core.GlobalVar("nope"), [x])
+        v = core.Var("v")
+        block = core.BindingBlock([core.VarBinding(v, call)])
+        func = core.Function([x], core.SeqExpr([block], v), ObjectAnn())
+        mod = core.IRModule({"f": func})
+        with pytest.raises(WellFormedError):
+            well_formed(mod)
+
+    def test_fig4_module_passes(self):
+        assert well_formed(build_fig4_module())
+
+
+class TestPrinter:
+    def test_module_prints(self):
+        mod = build_fig4_module()
+        text = core.format_module(mod)
+        assert "def main" in text
+        assert "call_tir" in text
+        assert "with dataflow():" in text
+        assert "@tensorir_function" in text
+        assert "grid" in text
+
+    def test_expr_forms(self):
+        n = sym.SymVar("n")
+        assert core.format_expr(core.shape(n, 4)) == "shape(n, 4)"
+        c = core.const(np.float32(1.5))
+        assert "const" in core.format_expr(c)
+
+
+class TestIRModule:
+    def test_add_unique(self):
+        mod = core.IRModule()
+        f1 = core.Function([], core.SeqExpr([], core.const(np.float32(0))), None)
+        g1 = mod.add_unique("f", f1)
+        g2 = mod.add_unique("f", f1)
+        assert g1.name_hint == "f"
+        assert g2.name_hint == "f_1"
+
+    def test_copy_is_shallow_but_independent(self):
+        mod = build_fig4_module()
+        clone = mod.copy()
+        clone.remove("mm")
+        assert "mm" in mod and "mm" not in clone
+
+    def test_getitem_by_global_var(self):
+        mod = build_fig4_module()
+        gv = mod.get_global_var("main")
+        assert mod[gv] is mod["main"]
+
+    def test_missing_function_raises(self):
+        mod = core.IRModule()
+        with pytest.raises(KeyError):
+            mod["nope"]
+        with pytest.raises(KeyError):
+            mod.remove("nope")

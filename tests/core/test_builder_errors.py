@@ -1,0 +1,153 @@
+"""BlockBuilder misuse and cross-level call validation."""
+
+import numpy as np
+import pytest
+
+from repro import ops, sym
+from repro.core import (
+    BlockBuilder,
+    Call,
+    GlobalVar,
+    ShapeExpr,
+    TensorAnn,
+    call_dps_library,
+    call_tir,
+)
+
+
+class TestBuilderMisuse:
+    def test_nested_function_rejected(self):
+        bb = BlockBuilder()
+        with pytest.raises(RuntimeError, match="nested"):
+            with bb.function("a", {"x": TensorAnn((2,), "f32")}):
+                with bb.function("b", {"y": TensorAnn((2,), "f32")}):
+                    pass
+
+    def test_nested_dataflow_rejected(self):
+        bb = BlockBuilder()
+        with pytest.raises(RuntimeError, match="nest"):
+            with bb.function("a", {"x": TensorAnn((2,), "f32")}) as frame:
+                with bb.dataflow():
+                    with bb.dataflow():
+                        pass
+                bb.emit_func_output(frame.params[0])
+
+    def test_emit_outside_function_rejected(self):
+        bb = BlockBuilder()
+        from repro.core import Var
+
+        with pytest.raises(RuntimeError, match="no function scope"):
+            bb.emit(ops.relu(Var("x", TensorAnn((2,), "f32"))))
+
+    def test_output_inside_dataflow_rejected(self):
+        bb = BlockBuilder()
+        with pytest.raises(RuntimeError, match="close the dataflow"):
+            with bb.function("a", {"x": TensorAnn((2,), "f32")}) as frame:
+                with bb.dataflow():
+                    bb.emit_func_output(frame.params[0])
+
+    def test_get_while_building_rejected(self):
+        bb = BlockBuilder()
+        frame = bb.function("a", {"x": TensorAnn((2,), "f32")})
+        frame.__enter__()
+        with pytest.raises(RuntimeError, match="under construction"):
+            bb.get()
+        bb.emit_func_output(frame.params[0])
+        frame.__exit__(None, None, None)
+
+    def test_fresh_names_unique(self):
+        bb = BlockBuilder()
+        with bb.function("a", {"x": TensorAnn((2,), "f32")}) as frame:
+            (x,) = frame.params
+            with bb.dataflow():
+                v1 = bb.emit(ops.relu(x))
+                v2 = bb.emit(ops.relu(x))
+                gv = bb.emit_output(v2)
+            bb.emit_func_output(gv)
+        names = [
+            b.var.name_hint
+            for b in bb.get()["a"].body.blocks[0].bindings
+        ]
+        assert len(set(names)) == len(names)
+
+
+class TestCrossLevelValidation:
+    def test_call_tir_requires_global_var(self):
+        x = ops  # noqa: F841
+        from repro.core import Var
+
+        v = Var("v", TensorAnn((2,), "f32"))
+        with pytest.raises(TypeError, match="GlobalVar"):
+            call_tir(v, [v], TensorAnn((2,), "f32"))
+
+    def test_out_ann_requires_shape(self):
+        gv = GlobalVar("f")
+        with pytest.raises(ValueError, match="output shape"):
+            call_tir(gv, [], TensorAnn(ndim=1, dtype="f32"))
+
+    def test_out_ann_requires_dtype(self):
+        gv = GlobalVar("f")
+        with pytest.raises(ValueError, match="dtype"):
+            call_tir(gv, [], TensorAnn((2,)))
+
+    def test_out_ann_must_be_tensor(self):
+        from repro.core import ObjectAnn
+
+        with pytest.raises(TypeError, match="TensorAnn"):
+            call_dps_library("lib.fn", [], ObjectAnn())
+
+    def test_sym_args_must_be_shape_expr(self):
+        gv = GlobalVar("f")
+        with pytest.raises(TypeError, match="ShapeExpr"):
+            call_tir(gv, [], TensorAnn((2,), "f32"), sym_args=42)
+
+    def test_unresolved_out_ann_rejected(self):
+        gv = GlobalVar("f")
+        with pytest.raises(ValueError, match="unresolved"):
+            call_tir(gv, [], TensorAnn(("n",), "f32"))
+
+    def test_multi_output_tuple_ann(self):
+        from repro.core import TupleAnn, deduce_call
+
+        gv = GlobalVar("f")
+        n = sym.SymVar("n")
+        call = call_tir(
+            gv, [], [TensorAnn((n,), "f32"), TensorAnn((n, 2), "f32")]
+        )
+        ann = deduce_call(call)
+        assert isinstance(ann, TupleAnn)
+        assert len(ann.fields) == 2
+
+
+class TestVMCodegenErrors:
+    def test_unlegalized_op_rejected(self):
+        from repro import transform
+        from repro.core import Var
+        from repro.transform import PassContext, VMCodegen, VMCodegenError
+
+        bb = BlockBuilder()
+        with bb.function("f", {"x": TensorAnn((2,), "f32")}) as frame:
+            (x,) = frame.params
+            with bb.dataflow():
+                out = bb.emit(ops.relu(x))  # never legalized
+                gv = bb.emit_output(out)
+            bb.emit_func_output(gv)
+        with pytest.raises(VMCodegenError, match="survived to codegen"):
+            VMCodegen()(bb.get(), PassContext())
+
+    def test_unbound_sym_var_rejected(self):
+        """A symbolic variable with no runtime source is a codegen error."""
+        from repro.transform import PassContext, VMCodegen, VMCodegenError
+        from repro.core import Function, SeqExpr, Var
+        from repro.transform import alloc_tensor
+
+        rogue = sym.SymVar("rogue")
+        alloc = alloc_tensor((rogue,), "f32")
+        alloc.ann = TensorAnn((rogue,), "f32")
+        v = Var("v", alloc.ann)
+        from repro.core import BindingBlock, IRModule, VarBinding
+
+        func = Function([], SeqExpr([BindingBlock([VarBinding(v, alloc)])], v),
+                        None, None, "f")
+        with pytest.raises(VMCodegenError, match="no runtime value source"):
+            VMCodegen()(IRModule({"f": func}), PassContext())

@@ -1,0 +1,184 @@
+"""Visitor/mutator infrastructure, printer coverage, dtypes."""
+
+import numpy as np
+import pytest
+
+from repro import dtypes, ops, sym
+from repro.core import (
+    BlockBuilder,
+    Call,
+    ExprMutator,
+    ExprVisitor,
+    If,
+    SeqExpr,
+    TensorAnn,
+    Var,
+    const,
+    format_expr,
+    format_function,
+    shape,
+)
+
+
+def _sample_function():
+    bb = BlockBuilder()
+    with bb.function("f", {"x": TensorAnn(("n", 4), "f32")}) as frame:
+        (x,) = frame.params
+        with bb.dataflow():
+            a = bb.emit(ops.relu(x))
+            b = bb.emit(ops.exp(a))
+            gv = bb.emit_output(b)
+        bb.emit_func_output(gv)
+    return bb.get()["f"]
+
+
+class TestVisitor:
+    def test_visitor_sees_all_calls(self):
+        func = _sample_function()
+        calls = []
+
+        class Collector(ExprVisitor):
+            def visit_call(self, call):
+                calls.append(call.op.name)
+                self.generic_visit(call)
+
+        Collector().visit(func)
+        assert calls == ["relu", "exp"]
+
+    def test_mutator_rewires_uses(self):
+        """Replacing the first call must re-point the second call's arg."""
+        func = _sample_function()
+
+        class ReluToSigmoid(ExprMutator):
+            def visit_call(self, call):
+                call = super().visit_call(call)
+                if isinstance(call, Call) and getattr(call.op, "name", "") == "relu":
+                    new = ops.sigmoid(call.args[0])
+                    new.ann = call.ann
+                    return new
+                return call
+
+        out = ReluToSigmoid().visit_function(func)
+        bindings = out.body.blocks[0].bindings
+        assert bindings[0].value.op.name == "sigmoid"
+        # The exp call must reference the *new* binding variable.
+        assert bindings[1].value.args[0] is bindings[0].var
+
+    def test_mutator_identity_returns_same_object(self):
+        func = _sample_function()
+        assert ExprMutator().visit_function(func) is func
+
+
+class TestPrinter:
+    def test_function_text(self):
+        text = format_function(_sample_function())
+        assert "def f(" in text
+        assert "with dataflow():" in text
+        assert "relu(" in text and "exp(" in text
+        assert "return gv" in text
+
+    def test_expr_forms(self):
+        n = sym.SymVar("n")
+        x = Var("x", TensorAnn((n,), "f32"))
+        assert format_expr(x) == "x"
+        assert format_expr(shape(n, 4)) == "shape(n, 4)"
+        assert "const(3" in format_expr(const(np.int64(3)))
+        t = ops.split(x, 2)  # call with attrs
+        assert "split" in format_expr(t) and "sections=2" in format_expr(t)
+
+    def test_if_and_tuple_forms(self):
+        from repro.core import PrimValue, Tuple, TupleGetItem
+
+        x = Var("x")
+        cond = Var("c")
+        branch = If(cond, x, x)
+        assert "if c then" in format_expr(branch)
+        tup = Tuple([x, x])
+        assert format_expr(tup) == "(x, x)"
+        assert format_expr(TupleGetItem(tup, 1)) == "(x, x)[1]"
+        assert format_expr(PrimValue(sym.SymVar("k"))) == "prim(k)"
+
+    def test_match_cast_printed(self):
+        bb = BlockBuilder()
+        m = sym.SymVar("m")
+        with bb.function("f", {"x": TensorAnn(("n",), "f32")}) as frame:
+            (x,) = frame.params
+            with bb.dataflow():
+                u = bb.emit(ops.unique(x))
+                c = bb.match_cast(u, TensorAnn((m,), "f32"))
+                gv = bb.emit_output(c)
+            bb.emit_func_output(gv)
+        text = format_function(bb.get()["f"])
+        assert "match_cast(" in text
+
+
+class TestDtypes:
+    def test_roundtrip_all(self):
+        for name in ("f64", "f32", "f16", "i64", "i32", "i16", "i8",
+                     "u64", "u32", "u16", "u8", "bool"):
+            np_dtype = dtypes.to_numpy(name)
+            assert dtypes.from_numpy(np_dtype) == name
+
+    def test_itemsizes(self):
+        assert dtypes.itemsize("f16") == 2
+        assert dtypes.itemsize("f32") == 4
+        assert dtypes.itemsize("u32") == 4
+        assert dtypes.itemsize("bool") == 1
+
+    def test_predicates(self):
+        assert dtypes.is_float("f16") and not dtypes.is_float("i32")
+        assert dtypes.is_integer("u8") and not dtypes.is_integer("f64")
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            dtypes.check_dtype("float32")
+        with pytest.raises(ValueError):
+            dtypes.from_numpy(np.complex64)
+
+    def test_is_valid(self):
+        assert dtypes.is_valid_dtype("f32")
+        assert not dtypes.is_valid_dtype("q4")
+
+
+class TestDeductionEdgeCases:
+    def test_join_annotations(self):
+        from repro.core import join_annotations, ObjectAnn
+
+        n = sym.SymVar("n")
+        a = TensorAnn((n, 4), "f32")
+        b = TensorAnn((n, 4), "f32")
+        assert join_annotations(a, b).shape is not None
+        c = TensorAnn((8, 4), "f32")
+        joined = join_annotations(a, c)
+        assert joined.shape is None and joined.ndim == 2
+        d = TensorAnn((4,), "i32")
+        joined = join_annotations(a, d)
+        assert joined.dtype is None and joined.ndim == -1
+        assert isinstance(join_annotations(a, ObjectAnn()), ObjectAnn)
+
+    def test_if_branch_join(self):
+        bb = BlockBuilder()
+        with bb.function(
+            "f",
+            {
+                "c": TensorAnn((), "bool"),
+                "a": TensorAnn(("n", 4), "f32"),
+                "b": TensorAnn((8, 4), "f32"),
+            },
+        ) as frame:
+            c, a, b = frame.params
+            branch = If(c, a, b)
+            out = bb.emit(branch)
+            bb.emit_func_output(out)
+        func = bb.get()["f"]
+        ann = func.body.blocks[0].bindings[0].var.ann
+        assert ann.shape is None and ann.ndim == 2 and ann.dtype == "f32"
+
+    def test_extern_call_with_sinfo(self):
+        from repro.core import Call, ExternFunc, deduce_call
+
+        x = Var("x", TensorAnn((4,), "f32"))
+        call = Call(ExternFunc("my.routine"), [x],
+                    sinfo_args=(TensorAnn((4,), "f32"),))
+        ann = deduce_call(call)
+        assert isinstance(ann, TensorAnn) and ann.shape is not None

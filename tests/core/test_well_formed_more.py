@@ -1,0 +1,145 @@
+"""Structural validation of cross-level calls and misc op error paths."""
+
+import numpy as np
+import pytest
+
+from repro import ops, sym
+from repro.core import (
+    BindingBlock,
+    Call,
+    ExternFunc,
+    Function,
+    GlobalVar,
+    IRModule,
+    ObjectAnn,
+    SeqExpr,
+    ShapeExpr,
+    TensorAnn,
+    Tuple,
+    Var,
+    VarBinding,
+    WellFormedError,
+    call_dps_library_op,
+    call_tir_op,
+    well_formed,
+)
+
+
+def _wrap(call: Call, extra_funcs=None) -> IRModule:
+    v = Var("v", ObjectAnn())
+    func = Function([], SeqExpr([BindingBlock([VarBinding(v, call)])], v),
+                    ObjectAnn(), None, "f")
+    mod = IRModule({"f": func})
+    for name, f in (extra_funcs or {}).items():
+        mod.add(name, f)
+    return mod
+
+
+def _dummy_prim():
+    from repro import tir
+
+    f = tir.TirBuilder("k")
+    a = f.arg("A", (2,), "f32")
+    b = f.out("B", (2,), "f32")
+    i = f.spatial(2)
+    f.store(b, [i], a[i])
+    return f.build()
+
+
+class TestCrossLevelStructure:
+    def test_call_tir_args_must_be_tuple(self):
+        gv = GlobalVar("k")
+        call = Call(call_tir_op, [gv, Var("x")], sinfo_args=(TensorAnn((2,), "f32"),))
+        mod = _wrap(call, {"k": _dummy_prim()})
+        with pytest.raises(WellFormedError, match="malformed"):
+            well_formed(mod, check_sym_scope=False)
+
+    def test_call_tir_callee_must_be_global(self):
+        call = Call(
+            call_tir_op,
+            [ExternFunc("k"), Tuple([])],
+            sinfo_args=(TensorAnn((2,), "f32"),),
+        )
+        with pytest.raises(WellFormedError, match="GlobalVar"):
+            well_formed(_wrap(call), check_sym_scope=False)
+
+    def test_call_dps_library_callee_must_be_extern(self):
+        gv = GlobalVar("k")
+        call = Call(
+            call_dps_library_op,
+            [gv, Tuple([])],
+            sinfo_args=(TensorAnn((2,), "f32"),),
+        )
+        with pytest.raises(WellFormedError, match="ExternFunc"):
+            well_formed(_wrap(call, {"k": _dummy_prim()}), check_sym_scope=False)
+
+    def test_missing_sinfo_rejected(self):
+        gv = GlobalVar("k")
+        call = Call(call_tir_op, [gv, Tuple([])])
+        with pytest.raises(WellFormedError, match="output annotation"):
+            well_formed(_wrap(call, {"k": _dummy_prim()}), check_sym_scope=False)
+
+    def test_trailing_sym_args_must_be_shape(self):
+        gv = GlobalVar("k")
+        s = Var("s", ObjectAnn())
+        v = Var("v", ObjectAnn())
+        call = Call(call_tir_op, [gv, Tuple([]), s],
+                    sinfo_args=(TensorAnn((2,), "f32"),))
+        func = Function([s], SeqExpr([BindingBlock([VarBinding(v, call)])], v),
+                        ObjectAnn(), None, "f")
+        mod = IRModule({"f": func, "k": _dummy_prim()})
+        with pytest.raises(WellFormedError, match="ShapeExpr"):
+            well_formed(mod, check_sym_scope=False)
+
+
+class TestOpErrorPaths:
+    def test_attention_requires_static_heads(self):
+        h = sym.SymVar("h")
+        q = Var("q", TensorAnn((1, 1, h, 8), "f32"))
+        k = Var("k", TensorAnn((1, 4, h, 8), "f32"))
+        v = Var("v", TensorAnn((1, 4, h, 8), "f32"))
+        call = ops.attention(q, k, v)
+        with pytest.raises(ValueError, match="static"):
+            call.op.legalize(call)
+
+    def test_rope_requires_4d(self):
+        x = Var("x", TensorAnn((2, 8), "f32"))
+        call = ops.rope(x)
+        with pytest.raises(ValueError, match="rope expects"):
+            call.op.legalize(call)
+
+    def test_matmul_requires_tensor_args(self):
+        s = Var("s", ObjectAnn())
+        with pytest.raises(TypeError, match="tensor"):
+            call = ops.matmul(s, s)
+            call.op.deduce(call)
+
+    def test_reshape_requires_shape_value_to_legalize(self):
+        x = Var("x", TensorAnn((4,), "f32"))
+        coarse = Var("target", ObjectAnn())
+        call = ops.reshape(x, coarse)
+        with pytest.raises(ValueError, match="ShapeExpr"):
+            call.op.legalize(call)
+
+    def test_unresolved_annotation_analysis_rejected(self):
+        t = TensorAnn(("n", 4), "f32")  # quoted, unresolved
+        with pytest.raises(ValueError, match="unresolved"):
+            t.free_sym_vars()
+        with pytest.raises(ValueError, match="unresolved"):
+            t.num_elements()
+
+
+class TestCallableResolveIsolation:
+    def test_nested_callable_scope_is_fresh(self):
+        """Resolving a Callable's quoted dims must not leak variables into
+        the enclosing function's shape context (§4.1 isolation)."""
+        from repro.core import CallableAnn, ShapeAnn
+
+        ctx = sym.ShapeVarContext()
+        outer_n = ctx.get("n")
+        ann = CallableAnn([ShapeAnn(["n"])], TensorAnn(("n",), "f32"))
+        resolved = ann.resolve(ctx)
+        inner_n = resolved.params[0].values[0]
+        assert inner_n is not outer_n  # distinct scopes
+        # But the callable's own param/ret share the same inner variable.
+        assert resolved.ret.shape[0] is inner_n

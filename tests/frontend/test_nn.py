@@ -1,0 +1,167 @@
+"""nn.Module frontend: parameter traversal, export, layer numerics."""
+
+import numpy as np
+import pytest
+
+from repro import transform
+from repro.core import TensorAnn
+from repro.frontend import (
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    RMSNorm,
+    export_module,
+)
+from repro.runtime import NDArray, TEST_DEVICE, VirtualMachine
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        self.fc1 = Linear(8, 16, bias=True)
+        self.fc2 = Linear(16, 4)
+        self.norm = RMSNorm(4)
+
+    def forward(self, bb, x):
+        from repro import ops
+
+        h = self.fc1.forward(bb, x)
+        h = bb.emit(ops.relu(h))
+        h = self.fc2.forward(bb, h)
+        return self.norm.forward(bb, h)
+
+
+class TestModuleTree:
+    def test_named_parameters_order(self):
+        model = TwoLayer()
+        names = [name for name, _ in model.named_parameters()]
+        assert names == [
+            "fc1.weight", "fc1.bias", "fc2.weight", "norm.weight"
+        ]
+
+    def test_list_submodules(self):
+        class Stack(Module):
+            def __init__(self):
+                self.layers = [Linear(4, 4) for _ in range(3)]
+
+        names = [name for name, _ in Stack().named_parameters()]
+        assert names == ["layers.0.weight", "layers.1.weight", "layers.2.weight"]
+
+    def test_num_parameters(self):
+        model = TwoLayer()
+        assert model.num_parameters() == 8 * 16 + 16 + 16 * 4 + 4
+
+    def test_initialize_fills_all(self):
+        model = TwoLayer()
+        model.initialize(seed=0)
+        assert all(p.data is not None for p in model.parameters())
+
+    def test_parameter_outside_export_raises(self):
+        param = Parameter((2, 2))
+        with pytest.raises(RuntimeError):
+            _ = param.var
+
+
+class TestExport:
+    def _export(self):
+        model = TwoLayer()
+        model.initialize(seed=3, scale=0.3)
+        return export_module(
+            model,
+            {"main": ({"x": TensorAnn(("n", 8), "f32")}, model.forward)},
+        )
+
+    def test_signature_layout(self):
+        exported = self._export()
+        func = exported.mod["main"]
+        assert len(func.params) == 1 + 4  # x + four parameters
+        assert func.params[0].name_hint == "x"
+        assert func.params[1].name_hint == "p_fc1_weight"
+
+    def test_numerics_match_numpy(self):
+        exported = self._export()
+        exe = transform.build(exported.mod, TEST_DEVICE,
+                              enable_library_dispatch=False)
+        vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+        x = np.random.default_rng(5).standard_normal((3, 8)).astype(np.float32)
+        out = vm.run("main", NDArray.from_numpy(x), *exported.concrete_params())
+
+        p = {name: param.data for name, param in exported.param_order}
+        h = np.maximum(x @ p["fc1.weight"] + p["fc1.bias"], 0) @ p["fc2.weight"]
+        want = h / np.sqrt((h**2).mean(-1, keepdims=True) + 1e-5) * p["norm.weight"]
+        np.testing.assert_allclose(out.numpy(), want, rtol=1e-4)
+
+    def test_abstract_params_shapes(self):
+        exported = self._export()
+        arrays = exported.abstract_params()
+        assert [a.shape for a in arrays] == [(8, 16), (16,), (16, 4), (4,)]
+        assert not arrays[0].is_concrete
+
+    def test_concrete_params_require_data(self):
+        model = TwoLayer()
+        exported = export_module(
+            model, {"main": ({"x": TensorAnn((2, 8), "f32")}, model.forward)}
+        )
+        with pytest.raises(RuntimeError, match="no data"):
+            exported.concrete_params()
+
+    def test_param_var_cleared_after_export(self):
+        exported = self._export()
+        for _, param in exported.param_order:
+            with pytest.raises(RuntimeError):
+                _ = param.var
+
+    def test_two_functions_share_weight_list(self):
+        model = TwoLayer()
+        model.initialize(seed=1)
+
+        def fwd(bb, x):
+            return model.forward(bb, x)
+
+        exported = export_module(model, {
+            "f1": ({"x": TensorAnn(("n", 8), "f32")}, fwd),
+            "f2": ({"x": TensorAnn((2, 8), "f32")}, fwd),
+        })
+        assert "f1" in exported.mod and "f2" in exported.mod
+        # Same parameter count appended to both signatures.
+        assert len(exported.mod["f1"].params) == len(exported.mod["f2"].params)
+
+
+class TestLayers:
+    def test_embedding_lookup(self):
+        emb = Embedding(10, 4)
+        emb.initialize(seed=0)
+
+        def fwd(bb, ids):
+            return emb.forward(bb, ids)
+
+        exported = export_module(
+            emb, {"main": ({"ids": TensorAnn(("n",), "i64")}, fwd)}
+        )
+        exe = transform.build(exported.mod, TEST_DEVICE,
+                              enable_library_dispatch=False)
+        vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+        ids = np.array([3, 9, 0], dtype=np.int64)
+        out = vm.run("main", NDArray.from_numpy(ids), *exported.concrete_params())
+        np.testing.assert_allclose(out.numpy(), emb.weight.data[ids])
+
+    def test_layer_norm_numerics(self):
+        ln = LayerNorm(6)
+        ln.initialize(seed=2)
+
+        def fwd(bb, x):
+            return ln.forward(bb, x)
+
+        exported = export_module(
+            ln, {"main": ({"x": TensorAnn((4, 6), "f32")}, fwd)}
+        )
+        exe = transform.build(exported.mod, TEST_DEVICE,
+                              enable_library_dispatch=False)
+        vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+        x = np.random.default_rng(1).standard_normal((4, 6)).astype(np.float32)
+        out = vm.run("main", NDArray.from_numpy(x), *exported.concrete_params())
+        mu = x.mean(-1, keepdims=True)
+        var = ((x - mu) ** 2).mean(-1, keepdims=True)
+        want = (x - mu) / np.sqrt(var + 1e-5) * ln.gamma.data + ln.beta.data
+        np.testing.assert_allclose(out.numpy(), want, rtol=1e-4, atol=1e-5)

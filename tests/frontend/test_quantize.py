@@ -1,0 +1,115 @@
+"""Group quantization: packing, decode tensor program, QuantizedLinear."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro import tir, transform
+from repro.core import TensorAnn
+from repro.frontend import (
+    QuantizedLinear,
+    decode_prim_func,
+    dequantize_weight,
+    export_module,
+    quantize_weight,
+)
+from repro.runtime import NDArray, TEST_DEVICE, VirtualMachine
+
+
+class TestPacking:
+    @pytest.mark.parametrize("bits", [2, 3, 4, 8])
+    def test_roundtrip_error_bounded(self, bits):
+        rng = np.random.default_rng(bits)
+        weight = rng.standard_normal((8, 32)).astype(np.float32)
+        packed, scales = quantize_weight(weight, bits, group_size=16)
+        restored = dequantize_weight(packed, scales, bits, 16, 32)
+        # Quantization error is bounded by half a step per group.
+        max_err = np.abs(restored - weight).max()
+        step = scales.max()
+        assert max_err <= step * 0.51 + 1e-6
+
+    def test_packed_shapes(self):
+        packed, scales = quantize_weight(np.zeros((4, 32), np.float32), 4, 8)
+        assert packed.shape == (4, 4)  # 8 nibbles per u32
+        assert scales.shape == (4, 4)
+        assert packed.dtype == np.uint32
+
+    def test_zero_weight_scale_safe(self):
+        packed, scales = quantize_weight(np.zeros((2, 8), np.float32), 4, 8)
+        restored = dequantize_weight(packed, scales, 4, 8, 8)
+        np.testing.assert_allclose(restored, 0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        bits=st.sampled_from([2, 4, 8]),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_decode_prim_func_matches_reference(self, bits, seed):
+        """The decode tensor program and the NumPy dequantizer agree."""
+        k, n, group = 4, 16, 8
+        rng = np.random.default_rng(seed)
+        weight = rng.standard_normal((k, n)).astype(np.float32)
+        packed, scales = quantize_weight(weight, bits, group)
+        func = decode_prim_func(k, n, bits, group, "f32")
+        (got,) = tir.call_prim_func(func, [packed, scales], [(k, n)])
+        want = dequantize_weight(packed, scales, bits, group, n)
+        np.testing.assert_allclose(got, want, rtol=1e-5)
+
+    def test_decode_is_injective(self):
+        func = decode_prim_func(8, 16, 4, 8)
+        assert tir.pattern_kind(func) == tir.PatternKind.INJECTIVE
+
+
+class TestQuantizedLinear:
+    def _exported(self):
+        layer = QuantizedLinear(16, 8, bits=4, group_size=8)
+        rng = np.random.default_rng(0)
+        weight = rng.standard_normal((16, 8)).astype(np.float32) * 0.5
+        layer.load_float_weight(weight)
+
+        def fwd(bb, x):
+            return layer.forward(bb, x)
+
+        exported = export_module(
+            layer, {"main": ({"x": TensorAnn(("n", 16), "f32")}, fwd)}
+        )
+        return exported, layer, weight
+
+    def test_end_to_end_matches_dequantized(self):
+        exported, layer, weight = self._exported()
+        exe = transform.build(exported.mod, TEST_DEVICE,
+                              enable_library_dispatch=False)
+        vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+        x = np.random.default_rng(1).standard_normal((3, 16)).astype(np.float32)
+        out = vm.run("main", NDArray.from_numpy(x), *exported.concrete_params())
+        w_ref = dequantize_weight(layer.packed.data, layer.scales.data, 4, 8, 8)
+        np.testing.assert_allclose(out.numpy(), x @ w_ref, rtol=1e-4)
+        # ... and approximates the float weight.
+        assert np.abs(out.numpy() - x @ weight).max() < 0.5
+
+    def test_decode_fuses_into_matmul(self):
+        exported, _, _ = self._exported()
+        exe = transform.build(exported.mod, TEST_DEVICE,
+                              enable_library_dispatch=False,
+                              enable_cuda_graph=False)
+        fused = [f for f in exe.tir_funcs.values() if f.attrs.get("fused")]
+        assert fused, "decode+matmul must fuse"
+        assert all(len(f.stages) == 1 for f in fused), "decode inlined into FMA"
+
+    def test_no_library_dispatch_for_quantized_matmul(self):
+        exported, _, _ = self._exported()
+        exe = transform.build(exported.mod, TEST_DEVICE,
+                              enable_library_dispatch=True,
+                              enable_cuda_graph=False)
+        vm = VirtualMachine(exe, TEST_DEVICE, concrete=False)
+        vm.run("main", NDArray.abstract((4, 16), "f32"),
+               *exported.abstract_params())
+        assert vm.stats.lib_calls == 0, (
+            "quantized matmul must stay on the fused generated kernel"
+        )
+
+    def test_parameter_shapes(self):
+        layer = QuantizedLinear(64, 128, bits=4, group_size=32)
+        assert layer.packed.shape == (64, 16)
+        assert layer.scales.shape == (64, 4)

@@ -1,0 +1,112 @@
+"""Compile tiny transformer configs end-to-end and check against NumPy."""
+
+import numpy as np
+import pytest
+
+from repro import transform
+from repro.models import (
+    TINY_GEMMA,
+    TINY_LLAMA,
+    TINY_NEOX,
+    TINY_QWEN,
+    ReferenceLlama,
+    build_llama,
+    empty_caches,
+)
+from repro.runtime import NDArray, TEST_DEVICE, VirtualMachine
+
+RNG = np.random.default_rng(17)
+
+
+def _compile(cfg, **kwargs):
+    exported = build_llama(cfg)
+    exported.module.initialize(seed=5, scale=0.1)
+    exe = transform.build(exported.mod, TEST_DEVICE, **kwargs)
+    vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+    params = exported.concrete_params()
+    reference = ReferenceLlama(
+        cfg, {name: p.data for name, p in exported.param_order}
+    )
+    return vm, params, reference
+
+
+def _run(vm, fn, tokens, caches, params):
+    args = [NDArray.from_numpy(tokens)] + caches + params
+    result = vm.run(fn, *args)
+    logits = result[0].numpy()
+    new_caches = list(result[1:])
+    return logits, new_caches
+
+
+@pytest.mark.parametrize(
+    "cfg",
+    [TINY_LLAMA, TINY_NEOX, TINY_GEMMA, TINY_QWEN],
+    ids=["llama", "neox", "gemma", "qwen"],
+)
+def test_prefill_matches_reference(cfg):
+    vm, params, reference = _compile(cfg, enable_library_dispatch=False)
+    tokens = RNG.integers(0, cfg.vocab_size, size=(2, 5), dtype=np.int64)
+    caches = empty_caches(cfg, batch=2, concrete=True)
+    logits, _ = _run(vm, "prefill", tokens, caches, params)
+    ref_logits, _ = reference.forward(tokens, [c.numpy() for c in caches])
+    np.testing.assert_allclose(logits, ref_logits, rtol=1e-3, atol=1e-4)
+
+
+def test_decode_with_cache_matches_reference():
+    cfg = TINY_LLAMA
+    vm, params, reference = _compile(cfg, enable_library_dispatch=False)
+    tokens = RNG.integers(0, cfg.vocab_size, size=(1, 4), dtype=np.int64)
+    caches = empty_caches(cfg, batch=1, concrete=True)
+
+    # Prefill, then two decode steps, validating logits at each step.
+    logits, caches_vm = _run(vm, "prefill", tokens, caches, params)
+    ref_logits, ref_caches = reference.forward(tokens, [np.zeros((1, 0, cfg.num_kv_heads, cfg.head_dim), np.float32)] * (2 * cfg.num_layers))
+    np.testing.assert_allclose(logits, ref_logits, rtol=1e-3, atol=1e-4)
+
+    for step in range(2):
+        next_tok = RNG.integers(0, cfg.vocab_size, size=(1, 1), dtype=np.int64)
+        logits, caches_vm = _run(vm, "decode", next_tok, caches_vm, params)
+        ref_logits, ref_caches = reference.forward(next_tok, ref_caches)
+        np.testing.assert_allclose(logits, ref_logits, rtol=1e-3, atol=1e-4)
+        assert caches_vm[0].shape[1] == 4 + step + 1
+
+
+def test_decode_incremental_equals_full_prefill():
+    """Decoding token-by-token must match prefilling the whole sequence."""
+    cfg = TINY_LLAMA
+    vm, params, reference = _compile(cfg, enable_library_dispatch=False)
+    seq = RNG.integers(0, cfg.vocab_size, size=(1, 6), dtype=np.int64)
+
+    full_logits, _ = _run(
+        vm, "prefill", seq, empty_caches(cfg, 1, True), params
+    )
+
+    logits, caches = _run(
+        vm, "prefill", seq[:, :1], empty_caches(cfg, 1, True), params
+    )
+    for t in range(1, 6):
+        logits, caches = _run(vm, "decode", seq[:, t:t + 1], caches, params)
+    np.testing.assert_allclose(logits, full_logits, rtol=1e-3, atol=1e-4)
+
+
+def test_compiles_once_runs_any_batch_and_length():
+    cfg = TINY_LLAMA
+    vm, params, _ = _compile(cfg, enable_library_dispatch=False)
+    for batch, seqlen in [(1, 3), (2, 5), (4, 2)]:
+        tokens = RNG.integers(0, cfg.vocab_size, size=(batch, seqlen), dtype=np.int64)
+        logits, caches = _run(
+            vm, "prefill", tokens, empty_caches(cfg, batch, True), params
+        )
+        assert logits.shape == (batch, 1, cfg.vocab_size)
+        assert caches[0].shape == (batch, seqlen, cfg.num_kv_heads, cfg.head_dim)
+
+
+def test_library_path_matches_codegen_path():
+    cfg = TINY_LLAMA
+    vm_lib, params, reference = _compile(cfg, enable_library_dispatch=True)
+    tokens = RNG.integers(0, cfg.vocab_size, size=(1, 4), dtype=np.int64)
+    caches = empty_caches(cfg, 1, True)
+    logits, _ = _run(vm_lib, "prefill", tokens, caches, params)
+    ref_logits, _ = reference.forward(tokens, [c.numpy() for c in caches])
+    np.testing.assert_allclose(logits, ref_logits, rtol=1e-3, atol=1e-4)
+    assert vm_lib.stats.lib_calls > 0

@@ -1,0 +1,98 @@
+"""End-to-end 4-bit quantized model vs dequantized NumPy reference."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import transform
+from repro.frontend import dequantize_weight
+from repro.models import TINY_LLAMA, ReferenceLlama, build_llama, empty_caches
+from repro.runtime import NDArray, TEST_DEVICE, VirtualMachine
+
+RNG = np.random.default_rng(19)
+
+TINY_Q4 = dataclasses.replace(
+    TINY_LLAMA, name="tiny-llama-q4", quantize_bits=4, quantize_group=8
+)
+
+
+def _quantize_initialize(module):
+    """Initialize every QuantizedLinear from a float weight (so a NumPy
+    reference with the dequantized weights exists)."""
+    from repro.frontend import QuantizedLinear
+
+    rng = np.random.default_rng(3)
+    reference_weights = {}
+
+    def walk(mod, prefix):
+        for name, value in vars(mod).items():
+            path = f"{prefix}.{name}" if prefix else name
+            if isinstance(value, QuantizedLinear):
+                weight = rng.standard_normal(
+                    (value.in_features, value.out_features)
+                ).astype(np.float32) * 0.15
+                value.load_float_weight(weight)
+                reference_weights[f"{path}.weight"] = dequantize_weight(
+                    value.packed.data, value.scales.data,
+                    value.bits, value.group_size, value.out_features,
+                )
+            elif hasattr(value, "__dict__") and not isinstance(value, np.ndarray):
+                if not isinstance(value, (int, float, str, bool, type(None))):
+                    walk(value, path)
+            if isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if hasattr(item, "__dict__"):
+                        walk(item, f"{path}.{i}")
+
+    walk(module, "")
+    # Remaining (fp) parameters: embeddings and norms.
+    for name, param in module.named_parameters():
+        if param.data is None:
+            param.initialize(rng, scale=0.15)
+    return reference_weights
+
+
+def test_quantized_model_matches_dequantized_reference():
+    exported = build_llama(TINY_Q4)
+    ref_weights = _quantize_initialize(exported.module)
+
+    exe = transform.build(exported.mod, TEST_DEVICE,
+                          enable_library_dispatch=False)
+    vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+    params = exported.concrete_params()
+
+    # Build the reference table: dequantized projections + fp the rest.
+    table = dict(ref_weights)
+    for name, param in exported.param_order:
+        if name not in table and not name.endswith((".packed", ".scales")):
+            table[name] = param.data
+    reference = ReferenceLlama(TINY_Q4, table)
+
+    tokens = RNG.integers(0, TINY_Q4.vocab_size, size=(1, 4), dtype=np.int64)
+    caches = empty_caches(TINY_Q4, 1, concrete=True)
+    result = vm.run("prefill", NDArray.from_numpy(tokens), *caches, *params)
+    logits = result[0].numpy()
+
+    ref_logits, _ = reference.forward(tokens, [c.numpy() for c in caches])
+    np.testing.assert_allclose(logits, ref_logits, rtol=1e-3, atol=1e-3)
+
+
+def test_quantized_model_fuses_decodes():
+    exported = build_llama(TINY_Q4)
+    exe = transform.build(exported.mod, TEST_DEVICE,
+                          enable_library_dispatch=False,
+                          enable_cuda_graph=False)
+    fused = [f for f in exe.tir_funcs.values() if f.attrs.get("fused")]
+    # Every quantized projection fuses its decode into the matmul.
+    assert fused
+    decode_names = [n for n in exe.tir_funcs if n.startswith("decode_q")]
+    assert not decode_names, "no standalone decode kernels should remain"
+
+
+def test_quantized_weights_are_smaller():
+    exported_fp = build_llama(TINY_LLAMA)
+    exported_q4 = build_llama(TINY_Q4)
+    fp_bytes = exported_fp.param_bytes()
+    q4_bytes = exported_q4.param_bytes()
+    assert q4_bytes < fp_bytes

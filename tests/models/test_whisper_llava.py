@@ -1,0 +1,155 @@
+"""Whisper (encoder-decoder) and LLaVA (multimodal) end-to-end tests."""
+
+import numpy as np
+import pytest
+
+from repro import transform
+from repro.models import (
+    TINY_LLAVA,
+    TINY_WHISPER,
+    build_llava,
+    build_whisper,
+)
+from repro.runtime import NDArray, TEST_DEVICE, VirtualMachine
+
+RNG = np.random.default_rng(23)
+
+
+@pytest.fixture(scope="module")
+def whisper_vm():
+    exported = build_whisper(TINY_WHISPER)
+    exported.module.initialize(seed=4, scale=0.1)
+    exe = transform.build(exported.mod, TEST_DEVICE, enable_library_dispatch=False)
+    vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+    return vm, exported.concrete_params()
+
+
+@pytest.fixture(scope="module")
+def llava_vm():
+    exported = build_llava(TINY_LLAVA)
+    exported.module.initialize(seed=5, scale=0.1)
+    exe = transform.build(exported.mod, TEST_DEVICE, enable_library_dispatch=False)
+    vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+    return vm, exported.concrete_params()
+
+
+def _empty_whisper_caches(batch):
+    cfg = TINY_WHISPER
+    return [
+        NDArray.from_numpy(
+            np.zeros((batch, 0, cfg.num_heads, cfg.head_dim), np.float32)
+        )
+        for _ in range(2 * cfg.decoder_layers)
+    ]
+
+
+class TestWhisper:
+    def test_encode_shapes(self, whisper_vm):
+        vm, params = whisper_vm
+        cfg = TINY_WHISPER
+        mel = RNG.standard_normal((2, 12, cfg.n_mel)).astype(np.float32)
+        cross = vm.run("encode", NDArray.from_numpy(mel), *params)
+        assert len(cross) == 2 * cfg.decoder_layers
+        # 2x temporal downsampling in the frontend.
+        assert cross[0].shape == (2, 6, cfg.num_heads, cfg.head_dim)
+
+    def test_decode_steps_grow_cache(self, whisper_vm):
+        vm, params = whisper_vm
+        cfg = TINY_WHISPER
+        mel = RNG.standard_normal((1, 12, cfg.n_mel)).astype(np.float32)
+        cross = list(vm.run("encode", NDArray.from_numpy(mel), *params))
+        caches = _empty_whisper_caches(1)
+        for step in range(3):
+            tok = NDArray.from_numpy(np.array([[step + 1]], dtype=np.int64))
+            out = vm.run("decode", tok, *caches, *cross, *params)
+            logits, caches = out[0], list(out[1:])
+            assert logits.shape == (1, 1, cfg.vocab_size)
+            assert caches[0].shape[1] == step + 1
+            assert np.isfinite(logits.numpy()).all()
+
+    def test_decode_depends_on_audio(self, whisper_vm):
+        """Cross-attention must actually flow: different audio, different
+        logits for the same token."""
+        vm, params = whisper_vm
+        cfg = TINY_WHISPER
+        tok = NDArray.from_numpy(np.array([[3]], dtype=np.int64))
+
+        def logits_for(seed):
+            mel = np.random.default_rng(seed).standard_normal(
+                (1, 12, cfg.n_mel)
+            ).astype(np.float32)
+            cross = list(vm.run("encode", NDArray.from_numpy(mel), *params))
+            out = vm.run("decode", tok, *_empty_whisper_caches(1), *cross, *params)
+            return out[0].numpy()
+
+        a, b = logits_for(0), logits_for(1)
+        assert not np.allclose(a, b)
+
+    def test_variable_audio_length(self, whisper_vm):
+        """One compile serves different audio lengths (symbolic frames)."""
+        vm, params = whisper_vm
+        cfg = TINY_WHISPER
+        for frames in (4, 8, 12):
+            mel = RNG.standard_normal((1, frames, cfg.n_mel)).astype(np.float32)
+            cross = vm.run("encode", NDArray.from_numpy(mel), *params)
+            assert cross[0].shape[1] == frames // 2
+
+
+class TestLlava:
+    def test_image_embeddings_shape(self, llava_vm):
+        vm, params = llava_vm
+        vis, llm = TINY_LLAVA.vision, TINY_LLAVA.llm
+        patches = RNG.standard_normal(
+            (1, vis.num_patches, vis.patch_dim)
+        ).astype(np.float32)
+        embeds = vm.run("encode_image", NDArray.from_numpy(patches), *params)
+        assert embeds.shape == (1, vis.num_patches, llm.hidden_size)
+
+    def test_full_multimodal_generation(self, llava_vm):
+        """encode image -> prefill embeddings -> decode text tokens."""
+        vm, params = llava_vm
+        vis, llm = TINY_LLAVA.vision, TINY_LLAVA.llm
+        patches = RNG.standard_normal(
+            (1, vis.num_patches, vis.patch_dim)
+        ).astype(np.float32)
+        embeds = vm.run("encode_image", NDArray.from_numpy(patches), *params)
+
+        caches = [
+            NDArray.from_numpy(
+                np.zeros((1, 0, llm.num_kv_heads, llm.head_dim), np.float32)
+            )
+            for _ in range(2 * llm.num_layers)
+        ]
+        out = vm.run("prefill_embeds", embeds, *caches, *params)
+        logits, caches = out[0], list(out[1:])
+        assert caches[0].shape[1] == vis.num_patches
+
+        for _ in range(2):
+            tok = int(logits.numpy()[0, -1].argmax())
+            out = vm.run(
+                "decode",
+                NDArray.from_numpy(np.array([[tok]], dtype=np.int64)),
+                *caches, *params,
+            )
+            logits, caches = out[0], list(out[1:])
+        assert np.isfinite(logits.numpy()).all()
+
+    def test_image_changes_generation(self, llava_vm):
+        vm, params = llava_vm
+        vis, llm = TINY_LLAVA.vision, TINY_LLAVA.llm
+
+        def first_logits(seed):
+            patches = np.random.default_rng(seed).standard_normal(
+                (1, vis.num_patches, vis.patch_dim)
+            ).astype(np.float32)
+            embeds = vm.run("encode_image", NDArray.from_numpy(patches), *params)
+            caches = [
+                NDArray.from_numpy(
+                    np.zeros((1, 0, llm.num_kv_heads, llm.head_dim), np.float32)
+                )
+                for _ in range(2 * llm.num_layers)
+            ]
+            out = vm.run("prefill_embeds", embeds, *caches, *params)
+            return out[0].numpy()
+
+        assert not np.allclose(first_logits(0), first_logits(1))

@@ -1,0 +1,44 @@
+"""Shared helpers: legalize an operator call and execute it on NumPy data."""
+
+import numpy as np
+
+from repro import dtypes, sym, tir
+from repro.core import TensorAnn, Var
+from repro.ops import finalize_prim_func
+
+
+def var_of(array: np.ndarray, shape=None, name="x") -> Var:
+    """Graph variable annotated with (optionally symbolic) shape."""
+    dtype = dtypes.from_numpy(array.dtype)
+    ann_shape = shape if shape is not None else tuple(int(d) for d in array.shape)
+    return Var(name, TensorAnn(ann_shape, dtype))
+
+
+def run_legalized(call, arrays, sym_bindings=None):
+    """Legalize ``call`` and run the tensor program on ``arrays``.
+
+    ``call.args`` must be Vars created by :func:`var_of` in the same order
+    as ``arrays`` (extra non-tensor args like ShapeExpr are skipped).
+    Returns the output array.
+    """
+    op = call.op
+    legalized = op.legalize(call)
+    func = finalize_prim_func(legalized.prim_func)
+
+    bindings = dict(sym_bindings or {})
+    # Infer single-variable symbolic dims from the concrete input arrays.
+    tensor_args = [a for a in call.args if isinstance(a, Var)]
+    for arg, arr in zip(tensor_args, arrays):
+        ann = arg.ann
+        if isinstance(ann, TensorAnn) and ann.shape is not None:
+            for dim, actual in zip(ann.shape, arr.shape):
+                if isinstance(dim, sym.SymVar) and dim not in bindings:
+                    bindings[dim] = int(actual)
+    out_ann = legalized.out_ann
+    out_shape = tuple(
+        sym.evaluate(d, bindings) if not sym.is_static(d) else sym.as_static_int(sym.simplify(d))
+        for d in out_ann.shape
+    )
+    out = np.zeros(out_shape, dtype=dtypes.to_numpy(out_ann.dtype))
+    tir.run_prim_func(func, list(arrays) + [out], sym_bindings=bindings)
+    return out

@@ -1,0 +1,194 @@
+"""Elementwise / binary / matmul operators: deduction and legalization."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import ops, sym
+from repro.core import TensorAnn
+
+from .helpers import run_legalized, var_of
+
+
+RNG = np.random.default_rng(42)
+
+
+class TestUnary:
+    @pytest.mark.parametrize(
+        "make,ref",
+        [
+            (ops.exp, np.exp),
+            (ops.log, np.log),
+            (ops.sqrt, np.sqrt),
+            (ops.rsqrt, lambda x: 1 / np.sqrt(x)),
+            (ops.tanh, np.tanh),
+            (ops.sigmoid, lambda x: 1 / (1 + np.exp(-x))),
+            (ops.relu, lambda x: np.maximum(x, 0)),
+            (ops.negative, lambda x: -x),
+            (ops.abs_, np.abs),
+        ],
+    )
+    def test_unary_matches_numpy(self, make, ref):
+        x = RNG.standard_normal((3, 5)).astype(np.float32)
+        if make is ops.log:
+            x = np.abs(x) + 1.0
+        elif make is ops.sqrt:
+            x = np.abs(x)
+        elif make is ops.rsqrt:
+            x = np.abs(x) + 1.0
+        call = make(var_of(x))
+        got = run_legalized(call, [x])
+        np.testing.assert_allclose(got, ref(x), rtol=1e-5, atol=1e-6)
+
+    def test_silu(self):
+        x = RNG.standard_normal((4,)).astype(np.float32)
+        got = run_legalized(ops.silu(var_of(x)), [x])
+        np.testing.assert_allclose(got, x / (1 + np.exp(-x)), rtol=1e-5)
+
+    def test_gelu(self):
+        x = RNG.standard_normal((4,)).astype(np.float32)
+        got = run_legalized(ops.gelu(var_of(x)), [x])
+        want = np.array([v * 0.5 * (1 + math.erf(v / math.sqrt(2))) for v in x])
+        np.testing.assert_allclose(got, want, rtol=1e-5)
+
+    def test_astype(self):
+        x = RNG.standard_normal((4,)).astype(np.float32)
+        call = ops.astype(var_of(x), "f16")
+        assert call.op.deduce(call).dtype == "f16"
+        got = run_legalized(call, [x])
+        assert got.dtype == np.float16
+
+    def test_unary_symbolic_shape_deduction(self):
+        n = sym.SymVar("n")
+        x = var_of(np.zeros((3, 4), np.float32), shape=(n, 4))
+        ann = ops.exp(x).op.deduce(ops.exp(x))
+        assert sym.prove_equal(ann.shape[0], n)
+
+
+class TestBinary:
+    def test_add_same_shape(self):
+        a = RNG.standard_normal((2, 3)).astype(np.float32)
+        b = RNG.standard_normal((2, 3)).astype(np.float32)
+        got = run_legalized(ops.add(var_of(a), var_of(b)), [a, b])
+        np.testing.assert_allclose(got, a + b, rtol=1e-6)
+
+    def test_broadcast_row(self):
+        a = RNG.standard_normal((2, 3)).astype(np.float32)
+        b = RNG.standard_normal((3,)).astype(np.float32)
+        got = run_legalized(ops.multiply(var_of(a), var_of(b)), [a, b])
+        np.testing.assert_allclose(got, a * b, rtol=1e-6)
+
+    def test_broadcast_static_one(self):
+        a = RNG.standard_normal((2, 1)).astype(np.float32)
+        b = RNG.standard_normal((2, 4)).astype(np.float32)
+        got = run_legalized(ops.add(var_of(a), var_of(b)), [a, b])
+        np.testing.assert_allclose(got, a + b, rtol=1e-6)
+
+    def test_symbolic_broadcast_deduce(self):
+        n = sym.SymVar("n")
+        a = var_of(np.zeros((3, 4), np.float32), shape=(n, 4), name="a")
+        b = var_of(np.zeros((4,), np.float32), name="b")
+        ann = ops.add(a, b).op.deduce(ops.add(a, b))
+        assert sym.prove_equal(ann.shape[0], n)
+
+    def test_incompatible_dims_rejected(self):
+        a = var_of(np.zeros((3, 4), np.float32), name="a")
+        b = var_of(np.zeros((3, 5), np.float32), name="b")
+        with pytest.raises(ValueError):
+            ops.add(a, b).op.deduce(ops.add(a, b))
+
+    def test_symbolic_dims_must_prove_equal(self):
+        n, m = sym.SymVar("n"), sym.SymVar("m")
+        a = var_of(np.zeros((3, 4), np.float32), shape=(n, 4), name="a")
+        b = var_of(np.zeros((3, 4), np.float32), shape=(m, 4), name="b")
+        with pytest.raises(ValueError):
+            ops.add(a, b).op.deduce(ops.add(a, b))
+
+    def test_dtype_mismatch_rejected(self):
+        a = var_of(np.zeros((3,), np.float32), name="a")
+        b = var_of(np.zeros((3,), np.int32), name="b")
+        with pytest.raises(TypeError):
+            ops.add(a, b).op.deduce(ops.add(a, b))
+
+    def test_divide_maximum_minimum_power(self):
+        a = np.abs(RNG.standard_normal((5,))).astype(np.float32) + 1.0
+        b = np.abs(RNG.standard_normal((5,))).astype(np.float32) + 1.0
+        np.testing.assert_allclose(
+            run_legalized(ops.divide(var_of(a), var_of(b)), [a, b]), a / b, rtol=1e-6
+        )
+        np.testing.assert_allclose(
+            run_legalized(ops.maximum(var_of(a), var_of(b)), [a, b]),
+            np.maximum(a, b),
+        )
+        np.testing.assert_allclose(
+            run_legalized(ops.minimum(var_of(a), var_of(b)), [a, b]),
+            np.minimum(a, b),
+        )
+        np.testing.assert_allclose(
+            run_legalized(ops.power(var_of(a), var_of(b)), [a, b]),
+            np.power(a, b),
+            rtol=1e-5,
+        )
+
+
+class TestMatmul:
+    def test_2d(self):
+        a = RNG.standard_normal((3, 4)).astype(np.float32)
+        b = RNG.standard_normal((4, 5)).astype(np.float32)
+        got = run_legalized(ops.matmul(var_of(a, name="a"), var_of(b, name="b")), [a, b])
+        np.testing.assert_allclose(got, a @ b, rtol=1e-5)
+
+    def test_symbolic_rows(self):
+        n = sym.SymVar("n")
+        a = RNG.standard_normal((3, 4)).astype(np.float32)
+        b = RNG.standard_normal((4, 5)).astype(np.float32)
+        call = ops.matmul(var_of(a, shape=(n, 4), name="a"), var_of(b, name="b"))
+        ann = call.op.deduce(call)
+        assert sym.prove_equal(ann.shape[0], n)
+        got = run_legalized(call, [a, b])
+        np.testing.assert_allclose(got, a @ b, rtol=1e-5)
+
+    def test_batched(self):
+        a = RNG.standard_normal((2, 3, 4)).astype(np.float32)
+        b = RNG.standard_normal((2, 4, 5)).astype(np.float32)
+        got = run_legalized(ops.matmul(var_of(a, name="a"), var_of(b, name="b")), [a, b])
+        np.testing.assert_allclose(got, a @ b, rtol=1e-5)
+
+    def test_batched_broadcast(self):
+        a = RNG.standard_normal((2, 3, 4)).astype(np.float32)
+        b = RNG.standard_normal((4, 5)).astype(np.float32)
+        got = run_legalized(ops.matmul(var_of(a, name="a"), var_of(b, name="b")), [a, b])
+        np.testing.assert_allclose(got, a @ b, rtol=1e-5)
+
+    def test_4d_attention_shape(self):
+        # (b, h, s, d) @ (b, h, d, s2): the attention-scores matmul.
+        a = RNG.standard_normal((2, 2, 3, 4)).astype(np.float32)
+        b = RNG.standard_normal((2, 2, 4, 6)).astype(np.float32)
+        got = run_legalized(ops.matmul(var_of(a, name="a"), var_of(b, name="b")), [a, b])
+        np.testing.assert_allclose(got, a @ b, rtol=1e-5)
+
+    def test_contraction_mismatch_rejected(self):
+        a = var_of(np.zeros((3, 4), np.float32), name="a")
+        b = var_of(np.zeros((5, 6), np.float32), name="b")
+        with pytest.raises(ValueError):
+            ops.matmul(a, b).op.deduce(ops.matmul(a, b))
+
+    def test_out_dtype(self):
+        a = RNG.standard_normal((2, 3)).astype(np.float16)
+        b = RNG.standard_normal((3, 2)).astype(np.float16)
+        call = ops.matmul(var_of(a, name="a"), var_of(b, name="b"), out_dtype="f32")
+        assert call.op.deduce(call).dtype == "f32"
+        got = run_legalized(call, [a, b])
+        assert got.dtype == np.float32
+
+    def test_matmul_pattern_is_fusible(self):
+        from repro import tir
+        from repro.ops import finalize_prim_func
+
+        a = var_of(np.zeros((3, 4), np.float32), name="a")
+        b = var_of(np.zeros((4, 5), np.float32), name="b")
+        call = ops.matmul(a, b)
+        legalized = call.op.legalize(call)
+        func = finalize_prim_func(legalized.prim_func)
+        assert tir.pattern_kind(func) == tir.PatternKind.OUT_EWISE_FUSIBLE

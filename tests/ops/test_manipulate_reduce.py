@@ -1,0 +1,201 @@
+"""Shape manipulation and reduction operators."""
+
+import numpy as np
+import pytest
+
+from repro import ops, sym
+from repro.core import ShapeExpr, TensorAnn, TupleAnn
+
+from .helpers import run_legalized, var_of
+
+RNG = np.random.default_rng(7)
+
+
+class TestReshape:
+    def test_fig3_reshape(self):
+        # Figure 3: reshape((n, 2, 2) -> (n, 4)) with the target as a
+        # first-class symbolic shape value.
+        n = sym.SymVar("n")
+        x = RNG.standard_normal((3, 2, 2)).astype(np.float32)
+        xv = var_of(x, shape=(n, 2, 2))
+        call = ops.reshape(xv, ShapeExpr([n, 4]))
+        ann = call.op.deduce(call)
+        assert sym.prove_equal(ann.shape[0], n)
+        assert sym.as_static_int(ann.shape[1]) == 4
+        got = run_legalized(call, [x])
+        np.testing.assert_allclose(got, x.reshape(3, 4))
+
+    def test_static_mismatch_rejected(self):
+        x = var_of(np.zeros((3, 4), np.float32))
+        call = ops.reshape(x, ShapeExpr([5, 2]))
+        with pytest.raises(ValueError):
+            call.op.deduce(call)
+
+    def test_reshape_2d_to_3d(self):
+        x = RNG.standard_normal((4, 6)).astype(np.float32)
+        call = ops.reshape(var_of(x), ShapeExpr([4, 2, 3]))
+        got = run_legalized(call, [x])
+        np.testing.assert_allclose(got, x.reshape(4, 2, 3))
+
+
+class TestFlatten:
+    def test_flatten_symbolic_count(self):
+        # Figure 3: flatten((n, 4)) has n*4 elements.
+        n = sym.SymVar("n")
+        x = RNG.standard_normal((3, 4)).astype(np.float32)
+        call = ops.flatten(var_of(x, shape=(n, 4)))
+        ann = call.op.deduce(call)
+        assert sym.prove_equal(ann.shape[0], n * 4)
+        got = run_legalized(call, [x])
+        np.testing.assert_allclose(got, x.reshape(-1))
+
+
+class TestPermuteTakeEtc:
+    def test_permute(self):
+        x = RNG.standard_normal((2, 3, 4)).astype(np.float32)
+        call = ops.permute_dims(var_of(x), (2, 0, 1))
+        got = run_legalized(call, [x])
+        np.testing.assert_allclose(got, x.transpose(2, 0, 1))
+
+    def test_permute_bad_axes(self):
+        call = ops.permute_dims(var_of(np.zeros((2, 3), np.float32)), (0, 0))
+        with pytest.raises(ValueError):
+            call.op.deduce(call)
+
+    def test_expand_squeeze_roundtrip(self):
+        x = RNG.standard_normal((2, 3)).astype(np.float32)
+        ex = ops.expand_dims(var_of(x), 1)
+        got = run_legalized(ex, [x])
+        np.testing.assert_allclose(got, x[:, None, :])
+        sq = ops.squeeze(var_of(got), 1)
+        got2 = run_legalized(sq, [got])
+        np.testing.assert_allclose(got2, x)
+
+    def test_squeeze_non_unit_rejected(self):
+        call = ops.squeeze(var_of(np.zeros((2, 3), np.float32)), 1)
+        with pytest.raises(ValueError):
+            call.op.deduce(call)
+
+    def test_broadcast_to(self):
+        x = RNG.standard_normal((1, 3)).astype(np.float32)
+        call = ops.broadcast_to(var_of(x), ShapeExpr([4, 3]))
+        got = run_legalized(call, [x])
+        np.testing.assert_allclose(got, np.broadcast_to(x, (4, 3)))
+
+    def test_take_embedding(self):
+        table = RNG.standard_normal((10, 4)).astype(np.float32)
+        idx = np.array([1, 5, 5, 2], dtype=np.int64)
+        call = ops.take(var_of(table, name="t"), var_of(idx, name="i"))
+        ann = call.op.deduce(call)
+        assert sym.as_static_int(ann.shape[0]) == 4
+        got = run_legalized(call, [table, idx])
+        np.testing.assert_allclose(got, table[idx])
+
+    def test_take_symbolic_indices(self):
+        n = sym.SymVar("n")
+        table = RNG.standard_normal((10, 4)).astype(np.float32)
+        idx = np.array([0, 9], dtype=np.int64)
+        call = ops.take(
+            var_of(table, name="t"), var_of(idx, shape=(n,), name="i")
+        )
+        ann = call.op.deduce(call)
+        assert sym.prove_equal(ann.shape[0], n)
+        got = run_legalized(call, [table, idx])
+        np.testing.assert_allclose(got, table[idx])
+
+    def test_take_axis1(self):
+        x = RNG.standard_normal((3, 8)).astype(np.float32)
+        idx = np.array([7, 0], dtype=np.int64)
+        call = ops.take(var_of(x, name="x"), var_of(idx, name="i"), axis=1)
+        got = run_legalized(call, [x, idx])
+        np.testing.assert_allclose(got, x[:, idx])
+
+
+class TestConcatSplit:
+    def test_concat_axis0_symbolic(self):
+        n, m = sym.SymVar("n"), sym.SymVar("m")
+        a = RNG.standard_normal((2, 4)).astype(np.float32)
+        b = RNG.standard_normal((3, 4)).astype(np.float32)
+        call = ops.concat(
+            [var_of(a, shape=(n, 4), name="a"), var_of(b, shape=(m, 4), name="b")],
+            axis=0,
+        )
+        ann = call.op.deduce(call)
+        assert sym.prove_equal(ann.shape[0], n + m)
+        got = run_legalized(call, [a, b])
+        np.testing.assert_allclose(got, np.concatenate([a, b], axis=0))
+
+    def test_concat_kv_cache_pattern(self):
+        # Decode-step pattern: (b, m, d) cache ++ (b, 1, d) new = (b, m+1, d).
+        m = sym.SymVar("m")
+        cache = RNG.standard_normal((2, 5, 4)).astype(np.float32)
+        new = RNG.standard_normal((2, 1, 4)).astype(np.float32)
+        call = ops.concat(
+            [var_of(cache, shape=(2, m, 4), name="c"), var_of(new, name="n")],
+            axis=1,
+        )
+        ann = call.op.deduce(call)
+        assert sym.prove_equal(ann.shape[1], m + 1)
+        got = run_legalized(call, [cache, new])
+        np.testing.assert_allclose(got, np.concatenate([cache, new], axis=1))
+
+    def test_concat_mismatch_rejected(self):
+        a = var_of(np.zeros((2, 4), np.float32), name="a")
+        b = var_of(np.zeros((2, 5), np.float32), name="b")
+        call = ops.concat([a, b], axis=0)
+        with pytest.raises(ValueError):
+            call.op.deduce(call)
+
+    def test_split_deduce(self):
+        n = sym.SymVar("n")
+        x = var_of(np.zeros((4, 6), np.float32), shape=(n, 6))
+        call = ops.split(x, 3, axis=1)
+        ann = call.op.deduce(call)
+        assert isinstance(ann, TupleAnn)
+        assert len(ann.fields) == 3
+        assert sym.as_static_int(sym.simplify(ann.fields[0].shape[1])) == 2
+        assert sym.prove_equal(ann.fields[0].shape[0], n)
+
+
+class TestReduce:
+    def test_sum_axis(self):
+        x = RNG.standard_normal((3, 5)).astype(np.float32)
+        got = run_legalized(ops.sum_(var_of(x), axis=1), [x])
+        np.testing.assert_allclose(got, x.sum(axis=1), rtol=1e-5)
+
+    def test_sum_all(self):
+        x = RNG.standard_normal((3, 5)).astype(np.float32)
+        got = run_legalized(ops.sum_(var_of(x)), [x])
+        np.testing.assert_allclose(got, x.sum(), rtol=1e-5)
+
+    def test_sum_keepdims(self):
+        x = RNG.standard_normal((3, 5)).astype(np.float32)
+        call = ops.sum_(var_of(x), axis=1, keepdims=True)
+        ann = call.op.deduce(call)
+        assert sym.as_static_int(ann.shape[1]) == 1
+        got = run_legalized(call, [x])
+        np.testing.assert_allclose(got, x.sum(axis=1, keepdims=True), rtol=1e-5)
+
+    def test_max_min(self):
+        x = RNG.standard_normal((3, 5)).astype(np.float32)
+        np.testing.assert_allclose(
+            run_legalized(ops.max_(var_of(x), axis=0), [x]), x.max(axis=0)
+        )
+        np.testing.assert_allclose(
+            run_legalized(ops.min_(var_of(x), axis=0), [x]), x.min(axis=0)
+        )
+
+    def test_mean(self):
+        x = RNG.standard_normal((3, 5)).astype(np.float32)
+        got = run_legalized(ops.mean(var_of(x), axis=1), [x])
+        np.testing.assert_allclose(got, x.mean(axis=1), rtol=1e-5)
+
+    def test_negative_axis(self):
+        x = RNG.standard_normal((3, 5)).astype(np.float32)
+        got = run_legalized(ops.sum_(var_of(x), axis=-1), [x])
+        np.testing.assert_allclose(got, x.sum(axis=-1), rtol=1e-5)
+
+    def test_bad_axis_rejected(self):
+        call = ops.sum_(var_of(np.zeros((3,), np.float32)), axis=2)
+        with pytest.raises(ValueError):
+            call.op.deduce(call)

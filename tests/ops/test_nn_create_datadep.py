@@ -1,0 +1,226 @@
+"""NN ops (softmax, norms, RoPE, masks), creation ops and data-dependent ops."""
+
+import numpy as np
+import pytest
+
+from repro import ops, sym, tir
+from repro.core import TensorAnn
+from repro.ops import finalize_prim_func
+
+from .helpers import run_legalized, var_of
+
+RNG = np.random.default_rng(11)
+
+
+def _softmax_ref(x):
+    e = np.exp(x - x.max(axis=-1, keepdims=True))
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+class TestSoftmax:
+    def test_2d(self):
+        x = RNG.standard_normal((3, 6)).astype(np.float32)
+        got = run_legalized(ops.softmax(var_of(x)), [x])
+        np.testing.assert_allclose(got, _softmax_ref(x), rtol=1e-5)
+
+    def test_4d_attention_scores(self):
+        x = RNG.standard_normal((2, 2, 3, 5)).astype(np.float32)
+        got = run_legalized(ops.softmax(var_of(x)), [x])
+        np.testing.assert_allclose(got, _softmax_ref(x), rtol=1e-5)
+
+    def test_1d(self):
+        x = RNG.standard_normal((7,)).astype(np.float32)
+        got = run_legalized(ops.softmax(var_of(x)), [x])
+        np.testing.assert_allclose(got, _softmax_ref(x), rtol=1e-5)
+
+
+class TestNorms:
+    def test_rms_norm(self):
+        x = RNG.standard_normal((3, 8)).astype(np.float32)
+        w = RNG.standard_normal((8,)).astype(np.float32)
+        got = run_legalized(
+            ops.rms_norm(var_of(x, name="x"), var_of(w, name="w"), eps=1e-5),
+            [x, w],
+        )
+        want = x / np.sqrt((x**2).mean(axis=-1, keepdims=True) + 1e-5) * w
+        np.testing.assert_allclose(got, want, rtol=1e-4)
+
+    def test_layer_norm(self):
+        x = RNG.standard_normal((3, 8)).astype(np.float32)
+        g = RNG.standard_normal((8,)).astype(np.float32)
+        b = RNG.standard_normal((8,)).astype(np.float32)
+        got = run_legalized(
+            ops.layer_norm(var_of(x, name="x"), var_of(g, name="g"), var_of(b, name="b")),
+            [x, g, b],
+        )
+        mu = x.mean(axis=-1, keepdims=True)
+        var = ((x - mu) ** 2).mean(axis=-1, keepdims=True)
+        want = (x - mu) / np.sqrt(var + 1e-5) * g + b
+        np.testing.assert_allclose(got, want, rtol=1e-4)
+
+    def test_rms_norm_symbolic_rows(self):
+        n = sym.SymVar("n")
+        x = RNG.standard_normal((4, 8)).astype(np.float32)
+        w = np.ones(8, dtype=np.float32)
+        call = ops.rms_norm(var_of(x, shape=(n, 8), name="x"), var_of(w, name="w"))
+        ann = call.op.deduce(call)
+        assert sym.prove_equal(ann.shape[0], n)
+        got = run_legalized(call, [x, w])
+        want = x / np.sqrt((x**2).mean(axis=-1, keepdims=True) + 1e-5)
+        np.testing.assert_allclose(got, want, rtol=1e-4)
+
+
+def _rope_ref(x, offset, theta=10000.0):
+    b, s, h, d = x.shape
+    half = d // 2
+    pos = np.arange(s)[:, None] + offset
+    freqs = theta ** (-2.0 * (np.arange(d) % half) / (2 * half))
+    angle = (pos * freqs).astype(np.float32)  # (s, d)
+    rotated = np.concatenate([-x[..., half:], x[..., :half]], axis=-1)
+    return x * np.cos(angle)[None, :, None, :] + rotated * np.sin(angle)[None, :, None, :]
+
+
+class TestRope:
+    def test_rope_zero_offset(self):
+        x = RNG.standard_normal((2, 3, 2, 8)).astype(np.float32)
+        got = run_legalized(ops.rope(var_of(x)), [x])
+        np.testing.assert_allclose(got, _rope_ref(x, 0), rtol=1e-4, atol=1e-5)
+
+    def test_rope_static_offset(self):
+        x = RNG.standard_normal((1, 2, 2, 8)).astype(np.float32)
+        got = run_legalized(ops.rope(var_of(x), offset=5), [x])
+        np.testing.assert_allclose(got, _rope_ref(x, 5), rtol=1e-4, atol=1e-5)
+
+    def test_rope_symbolic_offset_needs_sym_param(self):
+        # The decode-phase pattern: offset is the (symbolic) KV length m,
+        # not inferable from any buffer shape -> explicit symbolic param
+        # (the Fig. 8 extra-argument pattern).
+        m = sym.SymVar("m")
+        x = RNG.standard_normal((1, 1, 2, 8)).astype(np.float32)
+        call = ops.rope(var_of(x), offset=m)
+        legalized = call.op.legalize(call)
+        func = finalize_prim_func(legalized.prim_func)
+        assert [v.name for v in func.sym_params] == ["m"]
+        got = run_legalized(call, [x], sym_bindings={m: 5})
+        np.testing.assert_allclose(got, _rope_ref(x, 5), rtol=1e-4, atol=1e-5)
+
+
+class TestCausalMask:
+    def test_square_mask(self):
+        call = ops.causal_mask(4, 4)
+        got = run_legalized(call, [])
+        want = np.where(np.tril(np.ones((4, 4))), 0.0, -1e9).astype(np.float32)
+        np.testing.assert_allclose(got, want)
+
+    def test_prefill_with_history(self):
+        # 2 queries attending to 5 keys: queries align to the end.
+        call = ops.causal_mask(2, 5)
+        got = run_legalized(call, [])
+        want = np.full((2, 5), -1e9, dtype=np.float32)
+        want[0, :4] = 0.0
+        want[1, :5] = 0.0
+        np.testing.assert_allclose(got, want)
+
+    def test_symbolic_sizes(self):
+        s, m = sym.SymVar("s"), sym.SymVar("m")
+        call = ops.causal_mask(s, m)
+        legalized = call.op.legalize(call)
+        func = finalize_prim_func(legalized.prim_func)
+        # Both dims appear on the output buffer: inferable, no sym params.
+        assert func.sym_params == []
+        got = run_legalized(call, [], sym_bindings={s: 3, m: 3})
+        want = np.where(np.tril(np.ones((3, 3))), 0.0, -1e9).astype(np.float32)
+        np.testing.assert_allclose(got, want)
+
+
+class TestCreate:
+    def test_zeros_ones_full(self):
+        got = run_legalized(ops.full((2, 3), 2.5, "f32"), [])
+        np.testing.assert_allclose(got, np.full((2, 3), 2.5, np.float32))
+        got = run_legalized(ops.zeros((4,), "f32"), [])
+        np.testing.assert_allclose(got, np.zeros(4, np.float32))
+
+    def test_symbolic_fill_needs_sym_param(self):
+        n = sym.SymVar("n")
+        call = ops.full((n,), 1.0, "f32")
+        legalized = call.op.legalize(call)
+        func = finalize_prim_func(legalized.prim_func)
+        # n appears on the output buffer so it is inferable.
+        assert func.sym_params == []
+        got = run_legalized(call, [], sym_bindings={n: 5})
+        np.testing.assert_allclose(got, np.ones(5, np.float32))
+
+    def test_arange(self):
+        got = run_legalized(ops.arange(5), [])
+        np.testing.assert_array_equal(got, np.arange(5))
+
+    def test_arange_symbolic_start(self):
+        m = sym.SymVar("m")
+        call = ops.arange(3, start=m)
+        legalized = call.op.legalize(call)
+        func = finalize_prim_func(legalized.prim_func)
+        assert [v.name for v in func.sym_params] == ["m"]
+        got = run_legalized(call, [], sym_bindings={m: 10})
+        np.testing.assert_array_equal(got, np.array([10, 11, 12]))
+
+
+class TestDataDependent:
+    def test_unique_deduces_coarse(self):
+        # Figure 3's unique: ndim known, length unknown.
+        n = sym.SymVar("n")
+        x = var_of(np.zeros((4,), np.float32), shape=(n,))
+        call = ops.unique(x)
+        ann = call.op.deduce(call)
+        assert isinstance(ann, TensorAnn)
+        assert ann.shape is None and ann.ndim == 1 and ann.dtype == "f32"
+
+    def test_unique_has_no_tensor_program(self):
+        assert ops.unique(var_of(np.zeros(3, np.float32))).op.legalize is None
+        assert ops.unique_op.extern_name == "vm.builtin.unique"
+
+    def test_argmax(self):
+        x = RNG.standard_normal((3, 7)).astype(np.float32)
+        got = run_legalized(ops.argmax(var_of(x)), [x])
+        np.testing.assert_array_equal(got, x.argmax(axis=-1))
+
+    def test_argmax_1d(self):
+        x = RNG.standard_normal((9,)).astype(np.float32)
+        got = run_legalized(ops.argmax(var_of(x)), [x])
+        assert got.shape == (1,)
+        assert got[0] == x.argmax()
+
+
+class TestPatternKinds:
+    """End-to-end: legalized ops classify as the paper expects (§4.2)."""
+
+    def _kind(self, call):
+        legalized = call.op.legalize(call)
+        return tir.pattern_kind(finalize_prim_func(legalized.prim_func))
+
+    def test_elementwise_ops(self):
+        x = var_of(np.zeros((3, 4), np.float32))
+        assert self._kind(ops.relu(x)) == tir.PatternKind.ELEMENT_WISE
+        assert self._kind(ops.exp(x)) == tir.PatternKind.ELEMENT_WISE
+
+    def test_broadcast_binary(self):
+        a = var_of(np.zeros((3, 4), np.float32), name="a")
+        b = var_of(np.zeros((4,), np.float32), name="b")
+        assert self._kind(ops.add(a, b)) == tir.PatternKind.ELEMENT_WISE
+
+    def test_injective_ops(self):
+        x = var_of(np.zeros((3, 4), np.float32))
+        assert self._kind(ops.flatten(x)) == tir.PatternKind.INJECTIVE
+        assert self._kind(ops.permute_dims(x, (1, 0))) == tir.PatternKind.INJECTIVE
+
+    def test_reduction_ops(self):
+        x = var_of(np.zeros((3, 4), np.float32))
+        assert self._kind(ops.sum_(x, axis=1)) == tir.PatternKind.REDUCTION
+
+    def test_take_is_opaque(self):
+        t = var_of(np.zeros((5, 2), np.float32), name="t")
+        i = var_of(np.zeros((3,), np.int64), name="i")
+        assert self._kind(ops.take(t, i)) == tir.PatternKind.OPAQUE
+
+    def test_softmax_is_opaque(self):
+        x = var_of(np.zeros((3, 4), np.float32))
+        assert self._kind(ops.softmax(x)) == tir.PatternKind.OPAQUE

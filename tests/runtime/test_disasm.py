@@ -1,0 +1,48 @@
+"""Executable disassembly."""
+
+import numpy as np
+
+from repro import ops, transform
+from repro.core import BlockBuilder, TensorAnn, const
+from repro.runtime import disassemble, disassemble_function
+
+
+def _exe():
+    bb = BlockBuilder()
+    with bb.function("main", {"x": TensorAnn(("n", 4), "f32")}) as frame:
+        (x,) = frame.params
+        w = const(np.ones((4, 4), np.float32))
+        with bb.dataflow():
+            h = bb.emit(ops.matmul(x, w))
+            h = bb.emit(ops.relu(h))
+            gv = bb.emit_output(h)
+        bb.emit_func_output(gv)
+    from repro.runtime import TEST_DEVICE
+
+    return transform.build(bb.get(), TEST_DEVICE,
+                           sym_var_upper_bounds={"n": 64})
+
+
+def test_disassemble_contains_instruction_forms():
+    text = disassemble(_exe())
+    assert "func @main(" in text
+    assert "match_shape r0" in text
+    assert "alloc_storage" in text
+    assert "alloc_tensor" in text
+    assert "call_lib" in text or "call_tir" in text
+    assert "ret r" in text
+    assert "tensor programs:" in text or "constants:" in text
+
+
+def test_disassemble_shape_heap_ops():
+    exe = _exe()
+    text = disassemble_function(exe.functions["main"])
+    assert "shape_heap=" in text
+    # Symbolic n flows through the heap.
+    assert "heap[0]" in text
+
+
+def test_cuda_graph_attr_visible():
+    exe = _exe()
+    text = disassemble_function(exe.functions["main"])
+    assert "cuda_graph" in text

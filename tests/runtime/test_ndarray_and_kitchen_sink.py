@@ -1,0 +1,105 @@
+"""NDArray/Storage/ShapeTuple basics and the everything-on integration."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import transform
+from repro.models import TINY_LLAMA, build_llama, empty_caches
+from repro.runtime import NDArray, ShapeTuple, Storage, TEST_DEVICE, VirtualMachine
+
+
+class TestNDArray:
+    def test_from_numpy_preserves_0d(self):
+        a = NDArray.from_numpy(np.float32(3.5))
+        assert a.shape == ()
+        assert a.numpy() == np.float32(3.5)
+
+    def test_from_numpy_makes_contiguous(self):
+        x = np.arange(12, dtype=np.float32).reshape(3, 4).T  # non-contiguous
+        a = NDArray.from_numpy(x)
+        assert a.data.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(a.numpy(), x)
+
+    def test_abstract_has_no_data(self):
+        a = NDArray.abstract((2, 3), "f16")
+        assert not a.is_concrete
+        assert a.size_bytes() == 12
+        with pytest.raises(ValueError):
+            a.numpy()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            NDArray((2, 3), "f32", data=np.zeros((3, 2), np.float32))
+
+    def test_empty_modes(self):
+        concrete = NDArray.empty((2,), "i32", concrete=True)
+        assert concrete.is_concrete and concrete.numpy().sum() == 0
+        abstract = NDArray.empty((2,), "i32", concrete=False)
+        assert not abstract.is_concrete
+
+    def test_storage_ids_unique(self):
+        a, b = Storage(16, True), Storage(16, True)
+        assert a.id != b.id
+
+    def test_shape_tuple_semantics(self):
+        s = ShapeTuple([2, 3])
+        assert len(s) == 2 and s[1] == 3 and list(s) == [2, 3]
+        assert s == ShapeTuple((2, 3))
+        assert hash(s) == hash(ShapeTuple((2, 3)))
+        assert s != ShapeTuple((3, 2))
+
+
+class TestKitchenSink:
+    def test_all_optimizations_together_quantized(self):
+        """4-bit weights + fusion + library dispatch + static planning +
+        CUDA graph + autotuning, decoding three tokens correctly."""
+        cfg = dataclasses.replace(
+            TINY_LLAMA, name="tiny-q4", quantize_bits=4, quantize_group=8
+        )
+        exported = build_llama(cfg)
+        exported.module.initialize(seed=11, scale=0.1)
+        exe = transform.build(
+            exported.mod, TEST_DEVICE,
+            sym_var_upper_bounds={"b": 2, "s": 16, "m": 16},
+            enable_autotuning=True,
+        )
+        assert exe.functions["decode"].attrs.get("cuda_graph") is True
+
+        vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+        params = exported.concrete_params()
+        caches = empty_caches(cfg, 1, True)
+        tokens = np.array([[3, 1, 4]], dtype=np.int64)
+        out = vm.run("prefill", NDArray.from_numpy(tokens), *caches, *params)
+        logits, caches = out[0], list(out[1:])
+        produced = []
+        for _ in range(3):
+            tok = int(logits.numpy()[0, -1].argmax())
+            produced.append(tok)
+            out = vm.run(
+                "decode",
+                NDArray.from_numpy(np.array([[tok]], dtype=np.int64)),
+                *caches, *params,
+            )
+            logits, caches = out[0], list(out[1:])
+        assert all(0 <= t < cfg.vocab_size for t in produced)
+        assert np.isfinite(logits.numpy()).all()
+        assert vm.stats.graph_captures >= 1
+
+        # Determinism: a fresh VM reproduces the same tokens.
+        vm2 = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+        caches = empty_caches(cfg, 1, True)
+        out = vm2.run("prefill", NDArray.from_numpy(tokens), *caches, *params)
+        logits2, caches2 = out[0], list(out[1:])
+        produced2 = []
+        for _ in range(3):
+            tok = int(logits2.numpy()[0, -1].argmax())
+            produced2.append(tok)
+            out = vm2.run(
+                "decode",
+                NDArray.from_numpy(np.array([[tok]], dtype=np.int64)),
+                *caches2, *params,
+            )
+            logits2, caches2 = out[0], list(out[1:])
+        assert produced == produced2

@@ -1,0 +1,144 @@
+"""Tests for interval analysis and the quoted-expression parser."""
+
+import pytest
+
+from repro import sym
+from repro.sym import Interval, ShapeVarContext, SymVar
+
+
+class TestInterval:
+    def test_point(self):
+        it = Interval.point(5)
+        assert it.lo == it.hi == 5
+        assert it.is_bounded()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(3, 2)
+
+    def test_add_sub(self):
+        a, b = Interval(1, 3), Interval(10, 20)
+        assert (a + b).lo == 11 and (a + b).hi == 23
+        assert (b - a).lo == 7 and (b - a).hi == 19
+
+    def test_unbounded_add(self):
+        a = Interval(0, None)
+        b = Interval(1, 5)
+        out = a + b
+        assert out.lo == 1 and out.hi is None
+
+    def test_mul(self):
+        a, b = Interval(-2, 3), Interval(4, 5)
+        out = a * b
+        assert out.lo == -10 and out.hi == 15
+
+    def test_mul_by_zero_point(self):
+        assert (Interval.point(0) * Interval.everything()).hi == 0
+
+    def test_union(self):
+        out = Interval(0, 2).union(Interval(5, 9))
+        assert out.lo == 0 and out.hi == 9
+
+
+class TestInferBound:
+    def test_default_nonnegative_vars(self):
+        n = SymVar("n")
+        it = sym.infer_bound(n * 4 + 1)
+        assert it.lo == 1 and it.hi is None
+
+    def test_declared_upper_bound(self):
+        # The LLM context-length case from §4.3: declared upper bounds make
+        # dynamic allocation sizes statically plannable.
+        n = SymVar("seq_len")
+        bounds = {n: Interval(0, 2048)}
+        assert sym.upper_bound(n * 4096 * 2, bounds) == 2048 * 4096 * 2
+
+    def test_unbounded_gives_none(self):
+        n = SymVar("n")
+        assert sym.upper_bound(n * 2) is None
+
+    def test_floordiv_bound(self):
+        n = SymVar("n")
+        it = sym.infer_bound(n // 4, {n: Interval(0, 100)})
+        assert it.lo == 0 and it.hi == 25
+
+    def test_floormod_bound(self):
+        n = SymVar("n")
+        it = sym.infer_bound(n % 8)
+        assert it.lo == 0 and it.hi == 7
+
+    def test_min_max_bounds(self):
+        n = SymVar("n")
+        it = sym.infer_bound(sym.Min(n, sym.IntImm(16)))
+        assert it.hi == 16
+        it = sym.infer_bound(sym.Max(n, sym.IntImm(16)), {n: Interval(0, 64)})
+        assert it.lo == 16 and it.hi == 64
+
+    def test_prove_nonnegative(self):
+        n = SymVar("n")
+        assert sym.prove_nonnegative(n * 4)
+        assert not sym.prove_nonnegative(n - 5)
+
+
+class TestParser:
+    def test_single_var(self):
+        ctx = ShapeVarContext()
+        e = sym.parse_expr("n", ctx)
+        assert isinstance(e, SymVar)
+        assert e is ctx.get("n")
+
+    def test_same_name_same_var(self):
+        ctx = ShapeVarContext()
+        a = sym.parse_expr("n * 4", ctx)
+        b = sym.parse_expr("n + 1", ctx)
+        assert sym.free_vars(a)[0] is sym.free_vars(b)[0]
+
+    def test_arith(self):
+        ctx = ShapeVarContext()
+        e = sym.parse_expr("n * 4 + m - 2", ctx)
+        n, m = ctx.get("n"), ctx.get("m")
+        assert sym.evaluate(e, {n: 3, m: 10}) == 20
+
+    def test_floordiv_mod(self):
+        ctx = ShapeVarContext()
+        e = sym.parse_expr("(n + 7) // 8 % 4", ctx)
+        assert sym.evaluate(e, {ctx.get("n"): 30}) == 0
+
+    def test_min_max_calls(self):
+        ctx = ShapeVarContext()
+        e = sym.parse_expr("min(n, 16) + max(m, 2)", ctx)
+        assert sym.evaluate(e, {ctx.get("n"): 100, ctx.get("m"): 1}) == 18
+
+    def test_unary_minus(self):
+        ctx = ShapeVarContext()
+        e = sym.parse_expr("-n + 5", ctx)
+        assert sym.evaluate(e, {ctx.get("n"): 2}) == 3
+
+    def test_declared_var_reused(self):
+        ctx = ShapeVarContext()
+        n = SymVar("n")
+        ctx.declare("n", n)
+        e = sym.parse_expr("n * 2", ctx)
+        assert sym.free_vars(e)[0] is n
+
+    def test_rejects_floats(self):
+        with pytest.raises(ValueError):
+            sym.parse_expr("n * 1.5", ShapeVarContext())
+
+    def test_rejects_calls(self):
+        with pytest.raises(ValueError):
+            sym.parse_expr("foo(n)", ShapeVarContext())
+
+    def test_rejects_syntax_error(self):
+        with pytest.raises(ValueError):
+            sym.parse_expr("n +", ShapeVarContext())
+
+    def test_parse_dim(self):
+        ctx = ShapeVarContext()
+        assert sym.as_static_int(sym.parse_dim(4, ctx)) == 4
+        n = sym.parse_dim("n", ctx)
+        assert isinstance(n, SymVar)
+        e = sym.PrimExpr.convert(7)
+        assert sym.parse_dim(e, ctx) is e
+        with pytest.raises(TypeError):
+            sym.parse_dim(1.5, ctx)

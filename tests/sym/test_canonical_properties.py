@@ -1,0 +1,102 @@
+"""Canonicalization properties: key equality coincides with provable
+equality, and the simplifier handles nested division/modulo soundly."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import sym
+from repro.sym import IntImm, SymVar
+
+_VARS = [SymVar(name) for name in "xyz"]
+
+
+def _linear_exprs():
+    """Random affine expressions over three variables."""
+
+    @st.composite
+    def build(draw):
+        expr = sym.IntImm(draw(st.integers(-5, 5)))
+        for var in _VARS:
+            coeff = draw(st.integers(-4, 4))
+            expr = expr + coeff * var
+        return expr
+
+    return build()
+
+
+@settings(max_examples=150, deadline=None)
+@given(a=_linear_exprs(), b=_linear_exprs())
+def test_key_equality_iff_provable_equality(a, b):
+    same_key = sym.canonical_key(a) == sym.canonical_key(b)
+    assert same_key == sym.prove_equal(a, b)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    a=_linear_exprs(),
+    c=st.integers(min_value=1, max_value=8),
+    env=st.fixed_dictionaries(
+        {var: st.integers(min_value=0, max_value=60) for var in _VARS}
+    ),
+)
+def test_div_mod_reconstruction(a, c, env):
+    """a == c * (a // c) + (a % c) must hold after simplification."""
+    reconstructed = sym.simplify(c * (a // c) + (a % c))
+    assert sym.evaluate(reconstructed, env) == sym.evaluate(a, env)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    a=_linear_exprs(),
+    c=st.integers(min_value=1, max_value=6),
+    d=st.integers(min_value=1, max_value=6),
+    env=st.fixed_dictionaries(
+        {var: st.integers(min_value=0, max_value=60) for var in _VARS}
+    ),
+)
+def test_nested_floordiv_sound(a, c, d, env):
+    expr = (a // c) // d
+    assert sym.evaluate(sym.simplify(expr), env) == sym.evaluate(expr, env)
+    expr = (a % c) % d
+    assert sym.evaluate(sym.simplify(expr), env) == sym.evaluate(expr, env)
+
+
+class TestCanonicalEdgeCases:
+    def test_negative_coefficient_mod(self):
+        x = _VARS[0]
+        # (-x) % 4 == (3x) % 4 for all integer x?  No — only equal mod 4
+        # coefficient-wise; the canonicalizer uses divmod so both reduce to
+        # (3x) % 4, which is sound: -x ≡ 3x (mod 4).
+        assert sym.prove_equal((-1 * x) % 4, (3 * x) % 4)
+
+    def test_mod_of_multiple_plus_const(self):
+        x = _VARS[0]
+        assert sym.prove_equal((8 * x + 13) % 4, 1)
+
+    def test_div_distributes_over_exact_terms(self):
+        x, y = _VARS[0], _VARS[1]
+        assert sym.prove_equal((4 * x + 8 * y + 3) // 4, x + 2 * y)
+
+    def test_opaque_atoms_compare_structurally(self):
+        x, y = _VARS[0], _VARS[1]
+        a = (x + y) // 3
+        b = (y + x) // 3
+        assert sym.prove_equal(a, b)  # operands canonicalized first
+        assert not sym.prove_equal((x + y) // 3, (x + y) // 2)
+
+    def test_shape_product_canonical(self):
+        n = SymVar("n")
+        a = sym.shape_product([n, 2, 4])
+        b = sym.shape_product([8, n])
+        assert sym.prove_equal(a, b)
+
+    def test_large_expression_terminates_quickly(self):
+        import time
+
+        n = SymVar("n")
+        expr = IntImm(0)
+        for i in range(200):
+            expr = expr + (i % 7) * n + i
+        start = time.time()
+        sym.simplify(expr)
+        assert time.time() - start < 1.0

@@ -1,0 +1,117 @@
+"""Unit tests for the symbolic expression tree."""
+
+import pytest
+
+from repro import sym
+from repro.sym import IntImm, SymVar
+
+
+def test_convert_int():
+    e = sym.PrimExpr.convert(5)
+    assert isinstance(e, IntImm)
+    assert e.value == 5
+
+
+def test_convert_rejects_bool():
+    with pytest.raises(TypeError):
+        sym.PrimExpr.convert(True)
+
+
+def test_convert_rejects_float():
+    with pytest.raises(TypeError):
+        sym.PrimExpr.convert(1.5)
+
+
+def test_operator_overloading_builds_tree():
+    n = SymVar("n")
+    e = n * 4 + 1
+    assert isinstance(e, sym.Add)
+    assert isinstance(e.a, sym.Mul)
+
+
+def test_reflected_operators():
+    n = SymVar("n")
+    assert sym.evaluate(3 + n, {n: 2}) == 5
+    assert sym.evaluate(3 - n, {n: 2}) == 1
+    assert sym.evaluate(3 * n, {n: 2}) == 6
+    assert sym.evaluate(7 // n, {n: 2}) == 3
+    assert sym.evaluate(7 % n, {n: 2}) == 1
+
+
+def test_evaluate_all_ops():
+    n, m = SymVar("n"), SymVar("m")
+    env = {n: 10, m: 3}
+    assert sym.evaluate(n + m, env) == 13
+    assert sym.evaluate(n - m, env) == 7
+    assert sym.evaluate(n * m, env) == 30
+    assert sym.evaluate(n // m, env) == 3
+    assert sym.evaluate(n % m, env) == 1
+    assert sym.evaluate(sym.Min(n, m), env) == 3
+    assert sym.evaluate(sym.Max(n, m), env) == 10
+    assert sym.evaluate(-n, env) == -10
+
+
+def test_evaluate_unbound_raises():
+    n = SymVar("n")
+    with pytest.raises(KeyError):
+        sym.evaluate(n + 1, {})
+
+
+def test_distinct_vars_same_name():
+    a, b = SymVar("n"), SymVar("n")
+    assert a.key() != b.key()
+    assert sym.evaluate(a + b, {a: 1, b: 2}) == 3
+
+
+def test_free_vars_order_and_dedup():
+    n, m = SymVar("n"), SymVar("m")
+    e = (n + m) * n
+    fv = sym.free_vars(e)
+    assert fv == [n, m]
+
+
+def test_free_vars_constant():
+    assert sym.free_vars(IntImm(3)) == []
+
+
+def test_substitute():
+    n, m = SymVar("n"), SymVar("m")
+    e = n * 4 + m
+    out = sym.substitute(e, {n: IntImm(2)})
+    assert sym.evaluate(out, {m: 1}) == 9
+
+
+def test_substitute_with_expression():
+    n, m, k = SymVar("n"), SymVar("m"), SymVar("k")
+    e = n + 1
+    out = sym.substitute(e, {n: m * k})
+    assert sym.evaluate(out, {m: 3, k: 4}) == 13
+
+
+def test_substitute_no_match_returns_same_tree():
+    n, m = SymVar("n"), SymVar("m")
+    e = n + 2
+    assert sym.substitute(e, {m: IntImm(5)}) is e
+
+
+def test_is_static():
+    n = SymVar("n")
+    assert sym.is_static(IntImm(4) * 2)
+    assert not sym.is_static(n + 1)
+
+
+def test_as_static_int():
+    assert sym.as_static_int(IntImm(6) * 7) == 42
+
+
+def test_shape_product():
+    n = SymVar("n")
+    prod = sym.shape_product([n, 4, 2])
+    assert sym.evaluate(prod, {n: 3}) == 24
+
+
+def test_str_forms():
+    n = SymVar("n")
+    assert str(n * 4) == "(n * 4)"
+    assert str(sym.Min(n, IntImm(2))) == "min(n, 2)"
+    assert str(sym.Max(n, IntImm(2))) == "max(n, 2)"

@@ -1,0 +1,189 @@
+"""Unit and property tests for canonical simplification / equality proving."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import sym
+from repro.sym import FloorDiv, FloorMod, IntImm, Max, Min, SymVar
+
+
+def test_prove_equal_basic():
+    n = SymVar("n")
+    assert sym.prove_equal(n + n, 2 * n)
+    assert sym.prove_equal((n + 1) * 4, 4 * n + 4)
+    assert not sym.prove_equal(n + 1, n + 2)
+
+
+def test_prove_equal_flatten_case():
+    # The paper's Figure 3: flatten of an (n, 4) tensor has n*4 elements,
+    # same as reshape of the (n, 2, 2) input.
+    n = SymVar("n")
+    assert sym.prove_equal(sym.shape_product([n, 2, 2]), sym.shape_product([n, 4]))
+
+
+def test_prove_equal_memory_planning_case():
+    # Figure 10: a (2, n) f32 tensor and an (n, 2) f32 tensor have equal
+    # element counts, so their storage can be shared.
+    n = SymVar("n")
+    assert sym.prove_equal(sym.shape_product([2, n]), sym.shape_product([n, 2]))
+
+
+def test_prove_equal_distinct_vars():
+    n, m = SymVar("n"), SymVar("m")
+    assert not sym.prove_equal(n, m)
+    assert sym.prove_equal(n * m, m * n)
+
+
+def test_simplify_constant_fold():
+    e = sym.simplify(IntImm(3) * 4 + 5)
+    assert isinstance(e, IntImm)
+    assert e.value == 17
+
+
+def test_simplify_cancellation():
+    n = SymVar("n")
+    e = sym.simplify(n + 1 - n)
+    assert isinstance(e, IntImm) and e.value == 1
+
+
+def test_simplify_zero():
+    n = SymVar("n")
+    e = sym.simplify(n - n)
+    assert isinstance(e, IntImm) and e.value == 0
+
+
+def test_floordiv_exact():
+    n = SymVar("n")
+    assert sym.prove_equal((n * 4) // 4, n)
+    assert sym.prove_equal((n * 4 + 8) // 4, n + 2)
+
+
+def test_floordiv_split():
+    n = SymVar("n")
+    # (4n + n) // 4 = n + n//4
+    assert sym.prove_equal((n * 5) // 4, n + n // 4)
+
+
+def test_floormod():
+    n = SymVar("n")
+    assert sym.prove_equal((n * 4) % 4, 0)
+    assert sym.prove_equal((n * 4 + 3) % 4, 3)
+    assert sym.prove_equal((n * 4 + 5) % 4, (n * 4 + 1) % 4)
+
+
+def test_floordiv_constants():
+    assert sym.as_static_int(sym.simplify(IntImm(7) // 2)) == 3
+    assert sym.as_static_int(sym.simplify(IntImm(-7) // 2)) == -4
+    assert sym.as_static_int(sym.simplify(IntImm(7) % 2)) == 1
+
+
+def test_minmax_fold():
+    n = SymVar("n")
+    assert sym.prove_equal(Min(IntImm(3), IntImm(5)), 3)
+    assert sym.prove_equal(Max(IntImm(3), IntImm(5)), 5)
+    assert sym.prove_equal(Min(n, n), n)
+    assert sym.prove_equal(Max(n + n, 2 * n), 2 * n)
+
+
+def test_minmax_opaque_but_canonical():
+    n, m = SymVar("n"), SymVar("m")
+    assert sym.prove_equal(Min(n, m) + 1, 1 + Min(n, m))
+    assert not sym.prove_equal(Min(n, m), Max(n, m))
+
+
+def test_prove_divisible():
+    n = SymVar("n")
+    assert sym.prove_divisible(n * 4, 4)
+    assert sym.prove_divisible(n * 4, 2)
+    assert not sym.prove_divisible(n * 4 + 1, 2)
+    assert sym.prove_divisible(n * 6 + m9(), 3)
+
+
+def m9():
+    return IntImm(9)
+
+
+def test_canonical_key_stable():
+    n = SymVar("n")
+    assert sym.canonical_key(n * 2 + 2) == sym.canonical_key(2 * (n + 1))
+    assert sym.canonical_key(n) != sym.canonical_key(n + 1)
+
+
+# --- property-based tests -------------------------------------------------
+
+_VARS = [SymVar(name) for name in "nmk"]
+
+
+def _exprs(depth):
+    if depth == 0:
+        return st.one_of(
+            st.integers(min_value=-8, max_value=8).map(IntImm),
+            st.sampled_from(_VARS),
+        )
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        sub,
+        st.tuples(sub, sub).map(lambda ab: ab[0] + ab[1]),
+        st.tuples(sub, sub).map(lambda ab: ab[0] - ab[1]),
+        st.tuples(sub, sub).map(lambda ab: ab[0] * ab[1]),
+        st.tuples(sub, st.integers(min_value=1, max_value=7)).map(
+            lambda ab: ab[0] // ab[1]
+        ),
+        st.tuples(sub, st.integers(min_value=1, max_value=7)).map(
+            lambda ab: ab[0] % ab[1]
+        ),
+        st.tuples(sub, sub).map(lambda ab: Min(ab[0], ab[1])),
+        st.tuples(sub, sub).map(lambda ab: Max(ab[0], ab[1])),
+    )
+
+
+_ENV = st.fixed_dictionaries(
+    {var: st.integers(min_value=0, max_value=50) for var in _VARS}
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(expr=_exprs(3), env=_ENV)
+def test_simplify_preserves_value(expr, env):
+    """simplify() must never change the value of an expression."""
+    assert sym.evaluate(sym.simplify(expr), env) == sym.evaluate(expr, env)
+
+
+@settings(max_examples=200, deadline=None)
+@given(expr=_exprs(3), env=_ENV)
+def test_simplify_idempotent(expr, env):
+    once = sym.simplify(expr)
+    twice = sym.simplify(once)
+    assert sym.canonical_key(once) == sym.canonical_key(twice)
+    assert sym.evaluate(twice, env) == sym.evaluate(expr, env)
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=_exprs(2), b=_exprs(2), env=_ENV)
+def test_prove_equal_sound(a, b, env):
+    """If prove_equal says yes, the expressions agree on every assignment."""
+    if sym.prove_equal(a, b):
+        assert sym.evaluate(a, env) == sym.evaluate(b, env)
+
+
+@settings(max_examples=100, deadline=None)
+@given(expr=_exprs(2), env=_ENV)
+def test_substitute_then_evaluate(expr, env):
+    """Substituting constants then evaluating == evaluating directly."""
+    mapping = {var: IntImm(val) for var, val in env.items()}
+    substituted = sym.substitute(expr, mapping)
+    assert sym.is_static(substituted)
+    assert sym.as_static_int(sym.simplify(substituted)) == sym.evaluate(expr, env)
+
+
+@settings(max_examples=100, deadline=None)
+@given(expr=_exprs(2), env=_ENV)
+def test_bounds_sound(expr, env):
+    """Any concrete value lies inside the inferred interval."""
+    bounds = {var: sym.Interval(0, 50) for var in _VARS}
+    interval = sym.infer_bound(expr, bounds)
+    value = sym.evaluate(expr, env)
+    if interval.lo is not None:
+        assert interval.lo <= value
+    if interval.hi is not None:
+        assert value <= interval.hi

@@ -1,0 +1,224 @@
+"""Pattern-kind analysis (Algorithm 1), workspace detection and costs."""
+
+import numpy as np
+
+from repro import sym, tir
+from repro.tir import PatternKind
+
+
+def _ewise():
+    n = sym.SymVar("n")
+    f = tir.TirBuilder("relu")
+    a = f.arg("A", (n, 4), "f32")
+    b = f.out("B", (n, 4), "f32")
+    i, j = f.spatial(n, 4)
+    f.store(b, [i, j], tir.vmax(a[i, j], 0.0))
+    return f.build()
+
+
+def _broadcast():
+    n = sym.SymVar("n")
+    f = tir.TirBuilder("bcast")
+    a = f.arg("A", (4,), "f32")
+    b = f.out("B", (n, 4), "f32")
+    i, j = f.spatial(n, 4)
+    f.store(b, [i, j], a[j] * 2.0)
+    return f.build()
+
+
+def _ewise_plus_broadcast():
+    # Algorithm 1's special case: C[i,j] = A[i,j] + B[j] is ElementWise.
+    n = sym.SymVar("n")
+    f = tir.TirBuilder("bias_add")
+    a = f.arg("A", (n, 4), "f32")
+    b = f.arg("B", (4,), "f32")
+    c = f.out("C", (n, 4), "f32")
+    i, j = f.spatial(n, 4)
+    f.store(c, [i, j], a[i, j] + b[j])
+    return f.build()
+
+
+def _transpose():
+    n = sym.SymVar("n")
+    f = tir.TirBuilder("transpose")
+    a = f.arg("A", (n, 4), "f32")
+    b = f.out("B", (4, n), "f32")
+    i, j = f.spatial(4, n)
+    f.store(b, [i, j], a[j, i])
+    return f.build()
+
+
+def _matmul():
+    n = sym.SymVar("n")
+    f = tir.TirBuilder("mm")
+    x = f.arg("X", (n, 8), "f32")
+    w = f.arg("W", (8, 6), "f32")
+    y = f.out("Y", (n, 6), "f32")
+    i, j = f.spatial(n, 6)
+    k = f.reduce(8)
+    f.store(y, [i, j], x[i, k] * w[k, j], combiner="sum", init=0.0)
+    return f.build()
+
+
+def _rowsum():
+    n = sym.SymVar("n")
+    f = tir.TirBuilder("rowsum")
+    a = f.arg("A", (n, 8), "f32")
+    b = f.out("B", (n,), "f32")
+    i = f.spatial(n)
+    k = f.reduce(8)
+    f.store(b, [i], a[i, k], combiner="sum", init=0.0)
+    return f.build()
+
+
+def _data_dependent_gather():
+    # C[i] = A[B[i]] — read index depends on a buffer value, so the read
+    # indices use a variable outside the write loop vars: Opaque.
+    f = tir.TirBuilder("gather_dyn")
+    a = f.arg("A", (8,), "f32")
+    c = f.out("C", (4,), "f32")
+    i = f.spatial(4)
+    hidden = sym.SymVar("h")  # not a loop var: models value-dependence
+    f.store(c, [i], a[hidden])
+    return f.build()
+
+
+class TestPatternKind:
+    def test_element_wise(self):
+        assert tir.pattern_kind(_ewise()) == PatternKind.ELEMENT_WISE
+
+    def test_broadcast(self):
+        assert tir.pattern_kind(_broadcast()) == PatternKind.BROADCAST
+
+    def test_ewise_plus_broadcast_promotes(self):
+        assert tir.pattern_kind(_ewise_plus_broadcast()) == PatternKind.ELEMENT_WISE
+
+    def test_injective_transpose(self):
+        assert tir.pattern_kind(_transpose()) == PatternKind.INJECTIVE
+
+    def test_matmul_is_out_ewise_fusible(self):
+        assert tir.pattern_kind(_matmul()) == PatternKind.OUT_EWISE_FUSIBLE
+
+    def test_reduction(self):
+        assert tir.pattern_kind(_rowsum()) == PatternKind.REDUCTION
+
+    def test_opaque_for_data_dependent(self):
+        assert tir.pattern_kind(_data_dependent_gather()) == PatternKind.OPAQUE
+
+    def test_generator_is_injective(self):
+        n = sym.SymVar("n")
+        f = tir.TirBuilder("iota")
+        out = f.out("O", (n,), "i32")
+        i = f.spatial(n)
+        f.store(out, [i], tir.cast("i32", tir.IndexValue(i)))
+        assert tir.pattern_kind(f.build()) == PatternKind.INJECTIVE
+
+    def test_multi_stage_injective_chain(self):
+        n = sym.SymVar("n")
+        f = tir.TirBuilder("chain")
+        a = f.arg("A", (n,), "f32")
+        out = f.out("O", (n,), "f32")
+        tmp = f.alloc("tmp", (n,), "f32")
+        i = f.spatial(n)
+        f.store(tmp, [i], a[i] * 2.0)
+        i = f.spatial(n)
+        f.store(out, [i], tmp[i] + 1.0)
+        assert tir.pattern_kind(f.build()) == PatternKind.ELEMENT_WISE
+
+    def test_decode_plus_matmul_stays_fusible(self):
+        # Fused decode+mm (Fig. 9 yellow) remains OutputEwiseFusible.
+        n = sym.SymVar("n")
+        f = tir.TirBuilder("fused_decode_mm")
+        data = f.arg("data", (8, 1), "u32")
+        x = f.arg("X", (n, 8), "f32")
+        y = f.out("Y", (n, 8), "f32")
+        w = f.alloc("W", (8, 8), "f32")
+        k, j = f.spatial(8, 8)
+        f.store(w, [k, j], tir.cast("f32", (data[k, j // 8] >> tir.IndexValue(j % 8)) & 1))
+        i, j = f.spatial(n, 8)
+        k = f.reduce(8)
+        f.store(y, [i, j], x[i, k] * w[k, j], combiner="sum", init=0.0)
+        assert tir.pattern_kind(f.build()) == PatternKind.OUT_EWISE_FUSIBLE
+
+
+class TestWorkspace:
+    def test_detect_global_workspace(self):
+        n = sym.SymVar("n")
+        f = tir.TirBuilder("split_k")
+        a = f.arg("A", (n, 8), "f32")
+        y = f.out("Y", (n,), "f32")
+        ws = f.alloc("workspace", (n, 2), "f32", scope="global")
+        i, s = f.spatial(n, 2)
+        k = f.reduce(4)
+        f.store(ws, [i, s], a[i, s * 4 + k], combiner="sum", init=0.0)
+        i = f.spatial(n)
+        s = f.reduce(2)
+        f.store(y, [i], ws[i, s], combiner="sum", init=0.0)
+        func = f.build()
+        workspaces = tir.detect_workspaces(func)
+        assert len(workspaces) == 1
+        assert workspaces[0].name == "workspace"
+
+    def test_local_intermediate_is_not_workspace(self):
+        n = sym.SymVar("n")
+        f = tir.TirBuilder("chain")
+        a = f.arg("A", (n,), "f32")
+        out = f.out("O", (n,), "f32")
+        tmp = f.alloc("tmp", (n,), "f32")
+        i = f.spatial(n)
+        f.store(tmp, [i], a[i] * 2.0)
+        i = f.spatial(n)
+        f.store(out, [i], tmp[i] + 1.0)
+        assert tir.detect_workspaces(f.build()) == []
+
+
+class TestCost:
+    def test_matmul_flops(self):
+        func = _matmul()
+        n_var = func.free_sym_vars()[0]
+        flops = tir.count_flops(func, {n_var: 10})
+        # n*6*8 iterations, 1 mul + 1 combiner add per iteration.
+        assert flops == 10 * 6 * 8 * 2
+
+    def test_bytes_counts_params(self):
+        func = _ewise()
+        n_var = func.free_sym_vars()[0]
+        nbytes = tir.count_bytes(func, {n_var: 10})
+        assert nbytes == 2 * 10 * 4 * 4  # two (10,4) f32 buffers
+
+    def test_global_workspace_counted_twice(self):
+        n = sym.SymVar("n")
+        f = tir.TirBuilder("ws")
+        a = f.arg("A", (n,), "f32")
+        out = f.out("O", (n,), "f32")
+        ws = f.alloc("w", (n,), "f32", scope="global")
+        i = f.spatial(n)
+        f.store(ws, [i], a[i] * 2.0)
+        i = f.spatial(n)
+        f.store(out, [i], ws[i] + 1.0)
+        func = f.build()
+        assert tir.count_bytes(func, {n: 8}) == (8 * 4) * 2 + (8 * 4) * 2
+
+    def test_symbolic_flops(self):
+        func = _matmul()
+        n_var = func.free_sym_vars()[0]
+        expr = tir.symbolic_flops(func)
+        assert sym.evaluate(expr, {n_var: 5}) == 5 * 6 * 8 * 2
+
+
+class TestFreeSymVars:
+    def test_free_vars_exclude_loop_vars(self):
+        func = _matmul()
+        names = [v.name for v in func.free_sym_vars()]
+        assert names == ["n"]
+
+    def test_sym_param_fill(self):
+        n, m = sym.SymVar("n"), sym.SymVar("m")
+        f = tir.TirBuilder("fill")
+        out = f.out("O", (n,), "i64")
+        f.sym_param(m)
+        i = f.spatial(n)
+        f.store(out, [i], tir.IndexValue(m))
+        func = f.build()
+        names = {v.name for v in func.free_sym_vars()}
+        assert names == {"n", "m"}

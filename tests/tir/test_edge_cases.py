@@ -1,0 +1,164 @@
+"""TIR edge cases: extra combiners, zero-extent loops, printer, builder."""
+
+import numpy as np
+import pytest
+
+from repro import sym, tir
+
+
+class TestCombiners:
+    def test_prod(self):
+        n = sym.SymVar("n")
+        f = tir.TirBuilder("rowprod")
+        a = f.arg("A", (n, 4), "f32")
+        b = f.out("B", (n,), "f32")
+        i = f.spatial(n)
+        k = f.reduce(4)
+        f.store(b, [i], a[i, k], combiner="prod", init=1.0)
+        func = f.build()
+        x = np.random.default_rng(0).uniform(0.5, 2.0, (3, 4)).astype(np.float32)
+        (out,) = tir.call_prim_func(func, [x], [(3,)])
+        np.testing.assert_allclose(out, x.prod(axis=1), rtol=1e-5)
+
+    def test_min_with_init(self):
+        f = tir.TirBuilder("rowmin")
+        a = f.arg("A", (2, 3), "f32")
+        b = f.out("B", (2,), "f32")
+        i = f.spatial(2)
+        k = f.reduce(3)
+        f.store(b, [i], a[i, k], combiner="min", init=0.0)
+        func = f.build()
+        x = np.array([[1.0, 2.0, 3.0], [-5.0, 4.0, 2.0]], dtype=np.float32)
+        (out,) = tir.call_prim_func(func, [x], [(2,)])
+        np.testing.assert_allclose(out, np.minimum(x.min(axis=1), 0.0))
+
+    def test_invalid_combiner_rejected(self):
+        n = sym.SymVar("n")
+        f = tir.TirBuilder("bad")
+        a = f.arg("A", (n,), "f32")
+        b = f.out("B", (), "f32")
+        k = f.reduce(4)
+        with pytest.raises(ValueError, match="combiner"):
+            f.store(b, [], a[k], combiner="xor")
+
+    def test_combiner_without_reduce_rejected(self):
+        n = sym.SymVar("n")
+        f = tir.TirBuilder("bad")
+        a = f.arg("A", (n,), "f32")
+        b = f.out("B", (n,), "f32")
+        i = f.spatial(n)
+        with pytest.raises(ValueError, match="no reduction"):
+            f.store(b, [i], a[i], combiner="sum")
+
+
+class TestZeroExtent:
+    def test_empty_spatial_loop(self):
+        """Zero-extent loops write nothing (the empty-KV-cache case)."""
+        n = sym.SymVar("n")
+        f = tir.TirBuilder("copy")
+        a = f.arg("A", (n, 2), "f32")
+        b = f.out("B", (n, 2), "f32")
+        i, j = f.spatial(n, 2)
+        f.store(b, [i, j], a[i, j])
+        func = f.build()
+        x = np.zeros((0, 2), dtype=np.float32)
+        (out,) = tir.call_prim_func(func, [x], [(0, 2)])
+        assert out.shape == (0, 2)
+
+
+class TestBuilderErrors:
+    def test_pending_loops_rejected(self):
+        f = tir.TirBuilder("bad")
+        f.out("B", (2,), "f32")
+        f.spatial(2)
+        with pytest.raises(RuntimeError, match="never stored"):
+            f.build()
+
+    def test_no_outputs_rejected(self):
+        f = tir.TirBuilder("bad")
+        f.arg("A", (2,), "f32")
+        with pytest.raises(RuntimeError, match="no outputs"):
+            f.build()
+
+    def test_wrong_index_arity_rejected(self):
+        f = tir.TirBuilder("bad")
+        a = f.arg("A", (2, 2), "f32")
+        with pytest.raises(ValueError, match="indices"):
+            a[0]  # one index for a 2-d buffer
+
+    def test_stage_output_arity_rejected(self):
+        f = tir.TirBuilder("bad")
+        a = f.arg("A", (2, 2), "f32")
+        b = f.out("B", (2, 2), "f32")
+        i = f.spatial(2)
+        with pytest.raises(ValueError, match="writes"):
+            f.store(b, [i], a[i, i])
+
+    def test_invalid_scope_rejected(self):
+        with pytest.raises(ValueError, match="scope"):
+            tir.Buffer("x", (2,), "f32", scope="registers")
+
+
+class TestPrinter:
+    def test_prim_func_text(self):
+        n = sym.SymVar("n")
+        f = tir.TirBuilder("mm")
+        x = f.arg("X", (n, 4), "f32")
+        w = f.arg("W", (4, 2), "f32")
+        y = f.out("Y", (n, 2), "f32")
+        tmp = f.alloc("tmp", (n, 2), "f32")
+        i, j = f.spatial(n, 2)
+        k = f.reduce(4)
+        f.store(tmp, [i, j], x[i, k] * w[k, j], combiner="sum", init=0.0)
+        i, j = f.spatial(n, 2)
+        f.store(y, [i, j], tir.vmax(tmp[i, j], 0.0))
+        text = tir.format_prim_func(f.build())
+        assert "def mm(" in text
+        assert "alloc_buffer" in text
+        assert "# reduce" in text
+        assert "+=" in text
+        assert "grid(" in text
+
+    def test_sym_params_printed(self):
+        m = sym.SymVar("m")
+        f = tir.TirBuilder("fill")
+        out = f.out("O", (4,), "i64")
+        f.sym_param(m)
+        i = f.spatial(4)
+        f.store(out, [i], tir.IndexValue(m))
+        text = tir.format_prim_func(f.build())
+        assert "symbolic params: m" in text
+
+
+class TestValueExprs:
+    def test_value_convert_errors(self):
+        with pytest.raises(TypeError):
+            tir.Value.convert(True)
+        with pytest.raises(TypeError):
+            tir.Value.convert("nope")
+
+    def test_value_convert_primexpr(self):
+        n = sym.SymVar("n")
+        v = tir.Value.convert(n + 1)
+        assert isinstance(v, tir.IndexValue)
+
+    def test_unknown_ops_rejected(self):
+        with pytest.raises(ValueError):
+            tir.BinValue("xor", 1, 2)
+        with pytest.raises(ValueError):
+            tir.UnaryValue("gamma", 1.0)
+        with pytest.raises(ValueError):
+            tir.Cmp("approx", 1, 2)
+
+    def test_count_arith_ops(self):
+        f = tir.TirBuilder("t")
+        a = f.arg("A", (2,), "f32")
+        expr = a[0] * 2.0 + tir.exp(a[1])
+        assert tir.count_arith_ops(expr) == 3  # mul, add, exp
+
+    def test_operator_coverage(self):
+        a = tir.FloatConst(2.0)
+        b = tir.IntConst(3)
+        for expr in (a + b, a - b, a * b, a / b, -a, b >> 1, b << 1,
+                     b & 1, b | 1, 1 + a, 2.0 - a, 3 * a, 4 / a):
+            assert isinstance(expr, tir.BinValue)

@@ -1,0 +1,198 @@
+"""Tensor program interpreter tests against NumPy references."""
+
+import numpy as np
+import pytest
+
+from repro import sym, tir
+
+
+def _mm_func(n=None):
+    n = n if n is not None else sym.SymVar("n")
+    f = tir.TirBuilder("mm")
+    x = f.arg("X", (n, 8), "f32")
+    w = f.arg("W", (8, 6), "f32")
+    y = f.out("Y", (n, 6), "f32")
+    i, j = f.spatial(n, 6)
+    k = f.reduce(8)
+    f.store(y, [i, j], x[i, k] * w[k, j], combiner="sum", init=0.0)
+    return f.build()
+
+
+def test_matmul_symbolic_batch():
+    func = _mm_func()
+    rng = np.random.default_rng(0)
+    for n in (1, 3, 7):
+        x = rng.standard_normal((n, 8)).astype(np.float32)
+        w = rng.standard_normal((8, 6)).astype(np.float32)
+        (y,) = tir.call_prim_func(func, [x, w], [(n, 6)])
+        np.testing.assert_allclose(y, x @ w, rtol=1e-5)
+
+
+def test_elementwise_add():
+    n = sym.SymVar("n")
+    f = tir.TirBuilder("add")
+    a = f.arg("A", (n, 4), "f32")
+    b = f.arg("B", (n, 4), "f32")
+    c = f.out("C", (n, 4), "f32")
+    i, j = f.spatial(n, 4)
+    f.store(c, [i, j], a[i, j] + b[i, j])
+    func = f.build()
+    x = np.arange(12, dtype=np.float32).reshape(3, 4)
+    y = np.ones((3, 4), dtype=np.float32)
+    (out,) = tir.call_prim_func(func, [x, y], [(3, 4)])
+    np.testing.assert_allclose(out, x + y)
+
+
+def test_broadcast_add():
+    n = sym.SymVar("n")
+    f = tir.TirBuilder("bias_add")
+    a = f.arg("A", (n, 4), "f32")
+    b = f.arg("B", (4,), "f32")
+    c = f.out("C", (n, 4), "f32")
+    i, j = f.spatial(n, 4)
+    f.store(c, [i, j], a[i, j] + b[j])
+    func = f.build()
+    x = np.arange(8, dtype=np.float32).reshape(2, 4)
+    bias = np.array([10, 20, 30, 40], dtype=np.float32)
+    (out,) = tir.call_prim_func(func, [x, bias], [(2, 4)])
+    np.testing.assert_allclose(out, x + bias)
+
+
+def test_transpose_injective_write():
+    n = sym.SymVar("n")
+    f = tir.TirBuilder("transpose")
+    a = f.arg("A", (n, 3), "f32")
+    b = f.out("B", (3, n), "f32")
+    i, j = f.spatial(n, 3)
+    f.store(b, [j, i], a[i, j])
+    func = f.build()
+    x = np.arange(6, dtype=np.float32).reshape(2, 3)
+    (out,) = tir.call_prim_func(func, [x], [(3, 2)])
+    np.testing.assert_allclose(out, x.T)
+
+
+def test_flatten_floordiv_mod_reads():
+    n = sym.SymVar("n")
+    f = tir.TirBuilder("flatten")
+    a = f.arg("A", (n, 4), "f32")
+    b = f.out("B", (n * 4,), "f32")
+    k = f.spatial(n * 4)
+    f.store(b, [k], a[k // 4, k % 4])
+    func = f.build()
+    x = np.arange(12, dtype=np.float32).reshape(3, 4)
+    (out,) = tir.call_prim_func(func, [x], [(12,)])
+    np.testing.assert_allclose(out, x.reshape(-1))
+
+
+def test_reduce_max():
+    n = sym.SymVar("n")
+    f = tir.TirBuilder("rowmax")
+    a = f.arg("A", (n, 5), "f32")
+    b = f.out("B", (n,), "f32")
+    i = f.spatial(n)
+    j = f.reduce(5)
+    f.store(b, [i], a[i, j], combiner="max")
+    func = f.build()
+    x = np.random.default_rng(1).standard_normal((4, 5)).astype(np.float32)
+    (out,) = tir.call_prim_func(func, [x], [(4,)])
+    np.testing.assert_allclose(out, x.max(axis=1))
+
+
+def test_multi_stage_softmax():
+    n = sym.SymVar("n")
+    f = tir.TirBuilder("softmax")
+    a = f.arg("A", (n, 6), "f32")
+    out = f.out("O", (n, 6), "f32")
+    mx = f.alloc("mx", (n,), "f32")
+    sm = f.alloc("sm", (n,), "f32")
+    i = f.spatial(n)
+    j = f.reduce(6)
+    f.store(mx, [i], a[i, j], combiner="max")
+    i = f.spatial(n)
+    j = f.reduce(6)
+    f.store(sm, [i], tir.exp(a[i, j] - mx[i]), combiner="sum", init=0.0)
+    i, j = f.spatial(n, 6)
+    f.store(out, [i, j], tir.exp(a[i, j] - mx[i]) / sm[i])
+    func = f.build()
+    x = np.random.default_rng(2).standard_normal((3, 6)).astype(np.float32)
+    (got,) = tir.call_prim_func(func, [x], [(3, 6)])
+    e = np.exp(x - x.max(axis=1, keepdims=True))
+    np.testing.assert_allclose(got, e / e.sum(axis=1, keepdims=True), rtol=1e-5)
+
+
+def test_quantize_decode_bit_ops():
+    # The Fig. 9 decode_q4 pattern: unpack 8 4-bit values per uint32.
+    f = tir.TirBuilder("decode_q4")
+    data = f.arg("data", (4, 2), "u32")  # 4 rows, 16 packed values
+    scale = f.arg("scale", (4,), "f32")
+    w = f.out("W", (4, 16), "f32")
+    k, j = f.spatial(4, 16)
+    nibble = tir.cast(
+        "i32", (data[k, j // 8] >> tir.IndexValue((j % 8) * 4)) & 15
+    )
+    f.store(w, [k, j], tir.cast("f32", nibble - 7) * scale[k])
+    func = f.build()
+
+    rng = np.random.default_rng(3)
+    packed = rng.integers(0, 2**32, size=(4, 2), dtype=np.uint32)
+    scales = rng.standard_normal(4).astype(np.float32)
+    (got,) = tir.call_prim_func(func, [packed, scales], [(4, 16)])
+
+    expect = np.zeros((4, 16), dtype=np.float32)
+    for kk in range(4):
+        for jj in range(16):
+            nib = (int(packed[kk, jj // 8]) >> ((jj % 8) * 4)) & 15
+            expect[kk, jj] = (nib - 7) * scales[kk]
+    np.testing.assert_allclose(got, expect, rtol=1e-6)
+
+
+def test_iota_generator_stage():
+    n = sym.SymVar("n")
+    f = tir.TirBuilder("iota")
+    out = f.out("O", (n,), "i32")
+    i = f.spatial(n)
+    f.store(out, [i], tir.cast("i32", tir.IndexValue(i * 2)))
+    func = f.build()
+    (got,) = tir.call_prim_func(func, [], [(5,)])
+    np.testing.assert_array_equal(got, np.arange(5, dtype=np.int32) * 2)
+
+
+def test_explicit_sym_param():
+    # A fill whose value depends on an explicit symbolic parameter (Fig. 8).
+    n, m = sym.SymVar("n"), sym.SymVar("m")
+    f = tir.TirBuilder("fill_m")
+    out = f.out("O", (n,), "i64")
+    f.sym_param(m)
+    i = f.spatial(n)
+    f.store(out, [i], tir.IndexValue(m))
+    func = f.build()
+    (got,) = tir.call_prim_func(func, [], [(3,)], sym_bindings={m: 42})
+    np.testing.assert_array_equal(got, np.full(3, 42, dtype=np.int64))
+
+
+def test_shape_mismatch_raises():
+    func = _mm_func()
+    x = np.zeros((3, 8), dtype=np.float32)
+    w = np.zeros((7, 6), dtype=np.float32)  # wrong K
+    y = np.zeros((3, 6), dtype=np.float32)
+    with pytest.raises(tir.TirInterpreterError):
+        tir.run_prim_func(func, [x, w, y])
+
+
+def test_wrong_arg_count_raises():
+    func = _mm_func()
+    with pytest.raises(tir.TirInterpreterError):
+        tir.run_prim_func(func, [np.zeros((3, 8), dtype=np.float32)])
+
+
+def test_select_and_relu():
+    n = sym.SymVar("n")
+    f = tir.TirBuilder("relu")
+    a = f.arg("A", (n,), "f32")
+    b = f.out("B", (n,), "f32")
+    i = f.spatial(n)
+    f.store(b, [i], tir.vmax(a[i], 0.0))
+    func = f.build()
+    x = np.array([-1.0, 2.0, -3.0, 4.0], dtype=np.float32)
+    (out,) = tir.call_prim_func(func, [x], [(4,)])
+    np.testing.assert_allclose(out, np.maximum(x, 0))

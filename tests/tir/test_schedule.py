@@ -1,0 +1,183 @@
+"""Tensor program transformations: inlining, workspace rewrite, binding."""
+
+import numpy as np
+
+from repro import sym, tir
+
+
+def _chain_func():
+    """out = (a * 2 + 1) via an intermediate buffer."""
+    n = sym.SymVar("n")
+    f = tir.TirBuilder("chain")
+    a = f.arg("A", (n,), "f32")
+    out = f.out("O", (n,), "f32")
+    tmp = f.alloc("tmp", (n,), "f32")
+    i = f.spatial(n)
+    f.store(tmp, [i], a[i] * 2.0)
+    i = f.spatial(n)
+    f.store(out, [i], tmp[i] + 1.0)
+    return f.build()
+
+
+class TestInlineProducers:
+    def test_inline_removes_intermediate(self):
+        func = _chain_func()
+        fused = tir.inline_producers(func)
+        assert len(fused.stages) == 1
+        assert fused.intermediate_buffers() == []
+
+    def test_inline_preserves_semantics(self):
+        func = _chain_func()
+        fused = tir.inline_producers(func)
+        x = np.arange(5, dtype=np.float32)
+        (want,) = tir.call_prim_func(func, [x], [(5,)])
+        (got,) = tir.call_prim_func(fused, [x], [(5,)])
+        np.testing.assert_allclose(got, want)
+
+    def test_inline_injective_into_matmul(self):
+        # decode (injective producer) inlines into the FMA read — the core
+        # of Fig. 9's fused_decode_q4_mm.
+        n = sym.SymVar("n")
+        f = tir.TirBuilder("decode_mm")
+        data = f.arg("D", (4, 8), "f32")
+        x = f.arg("X", (n, 4), "f32")
+        y = f.out("Y", (n, 8), "f32")
+        w = f.alloc("W", (4, 8), "f32")
+        k, j = f.spatial(4, 8)
+        f.store(w, [k, j], data[k, j] * 0.5)
+        i, j = f.spatial(n, 8)
+        k = f.reduce(4)
+        f.store(y, [i, j], x[i, k] * w[k, j], combiner="sum", init=0.0)
+        func = f.build()
+
+        fused = tir.inline_producers(func)
+        assert len(fused.stages) == 1
+        assert fused.intermediate_buffers() == []
+
+        rng = np.random.default_rng(0)
+        d = rng.standard_normal((4, 8)).astype(np.float32)
+        xv = rng.standard_normal((3, 4)).astype(np.float32)
+        (got,) = tir.call_prim_func(fused, [d, xv], [(3, 8)])
+        np.testing.assert_allclose(got, xv @ (d * 0.5), rtol=1e-5)
+
+    def test_reduction_producer_not_inlined(self):
+        # matmul -> relu: the reduction output stays materialized (local).
+        n = sym.SymVar("n")
+        f = tir.TirBuilder("mm_relu")
+        x = f.arg("X", (n, 4), "f32")
+        w = f.arg("W", (4, 6), "f32")
+        out = f.out("O", (n, 6), "f32")
+        tmp = f.alloc("tmp", (n, 6), "f32")
+        i, j = f.spatial(n, 6)
+        k = f.reduce(4)
+        f.store(tmp, [i, j], x[i, k] * w[k, j], combiner="sum", init=0.0)
+        i, j = f.spatial(n, 6)
+        f.store(out, [i, j], tir.vmax(tmp[i, j], 0.0))
+        func = f.build()
+        fused = tir.inline_producers(func)
+        assert len(fused.stages) == 2  # reduction stage survives
+
+        rng = np.random.default_rng(1)
+        xv = rng.standard_normal((2, 4)).astype(np.float32)
+        wv = rng.standard_normal((4, 6)).astype(np.float32)
+        (got,) = tir.call_prim_func(fused, [xv, wv], [(2, 6)])
+        np.testing.assert_allclose(got, np.maximum(xv @ wv, 0), rtol=1e-5)
+
+    def test_workspace_never_inlined(self):
+        n = sym.SymVar("n")
+        f = tir.TirBuilder("ws")
+        a = f.arg("A", (n,), "f32")
+        out = f.out("O", (n,), "f32")
+        ws = f.alloc("w", (n,), "f32", scope="global")
+        i = f.spatial(n)
+        f.store(ws, [i], a[i] * 2.0)
+        i = f.spatial(n)
+        f.store(out, [i], ws[i] + 1.0)
+        func = f.build()
+        fused = tir.inline_producers(func)
+        assert len(fused.stages) == 2
+        assert len(fused.workspace_buffers()) == 1
+
+
+class TestWorkspaceParam:
+    def _split_k(self):
+        n = sym.SymVar("n")
+        f = tir.TirBuilder("split_k")
+        a = f.arg("A", (n, 8), "f32")
+        y = f.out("Y", (n,), "f32")
+        ws = f.alloc("workspace", (n, 2), "f32", scope="global")
+        i, s = f.spatial(n, 2)
+        k = f.reduce(4)
+        f.store(ws, [i, s], a[i, s * 4 + k], combiner="sum", init=0.0)
+        i = f.spatial(n)
+        s = f.reduce(2)
+        f.store(y, [i], ws[i, s], combiner="sum", init=0.0)
+        return f.build()
+
+    def test_workspace_becomes_param(self):
+        func = self._split_k()
+        ws = func.workspace_buffers()[0]
+        lifted = tir.replace_workspace_with_param(func, ws)
+        assert len(lifted.params) == len(func.params) + 1
+        assert lifted.workspace_buffers() == []
+        # Param order: inputs, workspace, outputs.
+        assert lifted.params[1].name == "workspace"
+        assert lifted.params[1].scope == "param"
+
+    def test_lifted_semantics_match(self):
+        func = self._split_k()
+        ws = func.workspace_buffers()[0]
+        lifted = tir.replace_workspace_with_param(func, ws)
+        x = np.arange(16, dtype=np.float32).reshape(2, 8)
+        (want,) = tir.call_prim_func(func, [x], [(2,)])
+        ws_buf = np.zeros((2, 2), dtype=np.float32)
+        y = np.zeros((2,), dtype=np.float32)
+        tir.run_prim_func(lifted, [x, ws_buf, y])
+        np.testing.assert_allclose(y, want)
+
+    def test_rejects_non_workspace(self):
+        func = self._split_k()
+        import pytest
+
+        with pytest.raises(ValueError):
+            tir.replace_workspace_with_param(func, func.params[0])
+
+
+class TestBindSymbolic:
+    def test_bind_makes_static(self):
+        n = sym.SymVar("n")
+        f = tir.TirBuilder("scale")
+        a = f.arg("A", (n, 4), "f32")
+        b = f.out("B", (n, 4), "f32")
+        i, j = f.spatial(n, 4)
+        f.store(b, [i, j], a[i, j] * 3.0)
+        func = f.build()
+        bound = tir.bind_symbolic(func, {n: 7}, name="scale_n7")
+        assert bound.name == "scale_n7"
+        assert bound.free_sym_vars() == []
+        assert sym.as_static_int(bound.params[0].shape[0]) == 7
+
+    def test_bound_func_runs(self):
+        n = sym.SymVar("n")
+        f = tir.TirBuilder("scale")
+        a = f.arg("A", (n,), "f32")
+        b = f.out("B", (n,), "f32")
+        i = f.spatial(n)
+        f.store(b, [i], a[i] * 3.0)
+        func = f.build()
+        bound = tir.bind_symbolic(func, {n: 4})
+        x = np.ones(4, dtype=np.float32)
+        (got,) = tir.call_prim_func(bound, [x], [(4,)])
+        np.testing.assert_allclose(got, x * 3.0)
+
+    def test_partial_binding_keeps_other_vars(self):
+        n, m = sym.SymVar("n"), sym.SymVar("m")
+        f = tir.TirBuilder("two")
+        a = f.arg("A", (n, m), "f32")
+        b = f.out("B", (n, m), "f32")
+        i, j = f.spatial(n, m)
+        f.store(b, [i, j], a[i, j])
+        func = f.build()
+        bound = tir.bind_symbolic(func, {m: 5})
+        names = [v.name for v in bound.free_sym_vars()]
+        assert names == ["n"]

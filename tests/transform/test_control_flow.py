@@ -1,0 +1,90 @@
+"""Graph-level control flow (If) through the full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import ops, transform
+from repro.core import (
+    BindingBlock,
+    BlockBuilder,
+    DataflowBlock,
+    Function,
+    If,
+    SeqExpr,
+    TensorAnn,
+    Var,
+    VarBinding,
+)
+from repro.runtime import NDArray, TEST_DEVICE, VirtualMachine
+
+
+def _branching_module():
+    """out = relu(x) if flag else sigmoid(x) — branches hold op calls."""
+    from repro import sym
+
+    n = sym.SymVar("n")
+    x = Var("x", TensorAnn((n, 4), "f32"))
+    flag = Var("flag", TensorAnn((), "bool"))
+
+    def branch(op_fn):
+        v = Var("bv")
+        call = op_fn(x)
+        block = DataflowBlock([VarBinding(v, call)])
+        seq = SeqExpr([block], v)
+        return seq
+
+    out_var = Var("out")
+    cond_block = BindingBlock(
+        [VarBinding(out_var, If(flag, branch(ops.relu), branch(ops.sigmoid)))]
+    )
+    func = Function(
+        [x, flag], SeqExpr([cond_block], out_var), None, None, "main"
+    )
+    from repro.core import IRModule, rededuce_function
+
+    mod = IRModule({"main": func})
+    rededuce_function(func)
+    func.ret_ann = out_var.ann
+    return mod
+
+
+class TestIfThroughPipeline:
+    def test_both_branches_execute_correctly(self):
+        mod = _branching_module()
+        exe = transform.build(mod, TEST_DEVICE, enable_library_dispatch=False)
+        vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+        x = np.random.default_rng(0).standard_normal((3, 4)).astype(np.float32)
+
+        out_true = vm.run(
+            "main", NDArray.from_numpy(x), NDArray.from_numpy(np.bool_(True))
+        )
+        np.testing.assert_allclose(out_true.numpy(), np.maximum(x, 0))
+
+        out_false = vm.run(
+            "main", NDArray.from_numpy(x), NDArray.from_numpy(np.bool_(False))
+        )
+        np.testing.assert_allclose(
+            out_false.numpy(), 1 / (1 + np.exp(-x)), rtol=1e-5
+        )
+
+    def test_only_taken_branch_launches(self):
+        mod = _branching_module()
+        exe = transform.build(mod, TEST_DEVICE, enable_library_dispatch=False,
+                              enable_cuda_graph=False)
+        vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+        x = np.zeros((2, 4), np.float32)
+        vm.run("main", NDArray.from_numpy(x), NDArray.from_numpy(np.bool_(True)))
+        assert vm.stats.kernel_launches == 1
+
+    def test_if_function_not_graph_offloaded(self):
+        """Control flow disqualifies CUDA Graph capture (§4.5)."""
+        mod = _branching_module()
+        exe = transform.build(mod, TEST_DEVICE, sym_var_upper_bounds={"n": 16})
+        assert not exe.functions["main"].attrs.get("cuda_graph")
+
+    def test_branch_annotation_join(self):
+        mod = _branching_module()
+        func = mod["main"]
+        ann = func.ret_ann
+        assert isinstance(ann, TensorAnn)
+        assert ann.dtype == "f32"

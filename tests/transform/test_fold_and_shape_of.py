@@ -1,0 +1,156 @@
+"""FoldConstant and shape_of (Fig. 3's get_shape_value)."""
+
+import numpy as np
+import pytest
+
+from repro import ops, sym, transform
+from repro.core import (
+    BlockBuilder,
+    Call,
+    Constant,
+    ShapeAnn,
+    ShapeExpr,
+    TensorAnn,
+    const,
+    shape,
+)
+from repro.runtime import NDArray, TEST_DEVICE, VirtualMachine
+from repro.transform import FoldConstant, PassContext
+
+
+class TestFoldConstant:
+    def test_constant_chain_folds(self):
+        bb = BlockBuilder()
+        with bb.function("f", {"x": TensorAnn(("n", 4), "f32")}) as frame:
+            (x,) = frame.params
+            w = const(np.full((4,), 2.0, np.float32))
+            with bb.dataflow():
+                doubled = bb.emit(ops.multiply(w, w))  # constant * constant
+                out = bb.emit(ops.add(x, doubled))
+                gv = bb.emit_output(out)
+            bb.emit_func_output(gv)
+        mod = bb.get()
+        out = FoldConstant()(mod, PassContext())
+        bindings = out["f"].body.blocks[0].bindings
+        # The multiply binding is now a Constant.
+        first = bindings[0].value
+        assert isinstance(first, Constant)
+        np.testing.assert_allclose(first.data, 4.0)
+
+    def test_symbolic_calls_untouched(self):
+        bb = BlockBuilder()
+        with bb.function("f", {"x": TensorAnn(("n", 4), "f32")}) as frame:
+            (x,) = frame.params
+            with bb.dataflow():
+                out = bb.emit(ops.relu(x))
+                gv = bb.emit_output(out)
+            bb.emit_func_output(gv)
+        mod = bb.get()
+        out = FoldConstant()(mod, PassContext())
+        assert isinstance(out["f"].body.blocks[0].bindings[0].value, Call)
+
+    def test_folded_mask_matches_runtime(self):
+        """A static causal mask folds to a constant; numerics unchanged."""
+        bb = BlockBuilder()
+        with bb.function("f", {"x": TensorAnn((4, 4), "f32")}) as frame:
+            (x,) = frame.params
+            with bb.dataflow():
+                mask = bb.emit(ops.causal_mask(4, 4))
+                out = bb.emit(ops.add(x, mask))
+                gv = bb.emit_output(out)
+            bb.emit_func_output(gv)
+        mod = bb.get()
+        folded = FoldConstant()(mod, PassContext())
+        assert isinstance(folded["f"].body.blocks[0].bindings[0].value, Constant)
+
+        exe = transform.build(mod, TEST_DEVICE, enable_library_dispatch=False)
+        vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+        x = np.zeros((4, 4), np.float32)
+        out = vm.run("f", NDArray.from_numpy(x)).numpy()
+        want = np.where(np.tril(np.ones((4, 4))), 0.0, -1e9)
+        np.testing.assert_allclose(out, want)
+
+    def test_fold_in_default_pipeline(self):
+        bb = BlockBuilder()
+        with bb.function("f", {"x": TensorAnn((2, 2), "f32")}) as frame:
+            (x,) = frame.params
+            a = const(np.eye(2, dtype=np.float32))
+            with bb.dataflow():
+                sq = bb.emit(ops.matmul(a, a))  # I @ I folds
+                out = bb.emit(ops.add(x, sq))
+                gv = bb.emit_output(out)
+            bb.emit_func_output(gv)
+        exe = transform.build(bb.get(), TEST_DEVICE, enable_library_dispatch=False,
+                              enable_cuda_graph=False)
+        vm = VirtualMachine(exe, TEST_DEVICE, concrete=False)
+        vm.run("f", NDArray.abstract((2, 2), "f32"))
+        # Only the add remains as a kernel.
+        assert vm.stats.kernel_launches == 1
+
+
+class TestShapeOf:
+    def test_deduce_symbolic(self):
+        bb = BlockBuilder()
+        with bb.function("f", {"x": TensorAnn(("n", 4), "f32")}) as frame:
+            (x,) = frame.params
+            with bb.dataflow():
+                s = bb.emit(ops.shape_of(x))
+                gv = bb.emit_output(s)
+            bb.emit_func_output(gv)
+        func = bb.get()["f"]
+        ann = func.body.blocks[0].bindings[0].var.ann
+        assert isinstance(ann, ShapeAnn)
+        n = func.params[0].ann.shape[0]
+        assert sym.prove_equal(ann.values[0], n)
+
+    def test_fig3_get_shape_value_flow(self):
+        """n = shape_of(x)[...] feeding a reshape, end to end."""
+        bb = BlockBuilder()
+        with bb.function("f", {"x": TensorAnn(("n", 2, 2), "f32")}) as frame:
+            (x,) = frame.params
+            n = bb.shape_var("n")
+            with bb.dataflow():
+                s = bb.emit(ops.shape_of(x))
+                # Shapes are first-class: reuse the deduced n dimension.
+                lv0 = bb.emit(ops.reshape(x, shape(n, 4)))
+                gv = bb.emit_output(lv0)
+            bb.emit_func_output(gv)
+        mod = bb.get()
+        exe = transform.build(mod, TEST_DEVICE, enable_library_dispatch=False)
+        vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+        x = np.arange(12, dtype=np.float32).reshape(3, 2, 2)
+        out = vm.run("f", NDArray.from_numpy(x))
+        np.testing.assert_allclose(out.numpy(), x.reshape(3, 4))
+
+    def test_runtime_shape_value(self):
+        """shape_of returns a runtime ShapeTuple usable as a result."""
+        bb = BlockBuilder()
+        with bb.function("f", {"x": TensorAnn(("n", 4), "f32")}) as frame:
+            (x,) = frame.params
+            with bb.dataflow():
+                s = bb.emit(ops.shape_of(x))
+                gv = bb.emit_output(s)
+            bb.emit_func_output(gv)
+        exe = transform.build(bb.get(), TEST_DEVICE, enable_library_dispatch=False)
+        vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+        out = vm.run("f", NDArray.from_numpy(np.zeros((5, 4), np.float32)))
+        assert tuple(out) == (5, 4)
+
+    def test_coarse_operand_uses_builtin(self):
+        """With a rank-only operand the shape is read at runtime."""
+        from repro.core import MatchCast, Var
+
+        bb = BlockBuilder()
+        with bb.function("f", {"x": TensorAnn(ndim=2, dtype="f32")}) as frame:
+            (x,) = frame.params
+            with bb.dataflow():
+                s = bb.emit(ops.shape_of(x))
+                gv = bb.emit_output(s)
+            bb.emit_func_output(gv)
+        mod = bb.get()
+        ann = mod["f"].body.blocks[0].bindings[0].var.ann
+        assert ann.values is None and ann.ndim == 2
+        exe = transform.build(mod, TEST_DEVICE, enable_library_dispatch=False)
+        vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+        out = vm.run("f", NDArray.from_numpy(np.zeros((7, 3), np.float32)))
+        assert tuple(out) == (7, 3)

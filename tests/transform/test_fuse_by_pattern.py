@@ -1,0 +1,160 @@
+"""Custom fusion patterns (§4.2's composability story).
+
+The headline case: fusing *all sub-operators of scaled dot-product
+attention* — matmul, mask add, softmax (Opaque! FuseOps would never touch
+it), matmul — into one kernel via a user-registered pattern, with
+FuseTensorIR handling the merged result exactly as it does for standard
+fusion groups.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ops, sym, transform
+from repro.core import BlockBuilder, TensorAnn, const
+from repro.runtime import NDArray, TEST_DEVICE, VirtualMachine
+from repro.transform import FuseByPattern, PassContext
+
+
+def _composed_attention_module(d=8, m=6):
+    """scores = softmax(q @ k_t + mask); out = scores @ v — all as separate
+    high-level ops (no fused attention operator)."""
+    rng = np.random.default_rng(0)
+    mask = np.where(np.tril(np.ones((m, m))), 0.0, -1e9).astype(np.float32)
+
+    bb = BlockBuilder()
+    with bb.function(
+        "attn",
+        {
+            "q": TensorAnn((m, d), "f32"),
+            "k_t": TensorAnn((d, m), "f32"),
+            "v": TensorAnn((m, d), "f32"),
+        },
+    ) as frame:
+        q, k_t, v = frame.params
+        with bb.dataflow():
+            scores = bb.emit(ops.matmul(q, k_t))
+            masked = bb.emit(ops.add(scores, const(mask)))
+            probs = bb.emit(ops.softmax(masked))
+            out = bb.emit(ops.matmul(probs, v))
+            gv = bb.emit_output(out)
+        bb.emit_func_output(gv)
+    return bb.get(), mask
+
+
+ATTENTION_PATTERN = [["matmul", "add", "softmax", "matmul"]]
+
+
+def _prepare(mod, ctx):
+    mod = transform.LegalizeOps()(mod, ctx)
+    mod = transform.AnnotatePatternKind()(mod, ctx)
+    return mod
+
+
+class TestFuseByPattern:
+    def test_standard_fuseops_skips_softmax(self):
+        mod, _ = _composed_attention_module()
+        ctx = PassContext(enable_library_dispatch=False)
+        mod = _prepare(mod, ctx)
+        fused = transform.FuseOps()(mod, ctx)
+        # Softmax is Opaque: the 4-op chain must NOT become one group.
+        groups = [n for n, f in fused.relax_functions()
+                  if getattr(f, "attrs", {}).get("fusion_group")]
+        for name in groups:
+            assert "softmax" not in name
+
+    def test_custom_pattern_fuses_whole_chain(self):
+        mod, _ = _composed_attention_module()
+        ctx = PassContext(enable_library_dispatch=False)
+        mod = _prepare(mod, ctx)
+        fused = transform.FuseByPattern(ATTENTION_PATTERN)(mod, ctx)
+        groups = [f for _, f in fused.relax_functions()
+                  if f.attrs.get("fusion_group")]
+        assert len(groups) == 1
+        # The group carries all four operators.
+        assert len(groups[0].body.blocks[0].bindings) == 4 + 1  # + output alias
+
+    def test_fuse_tensorir_merges_custom_group(self):
+        mod, _ = _composed_attention_module()
+        ctx = PassContext(enable_library_dispatch=False)
+        mod = _prepare(mod, ctx)
+        fused = transform.FuseByPattern(ATTENTION_PATTERN)(mod, ctx)
+        merged = transform.FuseTensorIR()(fused, ctx)
+        prims = [f for _, f in merged.tir_functions() if f.attrs.get("fused")]
+        assert len(prims) == 1
+        # One kernel for the whole attention block.
+        from repro.core import Call, call_tir_op, is_call_to
+
+        main_calls = [
+            b.value for b in merged["attn"].body.blocks[0].bindings
+            if isinstance(b.value, Call)
+        ]
+        assert len(main_calls) == 1
+        assert is_call_to(main_calls[0], call_tir_op)
+
+    def test_numerics_preserved(self):
+        mod, mask = _composed_attention_module()
+        ctx = PassContext(enable_library_dispatch=False)
+        prepared = _prepare(mod, ctx)
+        fused = transform.FuseByPattern(ATTENTION_PATTERN)(prepared, ctx)
+        merged = transform.FuseTensorIR()(fused, ctx)
+        lowered = transform.LowerCallTIR()(merged, ctx)
+        lowered = transform.MemoryPlan()(lowered, ctx)
+        lowered = transform.InsertKills()(lowered, ctx)
+        exe = transform.VMCodegen()(lowered, ctx)
+        vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+
+        rng = np.random.default_rng(1)
+        q = rng.standard_normal((6, 8)).astype(np.float32)
+        k_t = rng.standard_normal((8, 6)).astype(np.float32)
+        v = rng.standard_normal((6, 8)).astype(np.float32)
+        out = vm.run("attn", NDArray.from_numpy(q), NDArray.from_numpy(k_t),
+                     NDArray.from_numpy(v))
+
+        scores = q @ k_t + mask
+        e = np.exp(scores - scores.max(-1, keepdims=True))
+        probs = e / e.sum(-1, keepdims=True)
+        np.testing.assert_allclose(out.numpy(), probs @ v, rtol=1e-4)
+
+    def test_fewer_kernels_than_unfused(self):
+        def kernels(use_pattern):
+            mod, _ = _composed_attention_module()
+            ctx = PassContext(enable_library_dispatch=False)
+            prepared = _prepare(mod, ctx)
+            if use_pattern:
+                prepared = transform.FuseByPattern(ATTENTION_PATTERN)(prepared, ctx)
+            merged = transform.FuseTensorIR()(prepared, ctx)
+            lowered = transform.InsertKills()(
+                transform.MemoryPlan()(
+                    transform.LowerCallTIR()(merged, ctx), ctx), ctx)
+            exe = transform.VMCodegen()(lowered, ctx)
+            vm = VirtualMachine(exe, TEST_DEVICE, concrete=False)
+            vm.run("attn", NDArray.abstract((6, 8), "f32"),
+                   NDArray.abstract((8, 6), "f32"),
+                   NDArray.abstract((6, 8), "f32"))
+            return vm.stats.kernel_launches
+
+        assert kernels(True) == 1
+        assert kernels(False) == 4
+
+    def test_rejects_trivial_pattern(self):
+        with pytest.raises(ValueError):
+            FuseByPattern([["matmul"]])
+
+    def test_multi_use_breaks_chain(self):
+        """A chain value used twice cannot be absorbed."""
+        bb = BlockBuilder()
+        with bb.function("f", {"x": TensorAnn((4, 4), "f32")}) as frame:
+            (x,) = frame.params
+            with bb.dataflow():
+                a = bb.emit(ops.exp(x))
+                b = bb.emit(ops.relu(a))
+                c = bb.emit(ops.add(a, b))  # `a` used twice
+                gv = bb.emit_output(c)
+            bb.emit_func_output(gv)
+        ctx = PassContext(enable_library_dispatch=False)
+        mod = _prepare(bb.get(), ctx)
+        fused = transform.FuseByPattern([["exp", "relu"]])(mod, ctx)
+        assert not any(
+            f.attrs.get("fusion_group") for _, f in fused.relax_functions()
+        )

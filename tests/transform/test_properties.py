@@ -1,0 +1,227 @@
+"""Property-based tests on the optimization pipeline.
+
+Random programs over a small op vocabulary check the invariants that the
+paper's incremental-transformation design depends on:
+
+* every pipeline configuration (fusion on/off, planning on/off, library
+  on/off) computes the same values as the unoptimized reference;
+* memory planning never assigns two simultaneously-live tensors to the
+  same storage (the Algorithm 3 correctness invariant);
+* the well-formedness checker passes after every stage.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro import ops, sym, transform
+from repro.core import BlockBuilder, Call, TensorAnn, well_formed
+from repro.runtime import NDArray, TEST_DEVICE, VirtualMachine
+from repro.transform import (
+    PassContext,
+    alloc_storage_op,
+    alloc_tensor_from_storage_op,
+    call_lib_dps_op,
+    call_tir_dps_op,
+    dps_parts,
+)
+
+# A vocabulary of unary graph transformations that preserve (n, 8) shape.
+_UNARY = [
+    ("relu", lambda bb, x: bb.emit(ops.relu(x))),
+    ("exp", lambda bb, x: bb.emit(ops.exp(x))),
+    ("sigmoid", lambda bb, x: bb.emit(ops.sigmoid(x))),
+    ("permute2", lambda bb, x: bb.emit(
+        ops.permute_dims(bb.emit(ops.permute_dims(x, (1, 0))), (1, 0))
+    )),
+    ("reshape_roundtrip", lambda bb, x: _reshape_roundtrip(bb, x)),
+]
+
+_BINARY = [
+    ("add", lambda bb, a, b: bb.emit(ops.add(a, b))),
+    ("mul", lambda bb, a, b: bb.emit(ops.multiply(a, b))),
+    ("max", lambda bb, a, b: bb.emit(ops.maximum(a, b))),
+]
+
+_NP_UNARY = {
+    "relu": lambda x: np.maximum(x, 0),
+    "exp": np.exp,
+    "sigmoid": lambda x: 1 / (1 + np.exp(-x)),
+    "permute2": lambda x: x,
+    "reshape_roundtrip": lambda x: x,
+}
+
+_NP_BINARY = {
+    "add": np.add,
+    "mul": np.multiply,
+    "max": np.maximum,
+}
+
+
+def _reshape_roundtrip(bb, x):
+    n = sym.free_vars(x.ann.shape[0])
+    from repro.core import shape
+
+    dim0 = x.ann.shape[0]
+    flat = bb.emit(ops.flatten(x))
+    return bb.emit(ops.reshape(flat, shape(dim0, 8)))
+
+
+@st.composite
+def _programs(draw):
+    """A random DAG: list of (op, input indices) over live values."""
+    steps = draw(st.lists(st.integers(0, 7), min_size=1, max_size=8))
+    program = []
+    live = 1  # value 0 is the input
+    for choice in steps:
+        if choice < 5:
+            name, _ = _UNARY[choice]
+            src = draw(st.integers(0, live - 1))
+            program.append(("u", name, src, None))
+        else:
+            name, _ = _BINARY[choice - 5]
+            a = draw(st.integers(0, live - 1))
+            b = draw(st.integers(0, live - 1))
+            program.append(("b", name, a, b))
+        live += 1
+    return program
+
+
+def _build(program):
+    bb = BlockBuilder()
+    with bb.function("main", {"x": TensorAnn(("n", 8), "f32")}) as frame:
+        (x,) = frame.params
+        with bb.dataflow():
+            values = [x]
+            for kind, name, a, b in program:
+                if kind == "u":
+                    fn = dict(_UNARY)[name]
+                    values.append(fn(bb, values[a]))
+                else:
+                    fn = dict(_BINARY)[name]
+                    values.append(fn(bb, values[a], values[b]))
+            gv = bb.emit_output(values[-1])
+        bb.emit_func_output(gv)
+    return bb.get()
+
+
+def _reference(program, x):
+    # float32, like the compiled kernels: exp chains may saturate to inf,
+    # and both paths must saturate identically.
+    values = [x.astype(np.float32)]
+    with np.errstate(over="ignore", invalid="ignore"):
+        for kind, name, a, b in program:
+            if kind == "u":
+                values.append(_NP_UNARY[name](values[a]).astype(np.float32))
+            else:
+                values.append(
+                    _NP_BINARY[name](values[a], values[b]).astype(np.float32)
+                )
+    return values[-1]
+
+
+@settings(max_examples=20, deadline=None)
+@given(program=_programs(), seed=st.integers(0, 100))
+def test_pipeline_configs_agree_with_reference(program, seed):
+    mod_builder = lambda: _build(program)
+    x = np.random.default_rng(seed).standard_normal((3, 8)).astype(np.float32)
+    want = _reference(program, x)
+
+    for kwargs in (
+        {"enable_fusion": False, "enable_library_dispatch": False},
+        {"enable_fusion": True, "enable_library_dispatch": False},
+        {"enable_fusion": True, "enable_library_dispatch": True},
+        {"enable_memory_planning": False, "enable_cuda_graph": False},
+    ):
+        exe = transform.build(mod_builder(), TEST_DEVICE, **kwargs)
+        vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+        out = vm.run("main", NDArray.from_numpy(x))
+        with np.errstate(over="ignore", invalid="ignore"):
+            np.testing.assert_allclose(out.numpy(), want, rtol=2e-3, atol=1e-5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(program=_programs())
+def test_planner_never_overlaps_live_tensors(program):
+    """No two simultaneously-live tensors may share a storage."""
+    mod = _build(program)
+    ctx = PassContext(device=TEST_DEVICE, enable_library_dispatch=False,
+                      sym_var_upper_bounds={"n": 32})
+    lowered = transform.optimize(mod, ctx)
+    func = lowered["main"]
+    well_formed(lowered, check_sym_scope=False)
+
+    bindings = [b for block in func.body.blocks for b in block.bindings]
+    storage_of = {}  # tensor var id -> storage var id
+    born_at = {}
+    for idx, binding in enumerate(bindings):
+        value = binding.value
+        if isinstance(value, Call) and value.op is alloc_tensor_from_storage_op:
+            storage_of[binding.var._id] = value.args[0]._id
+            born_at[binding.var._id] = idx
+
+    # Last use of each tensor.
+    last_use = {}
+
+    def scan(expr, idx):
+        from repro.core import Tuple, TupleGetItem, Var
+
+        if isinstance(expr, Var):
+            last_use[expr._id] = idx
+        elif isinstance(expr, Call):
+            for a in expr.args:
+                scan(a, idx)
+        elif isinstance(expr, Tuple):
+            for f in expr.fields:
+                scan(f, idx)
+        elif isinstance(expr, TupleGetItem):
+            scan(expr.tuple_value, idx)
+
+    for idx, binding in enumerate(bindings):
+        scan(binding.value, idx)
+    scan(func.body.body, len(bindings) + 1)
+
+    tensors = list(storage_of)
+    for i, t1 in enumerate(tensors):
+        for t2 in tensors[i + 1:]:
+            if storage_of[t1] != storage_of[t2]:
+                continue
+            live1 = (born_at[t1], last_use.get(t1, born_at[t1]))
+            live2 = (born_at[t2], last_use.get(t2, born_at[t2]))
+            overlap = not (live1[1] <= live2[0] or live2[1] <= live1[0])
+            assert not overlap, (
+                f"tensors with overlapping live ranges {live1} / {live2} "
+                "share a storage"
+            )
+
+
+@settings(max_examples=10, deadline=None)
+@given(program=_programs())
+def test_lowered_module_structure(program):
+    """After lowering: no high-level ops remain; every DPS call's outputs
+    are allocated before the call."""
+    mod = _build(program)
+    ctx = PassContext(device=TEST_DEVICE, enable_library_dispatch=False)
+    lowered = transform.optimize(mod, ctx)
+    func = lowered["main"]
+    seen_allocated = set()
+    for block in func.body.blocks:
+        for binding in block.bindings:
+            value = binding.value
+            if not isinstance(value, Call):
+                continue
+            from repro.core import Op
+
+            if isinstance(value.op, Op):
+                assert value.op.name.startswith(("memory.", "vm.")), (
+                    f"unlowered op {value.op.name}"
+                )
+            if value.op in (call_tir_dps_op, call_lib_dps_op):
+                _, _, outputs, _ = dps_parts(value)
+                for out in outputs:
+                    assert out._id in seen_allocated
+            if value.op is alloc_tensor_from_storage_op or (
+                isinstance(value.op, Op) and value.op.name == "memory.alloc_tensor"
+            ):
+                seen_allocated.add(binding.var._id)

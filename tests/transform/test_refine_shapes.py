@@ -1,0 +1,130 @@
+"""Backward constraint propagation (the Axon-style extension, paper §6)."""
+
+import numpy as np
+import pytest
+
+from repro import ops, sym, transform
+from repro.core import BlockBuilder, TensorAnn
+from repro.runtime import NDArray, TEST_DEVICE, VirtualMachine
+from repro.transform import PassContext, RefineShapes
+
+
+def _coarse_chain_module():
+    """unique (coarse) -> exp -> relu -> match_cast((n,)): the cast asserts
+    the result still has the *input's* length (all elements distinct), and
+    that in-scope constraint flows backwards through the chain."""
+    bb = BlockBuilder()
+    with bb.function("f", {"x": TensorAnn(("n",), "f32")}) as frame:
+        (x,) = frame.params
+        n = bb.shape_var("n")
+        with bb.dataflow():
+            u = bb.emit(ops.unique(x))        # Tensor(ndim=1) — coarse
+            e = bb.emit(ops.exp(u))           # coarse propagates forward
+            r = bb.emit(ops.relu(e))          # still coarse
+            c = bb.match_cast(r, TensorAnn((n,), "f32"))
+            gv = bb.emit_output(c)
+        bb.emit_func_output(gv)
+    return bb.get(), n
+
+
+class TestRefineShapes:
+    def test_backward_propagation_through_chain(self):
+        mod, m = _coarse_chain_module()  # m is the signature's n here
+        bindings = mod["f"].body.blocks[0].bindings
+        # Before: forward-only deduction left the chain coarse.
+        assert bindings[1].var.ann.shape is None  # exp
+        assert bindings[2].var.ann.shape is None  # relu
+
+        RefineShapes()(mod, PassContext())
+        # After: the match_cast constraint reached both intermediates.
+        assert sym.prove_equal(bindings[2].var.ann.shape[0], m)
+        assert sym.prove_equal(bindings[1].var.ann.shape[0], m)
+        # ...and unique's result itself (relu's operand's producer's value).
+        assert sym.prove_equal(bindings[0].var.ann.shape[0], m)
+
+    def test_params_never_refined(self):
+        bb = BlockBuilder()
+        m = sym.SymVar("m")
+        with bb.function("f", {"x": TensorAnn(ndim=1, dtype="f32")}) as frame:
+            (x,) = frame.params
+            with bb.dataflow():
+                c = bb.match_cast(x, TensorAnn((m,), "f32"))
+                gv = bb.emit_output(c)
+            bb.emit_func_output(gv)
+        mod = bb.get()
+        RefineShapes()(mod, PassContext())
+        # The public signature stays coarse.
+        assert mod["f"].params[0].ann.shape is None
+
+    def test_already_fine_annotations_untouched(self):
+        bb = BlockBuilder()
+        with bb.function("f", {"x": TensorAnn(("n", 4), "f32")}) as frame:
+            (x,) = frame.params
+            with bb.dataflow():
+                e = bb.emit(ops.exp(x))
+                gv = bb.emit_output(e)
+            bb.emit_func_output(gv)
+        mod = bb.get()
+        before = mod["f"].body.blocks[0].bindings[0].var.ann
+        RefineShapes()(mod, PassContext())
+        after = mod["f"].body.blocks[0].bindings[0].var.ann
+        assert after is before
+
+    def test_refined_module_compiles_and_runs(self):
+        """Refinement must not break the pipeline; the refined annotations
+        are consistent with runtime behaviour."""
+        mod, _ = _coarse_chain_module()
+        RefineShapes()(mod, PassContext())
+        exe = transform.build(mod, TEST_DEVICE, enable_library_dispatch=False)
+        vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+        # All-distinct input: the match_cast's (n,) assertion holds.
+        x = np.array([2.0, 1.0, 4.0, 3.0], dtype=np.float32)
+        out = vm.run("f", NDArray.from_numpy(x))
+        np.testing.assert_allclose(
+            out.numpy(), np.maximum(np.exp(np.unique(x)), 0), rtol=1e-6
+        )
+
+    def test_fresh_var_constraint_blocked_by_scope(self):
+        """A match_cast-introduced variable must not flow above its own
+        introduction (it has no runtime value there)."""
+        bb = BlockBuilder()
+        m = sym.SymVar("m")
+        with bb.function("f", {"x": TensorAnn(("n",), "f32")}) as frame:
+            (x,) = frame.params
+            with bb.dataflow():
+                u = bb.emit(ops.unique(x))
+                e = bb.emit(ops.exp(u))
+                c = bb.match_cast(e, TensorAnn((m,), "f32"))
+                gv = bb.emit_output(c)
+            bb.emit_func_output(gv)
+        mod = bb.get()
+        RefineShapes()(mod, PassContext())
+        bindings = mod["f"].body.blocks[0].bindings
+        assert bindings[1].var.ann.shape is None  # exp stays coarse
+        # ...and the module still verifies (no out-of-scope variables).
+        from repro.core import well_formed
+
+        well_formed(mod)
+        # Such a program genuinely cannot legalize (no shape to generate
+        # exp's kernel from) — which is why the paper's Fig. 3 places the
+        # match_cast *before* the dependent operators.
+        with pytest.raises(ValueError, match="match_cast"):
+            transform.build(mod, TEST_DEVICE, enable_library_dispatch=False)
+
+    def test_binary_not_propagated(self):
+        """add() has broadcast semantics: equality is NOT provable, so no
+        refinement happens (soundness)."""
+        bb = BlockBuilder()
+        m = sym.SymVar("m")
+        with bb.function("f", {"x": TensorAnn(("n",), "f32")}) as frame:
+            (x,) = frame.params
+            with bb.dataflow():
+                u = bb.emit(ops.unique(x))
+                s = bb.emit(ops.add(u, u))
+                c = bb.match_cast(s, TensorAnn((m,), "f32"))
+                gv = bb.emit_output(c)
+            bb.emit_func_output(gv)
+        mod = bb.get()
+        RefineShapes()(mod, PassContext())
+        bindings = mod["f"].body.blocks[0].bindings
+        assert bindings[0].var.ann.shape is None  # unique stays coarse
