@@ -8,9 +8,11 @@ helps by reducing launched kernels and global-memory traffic; CUDA Graph
 adds ~1–2% by eliminating per-kernel launch overhead.
 """
 
+import os
+
 import pytest
 
-from repro.bench import print_table
+from repro.bench import dump_results, print_pass_timings, print_table, results_payload
 from repro.models import LLAMA3_8B
 from repro.runtime import RTX_4090
 
@@ -33,20 +35,41 @@ CONFIGS = {
 
 def test_fig17_optimization_ablation(relax_llm, benchmark):
     rows = {}
+    reports = {}
     for label, kwargs in CONFIGS.items():
         runner = relax_llm(LLAMA3_8B, DEVICE, **kwargs)
         rows[label] = [
             runner.decode_step_time(b, CONTEXT) * 1000 for b in BATCHES
         ]
-    print_table(
+        reports[label] = runner.compile_report
+    title = (
         f"Figure 17 — Llama3-8B optimization ablation on {DEVICE.name} "
-        f"(decode ms, context {CONTEXT})",
-        "batch size", BATCHES, rows, "ms",
+        f"(decode ms, context {CONTEXT})"
+    )
+    print_table(
+        title, "batch size", BATCHES, rows, "ms",
         notes=[
             "paper: library dispatch contributes most (<=27%, large batch); "
             "fusion reduces kernels; CUDA Graph ~1-2%",
         ],
     )
+    # Per-pass compile cost from the Timing instrument: toggled-off passes
+    # show as '—' in their ablation column.
+    print_pass_timings(
+        "Figure 17 — per-pass compile wall time by configuration", reports
+    )
+    out_path = os.environ.get(
+        "REPRO_RESULTS_JSON",
+        os.path.join(os.path.dirname(__file__), "artifacts", "fig17_ablation.json"),
+    )
+    dump_results(out_path, results_payload(
+        title, BATCHES, rows, unit="ms", pipeline_reports=reports,
+    ))
+    for label, report in reports.items():
+        assert report.executed, f"{label}: pipeline report is empty"
+        assert all(r.duration_s is not None for r in report.executed), (
+            f"{label}: Timing instrument left gaps in the report"
+        )
 
     full = rows["Relax (all)"]
     # Library dispatch matters most at large batch (compute-bound GEMMs).

@@ -2,9 +2,12 @@
 
 from .harness import (
     best_competitor,
+    dump_results,
     fmt_value,
     geomean_ratio,
+    print_pass_timings,
     print_table,
+    results_payload,
     speedup,
 )
 from .relax_runner import RelaxLLM, RelaxLlava, RelaxWhisper
@@ -14,8 +17,11 @@ __all__ = [
     "RelaxLlava",
     "RelaxWhisper",
     "best_competitor",
+    "dump_results",
     "fmt_value",
     "geomean_ratio",
+    "print_pass_timings",
     "print_table",
+    "results_payload",
     "speedup",
 ]

@@ -9,7 +9,8 @@ factor, where crossovers fall — DESIGN.md §4).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import json
+from typing import Any, Dict, List, Optional, Sequence
 
 
 def fmt_value(value, unit: str = "") -> str:
@@ -52,6 +53,64 @@ def print_table(
         print(line)
     for note in notes or ():
         print(f"  note: {note}")
+
+
+def print_pass_timings(title: str, reports: Dict[str, Any]) -> None:
+    """Print per-pass compile wall time for each configuration.
+
+    ``reports`` maps configuration label -> ``PipelineReport`` (from the
+    ``Timing`` instrument); skipped passes show as ``—``.
+    """
+    names: List[str] = []
+    for report in reports.values():
+        for record in report:
+            if record.name not in names:
+                names.append(record.name)
+    rows: Dict[str, List] = {}
+    for name in names:
+        rows[name] = []
+        for report in reports.values():
+            total: Optional[float] = None
+            for record in report:
+                if record.name == name and record.ran:
+                    total = (total or 0.0) + (record.duration_s or 0.0)
+            rows[name].append(total * 1000 if total is not None else None)
+    print_table(title, "pass \\ config", list(reports), rows, "ms")
+
+
+def results_payload(
+    title: str,
+    columns: Sequence,
+    rows: Dict[str, List],
+    *,
+    unit: str = "",
+    pipeline_reports: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Bundle one experiment's series (plus the per-configuration
+    PipelineReports, when given) into a JSON-serializable dict."""
+    payload: Dict[str, Any] = {
+        "title": title,
+        "unit": unit,
+        "columns": list(columns),
+        "rows": {name: list(series) for name, series in rows.items()},
+    }
+    if pipeline_reports:
+        payload["pipeline"] = {
+            label: report.to_dict() for label, report in pipeline_reports.items()
+        }
+    return payload
+
+
+def dump_results(path: str, payload: Dict[str, Any]) -> str:
+    """Serialize a results payload to JSON; returns the path written."""
+    import os
+
+    dirname = os.path.dirname(path)
+    if dirname:
+        os.makedirs(dirname, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, default=str)
+    return path
 
 
 def speedup(baseline: float, measured: float) -> float:

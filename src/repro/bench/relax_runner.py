@@ -15,7 +15,8 @@ from .. import transform
 from ..models.llama import LlamaConfig, build_llama
 from ..runtime import NDArray, VirtualMachine
 from ..runtime.device import Device
-from ..runtime.profiler import ExecutionStats
+from ..runtime.profiler import ExecutionStats, ProfileReport
+from ..transform import IRStats, PassContext, Timing
 
 
 class RelaxLLM:
@@ -39,17 +40,22 @@ class RelaxLLM:
             bounds = {"b": 64, "s": cfg.context_length, "m": cfg.context_length}
         else:
             bounds = sym_var_upper_bounds  # {} means: no declared bounds
-        self.exe = transform.build(
-            self.exported.mod,
-            device,
-            sym_var_upper_bounds=bounds,
+        # One instrumented context drives both the compiler and the VM, so
+        # every benchmark artifact carries per-pass compile cost for free.
+        ctx = PassContext(
+            device=device,
+            sym_var_upper_bounds=dict(bounds),
             enable_library_dispatch=enable_library_dispatch,
             enable_fusion=enable_fusion,
             enable_memory_planning=enable_memory_planning,
             enable_cuda_graph=enable_cuda_graph,
+            instruments=[Timing(), IRStats()],
         )
+        self.exe = transform.build(self.exported.mod, ctx=ctx)
+        self.compile_report = ctx.report
         self.vm = VirtualMachine(
-            self.exe, device, concrete=False, enable_cuda_graph=enable_cuda_graph
+            self.exe, device, concrete=False,
+            enable_cuda_graph=ctx.enable_cuda_graph,
         )
         self.params = self.exported.abstract_params()
 
@@ -92,6 +98,10 @@ class RelaxLLM:
 
     def stats_snapshot(self) -> ExecutionStats:
         return self.vm.stats
+
+    def profile_report(self) -> ProfileReport:
+        """Execution stats joined with the compile-time pipeline report."""
+        return ProfileReport.from_vm(self.vm)
 
 
 class RelaxWhisper:

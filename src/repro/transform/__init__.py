@@ -26,14 +26,35 @@ from .memory_ops import (
     kill,
     kill_op,
 )
+from .instrument import (
+    IRStats,
+    PassInstrument,
+    PrintIRDiff,
+    Timing,
+    WellFormedVerifier,
+    ir_stats,
+)
 from .pass_infra import (
     FunctionPass,
     LambdaPass,
     Pass,
     PassContext,
+    PassRecord,
+    PipelineReport,
     Sequential,
+    build_pipeline,
+    get_pass,
+    pass_metadata,
+    register_pass,
+    registered_passes,
 )
-from .pipeline import build, compile_and_load, default_pipeline, optimize
+from .pipeline import (
+    DEFAULT_PIPELINE,
+    build,
+    compile_and_load,
+    default_pipeline,
+    optimize,
+)
 from .refine_shapes import SHAPE_PRESERVING_UNARY, RefineShapes
 from .to_vm import VMCodegen, VMCodegenError
 from .tune_tir import (
@@ -49,12 +70,14 @@ from .workspace_lift import WorkspaceLifting
 __all__ = [
     "AnnotatePatternKind",
     "CUDAGraphOffload",
+    "DEFAULT_PIPELINE",
     "DeadCodeElimination",
     "FunctionPass",
     "FoldConstant",
     "FuseByPattern",
     "FuseOps",
     "FuseTensorIR",
+    "IRStats",
     "InsertKills",
     "LambdaPass",
     "LegalizeOps",
@@ -63,12 +86,18 @@ __all__ = [
     "MemoryPlan",
     "PATTERN_ATTR",
     "Pass",
+    "PassInstrument",
+    "PassRecord",
+    "PipelineReport",
+    "PrintIRDiff",
     "RefineShapes",
     "SHAPE_PRESERVING_UNARY",
     "PassContext",
     "Sequential",
+    "Timing",
     "VMCodegen",
     "VMCodegenError",
+    "WellFormedVerifier",
     "SCHEDULE_ATTR",
     "ScheduleCandidate",
     "ScheduleRules",
@@ -83,6 +112,7 @@ __all__ = [
     "alloc_tensor_from_storage_op",
     "alloc_tensor_op",
     "build",
+    "build_pipeline",
     "call_lib_dps",
     "call_lib_dps_op",
     "call_tir_dps",
@@ -90,10 +120,15 @@ __all__ = [
     "compile_and_load",
     "default_pipeline",
     "dps_parts",
+    "get_pass",
+    "ir_stats",
     "kill",
     "kill_op",
     "optimize",
+    "pass_metadata",
     "pattern_of",
     "register_dispatch",
+    "register_pass",
+    "registered_passes",
     "substitute_vars",
 ]

@@ -12,13 +12,15 @@ from __future__ import annotations
 
 from .. import tir
 from ..core.ir_module import IRModule
-from .pass_infra import Pass, PassContext
+from .pass_infra import Pass, PassContext, register_pass
 
 PATTERN_ATTR = "compute_pattern"
 
 
+@register_pass
 class AnnotatePatternKind(Pass):
     name = "AnnotatePatternKind"
+    opt_level = 1
 
     def run(self, mod: IRModule, ctx: PassContext) -> IRModule:
         for _, func in mod.tir_functions():

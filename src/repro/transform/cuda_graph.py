@@ -42,7 +42,7 @@ from .memory_ops import (
     call_tir_dps_op,
     kill_op,
 )
-from .pass_infra import FunctionPass, PassContext
+from .pass_infra import FunctionPass, PassContext, register_pass
 
 #: Backends with driver-level static execution graphs.  The paper notes the
 #: principle generalizes to "any GPU backend that supports static execution
@@ -52,12 +52,13 @@ GRAPH_BACKENDS = ("cuda",)
 MIN_KERNELS = 2
 
 
+@register_pass
 class CUDAGraphOffload(FunctionPass):
     name = "CUDAGraphOffload"
+    opt_level = 1
+    opt_flag = "enable_cuda_graph"
 
     def transform_function(self, name, func: Function, mod: IRModule, ctx: PassContext):
-        if not ctx.enable_cuda_graph:
-            return func
         if ctx.device.backend not in GRAPH_BACKENDS:
             return func
         if func.attrs.get("memory_planned") != "static":

@@ -24,7 +24,7 @@ from ..core.expr import (
     Var,
 )
 from ..core.ir_module import IRModule
-from .pass_infra import FunctionPass, PassContext
+from .pass_infra import FunctionPass, PassContext, register_pass
 
 
 def _collect_uses(expr: Expr, used: Set[int]) -> None:
@@ -50,10 +50,12 @@ def _collect_uses(expr: Expr, used: Set[int]) -> None:
         _collect_uses(expr.body, used)
 
 
+@register_pass
 class DeadCodeElimination(FunctionPass):
     """Remove dataflow bindings whose results are never used."""
 
     name = "DeadCodeElimination"
+    opt_level = 1
 
     def transform_function(self, name, func: Function, mod: IRModule, ctx: PassContext):
         body = func.body

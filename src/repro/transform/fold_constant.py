@@ -22,7 +22,7 @@ from ..core.ir_module import IRModule
 from ..core.deduction import rededuce_function
 from ..core.visitor import ExprMutator
 from ..ops.registry import finalize_prim_func
-from .pass_infra import FunctionPass, PassContext
+from .pass_infra import FunctionPass, PassContext, register_pass
 
 
 def _try_fold(call: Call) -> Optional[Constant]:
@@ -81,8 +81,10 @@ class _Folder(ExprMutator):
         return visited
 
 
+@register_pass
 class FoldConstant(FunctionPass):
     name = "FoldConstant"
+    opt_level = 1
 
     def transform_function(self, name, func, mod: IRModule, ctx: PassContext):
         folder = _Folder()

@@ -43,7 +43,7 @@ from ..core.deduction import rededuce_function
 from ..core import op as core_op
 from ..tir.analysis import PatternKind
 from .annotate_pattern import pattern_of
-from .pass_infra import FunctionPass, PassContext
+from .pass_infra import FunctionPass, PassContext, register_pass
 
 
 def substitute_vars(expr: Expr, var_map: Dict[int, Expr]) -> Expr:
@@ -107,12 +107,13 @@ def _mergeable(producer_kind, consumer_kind, producer_heavy, consumer_heavy):
     return None
 
 
+@register_pass
 class FuseOps(FunctionPass):
     name = "FuseOps"
+    opt_level = 1
+    opt_flag = "enable_fusion"
 
     def transform_function(self, name, func: Function, mod: IRModule, ctx: PassContext):
-        if not ctx.enable_fusion:
-            return func
         if func.attrs.get("fusion_group"):
             return func
         body = func.body

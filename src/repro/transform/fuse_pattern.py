@@ -28,9 +28,14 @@ from .pass_infra import FunctionPass, PassContext
 
 
 class FuseByPattern(FunctionPass):
-    """Fuse chains matching the given source-operator name sequences."""
+    """Fuse chains matching the given source-operator name sequences.
+
+    Not in the module-level registry: it takes mandatory constructor
+    arguments (the patterns), so it cannot be built by name alone.
+    """
 
     name = "FuseByPattern"
+    opt_level = 1
 
     def __init__(self, patterns: Sequence[Sequence[str]]):
         self.patterns = [tuple(p) for p in patterns]

@@ -33,7 +33,7 @@ from ..core.deduction import rededuce_function
 from ..core import op as core_op
 from ..core.visitor import ExprMutator
 from ..ops.registry import needed_sym_params
-from .pass_infra import Pass, PassContext
+from .pass_infra import Pass, PassContext, register_pass
 
 
 class _FusedPrim:
@@ -42,8 +42,13 @@ class _FusedPrim:
         self.sub_fn = sub_fn
 
 
+@register_pass
 class FuseTensorIR(Pass):
+    # Required: fusion groups created by FuseOps *or* FuseByPattern must
+    # always be materialized into tensor programs before lowering.
     name = "FuseTensorIR"
+    opt_level = 0
+    required = True
 
     def run(self, mod: IRModule, ctx: PassContext) -> IRModule:
         out = mod.copy()

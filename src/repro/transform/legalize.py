@@ -20,7 +20,7 @@ from ..core import op as core_op
 from ..core.deduction import rededuce_function
 from ..core.visitor import ExprMutator
 from ..ops.registry import finalize_prim_func
-from .pass_infra import FunctionPass, PassContext
+from .pass_infra import FunctionPass, PassContext, register_pass
 
 
 class _Legalizer(ExprMutator):
@@ -71,8 +71,11 @@ class _Legalizer(ExprMutator):
         return new_call
 
 
+@register_pass
 class LegalizeOps(FunctionPass):
     name = "LegalizeOps"
+    opt_level = 0
+    required = True
 
     def transform_function(self, name, func, mod: IRModule, ctx: PassContext):
         legalizer = _Legalizer(mod)

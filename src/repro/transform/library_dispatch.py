@@ -20,7 +20,7 @@ from ..core.ir_module import IRModule
 from ..core.deduction import rededuce_function
 from ..core import op as core_op
 from ..core.visitor import ExprMutator
-from .pass_infra import FunctionPass, PassContext
+from .pass_infra import FunctionPass, PassContext, register_pass
 
 #: A dispatch rule: (op name, matcher(call) -> bool, library function name).
 DispatchRule = Tuple[str, Callable[[Call], bool], str]
@@ -105,15 +105,16 @@ def _is_tensor(expr: Expr) -> bool:
     return isinstance(expr.ann, TensorAnn)
 
 
+@register_pass
 class LibraryDispatch(FunctionPass):
     name = "LibraryDispatch"
+    opt_level = 1
+    opt_flag = "enable_library_dispatch"
 
     def __init__(self, rules: Optional[List[DispatchRule]] = None):
         self.rules = rules
 
     def transform_function(self, name, func, mod: IRModule, ctx: PassContext):
-        if not ctx.enable_library_dispatch:
-            return func
         if not ctx.device.has_vendor_library:
             return func
         rules = self.rules if self.rules is not None else default_rules()

@@ -31,11 +31,14 @@ from ..core.expr import (
 from ..core.ir_module import IRModule
 from ..core import op as core_op
 from .memory_ops import alloc_tensor, call_lib_dps, call_tir_dps
-from .pass_infra import FunctionPass, PassContext
+from .pass_infra import FunctionPass, PassContext, register_pass
 
 
+@register_pass
 class LowerCallTIR(FunctionPass):
     name = "LowerCallTIR"
+    opt_level = 0
+    required = True
 
     def transform_function(self, name, func: Function, mod: IRModule, ctx: PassContext):
         body = func.body

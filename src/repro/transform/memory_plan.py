@@ -42,7 +42,7 @@ from .memory_ops import (
     alloc_tensor_op,
     kill,
 )
-from .pass_infra import FunctionPass, PassContext
+from .pass_infra import FunctionPass, PassContext, register_pass
 
 
 class _StoragePool:
@@ -136,12 +136,13 @@ def _last_uses(blocks, body_expr) -> Dict[int, int]:
     return uses_at
 
 
+@register_pass
 class MemoryPlan(FunctionPass):
     name = "MemoryPlan"
+    opt_level = 1
+    opt_flag = "enable_memory_planning"
 
     def transform_function(self, name, func: Function, mod: IRModule, ctx: PassContext):
-        if not ctx.enable_memory_planning:
-            return func
         body = func.body
         if not isinstance(body, SeqExpr):
             return func
@@ -276,10 +277,15 @@ class MemoryPlan(FunctionPass):
         scan(value)
 
 
+@register_pass
 class InsertKills(FunctionPass):
     """Add ``memory.kill`` after the last use of pool-allocated tensors."""
 
+    # Required: pool-allocated tensors (planning disabled, or dynamic
+    # fallbacks) rely on kills for recycling in *both* allocation modes.
     name = "InsertKills"
+    opt_level = 0
+    required = True
 
     def transform_function(self, name, func: Function, mod: IRModule, ctx: PassContext):
         body = func.body

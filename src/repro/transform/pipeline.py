@@ -17,108 +17,199 @@ Fixed order, no fixed point (§4.7):
 9.  **CUDAGraphOffload**;
 10. **VMCodegen** — symbolic shape lowering + instruction emission.
 
+The pipeline is assembled *by name* from the pass registry
+(:data:`DEFAULT_PIPELINE`), so stages can be reordered, dropped, or
+replaced without touching this module.  Ablations (Fig. 17) and tuning
+(§4.6) no longer need special-case wrappers: each pass declares the
+``PassContext`` flag that gates it and the infrastructure skips it
+uniformly, recording the skip in the context's
+:class:`~repro.transform.pass_infra.PipelineReport`.
+
 ``build()`` runs the whole pipeline and returns a runnable Executable;
-each stage can also be invoked separately for testing and ablations
-(Fig. 17 toggles fusion / library dispatch / CUDA Graph via PassContext
-flags).
+each stage can also be invoked separately for testing and ablations.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from ..core.ir_module import IRModule
 from ..runtime.device import Device, TEST_DEVICE
 from ..runtime.vm import Executable, VirtualMachine
-from .annotate_pattern import AnnotatePatternKind
-from .cuda_graph import CUDAGraphOffload
-from .dead_code import DeadCodeElimination
-from .fold_constant import FoldConstant
-from .fuse_ops import FuseOps
-from .fuse_tensorir import FuseTensorIR
-from .legalize import LegalizeOps
-from .library_dispatch import LibraryDispatch
-from .lower_call_tir import LowerCallTIR
-from .memory_plan import InsertKills, MemoryPlan
-from .pass_infra import Pass, PassContext, Sequential
-from .to_vm import VMCodegen
-from .tune_tir import ScheduleRules, TuneTir
-from .workspace_lift import WorkspaceLifting
+
+# The pass modules must be imported so their @register_pass decorators run.
+from . import (  # noqa: F401
+    annotate_pattern,
+    cuda_graph,
+    dead_code,
+    fold_constant,
+    fuse_ops,
+    fuse_tensorir,
+    legalize,
+    library_dispatch,
+    lower_call_tir,
+    memory_plan,
+    refine_shapes,
+    to_vm,
+    tune_tir,
+    workspace_lift,
+)
+from .instrument import PassInstrument
+from .pass_infra import (
+    PassContext,
+    PipelineReport,
+    Sequential,
+    build_pipeline,
+)
+
+#: The optimization pipeline up to (but excluding) codegen, by registry
+#: name.  ``TuneTir`` rides along gated by ``enable_autotuning`` (off by
+#: default) — no special-case wrapper needed.
+DEFAULT_PIPELINE: Tuple[str, ...] = (
+    "FoldConstant",
+    "LibraryDispatch",
+    "LegalizeOps",
+    "DeadCodeElimination",
+    "AnnotatePatternKind",
+    "FuseOps",
+    "FuseTensorIR",
+    "ScheduleRules",
+    "TuneTir",
+    "WorkspaceLifting",
+    "LowerCallTIR",
+    "MemoryPlan",
+    "InsertKills",
+    "CUDAGraphOffload",
+)
 
 
-class _OptionalTuning(Pass):
-    """Runs Ansor-style tuning when the context asks for it (§4.6)."""
-
-    name = "OptionalTuning"
-
-    def run(self, mod, ctx):
-        if ctx.enable_autotuning:
-            return TuneTir()(mod, ctx)
-        return mod
+def default_pipeline(names: Optional[Iterable[str]] = None, *,
+                     skip: Sequence[str] = ()) -> Sequential:
+    """The optimization pipeline, overridable by registered pass name."""
+    return build_pipeline(names or DEFAULT_PIPELINE, skip=skip)
 
 
-def default_pipeline() -> Sequential:
-    """The optimization pipeline up to (but excluding) codegen."""
-    return Sequential(
-        [
-            FoldConstant(),
-            LibraryDispatch(),
-            LegalizeOps(),
-            DeadCodeElimination(),
-            AnnotatePatternKind(),
-            FuseOps(),
-            FuseTensorIR(),
-            ScheduleRules(),
-            _OptionalTuning(),
-            WorkspaceLifting(),
-            LowerCallTIR(),
-            MemoryPlan(),
-            InsertKills(),
-            CUDAGraphOffload(),
-        ]
-    )
+def optimize(mod: IRModule, ctx: Optional[PassContext] = None, *,
+             return_report: bool = False):
+    """Run the optimization pipeline, returning the lowered module.
+
+    With ``return_report=True`` returns ``(module, PipelineReport)``; the
+    report is also always available as ``ctx.report``.
+    """
+    ctx = ctx or PassContext.current()
+    lowered = default_pipeline()(mod, ctx)
+    if return_report:
+        return lowered, ctx.report
+    return lowered
 
 
-def optimize(mod: IRModule, ctx: Optional[PassContext] = None) -> IRModule:
-    """Run the optimization pipeline, returning the lowered module."""
-    ctx = ctx or PassContext()
-    return default_pipeline()(mod, ctx)
+def _resolve_context(
+    ctx: Optional[PassContext],
+    device: Optional[Device],
+    sym_var_upper_bounds: Optional[Dict[str, int]],
+    instruments: Optional[Sequence[PassInstrument]],
+    opt_level: Optional[int],
+    flags: Dict[str, Optional[bool]],
+) -> PassContext:
+    """One context for the whole compile: explicit ``ctx`` wins, then the
+    scoped ``PassContext.current()``, then a fresh default.  Explicitly
+    passed keyword options override the resolved context's fields."""
+    if ctx is None and PassContext._stack:
+        ctx = PassContext.current()
+    if ctx is None:
+        ctx = PassContext(device=device or TEST_DEVICE)
+    elif device is not None:
+        ctx.device = device
+    if sym_var_upper_bounds is not None:
+        ctx.sym_var_upper_bounds = dict(sym_var_upper_bounds)
+    if instruments is not None:
+        ctx.instruments = list(instruments)
+    if opt_level is not None:
+        ctx.opt_level = opt_level
+    for flag, value in flags.items():
+        if value is not None:
+            setattr(ctx, flag, value)
+    return ctx
 
 
 def build(
     mod: IRModule,
-    device: Device = TEST_DEVICE,
+    device: Optional[Device] = None,
     *,
+    ctx: Optional[PassContext] = None,
     sym_var_upper_bounds: Optional[Dict[str, int]] = None,
-    enable_library_dispatch: bool = True,
-    enable_fusion: bool = True,
-    enable_memory_planning: bool = True,
-    enable_cuda_graph: bool = True,
-    enable_autotuning: bool = False,
+    enable_library_dispatch: Optional[bool] = None,
+    enable_fusion: Optional[bool] = None,
+    enable_memory_planning: Optional[bool] = None,
+    enable_cuda_graph: Optional[bool] = None,
+    enable_autotuning: Optional[bool] = None,
+    instruments: Optional[Sequence[PassInstrument]] = None,
+    opt_level: Optional[int] = None,
+    return_report: bool = False,
 ) -> Executable:
-    """Compile an IRModule into a VM executable for ``device``."""
-    ctx = PassContext(
-        device=device,
-        sym_var_upper_bounds=dict(sym_var_upper_bounds or {}),
-        enable_library_dispatch=enable_library_dispatch,
-        enable_fusion=enable_fusion,
-        enable_memory_planning=enable_memory_planning,
-        enable_cuda_graph=enable_cuda_graph,
-        enable_autotuning=enable_autotuning,
+    """Compile an IRModule into a VM executable for ``device``.
+
+    The pipeline options come from, in priority order: explicit keyword
+    arguments, a ``ctx`` argument, the innermost ``with PassContext(...)``
+    scope, or the defaults.  With ``return_report=True`` returns
+    ``(Executable, PipelineReport)``; the report is always attached to the
+    executable as ``exe.pipeline_report``.
+    """
+    ctx = _resolve_context(
+        ctx, device, sym_var_upper_bounds, instruments, opt_level,
+        {
+            "enable_library_dispatch": enable_library_dispatch,
+            "enable_fusion": enable_fusion,
+            "enable_memory_planning": enable_memory_planning,
+            "enable_cuda_graph": enable_cuda_graph,
+            "enable_autotuning": enable_autotuning,
+        },
     )
-    lowered = optimize(mod, ctx)
-    return VMCodegen()(lowered, ctx)
+    with ctx:
+        lowered = optimize(mod, ctx)
+        exe = to_vm.VMCodegen()(lowered, ctx)
+    exe.pipeline_report = ctx.report
+    if return_report:
+        return exe, ctx.report
+    return exe
 
 
 def compile_and_load(
     mod: IRModule,
-    device: Device = TEST_DEVICE,
+    device: Optional[Device] = None,
     concrete: bool = True,
+    ctx: Optional[PassContext] = None,
     **build_kwargs,
 ) -> VirtualMachine:
-    """Convenience: build + instantiate a VM."""
-    exe = build(mod, device, **build_kwargs)
+    """Convenience: build + instantiate a VM.
+
+    The PassContext is resolved once and threads through both the
+    compiler and the VM, so options like ``enable_cuda_graph`` cannot
+    diverge between the two.
+    """
+    flags = {
+        flag: build_kwargs.pop(flag, None)
+        for flag in (
+            "enable_library_dispatch",
+            "enable_fusion",
+            "enable_memory_planning",
+            "enable_cuda_graph",
+            "enable_autotuning",
+        )
+    }
+    ctx = _resolve_context(
+        ctx,
+        device,
+        build_kwargs.pop("sym_var_upper_bounds", None),
+        build_kwargs.pop("instruments", None),
+        build_kwargs.pop("opt_level", None),
+        flags,
+    )
+    if build_kwargs:
+        unknown = ", ".join(sorted(build_kwargs))
+        raise TypeError(f"compile_and_load() got unexpected arguments: {unknown}")
+    exe = build(mod, ctx=ctx)
     return VirtualMachine(
-        exe, device, concrete=concrete,
-        enable_cuda_graph=build_kwargs.get("enable_cuda_graph", True),
+        exe, ctx.device, concrete=concrete,
+        enable_cuda_graph=ctx.enable_cuda_graph,
     )

@@ -24,7 +24,7 @@ from typing import Dict, Optional
 from ..core.annotations import TensorAnn
 from ..core.expr import Call, Function, MatchCast, Op, SeqExpr, Var
 from ..core.ir_module import IRModule
-from .pass_infra import FunctionPass, PassContext
+from .pass_infra import FunctionPass, PassContext, register_pass
 
 #: Operators whose (single tensor) input provably has the output's shape.
 SHAPE_PRESERVING_UNARY = {
@@ -44,8 +44,10 @@ def _finer(current: Optional[TensorAnn], candidate: TensorAnn) -> bool:
     return current.possibly_matches(candidate)
 
 
+@register_pass
 class RefineShapes(FunctionPass):
     name = "RefineShapes"
+    opt_level = 1
 
     def transform_function(self, name, func: Function, mod: IRModule, ctx: PassContext):
         body = func.body

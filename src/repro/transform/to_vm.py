@@ -51,7 +51,7 @@ from .memory_ops import (
     dps_parts,
     kill_op,
 )
-from .pass_infra import Pass, PassContext
+from .pass_infra import Pass, PassContext, register_pass
 
 
 class VMCodegenError(Exception):
@@ -349,10 +349,13 @@ class _FunctionCodegen:
         self.exe.tir_funcs[name] = func
 
 
+@register_pass
 class VMCodegen(Pass):
     """Compile every Relax function of a fully lowered module."""
 
     name = "VMCodegen"
+    opt_level = 0
+    required = True
 
     def run(self, mod: IRModule, ctx: PassContext):  # returns Executable
         exe = rvm.Executable()

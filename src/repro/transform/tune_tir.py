@@ -25,16 +25,20 @@ from typing import Dict, List, Optional
 
 from .. import tir
 from ..core.ir_module import IRModule
-from .pass_infra import Pass, PassContext
+from .pass_infra import Pass, PassContext, register_pass
 
 SCHEDULE_ATTR = "schedule_class"
 TUNE_ATTR = "tuned"
 
 
+@register_pass
 class ScheduleRules(Pass):
     """Attach analysis-derived schedule classes to every tensor program."""
 
+    # Required: the VM's cost model reads the schedule_class attribute.
     name = "ScheduleRules"
+    opt_level = 0
+    required = True
 
     def run(self, mod: IRModule, ctx: PassContext) -> IRModule:
         for name, func in mod.tir_functions():
@@ -101,6 +105,7 @@ DEFAULT_SPACE: Dict[str, List[ScheduleCandidate]] = {
 }
 
 
+@register_pass
 class TuneTir(Pass):
     """Evaluate schedule candidates under the device cost model.
 
@@ -112,6 +117,8 @@ class TuneTir(Pass):
     """
 
     name = "TuneTir"
+    opt_level = 2
+    opt_flag = "enable_autotuning"
 
     def __init__(self, only_opaque: bool = True, tuning_shape: int = 64,
                  space: Optional[Dict[str, List[ScheduleCandidate]]] = None):
@@ -120,7 +127,8 @@ class TuneTir(Pass):
         self.space = space or DEFAULT_SPACE
 
     def run(self, mod: IRModule, ctx: PassContext) -> IRModule:
-        ScheduleRules()(mod, ctx)
+        # Direct .run: idempotent prerequisite, not a separate pipeline step.
+        ScheduleRules().run(mod, ctx)
         for name, func in mod.tir_functions():
             klass = func.attrs[SCHEDULE_ATTR]
             if self.only_opaque and klass != "opaque":

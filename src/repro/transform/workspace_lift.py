@@ -28,11 +28,14 @@ from ..core.expr import (
 from ..core.ir_module import IRModule
 from ..core import op as core_op
 from .memory_ops import alloc_tensor
-from .pass_infra import FunctionPass, PassContext
+from .pass_infra import FunctionPass, PassContext, register_pass
 
 
+@register_pass
 class WorkspaceLifting(FunctionPass):
     name = "WorkspaceLifting"
+    opt_level = 0
+    required = True
 
     def transform_function(self, name, func: Function, mod: IRModule, ctx: PassContext):
         body = func.body

@@ -77,7 +77,7 @@ class TestTuneTir:
 
     def test_tunes_only_opaque_by_default(self):
         mod = self._opaque_module()
-        ctx = PassContext(enable_library_dispatch=False)
+        ctx = PassContext(enable_library_dispatch=False, enable_autotuning=True)
         mod = transform.LegalizeOps()(mod, ctx)
         TuneTir()(mod, ctx)
         tuned = {n: f for n, f in mod.tir_functions() if TUNE_ATTR in f.attrs}
@@ -88,7 +88,7 @@ class TestTuneTir:
 
     def test_picks_best_candidate(self):
         mod = self._opaque_module()
-        ctx = PassContext(enable_library_dispatch=False)
+        ctx = PassContext(enable_library_dispatch=False, enable_autotuning=True)
         mod = transform.LegalizeOps()(mod, ctx)
         TuneTir()(mod, ctx)
         for _, func in mod.tir_functions():
