@@ -1,0 +1,43 @@
+"""Differential fuzzing for the Relax reproduction.
+
+Structured random program generation (:mod:`repro.fuzz.gen`), a
+multi-configuration differential oracle (:mod:`repro.fuzz.oracle`), a
+plan-level shrinker (:mod:`repro.fuzz.shrink`), and replayable repro files
+(:mod:`repro.fuzz.corpus`).  Run it directly::
+
+    python -m repro.fuzz --seeds 200
+"""
+
+from .corpus import load_repro, replay_repro, write_repro
+from .gen import (
+    ParamSpec,
+    Plan,
+    PlanError,
+    Step,
+    SubFunc,
+    build_module,
+    generate,
+    make_inputs,
+)
+from .oracle import FuzzFailure, aliasing_violations, config_matrix, run_plan
+from .shrink import failure_of, shrink
+
+__all__ = [
+    "FuzzFailure",
+    "ParamSpec",
+    "Plan",
+    "PlanError",
+    "Step",
+    "SubFunc",
+    "aliasing_violations",
+    "build_module",
+    "config_matrix",
+    "failure_of",
+    "generate",
+    "load_repro",
+    "make_inputs",
+    "replay_repro",
+    "run_plan",
+    "shrink",
+    "write_repro",
+]

@@ -1,0 +1,102 @@
+"""Command-line driver: ``python -m repro.fuzz --seeds N``.
+
+Runs the differential oracle over a contiguous seed range (optionally
+bounded by a wall-clock budget), shrinks every failure, and writes
+replayable repro files.  Exit status is the number of distinct failing
+seeds (0 = clean run), so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from .corpus import replay_repro, write_repro
+from .gen import generate
+from .oracle import FuzzFailure
+from .shrink import failure_of, shrink
+
+
+def _default_out_dir() -> str:
+    # Inside the repo checkout, failures land next to the committed corpus;
+    # when installed elsewhere, fall back to the working directory.
+    here = os.path.dirname(os.path.abspath(__file__))
+    repo = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    corpus = os.path.join(repo, "tests", "fuzz_corpus")
+    if os.path.isdir(os.path.dirname(corpus)):
+        return os.path.join(repo, "fuzz-failures")
+    return os.path.join(os.getcwd(), "fuzz-failures")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential fuzzing of the Relax reproduction pipeline.",
+    )
+    parser.add_argument("--seeds", type=int, default=25,
+                        help="number of seeds to run (default: 25)")
+    parser.add_argument("--start-seed", type=int, default=0,
+                        help="first seed of the range (default: 0)")
+    parser.add_argument("--budget-s", type=float, default=None,
+                        help="stop after this many seconds, even mid-range")
+    parser.add_argument("--max-steps", type=int, default=None,
+                        help="cap generated program size (ops per program)")
+    parser.add_argument("--out-dir", default=None,
+                        help="where shrunk repro files go "
+                             "(default: <repo>/fuzz-failures)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="record failures without minimizing them")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="stop at the first failing seed")
+    parser.add_argument("--replay", metavar="REPRO.json", default=None,
+                        help="replay one repro file instead of fuzzing")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="only print failures and the final summary")
+    args = parser.parse_args(argv)
+
+    if args.replay is not None:
+        failure = replay_repro(args.replay)
+        if failure is None:
+            print(f"{args.replay}: no longer reproduces (fixed)")
+            return 0
+        print(f"{args.replay}: still fails: {failure}")
+        return 1
+
+    out_dir = args.out_dir or _default_out_dir()
+    t0 = time.time()
+    ran = 0
+    failures = 0
+    for seed in range(args.start_seed, args.start_seed + args.seeds):
+        if args.budget_s is not None and time.time() - t0 > args.budget_s:
+            print(f"budget exhausted after {ran} seeds")
+            break
+        plan = generate(seed, max_steps=args.max_steps)
+        failure = failure_of(plan)
+        ran += 1
+        if failure is None:
+            if not args.quiet and ran % 25 == 0:
+                print(f"... {ran} seeds ok ({time.time() - t0:.1f}s)")
+            continue
+        failures += 1
+        print(f"seed {seed}: {failure}")
+        if not args.no_shrink:
+            plan, shrunk = shrink(plan, failure)
+            if shrunk is not None:
+                failure = shrunk
+            print(f"  shrunk to {len(plan.steps)} step(s), "
+                  f"{len(plan.params)} param(s)")
+        path = write_repro(out_dir, plan, failure)
+        print(f"  wrote {path}")
+        if args.fail_fast:
+            break
+
+    elapsed = time.time() - t0
+    print(f"{ran} seed(s), {failures} failure(s), {elapsed:.1f}s")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Replayable fuzz repro files.
+
+A repro file is a single JSON document carrying the *plan* (the ground
+truth — everything rebuilds from it), the original failure classification,
+and the printed IR of the materialized module.  The printed IR is advisory
+for humans reading the corpus, but it doubles as a printer round-trip
+check: :func:`replay_repro` re-materializes the plan and requires the
+fresh printout to match the stored text byte-for-byte, so any printer or
+builder nondeterminism trips the corpus immediately.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Tuple
+
+from ..core.printer import format_module
+from .gen import Plan, build_module
+from .oracle import FuzzFailure
+
+FORMAT = "repro-fuzz/1"
+
+
+def write_repro(out_dir: str, plan: Plan, failure: FuzzFailure,
+                note: Optional[str] = None) -> str:
+    """Write a replayable repro file; returns its path."""
+    os.makedirs(out_dir, exist_ok=True)
+    doc = {
+        "format": FORMAT,
+        "seed": plan.seed,
+        "failure": {
+            "kind": failure.kind,
+            "config": failure.config,
+            "detail": failure.detail,
+        },
+        "plan": plan.to_json(),
+        "ir": format_module(build_module(plan)),
+    }
+    if note:
+        doc["note"] = note
+    path = os.path.join(out_dir, f"seed{plan.seed}-{failure.kind}.json")
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def load_repro(path: str) -> Tuple[Plan, Dict]:
+    """Load a repro file; returns (plan, full document)."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("format") != FORMAT:
+        raise ValueError(f"{path}: unknown repro format {doc.get('format')!r}")
+    return Plan.from_json(doc["plan"]), doc
+
+
+def replay_repro(path: str) -> Optional[FuzzFailure]:
+    """Rebuild a repro's module, check the printer round-trip, re-run.
+
+    Returns the oracle failure if the repro still reproduces, or None if
+    the underlying bug has been fixed.  Raises on printer drift (the stored
+    IR text no longer matches a fresh materialization).
+    """
+    plan, doc = load_repro(path)
+    printed = format_module(build_module(plan))
+    if printed != doc["ir"]:
+        raise AssertionError(
+            f"{path}: stored IR no longer matches the rebuilt module "
+            "(printer or builder drift)"
+        )
+    from .shrink import failure_of
+
+    return failure_of(plan)

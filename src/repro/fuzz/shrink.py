@@ -1,0 +1,259 @@
+"""Greedy plan-level shrinking of failing fuzz cases.
+
+The shrinker never edits IR text: it edits the :class:`~repro.fuzz.gen.Plan`
+and re-materializes, so every candidate is either well-formed by
+construction or rejected outright (``PlanError``).  A candidate edit is
+accepted when the edited plan still fails with the *same failure kind* as
+the original; the process repeats to a fixpoint.
+
+Edit vocabulary, roughly largest-cut first:
+
+* keep a single output;
+* drop one step (with transitive garbage collection of now-unused steps,
+  parameters, and sub-functions);
+* replace a step's result with a fresh function parameter of the same
+  shape/dtype — this disconnects whole producer chains at once;
+* collapse an ``if`` to its then-branch op;
+* halve the runtime value of a symbolic dimension.
+
+``predicate`` can be injected (tests use artificial predicates); by default
+it runs the differential oracle via :func:`failure_of`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from .gen import ParamSpec, Plan, PlanError, Step, SubFunc, build_module, value_infos
+from .oracle import FuzzFailure, run_plan
+
+Handle = Tuple[str, int]  # ("p", param index) | ("s", step index)
+
+
+def failure_of(plan: Plan) -> Optional[FuzzFailure]:
+    """The plan's oracle failure, or None (passing or invalid plan)."""
+    try:
+        run_plan(plan)
+    except FuzzFailure as failure:
+        return failure
+    except PlanError:
+        return None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Handle-based rebuild (GC + renumber)
+# ---------------------------------------------------------------------------
+
+
+def _handle(plan: Plan, value_idx: int) -> Handle:
+    n = len(plan.params)
+    return ("p", value_idx) if value_idx < n else ("s", value_idx - n)
+
+
+def _gc(plan: Plan) -> Optional[Plan]:
+    """Drop steps/params/subfuncs unreachable from the outputs, renumber."""
+    if not plan.outputs:
+        return None
+    needed = set()
+    work = [_handle(plan, i) for i in plan.outputs]
+    while work:
+        h = work.pop()
+        if h in needed:
+            continue
+        needed.add(h)
+        if h[0] == "s":
+            step = plan.steps[h[1]]
+            work.extend(_handle(plan, i) for i in step.inputs)
+
+    keep_params = [i for i in range(len(plan.params)) if ("p", i) in needed]
+    keep_steps = [j for j in range(len(plan.steps)) if ("s", j) in needed]
+    renum: Dict[Handle, int] = {}
+    for new_i, old_i in enumerate(keep_params):
+        renum[("p", old_i)] = new_i
+    for new_j, old_j in enumerate(keep_steps):
+        renum[("s", old_j)] = len(keep_params) + new_j
+
+    steps = []
+    for old_j in keep_steps:
+        s = plan.steps[old_j]
+        steps.append(Step(s.kind, s.op,
+                          [renum[_handle(plan, i)] for i in s.inputs],
+                          dict(s.attrs)))
+    used_funcs = {s.attrs.get("func") for s in steps if s.kind == "call"}
+    outputs = sorted({renum[_handle(plan, i)] for i in plan.outputs})
+    return Plan(
+        plan.seed, dict(plan.dims),
+        [plan.params[i] for i in keep_params],
+        steps, outputs,
+        [sf for sf in plan.subfuncs if sf.name in used_funcs],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Candidate edits
+# ---------------------------------------------------------------------------
+
+
+def _with(plan: Plan, *, params=None, steps=None, outputs=None,
+          dims=None) -> Plan:
+    return Plan(
+        plan.seed,
+        dict(plan.dims) if dims is None else dims,
+        list(plan.params) if params is None else params,
+        list(plan.steps) if steps is None else steps,
+        list(plan.outputs) if outputs is None else outputs,
+        list(plan.subfuncs),
+    )
+
+
+def _candidates(plan: Plan) -> Iterator[Plan]:
+    n_params = len(plan.params)
+
+    # 1. Single output.
+    if len(plan.outputs) > 1:
+        for out in plan.outputs:
+            cand = _gc(_with(plan, outputs=[out]))
+            if cand is not None:
+                yield cand
+
+    # 2. Drop one step (latest first); outputs of the dropped step go away.
+    for j in reversed(range(len(plan.steps))):
+        vi = n_params + j
+        outputs = [o for o in plan.outputs if o != vi]
+        if not outputs:
+            continue
+        steps = [s for k, s in enumerate(plan.steps) if k != j]
+        # Renumbering happens in _gc; first rewrite references to the
+        # dropped value — any step consuming it keeps plan invalid, so the
+        # drop only applies when nothing downstream consumes value `vi`.
+        if any(vi in s.inputs for s in steps):
+            continue
+        shifted = []
+        for s in steps:
+            shifted.append(Step(
+                s.kind, s.op,
+                [i if i < vi else i - 1 for i in s.inputs],
+                dict(s.attrs)))
+        cand = _gc(_with(plan, steps=shifted,
+                         outputs=[o if o < vi else o - 1 for o in outputs]))
+        if cand is not None:
+            yield cand
+
+    # 3. Replace one step's result with a fresh parameter.
+    try:
+        infos = value_infos(plan)
+    except Exception:
+        infos = None
+    if infos is not None:
+        from .gen import _is_simple_token
+
+        for j in reversed(range(len(plan.steps))):
+            vi = n_params + j
+            info = infos[vi]
+            if (info.kind != "tensor" or info.tokens is None
+                    or not all(_is_simple_token(t) for t in info.tokens)):
+                continue
+            if not any(vi in s.inputs for s in plan.steps) \
+                    and vi not in plan.outputs:
+                continue
+            new_param = ParamSpec(f"q{j}", list(info.tokens),
+                                  info.dtype or "f32")
+            new_idx = len(plan.params)  # before renumber: appended param
+            params = list(plan.params) + [new_param]
+            # Appending a param shifts every step-value index up by one.
+            def remap(i: int) -> int:
+                if i == vi:
+                    return new_idx
+                return i + 1 if i >= n_params else i
+            steps = []
+            for k, s in enumerate(plan.steps):
+                if k == j:
+                    continue
+                steps.append(Step(s.kind, s.op,
+                                  [remap(i) for i in s.inputs],
+                                  dict(s.attrs)))
+            # Step j is gone: step indices above j shift down one more.
+            old_vi = vi + 1  # position of dropped value after param insert
+
+            def collapse(i: int) -> int:
+                return i - 1 if i > old_vi else i
+            steps = [Step(s.kind, s.op, [collapse(i) for i in s.inputs],
+                          dict(s.attrs)) for s in steps]
+            outputs = sorted({collapse(remap(o)) for o in plan.outputs})
+            cand = _gc(_with(plan, params=params, steps=steps,
+                             outputs=outputs))
+            if cand is not None:
+                yield cand
+
+    # 4. Collapse `if` to its then-op.
+    for j, s in enumerate(plan.steps):
+        if s.kind != "if":
+            continue
+        steps = list(plan.steps)
+        steps[j] = Step("unary", s.attrs["then_op"], [s.inputs[1]])
+        cand = _gc(_with(plan, steps=steps))
+        if cand is not None:
+            yield cand
+
+    # 5. Halve a symbolic dimension's runtime value.
+    for name in sorted(plan.dims):
+        v = plan.dims[name]
+        if v > 1:
+            dims = dict(plan.dims)
+            dims[name] = v // 2
+            yield _with(plan, dims=dims)
+
+
+# ---------------------------------------------------------------------------
+# Greedy fixpoint
+# ---------------------------------------------------------------------------
+
+
+def _size(plan: Plan) -> Tuple[int, int, int]:
+    return (len(plan.steps), len(plan.params), sum(plan.dims.values()))
+
+
+def shrink(
+    plan: Plan,
+    failure: Optional[FuzzFailure] = None,
+    *,
+    predicate: Optional[Callable[[Plan], Optional[FuzzFailure]]] = None,
+    max_attempts: int = 300,
+) -> Tuple[Plan, Optional[FuzzFailure]]:
+    """Minimize ``plan`` while it keeps failing with the same kind.
+
+    Returns the smallest plan found and its (re-evaluated) failure.  When
+    ``predicate`` is given it replaces the oracle: it must return a
+    truthy failure object for plans that still reproduce.
+    """
+    check = predicate if predicate is not None else failure_of
+    if failure is None:
+        failure = check(plan)
+        if not failure:
+            return plan, None
+    kind = getattr(failure, "kind", None)
+
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for cand in _candidates(plan):
+            if attempts >= max_attempts:
+                break
+            if _size(cand) >= _size(plan):
+                continue
+            attempts += 1
+            try:
+                build_module(cand)
+            except Exception:
+                continue
+            got = check(cand)
+            if not got:
+                continue
+            if kind is not None and getattr(got, "kind", None) != kind:
+                continue
+            plan, failure = cand, got
+            improved = True
+            break
+    return plan, failure

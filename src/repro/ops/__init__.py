@@ -8,9 +8,13 @@ calls").
 """
 
 from .registry import (
+    FuzzOpSpec,
     Legalized,
     finalize_prim_func,
+    fuzz_spec,
+    fuzz_specs,
     needed_sym_params,
+    register_fuzz,
     register_op,
     spatial_axes,
 )
@@ -57,6 +61,7 @@ from .datadep import argmax, nonzero, unique, unique_op
 from .shape_of import shape_of, shape_of_op
 
 __all__ = [
+    "FuzzOpSpec",
     "Legalized",
     "abs_",
     "add",
@@ -75,6 +80,8 @@ __all__ = [
     "finalize_prim_func",
     "flatten",
     "full",
+    "fuzz_spec",
+    "fuzz_specs",
     "gelu",
     "layer_norm",
     "log",
@@ -91,6 +98,7 @@ __all__ = [
     "ones",
     "permute_dims",
     "power",
+    "register_fuzz",
     "register_op",
     "relu",
     "reshape",

@@ -18,7 +18,13 @@ from __future__ import annotations
 from .. import sym, tir
 from ..core.annotations import TensorAnn
 from ..core.expr import Call, Expr
-from .registry import Legalized, register_op, require_known_shape, tensor_ann_of
+from .registry import (
+    Legalized,
+    register_fuzz,
+    register_op,
+    require_known_shape,
+    tensor_ann_of,
+)
 
 
 def _deduce(call: Call):
@@ -113,3 +119,6 @@ attention_op = register_op("attention", _deduce, _legalize)
 def attention(q: Expr, k: Expr, v: Expr, causal: bool = True) -> Call:
     """Fused attention over cached keys/values (GQA via head grouping)."""
     return Call(attention_op, [q, k, v], attrs={"causal": causal})
+
+
+register_fuzz("attention", "attention", attention, weight=2.0)

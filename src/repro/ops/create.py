@@ -11,7 +11,7 @@ from __future__ import annotations
 from .. import sym, tir
 from ..core.annotations import TensorAnn
 from ..core.expr import Call, Expr, ShapeExpr
-from .registry import Legalized, register_op, spatial_axes
+from .registry import Legalized, register_fuzz, register_op, spatial_axes
 
 
 def _create_deduce(call: Call):
@@ -90,3 +90,7 @@ def arange(extent: sym.ExprLike, start: sym.ExprLike = 0, dtype: str = "i64") ->
         [ShapeExpr([extent])],
         attrs={"dtype": dtype, "start": sym.PrimExpr.convert(start)},
     )
+
+
+register_fuzz("full", "create", full, weight=0.6, fill="any")
+register_fuzz("arange", "arange", arange, weight=0.6)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from ..core.annotations import TensorAnn
 from ..core.expr import Call, Expr
-from .registry import register_op, tensor_ann_of
+from .registry import register_fuzz, register_op, tensor_ann_of
 
 
 def _unique_deduce(call: Call):
@@ -102,3 +102,8 @@ argmax_op = register_op("argmax", _argmax_deduce, _argmax_legalize)
 def argmax(x: Expr) -> Call:
     """Argmax over the last axis (greedy sampling in the LLM examples)."""
     return Call(argmax_op, [x])
+
+
+register_fuzz("unique", "datadep", unique, weight=0.8)
+register_fuzz("nonzero", "datadep", nonzero, weight=0.5)
+register_fuzz("argmax", "argmax", argmax, weight=0.8)

@@ -17,7 +17,13 @@ from typing import Callable, List
 from .. import sym, tir
 from ..core.annotations import TensorAnn
 from ..core.expr import Call, Expr
-from .registry import Legalized, register_op, require_known_shape, tensor_ann_of
+from .registry import (
+    Legalized,
+    register_fuzz,
+    register_op,
+    require_known_shape,
+    tensor_ann_of,
+)
 
 
 def broadcast_shapes(a, b, op_name: str) -> List[sym.PrimExpr]:
@@ -212,3 +218,31 @@ power = _binary_call(power_op)
 
 def astype(x: Expr, dtype: str) -> Call:
     return Call(astype_op, [x], attrs={"dtype": dtype})
+
+
+# -- fuzz metadata ------------------------------------------------------------
+# Shape-preserving unary ops get full weight; ops with partial domains
+# (log/sqrt of negatives is NaN — still deterministic across configs, but
+# less interesting) are down-weighted.  astype is excluded: mixed-precision
+# chains would need per-dtype tolerances in the differential oracle.
+
+register_fuzz("relu", "unary", relu)
+register_fuzz("sigmoid", "unary", sigmoid)
+register_fuzz("tanh", "unary", tanh)
+register_fuzz("erf", "unary", erf)
+register_fuzz("gelu", "unary", gelu)
+register_fuzz("silu", "unary", silu)
+register_fuzz("negative", "unary", negative)
+register_fuzz("abs", "unary", abs_)
+register_fuzz("exp", "unary", exp, weight=0.5)
+register_fuzz("log", "unary", log, weight=0.4, domain="pos")
+register_fuzz("sqrt", "unary", sqrt, weight=0.4, domain="pos")
+register_fuzz("rsqrt", "unary", rsqrt, weight=0.3, domain="pos")
+
+register_fuzz("add", "binary", add)
+register_fuzz("subtract", "binary", subtract)
+register_fuzz("multiply", "binary", multiply)
+register_fuzz("maximum", "binary", maximum)
+register_fuzz("minimum", "binary", minimum)
+register_fuzz("divide", "binary", divide, weight=0.5)
+register_fuzz("power", "binary", power, weight=0.25)

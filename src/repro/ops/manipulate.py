@@ -14,7 +14,13 @@ from typing import List, Sequence
 from .. import sym, tir
 from ..core.annotations import ShapeAnn, TensorAnn, TupleAnn
 from ..core.expr import Call, Expr, ShapeExpr
-from .registry import Legalized, register_op, require_known_shape, tensor_ann_of
+from .registry import (
+    Legalized,
+    register_fuzz,
+    register_op,
+    require_known_shape,
+    tensor_ann_of,
+)
 
 
 def _shape_values_of(expr: Expr, op_name: str):
@@ -454,3 +460,14 @@ take_op = register_op("take", deduce=_take_deduce, legalize=_take_legalize)
 def take(x: Expr, indices: Expr, axis: int = 0) -> Call:
     """Gather along ``axis`` (embedding lookup when axis=0)."""
     return Call(take_op, [x, indices], attrs={"axis": axis})
+
+
+register_fuzz("reshape", "reshape", reshape)
+register_fuzz("flatten", "flatten", flatten)
+register_fuzz("permute_dims", "permute", permute_dims)
+register_fuzz("expand_dims", "expand_dims", expand_dims)
+register_fuzz("squeeze", "squeeze", squeeze)
+register_fuzz("broadcast_to", "broadcast_to", broadcast_to, weight=0.7)
+register_fuzz("concat", "concat", concat)
+register_fuzz("split", "split", split, weight=0.8)
+register_fuzz("take", "take", take, weight=0.8)

@@ -8,7 +8,13 @@ from .. import sym, tir
 from ..core.annotations import TensorAnn
 from ..core.expr import Call, Expr
 from .elementwise import broadcast_shapes
-from .registry import Legalized, register_op, require_known_shape, tensor_ann_of
+from .registry import (
+    Legalized,
+    register_fuzz,
+    register_op,
+    require_known_shape,
+    tensor_ann_of,
+)
 
 
 def _matmul_shapes(a_shape, b_shape):
@@ -138,3 +144,6 @@ def matmul(a: Expr, b: Expr, out_dtype: Optional[str] = None,
     if transpose_b:
         attrs["transpose_b"] = True
     return Call(matmul_op, [a, b], attrs=attrs)
+
+
+register_fuzz("matmul", "matmul", matmul, weight=1.5)

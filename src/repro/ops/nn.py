@@ -17,6 +17,7 @@ from ..core.annotations import TensorAnn
 from ..core.expr import Call, Expr, ShapeExpr
 from .registry import (
     Legalized,
+    register_fuzz,
     register_op,
     require_known_shape,
     spatial_axes,
@@ -83,6 +84,9 @@ softmax_op = register_op("softmax", _softmax_deduce, _softmax_legalize)
 def softmax(x: Expr) -> Call:
     """Softmax over the last axis."""
     return Call(softmax_op, [x])
+
+
+register_fuzz("softmax", "unary", softmax, float_only=True)
 
 
 # -- rms_norm ---------------------------------------------------------------------

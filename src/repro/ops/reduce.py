@@ -9,6 +9,7 @@ from ..core.annotations import TensorAnn
 from ..core.expr import Call, Expr
 from .registry import (
     Legalized,
+    register_fuzz,
     register_op,
     require_known_shape,
     spatial_axes,
@@ -119,3 +120,8 @@ sum_ = _make(sum_op)
 max_ = _make(max_op)
 min_ = _make(min_op)
 mean = _make(mean_op)
+
+register_fuzz("sum", "reduce", sum_)
+register_fuzz("max", "reduce", max_)
+register_fuzz("min", "reduce", min_)
+register_fuzz("mean", "reduce", mean)

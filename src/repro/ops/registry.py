@@ -16,7 +16,7 @@ variables not inferable from its buffer shapes.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from .. import sym
 from ..core.annotations import Annotation, TensorAnn
@@ -47,6 +47,57 @@ def register_op(
 ) -> Op:
     """Register a graph-level operator."""
     return Op.register(name, deduce=deduce, legalize=legalize)
+
+
+class FuzzOpSpec:
+    """Generator metadata for one operator (consumed by :mod:`repro.fuzz`).
+
+    ``kind`` selects the generation strategy (how inputs/attrs are drawn);
+    ``make`` is the user-facing constructor the generator calls; ``weight``
+    biases how often the op is attempted; ``meta`` carries per-op hints
+    (e.g. ``fill="any"`` for ``full``).
+    """
+
+    def __init__(self, name: str, kind: str, make: Callable[..., Call],
+                 weight: float = 1.0, meta: Optional[Mapping] = None):
+        self.name = name
+        self.kind = kind
+        self.make = make
+        self.weight = float(weight)
+        self.meta = dict(meta or {})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FuzzOpSpec({self.name!r}, kind={self.kind!r})"
+
+
+_FUZZ_SPECS: Dict[str, FuzzOpSpec] = {}
+
+
+def register_fuzz(name: str, kind: str, make: Callable[..., Call],
+                  weight: float = 1.0, **meta) -> FuzzOpSpec:
+    """Register generator metadata for operator ``name``.
+
+    Op modules call this next to :func:`register_op`; the structured
+    program generator draws its vocabulary from this table, so an op
+    without a spec is simply never generated (safe default for ops whose
+    preconditions the generator cannot satisfy).
+    """
+    spec = FuzzOpSpec(name, kind, make, weight, meta)
+    _FUZZ_SPECS[name] = spec
+    return spec
+
+
+def fuzz_spec(name: str) -> FuzzOpSpec:
+    """The registered spec for ``name`` (KeyError when absent)."""
+    return _FUZZ_SPECS[name]
+
+
+def fuzz_specs(kind: Optional[str] = None) -> List[FuzzOpSpec]:
+    """All registered specs, deterministically ordered by (kind, name)."""
+    specs = sorted(_FUZZ_SPECS.values(), key=lambda s: (s.kind, s.name))
+    if kind is not None:
+        specs = [s for s in specs if s.kind == kind]
+    return specs
 
 
 def tensor_ann_of(expr: Expr, op_name: str, arg_idx: int) -> TensorAnn:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from ..core.annotations import ShapeAnn
 from ..core.expr import Call, Expr
-from .registry import register_op, tensor_ann_of
+from .registry import register_fuzz, register_op, tensor_ann_of
 
 
 def _deduce(call: Call):
@@ -29,3 +29,6 @@ shape_of_op.extern_name = "vm.builtin.shape_of"
 def shape_of(x: Expr) -> Call:
     """The tensor's shape as a first-class Shape value."""
     return Call(shape_of_op, [x])
+
+
+register_fuzz("shape_of", "shape_of", shape_of, weight=0.6)

@@ -1,0 +1,98 @@
+"""Structural comparison of VM execution results.
+
+The differential fuzzer (and any cross-configuration test) needs to compare
+what :meth:`VirtualMachine.run` returns under different pipeline ablations.
+Results are trees: NDArrays, ShapeTuples, python scalars, and (nested)
+tuples of those.  :func:`flatten_values` linearizes a result into
+``(path, leaf)`` pairs and :func:`compare_values` reports the first
+difference as a human-readable string (or None when the trees agree).
+
+Float tensors compare with tolerances — library kernels and generated
+loop nests accumulate in different orders — and NaN/Inf must agree
+*positionally*: both configurations saturating identically is correct
+behavior, one saturating alone is a divergence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from .ndarray import NDArray, ShapeTuple
+
+DEFAULT_RTOL = 2e-3
+DEFAULT_ATOL = 1e-5
+
+
+def flatten_values(value: Any, path: str = "out") -> List[Tuple[str, Any]]:
+    """Linearize a VM result tree into ``(path, leaf)`` pairs.
+
+    Leaves are numpy arrays (from NDArrays), tuples of ints (from
+    ShapeTuples), or plain python scalars.  Tuple/list results recurse with
+    an indexed path (``out.1.0``).
+    """
+    if isinstance(value, NDArray):
+        return [(path, value.numpy())]
+    if isinstance(value, ShapeTuple):
+        return [(path, tuple(int(v) for v in value))]
+    if isinstance(value, (tuple, list)):
+        out: List[Tuple[str, Any]] = []
+        for i, field in enumerate(value):
+            out.extend(flatten_values(field, f"{path}.{i}"))
+        return out
+    return [(path, value)]
+
+
+def _leaf_diff(path: str, ref: Any, got: Any, rtol: float, atol: float) -> Optional[str]:
+    if isinstance(ref, np.ndarray) or isinstance(got, np.ndarray):
+        if not isinstance(ref, np.ndarray) or not isinstance(got, np.ndarray):
+            return f"{path}: kind mismatch {type(ref).__name__} vs {type(got).__name__}"
+        if ref.dtype != got.dtype:
+            return f"{path}: dtype mismatch {ref.dtype} vs {got.dtype}"
+        if ref.shape != got.shape:
+            return f"{path}: shape mismatch {ref.shape} vs {got.shape}"
+        if ref.dtype.kind in "fc":
+            with np.errstate(over="ignore", invalid="ignore"):
+                ok = np.allclose(ref, got, rtol=rtol, atol=atol, equal_nan=True)
+            if not ok:
+                with np.errstate(over="ignore", invalid="ignore"):
+                    both = np.isfinite(ref) & np.isfinite(got)
+                    delta = np.where(both, np.abs(ref.astype(np.float64)
+                                                  - got.astype(np.float64)), 0.0)
+                    worst = float(delta.max()) if delta.size else 0.0
+                return (f"{path}: values differ (max abs diff {worst:.3e}, "
+                        f"rtol={rtol}, atol={atol})")
+            return None
+        if not np.array_equal(ref, got):
+            return f"{path}: exact values differ for dtype {ref.dtype}"
+        return None
+    if ref != got:
+        return f"{path}: {ref!r} != {got!r}"
+    return None
+
+
+def compare_values(
+    ref: Any,
+    got: Any,
+    rtol: float = DEFAULT_RTOL,
+    atol: float = DEFAULT_ATOL,
+) -> Optional[str]:
+    """First difference between two VM result trees, or None when equal.
+
+    Structure (tuple arity, leaf kinds) must match exactly; float tensors
+    compare with ``rtol``/``atol`` and positional NaN/Inf equality; integer
+    and bool tensors, shapes, and scalars compare exactly.
+    """
+    flat_ref = flatten_values(ref)
+    flat_got = flatten_values(got)
+    if len(flat_ref) != len(flat_got):
+        return (f"structure mismatch: {len(flat_ref)} leaves vs "
+                f"{len(flat_got)} leaves")
+    for (rp, rv), (gp, gv) in zip(flat_ref, flat_got):
+        if rp != gp:
+            return f"structure mismatch at {rp} vs {gp}"
+        diff = _leaf_diff(rp, rv, gv, rtol, atol)
+        if diff is not None:
+            return diff
+    return None

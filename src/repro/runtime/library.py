@@ -208,8 +208,13 @@ def _attention_compute(inputs, outputs):
         kv_head = head // group
         scores = q[:, :, head, :] @ k[:, :, kv_head, :].transpose(0, 2, 1) * scale
         if s > 1:
-            mask = np.triu(np.full((s, m), -1e9), k=m - s + 1)
-            scores = scores + mask
+            # Replace (not add) at masked positions, matching the generated
+            # kernel: on a fully-masked row (s > m) additive masking would
+            # cancel in the softmax and leak the unmasked distribution.
+            allowed = (
+                np.arange(m)[None, :] - np.arange(s)[:, None] <= m - s
+            )
+            scores = np.where(allowed[None, :, :], scores, -1e9)
         e = np.exp(scores - scores.max(axis=-1, keepdims=True))
         probs = e / e.sum(axis=-1, keepdims=True)
         out[:, :, head, :] = probs @ v[:, :, kv_head, :]

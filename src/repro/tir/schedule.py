@@ -164,6 +164,13 @@ def inline_producers(func: PrimFunc) -> PrimFunc:
     producers: Dict[int, ProducerInfo] = {}
     new_stages: List[Stage] = []
 
+    # A buffer written by several stages (e.g. concat fills its output one
+    # slice per stage) has no single defining expression: none of its
+    # writers may be folded into readers.
+    write_counts: Dict[int, int] = {}
+    for stage in func.stages:
+        write_counts[stage.output._id] = write_counts.get(stage.output._id, 0) + 1
+
     for stage in func.stages:
         new_value = substitute_value(stage.value, {}, {}, read_rewrites=producers)
         new_stage = Stage(
@@ -176,7 +183,8 @@ def inline_producers(func: PrimFunc) -> PrimFunc:
             init=stage.init,
         )
         out_buf = stage.output
-        if out_buf._id not in param_ids and out_buf.scope != "global":
+        if (out_buf._id not in param_ids and out_buf.scope != "global"
+                and write_counts[out_buf._id] == 1):
             info = _inlinable_producer(new_stage)
             if info is not None:
                 producers[out_buf._id] = info

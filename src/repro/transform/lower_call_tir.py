@@ -58,8 +58,13 @@ class LowerCallTIR(FunctionPass):
             new_bindings: List[VarBinding] = []
             for binding in block.bindings:
                 if isinstance(binding, MatchCast):
+                    # The enclosing dataflow block becomes a plain block
+                    # below, so the bound var must be demoted with the rest.
+                    new_var = self._demote(binding.var, var_remap)
+                    if new_var is not binding.var:
+                        changed = True
                     new_bindings.append(
-                        MatchCast(binding.var, remap(binding.value), binding.target_ann)
+                        MatchCast(new_var, remap(binding.value), binding.target_ann)
                     )
                     continue
                 value = remap(binding.value)

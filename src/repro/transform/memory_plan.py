@@ -100,14 +100,39 @@ def _escaping_vars(blocks, body_expr) -> set:
 
 
 def _last_uses(blocks, body_expr) -> Dict[int, int]:
-    """Map var id -> index of its last use (body counts as infinity)."""
-    last: Dict[int, int] = {}
+    """Map var id -> index of its last use (body counts as infinity).
+
+    Uses of a value-forwarding alias (``gv = lv``, tuples, projections)
+    count as uses of the underlying vars: killing ``lv`` after the alias
+    binding would free the tensor that ``gv`` still refers to.
+    """
     order = 0
     uses_at: Dict[int, int] = {}
+    alias_members: Dict[int, List[int]] = {}
+
+    def forwarded(expr: Expr, out: List[int]) -> None:
+        if isinstance(expr, Var):
+            out.extend(alias_members.get(expr._id, (expr._id,)))
+        elif isinstance(expr, TupleExpr):
+            for f in expr.fields:
+                forwarded(f, out)
+        elif isinstance(expr, TupleGetItem):
+            forwarded(expr.tuple_value, out)
+
+    for block in blocks:
+        for binding in block.bindings:
+            if isinstance(binding, VarBinding) and isinstance(
+                binding.value, (Var, TupleExpr, TupleGetItem)
+            ):
+                members: List[int] = []
+                forwarded(binding.value, members)
+                alias_members[binding.var._id] = members
 
     def note(expr: Expr, idx: int) -> None:
         if isinstance(expr, Var):
             uses_at[expr._id] = idx
+            for member in alias_members.get(expr._id, ()):
+                uses_at[member] = idx
         elif isinstance(expr, Call):
             for a in expr.args:
                 note(a, idx)

@@ -1,0 +1,88 @@
+"""End-to-end determinism (satellite of the fuzzing subsystem).
+
+The whole fuzz workflow depends on three reproducibility guarantees:
+
+1. the generator is a pure function of its seed (same seed → identical
+   plan JSON → byte-identical printed IR);
+2. compilation is deterministic (same module compiled twice → identical
+   disassembly — any set/dict-ordering nondeterminism in fusion or
+   memory planning shows up here);
+3. execution is deterministic (same executable, same inputs, run twice
+   → bit-identical outputs).
+
+Without these, shrinking and corpus replay would chase moving targets.
+"""
+
+import numpy as np
+import pytest
+
+from repro import transform
+from repro.core import well_formed
+from repro.core.printer import format_module
+from repro.fuzz import Plan, build_module, generate, make_inputs
+from repro.runtime import NDArray, TEST_DEVICE, VirtualMachine, disassemble
+
+SEEDS = [0, 3, 7, 11, 19]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_generate_is_pure(seed):
+    a, b = generate(seed), generate(seed)
+    assert a.to_json() == b.to_json()
+    assert format_module(build_module(a)) == format_module(build_module(b))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_plan_json_round_trip(seed):
+    plan = generate(seed)
+    clone = Plan.from_json(plan.to_json())
+    assert clone.to_json() == plan.to_json()
+    assert format_module(build_module(clone)) == format_module(
+        build_module(plan)
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_compile_is_deterministic(seed):
+    plan = generate(seed)
+
+    def compile_once():
+        mod = build_module(plan)
+        assert well_formed(mod)
+        exe = transform.build(
+            mod, TEST_DEVICE, sym_var_upper_bounds=dict(plan.dims)
+        )
+        return disassemble(exe)
+
+    # Fresh module each time: shared mutable state between builds would
+    # hide ordering bugs, not exercise them.
+    assert compile_once() == compile_once()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_run_is_deterministic(seed):
+    plan = generate(seed)
+    exe = transform.build(
+        build_module(plan), TEST_DEVICE, sym_var_upper_bounds=dict(plan.dims)
+    )
+
+    def run_once():
+        vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+        args = [NDArray.from_numpy(np.asarray(a)) for a in make_inputs(plan)]
+        return vm.run("main", *args)
+
+    def flatten(value, out):
+        if isinstance(value, (tuple, list)):
+            for v in value:
+                flatten(v, out)
+        elif hasattr(value, "numpy"):
+            out.append(value.numpy())
+        else:
+            out.append(np.asarray(value))
+        return out
+
+    first = flatten(run_once(), [])
+    second = flatten(run_once(), [])
+    assert len(first) == len(second)
+    for x, y in zip(first, second):
+        np.testing.assert_array_equal(x, y)

@@ -46,3 +46,81 @@ def test_cuda_graph_attr_visible():
     exe = _exe()
     text = disassemble_function(exe.functions["main"])
     assert "cuda_graph" in text
+
+
+# ---------------------------------------------------------------------------
+# Opcode coverage: every emittable instruction round-trips through the
+# disassembler.  The modules come from the fuzzing subsystem's generator;
+# the (seed, build flags) pairs below were chosen so their executables
+# jointly exercise the complete instruction set.
+# ---------------------------------------------------------------------------
+
+from repro import runtime
+from repro.fuzz import build_module, generate
+from repro.runtime import vm as rvm
+
+_COVERAGE_BUILDS = [
+    (0, {}),
+    (0, {"enable_memory_planning": False}),
+    (3, {}),
+    (4, {}),
+    (5, {}),
+    (7, {}),
+    (20, {}),
+    (22, {}),
+]
+
+
+def _all_instr_classes():
+    return {
+        cls
+        for cls in vars(rvm).values()
+        if isinstance(cls, type)
+        and issubclass(cls, rvm.Instr)
+        and cls is not rvm.Instr
+    }
+
+
+def _collect(instrs, out):
+    for instr in instrs:
+        out.add(type(instr))
+        if isinstance(instr, rvm.If):
+            _collect(instr.then_body, out)
+            _collect(instr.else_body, out)
+
+
+def _coverage_exes():
+    for seed, flags in _COVERAGE_BUILDS:
+        plan = generate(seed)
+        yield transform.build(
+            build_module(plan), runtime.TEST_DEVICE,
+            sym_var_upper_bounds=dict(plan.dims), **flags,
+        )
+
+
+def test_every_opcode_is_emitted_and_disassembles():
+    seen = set()
+    for exe in _coverage_exes():
+        for func in exe.functions.values():
+            _collect(func.body, seen)
+        # Disassembly must render every function without hitting the
+        # "<Unknown>" fallback line.
+        text = disassemble(exe)
+        assert "<" not in text.replace("->", ""), text
+    missing = _all_instr_classes() - seen
+    assert not missing, (
+        f"opcodes never emitted by the coverage builds: "
+        f"{sorted(c.__name__ for c in missing)}"
+    )
+
+
+def test_disassembly_is_deterministic():
+    for exe in _coverage_exes():
+        assert disassemble(exe) == disassemble(exe)
+
+
+def test_disassembly_mentions_each_function():
+    for exe in _coverage_exes():
+        text = disassemble(exe)
+        for name in exe.functions:
+            assert f"func @{name}(" in text

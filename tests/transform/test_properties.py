@@ -1,227 +1,108 @@
 """Property-based tests on the optimization pipeline.
 
-Random programs over a small op vocabulary check the invariants that the
-paper's incremental-transformation design depends on:
+The random programs come from the fuzzing subsystem's structured
+generator (``repro.fuzz``) — symbolic shapes, match_cast, control flow,
+tuples, subgraph calls — rather than a private toy vocabulary.  On top
+of them we check the invariants the paper's incremental-transformation
+design depends on:
 
-* every pipeline configuration (fusion on/off, planning on/off, library
-  on/off) computes the same values as the unoptimized reference;
+* every pipeline configuration (each ``enable_*`` flag toggled both
+  ways) computes the same values as the unoptimized reference
+  (``repro.fuzz.run_plan`` runs the whole matrix and raises on any
+  divergence, ill-formed intermediate, or replay mismatch);
 * memory planning never assigns two simultaneously-live tensors to the
   same storage (the Algorithm 3 correctness invariant);
-* the well-formedness checker passes after every stage.
+* after lowering, no high-level op survives and every DPS call's
+  outputs are allocated before the call.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 import hypothesis.strategies as st
 
-from repro import ops, sym, transform
-from repro.core import BlockBuilder, Call, TensorAnn, well_formed
-from repro.runtime import NDArray, TEST_DEVICE, VirtualMachine
+from repro import transform
+from repro.core import Call, Function, Op, SeqExpr, well_formed
+from repro.fuzz import build_module, generate, run_plan
+from repro.fuzz.oracle import plan_aliasing_violations
+from repro.runtime import TEST_DEVICE
 from repro.transform import (
     PassContext,
-    alloc_storage_op,
-    alloc_tensor_from_storage_op,
     call_lib_dps_op,
     call_tir_dps_op,
     dps_parts,
 )
 
-# A vocabulary of unary graph transformations that preserve (n, 8) shape.
-_UNARY = [
-    ("relu", lambda bb, x: bb.emit(ops.relu(x))),
-    ("exp", lambda bb, x: bb.emit(ops.exp(x))),
-    ("sigmoid", lambda bb, x: bb.emit(ops.sigmoid(x))),
-    ("permute2", lambda bb, x: bb.emit(
-        ops.permute_dims(bb.emit(ops.permute_dims(x, (1, 0))), (1, 0))
-    )),
-    ("reshape_roundtrip", lambda bb, x: _reshape_roundtrip(bb, x)),
-]
-
-_BINARY = [
-    ("add", lambda bb, a, b: bb.emit(ops.add(a, b))),
-    ("mul", lambda bb, a, b: bb.emit(ops.multiply(a, b))),
-    ("max", lambda bb, a, b: bb.emit(ops.maximum(a, b))),
-]
-
-_NP_UNARY = {
-    "relu": lambda x: np.maximum(x, 0),
-    "exp": np.exp,
-    "sigmoid": lambda x: 1 / (1 + np.exp(-x)),
-    "permute2": lambda x: x,
-    "reshape_roundtrip": lambda x: x,
-}
-
-_NP_BINARY = {
-    "add": np.add,
-    "mul": np.multiply,
-    "max": np.maximum,
-}
+# Seeds beyond the tier-1 pinned batch in tests/fuzz (which covers
+# range(12)); hypothesis shrinks to the smallest failing seed.
+_SEED = st.integers(100, 400)
 
 
-def _reshape_roundtrip(bb, x):
-    n = sym.free_vars(x.ann.shape[0])
-    from repro.core import shape
-
-    dim0 = x.ann.shape[0]
-    flat = bb.emit(ops.flatten(x))
-    return bb.emit(ops.reshape(flat, shape(dim0, 8)))
-
-
-@st.composite
-def _programs(draw):
-    """A random DAG: list of (op, input indices) over live values."""
-    steps = draw(st.lists(st.integers(0, 7), min_size=1, max_size=8))
-    program = []
-    live = 1  # value 0 is the input
-    for choice in steps:
-        if choice < 5:
-            name, _ = _UNARY[choice]
-            src = draw(st.integers(0, live - 1))
-            program.append(("u", name, src, None))
-        else:
-            name, _ = _BINARY[choice - 5]
-            a = draw(st.integers(0, live - 1))
-            b = draw(st.integers(0, live - 1))
-            program.append(("b", name, a, b))
-        live += 1
-    return program
+@settings(max_examples=15, deadline=None)
+@given(seed=_SEED)
+def test_pipeline_configs_agree_with_reference(seed):
+    # run_plan raises FuzzFailure (with the offending config and detail)
+    # if any ablation disagrees with the full-off reference.
+    report = run_plan(generate(seed))
+    assert len(report["configs"]) >= 10
+    assert report["configs"][0] == "full-off"
 
 
-def _build(program):
-    bb = BlockBuilder()
-    with bb.function("main", {"x": TensorAnn(("n", 8), "f32")}) as frame:
-        (x,) = frame.params
-        with bb.dataflow():
-            values = [x]
-            for kind, name, a, b in program:
-                if kind == "u":
-                    fn = dict(_UNARY)[name]
-                    values.append(fn(bb, values[a]))
-                else:
-                    fn = dict(_BINARY)[name]
-                    values.append(fn(bb, values[a], values[b]))
-            gv = bb.emit_output(values[-1])
-        bb.emit_func_output(gv)
-    return bb.get()
-
-
-def _reference(program, x):
-    # float32, like the compiled kernels: exp chains may saturate to inf,
-    # and both paths must saturate identically.
-    values = [x.astype(np.float32)]
-    with np.errstate(over="ignore", invalid="ignore"):
-        for kind, name, a, b in program:
-            if kind == "u":
-                values.append(_NP_UNARY[name](values[a]).astype(np.float32))
-            else:
-                values.append(
-                    _NP_BINARY[name](values[a], values[b]).astype(np.float32)
-                )
-    return values[-1]
-
-
-@settings(max_examples=20, deadline=None)
-@given(program=_programs(), seed=st.integers(0, 100))
-def test_pipeline_configs_agree_with_reference(program, seed):
-    mod_builder = lambda: _build(program)
-    x = np.random.default_rng(seed).standard_normal((3, 8)).astype(np.float32)
-    want = _reference(program, x)
-
-    for kwargs in (
-        {"enable_fusion": False, "enable_library_dispatch": False},
-        {"enable_fusion": True, "enable_library_dispatch": False},
-        {"enable_fusion": True, "enable_library_dispatch": True},
-        {"enable_memory_planning": False, "enable_cuda_graph": False},
-    ):
-        exe = transform.build(mod_builder(), TEST_DEVICE, **kwargs)
-        vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
-        out = vm.run("main", NDArray.from_numpy(x))
-        with np.errstate(over="ignore", invalid="ignore"):
-            np.testing.assert_allclose(out.numpy(), want, rtol=2e-3, atol=1e-5)
-
-
-@settings(max_examples=20, deadline=None)
-@given(program=_programs())
-def test_planner_never_overlaps_live_tensors(program):
+@settings(max_examples=15, deadline=None)
+@given(seed=_SEED)
+def test_planner_never_overlaps_live_tensors(seed):
     """No two simultaneously-live tensors may share a storage."""
-    mod = _build(program)
-    ctx = PassContext(device=TEST_DEVICE, enable_library_dispatch=False,
-                      sym_var_upper_bounds={"n": 32})
-    lowered = transform.optimize(mod, ctx)
-    func = lowered["main"]
-    well_formed(lowered, check_sym_scope=False)
+    assert plan_aliasing_violations(generate(seed)) == []
 
-    bindings = [b for block in func.body.blocks for b in block.bindings]
-    storage_of = {}  # tensor var id -> storage var id
-    born_at = {}
-    for idx, binding in enumerate(bindings):
-        value = binding.value
-        if isinstance(value, Call) and value.op is alloc_tensor_from_storage_op:
-            storage_of[binding.var._id] = value.args[0]._id
-            born_at[binding.var._id] = idx
 
-    # Last use of each tensor.
-    last_use = {}
+def _walk_calls(func: Function):
+    """Yield every Call in the function, in execution order (top-level
+    bindings plus If branches, which the lowered VM runs inline)."""
 
-    def scan(expr, idx):
-        from repro.core import Tuple, TupleGetItem, Var
+    def from_seq(seq: SeqExpr):
+        from repro.core import If
 
-        if isinstance(expr, Var):
-            last_use[expr._id] = idx
-        elif isinstance(expr, Call):
-            for a in expr.args:
-                scan(a, idx)
-        elif isinstance(expr, Tuple):
-            for f in expr.fields:
-                scan(f, idx)
-        elif isinstance(expr, TupleGetItem):
-            scan(expr.tuple_value, idx)
+        for block in seq.blocks:
+            for binding in block.bindings:
+                value = binding.value
+                if isinstance(value, If):
+                    for branch in (value.true_branch, value.false_branch):
+                        if isinstance(branch, SeqExpr):
+                            yield from from_seq(branch)
+                elif isinstance(value, Call):
+                    yield binding.var, value
 
-    for idx, binding in enumerate(bindings):
-        scan(binding.value, idx)
-    scan(func.body.body, len(bindings) + 1)
-
-    tensors = list(storage_of)
-    for i, t1 in enumerate(tensors):
-        for t2 in tensors[i + 1:]:
-            if storage_of[t1] != storage_of[t2]:
-                continue
-            live1 = (born_at[t1], last_use.get(t1, born_at[t1]))
-            live2 = (born_at[t2], last_use.get(t2, born_at[t2]))
-            overlap = not (live1[1] <= live2[0] or live2[1] <= live1[0])
-            assert not overlap, (
-                f"tensors with overlapping live ranges {live1} / {live2} "
-                "share a storage"
-            )
+    if isinstance(func.body, SeqExpr):
+        yield from from_seq(func.body)
 
 
 @settings(max_examples=10, deadline=None)
-@given(program=_programs())
-def test_lowered_module_structure(program):
+@given(seed=_SEED)
+def test_lowered_module_structure(seed):
     """After lowering: no high-level ops remain; every DPS call's outputs
     are allocated before the call."""
-    mod = _build(program)
-    ctx = PassContext(device=TEST_DEVICE, enable_library_dispatch=False)
-    lowered = transform.optimize(mod, ctx)
-    func = lowered["main"]
-    seen_allocated = set()
-    for block in func.body.blocks:
-        for binding in block.bindings:
-            value = binding.value
-            if not isinstance(value, Call):
-                continue
-            from repro.core import Op
+    plan = generate(seed)
+    ctx = PassContext(device=TEST_DEVICE,
+                      sym_var_upper_bounds=dict(plan.dims))
+    lowered = transform.optimize(build_module(plan), ctx)
+    well_formed(lowered, check_sym_scope=False)
 
+    for name, func in lowered.functions():
+        if not isinstance(func, Function):
+            continue
+        seen_allocated = set()
+        for var, value in _walk_calls(func):
             if isinstance(value.op, Op):
                 assert value.op.name.startswith(("memory.", "vm.")), (
-                    f"unlowered op {value.op.name}"
+                    f"unlowered op {value.op.name} in {name}"
                 )
             if value.op in (call_tir_dps_op, call_lib_dps_op):
                 _, _, outputs, _ = dps_parts(value)
                 for out in outputs:
-                    assert out._id in seen_allocated
-            if value.op is alloc_tensor_from_storage_op or (
-                isinstance(value.op, Op) and value.op.name == "memory.alloc_tensor"
+                    assert out._id in seen_allocated, (
+                        f"DPS output not allocated before use in {name}"
+                    )
+            if isinstance(value.op, Op) and value.op.name in (
+                "memory.alloc_tensor",
+                "memory.alloc_tensor_from_storage",
             ):
-                seen_allocated.add(binding.var._id)
+                seen_allocated.add(var._id)
