@@ -36,12 +36,16 @@ CONFIGS = {
 def test_fig17_optimization_ablation(relax_llm, benchmark):
     rows = {}
     reports = {}
+    op_profiles = {}
     for label, kwargs in CONFIGS.items():
         runner = relax_llm(LLAMA3_8B, DEVICE, **kwargs)
         rows[label] = [
             runner.decode_step_time(b, CONTEXT) * 1000 for b in BATCHES
         ]
         reports[label] = runner.compile_report
+        # Per-op runtime breakdown of one steady-state decode step (traced
+        # on a fresh VM, so the measured series above stays untouched).
+        op_profiles[label] = runner.op_profile(BATCHES[-1], CONTEXT).op_table()
     title = (
         f"Figure 17 — Llama3-8B optimization ablation on {DEVICE.name} "
         f"(decode ms, context {CONTEXT})"
@@ -64,6 +68,7 @@ def test_fig17_optimization_ablation(relax_llm, benchmark):
     )
     dump_results(out_path, results_payload(
         title, BATCHES, rows, unit="ms", pipeline_reports=reports,
+        op_profiles=op_profiles,
     ))
     for label, report in reports.items():
         assert report.executed, f"{label}: pipeline report is empty"

@@ -18,7 +18,9 @@ Layers (bottom up):
 * :mod:`repro.frontend` / :mod:`repro.models` — nn.Module-style model
   construction and the paper's evaluated model families;
 * :mod:`repro.baselines` / :mod:`repro.bench` — baseline system simulators
-  and the experiment harness regenerating the paper's tables and figures.
+  and the experiment harness regenerating the paper's tables and figures;
+* :mod:`repro.obs` — observability: source-op provenance through the
+  pipeline, VM tracing, per-op profiling, Perfetto export.
 """
 
 __version__ = "0.1.0"

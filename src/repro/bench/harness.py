@@ -85,9 +85,11 @@ def results_payload(
     *,
     unit: str = "",
     pipeline_reports: Optional[Dict[str, Any]] = None,
+    op_profiles: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Bundle one experiment's series (plus the per-configuration
-    PipelineReports, when given) into a JSON-serializable dict."""
+    PipelineReports and per-op profiles, when given) into a
+    JSON-serializable dict."""
     payload: Dict[str, Any] = {
         "title": title,
         "unit": unit,
@@ -97,6 +99,13 @@ def results_payload(
     if pipeline_reports:
         payload["pipeline"] = {
             label: report.to_dict() for label, report in pipeline_reports.items()
+        }
+    if op_profiles:
+        # label -> OpTable.to_dict() (or any JSON-ready per-op breakdown):
+        # the runtime half of the story, next to the compile-time pipeline.
+        payload["op_profiles"] = {
+            label: table.to_dict() if hasattr(table, "to_dict") else table
+            for label, table in op_profiles.items()
         }
     return payload
 

@@ -53,6 +53,7 @@ class RelaxLLM:
         )
         self.exe = transform.build(self.exported.mod, ctx=ctx)
         self.compile_report = ctx.report
+        self.enable_cuda_graph = ctx.enable_cuda_graph
         self.vm = VirtualMachine(
             self.exe, device, concrete=False,
             enable_cuda_graph=ctx.enable_cuda_graph,
@@ -102,6 +103,37 @@ class RelaxLLM:
     def profile_report(self) -> ProfileReport:
         """Execution stats joined with the compile-time pipeline report."""
         return ProfileReport.from_vm(self.vm)
+
+    def op_profile(self, batch: int, context: int, *, fn: str = "decode",
+                   seq: int = 16, warmup: int = 1):
+        """Trace one steady-state step on a *fresh* profiler VM.
+
+        Builds a :class:`repro.obs.VirtualMachineProfiler` from the same
+        executable (``self.vm`` and its captured graphs are untouched, so
+        cached runners stay bit-identical), warms it, then records one
+        ``fn`` step.  Returns the profiler VM; pull ``op_table()``,
+        ``memory_timeline()`` or ``export_chrome_trace()`` off it.
+        """
+        from ..obs import VirtualMachineProfiler
+
+        pvm = VirtualMachineProfiler(
+            self.exe, self.device, concrete=False,
+            enable_cuda_graph=self.enable_cuda_graph,
+        )
+        if fn == "decode":
+            args = [NDArray.abstract((batch, 1), "i64")]
+            args += self._caches(batch, context)
+        elif fn == "prefill":
+            args = [NDArray.abstract((batch, seq), "i64")]
+            args += self._caches(batch, context)
+        else:
+            raise ValueError(f"unknown function {fn!r}")
+        args += self.params
+        for _ in range(max(warmup, 0)):
+            pvm.run(fn, *args)
+        pvm.reset()
+        pvm.run(fn, *args)
+        return pvm
 
 
 class RelaxWhisper:

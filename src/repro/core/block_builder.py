@@ -42,6 +42,27 @@ from .expr import (
 )
 from .ir_module import IRModule
 from . import op as _op
+from ..obs import provenance as _prov
+
+
+def _seed_provenance(expr: Expr, var: Var) -> None:
+    """Stamp a freshly emitted operator call with its source-op site.
+
+    Only user-facing graph-level ops are sites; the cross-level and memory
+    primitives inherit provenance from the ops they lower.
+    """
+    from .expr import Op
+
+    if not isinstance(expr, Call) or expr.provenance:
+        return
+    op = expr.op
+    if not isinstance(op, Op):
+        return
+    if op.name.startswith(("memory.", "vm.")) or op in (
+        _op.call_tir_op, _op.call_dps_library_op,
+    ):
+        return
+    expr.provenance = (_prov.site(op.name, var.name_hint),)
 
 
 class _FunctionFrame:
@@ -142,6 +163,7 @@ class BlockBuilder:
         ann = deduce_annotation(expr, self.lookup_signature)
         var_cls = DataflowVar if frame.in_dataflow else Var
         var = var_cls(self._fresh_name(name_hint), ann)
+        _seed_provenance(expr, var)
         frame.pending.append(VarBinding(var, expr))
         return var
 
@@ -165,6 +187,7 @@ class BlockBuilder:
         self._normalize(expr)
         ann = deduce_annotation(expr, self.lookup_signature)
         var = Var(self._fresh_name(name_hint), ann)
+        _seed_provenance(expr, var)
         frame.pending.append(VarBinding(var, expr))
         return var
 

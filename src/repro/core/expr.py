@@ -41,6 +41,11 @@ class Expr:
 
     def __init__(self):
         self.ann: Optional[Annotation] = None
+        #: Source-op provenance chain (see :mod:`repro.obs.provenance`):
+        #: site strings like ``"matmul@lv0"`` naming the graph-level op
+        #: call(s) this expression descends from.  Seeded by the block
+        #: builder, preserved by every pass, stamped onto VM instructions.
+        self.provenance: Tuple[str, ...] = ()
 
     def __repr__(self) -> str:  # pragma: no cover
         from .printer import format_expr

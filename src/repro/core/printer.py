@@ -107,6 +107,23 @@ def format_function(func: Function, name: str = None) -> str:
     return "\n".join(lines)
 
 
+def _prov_comment(binding) -> str:
+    """Provenance annotation for a binding, shown once lowering has made
+    the source op non-obvious (fused groups, call_tir, memory ops)."""
+    value = binding.value
+    chain = getattr(value, "provenance", ())
+    if not chain:
+        return ""
+    if (
+        len(chain) == 1
+        and isinstance(value, Call)
+        and isinstance(value.op, Op)
+        and chain[0] == f"{value.op.name}@{binding.var.name_hint}"
+    ):
+        return ""  # freshly emitted op call: the binding already says it
+    return f"  # from {'+'.join(chain)}"
+
+
 def _format_block(block: BindingBlock, indent: int) -> List[str]:
     pad = " " * indent
     lines = []
@@ -124,7 +141,7 @@ def _format_block(block: BindingBlock, indent: int) -> List[str]:
             rhs = f"<{type(binding).__name__}>"
         var = binding.var
         ann = f": {var.ann}" if var.ann is not None else ""
-        lines.append(f"{inner}{var.name_hint}{ann} = {rhs}")
+        lines.append(f"{inner}{var.name_hint}{ann} = {rhs}{_prov_comment(binding)}")
     if block.is_dataflow and len(lines) == 1:
         lines.append(f"{pad}  pass")
     return lines

@@ -126,6 +126,7 @@ class ExprMutator:
                 return expr
             out = Tuple(new_fields)
             out.ann = expr.ann
+            out.provenance = expr.provenance
             return out
         if isinstance(expr, TupleGetItem):
             new_tuple = self.visit(expr.tuple_value)
@@ -160,6 +161,7 @@ class ExprMutator:
             return call
         out = Call(new_op, new_args, call.attrs, call.sinfo_args)
         out.ann = call.ann
+        out.provenance = call.provenance
         return out
 
     def visit_seq(self, seq: SeqExpr) -> Expr:

@@ -1,0 +1,88 @@
+"""Localize a differential-oracle divergence to the first differing op.
+
+When two configurations of the same plan disagree, the final outputs say
+*that* something broke but not *where*.  This module re-runs both
+executables under :class:`repro.obs.VirtualMachineProfiler` with output
+capture on, aligns the optimized kernel stream to the reference stream by
+provenance (a fused kernel's chain ends with the site of the group's last
+member, which is the op whose value it produces), and reports the first
+aligned pair whose captured outputs differ.
+
+Best-effort by design: the oracle appends whatever this finds to the
+failure detail, and swallows any error raised here — localization must
+never mask the original divergence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..obs import VirtualMachineProfiler
+from ..obs.provenance import render
+from ..obs.trace import TraceEvent
+from ..runtime import NDArray, TEST_DEVICE
+
+
+def _arrays_differ(a: np.ndarray, b: np.ndarray,
+                   rtol: float, atol: float) -> Optional[str]:
+    if a.shape != b.shape:
+        return f"shape {a.shape} vs {b.shape}"
+    if a.dtype.kind in "iub" or b.dtype.kind in "iub":
+        if not np.array_equal(a, b):
+            return "integer mismatch"
+        return None
+    with np.errstate(invalid="ignore"):
+        close = np.isclose(a, b, rtol=rtol, atol=atol, equal_nan=True)
+    if close.all():
+        return None
+    diff = np.abs(a.astype("f8") - b.astype("f8"))
+    return f"max abs diff {np.nanmax(diff):.3g}"
+
+
+def _captured_events(vm: VirtualMachineProfiler) -> List[TraceEvent]:
+    return [e for e in vm.events
+            if e.kind in ("kernel", "library") and e.outputs is not None]
+
+
+def first_divergent_op(ref_exe, opt_exe, inputs: Sequence,
+                       device=TEST_DEVICE, *,
+                       rtol: float = 1e-4, atol: float = 1e-5) -> Optional[str]:
+    """Run both executables traced; name the first op whose outputs differ.
+
+    Returns a one-line human-readable location, or ``None`` when every
+    aligned pair agrees (the divergence then comes from unaligned ops or
+    pure value-plumbing, and the final-output diff stands alone).
+    """
+    ref_vm = VirtualMachineProfiler(ref_exe, device, concrete=True,
+                                    capture_outputs=True)
+    opt_vm = VirtualMachineProfiler(opt_exe, device, concrete=True,
+                                    capture_outputs=True)
+    args = [NDArray.from_numpy(np.asarray(a)) for a in inputs]
+    with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+        ref_vm.run("main", *args)
+        opt_vm.run("main", *[NDArray.from_numpy(np.asarray(a)) for a in inputs])
+
+    # Reference events queue up per site; optimized events consume in order.
+    by_site: Dict[str, List[TraceEvent]] = {}
+    for event in _captured_events(ref_vm):
+        if event.prov:
+            by_site.setdefault(event.prov[-1], []).append(event)
+
+    for event in _captured_events(opt_vm):
+        if not event.prov:
+            continue
+        queue = by_site.get(event.prov[-1])
+        if not queue:
+            continue
+        ref_event = queue.pop(0)
+        for ref_out, opt_out in zip(ref_event.outputs, event.outputs):
+            why = _arrays_differ(np.asarray(ref_out), np.asarray(opt_out),
+                                 rtol, atol)
+            if why is not None:
+                return (
+                    f"first divergent op: {render(event.prov)} "
+                    f"({ref_event.name} vs {event.name}): {why}"
+                )
+    return None

@@ -98,6 +98,22 @@ def _compile(plan: Plan, config: str, flags: Dict[str, bool]):
         raise FuzzFailure(kind, config, text)
 
 
+def _localized(diff: str, ref_exe, exe, inputs) -> str:
+    """Append a first-divergent-op location to a divergence detail.
+
+    Localization replays both executables with per-op output capture
+    (:mod:`repro.fuzz.localize`); it is strictly best-effort and must
+    never mask the original diff, so every error is swallowed.
+    """
+    try:
+        from .localize import first_divergent_op
+
+        where = first_divergent_op(ref_exe, exe, inputs)
+    except Exception:
+        return diff
+    return f"{diff}; {where}" if where else diff
+
+
 def _run(exe, config: str, inputs):
     vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
     args = [NDArray.from_numpy(np.asarray(a)) for a in inputs]
@@ -118,16 +134,20 @@ def run_plan(plan: Plan, *, check_aliasing: bool = True) -> Dict[str, object]:
     """
     inputs = make_inputs(plan)
     reference = None
+    ref_exe = None
     configs_run = []
     for config, flags in config_matrix():
         exe = _compile(plan, config, flags)
         out = _run(exe, config, inputs)
         if reference is None:
             reference = out
+            ref_exe = exe
         else:
             diff = compare_values(reference, out)
             if diff is not None:
-                raise FuzzFailure("divergence", config, diff)
+                raise FuzzFailure(
+                    "divergence", config,
+                    _localized(diff, ref_exe, exe, inputs))
         if config == "full-on":
             again = _run(exe, config + " (replay)", inputs)
             diff = compare_values(out, again, rtol=0.0, atol=0.0)

@@ -1,0 +1,53 @@
+"""Runtime observability: provenance, tracing, per-op profiling, export.
+
+The subsystem has three layers, mirroring the compile→run→report flow:
+
+* :mod:`repro.obs.provenance` — source-op spans attached to Relax
+  expressions and threaded through every pass down to VM instructions;
+* :mod:`repro.obs.trace` — a :class:`TraceRecorder` hook the VM drives,
+  emitting structured events on the simulated device-model clock
+  (zero-cost when no recorder is attached);
+* :mod:`repro.obs.report` — per-op aggregate tables, the memory
+  timeline, and Chrome trace-event / Perfetto JSON export, plus the
+  :class:`VirtualMachineProfiler` convenience wrapper.
+
+``python -m repro.obs`` runs a model end-to-end and renders all of the
+above (see :mod:`repro.obs.cli`).
+
+Core and the transform passes import :mod:`~repro.obs.provenance`
+through this package, so the report layer (which reaches into the
+runtime) is loaded lazily to keep the import graph acyclic.
+"""
+
+from .provenance import Provenance, merge, of, render, site, site_op, tag
+from .trace import TraceEvent, TraceRecorder
+
+_REPORT_NAMES = (
+    "MemoryTimeline",
+    "OpTable",
+    "VirtualMachineProfiler",
+    "chrome_trace",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+)
+
+__all__ = [
+    "Provenance",
+    "merge",
+    "of",
+    "render",
+    "site",
+    "site_op",
+    "tag",
+    "TraceEvent",
+    "TraceRecorder",
+    *_REPORT_NAMES,
+]
+
+
+def __getattr__(name: str):
+    if name in _REPORT_NAMES:
+        from . import report
+
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

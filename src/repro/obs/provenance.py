@@ -1,0 +1,71 @@
+"""Source-op provenance for Relax expressions and VM instructions.
+
+After legalization, fusion and lowering, a single VM instruction (one
+kernel launch, one storage allocation) may descend from several
+graph-level operator calls — a fused "dequant → matmul → add" kernel, or
+the storage backing its output.  Provenance is the thread that survives
+all of those rewrites: a tuple of *site strings*, each naming the original
+graph-level op and the variable it was bound to::
+
+    ("matmul@lv0", "add@lv1")
+
+Sites are seeded when the frontend emits an operator call
+(:meth:`BlockBuilder.emit`), carried across every pass by the
+:class:`~repro.core.visitor.ExprMutator` infrastructure plus explicit
+threading in the rewriting passes (legalize, fusion, lowering, memory
+planning), and finally stamped onto VM instructions by codegen — so the
+disassembly and every runtime trace event can point back at the op(s)
+that produced it (the Relay/TensorIR-profiler lineage the evaluation
+tooling needs).
+
+This module is dependency-free on purpose: core and transform import it
+without dragging in the runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+#: A provenance chain: ordered, de-duplicated source-op sites.
+Provenance = Tuple[str, ...]
+
+
+def site(op_name: str, var_hint: str = "") -> str:
+    """Format one provenance site: ``"matmul@lv0"`` (or bare op name)."""
+    return f"{op_name}@{var_hint}" if var_hint else op_name
+
+
+def site_op(entry: str) -> str:
+    """The op-name half of a site string (``"matmul@lv0"`` → ``"matmul"``)."""
+    return entry.split("@", 1)[0]
+
+
+def of(expr) -> Provenance:
+    """The provenance chain of an expression (``()`` when untracked)."""
+    return getattr(expr, "provenance", ()) or ()
+
+
+def merge(*sources) -> Provenance:
+    """Union of provenance chains / raw tuples, first-seen order."""
+    out = []
+    seen = set()
+    for source in sources:
+        chain = source if isinstance(source, (tuple, list)) else of(source)
+        for entry in chain:
+            if entry not in seen:
+                seen.add(entry)
+                out.append(entry)
+    return tuple(out)
+
+
+def tag(expr, *sources):
+    """Attach merged provenance to ``expr`` (no-op when empty); returns it."""
+    chain = merge(*sources)
+    if chain:
+        expr.provenance = chain
+    return expr
+
+
+def render(chain: Iterable[str]) -> str:
+    """Human-readable form of a chain: ``"matmul@lv0+add@lv1"``."""
+    return "+".join(chain)

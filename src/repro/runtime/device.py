@@ -49,13 +49,18 @@ class Device:
     #: keeps paying off under CUDA Graph because fewer nodes replay.
     graph_kernel_overhead: float = 0.15e-6
 
-    def kernel_time(self, flops: float, bytes_moved: float,
-                    efficiency: float, include_launch: bool = True) -> float:
+    def kernel_roofline(self, flops: float, bytes_moved: float,
+                        efficiency: float) -> float:
+        """Device-side kernel duration: the roofline max, without launch."""
         compute = flops / (self.peak_flops * efficiency)
         # Achieved bandwidth tracks kernel quality with a small bonus
         # (memory streaming is easier than peak math), capped below 1.
         memory = bytes_moved / (self.mem_bandwidth * min(0.97, efficiency + 0.08))
-        time = max(compute, memory)
+        return max(compute, memory)
+
+    def kernel_time(self, flops: float, bytes_moved: float,
+                    efficiency: float, include_launch: bool = True) -> float:
+        time = self.kernel_roofline(flops, bytes_moved, efficiency)
         if include_launch:
             time += self.kernel_launch_overhead
         return time

@@ -17,6 +17,12 @@ def _dim(spec: rvm.DimSpec) -> str:
     return str(payload) if kind == "const" else f"heap[{payload}]"
 
 
+def _prov(instr: rvm.Instr) -> str:
+    """Trailing provenance annotation: ``  ; from matmul@lv0+relu@lv1``."""
+    chain = getattr(instr, "prov", ())
+    return f"  ; from {'+'.join(chain)}" if chain else ""
+
+
 def _instr_lines(instr: rvm.Instr, indent: int) -> List[str]:
     pad = "  " * indent
     if isinstance(instr, rvm.MatchShape):
@@ -38,29 +44,29 @@ def _instr_lines(instr: rvm.Instr, indent: int) -> List[str]:
         return [f"{pad}r{instr.dst} = const[{instr.const_idx}]"]
     if isinstance(instr, rvm.AllocStorage):
         esc = " escapes" if instr.escapes else ""
-        return [f"{pad}r{instr.dst} = alloc_storage({_dim(instr.size)}B){esc}"]
+        return [f"{pad}r{instr.dst} = alloc_storage({_dim(instr.size)}B){esc}{_prov(instr)}"]
     if isinstance(instr, rvm.AllocTensor):
         dims = ", ".join(_dim(d) for d in instr.dims)
         src = f" from r{instr.storage}" if instr.storage is not None else " (pool)"
         esc = " escapes" if instr.escapes else ""
-        return [f"{pad}r{instr.dst} = alloc_tensor(({dims}), {instr.dtype}){src}{esc}"]
+        return [f"{pad}r{instr.dst} = alloc_tensor(({dims}), {instr.dtype}){src}{esc}{_prov(instr)}"]
     if isinstance(instr, rvm.KillTensor):
-        return [f"{pad}kill r{instr.reg}"]
+        return [f"{pad}kill r{instr.reg}{_prov(instr)}"]
     if isinstance(instr, rvm.CallTir):
         args = ", ".join(f"r{a}" for a in instr.args)
         outs = ", ".join(f"r{o}" for o in instr.outs)
         syms = ""
         if instr.sym_args:
             syms = "; sym=[" + ", ".join(_dim(d) for d in instr.sym_args) + "]"
-        return [f"{pad}call_tir @{instr.func}({args} -> {outs}{syms})"]
+        return [f"{pad}call_tir @{instr.func}({args} -> {outs}{syms}){_prov(instr)}"]
     if isinstance(instr, rvm.CallLib):
         args = ", ".join(f"r{a}" for a in instr.args)
         outs = ", ".join(f"r{o}" for o in instr.outs)
-        return [f"{pad}call_lib \"{instr.name}\"({args} -> {outs})"]
+        return [f"{pad}call_lib \"{instr.name}\"({args} -> {outs}){_prov(instr)}"]
     if isinstance(instr, rvm.CallBuiltin):
         args = ", ".join(f"r{a}" for a in instr.args)
         dst = f"r{instr.dst} = " if instr.dst is not None else ""
-        return [f"{pad}{dst}builtin \"{instr.name}\"({args})"]
+        return [f"{pad}{dst}builtin \"{instr.name}\"({args}){_prov(instr)}"]
     if isinstance(instr, rvm.CallFunc):
         args = ", ".join(f"r{a}" for a in instr.args)
         return [f"{pad}r{instr.dst} = call @{instr.func}({args})"]

@@ -18,7 +18,7 @@ Two allocation modes mirror §5.2's memory study:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 
 @dataclass
@@ -68,6 +68,7 @@ class ExecutionStats:
         self.allocations += other.allocations
         self.allocated_bytes_total += other.allocated_bytes_total
         self.escaping_bytes_total += other.escaping_bytes_total
+        self.current_bytes += other.current_bytes
         self.peak_bytes = max(self.peak_bytes, other.peak_bytes)
         self.kernel_time_s += other.kernel_time_s
         self.launch_overhead_s += other.launch_overhead_s
@@ -77,6 +78,9 @@ class ExecutionStats:
             "time_s": self.time_s,
             "kernel_launches": self.kernel_launches,
             "lib_calls": self.lib_calls,
+            "builtin_calls": self.builtin_calls,
+            "kernel_time_s": self.kernel_time_s,
+            "launch_overhead_s": self.launch_overhead_s,
             "graph_captures": self.graph_captures,
             "graph_replays": self.graph_replays,
             "allocations": self.allocations,
@@ -127,13 +131,12 @@ class RuntimePool:
 
     def __init__(self, stats: ExecutionStats):
         self.stats = stats
-        self._free: Dict[int, List[int]] = {}  # size -> free block count
+        self._free: Dict[int, int] = {}  # size -> free block count
 
     def allocate(self, size: int, escaping: bool = False) -> bool:
         """Returns True when a recycled block was used (no new allocation)."""
-        bucket = self._free.get(size)
-        if bucket:
-            bucket.pop()
+        if self._free.get(size, 0) > 0:
+            self._free[size] -= 1
             self.stats.current_bytes += size
             self.stats.peak_bytes = max(self.stats.peak_bytes, self.stats.current_bytes)
             return True
@@ -141,5 +144,5 @@ class RuntimePool:
         return False
 
     def release(self, size: int) -> None:
-        self._free.setdefault(size, []).append(0)
+        self._free[size] = self._free.get(size, 0) + 1
         self.stats.record_free(size)

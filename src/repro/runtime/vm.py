@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from .. import dtypes, sym, tir
+from ..obs.trace import TraceRecorder
 from .device import Device
 from .library import REGISTRY, LibraryRegistry
 from .ndarray import NDArray, ShapeTuple, Storage
@@ -98,6 +99,7 @@ class AllocStorage(Instr):
     dst: int
     size: DimSpec
     escapes: bool = False  # holds a returned value (KV cache, logits)
+    prov: Tuple[str, ...] = ()  # source-op provenance chain
 
 
 @dataclass
@@ -109,6 +111,7 @@ class AllocTensor(Instr):
     dtype: str
     storage: Optional[int] = None  # register holding a Storage
     escapes: bool = False
+    prov: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -116,6 +119,7 @@ class KillTensor(Instr):
     """Last use passed: release a pool-allocated tensor."""
 
     reg: int
+    prov: Tuple[str, ...] = ()  # provenance of the alloc whose life this ends
 
 
 @dataclass
@@ -126,6 +130,7 @@ class CallTir(Instr):
     args: List[int]
     outs: List[int]
     sym_args: List[DimSpec] = field(default_factory=list)
+    prov: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -135,6 +140,7 @@ class CallLib(Instr):
     name: str
     args: List[int]
     outs: List[int]
+    prov: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -144,6 +150,7 @@ class CallBuiltin(Instr):
     dst: Optional[int]
     name: str
     args: List[int]
+    prov: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -240,6 +247,9 @@ class VirtualMachine:
         self.enable_cuda_graph = enable_cuda_graph
         self.registry = registry
         self.stats = ExecutionStats()
+        #: Optional trace hook (see :mod:`repro.obs.trace`).  ``None`` —
+        #: the default — keeps execution bit-identical to an untraced run.
+        self.tracer: Optional[TraceRecorder] = None
         self.pool = RuntimePool(self.stats)
         self._storage_cache: Dict[Tuple[str, int], Storage] = {}
         self._graph_cache: Dict[Tuple, int] = {}
@@ -281,7 +291,11 @@ class VirtualMachine:
                 return self._run_replayed(func, args)
             # First run with this shape signature: capture.
             self.stats.graph_captures += 1
-            self.stats.time_s += 10 * self.device.kernel_launch_overhead
+            capture_s = 10 * self.device.kernel_launch_overhead
+            if self.tracer is not None:
+                self.tracer.emit("graph_capture", func_name,
+                                 self.stats.time_s, capture_s)
+            self.stats.time_s += capture_s
             result = self._run_body(func, args)
             self._graph_cache[key] = 1
             return result
@@ -295,9 +309,11 @@ class VirtualMachine:
         finally:
             self._replay_depth -= 1
         self.stats.graph_replays += 1
-        self.stats.replayed_kernels += (
-            self.stats.kernel_launches + self.stats.lib_calls - launches_before
-        )
+        replayed = self.stats.kernel_launches + self.stats.lib_calls - launches_before
+        self.stats.replayed_kernels += replayed
+        if self.tracer is not None:
+            self.tracer.emit("graph_replay", func.name, self.stats.time_s,
+                             self.device.graph_launch_overhead, kernels=replayed)
         self.stats.time_s += self.device.graph_launch_overhead
         return result
 
@@ -377,6 +393,9 @@ class VirtualMachine:
             arr = frame.regs[instr.reg]
             if isinstance(arr, NDArray) and arr.storage is None:
                 self.pool.release(arr.size_bytes())
+                if self.tracer is not None:
+                    self.tracer.emit("free", "pool_tensor", self.stats.time_s,
+                                     0.0, instr.prov, size=arr.size_bytes())
             frame.regs[instr.reg] = None
         elif isinstance(instr, CallTir):
             self._exec_call_tir(instr, frame)
@@ -456,7 +475,14 @@ class VirtualMachine:
             return cached
         if cached is not None:
             self.stats.record_free(cached.size)
+            if self.tracer is not None:
+                self.tracer.emit("free", "storage", self.stats.time_s, 0.0,
+                                 instr.prov, size=cached.size, resized=True)
         self.stats.record_alloc(size, instr.escapes)
+        if self.tracer is not None:
+            self.tracer.emit("alloc", "storage", self.stats.time_s,
+                             self.device.alloc_overhead, instr.prov,
+                             size=size, escapes=instr.escapes)
         self.stats.time_s += self.device.alloc_overhead
         storage = Storage(size, self.concrete)
         self._storage_cache[key] = storage
@@ -476,6 +502,12 @@ class VirtualMachine:
             return NDArray.empty(shape, instr.dtype, self.concrete, storage=storage)
         arr = NDArray.empty(shape, instr.dtype, self.concrete)
         reused = self.pool.allocate(arr.size_bytes(), instr.escapes)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "alloc", "pool_tensor", self.stats.time_s,
+                0.0 if reused else self.device.alloc_overhead, instr.prov,
+                size=arr.size_bytes(), escapes=instr.escapes, reused=reused,
+            )
         if not reused:
             self.stats.time_s += self.device.alloc_overhead
         return arr
@@ -492,7 +524,11 @@ class VirtualMachine:
 
         bindings = self._bind_shapes(func, inputs + outputs, sym_values)
         flops, nbytes = self._kernel_cost(instr.func, func, inputs + outputs, bindings)
-        self._account_kernel(func, outputs, flops, nbytes, is_lib=False)
+        event = self._account_kernel(
+            func, outputs, flops, nbytes, is_lib=False,
+            trace_name=instr.func, prov=instr.prov, inputs=inputs,
+            bindings=bindings,
+        )
 
         if self.concrete:
             arrays = [a.numpy() for a in inputs] + [a.numpy() for a in outputs]
@@ -500,6 +536,8 @@ class VirtualMachine:
                 var: value for var, value in bindings.items()
             }
             tir.run_prim_func(func, arrays, sym_bindings=sym_bindings)
+            if event is not None and self.tracer.capture_outputs:
+                event.outputs = [o.numpy().copy() for o in outputs]
 
     def _exec_call_lib(self, instr: CallLib, frame: _Frame) -> None:
         kernel = self.registry.get(instr.name)
@@ -523,6 +561,16 @@ class VirtualMachine:
         time = self.device.kernel_time(flops, nbytes, efficiency, include_launch)
         if not include_launch:
             time += self.device.graph_kernel_overhead
+        event = None
+        if self.tracer is not None:
+            roofline = self.device.kernel_roofline(flops, nbytes, efficiency)
+            event = self.tracer.emit(
+                "library", instr.name, self.stats.time_s, time, instr.prov,
+                flops=flops, bytes=nbytes, efficiency=efficiency,
+                roofline_s=roofline, launch_s=time - roofline,
+                replayed=not include_launch,
+                shapes=[list(a.shape) for a in inputs + outputs],
+            )
         self.stats.time_s += time
         self.stats.kernel_time_s += time
         if include_launch:
@@ -530,8 +578,11 @@ class VirtualMachine:
         self.stats.lib_calls += 1
         if self.concrete:
             kernel.compute([a.numpy() for a in inputs], [a.numpy() for a in outputs])
+            if event is not None and self.tracer.capture_outputs:
+                event.outputs = [o.numpy().copy() for o in outputs]
 
-    def _account_kernel(self, func: tir.PrimFunc, outputs, flops, nbytes, is_lib):
+    def _account_kernel(self, func: tir.PrimFunc, outputs, flops, nbytes, is_lib,
+                        trace_name=None, prov=(), inputs=(), bindings=None):
         efficiency = self.device.gen_efficiency
         if func.attrs.get("schedule_class") == "opaque":
             # No analysis rule covers this program: the naive fallback
@@ -558,11 +609,23 @@ class VirtualMachine:
         time = self.device.kernel_time(flops, nbytes, efficiency, include_launch)
         if not include_launch:
             time += self.device.graph_kernel_overhead
+        event = None
+        if self.tracer is not None:
+            roofline = self.device.kernel_roofline(flops, nbytes, efficiency)
+            event = self.tracer.emit(
+                "kernel", trace_name or func.name, self.stats.time_s, time, prov,
+                flops=flops, bytes=nbytes, efficiency=efficiency,
+                roofline_s=roofline, launch_s=time - roofline,
+                replayed=not include_launch,
+                shapes=[list(a.shape) for a in list(inputs) + list(outputs)],
+                sym={var.name: int(v) for var, v in (bindings or {}).items()},
+            )
         self.stats.time_s += time
         self.stats.kernel_time_s += time
         if include_launch:
             self.stats.launch_overhead_s += self.device.kernel_launch_overhead
         self.stats.kernel_launches += 1
+        return event
 
     def _bind_shapes(self, func: tir.PrimFunc, arrays: List[NDArray], sym_values):
         bindings: Dict[sym.SymVar, int] = {}
@@ -589,6 +652,7 @@ class VirtualMachine:
     def _exec_builtin(self, instr: CallBuiltin, frame: _Frame) -> None:
         args = [frame.regs[r] for r in instr.args]
         self.stats.builtin_calls += 1
+        ts = self.stats.time_s
         if instr.name == "vm.builtin.shape_of":
             arr = args[0]
             result = ShapeTuple(arr.shape)
@@ -598,6 +662,10 @@ class VirtualMachine:
             result = self._builtin_nonzero(args[0])
         else:
             raise VMError(f"unknown builtin {instr.name!r}")
+        if self.tracer is not None:
+            # Builtins charge the clock internally; the delta is the cost.
+            self.tracer.emit("builtin", instr.name, ts,
+                             self.stats.time_s - ts, instr.prov)
         if instr.dst is not None:
             frame.regs[instr.dst] = result
 

@@ -41,6 +41,7 @@ from ..core.expr import (
 from ..core.ir_module import IRModule
 from ..core.deduction import rededuce_function
 from ..core import op as core_op
+from ..obs import provenance as _prov
 from ..tir.analysis import PatternKind
 from .annotate_pattern import pattern_of
 from .pass_infra import FunctionPass, PassContext, register_pass
@@ -58,6 +59,7 @@ def substitute_vars(expr: Expr, var_map: Dict[int, Expr]) -> Expr:
             expr.sinfo_args,
         )
         new.ann = expr.ann
+        new.provenance = expr.provenance
         return new
     if isinstance(expr, Tuple):
         new = Tuple([substitute_vars(f, var_map) for f in expr.fields])
@@ -357,6 +359,7 @@ class FuseOps(FunctionPass):
                     expr.sinfo_args,
                 )
                 new.ann = expr.ann
+                new.provenance = expr.provenance
                 return new
             if isinstance(expr, Tuple):
                 new = Tuple([substitute_all(f) for f in expr.fields])
@@ -393,6 +396,8 @@ class FuseOps(FunctionPass):
             call_args.append(ShapeExpr(missing))
         call = Call(gvar, call_args)
         call.ann = out_binding.var.ann
+        # The group call descends from every member op, in program order.
+        call.provenance = _prov.merge(*(bindings[i].value for i in group))
         return VarBinding(out_binding.var, call)
 
     @staticmethod

@@ -295,6 +295,7 @@ class _CallRewriter(ExprMutator):
             sym_args,
         )
         new_call.ann = call.ann
+        new_call.provenance = call.provenance
         return new_call
 
 

@@ -54,6 +54,7 @@ class _Legalizer(ExprMutator):
                 out = Call(ExternFunc(extern), list(call.args),
                            sinfo_args=(call.ann,) if call.ann is not None else ())
                 out.ann = call.ann
+                out.provenance = call.provenance or (op.name,)
                 return out
             return call
         legalized = op.legalize(call)
@@ -68,6 +69,7 @@ class _Legalizer(ExprMutator):
         out_ann = getattr(legalized, "out_anns", None) or legalized.out_ann
         new_call = core_op.call_tir(gvar, legalized.args, out_ann, sym_args)
         new_call.ann = call.ann
+        new_call.provenance = call.provenance or (op.name,)
         return new_call
 
 

@@ -94,6 +94,7 @@ class _Dispatcher(ExprMutator):
                 continue  # shape-valued args need the tensor-program path
             new_call = core_op.call_dps_library(lib_name, tensor_args, out_ann)
             new_call.ann = out_ann
+            new_call.provenance = call.provenance or (op.name,)
             self.rewritten += 1
             return new_call
         return call

@@ -92,6 +92,7 @@ class LowerCallTIR(FunctionPass):
                     assert isinstance(ann, TensorAnn) and ann.shape is not None
                     alloc = alloc_tensor(ann.shape, ann.dtype)
                     alloc.ann = TensorAnn(ann.shape, ann.dtype)
+                    alloc.provenance = value.provenance
                     if len(out_anns) == 1:
                         out_var = self._demote(binding.var, var_remap)
                     else:
@@ -103,6 +104,7 @@ class LowerCallTIR(FunctionPass):
                 else:
                     dps = call_lib_dps(callee.global_symbol, list(args), out_vars)
                 dps.ann = ObjectAnn()
+                dps.provenance = value.provenance
                 new_bindings.append(VarBinding(Var("_", ObjectAnn()), dps))
                 if len(out_anns) > 1:
                     tup = Tuple(out_vars)

@@ -247,11 +247,13 @@ class MemoryPlan(FunctionPass):
                     if escaping:
                         sto_call.attrs["escapes"] = True
                     sto_call.ann = ObjectAnn()
+                    sto_call.provenance = value.provenance
                     storage_var = Var(f"storage{len(tensor_storage)}", ObjectAnn())
                     new_bindings.append(VarBinding(storage_var, sto_call))
 
                 inst = alloc_tensor_from_storage(storage_var, shape_expr.values, dtype)
                 inst.ann = binding.var.ann
+                inst.provenance = value.provenance
                 new_bindings.append(VarBinding(binding.var, inst))
                 if not escaping:
                     tensor_storage[binding.var._id] = (storage_var, size_key)
@@ -320,6 +322,7 @@ class InsertKills(FunctionPass):
         escaping_vars = _escaping_vars(body.blocks, body.body)
 
         pool_vars: Dict[int, Var] = {}
+        alloc_prov: Dict[int, Tuple[str, ...]] = {}
         for block in body.blocks:
             for binding in block.bindings:
                 value = binding.value
@@ -329,6 +332,7 @@ class InsertKills(FunctionPass):
                         value.attrs["escapes"] = True  # returned: never killed
                     else:
                         pool_vars[binding.var._id] = binding.var
+                        alloc_prov[binding.var._id] = value.provenance
         if not pool_vars:
             return func
 
@@ -347,6 +351,8 @@ class InsertKills(FunctionPass):
                 for var in dying:
                     kill_call = kill(var)
                     kill_call.ann = ObjectAnn()
+                    # The kill descends from the alloc it ends the life of.
+                    kill_call.provenance = alloc_prov.get(var._id, ())
                     new_bindings.append(VarBinding(Var("_", ObjectAnn()), kill_call))
                     changed = True
                 order += 1

@@ -285,7 +285,9 @@ class _FunctionCodegen:
         if isinstance(op, ExternFunc):
             args = [self.compile_expr(a, body) for a in call.args]
             dst = self.new_reg()
-            body.append(rvm.CallBuiltin(dst, op.global_symbol, args))
+            body.append(
+                rvm.CallBuiltin(dst, op.global_symbol, args, prov=call.provenance)
+            )
             return dst
         raise VMCodegenError(
             f"cannot compile call with callee {type(op).__name__}; "
@@ -298,7 +300,8 @@ class _FunctionCodegen:
             dst = self.new_reg()
             body.append(
                 rvm.AllocStorage(dst, size_spec,
-                                 escapes=bool(call.attrs.get("escapes")))
+                                 escapes=bool(call.attrs.get("escapes")),
+                                 prov=call.provenance)
             )
             return dst
         if op is alloc_tensor_from_storage_op:
@@ -306,7 +309,8 @@ class _FunctionCodegen:
             dims = [self.dim_spec(v, body) for v in call.args[1].values]
             dst = self.new_reg()
             body.append(
-                rvm.AllocTensor(dst, dims, call.attrs["dtype"], storage=storage_reg)
+                rvm.AllocTensor(dst, dims, call.attrs["dtype"], storage=storage_reg,
+                                prov=call.provenance)
             )
             return dst
         if op is alloc_tensor_op:
@@ -314,12 +318,13 @@ class _FunctionCodegen:
             dst = self.new_reg()
             body.append(
                 rvm.AllocTensor(dst, dims, call.attrs["dtype"],
-                                escapes=bool(call.attrs.get("escapes")))
+                                escapes=bool(call.attrs.get("escapes")),
+                                prov=call.provenance)
             )
             return dst
         if op is kill_op:
             reg = self.compile_expr(call.args[0], body)
-            body.append(rvm.KillTensor(reg))
+            body.append(rvm.KillTensor(reg, prov=call.provenance))
             return reg
         if op is call_tir_dps_op or op is call_lib_dps_op:
             callee, inputs, outputs, sym_args = dps_parts(call)
@@ -331,9 +336,14 @@ class _FunctionCodegen:
                 specs = []
                 if sym_args is not None:
                     specs = [self.dim_spec(v, body) for v in sym_args.values]
-                body.append(rvm.CallTir(name, in_regs, out_regs, specs))
+                body.append(
+                    rvm.CallTir(name, in_regs, out_regs, specs, prov=call.provenance)
+                )
             else:
-                body.append(rvm.CallLib(callee.global_symbol, in_regs, out_regs))
+                body.append(
+                    rvm.CallLib(callee.global_symbol, in_regs, out_regs,
+                                prov=call.provenance)
+                )
             return out_regs[0] if out_regs else self.new_reg()
         raise VMCodegenError(
             f"operator {op.name!r} survived to codegen; the lowering pipeline "

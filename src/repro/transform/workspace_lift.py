@@ -103,6 +103,7 @@ class WorkspaceLifting(FunctionPass):
                     ]
                     alloc_call = alloc_tensor(shape, ws.dtype)
                     alloc_call.ann = TensorAnn(shape, ws.dtype)
+                    alloc_call.provenance = value.provenance
                     ws_var = var_cls(f"{ws.name}_lifted", alloc_call.ann)
                     new_bindings.append(VarBinding(ws_var, alloc_call))
                     ws_vars.append(ws_var)
@@ -114,6 +115,7 @@ class WorkspaceLifting(FunctionPass):
                     sym_args,
                 )
                 new_call.ann = value.ann
+                new_call.provenance = value.provenance
                 new_bindings.append(VarBinding(binding.var, new_call))
             if changed:
                 cls = DataflowBlock if block.is_dataflow else type(block)

@@ -74,3 +74,33 @@ class TestRelaxRunners:
         short = runner.decode_step_time(1, 4)
         long = runner.decode_step_time(1, 40)
         assert long > short
+
+    def test_op_profile_leaves_cached_vm_untouched(self):
+        runner = RelaxLLM(TINY_LLAMA, TEST_DEVICE,
+                          sym_var_upper_bounds={"b": 4, "s": 32, "m": 32})
+        before = runner.decode_step_time(1, 8)
+        pvm = runner.op_profile(1, 8)
+        # The traced step reproduces the measured step exactly...
+        assert pvm.stats.time_s == before
+        # ...accounts for every simulated second, with full provenance...
+        assert abs(pvm.tracer.total_time_s() - pvm.stats.time_s) < 1e-9
+        kernel_rows = [r for r in pvm.op_table().rows
+                       if r["kind"] in ("kernel", "library")]
+        assert kernel_rows and all(r["provenance"] for r in kernel_rows)
+        # ...and the runner's own VM keeps measuring bit-identically.
+        assert runner.decode_step_time(1, 8) == before
+
+    def test_op_profile_prefill_and_payload(self):
+        from repro.bench import results_payload
+
+        runner = RelaxLLM(TINY_LLAMA, TEST_DEVICE,
+                          sym_var_upper_bounds={"b": 4, "s": 32, "m": 32})
+        pvm = runner.op_profile(1, 0, fn="prefill", seq=8)
+        payload = results_payload(
+            "t", [1], {"Relax": [1.0]},
+            op_profiles={"Relax": pvm.op_table()},
+        )
+        import json
+
+        d = json.loads(json.dumps(payload))
+        assert d["op_profiles"]["Relax"]["rows"]

@@ -1,0 +1,84 @@
+"""Provenance: site helpers, seeding in the builder, threading to the VM."""
+
+import numpy as np
+
+from repro import ops, transform
+from repro.core import BlockBuilder, TensorAnn, const
+from repro.core.printer import format_function
+from repro.obs import provenance as prov
+from repro.runtime import TEST_DEVICE, disassemble
+
+
+class TestHelpers:
+    def test_site_and_render(self):
+        assert prov.site("matmul", "lv0") == "matmul@lv0"
+        assert prov.render(("a@x", "b@y")) == "a@x+b@y"
+
+    def test_merge_dedups_in_order(self):
+        class E:
+            def __init__(self, p):
+                self.provenance = p
+
+        merged = prov.merge(E(("a@x",)), ("b@y", "a@x"), ["c@z"])
+        assert merged == ("a@x", "b@y", "c@z")
+
+
+def _module():
+    bb = BlockBuilder()
+    with bb.function("main", {"x": TensorAnn(("n", 4), "f32")}) as frame:
+        (x,) = frame.params
+        w = const(np.ones((4, 4), np.float32))
+        with bb.dataflow():
+            h = bb.emit(ops.matmul(x, w))
+            h = bb.emit(ops.relu(h))
+            h = bb.emit(ops.silu(h))
+            gv = bb.emit_output(h)
+        bb.emit_func_output(gv)
+    return bb.get()
+
+
+class TestSeeding:
+    def test_builder_stamps_op_calls(self):
+        mod = _module()
+        func = next(f for _, f in mod.functions())
+        sites = [
+            b.value.provenance
+            for block in func.body.blocks
+            for b in block.bindings
+        ]
+        assert ("matmul@lv",) in sites or any(
+            s and s[0].startswith("matmul@") for s in sites
+        )
+
+
+class TestThreadingToVM:
+    def test_disasm_shows_provenance_on_calls_and_allocs(self):
+        exe = transform.build(_module(), TEST_DEVICE,
+                              sym_var_upper_bounds={"n": 64})
+        text = disassemble(exe)
+        assert "; from matmul@" in text
+        # Allocations inherit the op that produces into them.
+        alloc_lines = [l for l in text.splitlines() if "alloc_storage" in l]
+        assert alloc_lines
+        assert all("; from" in l for l in alloc_lines)
+
+    def test_fused_group_merges_chains(self):
+        exe = transform.build(_module(), TEST_DEVICE,
+                              sym_var_upper_bounds={"n": 64})
+        text = disassemble(exe)
+        assert "+" in text.split("; from", 1)[1], (
+            "fusion should merge member sites into one chain"
+        )
+
+    def test_lowered_printer_annotates_bindings(self):
+        from repro.core import Function
+        from repro.transform import PassContext, optimize
+
+        ctx = PassContext(device=TEST_DEVICE,
+                          sym_var_upper_bounds={"n": 64})
+        lowered = optimize(_module(), ctx)
+        texts = [
+            format_function(f, n) for n, f in lowered.functions()
+            if isinstance(f, Function)
+        ]
+        assert any("# from" in t for t in texts)

@@ -48,6 +48,22 @@ def test_cuda_graph_attr_visible():
     assert "cuda_graph" in text
 
 
+def test_provenance_annotations_in_disassembly():
+    text = disassemble(_exe())
+    # Kernel/library calls carry the source-op chain they descend from...
+    call_lines = [
+        l for l in text.splitlines()
+        if "call_tir" in l or "call_lib" in l
+    ]
+    assert call_lines
+    assert all("; from " in l for l in call_lines), call_lines
+    assert any("matmul@" in l for l in call_lines)
+    # ...and so do the storage allocations feeding them.
+    alloc_lines = [l for l in text.splitlines() if "alloc_storage" in l]
+    assert alloc_lines
+    assert all("; from " in l for l in alloc_lines), alloc_lines
+
+
 # ---------------------------------------------------------------------------
 # Opcode coverage: every emittable instruction round-trips through the
 # disassembler.  The modules come from the fuzzing subsystem's generator;

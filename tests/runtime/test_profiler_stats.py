@@ -1,0 +1,127 @@
+"""ExecutionStats merging/summary, RuntimePool recycling, ProfileReport."""
+
+import json
+
+import numpy as np
+
+from repro import ops, transform
+from repro.core import BlockBuilder, TensorAnn, const
+from repro.runtime import TEST_DEVICE, VirtualMachine
+from repro.runtime.ndarray import NDArray
+from repro.runtime.profiler import ExecutionStats, ProfileReport, RuntimePool
+
+
+class TestExecutionStats:
+    def test_merge_accumulates_current_bytes(self):
+        # Regression: merge() used to drop current_bytes, so merging two
+        # snapshots with live storage under-reported residency.
+        a = ExecutionStats()
+        a.record_alloc(100)
+        b = ExecutionStats()
+        b.record_alloc(300)
+        b.record_free(100)
+        a.merge(b)
+        assert a.current_bytes == 300
+        assert a.allocations == 2
+        assert a.peak_bytes == 300
+
+    def test_merge_sums_every_counter(self):
+        a = ExecutionStats(time_s=1.0, kernel_launches=2, lib_calls=1,
+                           builtin_calls=3, kernel_time_s=0.5,
+                           launch_overhead_s=0.1)
+        b = ExecutionStats(time_s=2.0, kernel_launches=5, lib_calls=4,
+                           builtin_calls=7, kernel_time_s=1.5,
+                           launch_overhead_s=0.3)
+        a.merge(b)
+        assert a.time_s == 3.0
+        assert a.kernel_launches == 7
+        assert a.lib_calls == 5
+        assert a.builtin_calls == 10
+        assert a.kernel_time_s == 2.0
+        assert abs(a.launch_overhead_s - 0.4) < 1e-12
+
+    def test_summary_includes_builtin_and_time_split(self):
+        stats = ExecutionStats(time_s=1.0, builtin_calls=4,
+                               kernel_time_s=0.7, launch_overhead_s=0.2)
+        summary = stats.summary()
+        assert summary["builtin_calls"] == 4
+        assert summary["kernel_time_s"] == 0.7
+        assert summary["launch_overhead_s"] == 0.2
+
+
+class TestRuntimePool:
+    def test_recycle_exact_size(self):
+        stats = ExecutionStats()
+        pool = RuntimePool(stats)
+        assert pool.allocate(128) is False  # fresh
+        pool.release(128)
+        assert pool.allocate(128) is True  # recycled, no new allocation
+        assert stats.allocations == 1
+        assert stats.current_bytes == 128
+
+    def test_different_size_misses(self):
+        pool = RuntimePool(ExecutionStats())
+        pool.allocate(128)
+        pool.release(128)
+        assert pool.allocate(256) is False, "exact-size pool must miss"
+
+    def test_release_then_double_allocate(self):
+        stats = ExecutionStats()
+        pool = RuntimePool(stats)
+        pool.allocate(64)
+        pool.release(64)
+        assert pool.allocate(64) is True
+        assert pool.allocate(64) is False, "bucket count must deplete"
+        assert stats.allocations == 2
+
+    def test_free_table_counts(self):
+        pool = RuntimePool(ExecutionStats())
+        for _ in range(3):
+            pool.allocate(32)
+        for _ in range(3):
+            pool.release(32)
+        assert pool._free[32] == 3
+        pool.allocate(32)
+        assert pool._free[32] == 2
+
+    def test_peak_tracks_recycled_blocks(self):
+        stats = ExecutionStats()
+        pool = RuntimePool(stats)
+        pool.allocate(100)
+        pool.release(100)
+        pool.allocate(100)
+        assert stats.peak_bytes == 100
+        assert stats.current_bytes == 100
+
+
+def _vm():
+    bb = BlockBuilder()
+    with bb.function("main", {"x": TensorAnn(("n", 4), "f32")}) as frame:
+        (x,) = frame.params
+        w = const(np.ones((4, 4), np.float32))
+        with bb.dataflow():
+            h = bb.emit(ops.matmul(x, w))
+            gv = bb.emit_output(bb.emit(ops.relu(h)))
+        bb.emit_func_output(gv)
+    exe = transform.build(bb.get(), TEST_DEVICE,
+                          sym_var_upper_bounds={"n": 64})
+    vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+    vm.run("main", NDArray.from_numpy(np.ones((8, 4), np.float32)))
+    return vm
+
+
+class TestProfileReport:
+    def test_to_dict_round_trip_without_pipeline(self):
+        report = ProfileReport(stats=ExecutionStats(time_s=1.5, lib_calls=2))
+        d = json.loads(json.dumps(report.to_dict()))
+        assert d["execution"]["time_s"] == 1.5
+        assert "pipeline" not in d
+        assert report.pass_timings() == {}
+
+    def test_to_dict_round_trip_with_pipeline(self):
+        vm = _vm()
+        report = ProfileReport.from_vm(vm)
+        d = json.loads(json.dumps(report.to_dict(), default=str))
+        assert d["execution"]["kernel_launches"] == vm.stats.kernel_launches
+        if report.pipeline_report is not None:
+            assert "pipeline" in d
