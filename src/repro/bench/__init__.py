@@ -10,13 +10,21 @@ from .harness import (
     results_payload,
     speedup,
 )
-from .relax_runner import RelaxLLM, RelaxLlava, RelaxWhisper
+from .relax_runner import (
+    RelaxLLM,
+    RelaxLlava,
+    RelaxWhisper,
+    clear_compile_cache,
+    compile_cache_stats,
+)
 
 __all__ = [
     "RelaxLLM",
     "RelaxLlava",
     "RelaxWhisper",
     "best_competitor",
+    "clear_compile_cache",
+    "compile_cache_stats",
     "dump_results",
     "fmt_value",
     "geomean_ratio",

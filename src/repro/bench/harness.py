@@ -86,16 +86,19 @@ def results_payload(
     unit: str = "",
     pipeline_reports: Optional[Dict[str, Any]] = None,
     op_profiles: Optional[Dict[str, Any]] = None,
+    compile_cache: Optional[Dict[str, int]] = None,
 ) -> Dict[str, Any]:
     """Bundle one experiment's series (plus the per-configuration
-    PipelineReports and per-op profiles, when given) into a
-    JSON-serializable dict."""
+    PipelineReports, per-op profiles, and compile-cache hit/miss counters,
+    when given) into a JSON-serializable dict."""
     payload: Dict[str, Any] = {
         "title": title,
         "unit": unit,
         "columns": list(columns),
         "rows": {name: list(series) for name, series in rows.items()},
     }
+    if compile_cache:
+        payload["compile_cache"] = dict(compile_cache)
     if pipeline_reports:
         payload["pipeline"] = {
             label: report.to_dict() for label, report in pipeline_reports.items()

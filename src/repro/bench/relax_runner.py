@@ -9,7 +9,8 @@ device model, allocations and graph capture/replay happen for real.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import dataclasses
+from typing import Dict, List, Optional, Tuple
 
 from .. import transform
 from ..models.llama import LlamaConfig, build_llama
@@ -17,6 +18,36 @@ from ..runtime import NDArray, VirtualMachine
 from ..runtime.device import Device
 from ..runtime.profiler import ExecutionStats, ProfileReport
 from ..transform import IRStats, PassContext, Timing
+
+#: Compiled-artifact cache: building the same (config, device, flags,
+#: bounds) twice — e.g. two serving-engine instantiations, or a benchmark
+#: sweeping request rates — reuses the Executable instead of re-running
+#: the pipeline.  Keyed structurally, never by object identity.
+_COMPILE_CACHE: Dict[Tuple, Tuple] = {}
+_COMPILE_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def compile_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters for the RelaxLLM compile cache (copy)."""
+    return dict(_COMPILE_CACHE_STATS)
+
+
+def clear_compile_cache() -> None:
+    """Drop cached executables and zero the hit/miss counters."""
+    _COMPILE_CACHE.clear()
+    _COMPILE_CACHE_STATS["hits"] = 0
+    _COMPILE_CACHE_STATS["misses"] = 0
+
+
+def _cache_key(cfg: LlamaConfig, device: Device, bounds: Dict[str, int],
+               flags: Dict[str, bool], page_size: Optional[int]) -> Tuple:
+    return (
+        dataclasses.astuple(cfg),
+        device.name,
+        tuple(sorted(bounds.items())),
+        tuple(sorted(flags.items())),
+        page_size,
+    )
 
 
 class RelaxLLM:
@@ -32,31 +63,52 @@ class RelaxLLM:
         enable_fusion: bool = True,
         enable_memory_planning: bool = True,
         enable_cuda_graph: bool = True,
+        page_size: Optional[int] = None,
+        use_compile_cache: bool = True,
     ):
         self.cfg = cfg
         self.device = device
-        self.exported = build_llama(cfg)
+        self.page_size = page_size
+        self.exported = build_llama(cfg, page_size=page_size)
         if sym_var_upper_bounds is None:
             bounds = {"b": 64, "s": cfg.context_length, "m": cfg.context_length}
+            if page_size is not None:
+                bounds["w"] = -(-cfg.context_length // page_size)
         else:
             bounds = sym_var_upper_bounds  # {} means: no declared bounds
-        # One instrumented context drives both the compiler and the VM, so
-        # every benchmark artifact carries per-pass compile cost for free.
-        ctx = PassContext(
-            device=device,
-            sym_var_upper_bounds=dict(bounds),
-            enable_library_dispatch=enable_library_dispatch,
-            enable_fusion=enable_fusion,
-            enable_memory_planning=enable_memory_planning,
-            enable_cuda_graph=enable_cuda_graph,
-            instruments=[Timing(), IRStats()],
-        )
-        self.exe = transform.build(self.exported.mod, ctx=ctx)
-        self.compile_report = ctx.report
-        self.enable_cuda_graph = ctx.enable_cuda_graph
+        flags = {
+            "enable_library_dispatch": enable_library_dispatch,
+            "enable_fusion": enable_fusion,
+            "enable_memory_planning": enable_memory_planning,
+            "enable_cuda_graph": enable_cuda_graph,
+        }
+        key = _cache_key(cfg, device, bounds, flags, page_size)
+        if use_compile_cache and key in _COMPILE_CACHE:
+            _COMPILE_CACHE_STATS["hits"] += 1
+            self.exe, self.compile_report, self.enable_cuda_graph = (
+                _COMPILE_CACHE[key]
+            )
+        else:
+            _COMPILE_CACHE_STATS["misses"] += 1
+            # One instrumented context drives both the compiler and the VM,
+            # so every benchmark artifact carries per-pass compile cost for
+            # free.
+            ctx = PassContext(
+                device=device,
+                sym_var_upper_bounds=dict(bounds),
+                instruments=[Timing(), IRStats()],
+                **flags,
+            )
+            self.exe = transform.build(self.exported.mod, ctx=ctx)
+            self.compile_report = ctx.report
+            self.enable_cuda_graph = ctx.enable_cuda_graph
+            if use_compile_cache:
+                _COMPILE_CACHE[key] = (
+                    self.exe, self.compile_report, self.enable_cuda_graph
+                )
         self.vm = VirtualMachine(
             self.exe, device, concrete=False,
-            enable_cuda_graph=ctx.enable_cuda_graph,
+            enable_cuda_graph=self.enable_cuda_graph,
         )
         self.params = self.exported.abstract_params()
 

@@ -500,6 +500,13 @@ def _apply_attention(mat: Materializer, step: Step) -> ValueInfo:
                               causal=bool(step.attrs.get("causal", True))))
 
 
+def _apply_paged_attention(mat: Materializer, step: Step) -> ValueInfo:
+    spec = fuzz_spec(step.op)
+    q, kp, vp, bt, ln, kc, vc = _vals(mat, step)
+    return mat.emit(spec.make(q.var, kp.var, vp.var, bt.var, ln.var,
+                              kc.var, vc.var))
+
+
 def _apply_tuple_get(mat: Materializer, step: Step) -> ValueInfo:
     (t,) = _vals(mat, step)
     return mat.emit(TupleGetItem(t.var, step.attrs["index"]))
@@ -564,6 +571,7 @@ _APPLIERS = {
     "arange": _apply_arange,
     "argmax": _apply_argmax,
     "attention": _apply_attention,
+    "paged_attention": _apply_paged_attention,
     "datadep": _apply_op,
     "shape_of": _apply_op,
     "tuple_get": _apply_tuple_get,
@@ -892,6 +900,13 @@ def _gen_attention(rng, mat, plan, spec) -> Optional[Step]:
                 {"causal": rng.random() < 0.7})
 
 
+def _gen_paged_attention(rng, mat, plan, spec) -> Optional[Step]:
+    paged = getattr(mat, "_paged_params", None)
+    if not paged:
+        return None
+    return Step("paged_attention", spec.name, list(paged))
+
+
 def _gen_datadep(rng, mat, plan, spec) -> Optional[Step]:
     cands = _f32_tensors(mat)
     if not cands:
@@ -999,6 +1014,7 @@ _GENERATORS = {
     "arange": _gen_arange,
     "argmax": _gen_argmax,
     "attention": _gen_attention,
+    "paged_attention": _gen_paged_attention,
     "datadep": _gen_datadep,
     "shape_of": _gen_shape_of,
     "match_cast": _gen_match_cast,
@@ -1075,9 +1091,32 @@ def generate(seed: int, *, max_steps: Optional[int] = None) -> Plan:
         plan.params.append(ParamSpec("v", [b, m, h_kv, d], "f32"))
         attn_idx = (base, base + 1, base + 2)
 
+    paged_idx = None
+    if rng.random() < 0.25:
+        b = rng.choice([1, 2])
+        s = rng.choice([1, 2])
+        h_kv = rng.choice([1, 2])
+        h = h_kv * rng.choice([1, 2])
+        d = rng.choice([2, 4])
+        page = 2
+        w = rng.choice([1, 2])
+        p = rng.choice([2, 3])
+        base = len(plan.params)
+        plan.params.append(ParamSpec("pq", [b, s, h, d], "f32"))
+        plan.params.append(ParamSpec("kp", [p, page, h_kv, d], "f32"))
+        plan.params.append(ParamSpec("vp", [p, page, h_kv, d], "f32"))
+        plan.params.append(ParamSpec("bt", [b, w], "i64",
+                                     role="index", index_bound=p))
+        plan.params.append(ParamSpec("ln", [b], "i64",
+                                     role="index", index_bound=w * page + 1))
+        plan.params.append(ParamSpec("kc", [b, s, h_kv, d], "f32"))
+        plan.params.append(ParamSpec("vc", [b, s, h_kv, d], "f32"))
+        paged_idx = tuple(range(base, base + 7))
+
     mat = Materializer(plan)
     mat._flag_param = flag_idx
     mat._attn_params = attn_idx
+    mat._paged_params = paged_idx
 
     pool = _weighted_pool()
     target = max_steps if max_steps is not None else rng.randint(4, 12)

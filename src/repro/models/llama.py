@@ -176,6 +176,34 @@ class LlamaAttention(Module):
         attn = bb.emit(ops.reshape(attn, ShapeExpr([b, s, h * d])))
         return self.o_proj.forward(bb, attn), k_full, v_full
 
+    def forward_paged(self, bb: BlockBuilder, x: Expr, k_pages: Expr,
+                      v_pages: Expr, block_table: Expr, lengths: Expr,
+                      b) -> Tuple[Expr, Expr, Expr]:
+        """Single-token decode against a paged KV pool (repro.serve).
+
+        Returns the attention output plus this step's new K/V slices —
+        the functional IR cannot write the pool in place, so the serving
+        engine appends them to the sequence's pages after the call.
+        """
+        cfg = self.cfg
+        h, d, kv = cfg.num_heads, cfg.head_dim, cfg.num_kv_heads
+        one = sym.IntImm(1)
+        q = bb.emit(ops.reshape(self.q_proj.forward(bb, x),
+                                ShapeExpr([b, one, h, d])))
+        k = bb.emit(ops.reshape(self.k_proj.forward(bb, x),
+                                ShapeExpr([b, one, kv, d])))
+        v = bb.emit(ops.reshape(self.v_proj.forward(bb, x),
+                                ShapeExpr([b, one, kv, d])))
+        # Each sequence's current token sits at its own position: the
+        # per-sequence cache length drives the rotary phase.
+        q = bb.emit(ops.rope(q, theta=cfg.rope_theta, offsets=lengths))
+        k = bb.emit(ops.rope(k, theta=cfg.rope_theta, offsets=lengths))
+        attn = bb.emit(ops.paged_attention(
+            q, k_pages, v_pages, block_table, lengths, k, v
+        ))
+        attn = bb.emit(ops.reshape(attn, ShapeExpr([b, one, h * d])))
+        return self.o_proj.forward(bb, attn), k, v
+
 
 class LlamaMLP(Module):
     def __init__(self, cfg: LlamaConfig):
@@ -209,6 +237,16 @@ class LlamaDecoderLayer(Module):
         attn_out, k_full, v_full = self.attn.forward(
             bb, self.input_norm.forward(bb, x), k_cache, v_cache, b, s, m
         )
+        return self._residual(bb, x, attn_out), k_full, v_full
+
+    def forward_paged(self, bb, x, k_pages, v_pages, block_table, lengths, b):
+        attn_out, k_new, v_new = self.attn.forward_paged(
+            bb, self.input_norm.forward(bb, x), k_pages, v_pages,
+            block_table, lengths, b,
+        )
+        return self._residual(bb, x, attn_out), k_new, v_new
+
+    def _residual(self, bb, x, attn_out):
         if self.cfg.parallel_residual:
             mlp_out = self.mlp.forward(bb, self.post_norm.forward(bb, x))
             x = bb.emit(ops.add(bb.emit(ops.add(x, attn_out)), mlp_out))
@@ -216,7 +254,7 @@ class LlamaDecoderLayer(Module):
             x = bb.emit(ops.add(x, attn_out))
             mlp_out = self.mlp.forward(bb, self.post_norm.forward(bb, x))
             x = bb.emit(ops.add(x, mlp_out))
-        return x, k_full, v_full
+        return x
 
 
 class LlamaForCausalLM(Module):
@@ -253,6 +291,43 @@ class LlamaForCausalLM(Module):
         # Only the last position feeds the LM head (per-token decode cost).
         last_idx = bb.emit(ops.arange(1, start=s - 1, dtype="i64"))
         last = bb.emit(ops.take(x, last_idx, axis=1))  # (b, 1, hidden)
+        logits = self._logits(bb, last)
+
+        from ..core.expr import Tuple as TupleExpr
+
+        return bb.emit(TupleExpr([logits] + new_caches))
+
+    def forward_paged(self, bb: BlockBuilder, tokens: Expr, block_table: Expr,
+                      lengths: Expr, caches: List[Expr], b) -> Expr:
+        """Single-token decode over the paged KV pool (repro.serve).
+
+        ``caches`` holds the per-layer page pools (k_pages_l, v_pages_l);
+        the result tuple is ``(logits, k_new_0, v_new_0, ...)`` — the new
+        K/V slices the host writes back into each sequence's pages.
+        """
+        cfg = self.cfg
+        x = self.embed.forward(bb, tokens)  # (b, 1, hidden)
+        if cfg.scale_embeddings:
+            scale = const(np.asarray(math.sqrt(cfg.hidden_size)), cfg.dtype)
+            x = bb.emit(ops.multiply(x, scale))
+        new_slices: List[Expr] = []
+        for layer, (k_pages, v_pages) in zip(
+            self.layers, zip(caches[0::2], caches[1::2])
+        ):
+            x, k_new, v_new = layer.forward_paged(
+                bb, x, k_pages, v_pages, block_table, lengths, b
+            )
+            new_slices.extend([k_new, v_new])
+
+        x = self.final_norm.forward(bb, x)
+        logits = self._logits(bb, x)  # s == 1: every position is the last
+
+        from ..core.expr import Tuple as TupleExpr
+
+        return bb.emit(TupleExpr([logits] + new_slices))
+
+    def _logits(self, bb: BlockBuilder, last: Expr) -> Expr:
+        cfg = self.cfg
         if cfg.tie_embeddings:
             logits = bb.emit(
                 ops.matmul(last, self.embed.weight.var, transpose_b=True)
@@ -261,10 +336,7 @@ class LlamaForCausalLM(Module):
             logits = self.lm_head.forward(bb, last)
         if cfg.dtype != "f32":
             logits = bb.emit(ops.astype(logits, "f32"))
-
-        from ..core.expr import Tuple as TupleExpr
-
-        return bb.emit(TupleExpr([logits] + new_caches))
+        return logits
 
 
 def _cache_annotations(cfg: LlamaConfig, b, m) -> dict:
@@ -276,8 +348,25 @@ def _cache_annotations(cfg: LlamaConfig, b, m) -> dict:
     return anns
 
 
-def build_llama(cfg: LlamaConfig) -> ExportedModule:
-    """Export prefill + decode functions for a decoder-only config."""
+def _page_annotations(cfg: LlamaConfig, page_size: int) -> dict:
+    # The page pool is shared by every sequence; the pool size ``p`` is a
+    # symbolic dim so one compile serves any VRAM budget.
+    anns = {}
+    for layer in range(cfg.num_layers):
+        shape = ("p", page_size, cfg.num_kv_heads, cfg.head_dim)
+        anns[f"k_pages_{layer}"] = TensorAnn(shape, cfg.dtype)
+        anns[f"v_pages_{layer}"] = TensorAnn(shape, cfg.dtype)
+    return anns
+
+
+def build_llama(cfg: LlamaConfig,
+                page_size: Optional[int] = None) -> ExportedModule:
+    """Export prefill + decode functions for a decoder-only config.
+
+    With ``page_size`` set, a third function ``decode_paged`` is exported:
+    single-token decode over a paged KV pool with per-sequence block tables
+    and cache lengths (the serving engine's ragged-batch entry point).
+    """
     model = LlamaForCausalLM(cfg)
 
     def prefill(bb: BlockBuilder, tokens, *caches):
@@ -307,6 +396,23 @@ def build_llama(cfg: LlamaConfig) -> ExportedModule:
             decode,
         ),
     }
+    if page_size is not None:
+        def decode_paged(bb: BlockBuilder, tokens, block_table, lengths,
+                         *caches):
+            b = bb.shape_var("b")
+            return model.forward_paged(
+                bb, tokens, block_table, lengths, list(caches), b
+            )
+
+        spec["decode_paged"] = (
+            {
+                "tokens": TensorAnn(("b", 1), "i64"),
+                "block_table": TensorAnn(("b", "w"), "i64"),
+                "lengths": TensorAnn(("b",), "i64"),
+                **_page_annotations(cfg, page_size),
+            },
+            decode_paged,
+        )
     return export_module(model, spec)
 
 

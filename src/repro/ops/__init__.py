@@ -56,6 +56,7 @@ from .manipulate import (
 from .reduce import max_, mean, min_, sum_
 from .nn import causal_mask, layer_norm, rms_norm, rope, softmax
 from .attention import attention
+from .paged import paged_attention
 from .create import arange, full, ones, zeros
 from .datadep import argmax, nonzero, unique, unique_op
 from .shape_of import shape_of, shape_of_op
@@ -96,6 +97,7 @@ __all__ = [
     "negative",
     "nonzero",
     "ones",
+    "paged_attention",
     "permute_dims",
     "power",
     "register_fuzz",

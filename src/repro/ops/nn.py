@@ -227,9 +227,20 @@ def _rope_legalize(call: Call) -> Legalized:
 
     f = tir.TirBuilder("rope")
     src = f.arg("X", shape, x.dtype)
+    offs = None
+    if len(call.args) > 1:
+        # Per-sequence position offsets (ragged decode batches: every
+        # sequence sits at its own cache length).
+        off_ann = tensor_ann_of(call.args[1], "rope", 1)
+        offs = f.arg("P", off_ann.shape, off_ann.dtype)
     dst = f.out("Y", shape, x.dtype)
     b, s, h, d = f.spatial(bsz, seq, heads, dim)
-    pos = tir.cast("f32", tir.IndexValue(s + offset))
+    if offs is not None:
+        pos = tir.cast("f32", tir.IndexValue(s + offset)) + tir.cast(
+            "f32", offs[b]
+        )
+    else:
+        pos = tir.cast("f32", tir.IndexValue(s + offset))
     freq_idx = tir.cast("f32", tir.IndexValue(d % half))
     inv_freq = tir.BinValue(
         "pow", tir.FloatConst(theta_base), freq_idx * (-2.0 / (2 * half))
@@ -247,17 +258,21 @@ def _rope_legalize(call: Call) -> Legalized:
     if x.dtype != "f32":
         out_val = tir.cast(x.dtype, out_val)
     f.store(dst, [b, s, h, d], out_val)
-    return Legalized(f.build(), [call.args[0]], TensorAnn(shape, x.dtype))
+    return Legalized(f.build(), list(call.args), TensorAnn(shape, x.dtype))
 
 
 rope_op = register_op("rope", _rope_deduce, _rope_legalize)
 
 
-def rope(x: Expr, offset: sym.ExprLike = 0, theta: float = 10000.0) -> Call:
+def rope(x: Expr, offset: sym.ExprLike = 0, theta: float = 10000.0,
+         offsets: Optional[Expr] = None) -> Call:
     """Rotary position embedding; ``offset`` may be a symbolic expression
-    (the KV-cache length during decode)."""
-    return Call(rope_op, [x], attrs={"offset": sym.PrimExpr.convert(offset),
-                                     "theta": theta})
+    (the KV-cache length during decode).  ``offsets`` — a (batch,) integer
+    tensor — adds a *per-sequence* position base on top of ``offset``, for
+    ragged decode batches where every sequence has its own cache length."""
+    args = [x] if offsets is None else [x, offsets]
+    return Call(rope_op, args, attrs={"offset": sym.PrimExpr.convert(offset),
+                                      "theta": theta})
 
 
 # -- causal mask -----------------------------------------------------------------------

@@ -1,0 +1,227 @@
+"""Paged attention: decode over a block-table-indexed KV pool.
+
+The serving engine (``repro.serve``) keeps KV caches in fixed-size pages
+shared by all sequences; a decode batch carries a per-sequence *block
+table* mapping logical cache positions to pages.  The ``paged_attention``
+operator makes that layout a first-class IR citizen: legalization emits a
+multi-stage tensor program whose key/value reads are data-dependent
+``GatherRead``s through the block table (the same Opaque-gather machinery
+as ``take``), and library dispatch can instead lower the call to the
+FlashAttention-style paged kernel in the registry on CUDA/ROCm.
+
+Layout (``B`` = static page size, ``p``/``w``/``b`` symbolic):
+
+* ``q``            — (b, s, h, d) queries (decode: s == 1);
+* ``k_pages``      — (p, B, h_kv, d) pooled keys, all sequences mixed;
+* ``v_pages``      — (p, B, h_kv, d) pooled values;
+* ``block_table``  — (b, w) int64, logical block ``j`` of sequence ``i``
+  lives in page ``block_table[i, j]``;
+* ``lengths``      — (b,) int64, valid *past* positions per sequence;
+* ``k_cur``/``v_cur`` — (b, s, h_kv, d) keys/values of the current query
+  positions (functional IR cannot write the pool in place, so the freshly
+  projected K/V ride along and the host appends them after the call).
+
+Query ``i`` of sequence ``bi`` attends every paged position
+``j < lengths[bi]`` plus current positions ``t <= i`` (causal inside the
+query block).  Because select evaluates both branches over the full grid
+(``np.where`` semantics), *padding entries of the block table must hold a
+valid page index* — 0 works — even though the mask discards them.
+"""
+
+from __future__ import annotations
+
+from .. import sym, tir
+from ..core.annotations import TensorAnn
+from ..core.expr import Call, Expr
+from .registry import (
+    Legalized,
+    register_fuzz,
+    register_op,
+    require_known_shape,
+    tensor_ann_of,
+)
+
+_ARG_NAMES = ("q", "k_pages", "v_pages", "block_table", "lengths",
+              "k_cur", "v_cur")
+
+
+def _deduce(call: Call):
+    q = tensor_ann_of(call.args[0], "paged_attention", 0)
+    lengths = tensor_ann_of(call.args[4], "paged_attention", 4)
+    if lengths.dtype not in ("i64", "i32"):
+        raise TypeError("paged_attention: lengths must be an integer tensor")
+    table = tensor_ann_of(call.args[3], "paged_attention", 3)
+    if table.dtype not in ("i64", "i32"):
+        raise TypeError("paged_attention: block_table must be an integer tensor")
+    if q.shape is None:
+        return TensorAnn(dtype=q.dtype, ndim=4)
+    return TensorAnn(q.shape, q.dtype)
+
+
+def _legalize(call: Call) -> Legalized:
+    anns = [tensor_ann_of(a, "paged_attention", i)
+            for i, a in enumerate(call.args)]
+    q_ann, kp_ann, vp_ann, bt_ann, len_ann, kc_ann, vc_ann = anns
+    q_shape = require_known_shape(q_ann, "paged_attention")
+    kp_shape = require_known_shape(kp_ann, "paged_attention")
+    bt_shape = require_known_shape(bt_ann, "paged_attention")
+    kc_shape = require_known_shape(kc_ann, "paged_attention")
+
+    b, s, h, d = q_shape
+    page = kp_shape[1]
+    h_kv = kp_shape[2]
+    w = bt_shape[1]
+    if not (sym.is_static(h) and sym.is_static(h_kv) and sym.is_static(d)
+            and sym.is_static(page)):
+        raise ValueError(
+            "paged_attention: head counts, head_dim and the page size must "
+            "be static"
+        )
+    page_i = sym.as_static_int(sym.simplify(page))
+    group = sym.as_static_int(sym.simplify(h)) // sym.as_static_int(
+        sym.simplify(h_kv)
+    )
+    scale = 1.0 / (sym.as_static_int(sym.simplify(d)) ** 0.5)
+    wb = sym.simplify(w * page_i)  # paged key positions per sequence
+
+    f = tir.TirBuilder("paged_attention")
+    f.attr("op_kind", "attention")
+    qb = f.arg("Q", q_shape, q_ann.dtype)
+    kpb = f.arg("KP", kp_shape, kp_ann.dtype)
+    vpb = f.arg("VP", vp_ann.shape, vp_ann.dtype)
+    btb = f.arg("BT", bt_shape, bt_ann.dtype)
+    lnb = f.arg("LN", len_ann.shape, len_ann.dtype)
+    kcb = f.arg("KC", kc_shape, kc_ann.dtype)
+    vcb = f.arg("VC", vc_ann.shape, vc_ann.dtype)
+    ob = f.out("O", q_shape, q_ann.dtype)
+
+    acc = "f32"
+    s_page = f.alloc("SP", (b, h, s, wb), acc)   # paged scores
+    s_cur = f.alloc("SC", (b, h, s, s), acc)     # current-block scores
+    m_page = f.alloc("MP", (b, h, s), acc)
+    m_cur = f.alloc("MC", (b, h, s), acc)
+    m_all = f.alloc("M", (b, h, s), acc)
+    e_page = f.alloc("EP", (b, h, s), acc)
+    e_cur = f.alloc("EC", (b, h, s), acc)
+    e_all = f.alloc("E", (b, h, s), acc)
+    acc_page = f.alloc("AP", (b, s, h, d), acc)
+    acc_cur = f.alloc("AC", (b, s, h, d), acc)
+
+    def gather(data, bi, ji, kv_head, di):
+        # data[block_table[bi, ji // B], ji % B, kv_head, di]
+        return tir.GatherRead(
+            data, btb, (), (bi, ji // page_i),
+            (ji % page_i, kv_head, di),
+        )
+
+    def masked_page(expr, bi, ji):
+        # Paged position ji is valid iff ji < lengths[bi]; both branches
+        # evaluate, so padding pages are read then discarded.
+        valid = tir.Cmp("lt", tir.IndexValue(ji), lnb[bi])
+        return tir.select(valid, expr, -1e9)
+
+    def masked_cur(expr, si, ti):
+        # Causal inside the current query block.
+        allowed = tir.Cmp("le", tir.IndexValue(ti), tir.IndexValue(si))
+        return tir.select(allowed, expr, -1e9)
+
+    # Stage 1: scaled scores against the paged keys (gather via the table).
+    bi, hi, si, ji = f.spatial(b, h, s, wb)
+    di = f.reduce(d)
+    prod = tir.cast(acc, qb[bi, si, hi, di]) * tir.cast(
+        acc, gather(kpb, bi, ji, hi // group, di)
+    )
+    f.store(s_page, [bi, hi, si, ji], prod * scale, combiner="sum", init=0.0)
+
+    # Stage 2: scaled scores against the current-block keys.
+    bi, hi, si, ti = f.spatial(b, h, s, s)
+    di = f.reduce(d)
+    prod = tir.cast(acc, qb[bi, si, hi, di]) * tir.cast(
+        acc, kcb[bi, ti, hi // group, di]
+    )
+    f.store(s_cur, [bi, hi, si, ti], prod * scale, combiner="sum", init=0.0)
+
+    # Stages 3-5: running max over both score groups.
+    bi, hi, si = f.spatial(b, h, s)
+    ji = f.reduce(wb)
+    f.store(m_page, [bi, hi, si],
+            masked_page(s_page[bi, hi, si, ji], bi, ji), combiner="max")
+
+    bi, hi, si = f.spatial(b, h, s)
+    ti = f.reduce(s)
+    f.store(m_cur, [bi, hi, si],
+            masked_cur(s_cur[bi, hi, si, ti], si, ti), combiner="max")
+
+    bi, hi, si = f.spatial(b, h, s)
+    f.store(m_all, [bi, hi, si],
+            tir.vmax(m_page[bi, hi, si], m_cur[bi, hi, si]))
+
+    # Stages 6-8: exp-sums (masked positions contribute exp(-1e9 - M) ~ 0).
+    bi, hi, si = f.spatial(b, h, s)
+    ji = f.reduce(wb)
+    f.store(
+        e_page, [bi, hi, si],
+        tir.exp(masked_page(s_page[bi, hi, si, ji], bi, ji)
+                - m_all[bi, hi, si]),
+        combiner="sum", init=0.0,
+    )
+
+    bi, hi, si = f.spatial(b, h, s)
+    ti = f.reduce(s)
+    f.store(
+        e_cur, [bi, hi, si],
+        tir.exp(masked_cur(s_cur[bi, hi, si, ti], si, ti)
+                - m_all[bi, hi, si]),
+        combiner="sum", init=0.0,
+    )
+
+    bi, hi, si = f.spatial(b, h, s)
+    f.store(e_all, [bi, hi, si], e_page[bi, hi, si] + e_cur[bi, hi, si])
+
+    # Stage 9: probability-weighted paged values (gather again).
+    bi, si, hi, di = f.spatial(b, s, h, d)
+    ji = f.reduce(wb)
+    prob = tir.exp(
+        masked_page(s_page[bi, hi, si, ji], bi, ji) - m_all[bi, hi, si]
+    ) / e_all[bi, hi, si]
+    f.store(acc_page, [bi, si, hi, di],
+            prob * tir.cast(acc, gather(vpb, bi, ji, hi // group, di)),
+            combiner="sum", init=0.0)
+
+    # Stage 10: probability-weighted current-block values.
+    bi, si, hi, di = f.spatial(b, s, h, d)
+    ti = f.reduce(s)
+    prob = tir.exp(
+        masked_cur(s_cur[bi, hi, si, ti], si, ti) - m_all[bi, hi, si]
+    ) / e_all[bi, hi, si]
+    f.store(acc_cur, [bi, si, hi, di],
+            prob * tir.cast(acc, vcb[bi, ti, hi // group, di]),
+            combiner="sum", init=0.0)
+
+    # Stage 11: combine the two softmax halves and cast out.
+    bi, si, hi, di = f.spatial(b, s, h, d)
+    f.store(
+        ob, [bi, si, hi, di],
+        tir.cast(q_ann.dtype,
+                 acc_page[bi, si, hi, di] + acc_cur[bi, si, hi, di]),
+    )
+
+    return Legalized(
+        f.build(), list(call.args), TensorAnn(q_shape, q_ann.dtype)
+    )
+
+
+paged_attention_op = register_op("paged_attention", _deduce, _legalize)
+
+
+def paged_attention(q: Expr, k_pages: Expr, v_pages: Expr, block_table: Expr,
+                    lengths: Expr, k_cur: Expr, v_cur: Expr) -> Call:
+    """Attention over a paged KV pool plus the current query block."""
+    return Call(
+        paged_attention_op,
+        [q, k_pages, v_pages, block_table, lengths, k_cur, v_cur],
+    )
+
+
+register_fuzz("paged_attention", "paged_attention", paged_attention,
+              weight=1.5)

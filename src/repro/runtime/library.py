@@ -230,6 +230,67 @@ REGISTRY.register(
 )
 
 
+def _paged_attention_cost(in_sd, out_sd):
+    (q_shape, _) = in_sd[0]
+    (kp_shape, kp_dtype) = in_sd[1]
+    (bt_shape, _) = in_sd[3]
+    b, s, h, d = q_shape
+    page, h_kv = kp_shape[1], kp_shape[2]
+    w = bt_shape[1]
+    ctx = w * page + s
+    flops = 2 * b * h * s * ctx * d * 2  # QK^T and PV over paged + current
+    # Traffic counts only the pages the block tables actually reference
+    # (b*w of them, for K and V), not the whole pool the pages args span.
+    touched = 2 * b * w * page * h_kv * d * dtypes.itemsize(kp_dtype)
+    light = _bytes_of(
+        [in_sd[0], in_sd[3], in_sd[4], in_sd[5], in_sd[6]]
+    ) + _bytes_of(out_sd)
+    return flops, light + touched
+
+
+def _paged_attention_compute(inputs, outputs):
+    # Decode-style attention over a paged KV pool: gather each sequence's
+    # pages through its block table, mask padding slots by the true length,
+    # and attend the current query block causally (see repro.ops.paged).
+    q, kp, vp = (x.astype(np.float64) for x in inputs[:3])
+    table = inputs[3].astype(np.int64)
+    lengths = inputs[4].astype(np.int64)
+    kc, vc = (x.astype(np.float64) for x in inputs[5:7])
+    b, s, h, d = q.shape
+    page, h_kv = kp.shape[1], kp.shape[2]
+    w = table.shape[1]
+    group = h // h_kv
+    scale = 1.0 / np.sqrt(d)
+    causal = np.arange(s)[None, :] <= np.arange(s)[:, None]
+    out = np.zeros_like(q)
+    for i in range(b):
+        k_past = kp[table[i]].reshape(w * page, h_kv, d)
+        v_past = vp[table[i]].reshape(w * page, h_kv, d)
+        valid = np.arange(w * page) < lengths[i]
+        for head in range(h):
+            g = head // group
+            scores_p = q[i, :, head, :] @ k_past[:, g, :].T * scale
+            scores_p = np.where(valid[None, :], scores_p, -1e9)
+            scores_c = q[i, :, head, :] @ kc[i, :, g, :].T * scale
+            scores_c = np.where(causal, scores_c, -1e9)
+            scores = np.concatenate([scores_p, scores_c], axis=1)
+            e = np.exp(scores - scores.max(axis=-1, keepdims=True))
+            probs = e / e.sum(axis=-1, keepdims=True)
+            values = np.concatenate([v_past[:, g, :], vc[i, :, g, :]], axis=0)
+            out[i, :, head, :] = probs @ values
+    outputs[0][...] = out.astype(inputs[0].dtype)
+
+
+#: Paged (block-table) attention for continuous-batching decode; like the
+#: dense FlashAttention entry, only CUDA/ROCm ship it.
+REGISTRY.register(
+    LibraryKernel(
+        "flashinfer.paged_attention", _paged_attention_compute,
+        _paged_attention_cost, ("cuda", "rocm"),
+    )
+)
+
+
 def _unique_compute(inputs, outputs):  # pragma: no cover - handled by VM builtin
     raise RuntimeError("vm.builtin.unique is served by the VM, not the registry")
 

@@ -17,7 +17,7 @@ Two allocation modes mirror §5.2's memory study:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional
 
 
@@ -56,6 +56,46 @@ class ExecutionStats:
 
     def record_free(self, size: int) -> None:
         self.current_bytes -= size
+
+    def copy(self) -> "ExecutionStats":
+        """Immutable snapshot of the current counters.
+
+        The supported way to meter a *window* of execution on a shared VM:
+        take ``before = vm.stats.copy()`` at the window start and
+        ``vm.stats.delta(before)`` at the end.  Unlike
+        ``VirtualMachine.reset_stats()`` this never touches the runtime
+        pool, so allocator recycling behaves exactly as in an unmetered
+        run and per-window deltas sum to the end-to-end totals.
+        """
+        return replace(self)
+
+    def delta(self, since: "ExecutionStats") -> "ExecutionStats":
+        """Counters accrued after ``since`` (a prior :meth:`copy`).
+
+        Additive fields subtract; ``peak_bytes`` is a high-water mark, not
+        a rate, so the delta carries the absolute peak observed so far
+        (merging deltas therefore reproduces the end-to-end peak).
+        """
+        return ExecutionStats(
+            time_s=self.time_s - since.time_s,
+            kernel_launches=self.kernel_launches - since.kernel_launches,
+            lib_calls=self.lib_calls - since.lib_calls,
+            builtin_calls=self.builtin_calls - since.builtin_calls,
+            graph_captures=self.graph_captures - since.graph_captures,
+            graph_replays=self.graph_replays - since.graph_replays,
+            replayed_kernels=self.replayed_kernels - since.replayed_kernels,
+            allocations=self.allocations - since.allocations,
+            allocated_bytes_total=(
+                self.allocated_bytes_total - since.allocated_bytes_total
+            ),
+            escaping_bytes_total=(
+                self.escaping_bytes_total - since.escaping_bytes_total
+            ),
+            current_bytes=self.current_bytes - since.current_bytes,
+            peak_bytes=self.peak_bytes,
+            kernel_time_s=self.kernel_time_s - since.kernel_time_s,
+            launch_overhead_s=self.launch_overhead_s - since.launch_overhead_s,
+        )
 
     def merge(self, other: "ExecutionStats") -> None:
         self.time_s += other.time_s

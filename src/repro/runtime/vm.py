@@ -263,10 +263,26 @@ class VirtualMachine:
         """Invoke a VM function with NDArray / ShapeTuple / int arguments."""
         return self._call(func_name, list(args))
 
-    def reset_stats(self) -> ExecutionStats:
+    def reset_stats(self, *, reset_pool: bool = True) -> ExecutionStats:
+        """Start a fresh :class:`ExecutionStats` window; returns the old one.
+
+        With ``reset_pool=True`` (the default, and the historical
+        behaviour) the :class:`RuntimePool` free list is dropped too, so
+        the next run re-allocates blocks an uninterrupted run would have
+        recycled — correct for "measure one steady-state step from
+        scratch", but it *double-counts allocations* if used to split one
+        continuous workload into windows.  For per-window deltas on a
+        shared VM (e.g. scheduler iterations in ``repro.serve``) either
+        pass ``reset_pool=False``, which re-binds the live pool to the new
+        stats object, or — preferably — leave the stats alone and use
+        ``stats.copy()`` / ``stats.delta()``.
+        """
         old = self.stats
         self.stats = ExecutionStats()
-        self.pool = RuntimePool(self.stats)
+        if reset_pool:
+            self.pool = RuntimePool(self.stats)
+        else:
+            self.pool.stats = self.stats
         return old
 
     # -- function invocation ------------------------------------------------------

@@ -1,0 +1,49 @@
+"""repro.serve — continuous-batching LLM serving on the compiled VM.
+
+A seeded discrete-event serving engine (paged KV cache, Orca-style
+iteration-level scheduling, chunked prefill) whose per-iteration costs
+come from running the real compiled Executable in abstract mode on the
+analytical device model.  ``python -m repro.serve --help`` for the CLI.
+"""
+
+from .engine import EngineConfig, ServeReport, ServingEngine, serve_workload
+from .kv_cache import BlockAllocator, CacheError, OutOfBlocks, PagedKVCache
+from .metrics import RequestMetrics, percentile, summarize
+from .scheduler import (
+    ContinuousBatchingScheduler,
+    Iteration,
+    Phase,
+    RequestState,
+    SchedulerConfig,
+)
+from .workload import (
+    Request,
+    WorkloadConfig,
+    generate,
+    workload_from_json,
+    workload_to_json,
+)
+
+__all__ = [
+    "BlockAllocator",
+    "CacheError",
+    "ContinuousBatchingScheduler",
+    "EngineConfig",
+    "Iteration",
+    "OutOfBlocks",
+    "PagedKVCache",
+    "Phase",
+    "Request",
+    "RequestMetrics",
+    "RequestState",
+    "SchedulerConfig",
+    "ServeReport",
+    "ServingEngine",
+    "WorkloadConfig",
+    "generate",
+    "percentile",
+    "serve_workload",
+    "summarize",
+    "workload_from_json",
+    "workload_to_json",
+]

@@ -1,0 +1,147 @@
+"""``python -m repro.serve`` — run a seeded serving trace and report.
+
+Generates a reproducible request workload, serves it with the
+continuous-batching engine on the compiled VM (abstract mode, analytical
+device clock), then prints TTFT/TPOT/ITL percentiles, throughput and
+goodput.  Optionally writes the metrics JSON and a Perfetto timeline
+(one track per request).
+
+Examples::
+
+    python -m repro.serve --seed 0 --requests 64 --device rtx4090
+    python -m repro.serve --model tiny-llama --rate 16 --eviction recompute
+    python -m repro.serve --out metrics.json --trace serve_trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from typing import Optional, Sequence
+
+from ..obs.cli import DEVICES, MODELS
+from ..runtime.device import ALL_DEVICES
+from .engine import EngineConfig, ServingEngine
+from .scheduler import SchedulerConfig
+from .workload import WorkloadConfig, generate, workload_to_json
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve a seeded request trace with continuous batching "
+                    "and a paged KV cache on the simulated VM.",
+    )
+    parser.add_argument("--model", choices=sorted(MODELS), default="tiny-llama")
+    parser.add_argument("--device", choices=sorted(DEVICES), default="rtx4090")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--requests", type=int, default=64)
+    parser.add_argument("--rate", type=float, default=8.0,
+                        help="mean arrival rate (requests/s)")
+    parser.add_argument("--arrival", choices=("poisson", "gamma"),
+                        default="poisson")
+    parser.add_argument("--arrival-cv", type=float, default=2.0,
+                        help="coefficient of variation for gamma arrivals")
+    parser.add_argument("--prompt-min", type=int, default=8)
+    parser.add_argument("--prompt-max", type=int, default=64)
+    parser.add_argument("--output-min", type=int, default=4)
+    parser.add_argument("--output-max", type=int, default=32)
+    parser.add_argument("--page-size", type=int, default=16)
+    parser.add_argument("--kv-blocks", type=int, default=None,
+                        help="KV pool size in blocks (default: from VRAM)")
+    parser.add_argument("--max-num-seqs", type=int, default=16)
+    parser.add_argument("--max-batched-tokens", type=int, default=256)
+    parser.add_argument("--prefill-chunk", type=int, default=64,
+                        help="chunked-prefill cap per sequence (0 disables "
+                             "chunking)")
+    parser.add_argument("--eviction", choices=("swap", "recompute"),
+                        default="swap")
+    parser.add_argument("--slo-ttft", type=float, default=1.0)
+    parser.add_argument("--slo-tpot", type=float, default=0.1)
+    parser.add_argument("--no-cuda-graph", action="store_true")
+    parser.add_argument("--out", metavar="METRICS.json", default=None,
+                        help="write the metrics/report JSON here")
+    parser.add_argument("--trace", metavar="TRACE.json", default=None,
+                        help="write the Perfetto timeline here")
+    parser.add_argument("--workload-out", metavar="WORKLOAD.json",
+                        default=None,
+                        help="write the generated request trace here")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    cfg = MODELS[args.model]
+    device = ALL_DEVICES[DEVICES[args.device]]
+
+    workload = WorkloadConfig(
+        num_requests=args.requests,
+        seed=args.seed,
+        arrival=args.arrival,
+        arrival_rate=args.rate,
+        arrival_cv=args.arrival_cv,
+        prompt_min=args.prompt_min,
+        prompt_max=min(args.prompt_max, cfg.context_length // 2),
+        output_min=args.output_min,
+        output_max=args.output_max,
+    )
+    engine_config = EngineConfig(
+        page_size=args.page_size,
+        num_blocks=args.kv_blocks,
+        scheduler=SchedulerConfig(
+            max_num_seqs=args.max_num_seqs,
+            max_num_batched_tokens=args.max_batched_tokens,
+            prefill_chunk=args.prefill_chunk or None,
+            eviction=args.eviction,
+        ),
+        slo_ttft_s=args.slo_ttft,
+        slo_tpot_s=args.slo_tpot,
+    )
+
+    engine = ServingEngine(
+        cfg, device, engine_config,
+        enable_cuda_graph=not args.no_cuda_graph,
+    )
+    report = engine.run(generate(workload))
+    s = report.summary
+
+    print(f"== repro.serve: {cfg.name} on {device.name} "
+          f"(seed {args.seed}, {args.requests} requests) ==")
+    print(f"finished          {s['num_finished']}/{s['num_requests']} "
+          f"in {s['makespan_s']:.3f} simulated s "
+          f"({len(report.iterations)} iterations)")
+    print(f"throughput        {s['throughput_tokens_per_s']:.1f} tok/s, "
+          f"{s['throughput_requests_per_s']:.2f} req/s")
+    print(f"goodput           {s['goodput_requests_per_s']:.2f} req/s "
+          f"({s['slo']['fraction'] * 100:.0f}% within "
+          f"TTFT<={s['slo']['ttft_s']}s, TPOT<={s['slo']['tpot_s']}s)")
+    for metric in ("ttft_s", "tpot_s", "itl_s"):
+        row = s[metric]
+        print(f"{metric:<17} p50 {row['p50'] * 1e3:8.2f} ms   "
+              f"p90 {row['p90'] * 1e3:8.2f} ms   "
+              f"p99 {row['p99'] * 1e3:8.2f} ms")
+    pool = s["kv_pool"]
+    print(f"kv pool           {pool['num_blocks']} blocks x "
+          f"{pool['page_size']} tokens, peak util "
+          f"{pool['peak_utilization'] * 100:.0f}%, "
+          f"leaked {pool['leaked_blocks']}")
+    print(f"preemptions       {s['preemptions']} "
+          f"(swap time {s['swap_time_s'] * 1e3:.2f} ms)")
+
+    for path in (args.workload_out, args.out, args.trace):
+        if path and os.path.dirname(path):
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+    if args.workload_out:
+        with open(args.workload_out, "w") as f:
+            f.write(workload_to_json(workload, generate(workload)))
+        print(f"workload  -> {args.workload_out}")
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report.to_dict(), f, indent=2)
+        print(f"metrics   -> {args.out}")
+    if args.trace:
+        report.export_chrome_trace(args.trace)
+        print(f"perfetto  -> {args.trace}  "
+              f"(open at https://ui.perfetto.dev)")
+    return 0

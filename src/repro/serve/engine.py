@@ -1,0 +1,423 @@
+"""The serving engine: continuous batching on the compiled VM.
+
+A seeded discrete-event simulation whose per-iteration costs come from
+the *real* compiled artifact: every decode batch issues one
+``decode_paged`` call and every prefill chunk one ``prefill`` call on a
+``VirtualMachine`` in abstract mode, so the clock advances by whatever
+the analytical device model meters for the actual instruction stream —
+kernel launches, CUDA-graph capture/replay, allocator behaviour and all.
+Host⇄device KV swaps (preemption recovery) are charged analytically
+against the device's host-link bandwidth.
+
+Iteration timing uses ``ExecutionStats.copy()``/``delta()`` snapshots —
+never ``reset_stats()`` — so the shared VM's pool keeps recycling across
+iterations exactly as an uninterrupted run would, and the sum of
+per-iteration deltas equals the end-to-end totals.
+
+Prefill chunks run through the dense ``prefill`` function over a
+contiguous cache view of the sequence's pages.  The analytical cost of
+attention over ``past`` contiguous tokens equals the paged gather over
+the same tokens under the device model (same FLOPs, same touched bytes),
+so this is cost-faithful; a physical runtime would use a paged prefill
+kernel instead.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..models.llama import LlamaConfig, build_llama
+from ..runtime import NDArray, VirtualMachine
+from ..runtime.device import Device
+from ..runtime.profiler import ExecutionStats
+from .kv_cache import CacheError, PagedKVCache
+from .metrics import RequestMetrics, summarize
+from .scheduler import (
+    ContinuousBatchingScheduler,
+    Iteration,
+    Phase,
+    RequestState,
+    SchedulerConfig,
+)
+from .workload import Request, WorkloadConfig, generate
+
+
+@dataclass
+class EngineConfig:
+    page_size: int = 16
+    #: KV blocks in the device pool; ``None`` sizes the pool from the
+    #: device's VRAM minus weights, capped at ``max_kv_blocks``.
+    num_blocks: Optional[int] = None
+    max_kv_blocks: int = 4096
+    #: Fraction of post-weights VRAM granted to the KV pool.
+    kv_memory_fraction: float = 0.9
+    #: Host-link bandwidth for swap preemption (bytes/s).  PCIe 4.0 x16
+    #: ballpark; the analytical device model does not model the host link.
+    host_link_bandwidth: float = 16e9
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    slo_ttft_s: float = 1.0
+    slo_tpot_s: float = 0.1
+
+
+class ServingEngine:
+    def __init__(
+        self,
+        cfg: LlamaConfig,
+        device: Device,
+        engine_config: Optional[EngineConfig] = None,
+        *,
+        enable_library_dispatch: bool = True,
+        enable_cuda_graph: bool = True,
+    ):
+        from ..bench.relax_runner import RelaxLLM
+
+        self.cfg = cfg
+        self.device = device
+        self.econfig = engine_config or EngineConfig()
+        page = self.econfig.page_size
+        bounds = {
+            "b": 64,
+            "s": cfg.context_length,
+            "m": cfg.context_length,
+            "w": -(-cfg.context_length // page),
+        }
+        self.llm = RelaxLLM(
+            cfg, device,
+            sym_var_upper_bounds=bounds,
+            enable_library_dispatch=enable_library_dispatch,
+            enable_cuda_graph=enable_cuda_graph,
+            page_size=page,
+        )
+        self.vm: VirtualMachine = self.llm.vm
+        self.params = self.llm.params
+        self.num_blocks = self._pool_blocks()
+        # The device-side pool, one (p, page, h_kv, d) pair per layer.
+        # Abstract mode: shape-only arrays, allocated once per engine.
+        self.pools: List[NDArray] = []
+        for _ in range(cfg.num_layers):
+            shape = (self.num_blocks, page, cfg.num_kv_heads, cfg.head_dim)
+            self.pools.append(NDArray.abstract(shape, cfg.dtype))
+            self.pools.append(NDArray.abstract(shape, cfg.dtype))
+
+    def _block_bytes(self) -> int:
+        from .. import dtypes
+
+        cfg = self.cfg
+        per_layer = (
+            self.econfig.page_size * cfg.num_kv_heads * cfg.head_dim
+            * dtypes.itemsize(cfg.dtype)
+        )
+        return 2 * cfg.num_layers * per_layer  # K and V
+
+    def _pool_blocks(self) -> int:
+        if self.econfig.num_blocks is not None:
+            return self.econfig.num_blocks
+        weights = self.llm.exported.param_bytes()
+        budget = (self.device.vram_bytes - weights)
+        budget = int(budget * self.econfig.kv_memory_fraction)
+        blocks = budget // self._block_bytes()
+        blocks = min(blocks, self.econfig.max_kv_blocks)
+        if blocks < 2:
+            raise CacheError(
+                f"device {self.device.name} has no VRAM left for a KV pool "
+                f"({blocks} blocks)"
+            )
+        return blocks
+
+    # -- one run ----------------------------------------------------------------
+
+    def run(self, requests: Sequence[Request]) -> "ServeReport":
+        econf = self.econfig
+        kv = PagedKVCache(self.num_blocks, econf.page_size)
+        sched = ContinuousBatchingScheduler(econf.scheduler, kv)
+        states = {
+            r.req_id: RequestState(
+                request=r,
+                metrics=RequestMetrics(
+                    req_id=r.req_id,
+                    arrival_s=r.arrival_s,
+                    prompt_len=r.prompt_len,
+                    output_len=r.output_len,
+                ),
+            )
+            for r in requests
+        }
+        pending = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
+        clock = 0.0
+        iterations: List[Dict[str, Any]] = []
+        trace_events: List[Dict[str, Any]] = []
+        queue_samples: List[int] = []
+        util_samples: List[float] = []
+        stats_start = self.vm.stats.copy()
+        swap_total_s = 0.0
+        token_bytes = self._block_bytes() // econf.page_size
+
+        while pending or sched.has_unfinished():
+            # Admit arrivals up to the current simulated time.
+            while pending and pending[0].arrival_s <= clock:
+                sched.add_request(states[pending[0].req_id])
+                pending.pop(0)
+
+            it = sched.schedule()
+            if it.empty:
+                if pending:
+                    clock = max(clock, pending[0].arrival_s)
+                    continue
+                if sched.has_unfinished():
+                    raise CacheError(
+                        "scheduler stalled: KV pool too small for the "
+                        "remaining requests"
+                    )
+                break
+
+            t_begin = clock
+            before = self.vm.stats.copy()
+
+            # Swap traffic (blocks to/from host) on the analytic host link.
+            swap_s = 0.0
+            for _, tokens, mode in it.preempted:
+                if mode == "swap" and tokens:
+                    swap_s += tokens * token_bytes / econf.host_link_bandwidth
+            for _, tokens in it.swapped_in:
+                if tokens:
+                    swap_s += tokens * token_bytes / econf.host_link_bandwidth
+
+            self._execute(it)
+
+            delta = self.vm.stats.delta(before)
+            clock = t_begin + delta.time_s + swap_s
+            swap_total_s += swap_s
+
+            self._advance(it, sched, clock)
+            self._record(it, iterations, trace_events, t_begin, clock,
+                         swap_s, delta, kv, sched)
+            queue_samples.append(sched.queue_depth)
+            util_samples.append(kv.utilization())
+
+        kv.check_no_leaks()
+        total = self.vm.stats.delta(stats_start)
+        summary = summarize(
+            [s.metrics for s in states.values()],
+            slo_ttft_s=econf.slo_ttft_s,
+            slo_tpot_s=econf.slo_tpot_s,
+            queue_depth_samples=queue_samples,
+            kv_utilization_samples=util_samples,
+        )
+        summary["vm"] = total.summary()
+        summary["swap_time_s"] = swap_total_s
+        summary["kv_pool"] = {
+            "num_blocks": self.num_blocks,
+            "page_size": econf.page_size,
+            "peak_used_blocks": kv.peak_used_blocks,
+            "peak_utilization": kv.peak_used_blocks / self.num_blocks,
+            "leaked_blocks": 0,  # check_no_leaks() raised otherwise
+        }
+        return ServeReport(
+            device=self.device.name,
+            model=self.cfg.name,
+            summary=summary,
+            requests=[states[r.req_id].metrics for r in requests],
+            iterations=iterations,
+            trace_events=trace_events,
+            stats=total,
+        )
+
+    # -- internals --------------------------------------------------------------
+
+    def _execute(self, it: Iteration) -> None:
+        """Issue this iteration's VM calls (abstract mode: cost only)."""
+        cfg = self.cfg
+        if it.decode:
+            b = len(it.decode)
+            # Ragged batch: pad every block table to the widest sequence.
+            w = max(
+                max(it.decode_lengths) // self.econfig.page_size + 1, 1
+            )
+            self.vm.run(
+                "decode_paged",
+                NDArray.abstract((b, 1), "i64"),
+                NDArray.abstract((b, w), "i64"),
+                NDArray.abstract((b,), "i64"),
+                *self.pools,
+                *self.params,
+            )
+        for _, past, chunk in it.prefill:
+            caches = [
+                NDArray.abstract((1, past, cfg.num_kv_heads, cfg.head_dim),
+                                 cfg.dtype)
+                for _ in range(2 * cfg.num_layers)
+            ]
+            self.vm.run(
+                "prefill",
+                NDArray.abstract((1, chunk), "i64"),
+                *caches,
+                *self.params,
+            )
+
+    def _advance(self, it: Iteration, sched: ContinuousBatchingScheduler,
+                 clock: float) -> None:
+        """Commit token production and completions at ``clock``."""
+        for state in it.decode:
+            state.generated += 1
+            state.metrics.token_times.append(clock)
+            if state.done:
+                state.metrics.finish_s = clock
+                sched.finish(state)
+        for state, _, _ in it.prefill:
+            if (
+                state.phase is Phase.DECODE
+                and state.prefilled == state.prefill_target
+                and state.generated == 0
+            ):
+                # Final prefill chunk yields the first output token.
+                state.generated = 1
+                state.metrics.token_times.append(clock)
+                if state.done:
+                    state.metrics.finish_s = clock
+                    sched.finish(state)
+
+    def _record(self, it: Iteration, iterations, trace_events,
+                t_begin: float, t_end: float, swap_s: float,
+                delta: ExecutionStats, kv: PagedKVCache,
+                sched: ContinuousBatchingScheduler) -> None:
+        idx = len(iterations)
+        us = 1e6
+        iterations.append({
+            "index": idx,
+            "start_s": t_begin,
+            "dur_s": t_end - t_begin,
+            "decode_batch": len(it.decode),
+            "prefill_tokens": sum(n for _, _, n in it.prefill),
+            "num_batched_tokens": it.num_batched_tokens,
+            "preemptions": len(it.preempted),
+            "swap_s": swap_s,
+            "kernel_launches": delta.kernel_launches,
+            "free_blocks": kv.num_free_blocks,
+            "queue_depth": sched.queue_depth,
+        })
+        # Engine track (pid 0 / tid 0): one slice per iteration plus a
+        # KV-utilisation counter.
+        trace_events.append({
+            "name": f"iteration[{idx}]",
+            "ph": "X", "pid": 0, "tid": 0,
+            "ts": t_begin * us, "dur": (t_end - t_begin) * us,
+            "args": {
+                "decode_batch": len(it.decode),
+                "prefill_tokens": sum(n for _, _, n in it.prefill),
+                "preemptions": len(it.preempted),
+            },
+        })
+        trace_events.append({
+            "name": "kv_used_blocks",
+            "ph": "C", "pid": 0, "tid": 0,
+            "ts": t_end * us,
+            "args": {"used": kv.allocator.num_used},
+        })
+        # Request tracks (pid 1, one tid per request): a slice per
+        # iteration the request participated in, instants for preemption.
+        for state in it.decode:
+            trace_events.append({
+                "name": "decode",
+                "ph": "X", "pid": 1, "tid": state.seq_id,
+                "ts": t_begin * us, "dur": (t_end - t_begin) * us,
+                "args": {"token": state.generated + 1},
+            })
+        for state, past, chunk in it.prefill:
+            trace_events.append({
+                "name": "prefill",
+                "ph": "X", "pid": 1, "tid": state.seq_id,
+                "ts": t_begin * us, "dur": (t_end - t_begin) * us,
+                "args": {"past": past, "chunk": chunk},
+            })
+        for state, tokens, mode in it.preempted:
+            trace_events.append({
+                "name": f"preempt[{mode}]",
+                "ph": "i", "pid": 1, "tid": state.seq_id,
+                "ts": t_begin * us, "s": "t",
+                "args": {"tokens": tokens},
+            })
+
+
+@dataclass
+class ServeReport:
+    """Everything one serving run produced, JSON- and Perfetto-ready."""
+
+    device: str
+    model: str
+    summary: Dict[str, Any]
+    requests: List[RequestMetrics]
+    iterations: List[Dict[str, Any]]
+    trace_events: List[Dict[str, Any]]
+    stats: ExecutionStats
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """Perfetto-compatible trace: engine track + one track/request."""
+        meta: List[Dict[str, Any]] = [
+            {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+             "args": {"name": f"repro-serve engine ({self.device})"}},
+            {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+             "args": {"name": "requests"}},
+        ]
+        for r in self.requests:
+            meta.append({
+                "name": "thread_name", "ph": "M", "pid": 1, "tid": r.req_id,
+                "args": {"name": f"request {r.req_id}"},
+            })
+        return {
+            "traceEvents": meta + self.trace_events,
+            "displayTimeUnit": "ms",
+        }
+
+    def export_chrome_trace(self, path: str) -> Dict[str, Any]:
+        from ..obs.report import validate_chrome_trace
+
+        trace = validate_chrome_trace(self.chrome_trace())
+        with open(path, "w") as f:
+            json.dump(trace, f)
+        return trace
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "device": self.device,
+            "model": self.model,
+            "summary": self.summary,
+            "requests": [
+                {
+                    "req_id": r.req_id,
+                    "arrival_s": r.arrival_s,
+                    "prompt_len": r.prompt_len,
+                    "output_len": r.output_len,
+                    "ttft_s": r.ttft,
+                    "tpot_s": r.tpot,
+                    "finish_s": r.finish_s,
+                    "preemptions": r.preemptions,
+                }
+                for r in self.requests
+            ],
+            "iterations": self.iterations,
+        }
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+
+def serve_workload(
+    cfg: LlamaConfig,
+    device: Device,
+    workload: "WorkloadConfig | Sequence[Request]",
+    engine_config: Optional[EngineConfig] = None,
+) -> ServeReport:
+    """Run a workload through a fresh engine.
+
+    ``workload`` is either a :class:`WorkloadConfig` (the seeded trace is
+    generated here) or an already-generated request sequence (e.g. one
+    replayed from :func:`~repro.serve.workload.workload_from_json`).
+    """
+    engine = ServingEngine(cfg, device, engine_config)
+    if isinstance(workload, WorkloadConfig):
+        requests = generate(workload)
+    else:
+        requests = list(workload)
+    return engine.run(requests)

@@ -1,0 +1,235 @@
+"""Paged KV-cache management for the serving engine.
+
+The device-side KV cache is one fixed pool of equal-size blocks (pages)
+per layer, shaped ``(p, page_size, h_kv, d)`` — the ``p`` dim is symbolic
+in the compiled module, so one Executable serves any VRAM budget.  This
+module is the *host-side* bookkeeping over that pool: a block allocator
+with leak accounting, per-sequence block tables, and the padded batch
+views the ``decode_paged`` VM function consumes.
+
+Appends are copy-free in the vLLM sense: growing a sequence never moves
+existing pages; at most one new block is allocated and the block table
+gains one entry.  Eviction (scheduler preemption) releases a sequence's
+blocks wholesale; whether the contents are swapped to host memory or
+recomputed later is the scheduler's policy, not this module's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+class CacheError(RuntimeError):
+    """Invariant violation in the block allocator or block tables."""
+
+
+class OutOfBlocks(CacheError):
+    """Allocation request exceeds the free pool (callers should evict)."""
+
+
+class BlockAllocator:
+    """Fixed pool of KV blocks with a LIFO free list.
+
+    LIFO makes reuse deterministic — freeing blocks and re-allocating the
+    same count always yields the same ids in the same order — which is
+    what keeps same-seed serving runs bit-identical.
+    """
+
+    def __init__(self, num_blocks: int):
+        if num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        self.num_blocks = num_blocks
+        # Stack of free ids; initialised so the first allocations hand out
+        # 0, 1, 2, ... in order.
+        self._free: List[int] = list(range(num_blocks - 1, -1, -1))
+        self._allocated: set = set()
+
+    @property
+    def num_free(self) -> int:
+        return len(self._free)
+
+    @property
+    def num_used(self) -> int:
+        return len(self._allocated)
+
+    def allocate(self) -> int:
+        if not self._free:
+            raise OutOfBlocks(
+                f"all {self.num_blocks} KV blocks are in use"
+            )
+        block = self._free.pop()
+        self._allocated.add(block)
+        return block
+
+    def free(self, block: int) -> None:
+        if block not in self._allocated:
+            raise CacheError(f"double free (or foreign id) of block {block}")
+        self._allocated.remove(block)
+        self._free.append(block)
+
+    def check_no_leaks(self, expected_used: int = 0) -> None:
+        """Raise unless exactly ``expected_used`` blocks remain allocated
+        and the free list is consistent with the pool size."""
+        if self.num_used != expected_used:
+            raise CacheError(
+                f"leaked blocks: {self.num_used} still allocated, "
+                f"expected {expected_used}"
+            )
+        if self.num_free + self.num_used != self.num_blocks:
+            raise CacheError(
+                f"pool accounting broken: {self.num_free} free + "
+                f"{self.num_used} used != {self.num_blocks}"
+            )
+
+
+@dataclass
+class _Sequence:
+    seq_id: int
+    blocks: List[int] = field(default_factory=list)
+    length: int = 0  # tokens stored in the paged cache
+
+
+class PagedKVCache:
+    """Per-sequence block tables over one shared :class:`BlockAllocator`.
+
+    Block 0 is reserved as the *padding page*: the generated paged
+    attention kernel evaluates both ``select`` branches (``np.where``
+    semantics, see :mod:`repro.ops.paged`), so padded block-table slots
+    must reference a real page — masked scores keep padded entries out of
+    the softmax, but the gather itself has to stay in bounds.
+    """
+
+    def __init__(self, num_blocks: int, page_size: int):
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        self.page_size = page_size
+        self.allocator = BlockAllocator(num_blocks)
+        self.padding_block = self.allocator.allocate()  # block 0
+        self._seqs: Dict[int, _Sequence] = {}
+        #: Running max of used blocks (utilisation high-water mark).
+        self.peak_used_blocks = self.allocator.num_used
+
+    # -- capacity queries -------------------------------------------------------
+
+    @property
+    def num_free_blocks(self) -> int:
+        return self.allocator.num_free
+
+    def blocks_for_tokens(self, num_tokens: int) -> int:
+        return -(-num_tokens // self.page_size)
+
+    def blocks_needed(self, seq_id: int, num_tokens: int) -> int:
+        """Extra blocks required to append ``num_tokens`` to ``seq_id``."""
+        seq = self._seqs[seq_id]
+        return self.blocks_for_tokens(seq.length + num_tokens) - len(seq.blocks)
+
+    def can_append(self, seq_id: int, num_tokens: int) -> bool:
+        return self.blocks_needed(seq_id, num_tokens) <= self.num_free_blocks
+
+    def can_admit(self, num_tokens: int) -> bool:
+        return self.blocks_for_tokens(num_tokens) <= self.num_free_blocks
+
+    # -- sequence lifecycle -----------------------------------------------------
+
+    def add_sequence(self, seq_id: int) -> None:
+        if seq_id in self._seqs:
+            raise CacheError(f"sequence {seq_id} already tracked")
+        self._seqs[seq_id] = _Sequence(seq_id)
+
+    def has_sequence(self, seq_id: int) -> bool:
+        return seq_id in self._seqs
+
+    def append(self, seq_id: int, num_tokens: int = 1) -> int:
+        """Grow ``seq_id`` by ``num_tokens``; returns blocks allocated.
+
+        All-or-nothing: raises :class:`OutOfBlocks` without side effects
+        when the pool cannot cover the growth.
+        """
+        need = self.blocks_needed(seq_id, num_tokens)
+        if need > self.num_free_blocks:
+            raise OutOfBlocks(
+                f"sequence {seq_id} needs {need} blocks, "
+                f"{self.num_free_blocks} free"
+            )
+        seq = self._seqs[seq_id]
+        for _ in range(need):
+            seq.blocks.append(self.allocator.allocate())
+        seq.length += num_tokens
+        self.peak_used_blocks = max(self.peak_used_blocks,
+                                    self.allocator.num_used)
+        return need
+
+    def evict(self, seq_id: int) -> int:
+        """Release all blocks of a *preempted* sequence; returns the count.
+
+        The sequence stops being tracked: resuming it (after swap-in or
+        recompute) goes through :meth:`add_sequence` + :meth:`append`
+        again.  Blocks are freed in reverse order so a LIFO re-allocation
+        of the same sequence gets the same ids (determinism).
+        """
+        seq = self._seqs.pop(seq_id)
+        for block in reversed(seq.blocks):
+            self.allocator.free(block)
+        return len(seq.blocks)
+
+    def free_sequence(self, seq_id: int) -> int:
+        """Release a *finished* sequence (same mechanics as evict)."""
+        if seq_id not in self._seqs:
+            raise CacheError(f"unknown sequence {seq_id}")
+        return self.evict(seq_id)
+
+    # -- batch views ------------------------------------------------------------
+
+    def length(self, seq_id: int) -> int:
+        return self._seqs[seq_id].length
+
+    def blocks(self, seq_id: int) -> List[int]:
+        return list(self._seqs[seq_id].blocks)
+
+    def block_table(self, seq_ids: Sequence[int],
+                    width: Optional[int] = None) -> np.ndarray:
+        """Padded ``(b, w)`` int64 block table for one decode batch."""
+        tables = [self._seqs[s].blocks for s in seq_ids]
+        w = width if width is not None else max(
+            (len(t) for t in tables), default=1
+        )
+        w = max(w, 1)
+        out = np.full((len(tables), w), self.padding_block, dtype=np.int64)
+        for i, t in enumerate(tables):
+            if len(t) > w:
+                raise CacheError(
+                    f"sequence {seq_ids[i]} has {len(t)} blocks > width {w}"
+                )
+            out[i, : len(t)] = t
+        return out
+
+    def lengths(self, seq_ids: Sequence[int]) -> np.ndarray:
+        return np.asarray([self._seqs[s].length for s in seq_ids],
+                          dtype=np.int64)
+
+    # -- accounting -------------------------------------------------------------
+
+    def utilization(self) -> float:
+        """Fraction of pool blocks currently allocated (incl. padding)."""
+        return self.allocator.num_used / self.allocator.num_blocks
+
+    def fragmentation(self) -> float:
+        """Internal fragmentation: fraction of *allocated* token slots
+        (padding page excluded) not holding a token."""
+        used = self.allocator.num_used - 1  # minus padding block
+        if used <= 0:
+            return 0.0
+        slots = used * self.page_size
+        tokens = sum(s.length for s in self._seqs.values())
+        return 1.0 - tokens / slots
+
+    def check_no_leaks(self) -> None:
+        """After all sequences finish, only the padding block may remain."""
+        if self._seqs:
+            raise CacheError(
+                f"sequences still tracked: {sorted(self._seqs)}"
+            )
+        self.allocator.check_no_leaks(expected_used=1)

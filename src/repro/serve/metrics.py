@@ -1,0 +1,127 @@
+"""Serving metrics: latency percentiles, goodput, utilisation.
+
+The quantities LLM-serving papers report: TTFT (time to first token —
+queueing + prefill), TPOT (time per output token after the first), ITL
+(inter-token latency distribution), throughput, and goodput — requests
+per second that met *both* latency SLOs.  Percentiles use the
+nearest-rank definition so results are exact data points, never
+interpolated values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (p in [0, 100]); NaN on empty input."""
+    if not values:
+        return math.nan
+    ordered = sorted(values)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class RequestMetrics:
+    """Per-request timeline filled in by the engine as it runs."""
+
+    req_id: int
+    arrival_s: float
+    prompt_len: int
+    output_len: int
+    #: Simulated time each output token became available (first entry is
+    #: the token produced by the final prefill chunk).
+    token_times: List[float] = field(default_factory=list)
+    finish_s: Optional[float] = None
+    preemptions: int = 0
+
+    @property
+    def first_token_s(self) -> Optional[float]:
+        return self.token_times[0] if self.token_times else None
+
+    @property
+    def ttft(self) -> Optional[float]:
+        if not self.token_times:
+            return None
+        return self.token_times[0] - self.arrival_s
+
+    @property
+    def tpot(self) -> Optional[float]:
+        """Mean decode latency per output token after the first."""
+        if self.finish_s is None or len(self.token_times) < 2:
+            return None
+        span = self.token_times[-1] - self.token_times[0]
+        return span / (len(self.token_times) - 1)
+
+    @property
+    def itl(self) -> List[float]:
+        return [
+            b - a for a, b in zip(self.token_times, self.token_times[1:])
+        ]
+
+    @property
+    def e2e_latency(self) -> Optional[float]:
+        if self.finish_s is None:
+            return None
+        return self.finish_s - self.arrival_s
+
+
+def summarize(
+    requests: Sequence[RequestMetrics],
+    *,
+    slo_ttft_s: float = 1.0,
+    slo_tpot_s: float = 0.1,
+    queue_depth_samples: Sequence[int] = (),
+    kv_utilization_samples: Sequence[float] = (),
+) -> Dict[str, Any]:
+    """Aggregate a finished run into one JSON-ready dict."""
+    done = [r for r in requests if r.finish_s is not None]
+    ttfts = [r.ttft for r in done if r.ttft is not None]
+    tpots = [r.tpot for r in done if r.tpot is not None]
+    itls = [gap for r in done for gap in r.itl]
+    makespan = max((r.finish_s for r in done), default=0.0)
+    total_tokens = sum(len(r.token_times) for r in done)
+
+    def within_slo(r: RequestMetrics) -> bool:
+        if r.ttft is None or r.ttft > slo_ttft_s:
+            return False
+        tpot = r.tpot
+        return tpot is None or tpot <= slo_tpot_s
+
+    good = sum(1 for r in done if within_slo(r))
+    pct = {
+        "p50": 50.0, "p90": 90.0, "p99": 99.0,
+    }
+    summary: Dict[str, Any] = {
+        "num_requests": len(requests),
+        "num_finished": len(done),
+        "makespan_s": makespan,
+        "total_output_tokens": total_tokens,
+        "throughput_tokens_per_s": (
+            total_tokens / makespan if makespan > 0 else 0.0
+        ),
+        "throughput_requests_per_s": (
+            len(done) / makespan if makespan > 0 else 0.0
+        ),
+        "goodput_requests_per_s": good / makespan if makespan > 0 else 0.0,
+        "slo": {"ttft_s": slo_ttft_s, "tpot_s": slo_tpot_s,
+                "attained": good, "fraction": good / len(done) if done else 0.0},
+        "ttft_s": {k: percentile(ttfts, p) for k, p in pct.items()},
+        "tpot_s": {k: percentile(tpots, p) for k, p in pct.items()},
+        "itl_s": {k: percentile(itls, p) for k, p in pct.items()},
+        "preemptions": sum(r.preemptions for r in requests),
+    }
+    if queue_depth_samples:
+        summary["queue_depth"] = {
+            "mean": sum(queue_depth_samples) / len(queue_depth_samples),
+            "max": max(queue_depth_samples),
+        }
+    if kv_utilization_samples:
+        summary["kv_block_utilization"] = {
+            "mean": sum(kv_utilization_samples) / len(kv_utilization_samples),
+            "max": max(kv_utilization_samples),
+        }
+    return summary

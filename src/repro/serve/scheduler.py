@@ -1,0 +1,268 @@
+"""Iteration-level (Orca-style) continuous-batching scheduler.
+
+Each call to :meth:`ContinuousBatchingScheduler.schedule` plans exactly
+one engine iteration: every running sequence decodes one token, and the
+leftover token budget (``max_num_batched_tokens``) is filled with prefill
+chunks — new admissions and partially-prefilled sequences — so prefill
+and decode interleave instead of head-of-line blocking each other
+(chunked prefill).
+
+When the KV block pool cannot cover the next decode step, the scheduler
+preempts the *latest-arrived* running sequence (FCFS priority) and either
+swaps its blocks to host memory or discards them for recomputation,
+the two recovery policies from the vLLM line of work.  Eviction always
+goes through preemption — a sequence scheduled to decode in this
+iteration is never the one whose blocks are taken.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+from .kv_cache import PagedKVCache
+from .metrics import RequestMetrics
+from .workload import Request
+
+
+class Phase(enum.Enum):
+    WAITING = "waiting"
+    PREFILL = "prefill"
+    DECODE = "decode"
+    SWAPPED = "swapped"
+    FINISHED = "finished"
+
+
+@dataclass
+class RequestState:
+    """Scheduler-side view of one request's progress."""
+
+    request: Request
+    metrics: RequestMetrics
+    phase: Phase = Phase.WAITING
+    #: Prompt (or recompute) tokens whose KV is already cached.
+    prefilled: int = 0
+    #: Tokens still to prefill before decoding (prompt, or on a
+    #: recompute-resume the prompt plus previously generated tokens).
+    prefill_target: int = 0
+    #: Output tokens produced so far.
+    generated: int = 0
+    #: Cached token count at preemption time (for swap-in sizing).
+    swapped_tokens: int = 0
+
+    @property
+    def seq_id(self) -> int:
+        return self.request.req_id
+
+    @property
+    def done(self) -> bool:
+        return self.generated >= self.request.output_len
+
+
+@dataclass
+class Iteration:
+    """One scheduled engine step (already reflected in the KV cache)."""
+
+    #: Sequences decoding one token each; ``decode_lengths[i]`` is the
+    #: cached context *before* this step's append.
+    decode: List[RequestState] = field(default_factory=list)
+    decode_lengths: List[int] = field(default_factory=list)
+    #: ``(state, past_tokens, chunk_len)`` prefill chunks.
+    prefill: List[Tuple[RequestState, int, int]] = field(default_factory=list)
+    #: Sequences restored from host swap this step (tokens copied back).
+    swapped_in: List[Tuple[RequestState, int]] = field(default_factory=list)
+    #: ``(state, tokens, mode)`` preemptions performed while planning.
+    preempted: List[Tuple[RequestState, int, str]] = field(default_factory=list)
+
+    @property
+    def num_batched_tokens(self) -> int:
+        return len(self.decode) + sum(n for _, _, n in self.prefill)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.decode or self.prefill or self.swapped_in
+                    or self.preempted)
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    max_num_seqs: int = 16
+    max_num_batched_tokens: int = 256
+    #: Cap on prefill tokens per sequence per iteration (chunked prefill);
+    #: ``None`` disables chunking — whole prompts must fit the budget.
+    prefill_chunk: Optional[int] = 64
+    #: Preemption recovery: "swap" (blocks copied to host and back) or
+    #: "recompute" (blocks dropped, prompt + generated tokens re-prefilled).
+    eviction: str = "swap"
+
+    def __post_init__(self):
+        if self.eviction not in ("swap", "recompute"):
+            raise ValueError(f"unknown eviction policy {self.eviction!r}")
+
+
+class ContinuousBatchingScheduler:
+    def __init__(self, config: SchedulerConfig, kv: PagedKVCache):
+        self.config = config
+        self.kv = kv
+        self.waiting: Deque[RequestState] = deque()
+        self.running: List[RequestState] = []   # PREFILL or DECODE
+        self.swapped: Deque[RequestState] = deque()
+        self.num_preemptions = 0
+
+    # -- intake -----------------------------------------------------------------
+
+    def add_request(self, state: RequestState) -> None:
+        state.phase = Phase.WAITING
+        state.prefill_target = state.request.prompt_len
+        self.waiting.append(state)
+
+    def has_unfinished(self) -> bool:
+        return bool(self.waiting or self.running or self.swapped)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.waiting) + len(self.swapped)
+
+    # -- completion -------------------------------------------------------------
+
+    def finish(self, state: RequestState) -> None:
+        """Called by the engine once a sequence has all its tokens."""
+        state.phase = Phase.FINISHED
+        self.running.remove(state)
+        self.kv.free_sequence(state.seq_id)
+
+    # -- preemption -------------------------------------------------------------
+
+    def _preempt_one(self, it: Iteration,
+                     protect: List[RequestState]) -> bool:
+        """Evict the latest-arrived running sequence not in ``protect``.
+
+        Returns False when no victim exists (callers then shrink their
+        demand instead).  The victim's blocks are freed *after* it leaves
+        the running list, so eviction can never touch a sequence that is
+        part of the batch being planned.
+        """
+        for victim in reversed(self.running):
+            if victim in protect:
+                continue
+            self.running.remove(victim)
+            tokens = self.kv.length(victim.seq_id)
+            self.kv.evict(victim.seq_id)
+            victim.metrics.preemptions += 1
+            self.num_preemptions += 1
+            mode = self.config.eviction
+            if mode == "swap":
+                victim.phase = Phase.SWAPPED
+                victim.swapped_tokens = tokens
+                self.swapped.append(victim)
+            else:  # recompute: all cached KV must be rebuilt from tokens
+                victim.phase = Phase.WAITING
+                if victim.prefilled == victim.prefill_target:
+                    # Was decoding: the rebuilt prefix covers the prompt
+                    # plus every generated token whose KV was cached.
+                    victim.prefill_target = tokens
+                # else: mid-prefill — keep the original target, restart it.
+                victim.prefilled = 0
+                self.waiting.appendleft(victim)
+            it.preempted.append((victim, tokens, mode))
+            return True
+        return False
+
+    # -- planning ---------------------------------------------------------------
+
+    def schedule(self) -> Iteration:
+        it = Iteration()
+        cfg = self.config
+
+        # 1. Decode step for every running sequence already past prefill.
+        #    Each needs room to append one token; evict (other) sequences
+        #    until it fits, else preempt the decoder itself.
+        for state in list(self.running):
+            if state.phase is not Phase.DECODE:
+                continue
+            if state not in self.running:
+                continue  # evicted as a victim earlier in this loop
+            placed = False
+            while True:
+                if self.kv.can_append(state.seq_id, 1):
+                    it.decode_lengths.append(self.kv.length(state.seq_id))
+                    self.kv.append(state.seq_id, 1)
+                    it.decode.append(state)
+                    placed = True
+                    break
+                if not self._preempt_one(it, protect=it.decode + [state]):
+                    break
+            if not placed:
+                # Could not make room even after evicting everyone else:
+                # preempt this sequence too rather than stall with a
+                # half-planned step.
+                self._preempt_one(it, protect=it.decode)
+
+        budget = cfg.max_num_batched_tokens - len(it.decode)
+
+        # 2. Resume swapped sequences (oldest first) while seats, blocks
+        #    and token budget allow.  A resumed sequence decodes starting
+        #    next iteration; the swap-in itself costs host-link time which
+        #    the engine charges off the Iteration record.
+        while self.swapped and budget > 0:
+            state = self.swapped[0]
+            if len(self.running) + 1 > cfg.max_num_seqs:
+                break
+            need = self.kv.blocks_for_tokens(state.swapped_tokens)
+            if need > self.kv.num_free_blocks:
+                break
+            self.swapped.popleft()
+            self.kv.add_sequence(state.seq_id)
+            if state.swapped_tokens:
+                self.kv.append(state.seq_id, state.swapped_tokens)
+            # A victim caught mid-prefill resumes prefilling; one caught
+            # decoding resumes decode.
+            state.phase = (
+                Phase.PREFILL
+                if state.prefilled < state.prefill_target
+                else Phase.DECODE
+            )
+            self.running.append(state)
+            it.swapped_in.append((state, state.swapped_tokens))
+            state.swapped_tokens = 0
+
+        # 3. Admission control: bring in waiting sequences FCFS when the
+        #    whole remaining prefill fits the free pool *now* (no partial
+        #    admissions that could deadlock the pool).
+        while (
+            self.waiting
+            and budget > 0
+            and len(self.running) < cfg.max_num_seqs
+            and self.kv.can_admit(
+                self.waiting[0].prefill_target - self.waiting[0].prefilled
+            )
+        ):
+            state = self.waiting.popleft()
+            state.phase = Phase.PREFILL
+            if not self.kv.has_sequence(state.seq_id):
+                self.kv.add_sequence(state.seq_id)
+            self.running.append(state)
+
+        # 4. Chunked prefill over every PREFILL sequence, budget permitting.
+        for state in self.running:
+            if state.phase is not Phase.PREFILL or budget <= 0:
+                continue
+            remaining = state.prefill_target - state.prefilled
+            chunk = min(remaining, budget)
+            if cfg.prefill_chunk is not None:
+                chunk = min(chunk, cfg.prefill_chunk)
+            elif chunk < remaining:
+                continue  # unchunked: all-or-nothing per iteration
+            if chunk <= 0 or not self.kv.can_append(state.seq_id, chunk):
+                continue
+            past = state.prefilled
+            self.kv.append(state.seq_id, chunk)
+            state.prefilled += chunk
+            budget -= chunk
+            it.prefill.append((state, past, chunk))
+            if state.prefilled == state.prefill_target:
+                state.phase = Phase.DECODE
+
+        return it

@@ -1,0 +1,121 @@
+"""Seeded request-trace generation for the serving engine.
+
+One integer seed reproduces the whole trace: arrival times (Poisson or
+gamma renewal process), prompt lengths, and output lengths all come from
+a single ``numpy`` Generator, so a workload is fully described by its
+:class:`WorkloadConfig` — and round-trips through JSON so benchmark
+artifacts can pin the exact trace they measured.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request in the trace (times in seconds)."""
+
+    req_id: int
+    arrival_s: float
+    prompt_len: int
+    output_len: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Request":
+        return cls(
+            req_id=int(d["req_id"]),
+            arrival_s=float(d["arrival_s"]),
+            prompt_len=int(d["prompt_len"]),
+            output_len=int(d["output_len"]),
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Everything needed to regenerate a trace bit-for-bit."""
+
+    num_requests: int = 64
+    seed: int = 0
+    #: Arrival process: "poisson" (exponential inter-arrivals) or "gamma"
+    #: (renewal process with coefficient of variation ``arrival_cv`` —
+    #: cv > 1 models bursty traffic, cv < 1 smoother-than-Poisson).
+    arrival: str = "poisson"
+    arrival_rate: float = 8.0  # requests / second
+    arrival_cv: float = 2.0    # gamma only
+    #: Prompt lengths: uniform integers in [prompt_min, prompt_max].
+    prompt_min: int = 8
+    prompt_max: int = 64
+    #: Output lengths: uniform integers in [output_min, output_max].
+    output_min: int = 4
+    output_max: int = 32
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "WorkloadConfig":
+        return cls(**d)
+
+
+def _inter_arrivals(cfg: WorkloadConfig, rng: np.random.Generator) -> np.ndarray:
+    if cfg.arrival_rate <= 0:
+        return np.zeros(cfg.num_requests)
+    if cfg.arrival == "poisson":
+        return rng.exponential(1.0 / cfg.arrival_rate, size=cfg.num_requests)
+    if cfg.arrival == "gamma":
+        # Mean fixed at 1/rate; cv^2 = 1/shape.
+        shape = 1.0 / (cfg.arrival_cv ** 2)
+        scale = 1.0 / (cfg.arrival_rate * shape)
+        return rng.gamma(shape, scale, size=cfg.num_requests)
+    raise ValueError(f"unknown arrival process {cfg.arrival!r}")
+
+
+def generate(cfg: WorkloadConfig) -> List[Request]:
+    """The trace for ``cfg`` — deterministic in ``cfg`` alone."""
+    if cfg.prompt_min < 1 or cfg.prompt_max < cfg.prompt_min:
+        raise ValueError("invalid prompt length range")
+    if cfg.output_min < 1 or cfg.output_max < cfg.output_min:
+        raise ValueError("invalid output length range")
+    rng = np.random.default_rng(cfg.seed)
+    gaps = _inter_arrivals(cfg, rng)
+    arrivals = np.cumsum(gaps)
+    prompts = rng.integers(cfg.prompt_min, cfg.prompt_max + 1,
+                           size=cfg.num_requests)
+    outputs = rng.integers(cfg.output_min, cfg.output_max + 1,
+                           size=cfg.num_requests)
+    return [
+        Request(
+            req_id=i,
+            arrival_s=float(arrivals[i]),
+            prompt_len=int(prompts[i]),
+            output_len=int(outputs[i]),
+        )
+        for i in range(cfg.num_requests)
+    ]
+
+
+def workload_to_json(cfg: WorkloadConfig, requests: List[Request]) -> str:
+    """Serialize config + trace; floats round-trip exactly (repr-based)."""
+    return json.dumps(
+        {
+            "config": cfg.to_dict(),
+            "requests": [r.to_dict() for r in requests],
+        },
+        indent=2,
+    )
+
+
+def workload_from_json(text: str):
+    """Inverse of :func:`workload_to_json`."""
+    obj = json.loads(text)
+    cfg = WorkloadConfig.from_dict(obj["config"])
+    requests = [Request.from_dict(d) for d in obj["requests"]]
+    return cfg, requests

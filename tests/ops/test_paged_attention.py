@@ -1,0 +1,129 @@
+"""paged_attention: legalization vs library kernel vs dense reference."""
+
+import numpy as np
+import pytest
+
+from repro import ops
+from repro.core.expr import Call
+from repro.runtime.library import REGISTRY
+
+from .helpers import run_legalized, var_of
+
+RNG = np.random.default_rng(11)
+
+
+def _case(b=2, s=1, h=4, h_kv=2, d=8, page=4, w=3, num_pages=8,
+          lengths=None):
+    q = RNG.standard_normal((b, s, h, d), dtype=np.float32)
+    kp = RNG.standard_normal((num_pages, page, h_kv, d), dtype=np.float32)
+    vp = RNG.standard_normal((num_pages, page, h_kv, d), dtype=np.float32)
+    kc = RNG.standard_normal((b, s, h_kv, d), dtype=np.float32)
+    vc = RNG.standard_normal((b, s, h_kv, d), dtype=np.float32)
+    table = RNG.integers(0, num_pages, size=(b, w)).astype(np.int64)
+    if lengths is None:
+        lengths = RNG.integers(0, w * page + 1, size=(b,)).astype(np.int64)
+    else:
+        lengths = np.asarray(lengths, np.int64)
+    return q, kp, vp, table, lengths, kc, vc
+
+
+def _dense_reference(q, kp, vp, table, lengths, kc, vc):
+    """Per-sequence dense attention over the gathered context."""
+    b, s, h, d = q.shape
+    page, h_kv = kp.shape[1], kp.shape[2]
+    group = h // h_kv
+    out = np.zeros_like(q)
+    for i in range(b):
+        k_past = kp[table[i]].reshape(-1, h_kv, d)[: lengths[i]]
+        v_past = vp[table[i]].reshape(-1, h_kv, d)[: lengths[i]]
+        for head in range(h):
+            g = head // group
+            k_all = np.concatenate([k_past[:, g, :], kc[i, :, g, :]])
+            v_all = np.concatenate([v_past[:, g, :], vc[i, :, g, :]])
+            L = lengths[i]
+            for t in range(s):
+                ctx = L + t + 1  # paged prefix + causal current block
+                scores = q[i, t, head, :] @ k_all[:ctx].T / np.sqrt(d)
+                e = np.exp(scores - scores.max())
+                out[i, t, head, :] = (e / e.sum()) @ v_all[:ctx]
+    return out
+
+
+def _run_op(q, kp, vp, table, lengths, kc, vc):
+    args = [
+        var_of(q, name="q"),
+        var_of(kp, name="kp"),
+        var_of(vp, name="vp"),
+        var_of(table, name="bt"),
+        var_of(lengths, name="ln"),
+        var_of(kc, name="kc"),
+        var_of(vc, name="vc"),
+    ]
+    call = ops.paged_attention(*args)
+    return call, run_legalized(call, [q, kp, vp, table, lengths, kc, vc])
+
+
+def test_legalized_matches_dense_reference():
+    arrays = _case()
+    _, got = _run_op(*arrays)
+    np.testing.assert_allclose(got, _dense_reference(*arrays),
+                               rtol=1e-4, atol=1e-5)
+
+
+def test_legalized_matches_library_kernel():
+    arrays = _case(b=1, s=2, h=2, h_kv=1, d=4, page=2, w=2, num_pages=4)
+    _, got = _run_op(*arrays)
+    kernel = REGISTRY.get("flashinfer.paged_attention")
+    lib_out = np.zeros_like(arrays[0])
+    kernel.compute(list(arrays), [lib_out])
+    np.testing.assert_allclose(got, lib_out, rtol=1e-4, atol=1e-5)
+    np.testing.assert_allclose(lib_out, _dense_reference(*arrays),
+                               rtol=1e-4, atol=1e-5)
+
+
+def test_empty_paged_prefix_is_pure_causal_attention():
+    """lengths == 0 must reduce to dense causal attention over k_cur."""
+    arrays = _case(b=2, s=3, lengths=[0, 0])
+    q, kp, vp, table, lengths, kc, vc = arrays
+    _, got = _run_op(*arrays)
+    dense = ops.attention
+    from .helpers import run_legalized as rl, var_of as vo
+
+    call = dense(vo(q, name="q"), vo(kc, name="k"), vo(vc, name="v"))
+    expect = rl(call, [q, kc, vc])
+    np.testing.assert_allclose(got, expect, rtol=1e-4, atol=1e-5)
+
+
+def test_padding_slots_do_not_leak():
+    """Whatever garbage sits in padded block-table slots must not affect
+    the output — only entries below ``lengths`` participate."""
+    q, kp, vp, table, lengths, kc, vc = _case(lengths=[5, 5])
+    _, base = _run_op(q, kp, vp, table, lengths, kc, vc)
+    # Repoint every block past the valid prefix at a different page.
+    page = kp.shape[1]
+    blocks_used = -(-5 // page)
+    table2 = table.copy()
+    table2[:, blocks_used:] = (table[:, blocks_used:] + 1) % kp.shape[0]
+    _, redirected = _run_op(q, kp, vp, table2, lengths, kc, vc)
+    np.testing.assert_allclose(base, redirected, rtol=0, atol=0)
+
+
+def test_deduce_validates_integer_dtypes():
+    q, kp, vp, table, lengths, kc, vc = _case()
+    bad_table = table.astype(np.float32)
+    with pytest.raises(Exception):
+        call = ops.paged_attention(
+            var_of(q), var_of(kp), var_of(vp), var_of(bad_table),
+            var_of(lengths), var_of(kc), var_of(vc),
+        )
+        call.op.deduce(call)
+
+
+def test_op_metadata():
+    q, kp, vp, table, lengths, kc, vc = _case()
+    call, _ = _run_op(q, kp, vp, table, lengths, kc, vc)
+    assert isinstance(call, Call)
+    legalized = call.op.legalize(call)
+    assert legalized.prim_func.attrs.get("op_kind") == "attention"
+    assert REGISTRY.available("flashinfer.paged_attention", "cuda")
+    assert not REGISTRY.available("flashinfer.paged_attention", "metal")

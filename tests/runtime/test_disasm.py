@@ -77,13 +77,14 @@ from repro.runtime import vm as rvm
 
 _COVERAGE_BUILDS = [
     (0, {}),
-    (0, {"enable_memory_planning": False}),
-    (3, {}),
-    (4, {}),
+    (1, {}),
+    (2, {}),
+    (2, {"enable_memory_planning": False}),
     (5, {}),
-    (7, {}),
-    (20, {}),
-    (22, {}),
+    (15, {}),
+    (18, {}),
+    (35, {}),
+    (45, {}),
 ]
 
 

@@ -1,0 +1,143 @@
+"""End-to-end serving engine: determinism, leaks, metrics, Perfetto."""
+
+import json
+
+import pytest
+
+from repro.models import TINY_LLAMA
+from repro.obs import validate_chrome_trace
+from repro.runtime import TEST_DEVICE
+from repro.serve import (
+    CacheError,
+    EngineConfig,
+    SchedulerConfig,
+    ServingEngine,
+    WorkloadConfig,
+    generate,
+)
+
+
+def _engine(policy="swap", num_blocks=64, **sched_kwargs):
+    sched = SchedulerConfig(
+        max_num_seqs=8, max_num_batched_tokens=128, prefill_chunk=16,
+        eviction=policy, **sched_kwargs,
+    )
+    return ServingEngine(
+        TINY_LLAMA, TEST_DEVICE,
+        EngineConfig(page_size=4, num_blocks=num_blocks, scheduler=sched),
+    )
+
+
+def _workload(seed=0, n=24, rate=200.0, out_max=12):
+    return WorkloadConfig(
+        num_requests=n, seed=seed, arrival_rate=rate,
+        prompt_min=4, prompt_max=20, output_min=2, output_max=out_max,
+    )
+
+
+def test_same_seed_runs_are_bit_identical():
+    r1 = _engine().run(generate(_workload()))
+    r2 = _engine().run(generate(_workload()))
+    assert r1.to_json(sort_keys=True) == r2.to_json(sort_keys=True)
+    assert (
+        json.dumps(r1.chrome_trace(), sort_keys=True)
+        == json.dumps(r2.chrome_trace(), sort_keys=True)
+    )
+    r3 = _engine().run(generate(_workload(seed=1)))
+    assert r1.to_json(sort_keys=True) != r3.to_json(sort_keys=True)
+
+
+def test_all_requests_finish_with_full_metrics_and_no_leaks():
+    requests = generate(_workload())
+    report = _engine().run(requests)
+    s = report.summary
+    assert s["num_finished"] == len(requests)
+    assert s["kv_pool"]["leaked_blocks"] == 0
+    for key in ("ttft_s", "tpot_s", "itl_s"):
+        assert set(s[key]) == {"p50", "p90", "p99"}
+        assert s[key]["p50"] > 0
+    assert s["throughput_tokens_per_s"] > 0
+    assert s["goodput_requests_per_s"] >= 0
+    for m in report.requests:
+        assert m.finish_s is not None
+        assert len(m.token_times) == m.output_len
+        assert m.token_times == sorted(m.token_times)
+        assert m.ttft is not None and m.ttft >= 0
+    # The clock is the VM's analytical clock plus swap time.
+    assert s["makespan_s"] >= report.stats.time_s - 1e-12
+
+
+@pytest.mark.parametrize("policy", ["swap", "recompute"])
+def test_preemption_under_memory_pressure(policy):
+    report = _engine(policy=policy, num_blocks=10).run(
+        generate(_workload(n=16, out_max=24))
+    )
+    s = report.summary
+    assert s["num_finished"] == 16
+    assert s["preemptions"] > 0
+    assert s["kv_pool"]["leaked_blocks"] == 0
+    if policy == "swap":
+        assert s["swap_time_s"] > 0
+    else:
+        assert s["swap_time_s"] == 0
+
+
+def test_perfetto_export_validates_with_one_track_per_request(tmp_path):
+    requests = generate(_workload(n=6))
+    report = _engine().run(requests)
+    path = tmp_path / "serve_trace.json"
+    trace = report.export_chrome_trace(str(path))
+    validate_chrome_trace(trace)  # schema validator must accept it
+    on_disk = json.loads(path.read_text())
+    assert on_disk == trace
+    events = trace["traceEvents"]
+    # One named thread track per request on the requests process.
+    names = {
+        e["tid"]: e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name" and e["pid"] == 1
+    }
+    assert set(names) == {r.req_id for r in requests}
+    # Every request decodes at least once on its own track.
+    for r in requests:
+        assert any(
+            e["ph"] == "X" and e["pid"] == 1 and e["tid"] == r.req_id
+            for e in events
+        )
+    # Engine track slices cover the whole makespan.
+    iter_slices = [e for e in events if e["ph"] == "X" and e["pid"] == 0]
+    total_us = sum(e["dur"] for e in iter_slices)
+    assert total_us <= report.summary["makespan_s"] * 1e6 + 1e-3
+
+
+def test_chunked_prefill_interleaves_with_decode():
+    """With chunking, some iteration runs decode and prefill together."""
+    report = _engine().run(generate(_workload(n=12, rate=1000.0)))
+    assert any(
+        it["decode_batch"] > 0 and it["prefill_tokens"] > 0
+        for it in report.iterations
+    )
+    # Token budget respected everywhere.
+    assert all(
+        it["num_batched_tokens"] <= 128 for it in report.iterations
+    )
+
+
+def test_stall_on_impossible_request_is_an_error():
+    engine = _engine(num_blocks=3)  # 2 usable blocks = 8 tokens
+    wl = WorkloadConfig(num_requests=1, seed=0, arrival_rate=100.0,
+                        prompt_min=32, prompt_max=32, output_min=2,
+                        output_max=2)
+    with pytest.raises(CacheError):
+        engine.run(generate(wl))
+
+
+def test_iteration_deltas_sum_to_vm_totals():
+    """The engine's per-iteration accounting telescopes to the VM clock."""
+    engine = _engine()
+    start = engine.vm.stats.copy()
+    report = engine.run(generate(_workload(n=10)))
+    vm_time = engine.vm.stats.delta(start).time_s
+    swap = report.summary["swap_time_s"]
+    iter_time = sum(it["dur_s"] for it in report.iterations)
+    assert iter_time == pytest.approx(vm_time + swap, abs=1e-9)

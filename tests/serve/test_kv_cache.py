@@ -1,0 +1,188 @@
+"""Property tests for the KV block allocator and page tables."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    BlockAllocator,
+    CacheError,
+    ContinuousBatchingScheduler,
+    OutOfBlocks,
+    PagedKVCache,
+    Phase,
+    RequestState,
+    SchedulerConfig,
+)
+from repro.serve.metrics import RequestMetrics
+from repro.serve.workload import Request
+
+
+def _random_schedule(seed, num_blocks=24, page_size=4, steps=400):
+    """Drive a PagedKVCache through a random add/append/evict/free script;
+    returns the cache with every sequence released again."""
+    rng = random.Random(seed)
+    kv = PagedKVCache(num_blocks, page_size)
+    live = []
+    next_id = 0
+    for _ in range(steps):
+        roll = rng.random()
+        if roll < 0.35 or not live:
+            kv.add_sequence(next_id)
+            live.append(next_id)
+            next_id += 1
+        elif roll < 0.8:
+            seq = rng.choice(live)
+            n = rng.randint(1, 2 * page_size)
+            if kv.can_append(seq, n):
+                kv.append(seq, n)
+            else:
+                with pytest.raises(OutOfBlocks):
+                    kv.append(seq, n)
+        elif roll < 0.9:
+            seq = rng.choice(live)
+            kv.evict(seq)
+            live.remove(seq)
+        else:
+            seq = rng.choice(live)
+            kv.free_sequence(seq)
+            live.remove(seq)
+    for seq in live:
+        kv.free_sequence(seq)
+    return kv
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_no_block_leaked_after_any_schedule(seed):
+    kv = _random_schedule(seed)
+    kv.check_no_leaks()  # raises on leak or broken accounting
+
+
+def test_failed_append_has_no_side_effects():
+    kv = PagedKVCache(4, page_size=2)  # 3 usable after padding
+    kv.add_sequence(0)
+    kv.append(0, 4)  # 2 blocks
+    kv.add_sequence(1)
+    free_before = kv.num_free_blocks
+    length_before = kv.length(0)
+    with pytest.raises(OutOfBlocks):
+        kv.append(1, 6)  # needs 3 blocks, only 1 free
+    assert kv.num_free_blocks == free_before
+    assert kv.length(0) == length_before
+    assert kv.length(1) == 0
+
+
+def test_freed_block_reuse_is_deterministic():
+    """LIFO free list: identical alloc/free scripts yield identical ids."""
+
+    def script():
+        alloc = BlockAllocator(16)
+        ids = [alloc.allocate() for _ in range(8)]
+        for i in (6, 2, 4):
+            alloc.free(ids[i])
+        return ids + [alloc.allocate() for _ in range(5)]
+
+    assert script() == script()
+    # And the most-recently-freed block comes back first.
+    alloc = BlockAllocator(4)
+    a, b = alloc.allocate(), alloc.allocate()
+    alloc.free(a)
+    alloc.free(b)
+    assert alloc.allocate() == b
+    assert alloc.allocate() == a
+
+
+def test_double_free_detected():
+    alloc = BlockAllocator(2)
+    blk = alloc.allocate()
+    alloc.free(blk)
+    with pytest.raises(CacheError):
+        alloc.free(blk)
+
+
+def _state(req_id, prompt_len=8, output_len=4, arrival=0.0):
+    req = Request(req_id=req_id, arrival_s=arrival, prompt_len=prompt_len,
+                  output_len=output_len)
+    return RequestState(
+        request=req,
+        metrics=RequestMetrics(req_id=req_id, arrival_s=arrival,
+                               prompt_len=prompt_len, output_len=output_len),
+    )
+
+
+@pytest.mark.parametrize("eviction", ["swap", "recompute"])
+@pytest.mark.parametrize("seed", range(6))
+def test_eviction_never_drops_blocks_of_scheduled_sequence(seed, eviction):
+    """Across randomized overloaded schedules, a sequence that decodes in
+    an iteration is never also preempted in it, and block accounting
+    stays exact (allocated == sum of per-sequence tables + padding)."""
+    rng = random.Random(seed)
+    kv = PagedKVCache(10, page_size=4)
+    sched = ContinuousBatchingScheduler(
+        SchedulerConfig(max_num_seqs=6, max_num_batched_tokens=64,
+                        prefill_chunk=8, eviction=eviction),
+        kv,
+    )
+    next_id = 0
+    for step in range(60):
+        for _ in range(rng.randint(0, 2)):
+            sched.add_request(_state(next_id,
+                                     prompt_len=rng.randint(4, 16),
+                                     output_len=rng.randint(2, 12)))
+            next_id += 1
+        it = sched.schedule()
+        decoded = {s.seq_id for s in it.decode}
+        preempted = {s.seq_id for s, _, _ in it.preempted}
+        assert not decoded & preempted
+        # Every decoded sequence still owns its blocks after planning.
+        for state in it.decode:
+            assert kv.has_sequence(state.seq_id)
+            assert kv.length(state.seq_id) >= 1
+        # Exact accounting at every step.
+        tracked = sum(
+            len(kv.blocks(s.seq_id))
+            for s in sched.running
+            if kv.has_sequence(s.seq_id)
+        )
+        assert kv.allocator.num_used == tracked + 1  # + padding block
+        # Tick: pretend every scheduled token completed.
+        for state in list(it.decode):
+            state.generated += 1
+            if state.done:
+                sched.finish(state)
+        for state, _, _ in it.prefill:
+            if (state.phase is Phase.DECODE and state.generated == 0):
+                state.generated = 1
+                if state.done:
+                    sched.finish(state)
+    # Drain everything; nothing may leak.
+    for state in list(sched.running):
+        sched.finish(state)
+    sched.waiting.clear()
+    sched.swapped.clear()
+    kv.check_no_leaks()
+
+
+def test_block_table_padding_points_at_padding_page():
+    kv = PagedKVCache(8, page_size=2)
+    kv.add_sequence(0)
+    kv.add_sequence(1)
+    kv.append(0, 5)  # 3 blocks
+    kv.append(1, 1)  # 1 block
+    table = kv.block_table([0, 1])
+    assert table.shape == (2, 3)
+    assert table.dtype == np.int64
+    assert (table[1, 1:] == kv.padding_block).all()
+    assert kv.lengths([0, 1]).tolist() == [5, 1]
+
+
+def test_fragmentation_and_utilization_accounting():
+    kv = PagedKVCache(8, page_size=4)
+    assert kv.fragmentation() == 0.0
+    kv.add_sequence(0)
+    kv.append(0, 5)  # 2 blocks, 8 slots, 5 tokens -> 3/8 wasted
+    assert kv.fragmentation() == pytest.approx(3 / 8)
+    assert kv.utilization() == pytest.approx(3 / 8)  # padding + 2 of 8
+    kv.free_sequence(0)
+    kv.check_no_leaks()

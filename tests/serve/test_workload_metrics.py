@@ -1,0 +1,107 @@
+"""Workload generator determinism/round-trip and metric definitions."""
+
+import math
+
+import pytest
+
+from repro.serve import (
+    RequestMetrics,
+    WorkloadConfig,
+    generate,
+    percentile,
+    summarize,
+    workload_from_json,
+    workload_to_json,
+)
+
+
+def test_one_seed_reproduces_the_whole_trace():
+    cfg = WorkloadConfig(num_requests=50, seed=7, arrival="gamma",
+                         arrival_cv=3.0)
+    assert generate(cfg) == generate(cfg)
+    assert generate(cfg) != generate(WorkloadConfig(num_requests=50, seed=8,
+                                                    arrival="gamma",
+                                                    arrival_cv=3.0))
+
+
+def test_json_round_trip_is_exact():
+    cfg = WorkloadConfig(num_requests=20, seed=3, arrival="poisson",
+                         arrival_rate=11.5)
+    requests = generate(cfg)
+    text = workload_to_json(cfg, requests)
+    cfg2, requests2 = workload_from_json(text)
+    assert cfg2 == cfg
+    assert requests2 == requests
+    # Regenerating from the deserialized config also matches.
+    assert generate(cfg2) == requests
+
+
+def test_arrival_processes():
+    poisson = WorkloadConfig(num_requests=2000, seed=0, arrival="poisson",
+                             arrival_rate=10.0)
+    arrivals = [r.arrival_s for r in generate(poisson)]
+    gaps = [b - a for a, b in zip([0.0] + arrivals, arrivals)]
+    mean = sum(gaps) / len(gaps)
+    assert mean == pytest.approx(0.1, rel=0.1)
+    # Gamma with cv=3 is burstier: higher variance at the same mean.
+    bursty = WorkloadConfig(num_requests=2000, seed=0, arrival="gamma",
+                            arrival_rate=10.0, arrival_cv=3.0)
+    bgaps = [r.arrival_s for r in generate(bursty)]
+    bgaps = [b - a for a, b in zip([0.0] + bgaps, bgaps)]
+    bmean = sum(bgaps) / len(bgaps)
+    assert bmean == pytest.approx(0.1, rel=0.15)
+    var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+    bvar = sum((g - bmean) ** 2 for g in bgaps) / len(bgaps)
+    assert bvar > 3 * var
+
+    with pytest.raises(ValueError):
+        generate(WorkloadConfig(arrival="uniform"))
+
+
+def test_length_ranges_respected():
+    cfg = WorkloadConfig(num_requests=300, seed=1, prompt_min=3,
+                         prompt_max=9, output_min=2, output_max=5)
+    for r in generate(cfg):
+        assert 3 <= r.prompt_len <= 9
+        assert 2 <= r.output_len <= 5
+
+
+def test_nearest_rank_percentile():
+    data = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(data, 50) == 20.0
+    assert percentile(data, 75) == 30.0
+    assert percentile(data, 100) == 40.0
+    assert percentile(data, 1) == 10.0
+    assert math.isnan(percentile([], 50))
+    # Always an actual data point, never interpolated.
+    assert percentile(data, 60) in data
+
+
+def _metrics(arrival, token_times):
+    m = RequestMetrics(req_id=0, arrival_s=arrival, prompt_len=4,
+                       output_len=len(token_times))
+    m.token_times = list(token_times)
+    m.finish_s = token_times[-1]
+    return m
+
+
+def test_request_metric_definitions():
+    m = _metrics(1.0, [1.5, 1.6, 1.8, 2.1])
+    assert m.ttft == pytest.approx(0.5)
+    # TPOT: span after first token / (tokens - 1).
+    assert m.tpot == pytest.approx((2.1 - 1.5) / 3)
+    assert m.itl == pytest.approx([0.1, 0.2, 0.3])
+    assert m.e2e_latency == pytest.approx(1.1)
+
+
+def test_goodput_counts_only_within_slo():
+    fast = _metrics(0.0, [0.1, 0.15, 0.2])
+    slow_ttft = _metrics(0.0, [5.0, 5.1, 5.2])
+    slow_tpot = _metrics(0.0, [0.1, 1.1, 2.1])
+    s = summarize([fast, slow_ttft, slow_tpot],
+                  slo_ttft_s=1.0, slo_tpot_s=0.5)
+    assert s["num_finished"] == 3
+    assert s["slo"]["attained"] == 1
+    makespan = s["makespan_s"]
+    assert s["goodput_requests_per_s"] == pytest.approx(1 / makespan)
+    assert s["throughput_requests_per_s"] == pytest.approx(3 / makespan)
