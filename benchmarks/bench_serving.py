@@ -98,6 +98,75 @@ def payload_from_sweep(results, rates):
     )
 
 
+def _prefix_engine_config(enable_cache: bool) -> EngineConfig:
+    return EngineConfig(
+        page_size=4,
+        num_blocks=256,
+        enable_prefix_caching=enable_cache,
+        scheduler=SchedulerConfig(
+            max_num_seqs=16, max_num_batched_tokens=256,
+        ),
+    )
+
+
+def _prefix_workload(num_requests: int = 32) -> WorkloadConfig:
+    """Few long shared prefixes, short private suffixes — the workload
+    shape (system prompts, few-shot exemplars) prefix caching targets."""
+    return WorkloadConfig(
+        num_requests=num_requests, seed=SEED, arrival="poisson",
+        arrival_rate=200.0, prompt_min=36, prompt_max=48,
+        output_min=8, output_max=24, prefix_families=2, prefix_len=32,
+    )
+
+
+def prefix_sweep(num_requests: int = 32, devices=DEVICES):
+    """Same seeded shared-prefix workload with caching on vs off.
+
+    Returns {device: {"on": summary, "off": summary}}."""
+    out = {}
+    requests = generate(_prefix_workload(num_requests))
+    for device_name in devices:
+        device = ALL_DEVICES[device_name]
+        per_mode = {}
+        for mode, enable in (("on", True), ("off", False)):
+            engine = ServingEngine(
+                TINY_LLAMA, device, _prefix_engine_config(enable)
+            )
+            per_mode[mode] = engine.run(requests).summary
+        out[device_name] = per_mode
+    return out
+
+
+def payload_from_prefix_sweep(results):
+    rows = {}
+    for device_name, per_mode in results.items():
+        on, off = per_mode["on"], per_mode["off"]
+        rows[f"{device_name} TTFT mean ms"] = [
+            off["ttft_s"]["mean"] * 1e3, on["ttft_s"]["mean"] * 1e3,
+        ]
+        rows[f"{device_name} peak required blocks"] = [
+            off["kv_pool"]["peak_required_blocks"],
+            on["kv_pool"]["peak_required_blocks"],
+        ]
+        rows[f"{device_name} cache hit rate"] = [
+            0.0, on["prefix_cache"]["hit_rate"],
+        ]
+        rows[f"{device_name} cached token fraction"] = [
+            0.0, on["prefix_cache"]["cached_token_fraction"],
+        ]
+        rows[f"{device_name} COW copies"] = [
+            off["kv_pool"]["cow_copies"], on["kv_pool"]["cow_copies"],
+        ]
+    return results_payload(
+        "Serving: shared-prefix workload with prefix caching off vs on "
+        f"(tiny-llama, seed {SEED})",
+        ["cache off", "cache on"],
+        rows,
+        unit="mixed",
+        compile_cache=compile_cache_stats(),
+    )
+
+
 def test_serving_throughput_latency_smoke():
     """Tier-agnostic smoke: small sweep, invariants only."""
     rates = [8.0, 128.0]
@@ -116,6 +185,23 @@ def test_serving_throughput_latency_smoke():
         )
     payload = payload_from_sweep(results, rates)
     assert payload["compile_cache"]["misses"] >= len(DEVICES)
+
+
+def test_prefix_caching_improves_ttft_and_memory():
+    """Acceptance: with caching on, mean TTFT is strictly lower AND peak
+    required pool utilization is lower — on every device model."""
+    results = prefix_sweep()
+    for device_name, per_mode in results.items():
+        on, off = per_mode["on"], per_mode["off"]
+        assert on["num_finished"] == off["num_finished"] == 32
+        assert on["kv_pool"]["leaked_blocks"] == 0
+        assert off["kv_pool"]["leaked_blocks"] == 0
+        assert on["ttft_s"]["mean"] < off["ttft_s"]["mean"], device_name
+        assert (
+            on["kv_pool"]["peak_required_blocks"]
+            < off["kv_pool"]["peak_required_blocks"]
+        ), device_name
+        assert on["prefix_cache"]["hit_rate"] > 0.5
 
 
 def main() -> None:
@@ -137,6 +223,21 @@ def main() -> None:
     )
     dump_results(out, payload)
     print(f"wrote {out}")
+
+    prefix_payload = payload_from_prefix_sweep(prefix_sweep())
+    print_table(
+        prefix_payload["title"],
+        "series",
+        prefix_payload["columns"],
+        prefix_payload["rows"],
+        "",
+        notes=["same seeded workload, caching toggled per run"],
+    )
+    prefix_out = os.path.join(
+        os.path.dirname(__file__), "artifacts", "serving_prefix.json"
+    )
+    dump_results(prefix_out, prefix_payload)
+    print(f"wrote {prefix_out}")
 
 
 if __name__ == "__main__":

@@ -507,6 +507,13 @@ def _apply_paged_attention(mat: Materializer, step: Step) -> ValueInfo:
                               kc.var, vc.var))
 
 
+def _apply_paged_prefill(mat: Materializer, step: Step) -> ValueInfo:
+    spec = fuzz_spec(step.op)
+    q, kp, vp, bt, mp, kc, vc = _vals(mat, step)
+    return mat.emit(spec.make(q.var, kp.var, vp.var, bt.var, mp.var,
+                              kc.var, vc.var))
+
+
 def _apply_tuple_get(mat: Materializer, step: Step) -> ValueInfo:
     (t,) = _vals(mat, step)
     return mat.emit(TupleGetItem(t.var, step.attrs["index"]))
@@ -572,6 +579,7 @@ _APPLIERS = {
     "argmax": _apply_argmax,
     "attention": _apply_attention,
     "paged_attention": _apply_paged_attention,
+    "paged_prefill": _apply_paged_prefill,
     "datadep": _apply_op,
     "shape_of": _apply_op,
     "tuple_get": _apply_tuple_get,
@@ -907,6 +915,13 @@ def _gen_paged_attention(rng, mat, plan, spec) -> Optional[Step]:
     return Step("paged_attention", spec.name, list(paged))
 
 
+def _gen_paged_prefill(rng, mat, plan, spec) -> Optional[Step]:
+    paged = getattr(mat, "_paged_prefill_params", None)
+    if not paged:
+        return None
+    return Step("paged_prefill", spec.name, list(paged))
+
+
 def _gen_datadep(rng, mat, plan, spec) -> Optional[Step]:
     cands = _f32_tensors(mat)
     if not cands:
@@ -1015,6 +1030,7 @@ _GENERATORS = {
     "argmax": _gen_argmax,
     "attention": _gen_attention,
     "paged_attention": _gen_paged_attention,
+    "paged_prefill": _gen_paged_prefill,
     "datadep": _gen_datadep,
     "shape_of": _gen_shape_of,
     "match_cast": _gen_match_cast,
@@ -1092,6 +1108,7 @@ def generate(seed: int, *, max_steps: Optional[int] = None) -> Plan:
         attn_idx = (base, base + 1, base + 2)
 
     paged_idx = None
+    paged_prefill_idx = None
     if rng.random() < 0.25:
         b = rng.choice([1, 2])
         s = rng.choice([1, 2])
@@ -1101,6 +1118,11 @@ def generate(seed: int, *, max_steps: Optional[int] = None) -> Plan:
         page = 2
         w = rng.choice([1, 2])
         p = rng.choice([2, 3])
+        # Past length for paged_prefill; its gather touches every column
+        # of the (mpast + s)-wide context, so the block table must cover
+        # ceil((mpast + s) / page) pages.
+        mpast = rng.choice([1, 2])
+        w = max(w, -(-(mpast + s) // page))
         base = len(plan.params)
         plan.params.append(ParamSpec("pq", [b, s, h, d], "f32"))
         plan.params.append(ParamSpec("kp", [p, page, h_kv, d], "f32"))
@@ -1111,12 +1133,18 @@ def generate(seed: int, *, max_steps: Optional[int] = None) -> Plan:
                                      role="index", index_bound=w * page + 1))
         plan.params.append(ParamSpec("kc", [b, s, h_kv, d], "f32"))
         plan.params.append(ParamSpec("vc", [b, s, h_kv, d], "f32"))
+        # Anchor for paged_prefill's past length (only its shape matters).
+        plan.params.append(ParamSpec("mp", [mpast], "i64",
+                                     role="index", index_bound=p))
         paged_idx = tuple(range(base, base + 7))
+        paged_prefill_idx = (base, base + 1, base + 2, base + 3, base + 7,
+                             base + 5, base + 6)
 
     mat = Materializer(plan)
     mat._flag_param = flag_idx
     mat._attn_params = attn_idx
     mat._paged_params = paged_idx
+    mat._paged_prefill_params = paged_prefill_idx
 
     pool = _weighted_pool()
     target = max_steps if max_steps is not None else rng.randint(4, 12)

@@ -176,6 +176,30 @@ class LlamaAttention(Module):
         attn = bb.emit(ops.reshape(attn, ShapeExpr([b, s, h * d])))
         return self.o_proj.forward(bb, attn), k_full, v_full
 
+    def forward_prefill_paged(self, bb: BlockBuilder, x: Expr, k_pages: Expr,
+                              v_pages: Expr, block_table: Expr, past: Expr,
+                              b, s, m) -> Tuple[Expr, Expr, Expr]:
+        """Chunked prefill against the paged KV pool (repro.serve).
+
+        All sequences in the chunk batch share cached length ``m`` (the
+        engine issues one call per sequence chunk); rotary offsets and
+        the attention read path mirror the dense :meth:`forward` exactly,
+        so outputs are bit-identical to dense prefill.  Returns the new
+        K/V chunk slices for the host to write into the pool pages.
+        """
+        cfg = self.cfg
+        h, d, kv = cfg.num_heads, cfg.head_dim, cfg.num_kv_heads
+        q = bb.emit(ops.reshape(self.q_proj.forward(bb, x), ShapeExpr([b, s, h, d])))
+        k = bb.emit(ops.reshape(self.k_proj.forward(bb, x), ShapeExpr([b, s, kv, d])))
+        v = bb.emit(ops.reshape(self.v_proj.forward(bb, x), ShapeExpr([b, s, kv, d])))
+        q = bb.emit(ops.rope(q, offset=m, theta=cfg.rope_theta))
+        k = bb.emit(ops.rope(k, offset=m, theta=cfg.rope_theta))
+        attn = bb.emit(ops.paged_prefill(
+            q, k_pages, v_pages, block_table, past, k, v
+        ))
+        attn = bb.emit(ops.reshape(attn, ShapeExpr([b, s, h * d])))
+        return self.o_proj.forward(bb, attn), k, v
+
     def forward_paged(self, bb: BlockBuilder, x: Expr, k_pages: Expr,
                       v_pages: Expr, block_table: Expr, lengths: Expr,
                       b) -> Tuple[Expr, Expr, Expr]:
@@ -243,6 +267,14 @@ class LlamaDecoderLayer(Module):
         attn_out, k_new, v_new = self.attn.forward_paged(
             bb, self.input_norm.forward(bb, x), k_pages, v_pages,
             block_table, lengths, b,
+        )
+        return self._residual(bb, x, attn_out), k_new, v_new
+
+    def forward_prefill_paged(self, bb, x, k_pages, v_pages, block_table,
+                              past, b, s, m):
+        attn_out, k_new, v_new = self.attn.forward_prefill_paged(
+            bb, self.input_norm.forward(bb, x), k_pages, v_pages,
+            block_table, past, b, s, m,
         )
         return self._residual(bb, x, attn_out), k_new, v_new
 
@@ -321,6 +353,42 @@ class LlamaForCausalLM(Module):
 
         x = self.final_norm.forward(bb, x)
         logits = self._logits(bb, x)  # s == 1: every position is the last
+
+        from ..core.expr import Tuple as TupleExpr
+
+        return bb.emit(TupleExpr([logits] + new_slices))
+
+    def forward_prefill_paged(self, bb: BlockBuilder, tokens: Expr,
+                              block_table: Expr, past: Expr,
+                              caches: List[Expr], b, s, m) -> Expr:
+        """Chunked prefill writing straight into the paged pool.
+
+        Mirrors :meth:`forward` (same embedding, rotary offsets, causal
+        attention over ``m`` cached + ``s`` current positions, and
+        last-position logits) with the KV reads gathered through the
+        block table instead of a contiguous cache; the result tuple is
+        ``(logits, k_new_0, v_new_0, ...)`` — the chunk's K/V slices the
+        host writes into each sequence's pages.
+        """
+        cfg = self.cfg
+        x = self.embed.forward(bb, tokens)  # (b, s, hidden)
+        if cfg.scale_embeddings:
+            scale = const(np.asarray(math.sqrt(cfg.hidden_size)), cfg.dtype)
+            x = bb.emit(ops.multiply(x, scale))
+        new_slices: List[Expr] = []
+        for layer, (k_pages, v_pages) in zip(
+            self.layers, zip(caches[0::2], caches[1::2])
+        ):
+            x, k_new, v_new = layer.forward_prefill_paged(
+                bb, x, k_pages, v_pages, block_table, past, b, s, m
+            )
+            new_slices.extend([k_new, v_new])
+
+        x = self.final_norm.forward(bb, x)
+        # Only the last position feeds the LM head (per-token decode cost).
+        last_idx = bb.emit(ops.arange(1, start=s - 1, dtype="i64"))
+        last = bb.emit(ops.take(x, last_idx, axis=1))  # (b, 1, hidden)
+        logits = self._logits(bb, last)
 
         from ..core.expr import Tuple as TupleExpr
 
@@ -412,6 +480,28 @@ def build_llama(cfg: LlamaConfig,
                 **_page_annotations(cfg, page_size),
             },
             decode_paged,
+        )
+
+        def prefill_paged(bb: BlockBuilder, tokens, block_table, past,
+                          *caches):
+            b = bb.shape_var("b")
+            s = bb.shape_var("s")
+            m = bb.shape_var("m")
+            return model.forward_prefill_paged(
+                bb, tokens, block_table, past, list(caches), b, s, m
+            )
+
+        # ``past`` is a rank-1 anchor whose *length* is the shared cached
+        # context m of every sequence in the batch — the VM binds m from
+        # its shape exactly as dense prefill binds it from cache shapes.
+        spec["prefill_paged"] = (
+            {
+                "tokens": TensorAnn(("b", "s"), "i64"),
+                "block_table": TensorAnn(("b", "w"), "i64"),
+                "past": TensorAnn(("m",), "i64"),
+                **_page_annotations(cfg, page_size),
+            },
+            prefill_paged,
         )
     return export_module(model, spec)
 

@@ -225,3 +225,168 @@ def paged_attention(q: Expr, k_pages: Expr, v_pages: Expr, block_table: Expr,
 
 register_fuzz("paged_attention", "paged_attention", paged_attention,
               weight=1.5)
+
+
+# ---------------------------------------------------------------------------
+# paged_prefill: chunked prefill over the page pool, bit-exact vs. dense.
+# ---------------------------------------------------------------------------
+
+_PREFILL_ARG_NAMES = ("q", "k_pages", "v_pages", "block_table", "past",
+                      "k_cur", "v_cur")
+
+
+def _prefill_deduce(call: Call):
+    q = tensor_ann_of(call.args[0], "paged_prefill", 0)
+    table = tensor_ann_of(call.args[3], "paged_prefill", 3)
+    if table.dtype not in ("i64", "i32"):
+        raise TypeError("paged_prefill: block_table must be an integer tensor")
+    past = tensor_ann_of(call.args[4], "paged_prefill", 4)
+    if past.dtype not in ("i64", "i32"):
+        raise TypeError("paged_prefill: past must be an integer tensor")
+    if past.shape is not None and len(past.shape) != 1:
+        raise TypeError("paged_prefill: past must be rank 1 (its length "
+                        "anchors the cached-context dim)")
+    if q.shape is None:
+        return TensorAnn(dtype=q.dtype, ndim=4)
+    return TensorAnn(q.shape, q.dtype)
+
+
+def _prefill_legalize(call: Call) -> Legalized:
+    anns = [tensor_ann_of(a, "paged_prefill", i)
+            for i, a in enumerate(call.args)]
+    q_ann, kp_ann, vp_ann, bt_ann, past_ann, kc_ann, vc_ann = anns
+    q_shape = require_known_shape(q_ann, "paged_prefill")
+    kp_shape = require_known_shape(kp_ann, "paged_prefill")
+    bt_shape = require_known_shape(bt_ann, "paged_prefill")
+    past_shape = require_known_shape(past_ann, "paged_prefill")
+    kc_shape = require_known_shape(kc_ann, "paged_prefill")
+
+    b, s, h, d = q_shape
+    page = kp_shape[1]
+    h_kv = kp_shape[2]
+    m = past_shape[0]  # cached context length (anchor argument's extent)
+    if not (sym.is_static(h) and sym.is_static(h_kv) and sym.is_static(d)
+            and sym.is_static(page)):
+        raise ValueError(
+            "paged_prefill: head counts, head_dim and the page size must "
+            "be static"
+        )
+    page_i = sym.as_static_int(sym.simplify(page))
+    group = sym.as_static_int(sym.simplify(h)) // sym.as_static_int(
+        sym.simplify(h_kv)
+    )
+    scale = 1.0 / (sym.as_static_int(sym.simplify(d)) ** 0.5)
+    # Total key positions: m cached + s current.  The block table must
+    # cover all of them (w * page >= m + s): column j < m gathers page
+    # j // page of the sequence, and the gather evaluates over the whole
+    # grid (np.where semantics), so even current-column reads index it.
+    mk = sym.simplify(m + s)
+
+    # The tensor program mirrors the dense ``attention`` legalization
+    # stage for stage — same four reductions over the same m + s key
+    # columns — so the interpreter's pairwise summations group floats
+    # identically and the outputs are bit-exact against the dense
+    # prefill reference (unlike paged_attention's two-group online
+    # softmax, which only matches to rounding).
+    f = tir.TirBuilder("paged_prefill")
+    f.attr("op_kind", "attention")
+    qb = f.arg("Q", q_shape, q_ann.dtype)
+    kpb = f.arg("KP", kp_shape, kp_ann.dtype)
+    vpb = f.arg("VP", vp_ann.shape, vp_ann.dtype)
+    btb = f.arg("BT", bt_shape, bt_ann.dtype)
+    f.arg("PAST", past_shape, past_ann.dtype)  # anchor only: binds m
+    kcb = f.arg("KC", kc_shape, kc_ann.dtype)
+    vcb = f.arg("VC", vc_ann.shape, vc_ann.dtype)
+    ob = f.out("O", q_shape, q_ann.dtype)
+
+    acc = q_ann.dtype if q_ann.dtype == "f32" else "f32"
+    scores = f.alloc("S", (b, h, s, mk), acc)
+    row_max = f.alloc("M", (b, h, s), acc)
+    row_sum = f.alloc("E", (b, h, s), acc)
+
+    def kv_read(pool, cur, bi, ji, kv_head, di):
+        # Key/value column ji: cached columns (ji < m) gather their page
+        # through the block table; current columns read this chunk's
+        # freshly projected K/V.  Both branches evaluate, so the current
+        # read clamps ji - m at zero to stay in bounds.
+        paged = tir.GatherRead(
+            pool, btb, (), (bi, ji // page_i),
+            (ji % page_i, kv_head, di),
+        )
+        local = cur[bi, sym.Max(ji - m, sym.IntImm(0)), kv_head, di]
+        is_past = tir.Cmp("lt", tir.IndexValue(ji), tir.IndexValue(m))
+        return tir.select(is_past, paged, local)
+
+    def masked(expr, i, j):
+        # Query i sits at absolute position m + i; causal over cached
+        # plus current keys is j <= i + m — the same predicate the dense
+        # kernel uses with key length m + s (j <= i + (mk - s)).
+        allowed = tir.Cmp("le", tir.IndexValue(j), tir.IndexValue(i + m))
+        return tir.select(allowed, expr, -1e9)
+
+    # Stage 1: scaled (masked) scores.
+    bi, hi, si, ji = f.spatial(b, h, s, mk)
+    di = f.reduce(d)
+    prod = tir.cast(acc, qb[bi, si, hi, di]) * tir.cast(
+        acc, kv_read(kpb, kcb, bi, ji, hi // group, di)
+    )
+    f.store(scores, [bi, hi, si, ji], prod * scale, combiner="sum", init=0.0)
+
+    # Stage 2: row max of masked scores.
+    bi, hi, si = f.spatial(b, h, s)
+    ji = f.reduce(mk)
+    f.store(row_max, [bi, hi, si], masked(scores[bi, hi, si, ji], si, ji),
+            combiner="max")
+
+    # Stage 3: exp-sum.
+    bi, hi, si = f.spatial(b, h, s)
+    ji = f.reduce(mk)
+    f.store(
+        row_sum,
+        [bi, hi, si],
+        tir.exp(masked(scores[bi, hi, si, ji], si, ji) - row_max[bi, hi, si]),
+        combiner="sum",
+        init=0.0,
+    )
+
+    # Stage 4: probability-weighted values.
+    bi, si, hi, di = f.spatial(b, s, h, d)
+    ji = f.reduce(mk)
+    prob = tir.exp(
+        masked(scores[bi, hi, si, ji], si, ji) - row_max[bi, hi, si]
+    ) / row_sum[bi, hi, si]
+    weighted = prob * tir.cast(
+        acc, kv_read(vpb, vcb, bi, ji, hi // group, di)
+    )
+    f.store(ob, [bi, si, hi, di], tir.cast(q_ann.dtype, weighted),
+            combiner="sum", init=0.0)
+
+    return Legalized(
+        f.build(), list(call.args), TensorAnn(q_shape, q_ann.dtype)
+    )
+
+
+paged_prefill_op = register_op("paged_prefill", _prefill_deduce,
+                               _prefill_legalize)
+
+
+def paged_prefill(q: Expr, k_pages: Expr, v_pages: Expr, block_table: Expr,
+                  past: Expr, k_cur: Expr, v_cur: Expr) -> Call:
+    """Chunked prefill attention over a paged KV pool.
+
+    The query chunk (``s`` positions starting at offset ``m``) attends
+    every cached position of its sequence — gathered from the page pool
+    via the block table — plus itself, causally.  ``past`` is a rank-1
+    integer *anchor*: only its length matters, binding the symbolic
+    cached-context dim ``m`` at the function boundary.  The block table
+    must cover ``m + s`` positions (the pages this chunk's K/V will be
+    written into are already allocated).  Output is bit-exact against
+    the dense ``attention`` op over the concatenated cache.
+    """
+    return Call(
+        paged_prefill_op,
+        [q, k_pages, v_pages, block_table, past, k_cur, v_cur],
+    )
+
+
+register_fuzz("paged_prefill", "paged_prefill", paged_prefill, weight=1.0)

@@ -291,6 +291,61 @@ REGISTRY.register(
 )
 
 
+def _paged_prefill_cost(in_sd, out_sd):
+    (q_shape, _) = in_sd[0]
+    (kp_shape, kp_dtype) = in_sd[1]
+    (past_shape, _) = in_sd[4]
+    b, s, h, d = q_shape
+    page, h_kv = kp_shape[1], kp_shape[2]
+    m = past_shape[0]
+    ctx = m + s
+    flops = 2 * b * h * s * ctx * d * 2  # QK^T and PV over cached + current
+    # Traffic counts only the pages holding the m cached tokens (for K and
+    # V), not the whole pool nor the table's padded width.
+    touched = 2 * b * (-(-m // page)) * page * h_kv * d * dtypes.itemsize(
+        kp_dtype
+    )
+    light = _bytes_of(
+        [in_sd[0], in_sd[3], in_sd[4], in_sd[5], in_sd[6]]
+    ) + _bytes_of(out_sd)
+    return flops, light + touched
+
+
+def _paged_prefill_compute(inputs, outputs):
+    # Chunked prefill over the paged pool: gather each sequence's m cached
+    # positions into a contiguous (b, m + s, h_kv, d) key/value view, then
+    # run the *dense* fused-attention kernel on it — literally the same
+    # code path, so the result is bit-identical to dense prefill over the
+    # concatenated cache (the acceptance contract of repro.ops.paged's
+    # paged_prefill).
+    q = inputs[0]
+    kp, vp = inputs[1], inputs[2]
+    table = inputs[3].astype(np.int64)
+    m = inputs[4].shape[0]
+    kc, vc = inputs[5], inputs[6]
+    b, s = q.shape[:2]
+    page, h_kv, d = kp.shape[1], kp.shape[2], kp.shape[3]
+    nb = -(-m // page)
+    k_full = np.empty((b, m + s, h_kv, d), dtype=kc.dtype)
+    v_full = np.empty((b, m + s, h_kv, d), dtype=vc.dtype)
+    for i in range(b):
+        if nb:
+            k_full[i, :m] = kp[table[i, :nb]].reshape(nb * page, h_kv, d)[:m]
+            v_full[i, :m] = vp[table[i, :nb]].reshape(nb * page, h_kv, d)[:m]
+        k_full[i, m:] = kc[i]
+        v_full[i, m:] = vc[i]
+    _attention_compute([q, k_full, v_full], outputs)
+
+
+#: Paged prefill: the chunked-prefill companion to paged_attention.
+REGISTRY.register(
+    LibraryKernel(
+        "flashinfer.paged_prefill", _paged_prefill_compute,
+        _paged_prefill_cost, ("cuda", "rocm"),
+    )
+)
+
+
 def _unique_compute(inputs, outputs):  # pragma: no cover - handled by VM builtin
     raise RuntimeError("vm.builtin.unique is served by the VM, not the registry")
 

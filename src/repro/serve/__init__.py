@@ -7,8 +7,15 @@ analytical device model.  ``python -m repro.serve --help`` for the CLI.
 """
 
 from .engine import EngineConfig, ServeReport, ServingEngine, serve_workload
-from .kv_cache import BlockAllocator, CacheError, OutOfBlocks, PagedKVCache
+from .kv_cache import (
+    BlockAllocator,
+    CacheError,
+    OutOfBlocks,
+    PagedKVCache,
+    ReleaseInfo,
+)
 from .metrics import RequestMetrics, percentile, summarize
+from .prefix_cache import PrefixCache, PrefixCacheStats
 from .scheduler import (
     ContinuousBatchingScheduler,
     Iteration,
@@ -33,6 +40,9 @@ __all__ = [
     "OutOfBlocks",
     "PagedKVCache",
     "Phase",
+    "PrefixCache",
+    "PrefixCacheStats",
+    "ReleaseInfo",
     "Request",
     "RequestMetrics",
     "RequestState",

@@ -47,6 +47,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--prompt-max", type=int, default=64)
     parser.add_argument("--output-min", type=int, default=4)
     parser.add_argument("--output-max", type=int, default=32)
+    parser.add_argument("--prefix-families", type=int, default=0,
+                        help="shared-prefix workload: number of prompt "
+                             "families (0 = legacy length-only trace)")
+    parser.add_argument("--prefix-len", type=int, default=0,
+                        help="common prefix tokens per family "
+                             "(must be < --prompt-min)")
+    parser.add_argument("--no-prefix-cache", action="store_true",
+                        help="disable the radix prefix cache")
     parser.add_argument("--page-size", type=int, default=16)
     parser.add_argument("--kv-blocks", type=int, default=None,
                         help="KV pool size in blocks (default: from VRAM)")
@@ -85,10 +93,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prompt_max=min(args.prompt_max, cfg.context_length // 2),
         output_min=args.output_min,
         output_max=args.output_max,
+        prefix_families=args.prefix_families,
+        prefix_len=args.prefix_len,
     )
     engine_config = EngineConfig(
         page_size=args.page_size,
         num_blocks=args.kv_blocks,
+        enable_prefix_caching=not args.no_prefix_cache,
         scheduler=SchedulerConfig(
             max_num_seqs=args.max_num_seqs,
             max_num_batched_tokens=args.max_batched_tokens,
@@ -124,8 +135,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     pool = s["kv_pool"]
     print(f"kv pool           {pool['num_blocks']} blocks x "
           f"{pool['page_size']} tokens, peak util "
-          f"{pool['peak_utilization'] * 100:.0f}%, "
+          f"{pool['peak_utilization'] * 100:.0f}% "
+          f"(raw {pool['peak_raw_utilization'] * 100:.0f}%), "
+          f"cow copies {pool['cow_copies']}, "
           f"leaked {pool['leaked_blocks']}")
+    if "prefix_cache" in s:
+        pc = s["prefix_cache"]
+        print(f"prefix cache      hit rate {pc['hit_rate'] * 100:.0f}% "
+              f"({pc['hits']}/{pc['lookups']} lookups), "
+              f"cached tokens {pc['matched_tokens']}/"
+              f"{pc['requested_tokens']} "
+              f"({pc['cached_token_fraction'] * 100:.0f}%), "
+              f"evictions {pc['evictions']}")
     print(f"preemptions       {s['preemptions']} "
           f"(swap time {s['swap_time_s'] * 1e3:.2f} ms)")
 

@@ -14,12 +14,17 @@ never ``reset_stats()`` — so the shared VM's pool keeps recycling across
 iterations exactly as an uninterrupted run would, and the sum of
 per-iteration deltas equals the end-to-end totals.
 
-Prefill chunks run through the dense ``prefill`` function over a
-contiguous cache view of the sequence's pages.  The analytical cost of
-attention over ``past`` contiguous tokens equals the paged gather over
-the same tokens under the device model (same FLOPs, same touched bytes),
-so this is cost-faithful; a physical runtime would use a paged prefill
-kernel instead.
+Prefill chunks run through the ``prefill_paged`` entry: new K/V slices
+are written straight into the shared page pool (no contiguous-cache
+staging), and attention over the ``past`` tokens gathers through the
+block table — the same data path the real paged kernels use, verified
+bit-exact against the dense ``prefill`` entry in the model tests.
+
+With prefix caching enabled (:class:`EngineConfig.enable_prefix_caching`,
+the default) a :class:`~repro.serve.prefix_cache.PrefixCache` indexes
+finished prompts' full pages; later prompts sharing a prefix attach
+those blocks instead of recomputing them.  See
+:mod:`repro.serve.kv_cache` for the shared-ownership model.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ from ..runtime.device import Device
 from ..runtime.profiler import ExecutionStats
 from .kv_cache import CacheError, PagedKVCache
 from .metrics import RequestMetrics, summarize
+from .prefix_cache import PrefixCache
 from .scheduler import (
     ContinuousBatchingScheduler,
     Iteration,
@@ -56,6 +62,8 @@ class EngineConfig:
     #: Host-link bandwidth for swap preemption (bytes/s).  PCIe 4.0 x16
     #: ballpark; the analytical device model does not model the host link.
     host_link_bandwidth: float = 16e9
+    #: Share prompt-prefix KV blocks across requests (radix prefix cache).
+    enable_prefix_caching: bool = True
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
     slo_ttft_s: float = 1.0
     slo_tpot_s: float = 0.1
@@ -131,6 +139,7 @@ class ServingEngine:
     def run(self, requests: Sequence[Request]) -> "ServeReport":
         econf = self.econfig
         kv = PagedKVCache(self.num_blocks, econf.page_size)
+        cache = PrefixCache(kv) if econf.enable_prefix_caching else None
         sched = ContinuousBatchingScheduler(econf.scheduler, kv)
         states = {
             r.req_id: RequestState(
@@ -194,7 +203,9 @@ class ServingEngine:
             self._record(it, iterations, trace_events, t_begin, clock,
                          swap_s, delta, kv, sched)
             queue_samples.append(sched.queue_depth)
-            util_samples.append(kv.utilization())
+            # Required utilization: cache-only (reclaimable) blocks are
+            # spare VRAM, not load; identical to raw when caching is off.
+            util_samples.append(kv.required_utilization())
 
         kv.check_no_leaks()
         total = self.vm.stats.delta(stats_start)
@@ -211,9 +222,14 @@ class ServingEngine:
             "num_blocks": self.num_blocks,
             "page_size": econf.page_size,
             "peak_used_blocks": kv.peak_used_blocks,
-            "peak_utilization": kv.peak_used_blocks / self.num_blocks,
+            "peak_required_blocks": kv.peak_required_blocks,
+            "peak_utilization": kv.peak_required_blocks / self.num_blocks,
+            "peak_raw_utilization": kv.peak_used_blocks / self.num_blocks,
+            "cow_copies": kv.cow_copies,
             "leaked_blocks": 0,  # check_no_leaks() raised otherwise
         }
+        if cache is not None:
+            summary["prefix_cache"] = cache.stats.to_dict()
         return ServeReport(
             device=self.device.name,
             model=self.cfg.name,
@@ -228,7 +244,6 @@ class ServingEngine:
 
     def _execute(self, it: Iteration) -> None:
         """Issue this iteration's VM calls (abstract mode: cost only)."""
-        cfg = self.cfg
         if it.decode:
             b = len(it.decode)
             # Ragged batch: pad every block table to the widest sequence.
@@ -243,16 +258,15 @@ class ServingEngine:
                 *self.pools,
                 *self.params,
             )
+        page = self.econfig.page_size
         for _, past, chunk in it.prefill:
-            caches = [
-                NDArray.abstract((1, past, cfg.num_kv_heads, cfg.head_dim),
-                                 cfg.dtype)
-                for _ in range(2 * cfg.num_layers)
-            ]
+            w = max(-(-(past + chunk) // page), 1)
             self.vm.run(
-                "prefill",
+                "prefill_paged",
                 NDArray.abstract((1, chunk), "i64"),
-                *caches,
+                NDArray.abstract((1, w), "i64"),
+                NDArray.abstract((past,), "i64"),
+                *self.pools,
                 *self.params,
             )
 
@@ -295,6 +309,9 @@ class ServingEngine:
             "swap_s": swap_s,
             "kernel_launches": delta.kernel_launches,
             "free_blocks": kv.num_free_blocks,
+            "reclaimable_blocks": kv.num_reclaimable_blocks,
+            "cache_hits": len(it.cache_hits),
+            "cached_tokens": sum(n for _, n in it.cache_hits),
             "queue_depth": sched.queue_depth,
         })
         # Engine track (pid 0 / tid 0): one slice per iteration plus a
@@ -337,6 +354,13 @@ class ServingEngine:
                 "ph": "i", "pid": 1, "tid": state.seq_id,
                 "ts": t_begin * us, "s": "t",
                 "args": {"tokens": tokens},
+            })
+        for state, cached in it.cache_hits:
+            trace_events.append({
+                "name": "prefix_cache_hit",
+                "ph": "i", "pid": 1, "tid": state.seq_id,
+                "ts": t_begin * us, "s": "t",
+                "args": {"cached_tokens": cached},
             })
 
 
@@ -393,6 +417,7 @@ class ServeReport:
                     "tpot_s": r.tpot,
                     "finish_s": r.finish_s,
                     "preemptions": r.preemptions,
+                    "cached_prompt_tokens": r.cached_prompt_tokens,
                 }
                 for r in self.requests
             ],

@@ -3,23 +3,32 @@
 The device-side KV cache is one fixed pool of equal-size blocks (pages)
 per layer, shaped ``(p, page_size, h_kv, d)`` — the ``p`` dim is symbolic
 in the compiled module, so one Executable serves any VRAM budget.  This
-module is the *host-side* bookkeeping over that pool: a block allocator
-with leak accounting, per-sequence block tables, and the padded batch
-views the ``decode_paged`` VM function consumes.
+module is the *host-side* bookkeeping over that pool: a refcounted block
+allocator with leak accounting, per-sequence block tables, and the padded
+batch views the ``decode_paged``/``prefill_paged`` VM functions consume.
+
+Ownership is *shared*: a block may be referenced by several sequences at
+once (common prompt prefixes, see :mod:`repro.serve.prefix_cache`) plus
+the prefix cache itself.  Each owner holds one reference; a block returns
+to the free pool only when its last reference drops.  Writes into a
+shared page go through copy-on-write (:meth:`BlockAllocator.fork_for_write`):
+the writer trades its reference for a private copy, never mutating pages
+other owners still read.
 
 Appends are copy-free in the vLLM sense: growing a sequence never moves
-existing pages; at most one new block is allocated and the block table
-gains one entry.  Eviction (scheduler preemption) releases a sequence's
-blocks wholesale; whether the contents are swapped to host memory or
-recomputed later is the scheduler's policy, not this module's.
+existing pages; at most one new block is allocated (plus one COW fork
+when the tail page is shared) and the block table gains one entry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .prefix_cache import PrefixCache
 
 
 class CacheError(RuntimeError):
@@ -31,11 +40,16 @@ class OutOfBlocks(CacheError):
 
 
 class BlockAllocator:
-    """Fixed pool of KV blocks with a LIFO free list.
+    """Fixed pool of KV blocks with a LIFO free list and per-block refcounts.
 
     LIFO makes reuse deterministic — freeing blocks and re-allocating the
     same count always yields the same ids in the same order — which is
     what keeps same-seed serving runs bit-identical.
+
+    Refcounts implement shared ownership: :meth:`allocate` hands out a
+    block with one reference, :meth:`share` adds an owner, :meth:`free`
+    drops one; the block rejoins the free list only at zero references.
+    :meth:`fork_for_write` is the copy-on-write primitive.
     """
 
     def __init__(self, num_blocks: int):
@@ -45,7 +59,7 @@ class BlockAllocator:
         # Stack of free ids; initialised so the first allocations hand out
         # 0, 1, 2, ... in order.
         self._free: List[int] = list(range(num_blocks - 1, -1, -1))
-        self._allocated: set = set()
+        self._refcount: Dict[int, int] = {}
 
     @property
     def num_free(self) -> int:
@@ -53,7 +67,16 @@ class BlockAllocator:
 
     @property
     def num_used(self) -> int:
-        return len(self._allocated)
+        return len(self._refcount)
+
+    @property
+    def total_refs(self) -> int:
+        """Sum of all live references (exact-accounting invariant base)."""
+        return sum(self._refcount.values())
+
+    def refcount(self, block: int) -> int:
+        """Live references to ``block`` (0 = free)."""
+        return self._refcount.get(block, 0)
 
     def allocate(self) -> int:
         if not self._free:
@@ -61,23 +84,60 @@ class BlockAllocator:
                 f"all {self.num_blocks} KV blocks are in use"
             )
         block = self._free.pop()
-        self._allocated.add(block)
+        self._refcount[block] = 1
         return block
 
-    def free(self, block: int) -> None:
-        if block not in self._allocated:
-            raise CacheError(f"double free (or foreign id) of block {block}")
-        self._allocated.remove(block)
-        self._free.append(block)
+    def share(self, block: int) -> int:
+        """Add one owner to an allocated block; returns the new refcount."""
+        if block not in self._refcount:
+            raise CacheError(f"share of unallocated block {block}")
+        self._refcount[block] += 1
+        return self._refcount[block]
 
-    def check_no_leaks(self, expected_used: int = 0) -> None:
-        """Raise unless exactly ``expected_used`` blocks remain allocated
-        and the free list is consistent with the pool size."""
+    def free(self, block: int) -> int:
+        """Drop one reference; returns refs remaining (0 = back in pool)."""
+        refs = self._refcount.get(block)
+        if refs is None:
+            raise CacheError(f"double free (or foreign id) of block {block}")
+        refs -= 1
+        if refs == 0:
+            del self._refcount[block]
+            self._free.append(block)
+        else:
+            self._refcount[block] = refs
+        return refs
+
+    def fork_for_write(self, block: int) -> int:
+        """Copy-on-write: a block owned exclusively is returned unchanged;
+        a shared one trades this owner's reference for a freshly allocated
+        private block (the caller copies the page payload over)."""
+        refs = self._refcount.get(block)
+        if refs is None:
+            raise CacheError(f"fork_for_write of unallocated block {block}")
+        if refs == 1:
+            return block
+        self._refcount[block] = refs - 1
+        return self.allocate()
+
+    def check_no_leaks(self, expected_used: int = 0,
+                       expected_refs: Optional[int] = None) -> None:
+        """Raise unless exactly ``expected_used`` blocks remain allocated,
+        references sum to ``expected_refs`` (defaults to ``expected_used``,
+        i.e. every survivor singly owned), and the free list is consistent
+        with the pool size."""
         if self.num_used != expected_used:
             raise CacheError(
                 f"leaked blocks: {self.num_used} still allocated, "
                 f"expected {expected_used}"
             )
+        want_refs = expected_used if expected_refs is None else expected_refs
+        if self.total_refs != want_refs:
+            raise CacheError(
+                f"leaked references: {self.total_refs} live refs across "
+                f"{self.num_used} blocks, expected {want_refs}"
+            )
+        if any(r <= 0 for r in self._refcount.values()):
+            raise CacheError("allocated block with non-positive refcount")
         if self.num_free + self.num_used != self.num_blocks:
             raise CacheError(
                 f"pool accounting broken: {self.num_free} free + "
@@ -92,14 +152,36 @@ class _Sequence:
     length: int = 0  # tokens stored in the paged cache
 
 
+@dataclass(frozen=True)
+class ReleaseInfo:
+    """What :meth:`PagedKVCache.release_sequence` actually gave back."""
+
+    #: Blocks whose last reference dropped (returned to the free list).
+    freed_blocks: int
+    #: Tokens whose only KV copy lived in those freed blocks — the bytes
+    #: a swap preemption must move to host memory.
+    private_tokens: int
+    #: Tokens in blocks that survived (still referenced by the prefix
+    #: cache or other sequences); they stay resident on the device.
+    shared_tokens: int
+
+
 class PagedKVCache:
     """Per-sequence block tables over one shared :class:`BlockAllocator`.
 
     Block 0 is reserved as the *padding page*: the generated paged
-    attention kernel evaluates both ``select`` branches (``np.where``
+    attention kernels evaluate both ``select`` branches (``np.where``
     semantics, see :mod:`repro.ops.paged`), so padded block-table slots
     must reference a real page — masked scores keep padded entries out of
-    the softmax, but the gather itself has to stay in bounds.
+    the softmax, but the gather itself has to stay in bounds.  It is
+    allocated in ``__init__`` and *permanently pinned* (never shared,
+    never freed): releasing it would let the allocator hand block 0 to a
+    sequence while every padded table slot still points at it.
+
+    A :class:`~repro.serve.prefix_cache.PrefixCache` may attach itself
+    (``self.prefix_cache``); capacity queries then count its *evictable*
+    blocks (cached, but unreferenced by any sequence) as available, and
+    allocation reclaims them LRU-first under pressure.
     """
 
     def __init__(self, num_blocks: int, page_size: int):
@@ -109,8 +191,16 @@ class PagedKVCache:
         self.allocator = BlockAllocator(num_blocks)
         self.padding_block = self.allocator.allocate()  # block 0
         self._seqs: Dict[int, _Sequence] = {}
-        #: Running max of used blocks (utilisation high-water mark).
+        #: Attached by PrefixCache.__init__ (None = prefix caching off).
+        self.prefix_cache: Optional["PrefixCache"] = None
+        #: Copy-on-write forks performed (shared tail page written).
+        self.cow_copies = 0
+        #: Running max of allocated blocks (raw high-water mark).
         self.peak_used_blocks = self.allocator.num_used
+        #: Running max of *required* blocks: allocated minus blocks the
+        #: prefix cache could evict on demand.  This is the real pool
+        #: pressure — cache-only blocks are reclaimable VRAM, not load.
+        self.peak_required_blocks = self.allocator.num_used
 
     # -- capacity queries -------------------------------------------------------
 
@@ -118,19 +208,78 @@ class PagedKVCache:
     def num_free_blocks(self) -> int:
         return self.allocator.num_free
 
+    @property
+    def num_reclaimable_blocks(self) -> int:
+        """Cached blocks no live sequence references (evictable on demand)."""
+        if self.prefix_cache is None:
+            return 0
+        return self.prefix_cache.evictable_count()
+
+    @property
+    def num_available_blocks(self) -> int:
+        return self.num_free_blocks + self.num_reclaimable_blocks
+
     def blocks_for_tokens(self, num_tokens: int) -> int:
         return -(-num_tokens // self.page_size)
 
     def blocks_needed(self, seq_id: int, num_tokens: int) -> int:
-        """Extra blocks required to append ``num_tokens`` to ``seq_id``."""
+        """Blocks a ``num_tokens`` append must allocate — page growth plus
+        one copy-on-write fork when the partial tail page is shared."""
         seq = self._seqs[seq_id]
-        return self.blocks_for_tokens(seq.length + num_tokens) - len(seq.blocks)
+        need = self.blocks_for_tokens(seq.length + num_tokens) - len(seq.blocks)
+        if (
+            num_tokens > 0
+            and seq.blocks
+            and seq.length % self.page_size != 0
+            and self.allocator.refcount(seq.blocks[-1]) > 1
+        ):
+            need += 1
+        return need
 
     def can_append(self, seq_id: int, num_tokens: int) -> bool:
-        return self.blocks_needed(seq_id, num_tokens) <= self.num_free_blocks
+        return self.blocks_needed(seq_id, num_tokens) <= self.num_available_blocks
 
     def can_admit(self, num_tokens: int) -> bool:
-        return self.blocks_for_tokens(num_tokens) <= self.num_free_blocks
+        return self.blocks_for_tokens(num_tokens) <= self.num_available_blocks
+
+    def can_admit_with_prefix(self, num_tokens: int,
+                              matched_blocks: Sequence[int],
+                              matched_tokens: int) -> bool:
+        """Admission check for a sequence about to attach cached prefix
+        blocks: only the *uncached* remainder needs fresh allocation (plus
+        one copy-on-write fork when the match ends mid-page — the first
+        append writes into that shared tail), and the matched blocks stop
+        being reclaimable the moment they are attached, so they are
+        excluded from the available count."""
+        need = self.blocks_for_tokens(num_tokens) - len(matched_blocks)
+        if (matched_blocks and matched_tokens % self.page_size != 0
+                and num_tokens > matched_tokens):
+            need += 1
+        avail = self.num_free_blocks
+        if self.prefix_cache is not None:
+            avail += self.prefix_cache.evictable_count(exclude=matched_blocks)
+        return need <= avail
+
+    def _reserve(self, need: int) -> None:
+        """Make ``need`` blocks allocatable, reclaiming cached blocks
+        LRU-first when the free list alone cannot cover it."""
+        short = need - self.num_free_blocks
+        if short > 0:
+            freed = (
+                self.prefix_cache.reclaim(short)
+                if self.prefix_cache is not None else 0
+            )
+            if freed < short:
+                raise OutOfBlocks(
+                    f"need {need} blocks, {self.num_free_blocks} free after "
+                    f"reclaiming {freed} cached"
+                )
+
+    def _note_usage(self) -> None:
+        used = self.allocator.num_used
+        self.peak_used_blocks = max(self.peak_used_blocks, used)
+        required = used - self.num_reclaimable_blocks
+        self.peak_required_blocks = max(self.peak_required_blocks, required)
 
     # -- sequence lifecycle -----------------------------------------------------
 
@@ -142,44 +291,98 @@ class PagedKVCache:
     def has_sequence(self, seq_id: int) -> bool:
         return seq_id in self._seqs
 
+    def attach_shared(self, seq_id: int, blocks: Sequence[int],
+                      num_tokens: int) -> None:
+        """Give a fresh sequence shared ownership of cached prefix blocks.
+
+        The blocks hold ``num_tokens`` of already-computed KV (full pages,
+        except possibly a partially-used last page); the sequence takes
+        one reference on each and its first append into the partial page —
+        if any — goes through copy-on-write.
+        """
+        seq = self._seqs[seq_id]
+        if seq.blocks or seq.length:
+            raise CacheError(
+                f"attach_shared on non-empty sequence {seq_id}"
+            )
+        if num_tokens < 0 or self.blocks_for_tokens(num_tokens) != len(blocks):
+            raise CacheError(
+                f"attach_shared: {num_tokens} tokens do not fit "
+                f"{len(blocks)} blocks of {self.page_size}"
+            )
+        for block in blocks:
+            self.allocator.share(block)
+        seq.blocks = list(blocks)
+        seq.length = num_tokens
+        self._note_usage()
+
     def append(self, seq_id: int, num_tokens: int = 1) -> int:
-        """Grow ``seq_id`` by ``num_tokens``; returns blocks allocated.
+        """Grow ``seq_id`` by ``num_tokens``; returns blocks allocated
+        (including a copy-on-write fork of a shared tail page, if any).
 
         All-or-nothing: raises :class:`OutOfBlocks` without side effects
-        when the pool cannot cover the growth.
+        when the pool (free plus reclaimable) cannot cover the growth.
         """
         need = self.blocks_needed(seq_id, num_tokens)
-        if need > self.num_free_blocks:
+        if need > self.num_available_blocks:
             raise OutOfBlocks(
                 f"sequence {seq_id} needs {need} blocks, "
-                f"{self.num_free_blocks} free"
+                f"{self.num_available_blocks} available"
             )
+        self._reserve(need)
         seq = self._seqs[seq_id]
-        for _ in range(need):
+        if (
+            num_tokens > 0
+            and seq.blocks
+            and seq.length % self.page_size != 0
+            and self.allocator.refcount(seq.blocks[-1]) > 1
+        ):
+            # Copy-on-write: the partial tail page is shared, and this
+            # append writes into it.  Trade our reference for a private
+            # copy (the engine copies the page payload device-side).
+            seq.blocks[-1] = self.allocator.fork_for_write(seq.blocks[-1])
+            self.cow_copies += 1
+        grow = self.blocks_for_tokens(seq.length + num_tokens) - len(seq.blocks)
+        for _ in range(grow):
             seq.blocks.append(self.allocator.allocate())
         seq.length += num_tokens
-        self.peak_used_blocks = max(self.peak_used_blocks,
-                                    self.allocator.num_used)
+        self._note_usage()
         return need
 
-    def evict(self, seq_id: int) -> int:
-        """Release all blocks of a *preempted* sequence; returns the count.
+    def release_sequence(self, seq_id: int) -> ReleaseInfo:
+        """Release one sequence's ownership of all its blocks.
 
-        The sequence stops being tracked: resuming it (after swap-in or
-        recompute) goes through :meth:`add_sequence` + :meth:`append`
-        again.  Blocks are freed in reverse order so a LIFO re-allocation
-        of the same sequence gets the same ids (determinism).
+        This single code path serves both lifecycle exits — *preemption*
+        (scheduler evicts a victim; the returned
+        :attr:`~ReleaseInfo.private_tokens` drives swap costing, because
+        only KV whose last copy was here leaves the device; tokens in
+        still-shared blocks remain resident in the pool or prefix cache)
+        and *completion* (a finished request; the release info is
+        ignored).  Mechanically they are identical: drop one reference
+        per block, returning fully-released blocks to the free list in
+        reverse order so a LIFO re-allocation of the same count yields
+        the same ids (determinism).  Either way the sequence stops being
+        tracked; resuming a preempted one goes through
+        :meth:`add_sequence` (+ :meth:`attach_shared`/:meth:`append`).
         """
-        seq = self._seqs.pop(seq_id)
-        for block in reversed(seq.blocks):
-            self.allocator.free(block)
-        return len(seq.blocks)
-
-    def free_sequence(self, seq_id: int) -> int:
-        """Release a *finished* sequence (same mechanics as evict)."""
         if seq_id not in self._seqs:
             raise CacheError(f"unknown sequence {seq_id}")
-        return self.evict(seq_id)
+        seq = self._seqs.pop(seq_id)
+        freed = private = shared = 0
+        for pos in reversed(range(len(seq.blocks))):
+            start = pos * self.page_size
+            tokens = max(0, min(seq.length, start + self.page_size) - start)
+            if self.allocator.free(seq.blocks[pos]) == 0:
+                freed += 1
+                private += tokens
+            else:
+                shared += tokens
+        return ReleaseInfo(freed, private, shared)
+
+    # Preemption and completion share release_sequence; both historical
+    # names are kept for call-site readability.
+    evict = release_sequence
+    free_sequence = release_sequence
 
     # -- batch views ------------------------------------------------------------
 
@@ -191,7 +394,7 @@ class PagedKVCache:
 
     def block_table(self, seq_ids: Sequence[int],
                     width: Optional[int] = None) -> np.ndarray:
-        """Padded ``(b, w)`` int64 block table for one decode batch."""
+        """Padded ``(b, w)`` int64 block table for one batch."""
         tables = [self._seqs[s].blocks for s in seq_ids]
         w = width if width is not None else max(
             (len(t) for t in tables), default=1
@@ -216,20 +419,50 @@ class PagedKVCache:
         """Fraction of pool blocks currently allocated (incl. padding)."""
         return self.allocator.num_used / self.allocator.num_blocks
 
+    def required_utilization(self) -> float:
+        """Utilization excluding reclaimable (cache-only) blocks."""
+        used = self.allocator.num_used - self.num_reclaimable_blocks
+        return used / self.allocator.num_blocks
+
     def fragmentation(self) -> float:
         """Internal fragmentation: fraction of *allocated* token slots
-        (padding page excluded) not holding a token."""
+        (padding page excluded) not holding a token.  Shared blocks make
+        this approximate (several sequences count the same slots), so the
+        value is clamped at zero."""
         used = self.allocator.num_used - 1  # minus padding block
         if used <= 0:
             return 0.0
         slots = used * self.page_size
         tokens = sum(s.length for s in self._seqs.values())
-        return 1.0 - tokens / slots
+        return max(0.0, 1.0 - tokens / slots)
 
     def check_no_leaks(self) -> None:
-        """After all sequences finish, only the padding block may remain."""
+        """After all sequences finish, only the padding block plus blocks
+        held by the prefix cache — each with *exactly one* reference —
+        may remain (exact refcount accounting)."""
         if self._seqs:
             raise CacheError(
                 f"sequences still tracked: {sorted(self._seqs)}"
             )
-        self.allocator.check_no_leaks(expected_used=1)
+        cached: List[int] = (
+            self.prefix_cache.cached_blocks()
+            if self.prefix_cache is not None else []
+        )
+        if self.padding_block in cached:
+            raise CacheError("padding block leaked into the prefix cache")
+        if len(set(cached)) != len(cached):
+            raise CacheError("prefix cache holds duplicate block references")
+        for block in cached:
+            refs = self.allocator.refcount(block)
+            if refs != 1:
+                raise CacheError(
+                    f"cached block {block} has {refs} refs after drain"
+                )
+        if self.allocator.refcount(self.padding_block) != 1:
+            raise CacheError(
+                f"padding block has "
+                f"{self.allocator.refcount(self.padding_block)} refs"
+            )
+        expected = 1 + len(cached)
+        self.allocator.check_no_leaks(expected_used=expected,
+                                      expected_refs=expected)

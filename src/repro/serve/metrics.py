@@ -37,6 +37,9 @@ class RequestMetrics:
     token_times: List[float] = field(default_factory=list)
     finish_s: Optional[float] = None
     preemptions: int = 0
+    #: Prompt tokens served from the prefix cache at first admission
+    #: (``None`` until admitted, or when prefix caching is off).
+    cached_prompt_tokens: Optional[int] = None
 
     @property
     def first_token_s(self) -> Optional[float]:
@@ -95,6 +98,12 @@ def summarize(
     pct = {
         "p50": 50.0, "p90": 90.0, "p99": 99.0,
     }
+
+    def dist(values: Sequence[float]) -> Dict[str, float]:
+        out = {"mean": sum(values) / len(values) if values else math.nan}
+        out.update({k: percentile(values, p) for k, p in pct.items()})
+        return out
+
     summary: Dict[str, Any] = {
         "num_requests": len(requests),
         "num_finished": len(done),
@@ -109,9 +118,9 @@ def summarize(
         "goodput_requests_per_s": good / makespan if makespan > 0 else 0.0,
         "slo": {"ttft_s": slo_ttft_s, "tpot_s": slo_tpot_s,
                 "attained": good, "fraction": good / len(done) if done else 0.0},
-        "ttft_s": {k: percentile(ttfts, p) for k, p in pct.items()},
-        "tpot_s": {k: percentile(tpots, p) for k, p in pct.items()},
-        "itl_s": {k: percentile(itls, p) for k, p in pct.items()},
+        "ttft_s": dist(ttfts),
+        "tpot_s": dist(tpots),
+        "itl_s": dist(itls),
         "preemptions": sum(r.preemptions for r in requests),
     }
     if queue_depth_samples:

@@ -13,6 +13,14 @@ swaps its blocks to host memory or discards them for recomputation,
 the two recovery policies from the vLLM line of work.  Eviction always
 goes through preemption — a sequence scheduled to decode in this
 iteration is never the one whose blocks are taken.
+
+With a :class:`~repro.serve.prefix_cache.PrefixCache` attached to the KV
+pool, admission first matches the prompt's token ids against cached
+prefixes: matched tokens attach as shared blocks and only the *uncached*
+remainder charges the chunked-prefill token budget.  Preemption costing
+is sharing-aware — swapping a victim moves only the tokens whose last KV
+copy lived in its freed blocks (:class:`~repro.serve.kv_cache.ReleaseInfo`);
+tokens in still-shared blocks stay resident and re-attach on swap-in.
 """
 
 from __future__ import annotations
@@ -49,8 +57,15 @@ class RequestState:
     prefill_target: int = 0
     #: Output tokens produced so far.
     generated: int = 0
-    #: Cached token count at preemption time (for swap-in sizing).
+    #: Tokens swapped to host at preemption time (private blocks only —
+    #: the bytes a swap-in must copy back).
     swapped_tokens: int = 0
+    #: Tokens left resident in shared blocks at preemption time; swap-in
+    #: re-attaches them from the prefix cache (or falls back to
+    #: recompute when the cache evicted them in the interim).
+    shared_at_preempt: int = 0
+    #: Total cached tokens at preemption time (restored sequence length).
+    tokens_at_preempt: int = 0
 
     @property
     def seq_id(self) -> int:
@@ -73,8 +88,12 @@ class Iteration:
     prefill: List[Tuple[RequestState, int, int]] = field(default_factory=list)
     #: Sequences restored from host swap this step (tokens copied back).
     swapped_in: List[Tuple[RequestState, int]] = field(default_factory=list)
-    #: ``(state, tokens, mode)`` preemptions performed while planning.
+    #: ``(state, swapped_tokens, mode)`` preemptions performed while
+    #: planning; ``swapped_tokens`` counts only private tokens (shared
+    #: blocks stay resident and cost no host-link traffic).
     preempted: List[Tuple[RequestState, int, str]] = field(default_factory=list)
+    #: ``(state, cached_tokens)`` admissions served from the prefix cache.
+    cache_hits: List[Tuple[RequestState, int]] = field(default_factory=list)
 
     @property
     def num_batched_tokens(self) -> int:
@@ -131,7 +150,7 @@ class ContinuousBatchingScheduler:
         """Called by the engine once a sequence has all its tokens."""
         state.phase = Phase.FINISHED
         self.running.remove(state)
-        self.kv.free_sequence(state.seq_id)
+        self.kv.release_sequence(state.seq_id)
 
     # -- preemption -------------------------------------------------------------
 
@@ -149,13 +168,18 @@ class ContinuousBatchingScheduler:
                 continue
             self.running.remove(victim)
             tokens = self.kv.length(victim.seq_id)
-            self.kv.evict(victim.seq_id)
+            rel = self.kv.release_sequence(victim.seq_id)
             victim.metrics.preemptions += 1
             self.num_preemptions += 1
             mode = self.config.eviction
             if mode == "swap":
                 victim.phase = Phase.SWAPPED
-                victim.swapped_tokens = tokens
+                # Only private tokens leave the device; tokens in shared
+                # blocks stay resident (the prefix cache keeps a ref) and
+                # re-attach for free on swap-in.
+                victim.swapped_tokens = rel.private_tokens
+                victim.shared_at_preempt = rel.shared_tokens
+                victim.tokens_at_preempt = tokens
                 self.swapped.append(victim)
             else:  # recompute: all cached KV must be rebuilt from tokens
                 victim.phase = Phase.WAITING
@@ -166,7 +190,7 @@ class ContinuousBatchingScheduler:
                 # else: mid-prefill — keep the original target, restart it.
                 victim.prefilled = 0
                 self.waiting.appendleft(victim)
-            it.preempted.append((victim, tokens, mode))
+            it.preempted.append((victim, rel.private_tokens, mode))
             return True
         return False
 
@@ -210,39 +234,100 @@ class ContinuousBatchingScheduler:
             state = self.swapped[0]
             if len(self.running) + 1 > cfg.max_num_seqs:
                 break
-            need = self.kv.blocks_for_tokens(state.swapped_tokens)
-            if need > self.kv.num_free_blocks:
+            cache = self.kv.prefix_cache
+            prompt = state.request.prompt_tokens
+            matched_blocks: List[int] = []
+            matched = 0
+            if cache is not None and prompt and state.shared_at_preempt:
+                matched_blocks, matched = cache.match(
+                    prompt, max_tokens=state.shared_at_preempt
+                )
+            total = max(state.prefill_target, state.tokens_at_preempt)
+            if not self.kv.can_admit_with_prefix(total, matched_blocks,
+                                                 matched):
                 break
             self.swapped.popleft()
             self.kv.add_sequence(state.seq_id)
-            if state.swapped_tokens:
-                self.kv.append(state.seq_id, state.swapped_tokens)
-            # A victim caught mid-prefill resumes prefilling; one caught
-            # decoding resumes decode.
-            state.phase = (
-                Phase.PREFILL
-                if state.prefilled < state.prefill_target
-                else Phase.DECODE
-            )
+            if matched:
+                cache.attach(state.seq_id, prompt,
+                             max_tokens=state.shared_at_preempt,
+                             record=False)
+            if matched == state.shared_at_preempt:
+                # Every shared token is still cached: re-attach them and
+                # copy back only the private (swapped) tokens.
+                if state.swapped_tokens:
+                    self.kv.append(state.seq_id, state.swapped_tokens)
+                copied = state.swapped_tokens
+                # A victim caught mid-prefill resumes prefilling; one
+                # caught decoding resumes decode.
+                state.phase = (
+                    Phase.PREFILL
+                    if state.prefilled < state.prefill_target
+                    else Phase.DECODE
+                )
+            else:
+                # The cache evicted part of the shared prefix while this
+                # sequence was swapped out — the host copy alone cannot
+                # rebuild it.  Fall back to recompute from whatever prefix
+                # still matched; the stale host copy is discarded (no
+                # swap-in traffic).
+                state.prefill_target = max(state.prefill_target,
+                                           state.tokens_at_preempt)
+                state.prefilled = matched
+                state.phase = Phase.PREFILL
+                copied = 0
             self.running.append(state)
-            it.swapped_in.append((state, state.swapped_tokens))
+            it.swapped_in.append((state, copied))
             state.swapped_tokens = 0
+            state.shared_at_preempt = 0
+            state.tokens_at_preempt = 0
 
         # 3. Admission control: bring in waiting sequences FCFS when the
         #    whole remaining prefill fits the free pool *now* (no partial
-        #    admissions that could deadlock the pool).
+        #    admissions that could deadlock the pool).  Prompts with token
+        #    ids first probe the prefix cache: matched tokens attach as
+        #    shared blocks and are never prefilled (or charged to the
+        #    budget) — only the uncached remainder needs fresh blocks.
         while (
             self.waiting
             and budget > 0
             and len(self.running) < cfg.max_num_seqs
-            and self.kv.can_admit(
-                self.waiting[0].prefill_target - self.waiting[0].prefilled
-            )
         ):
-            state = self.waiting.popleft()
+            state = self.waiting[0]
+            cache = self.kv.prefix_cache
+            prompt = state.request.prompt_tokens
+            probe = (cache is not None and prompt is not None
+                     and state.prefilled == 0)
+            matched_blocks: List[int] = []
+            matched = 0
+            if probe:
+                # Cap at target - 1: even a fully-cached prompt must
+                # prefill one token (the first logits come from somewhere).
+                matched_blocks, matched = cache.match(
+                    prompt, max_tokens=state.prefill_target - 1
+                )
+            if matched:
+                fits = self.kv.can_admit_with_prefix(
+                    state.prefill_target, matched_blocks, matched
+                )
+            else:
+                fits = self.kv.can_admit(
+                    state.prefill_target - state.prefilled
+                )
+            if not fits:
+                break
+            self.waiting.popleft()
             state.phase = Phase.PREFILL
             if not self.kv.has_sequence(state.seq_id):
                 self.kv.add_sequence(state.seq_id)
+            if probe:
+                got = cache.attach(state.seq_id, prompt,
+                                   max_tokens=state.prefill_target - 1)
+                state.prefilled = got
+                if state.metrics.cached_prompt_tokens is None:
+                    state.metrics.cached_prompt_tokens = got
+                if got:
+                    it.cache_hits.append((state, got))
             self.running.append(state)
 
         # 4. Chunked prefill over every PREFILL sequence, budget permitting.
@@ -264,5 +349,11 @@ class ContinuousBatchingScheduler:
             it.prefill.append((state, past, chunk))
             if state.prefilled == state.prefill_target:
                 state.phase = Phase.DECODE
+                # Prompt KV is fully cached now: publish its full pages
+                # so later prompts sharing the prefix can reuse them.
+                cache = self.kv.prefix_cache
+                prompt = state.request.prompt_tokens
+                if cache is not None and prompt is not None:
+                    cache.insert(prompt, self.kv.blocks(state.seq_id))
 
         return it

@@ -5,13 +5,22 @@ gamma renewal process), prompt lengths, and output lengths all come from
 a single ``numpy`` Generator, so a workload is fully described by its
 :class:`WorkloadConfig` — and round-trips through JSON so benchmark
 artifacts can pin the exact trace they measured.
+
+The *shared-prefix* mode (``prefix_families > 0``) additionally
+materialises prompt token ids: requests are partitioned into families,
+every prompt in a family opens with that family's common ``prefix_len``
+tokens (a system prompt / few-shot template stand-in) followed by
+per-request suffix tokens.  Token ids are what the engine's prefix cache
+keys on, so this mode is how the cache gets exercised.  Prefix draws
+happen *after* all legacy draws from the same generator, so legacy
+workloads keep their exact per-seed traces.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -24,17 +33,29 @@ class Request:
     arrival_s: float
     prompt_len: int
     output_len: int
+    #: Prompt token ids (shared-prefix workloads only; ``None`` for
+    #: length-only traces — the engine then skips prefix caching).
+    prompt_tokens: Optional[Tuple[int, ...]] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return asdict(self)
+        d = asdict(self)
+        if d["prompt_tokens"] is not None:
+            d["prompt_tokens"] = list(d["prompt_tokens"])
+        else:
+            del d["prompt_tokens"]
+        return d
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "Request":
+        tokens = d.get("prompt_tokens")
         return cls(
             req_id=int(d["req_id"]),
             arrival_s=float(d["arrival_s"]),
             prompt_len=int(d["prompt_len"]),
             output_len=int(d["output_len"]),
+            prompt_tokens=(
+                tuple(int(t) for t in tokens) if tokens is not None else None
+            ),
         )
 
 
@@ -56,6 +77,15 @@ class WorkloadConfig:
     #: Output lengths: uniform integers in [output_min, output_max].
     output_min: int = 4
     output_max: int = 32
+    #: Shared-prefix mode: > 0 partitions requests into this many prompt
+    #: families, each opening with a common ``prefix_len``-token prefix.
+    #: 0 (default) keeps the legacy length-only trace (no token ids).
+    prefix_families: int = 0
+    #: Common prefix length per family; must be < ``prompt_min`` so every
+    #: prompt has at least one private suffix token.
+    prefix_len: int = 0
+    #: Token-id range for materialised prompts.
+    vocab_size: int = 32000
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -84,6 +114,16 @@ def generate(cfg: WorkloadConfig) -> List[Request]:
         raise ValueError("invalid prompt length range")
     if cfg.output_min < 1 or cfg.output_max < cfg.output_min:
         raise ValueError("invalid output length range")
+    if cfg.prefix_families > 0:
+        if cfg.prefix_len < 1:
+            raise ValueError("prefix_len must be >= 1 in shared-prefix mode")
+        if cfg.prefix_len >= cfg.prompt_min:
+            raise ValueError(
+                "prefix_len must be < prompt_min (every prompt needs at "
+                "least one private suffix token)"
+            )
+        if cfg.vocab_size < 2:
+            raise ValueError("vocab_size must be >= 2")
     rng = np.random.default_rng(cfg.seed)
     gaps = _inter_arrivals(cfg, rng)
     arrivals = np.cumsum(gaps)
@@ -91,12 +131,28 @@ def generate(cfg: WorkloadConfig) -> List[Request]:
                            size=cfg.num_requests)
     outputs = rng.integers(cfg.output_min, cfg.output_max + 1,
                            size=cfg.num_requests)
+    # Shared-prefix draws come last so legacy (length-only) traces keep
+    # their exact per-seed streams.
+    tokens: List[Optional[Tuple[int, ...]]] = [None] * cfg.num_requests
+    if cfg.prefix_families > 0:
+        prefixes = rng.integers(
+            0, cfg.vocab_size, size=(cfg.prefix_families, cfg.prefix_len)
+        )
+        families = rng.integers(0, cfg.prefix_families, size=cfg.num_requests)
+        for i in range(cfg.num_requests):
+            suffix = rng.integers(
+                0, cfg.vocab_size, size=int(prompts[i]) - cfg.prefix_len
+            )
+            tokens[i] = tuple(
+                int(t) for t in np.concatenate([prefixes[families[i]], suffix])
+            )
     return [
         Request(
             req_id=i,
             arrival_s=float(arrivals[i]),
             prompt_len=int(prompts[i]),
             output_len=int(outputs[i]),
+            prompt_tokens=tokens[i],
         )
         for i in range(cfg.num_requests)
     ]

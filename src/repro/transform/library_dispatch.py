@@ -58,6 +58,7 @@ register_dispatch(
     "attention", "flashinfer.attention", lambda call: call.attrs.get("causal", True)
 )
 register_dispatch("paged_attention", "flashinfer.paged_attention")
+register_dispatch("paged_prefill", "flashinfer.paged_prefill")
 register_dispatch("rms_norm", "cutlass.rms_norm")
 register_dispatch("softmax", "cudnn.softmax")
 

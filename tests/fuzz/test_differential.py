@@ -38,7 +38,11 @@ def test_pinned_seed_passes_oracle(seed):
 # First generator seed whose plan contains a paged_attention step; keeps
 # the paged lowering (gather legalization + library dispatch) inside the
 # default pinned batch even if the seed stream shifts the others.
-PAGED_SEED = 34
+PAGED_SEED = 28
+
+# First generator seed whose plan contains a paged_prefill step (the
+# chunked-prefill entry into the paged pool).
+PAGED_PREFILL_SEED = 10
 
 
 def test_pinned_paged_attention_seed_passes_oracle():
@@ -46,6 +50,13 @@ def test_pinned_paged_attention_seed_passes_oracle():
     assert any(s.kind == "paged_attention" for s in plan.steps)
     failure = failure_of(plan)
     assert failure is None, f"seed {PAGED_SEED}: {failure}"
+
+
+def test_pinned_paged_prefill_seed_passes_oracle():
+    plan = generate(PAGED_PREFILL_SEED)
+    assert any(s.kind == "paged_prefill" for s in plan.steps)
+    failure = failure_of(plan)
+    assert failure is None, f"seed {PAGED_PREFILL_SEED}: {failure}"
 
 
 def test_handwritten_paged_attention_plan_passes_oracle():
@@ -72,6 +83,33 @@ def test_handwritten_paged_attention_plan_passes_oracle():
     )
     failure = failure_of(plan)
     assert failure is None, f"handwritten paged plan: {failure}"
+
+
+def test_handwritten_paged_prefill_plan_passes_oracle():
+    """Oracle case for the chunked paged-prefill lowering: s=2 new tokens
+    attend over m=2 pooled past tokens through the block table plus the
+    in-flight current chunk, exercising the past/current select and the
+    cross-page gather in one plan."""
+    plan = Plan(
+        seed=0,
+        dims={},
+        params=[
+            ParamSpec("pq", [2, 2, 2, 4], "f32"),
+            ParamSpec("kp", [3, 2, 1, 4], "f32"),
+            ParamSpec("vp", [3, 2, 1, 4], "f32"),
+            ParamSpec("bt", [2, 2], "i64", role="index", index_bound=3),
+            ParamSpec("mp", [2], "i64", role="index", index_bound=3),
+            ParamSpec("kc", [2, 2, 1, 4], "f32"),
+            ParamSpec("vc", [2, 2, 1, 4], "f32"),
+        ],
+        steps=[
+            Step("paged_prefill", "paged_prefill", [0, 1, 2, 3, 4, 5, 6]),
+            Step("unary", "exp", [7]),
+        ],
+        outputs=[7, 8],
+    )
+    failure = failure_of(plan)
+    assert failure is None, f"handwritten paged_prefill plan: {failure}"
 
 
 def test_corpus_exists():

@@ -1,4 +1,5 @@
-"""decode_paged: ragged paged batches match per-sequence dense decode."""
+"""Paged entries: decode_paged matches dense decode on ragged batches,
+and prefill_paged is bit-identical to the dense prefill entry."""
 
 import numpy as np
 import pytest
@@ -125,3 +126,108 @@ def test_decode_paged_only_exported_with_page_size():
     assert "decode_paged" in dict(
         build_llama(TINY_LLAMA, page_size=8).mod.functions()
     )
+
+
+def test_prefill_paged_only_exported_with_page_size():
+    assert "prefill_paged" not in dict(build_llama(TINY_LLAMA).mod.functions())
+    assert "prefill_paged" in dict(
+        build_llama(TINY_LLAMA, page_size=8).mod.functions()
+    )
+
+
+# ---------------------------------------------------------------------------
+# prefill_paged: bit-exact against the dense prefill entry
+# ---------------------------------------------------------------------------
+
+
+def _run_prefill_paged(vm, params, pools, blocks, toks, past):
+    """One prefill_paged call + write-back of the new K/V into the pool."""
+    w = len(blocks)
+    table = np.asarray([blocks], np.int64)
+    res = vm.run(
+        "prefill_paged",
+        NDArray.from_numpy(toks),
+        NDArray.from_numpy(table),
+        NDArray.from_numpy(np.zeros(past, np.int64)),
+        *[NDArray.from_numpy(p) for p in pools],
+        *params,
+    )
+    chunk = toks.shape[1]
+    for j, sl in enumerate(res[1:]):
+        sl = sl.numpy()
+        for t in range(chunk):
+            pos = past + t
+            pools[j][blocks[pos // PAGE], pos % PAGE] = sl[0, t]
+    return res[0].numpy()
+
+
+@pytest.mark.parametrize("dispatch", [False, True], ids=["codegen", "library"])
+def test_prefill_paged_is_bit_identical_to_dense(dispatch):
+    """One-shot and chunked paged prefill produce the *exact* bits of the
+    dense prefill entry — logits and every K/V value — on both lowering
+    paths.  Exactness (not closeness) is what lets the engine switch
+    entries without perturbing same-seed runs."""
+    cfg = TINY_LLAMA
+    vm, params = _compile(enable_library_dispatch=dispatch)
+    L = 11
+    chunks = [4, 4, 3]  # split mid-page and across pages
+    prompt = RNG.integers(0, cfg.vocab_size, size=(1, L), dtype=np.int64)
+
+    # Dense reference, chunked identically.
+    caches = empty_caches(cfg, 1, True)
+    dense_logits = []
+    pos = 0
+    for c in chunks:
+        res = vm.run("prefill", NDArray.from_numpy(prompt[:, pos:pos + c]),
+                     *caches, *params)
+        dense_logits.append(res[0].numpy())
+        caches = list(res[1:])
+        pos += c
+    dense_caches = [c.numpy() for c in caches]
+
+    # Paged: write K/V straight into the page pool chunk by chunk.
+    kv, d = cfg.num_kv_heads, cfg.head_dim
+    pools = [np.zeros((8, PAGE, kv, d), np.float32)
+             for _ in range(2 * cfg.num_layers)]
+    blocks, next_free = [], 1  # page 0 is the padding page
+    pos = 0
+    for ci, c in enumerate(chunks):
+        while len(blocks) < -(-(pos + c) // PAGE):
+            blocks.append(next_free)
+            next_free += 1
+        logits = _run_prefill_paged(vm, params, pools, blocks,
+                                    prompt[:, pos:pos + c], pos)
+        assert np.array_equal(logits, dense_logits[ci]), (
+            f"chunk {ci} logits differ ({'library' if dispatch else 'codegen'})"
+        )
+        pos += c
+
+    # Every stored K/V value is bit-identical to the dense cache.
+    for j in range(2 * cfg.num_layers):
+        for gpos in range(L):
+            got = pools[j][blocks[gpos // PAGE], gpos % PAGE]
+            assert np.array_equal(got, dense_caches[j][0, gpos])
+
+
+def test_prefill_paged_one_shot_matches_chunked():
+    """m = 0 entry (whole prompt in one call) equals the chunked path."""
+    cfg = TINY_LLAMA
+    vm, params = _compile(enable_library_dispatch=False)
+    L = 7
+    prompt = RNG.integers(0, cfg.vocab_size, size=(1, L), dtype=np.int64)
+    kv, d = cfg.num_kv_heads, cfg.head_dim
+
+    def pool_set():
+        return [np.zeros((8, PAGE, kv, d), np.float32)
+                for _ in range(2 * cfg.num_layers)]
+
+    one = pool_set()
+    l_one = _run_prefill_paged(vm, params, one, [1, 2], prompt, 0)
+
+    two = pool_set()
+    _run_prefill_paged(vm, params, two, [1], prompt[:, :4], 0)
+    l_two = _run_prefill_paged(vm, params, two, [1, 2], prompt[:, 4:], 4)
+
+    assert np.array_equal(l_one, l_two)
+    for a, b in zip(one, two):
+        assert np.array_equal(a, b)

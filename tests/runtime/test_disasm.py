@@ -81,8 +81,11 @@ _COVERAGE_BUILDS = [
     (2, {}),
     (2, {"enable_memory_planning": False}),
     (5, {}),
+    (7, {}),
+    (7, {"enable_memory_planning": False}),
     (15, {}),
     (18, {}),
+    (23, {}),
     (35, {}),
     (45, {}),
 ]

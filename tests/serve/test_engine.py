@@ -10,6 +10,7 @@ from repro.runtime import TEST_DEVICE
 from repro.serve import (
     CacheError,
     EngineConfig,
+    Request,
     SchedulerConfig,
     ServingEngine,
     WorkloadConfig,
@@ -54,8 +55,9 @@ def test_all_requests_finish_with_full_metrics_and_no_leaks():
     assert s["num_finished"] == len(requests)
     assert s["kv_pool"]["leaked_blocks"] == 0
     for key in ("ttft_s", "tpot_s", "itl_s"):
-        assert set(s[key]) == {"p50", "p90", "p99"}
+        assert set(s[key]) == {"mean", "p50", "p90", "p99"}
         assert s[key]["p50"] > 0
+        assert s[key]["mean"] > 0
     assert s["throughput_tokens_per_s"] > 0
     assert s["goodput_requests_per_s"] >= 0
     for m in report.requests:
@@ -141,3 +143,130 @@ def test_iteration_deltas_sum_to_vm_totals():
     swap = report.summary["swap_time_s"]
     iter_time = sum(it["dur_s"] for it in report.iterations)
     assert iter_time == pytest.approx(vm_time + swap, abs=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Prefix caching
+# ---------------------------------------------------------------------------
+
+
+def _prefix_engine(enable=True, num_blocks=96, policy="swap",
+                   num_seqs=8, **eng_kwargs):
+    sched = SchedulerConfig(
+        max_num_seqs=num_seqs, max_num_batched_tokens=128, prefill_chunk=16,
+        eviction=policy,
+    )
+    return ServingEngine(
+        TINY_LLAMA, TEST_DEVICE,
+        EngineConfig(page_size=4, num_blocks=num_blocks, scheduler=sched,
+                     enable_prefix_caching=enable, **eng_kwargs),
+    )
+
+
+def _prefix_workload(seed=0, n=24, families=3, prefix_len=10, rate=200.0):
+    return WorkloadConfig(
+        num_requests=n, seed=seed, arrival_rate=rate,
+        prompt_min=12, prompt_max=32, output_min=2, output_max=8,
+        prefix_families=families, prefix_len=prefix_len,
+    )
+
+
+def test_prefix_cached_runs_are_bit_identical_and_leak_free():
+    wl = generate(_prefix_workload())
+    r1 = _prefix_engine().run(wl)
+    r2 = _prefix_engine().run(wl)
+    assert r1.to_json(sort_keys=True) == r2.to_json(sort_keys=True)
+    assert (
+        json.dumps(r1.chrome_trace(), sort_keys=True)
+        == json.dumps(r2.chrome_trace(), sort_keys=True)
+    )
+    s = r1.summary
+    assert s["num_finished"] == len(wl)
+    assert s["kv_pool"]["leaked_blocks"] == 0
+    # Shared prompts actually hit the cache.
+    pc = s["prefix_cache"]
+    assert pc["hits"] > 0
+    assert 0 < pc["hit_rate"] <= 1
+    assert 0 < pc["cached_token_fraction"] < 1
+    assert pc["matched_tokens"] > 0
+
+
+def test_prefix_cache_lowers_prefill_work_and_ttft():
+    wl = generate(_prefix_workload())
+    on = _prefix_engine(True).run(wl)
+    off = _prefix_engine(False).run(wl)
+    assert "prefix_cache" not in off.summary
+    # Cached tokens are never prefilled: strictly less prefill work.
+    prefill_on = sum(it["prefill_tokens"] for it in on.iterations)
+    prefill_off = sum(it["prefill_tokens"] for it in off.iterations)
+    assert prefill_on < prefill_off
+    assert on.summary["ttft_s"]["mean"] < off.summary["ttft_s"]["mean"]
+    # Both runs drain leak-free and finish everything.
+    assert on.summary["num_finished"] == off.summary["num_finished"] == len(wl)
+
+
+def test_identical_prompts_trigger_copy_on_write():
+    """Duplicate page-aligned prompts: the second request matches all but
+    the last token, and its first prefill writes into the shared tail
+    page — which must fork, not mutate the cached copy."""
+    prompt = tuple(range(1000, 1016))  # 16 tokens = 4 full pages
+    reqs = [
+        Request(req_id=i, arrival_s=float(i), prompt_len=16, output_len=2,
+                prompt_tokens=prompt)
+        for i in range(3)
+    ]
+    report = _prefix_engine().run(reqs)
+    s = report.summary
+    assert s["num_finished"] == 3
+    assert s["kv_pool"]["cow_copies"] >= 2  # one fork per follower
+    assert s["prefix_cache"]["hits"] == 2
+    # Followers match 15 of 16 tokens (one must remain to produce logits).
+    assert s["prefix_cache"]["matched_tokens"] == 30
+    per_req = {r.req_id: r.cached_prompt_tokens for r in report.requests}
+    assert per_req == {0: 0, 1: 15, 2: 15}
+
+
+def test_cache_hit_instants_appear_on_request_tracks():
+    wl = generate(_prefix_workload())
+    report = _prefix_engine().run(wl)
+    hits = [
+        e for e in report.trace_events
+        if e["ph"] == "i" and e["name"] == "prefix_cache_hit"
+    ]
+    assert hits, "no prefix_cache_hit instants recorded"
+    for e in hits:
+        assert e["pid"] == 1
+        assert e["args"]["cached_tokens"] > 0
+    assert sum(e["args"]["cached_tokens"] for e in hits) == (
+        report.summary["prefix_cache"]["matched_tokens"]
+    )
+    # Iteration records agree with the trace.
+    assert sum(it["cached_tokens"] for it in report.iterations) == (
+        report.summary["prefix_cache"]["matched_tokens"]
+    )
+
+
+@pytest.mark.parametrize("policy", ["swap", "recompute"])
+def test_preemption_with_sharing_stays_leak_free(policy):
+    """Memory pressure + prefix sharing: preempted victims release only
+    their references, swap costing charges only private tokens, and the
+    pool drains exactly."""
+    wl = generate(_prefix_workload(n=20, rate=500.0))
+    report = _prefix_engine(num_blocks=14, policy=policy).run(wl)
+    s = report.summary
+    assert s["num_finished"] == len(wl)
+    assert s["preemptions"] > 0
+    assert s["kv_pool"]["leaked_blocks"] == 0
+    if policy == "recompute":
+        assert s["swap_time_s"] == 0
+
+
+def test_peak_required_blocks_counts_cache_as_reclaimable():
+    wl = generate(_prefix_workload())
+    on = _prefix_engine(True).run(wl)
+    off = _prefix_engine(False).run(wl)
+    pool_on, pool_off = on.summary["kv_pool"], off.summary["kv_pool"]
+    # Required never exceeds raw, and equals it with caching off.
+    assert pool_on["peak_required_blocks"] <= pool_on["peak_used_blocks"]
+    assert pool_off["peak_required_blocks"] == pool_off["peak_used_blocks"]
+    assert pool_on["peak_required_blocks"] <= pool_off["peak_required_blocks"]

@@ -186,3 +186,166 @@ def test_fragmentation_and_utilization_accounting():
     assert kv.utilization() == pytest.approx(3 / 8)  # padding + 2 of 8
     kv.free_sequence(0)
     kv.check_no_leaks()
+
+
+# ---------------------------------------------------------------------------
+# Shared ownership: refcounts, COW forks, exact accounting
+# ---------------------------------------------------------------------------
+
+
+def test_share_and_free_keep_exact_refcounts():
+    alloc = BlockAllocator(4)
+    blk = alloc.allocate()
+    assert alloc.refcount(blk) == 1
+    assert alloc.share(blk) == 2
+    assert alloc.share(blk) == 3
+    assert alloc.total_refs == 3
+    assert alloc.free(blk) == 2
+    assert alloc.free(blk) == 1
+    assert alloc.num_used == 1  # still allocated until the last ref drops
+    assert alloc.free(blk) == 0
+    assert alloc.num_used == 0
+    alloc.check_no_leaks()
+    with pytest.raises(CacheError):
+        alloc.share(blk)  # unallocated
+
+
+def test_fork_for_write_semantics():
+    alloc = BlockAllocator(4)
+    blk = alloc.allocate()
+    # Exclusive owner: fork is the identity (no copy needed).
+    assert alloc.fork_for_write(blk) == blk
+    alloc.share(blk)
+    fork = alloc.fork_for_write(blk)
+    assert fork != blk
+    assert alloc.refcount(blk) == 1   # the other owner keeps the original
+    assert alloc.refcount(fork) == 1  # the writer got a private copy
+    alloc.free(blk)
+    alloc.free(fork)
+    alloc.check_no_leaks()
+
+
+def test_check_no_leaks_catches_leaked_shared_block():
+    alloc = BlockAllocator(4)
+    blk = alloc.allocate()
+    alloc.share(blk)   # two owners
+    alloc.free(blk)    # only one released
+    with pytest.raises(CacheError, match="leaked"):
+        alloc.check_no_leaks()
+    assert alloc.free(blk) == 0
+    alloc.check_no_leaks()
+
+
+def test_refcounted_scripts_keep_lifo_determinism():
+    """Interleaving share/fork/free with allocation must not perturb the
+    LIFO reuse order: the same script always yields the same ids."""
+
+    def script():
+        alloc = BlockAllocator(12)
+        ids = [alloc.allocate() for _ in range(6)]
+        alloc.share(ids[1])
+        alloc.share(ids[3])
+        out = [alloc.fork_for_write(ids[3])]   # forks: ids[3] shared
+        alloc.free(ids[5])
+        alloc.free(ids[1])                      # still held by the share
+        out.append(alloc.allocate())
+        alloc.free(ids[1])                      # now actually freed
+        out.append(alloc.allocate())
+        return ids + out
+
+    assert script() == script()
+
+
+def test_cow_append_into_shared_tail_page():
+    kv = PagedKVCache(8, page_size=4)
+    kv.add_sequence(0)
+    kv.append(0, 7)  # 2 blocks, tail page partially used
+    tail = kv.blocks(0)[-1]
+    kv.allocator.share(tail)  # someone else (e.g. a cache) holds the tail
+    # The append must fork: one block for COW even though no page boundary
+    # is crossed.
+    assert kv.blocks_needed(0, 1) == 1
+    before = kv.cow_copies
+    kv.append(0, 1)
+    assert kv.cow_copies == before + 1
+    assert kv.blocks(0)[-1] != tail
+    assert kv.allocator.refcount(tail) == 1  # other owner keeps the page
+    kv.free_sequence(0)
+    assert kv.allocator.free(tail) == 0
+    kv.check_no_leaks()
+
+
+def test_attach_shared_and_release_report_private_vs_shared():
+    kv = PagedKVCache(8, page_size=4)
+    kv.add_sequence(0)
+    kv.append(0, 8)  # two full pages
+    shared_blocks = kv.blocks(0)
+    kv.add_sequence(1)
+    kv.attach_shared(1, shared_blocks, 8)
+    assert kv.length(1) == 8
+    kv.append(1, 3)  # one private block, no COW (page boundary)
+    rel = kv.free_sequence(1)
+    assert rel.freed_blocks == 1
+    assert rel.private_tokens == 3
+    assert rel.shared_tokens == 8
+    rel0 = kv.free_sequence(0)
+    assert rel0.freed_blocks == 2
+    assert rel0.private_tokens == 8
+    kv.check_no_leaks()
+
+
+def test_attach_shared_rejects_bad_calls():
+    kv = PagedKVCache(8, page_size=4)
+    kv.add_sequence(0)
+    kv.append(0, 4)
+    blocks = kv.blocks(0)
+    kv.add_sequence(1)
+    with pytest.raises(CacheError):
+        kv.attach_shared(1, blocks, 5)  # 5 tokens don't fit 1 block
+    kv.append(1, 1)
+    with pytest.raises(CacheError):
+        kv.attach_shared(1, blocks, 4)  # non-empty sequence
+    kv.free_sequence(0)
+    kv.free_sequence(1)
+    kv.check_no_leaks()
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_shared_schedules_keep_exact_accounting(seed):
+    """Random add/append/attach/release scripts with sharing: total refs
+    always equal padding + per-sequence block counts, and everything
+    drains leak-free."""
+    rng = random.Random(seed)
+    kv = PagedKVCache(32, page_size=4)
+    live = []
+    next_id = 0
+    for _ in range(300):
+        roll = rng.random()
+        if roll < 0.3 or not live:
+            kv.add_sequence(next_id)
+            live.append(next_id)
+            next_id += 1
+        elif roll < 0.55:
+            seq = rng.choice(live)
+            n = rng.randint(1, 6)
+            if kv.can_append(seq, n):
+                kv.append(seq, n)
+        elif roll < 0.75 and len(live) >= 1:
+            # Fork a new sequence off a donor's full prompt pages.
+            donor = rng.choice(live)
+            full = (kv.length(donor) // 4) * 4
+            if full:
+                blocks = kv.blocks(donor)[: full // 4]
+                kv.add_sequence(next_id)
+                kv.attach_shared(next_id, blocks, full)
+                live.append(next_id)
+                next_id += 1
+        else:
+            seq = rng.choice(live)
+            kv.release_sequence(seq)
+            live.remove(seq)
+        expected_refs = 1 + sum(len(kv.blocks(s)) for s in live)
+        assert kv.allocator.total_refs == expected_refs
+    for seq in live:
+        kv.release_sequence(seq)
+    kv.check_no_leaks()

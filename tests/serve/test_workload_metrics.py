@@ -66,6 +66,52 @@ def test_length_ranges_respected():
         assert 2 <= r.output_len <= 5
 
 
+def test_shared_prefix_mode_materializes_family_prompts():
+    cfg = WorkloadConfig(num_requests=40, seed=2, prompt_min=10,
+                         prompt_max=24, prefix_families=3, prefix_len=8)
+    requests = generate(cfg)
+    prefixes = set()
+    for r in requests:
+        assert r.prompt_tokens is not None
+        assert len(r.prompt_tokens) == r.prompt_len
+        prefixes.add(r.prompt_tokens[:8])
+    # Exactly the configured number of distinct family prefixes appears.
+    assert len(prefixes) == 3
+    # Legacy mode never materializes token ids.
+    for r in generate(WorkloadConfig(num_requests=5, seed=2)):
+        assert r.prompt_tokens is None
+
+
+def test_shared_prefix_mode_preserves_legacy_streams():
+    """Prefix draws happen after the legacy draws, so the length/arrival
+    trace for a seed is identical with and without prefix mode."""
+    legacy = generate(WorkloadConfig(num_requests=30, seed=9))
+    shared = generate(WorkloadConfig(num_requests=30, seed=9,
+                                     prefix_families=2, prefix_len=4))
+    for a, b in zip(legacy, shared):
+        assert (a.arrival_s, a.prompt_len, a.output_len) == (
+            b.arrival_s, b.prompt_len, b.output_len)
+
+
+def test_shared_prefix_json_round_trip_is_exact():
+    cfg = WorkloadConfig(num_requests=12, seed=5, prompt_min=10,
+                         prompt_max=20, prefix_families=2, prefix_len=6)
+    requests = generate(cfg)
+    cfg2, requests2 = workload_from_json(workload_to_json(cfg, requests))
+    assert cfg2 == cfg
+    assert requests2 == requests
+    assert generate(cfg2) == requests
+
+
+def test_shared_prefix_mode_validates_config():
+    with pytest.raises(ValueError):
+        generate(WorkloadConfig(prefix_families=2, prefix_len=0))
+    with pytest.raises(ValueError):
+        # prefix_len must leave at least one private suffix token.
+        generate(WorkloadConfig(prompt_min=8, prefix_families=2,
+                                prefix_len=8))
+
+
 def test_nearest_rank_percentile():
     data = [10.0, 20.0, 30.0, 40.0]
     assert percentile(data, 50) == 20.0
