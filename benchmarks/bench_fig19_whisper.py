@@ -7,6 +7,8 @@ competitive on the Apple GPU; WhisperX and Faster Whisper have no Apple
 GPU support.
 """
 
+import os
+
 import pytest
 
 from repro.baselines import (
@@ -19,9 +21,18 @@ from repro.baselines import (
     encoder_ops,
     llama_like,
 )
-from repro.bench import RelaxWhisper, best_competitor, print_table
+from repro.bench import (
+    RelaxWhisper,
+    best_competitor,
+    dump_results,
+    print_pass_timings,
+    print_table,
+    results_payload,
+)
 from repro.models import WHISPER_LARGE_V3
 from repro.runtime import M2_ULTRA, RTX_4090
+
+DEVICES = [RTX_4090, M2_ULTRA]
 
 FRAMES = 3000  # 30 s of audio
 N_TOKENS = 200  # transcript length
@@ -39,6 +50,10 @@ _DEC_CFG = llama_like(
 )
 
 _RELAX_CACHE = {}
+
+# Accumulated across the device-parametrized test below; serialized to
+# the shared results JSON once every device column is filled.
+_RESULTS_ROWS = {}
 
 
 def _relax_transcribe(device) -> float:
@@ -59,8 +74,7 @@ def _baseline_transcribe(system, device) -> float:
     return total + N_TOKENS * (first + last) / 2.0
 
 
-@pytest.mark.parametrize("device", [RTX_4090, M2_ULTRA],
-                         ids=["rtx4090", "m2ultra"])
+@pytest.mark.parametrize("device", DEVICES, ids=["rtx4090", "m2ultra"])
 def test_fig19_whisper_transcription(device, benchmark):
     baselines = [WHISPER_HF, WHISPER_X, FASTER_WHISPER, WHISPER_CPP]
     rows = {"Relax": [_relax_transcribe(device)]}
@@ -88,6 +102,32 @@ def test_fig19_whisper_transcription(device, benchmark):
         assert "WhisperX" not in rows and "Faster Whisper" not in rows
         assert rows["Relax"][0] <= rows["whisper.cpp"][0] * 1.30
         assert rows["Relax"][0] < rows["HF (eager)"][0]
+
+    col = DEVICES.index(device)
+    for name, values in rows.items():
+        _RESULTS_ROWS.setdefault(name, [None] * len(DEVICES))[col] = values[0]
+    if all(v is not None for v in _RESULTS_ROWS["Relax"]):
+        reports = {
+            d.name: _RELAX_CACHE[d.name].compile_report for d in DEVICES
+        }
+        print_pass_timings(
+            "Figure 19 — Whisper per-pass compile wall time by device",
+            reports,
+        )
+        out_path = os.environ.get(
+            "REPRO_RESULTS_JSON",
+            os.path.join(os.path.dirname(__file__), "artifacts",
+                         "fig19_whisper.json"),
+        )
+        dump_results(out_path, results_payload(
+            "Figure 19 — Whisper-large-v3, 30 s transcription time",
+            [d.name for d in DEVICES],
+            _RESULTS_ROWS,
+            unit="s",
+            pipeline_reports=reports,
+        ))
+        for label, report in reports.items():
+            assert report.executed, f"{label}: pipeline report is empty"
 
     runner = _RELAX_CACHE[device.name]
     benchmark.pedantic(

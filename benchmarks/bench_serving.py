@@ -22,7 +22,7 @@ from repro.bench import (
     print_table,
     results_payload,
 )
-from repro.models import TINY_LLAMA
+from repro.models import TINY_DENOISE, TINY_LLAMA, TINY_WHISPER
 from repro.runtime import ALL_DEVICES
 from repro.serve import (
     EngineConfig,
@@ -167,6 +167,83 @@ def payload_from_prefix_sweep(results):
     )
 
 
+def _hetero_engine_config() -> EngineConfig:
+    return EngineConfig(
+        page_size=4,
+        num_blocks=256,
+        scheduler=SchedulerConfig(
+            max_num_seqs=16, max_num_batched_tokens=64, prefill_chunk=8,
+        ),
+    )
+
+
+def _hetero_workload(rate: float, num_requests: int) -> WorkloadConfig:
+    """Mixed traffic: half LLM chat, a quarter streaming transcription,
+    a quarter iterative denoise — all arriving on one engine."""
+    return WorkloadConfig(
+        num_requests=num_requests, seed=SEED, arrival="poisson",
+        arrival_rate=rate, prompt_min=4, prompt_max=12,
+        output_min=4, output_max=12,
+        whisper_fraction=0.25, denoise_fraction=0.25,
+    )
+
+
+def hetero_sweep(num_requests: int = 48, rates=RATES, devices=DEVICES):
+    """Mixed Llama + Whisper + denoise stream on one engine per device.
+
+    Returns {device: {rate: summary}}; every summary carries the
+    ``per_type`` breakdown."""
+    out = {}
+    for device_name in devices:
+        device = ALL_DEVICES[device_name]
+        engine = ServingEngine(
+            TINY_LLAMA, device, _hetero_engine_config(),
+            whisper_config=TINY_WHISPER, denoise_config=TINY_DENOISE,
+        )
+        per_rate = {}
+        for rate in rates:
+            report = engine.run(
+                generate(_hetero_workload(rate, num_requests))
+            )
+            per_rate[rate] = report.summary
+        out[device_name] = per_rate
+    return out
+
+
+def _ms(v):
+    return None if v is None else v * 1e3
+
+
+def payload_from_hetero_sweep(results, rates):
+    rows = {}
+    for device_name, per_rate in results.items():
+        rows[f"{device_name} tok/s"] = [
+            per_rate[r]["throughput_tokens_per_s"] for r in rates
+        ]
+        for kind in ("llm", "whisper", "denoise"):
+            per_type = {r: per_rate[r]["per_type"][kind] for r in rates}
+            rows[f"{device_name} {kind} TTFT p50 ms"] = [
+                _ms(per_type[r]["ttft_s"]["p50"]) for r in rates
+            ]
+            rows[f"{device_name} {kind} TPOT p50 ms"] = [
+                _ms(per_type[r]["tpot_s"]["p50"]) for r in rates
+            ]
+        # Denoise "step latency" is the inter-step gap distribution.
+        for pct in ("p50", "p99"):
+            rows[f"{device_name} denoise step {pct} ms"] = [
+                _ms(per_rate[r]["per_type"]["denoise"]["itl_s"][pct])
+                for r in rates
+            ]
+    return results_payload(
+        "Serving: heterogeneous Llama + Whisper + denoise mix under "
+        f"rising request rate (tiny models, seed {SEED})",
+        [f"{r} req/s" for r in rates],
+        rows,
+        unit="mixed",
+        compile_cache=compile_cache_stats(),
+    )
+
+
 def test_serving_throughput_latency_smoke():
     """Tier-agnostic smoke: small sweep, invariants only."""
     rates = [8.0, 128.0]
@@ -185,6 +262,26 @@ def test_serving_throughput_latency_smoke():
         )
     payload = payload_from_sweep(results, rates)
     assert payload["compile_cache"]["misses"] >= len(DEVICES)
+
+
+def test_serving_hetero_mix_smoke():
+    """Mixed-type smoke: every type finishes on every device, per-type
+    metrics are populated, the pool stays leak-free."""
+    rates = [8.0, 128.0]
+    results = hetero_sweep(num_requests=16, rates=rates)
+    assert len(results) == len(DEVICES)
+    for device_name, per_rate in results.items():
+        for rate in rates:
+            s = per_rate[rate]
+            assert s["num_finished"] == 16
+            assert s["kv_pool"]["leaked_blocks"] == 0
+            per_type = s["per_type"]
+            assert set(per_type) == {"llm", "whisper", "denoise"}
+            for kind, row in per_type.items():
+                assert row["num_finished"] == row["num_requests"] > 0
+                assert row["ttft_s"]["p50"] > 0
+    payload = payload_from_hetero_sweep(results, rates)
+    assert payload["rows"]
 
 
 def test_prefix_caching_improves_ttft_and_memory():
@@ -238,6 +335,24 @@ def main() -> None:
     )
     dump_results(prefix_out, prefix_payload)
     print(f"wrote {prefix_out}")
+
+    hetero_payload = payload_from_hetero_sweep(hetero_sweep(), RATES)
+    print_table(
+        hetero_payload["title"],
+        "series",
+        hetero_payload["columns"],
+        hetero_payload["rows"],
+        "",
+        notes=[
+            "one engine serves all three request types; denoise step "
+            "latency = inter-step gap percentiles",
+        ],
+    )
+    hetero_out = os.path.join(
+        os.path.dirname(__file__), "artifacts", "serving_hetero.json"
+    )
+    dump_results(hetero_out, hetero_payload)
+    print(f"wrote {hetero_out}")
 
 
 if __name__ == "__main__":

@@ -39,9 +39,11 @@ def clear_compile_cache() -> None:
     _COMPILE_CACHE_STATS["misses"] = 0
 
 
-def _cache_key(cfg: LlamaConfig, device: Device, bounds: Dict[str, int],
-               flags: Dict[str, bool], page_size: Optional[int]) -> Tuple:
+def _cache_key(cfg, device: Device, bounds: Dict[str, int],
+               flags: Dict[str, bool], page_size: Optional[int],
+               family: str = "llama") -> Tuple:
     return (
+        family,
         dataclasses.astuple(cfg),
         device.name,
         tuple(sorted(bounds.items())),
@@ -189,22 +191,62 @@ class RelaxLLM:
 
 
 class RelaxWhisper:
-    """Compiled Whisper encoder-decoder on the analytical device model."""
+    """Compiled Whisper encoder-decoder on the analytical device model.
+
+    With ``page_size`` set, the paged serving entry points
+    (``encode_chunk`` / ``cross_project`` / ``decode_paged``) are compiled
+    in as well — the serving engine drives Whisper requests through this
+    runner.  Compilation goes through the same instrumented
+    :class:`PassContext` and compile cache as :class:`RelaxLLM`, so
+    Whisper benchmark artifacts carry per-pass timings too.
+    """
 
     def __init__(self, cfg, device: Device,
-                 sym_var_upper_bounds: Optional[Dict[str, int]] = None):
+                 sym_var_upper_bounds: Optional[Dict[str, int]] = None,
+                 *,
+                 page_size: Optional[int] = None,
+                 enable_library_dispatch: bool = True,
+                 enable_fusion: bool = True,
+                 enable_memory_planning: bool = True,
+                 use_compile_cache: bool = True):
         from ..models.whisper import build_whisper
 
         self.cfg = cfg
         self.device = device
-        self.exported = build_whisper(cfg)
-        bounds = sym_var_upper_bounds or {
-            "b": 8, "f": cfg.max_frames, "m": cfg.max_target,
-            "t": cfg.enc_positions,
+        self.page_size = page_size
+        self.exported = build_whisper(cfg, page_size=page_size)
+        if sym_var_upper_bounds is None:
+            bounds = {
+                "b": 8, "f": cfg.max_frames, "m": cfg.max_target,
+                "t": cfg.enc_positions,
+            }
+            if page_size is not None:
+                bounds["w"] = -(-cfg.max_target // page_size)
+                bounds["u"] = -(-cfg.enc_positions // page_size)
+        else:
+            bounds = sym_var_upper_bounds
+        flags = {
+            "enable_library_dispatch": enable_library_dispatch,
+            "enable_fusion": enable_fusion,
+            "enable_memory_planning": enable_memory_planning,
         }
-        self.exe = transform.build(
-            self.exported.mod, device, sym_var_upper_bounds=bounds
-        )
+        key = _cache_key(cfg, device, bounds, flags, page_size,
+                         family="whisper")
+        if use_compile_cache and key in _COMPILE_CACHE:
+            _COMPILE_CACHE_STATS["hits"] += 1
+            self.exe, self.compile_report = _COMPILE_CACHE[key]
+        else:
+            _COMPILE_CACHE_STATS["misses"] += 1
+            ctx = PassContext(
+                device=device,
+                sym_var_upper_bounds=dict(bounds),
+                instruments=[Timing(), IRStats()],
+                **flags,
+            )
+            self.exe = transform.build(self.exported.mod, ctx=ctx)
+            self.compile_report = ctx.report
+            if use_compile_cache:
+                _COMPILE_CACHE[key] = (self.exe, self.compile_report)
         self.vm = VirtualMachine(self.exe, device, concrete=False)
         self.params = self.exported.abstract_params()
 
@@ -241,6 +283,48 @@ class RelaxWhisper:
         last = self.decode_step_time(batch, n_tokens, enc_len)
         total += n_tokens * (first + last) / 2.0
         return total
+
+
+class RelaxDenoise:
+    """Compiled iterative-denoise model on the analytical device model."""
+
+    def __init__(self, cfg, device: Device,
+                 sym_var_upper_bounds: Optional[Dict[str, int]] = None,
+                 *, use_compile_cache: bool = True):
+        from ..models.denoise import build_denoise
+
+        self.cfg = cfg
+        self.device = device
+        self.exported = build_denoise(cfg)
+        bounds = sym_var_upper_bounds or {"b": 64, "n": cfg.latent_tokens}
+        key = _cache_key(cfg, device, bounds, {}, None, family="denoise")
+        if use_compile_cache and key in _COMPILE_CACHE:
+            _COMPILE_CACHE_STATS["hits"] += 1
+            self.exe, self.compile_report = _COMPILE_CACHE[key]
+        else:
+            _COMPILE_CACHE_STATS["misses"] += 1
+            ctx = PassContext(
+                device=device,
+                sym_var_upper_bounds=dict(bounds),
+                instruments=[Timing(), IRStats()],
+            )
+            self.exe = transform.build(self.exported.mod, ctx=ctx)
+            self.compile_report = ctx.report
+            if use_compile_cache:
+                _COMPILE_CACHE[key] = (self.exe, self.compile_report)
+        self.vm = VirtualMachine(self.exe, device, concrete=False)
+        self.params = self.exported.abstract_params()
+
+    def step_time(self, batch: int = 1) -> float:
+        """Steady-state simulated time of one denoise iteration."""
+        latent = NDArray.abstract(
+            (batch, self.cfg.latent_tokens, self.cfg.latent_dim),
+            self.cfg.dtype,
+        )
+        self.vm.run("denoise_step", latent, *self.params)  # warm
+        self.vm.reset_stats()
+        self.vm.run("denoise_step", latent, *self.params)
+        return self.vm.stats.time_s
 
 
 class RelaxLlava:

@@ -514,6 +514,12 @@ def _apply_paged_prefill(mat: Materializer, step: Step) -> ValueInfo:
                               kc.var, vc.var))
 
 
+def _apply_paged_cross(mat: Materializer, step: Step) -> ValueInfo:
+    spec = fuzz_spec(step.op)
+    q, kp, vp, bt, enc = _vals(mat, step)
+    return mat.emit(spec.make(q.var, kp.var, vp.var, bt.var, enc.var))
+
+
 def _apply_tuple_get(mat: Materializer, step: Step) -> ValueInfo:
     (t,) = _vals(mat, step)
     return mat.emit(TupleGetItem(t.var, step.attrs["index"]))
@@ -580,6 +586,7 @@ _APPLIERS = {
     "attention": _apply_attention,
     "paged_attention": _apply_paged_attention,
     "paged_prefill": _apply_paged_prefill,
+    "paged_cross_attention": _apply_paged_cross,
     "datadep": _apply_op,
     "shape_of": _apply_op,
     "tuple_get": _apply_tuple_get,
@@ -915,6 +922,13 @@ def _gen_paged_attention(rng, mat, plan, spec) -> Optional[Step]:
     return Step("paged_attention", spec.name, list(paged))
 
 
+def _gen_paged_cross(rng, mat, plan, spec) -> Optional[Step]:
+    paged = getattr(mat, "_paged_cross_params", None)
+    if not paged:
+        return None
+    return Step("paged_cross_attention", spec.name, list(paged))
+
+
 def _gen_paged_prefill(rng, mat, plan, spec) -> Optional[Step]:
     paged = getattr(mat, "_paged_prefill_params", None)
     if not paged:
@@ -1031,6 +1045,7 @@ _GENERATORS = {
     "attention": _gen_attention,
     "paged_attention": _gen_paged_attention,
     "paged_prefill": _gen_paged_prefill,
+    "paged_cross_attention": _gen_paged_cross,
     "datadep": _gen_datadep,
     "shape_of": _gen_shape_of,
     "match_cast": _gen_match_cast,
@@ -1139,12 +1154,18 @@ def generate(seed: int, *, max_steps: Optional[int] = None) -> Plan:
         paged_idx = tuple(range(base, base + 7))
         paged_prefill_idx = (base, base + 1, base + 2, base + 3, base + 7,
                              base + 5, base + 6)
+        # Cross-attention reuses the pool params; mp's shape anchors the
+        # encoder-context dim t = mpast <= w * page (table covers it).
+        paged_cross_idx = (base, base + 1, base + 2, base + 3, base + 7)
+    else:
+        paged_cross_idx = None
 
     mat = Materializer(plan)
     mat._flag_param = flag_idx
     mat._attn_params = attn_idx
     mat._paged_params = paged_idx
     mat._paged_prefill_params = paged_prefill_idx
+    mat._paged_cross_params = paged_cross_idx
 
     pool = _weighted_pool()
     target = max_steps if max_steps is not None else rng.randint(4, 12)

@@ -17,6 +17,7 @@ from .llama import (
     empty_caches,
 )
 from .whisper import TINY_WHISPER, WHISPER_LARGE_V3, WhisperConfig, build_whisper
+from .denoise import DIT_BASE, TINY_DENOISE, DenoiseConfig, build_denoise
 from .llava import CLIP_VIT_L14, LLAVA_7B, TINY_LLAVA, LlavaConfig, VisionConfig, build_llava
 from .reference import ReferenceLlama
 
@@ -34,10 +35,14 @@ __all__ = [
     "TINY_LLAMA",
     "TINY_QWEN",
     "TINY_NEOX",
+    "build_denoise",
     "build_llama",
     "build_llava",
     "build_whisper",
     "CLIP_VIT_L14",
+    "DIT_BASE",
+    "DenoiseConfig",
+    "TINY_DENOISE",
     "LLAVA_7B",
     "LlavaConfig",
     "TINY_LLAVA",

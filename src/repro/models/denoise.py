@@ -1,0 +1,112 @@
+"""Iterative-denoise (diffusion-style) model for heterogeneous serving.
+
+A deliberately minimal latent-space denoiser: each sampling step runs a
+small bidirectional transformer over a fixed grid of latent tokens and
+returns an updated latent of the same shape.  There is no KV cache and no
+sequence growth — serving cost is N identical batched iterations, the
+third request shape (after LLM prefill/decode and Whisper encode/decode)
+the phase-step scheduler in :mod:`repro.serve` has to cover.
+
+Everything is built from already-registered ops (``attention`` with
+``causal=False``, ``gelu``, ``layer_norm`` via the nn frontend), so the
+model rides the existing legalization/fusion/dispatch pipeline unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import ops
+from ..core import BlockBuilder, TensorAnn
+from ..core.expr import Expr, ShapeExpr
+from ..frontend.nn import ExportedModule, LayerNorm, Linear, Module, export_module
+
+
+@dataclass
+class DenoiseConfig:
+    name: str
+    latent_dim: int
+    #: Latent tokens per sample (e.g. a flattened latent grid); every
+    #: denoise step processes all of them — no growth between steps.
+    latent_tokens: int
+    num_heads: int
+    ffn_dim: int
+    num_layers: int
+    dtype: str = "f32"
+
+    @property
+    def head_dim(self) -> int:
+        return self.latent_dim // self.num_heads
+
+
+DIT_BASE = DenoiseConfig(
+    name="dit-base", latent_dim=768, latent_tokens=256, num_heads=12,
+    ffn_dim=3072, num_layers=12, dtype="f16",
+)
+
+TINY_DENOISE = DenoiseConfig(
+    name="tiny-denoise", latent_dim=16, latent_tokens=8, num_heads=2,
+    ffn_dim=32, num_layers=2,
+)
+
+
+class DenoiseBlock(Module):
+    def __init__(self, cfg: DenoiseConfig):
+        self.cfg = cfg
+        d = cfg.latent_dim
+        self.norm1 = LayerNorm(d, dtype=cfg.dtype)
+        self.q_proj = Linear(d, d, bias=True, dtype=cfg.dtype)
+        self.k_proj = Linear(d, d, bias=True, dtype=cfg.dtype)
+        self.v_proj = Linear(d, d, bias=True, dtype=cfg.dtype)
+        self.out_proj = Linear(d, d, bias=True, dtype=cfg.dtype)
+        self.norm2 = LayerNorm(d, dtype=cfg.dtype)
+        self.fc1 = Linear(d, cfg.ffn_dim, bias=True, dtype=cfg.dtype)
+        self.fc2 = Linear(cfg.ffn_dim, d, bias=True, dtype=cfg.dtype)
+
+    def forward(self, bb: BlockBuilder, x: Expr, b, n) -> Expr:
+        cfg = self.cfg
+        h, d = cfg.num_heads, cfg.head_dim
+        y = self.norm1.forward(bb, x)
+        q = bb.emit(ops.reshape(self.q_proj.forward(bb, y), ShapeExpr([b, n, h, d])))
+        k = bb.emit(ops.reshape(self.k_proj.forward(bb, y), ShapeExpr([b, n, h, d])))
+        v = bb.emit(ops.reshape(self.v_proj.forward(bb, y), ShapeExpr([b, n, h, d])))
+        attn = bb.emit(ops.attention(q, k, v, causal=False))
+        attn = bb.emit(ops.reshape(attn, ShapeExpr([b, n, cfg.latent_dim])))
+        x = bb.emit(ops.add(x, self.out_proj.forward(bb, attn)))
+        mlp = self.fc2.forward(
+            bb, bb.emit(ops.gelu(self.fc1.forward(bb, self.norm2.forward(bb, x))))
+        )
+        return bb.emit(ops.add(x, mlp))
+
+
+class DenoiseModel(Module):
+    def __init__(self, cfg: DenoiseConfig):
+        self.cfg = cfg
+        self.blocks = [DenoiseBlock(cfg) for _ in range(cfg.num_layers)]
+        self.final_norm = LayerNorm(cfg.latent_dim, dtype=cfg.dtype)
+        self.out = Linear(cfg.latent_dim, cfg.latent_dim, bias=True,
+                          dtype=cfg.dtype)
+
+    def step(self, bb: BlockBuilder, latent: Expr, b, n) -> Expr:
+        x = latent
+        for block in self.blocks:
+            x = block.forward(bb, x, b, n)
+        return self.out.forward(bb, self.final_norm.forward(bb, x))
+
+
+def build_denoise(cfg: DenoiseConfig) -> ExportedModule:
+    """Export ``denoise_step``: one sampling iteration, latent → latent."""
+    model = DenoiseModel(cfg)
+
+    def denoise_step(bb: BlockBuilder, latent):
+        b = bb.shape_var("b")
+        n = bb.shape_var("n")
+        return model.step(bb, latent, b, n)
+
+    spec = {
+        "denoise_step": (
+            {"latent": TensorAnn(("b", "n", cfg.latent_dim), cfg.dtype)},
+            denoise_step,
+        ),
+    }
+    return export_module(model, spec)

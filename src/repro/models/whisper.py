@@ -17,12 +17,21 @@ Exported functions:
   (computed once per utterance, as real Whisper does);
 * ``decode(tokens (b, 1), self K/V caches, cross K/V)`` → logits + updated
   self caches.
+
+With ``build_whisper(cfg, page_size=...)`` the serving entry points are
+exported as well: ``encode_chunk`` (mel frames → encoder hidden states),
+``cross_project`` (encoder states → per-layer cross K/V slices the engine
+writes into pool pages, once, never appended) and ``decode_paged`` (self-
+attention KV gathered from the shared page pool via ``paged_prefill``,
+cross-attention over pool-resident encoder K/V via
+``paged_cross_attention``) — asserted bit-identical to the dense decode
+path in ``tests/models/test_whisper_paged.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from .. import ops, sym
 from ..core import BlockBuilder, TensorAnn
@@ -116,6 +125,22 @@ class WhisperSelfAttention(Module):
         attn = bb.emit(ops.reshape(attn, ShapeExpr([b, s, cfg.d_model])))
         return self.out_proj.forward(bb, attn), k_full, v_full
 
+    def forward_decoder_paged(self, bb, x, k_pages, v_pages, block_table,
+                              past, b, s):
+        """Decoder self-attention against the shared page pool.
+
+        Mirrors :meth:`forward_decoder` with the concat + causal attention
+        replaced by ``paged_prefill`` (bit-exact against the dense path).
+        Returns the new K/V slices for the host to write into the pool.
+        """
+        cfg = self.cfg
+        q, k, v = self.project_qkv(bb, x, b, s)
+        attn = bb.emit(ops.paged_prefill(
+            q, k_pages, v_pages, block_table, past, k, v
+        ))
+        attn = bb.emit(ops.reshape(attn, ShapeExpr([b, s, cfg.d_model])))
+        return self.out_proj.forward(bb, attn), k, v
+
 
 class WhisperCrossAttention(Module):
     def __init__(self, cfg: WhisperConfig):
@@ -140,6 +165,22 @@ class WhisperCrossAttention(Module):
         h, d = cfg.num_heads, cfg.head_dim
         q = bb.emit(ops.reshape(self.q_proj.forward(bb, x), ShapeExpr([b, s, h, d])))
         attn = bb.emit(ops.attention(q, cross_k, cross_v, causal=False))
+        attn = bb.emit(ops.reshape(attn, ShapeExpr([b, s, cfg.d_model])))
+        return self.out_proj.forward(bb, attn)
+
+    def forward_paged(self, bb, x, k_pages, v_pages, cross_table, enc, b, s):
+        """Cross-attention over pool-resident encoder K/V.
+
+        The encoder K/V was written to pages once by ``cross_project``;
+        every decode step gathers it through the cross block table.
+        Bit-exact against :meth:`forward` over the contiguous cross K/V.
+        """
+        cfg = self.cfg
+        h, d = cfg.num_heads, cfg.head_dim
+        q = bb.emit(ops.reshape(self.q_proj.forward(bb, x), ShapeExpr([b, s, h, d])))
+        attn = bb.emit(ops.paged_cross_attention(
+            q, k_pages, v_pages, cross_table, enc
+        ))
         attn = bb.emit(ops.reshape(attn, ShapeExpr([b, s, cfg.d_model])))
         return self.out_proj.forward(bb, attn)
 
@@ -179,6 +220,25 @@ class WhisperDecoderLayer(Module):
         mlp = self.mlp.forward(bb, self.norm3.forward(bb, x))
         return bb.emit(ops.add(x, mlp)), k_full, v_full
 
+    def forward_paged(self, bb, x, k_pages, v_pages, block_table, past,
+                      cross_table, enc, b, s):
+        """Paged decoder layer: self-attn KV and cross-attn KV both live
+        in the *same* per-layer page pool, addressed by separate block
+        tables (the self stream grows; the cross stream was written once
+        by ``cross_project`` and never appends)."""
+        attn, k_new, v_new = self.self_attn.forward_decoder_paged(
+            bb, self.norm1.forward(bb, x), k_pages, v_pages, block_table,
+            past, b, s,
+        )
+        x = bb.emit(ops.add(x, attn))
+        cross = self.cross_attn.forward_paged(
+            bb, self.norm2.forward(bb, x), k_pages, v_pages, cross_table,
+            enc, b, s,
+        )
+        x = bb.emit(ops.add(x, cross))
+        mlp = self.mlp.forward(bb, self.norm3.forward(bb, x))
+        return bb.emit(ops.add(x, mlp)), k_new, v_new
+
 
 class WhisperModel(Module):
     def __init__(self, cfg: WhisperConfig):
@@ -196,7 +256,8 @@ class WhisperModel(Module):
 
     # -- encoder ------------------------------------------------------------------
 
-    def encode(self, bb: BlockBuilder, mel: Expr, b, frames) -> Expr:
+    def encode_hidden(self, bb: BlockBuilder, mel: Expr, b, frames) -> Expr:
+        """Frontend + encoder stack: mel frames → hidden states (b, t, d)."""
         cfg = self.cfg
         t = sym.simplify(frames // 2)
         stacked = bb.emit(ops.reshape(mel, ShapeExpr([b, t, 2 * cfg.n_mel])))
@@ -206,13 +267,21 @@ class WhisperModel(Module):
         x = bb.emit(ops.add(x, pos))
         for layer in self.encoder:
             x = layer.forward(bb, x, b, t)
-        x = self.enc_norm.forward(bb, x)
-        # Precompute per-layer cross-attention K/V from the encoder states.
+        return self.enc_norm.forward(bb, x)
+
+    def cross_project(self, bb: BlockBuilder, x: Expr, b, t) -> Expr:
+        """Per-layer cross-attention K/V slices from encoder states."""
         outputs: List[Expr] = []
         for layer in self.decoder:
             ck, cv = layer.cross_attn.project_kv(bb, x, b, t)
             outputs.extend([ck, cv])
         return bb.emit(TupleExpr(outputs))
+
+    def encode(self, bb: BlockBuilder, mel: Expr, b, frames) -> Expr:
+        t = sym.simplify(frames // 2)
+        x = self.encode_hidden(bb, mel, b, frames)
+        # Precompute per-layer cross-attention K/V from the encoder states.
+        return self.cross_project(bb, x, b, t)
 
     # -- decoder -------------------------------------------------------------------
 
@@ -240,8 +309,41 @@ class WhisperModel(Module):
             logits = bb.emit(ops.astype(logits, "f32"))
         return bb.emit(TupleExpr([logits] + new_caches))
 
+    def decode_paged(self, bb: BlockBuilder, tokens: Expr, block_table: Expr,
+                     past: Expr, cross_table: Expr, enc: Expr,
+                     pages: List[Expr], b, s, m) -> Expr:
+        """Decode against the shared page pool.
 
-def build_whisper(cfg: WhisperConfig) -> ExportedModule:
+        ``past`` and ``enc`` are rank-1 anchors binding the cached self-
+        context ``m`` and the encoder context ``t``; ``block_table`` /
+        ``cross_table`` address the self and cross streams of the same
+        per-layer pools.  Mirrors :meth:`decode` op for op (bit-exact).
+        """
+        cfg = self.cfg
+        x = self.token_embed.forward(bb, tokens)
+        pos_ids = bb.emit(ops.arange(s, start=m, dtype="i64"))
+        pos = self.dec_pos.forward(bb, pos_ids)
+        x = bb.emit(ops.add(x, pos))
+        new_slices: List[Expr] = []
+        for i, layer in enumerate(self.decoder):
+            x, k_new, v_new = layer.forward_paged(
+                bb, x, pages[2 * i], pages[2 * i + 1], block_table, past,
+                cross_table, enc, b, s,
+            )
+            new_slices.extend([k_new, v_new])
+        x = self.dec_norm.forward(bb, x)
+        last_idx = bb.emit(ops.arange(1, start=s - 1, dtype="i64"))
+        last = bb.emit(ops.take(x, last_idx, axis=1))
+        logits = bb.emit(
+            ops.matmul(last, self.token_embed.weight.var, transpose_b=True)
+        )
+        if cfg.dtype != "f32":
+            logits = bb.emit(ops.astype(logits, "f32"))
+        return bb.emit(TupleExpr([logits] + new_slices))
+
+
+def build_whisper(cfg: WhisperConfig,
+                  page_size: Optional[int] = None) -> ExportedModule:
     model = WhisperModel(cfg)
     h, d = cfg.num_heads, cfg.head_dim
 
@@ -270,4 +372,49 @@ def build_whisper(cfg: WhisperConfig) -> ExportedModule:
         "encode": ({"mel": TensorAnn(("b", "f", cfg.n_mel), cfg.dtype)}, encode),
         "decode": (decode_inputs, decode),
     }
+
+    if page_size is not None:
+        def encode_chunk(bb: BlockBuilder, mel):
+            b = bb.shape_var("b")
+            frames = bb.shape_var("f")
+            return model.encode_hidden(bb, mel, b, frames)
+
+        def cross_project(bb: BlockBuilder, enc_states):
+            b = bb.shape_var("b")
+            t = bb.shape_var("t")
+            return model.cross_project(bb, enc_states, b, t)
+
+        def decode_paged(bb: BlockBuilder, tokens, block_table, past,
+                         cross_table, enc, *pages):
+            b = bb.shape_var("b")
+            m = bb.shape_var("m")
+            return model.decode_paged(
+                bb, tokens, block_table, past, cross_table, enc,
+                list(pages), b, sym.IntImm(1), m,
+            )
+
+        paged_inputs = {
+            "tokens": TensorAnn(("b", 1), "i64"),
+            "block_table": TensorAnn(("b", "w"), "i64"),
+            # Rank-1 anchors: lengths bind the cached self-context m and
+            # the encoder context t at the function boundary.
+            "past": TensorAnn(("m",), "i64"),
+            "cross_table": TensorAnn(("b", "u"), "i64"),
+            "enc": TensorAnn(("t",), "i64"),
+        }
+        for i in range(cfg.decoder_layers):
+            shape = ("p", page_size, h, d)
+            paged_inputs[f"k_pages_{i}"] = TensorAnn(shape, cfg.dtype)
+            paged_inputs[f"v_pages_{i}"] = TensorAnn(shape, cfg.dtype)
+
+        spec["encode_chunk"] = (
+            {"mel": TensorAnn(("b", "f", cfg.n_mel), cfg.dtype)},
+            encode_chunk,
+        )
+        spec["cross_project"] = (
+            {"enc_states": TensorAnn(("b", "t", cfg.d_model), cfg.dtype)},
+            cross_project,
+        )
+        spec["decode_paged"] = (paged_inputs, decode_paged)
+
     return export_module(model, spec)

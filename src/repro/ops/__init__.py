@@ -56,7 +56,7 @@ from .manipulate import (
 from .reduce import max_, mean, min_, sum_
 from .nn import causal_mask, layer_norm, rms_norm, rope, softmax
 from .attention import attention
-from .paged import paged_attention, paged_prefill
+from .paged import paged_attention, paged_cross_attention, paged_prefill
 from .create import arange, full, ones, zeros
 from .datadep import argmax, nonzero, unique, unique_op
 from .shape_of import shape_of, shape_of_op
@@ -98,6 +98,7 @@ __all__ = [
     "nonzero",
     "ones",
     "paged_attention",
+    "paged_cross_attention",
     "paged_prefill",
     "permute_dims",
     "power",

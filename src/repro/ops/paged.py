@@ -390,3 +390,150 @@ def paged_prefill(q: Expr, k_pages: Expr, v_pages: Expr, block_table: Expr,
 
 
 register_fuzz("paged_prefill", "paged_prefill", paged_prefill, weight=1.0)
+
+
+# ---------------------------------------------------------------------------
+# paged_cross_attention: encoder-decoder cross-attention over pool-resident
+# encoder K/V, bit-exact vs. the dense non-causal ``attention`` op.
+# ---------------------------------------------------------------------------
+
+_CROSS_ARG_NAMES = ("q", "k_pages", "v_pages", "block_table", "enc")
+
+
+def _cross_deduce(call: Call):
+    q = tensor_ann_of(call.args[0], "paged_cross_attention", 0)
+    table = tensor_ann_of(call.args[3], "paged_cross_attention", 3)
+    if table.dtype not in ("i64", "i32"):
+        raise TypeError(
+            "paged_cross_attention: block_table must be an integer tensor"
+        )
+    enc = tensor_ann_of(call.args[4], "paged_cross_attention", 4)
+    if enc.dtype not in ("i64", "i32"):
+        raise TypeError("paged_cross_attention: enc must be an integer tensor")
+    if enc.shape is not None and len(enc.shape) != 1:
+        raise TypeError("paged_cross_attention: enc must be rank 1 (its "
+                        "length anchors the encoder-context dim)")
+    if q.shape is None:
+        return TensorAnn(dtype=q.dtype, ndim=4)
+    return TensorAnn(q.shape, q.dtype)
+
+
+def _cross_legalize(call: Call) -> Legalized:
+    anns = [tensor_ann_of(a, "paged_cross_attention", i)
+            for i, a in enumerate(call.args)]
+    q_ann, kp_ann, vp_ann, bt_ann, enc_ann = anns
+    q_shape = require_known_shape(q_ann, "paged_cross_attention")
+    kp_shape = require_known_shape(kp_ann, "paged_cross_attention")
+    bt_shape = require_known_shape(bt_ann, "paged_cross_attention")
+    enc_shape = require_known_shape(enc_ann, "paged_cross_attention")
+
+    b, s, h, d = q_shape
+    page = kp_shape[1]
+    h_kv = kp_shape[2]
+    t = enc_shape[0]  # encoder positions (anchor argument's extent)
+    if not (sym.is_static(h) and sym.is_static(h_kv) and sym.is_static(d)
+            and sym.is_static(page)):
+        raise ValueError(
+            "paged_cross_attention: head counts, head_dim and the page size "
+            "must be static"
+        )
+    page_i = sym.as_static_int(sym.simplify(page))
+    group = sym.as_static_int(sym.simplify(h)) // sym.as_static_int(
+        sym.simplify(h_kv)
+    )
+    scale = 1.0 / (sym.as_static_int(sym.simplify(d)) ** 0.5)
+
+    # The tensor program mirrors the dense non-causal ``attention``
+    # legalization stage for stage — same four reductions over exactly the
+    # t encoder columns, no mask (every encoder position is attendable and
+    # the reduce extent is t, so no padding positions enter the softmax) —
+    # which makes the output bit-exact against dense cross-attention over
+    # the contiguous encoder K/V.  Dense non-causal attention never
+    # library-dispatches, so the two lowering paths agree as well.
+    f = tir.TirBuilder("paged_cross_attention")
+    f.attr("op_kind", "attention")
+    qb = f.arg("Q", q_shape, q_ann.dtype)
+    kpb = f.arg("KP", kp_shape, kp_ann.dtype)
+    vpb = f.arg("VP", vp_ann.shape, vp_ann.dtype)
+    btb = f.arg("BT", bt_shape, bt_ann.dtype)
+    f.arg("ENC", enc_shape, enc_ann.dtype)  # anchor only: binds t
+    ob = f.out("O", q_shape, q_ann.dtype)
+
+    acc = q_ann.dtype if q_ann.dtype == "f32" else "f32"
+    scores = f.alloc("S", (b, h, s, t), acc)
+    row_max = f.alloc("M", (b, h, s), acc)
+    row_sum = f.alloc("E", (b, h, s), acc)
+
+    def gather(data, bi, ji, kv_head, di):
+        # data[block_table[bi, ji // B], ji % B, kv_head, di]
+        return tir.GatherRead(
+            data, btb, (), (bi, ji // page_i),
+            (ji % page_i, kv_head, di),
+        )
+
+    # Stage 1: scaled scores.
+    bi, hi, si, ji = f.spatial(b, h, s, t)
+    di = f.reduce(d)
+    prod = tir.cast(acc, qb[bi, si, hi, di]) * tir.cast(
+        acc, gather(kpb, bi, ji, hi // group, di)
+    )
+    f.store(scores, [bi, hi, si, ji], prod * scale, combiner="sum", init=0.0)
+
+    # Stage 2: row max.
+    bi, hi, si = f.spatial(b, h, s)
+    ji = f.reduce(t)
+    f.store(row_max, [bi, hi, si], scores[bi, hi, si, ji], combiner="max")
+
+    # Stage 3: exp-sum.
+    bi, hi, si = f.spatial(b, h, s)
+    ji = f.reduce(t)
+    f.store(
+        row_sum,
+        [bi, hi, si],
+        tir.exp(scores[bi, hi, si, ji] - row_max[bi, hi, si]),
+        combiner="sum",
+        init=0.0,
+    )
+
+    # Stage 4: probability-weighted values.
+    bi, si, hi, di = f.spatial(b, s, h, d)
+    ji = f.reduce(t)
+    prob = tir.exp(
+        scores[bi, hi, si, ji] - row_max[bi, hi, si]
+    ) / row_sum[bi, hi, si]
+    weighted = prob * tir.cast(acc, gather(vpb, bi, ji, hi // group, di))
+    f.store(ob, [bi, si, hi, di], tir.cast(q_ann.dtype, weighted),
+            combiner="sum", init=0.0)
+
+    return Legalized(
+        f.build(), list(call.args), TensorAnn(q_shape, q_ann.dtype)
+    )
+
+
+paged_cross_attention_op = register_op(
+    "paged_cross_attention", _cross_deduce, _cross_legalize
+)
+
+
+def paged_cross_attention(q: Expr, k_pages: Expr, v_pages: Expr,
+                          block_table: Expr, enc: Expr) -> Call:
+    """Cross-attention over pool-resident encoder K/V.
+
+    Every query attends all ``t`` encoder positions of its sequence,
+    gathered from the page pool through the block table (the encoder K/V
+    was projected once and written to pages; it never grows).  ``enc`` is
+    a rank-1 integer *anchor*: only its length matters, binding the
+    symbolic encoder-context dim ``t``.  The block table must cover
+    ``t`` positions.  No mask and no current block — unlike
+    ``paged_attention``, whose current-block causal term would be wrong
+    for cross-attention.  Output is bit-exact against the dense
+    ``attention(q, k, v, causal=False)`` over contiguous encoder K/V.
+    """
+    return Call(
+        paged_cross_attention_op,
+        [q, k_pages, v_pages, block_table, enc],
+    )
+
+
+register_fuzz("paged_cross_attention", "paged_cross_attention",
+              paged_cross_attention, weight=0.75)

@@ -16,6 +16,16 @@ from .kv_cache import (
 )
 from .metrics import RequestMetrics, percentile, summarize
 from .prefix_cache import PrefixCache, PrefixCacheStats
+from .program import (
+    ChunkedPhase,
+    DenoiseProgram,
+    LLMProgram,
+    RequestProgram,
+    SteppedPhase,
+    WhisperProgram,
+    program_for,
+    stream_seq_id,
+)
 from .scheduler import (
     ContinuousBatchingScheduler,
     Iteration,
@@ -34,9 +44,12 @@ from .workload import (
 __all__ = [
     "BlockAllocator",
     "CacheError",
+    "ChunkedPhase",
     "ContinuousBatchingScheduler",
+    "DenoiseProgram",
     "EngineConfig",
     "Iteration",
+    "LLMProgram",
     "OutOfBlocks",
     "PagedKVCache",
     "Phase",
@@ -45,14 +58,19 @@ __all__ = [
     "ReleaseInfo",
     "Request",
     "RequestMetrics",
+    "RequestProgram",
     "RequestState",
     "SchedulerConfig",
     "ServeReport",
     "ServingEngine",
+    "SteppedPhase",
+    "WhisperProgram",
     "WorkloadConfig",
     "generate",
     "percentile",
+    "program_for",
     "serve_workload",
+    "stream_seq_id",
     "summarize",
     "workload_from_json",
     "workload_to_json",

@@ -26,6 +26,16 @@ from .engine import EngineConfig, ServingEngine
 from .scheduler import SchedulerConfig
 from .workload import WorkloadConfig, generate, workload_to_json
 
+#: Model choices for the heterogeneous request types.
+WHISPER_MODELS = {
+    "tiny-whisper": "TINY_WHISPER",
+    "whisper-large-v3": "WHISPER_LARGE_V3",
+}
+DENOISE_MODELS = {
+    "tiny-denoise": "TINY_DENOISE",
+    "dit-base": "DIT_BASE",
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -55,6 +65,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "(must be < --prompt-min)")
     parser.add_argument("--no-prefix-cache", action="store_true",
                         help="disable the radix prefix cache")
+    parser.add_argument("--whisper-frac", type=float, default=0.0,
+                        help="fraction of requests that are Whisper "
+                             "transcriptions (heterogeneous mix)")
+    parser.add_argument("--denoise-frac", type=float, default=0.0,
+                        help="fraction of requests that are iterative "
+                             "denoise jobs (heterogeneous mix)")
+    parser.add_argument("--whisper-model", choices=sorted(WHISPER_MODELS),
+                        default="tiny-whisper")
+    parser.add_argument("--denoise-model", choices=sorted(DENOISE_MODELS),
+                        default="tiny-denoise")
+    parser.add_argument("--whisper-frames-min", type=int, default=8)
+    parser.add_argument("--whisper-frames-max", type=int, default=12)
+    parser.add_argument("--denoise-steps-min", type=int, default=4)
+    parser.add_argument("--denoise-steps-max", type=int, default=16)
     parser.add_argument("--page-size", type=int, default=16)
     parser.add_argument("--kv-blocks", type=int, default=None,
                         help="KV pool size in blocks (default: from VRAM)")
@@ -95,7 +119,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         output_max=args.output_max,
         prefix_families=args.prefix_families,
         prefix_len=args.prefix_len,
+        whisper_fraction=args.whisper_frac,
+        denoise_fraction=args.denoise_frac,
+        whisper_frames_min=args.whisper_frames_min,
+        whisper_frames_max=args.whisper_frames_max,
+        denoise_steps_min=args.denoise_steps_min,
+        denoise_steps_max=args.denoise_steps_max,
     )
+    whisper_config = None
+    denoise_config = None
+    if args.whisper_frac > 0:
+        import dataclasses
+
+        from ..models import whisper as whisper_models
+
+        whisper_config = getattr(
+            whisper_models, WHISPER_MODELS[args.whisper_model])
+        # Size the compiled bounds (memory planning / graph capture) to
+        # the workload actually being served.
+        whisper_config = dataclasses.replace(
+            whisper_config,
+            max_frames=args.whisper_frames_max,
+            max_target=max(whisper_config.max_target, args.output_max + 1),
+        )
+        if whisper_config.enc_positions > args.max_batched_tokens:
+            raise SystemExit(
+                f"--max-batched-tokens ({args.max_batched_tokens}) is "
+                f"smaller than the atomic cross-KV projection of "
+                f"{args.whisper_model} ({whisper_config.enc_positions} "
+                f"encoder positions); raise the budget or shrink "
+                f"--whisper-frames-max"
+            )
+    if args.denoise_frac > 0:
+        from ..models import denoise as denoise_models
+
+        denoise_config = getattr(
+            denoise_models, DENOISE_MODELS[args.denoise_model])
     engine_config = EngineConfig(
         page_size=args.page_size,
         num_blocks=args.kv_blocks,
@@ -112,6 +171,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     engine = ServingEngine(
         cfg, device, engine_config,
+        whisper_config=whisper_config,
+        denoise_config=denoise_config,
         enable_cuda_graph=not args.no_cuda_graph,
     )
     report = engine.run(generate(workload))
@@ -127,11 +188,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"goodput           {s['goodput_requests_per_s']:.2f} req/s "
           f"({s['slo']['fraction'] * 100:.0f}% within "
           f"TTFT<={s['slo']['ttft_s']}s, TPOT<={s['slo']['tpot_s']}s)")
+    def _ms(v):
+        return f"{v * 1e3:8.2f} ms" if v is not None else "       - ms"
+
     for metric in ("ttft_s", "tpot_s", "itl_s"):
         row = s[metric]
-        print(f"{metric:<17} p50 {row['p50'] * 1e3:8.2f} ms   "
-              f"p90 {row['p90'] * 1e3:8.2f} ms   "
-              f"p99 {row['p99'] * 1e3:8.2f} ms")
+        print(f"{metric:<17} p50 {_ms(row['p50'])}   "
+              f"p90 {_ms(row['p90'])}   "
+              f"p99 {_ms(row['p99'])}")
     pool = s["kv_pool"]
     print(f"kv pool           {pool['num_blocks']} blocks x "
           f"{pool['page_size']} tokens, peak util "
@@ -149,6 +213,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"evictions {pc['evictions']}")
     print(f"preemptions       {s['preemptions']} "
           f"(swap time {s['swap_time_s'] * 1e3:.2f} ms)")
+    if "per_type" in s:
+        for kind, row in s["per_type"].items():
+            print(f"[{kind}]".ljust(18)
+                  + f"{row['num_finished']}/{row['num_requests']} finished, "
+                  f"ttft p50 {_ms(row['ttft_s']['p50'])}, "
+                  f"step p50 {_ms(row['tpot_s']['p50'])}, "
+                  f"p99 {_ms(row['tpot_s']['p99'])}")
 
     for path in (args.workload_out, args.out, args.trace):
         if path and os.path.dirname(path):

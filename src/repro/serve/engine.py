@@ -40,6 +40,7 @@ from ..runtime.profiler import ExecutionStats
 from .kv_cache import CacheError, PagedKVCache
 from .metrics import RequestMetrics, summarize
 from .prefix_cache import PrefixCache
+from .program import program_for
 from .scheduler import (
     ContinuousBatchingScheduler,
     Iteration,
@@ -48,6 +49,31 @@ from .scheduler import (
     SchedulerConfig,
 )
 from .workload import Request, WorkloadConfig, generate
+
+
+def _merge_stats(deltas: List[ExecutionStats]) -> ExecutionStats:
+    """Combine per-VM stat deltas (heterogeneous engines run one VM per
+    model family).  Additive fields sum; ``peak_bytes`` is a high-water
+    mark across pools, so the max is the honest aggregate."""
+    if len(deltas) == 1:
+        return deltas[0]
+    out = ExecutionStats()
+    for d in deltas:
+        out.time_s += d.time_s
+        out.kernel_launches += d.kernel_launches
+        out.lib_calls += d.lib_calls
+        out.builtin_calls += d.builtin_calls
+        out.graph_captures += d.graph_captures
+        out.graph_replays += d.graph_replays
+        out.replayed_kernels += d.replayed_kernels
+        out.allocations += d.allocations
+        out.allocated_bytes_total += d.allocated_bytes_total
+        out.escaping_bytes_total += d.escaping_bytes_total
+        out.current_bytes += d.current_bytes
+        out.peak_bytes = max(out.peak_bytes, d.peak_bytes)
+        out.kernel_time_s += d.kernel_time_s
+        out.launch_overhead_s += d.launch_overhead_s
+    return out
 
 
 @dataclass
@@ -76,10 +102,12 @@ class ServingEngine:
         device: Device,
         engine_config: Optional[EngineConfig] = None,
         *,
+        whisper_config: Optional[Any] = None,
+        denoise_config: Optional[Any] = None,
         enable_library_dispatch: bool = True,
         enable_cuda_graph: bool = True,
     ):
-        from ..bench.relax_runner import RelaxLLM
+        from ..bench.relax_runner import RelaxDenoise, RelaxLLM, RelaxWhisper
 
         self.cfg = cfg
         self.device = device
@@ -108,6 +136,42 @@ class ServingEngine:
             shape = (self.num_blocks, page, cfg.num_kv_heads, cfg.head_dim)
             self.pools.append(NDArray.abstract(shape, cfg.dtype))
             self.pools.append(NDArray.abstract(shape, cfg.dtype))
+        # Optional heterogeneous model families, one compiled VM each.
+        # All families share one block-id space (the PagedKVCache
+        # allocator): per-family pool arrays are sized to the same
+        # num_blocks, so any allocated block id indexes any family's pool.
+        self.whisper = None
+        self.whisper_pools: List[NDArray] = []
+        if whisper_config is not None:
+            wbounds = {
+                "b": 64,
+                "f": whisper_config.max_frames,
+                "m": whisper_config.max_target,
+                "t": whisper_config.enc_positions,
+                "w": -(-whisper_config.max_target // page),
+                "u": -(-whisper_config.enc_positions // page),
+            }
+            self.whisper = RelaxWhisper(
+                whisper_config, device,
+                sym_var_upper_bounds=wbounds,
+                page_size=page,
+                enable_library_dispatch=enable_library_dispatch,
+            )
+            wshape = (self.num_blocks, page, whisper_config.num_heads,
+                      whisper_config.head_dim)
+            for _ in range(whisper_config.decoder_layers):
+                self.whisper_pools.append(
+                    NDArray.abstract(wshape, whisper_config.dtype))
+                self.whisper_pools.append(
+                    NDArray.abstract(wshape, whisper_config.dtype))
+        self.denoise = None
+        if denoise_config is not None:
+            self.denoise = RelaxDenoise(denoise_config, device)
+        self._vms: List[VirtualMachine] = [self.vm]
+        if self.whisper is not None:
+            self._vms.append(self.whisper.vm)
+        if self.denoise is not None:
+            self._vms.append(self.denoise.vm)
 
     def _block_bytes(self) -> int:
         from .. import dtypes
@@ -138,6 +202,22 @@ class ServingEngine:
 
     def run(self, requests: Sequence[Request]) -> "ServeReport":
         econf = self.econfig
+        for r in requests:
+            if r.kind == "whisper" and self.whisper is None:
+                raise ValueError(
+                    "workload contains whisper requests but the engine was "
+                    "built without whisper_config"
+                )
+            if r.kind == "denoise" and self.denoise is None:
+                raise ValueError(
+                    "workload contains denoise requests but the engine was "
+                    "built without denoise_config"
+                )
+        # A denoise step computes over every latent token — charge the
+        # shared token budget accordingly.
+        denoise_budget = (
+            self.denoise.cfg.latent_tokens if self.denoise is not None else 1
+        )
         kv = PagedKVCache(self.num_blocks, econf.page_size)
         cache = PrefixCache(kv) if econf.enable_prefix_caching else None
         sched = ContinuousBatchingScheduler(econf.scheduler, kv)
@@ -149,6 +229,10 @@ class ServingEngine:
                     arrival_s=r.arrival_s,
                     prompt_len=r.prompt_len,
                     output_len=r.output_len,
+                    kind=r.kind,
+                ),
+                program=program_for(
+                    r, denoise_budget_per_step=denoise_budget
                 ),
             )
             for r in requests
@@ -159,7 +243,7 @@ class ServingEngine:
         trace_events: List[Dict[str, Any]] = []
         queue_samples: List[int] = []
         util_samples: List[float] = []
-        stats_start = self.vm.stats.copy()
+        stats_start = [vm.stats.copy() for vm in self._vms]
         swap_total_s = 0.0
         token_bytes = self._block_bytes() // econf.page_size
 
@@ -182,7 +266,7 @@ class ServingEngine:
                 break
 
             t_begin = clock
-            before = self.vm.stats.copy()
+            before = [vm.stats.copy() for vm in self._vms]
 
             # Swap traffic (blocks to/from host) on the analytic host link.
             swap_s = 0.0
@@ -195,7 +279,9 @@ class ServingEngine:
 
             self._execute(it)
 
-            delta = self.vm.stats.delta(before)
+            delta = _merge_stats([
+                vm.stats.delta(b) for vm, b in zip(self._vms, before)
+            ])
             clock = t_begin + delta.time_s + swap_s
             swap_total_s += swap_s
 
@@ -208,7 +294,9 @@ class ServingEngine:
             util_samples.append(kv.required_utilization())
 
         kv.check_no_leaks()
-        total = self.vm.stats.delta(stats_start)
+        total = _merge_stats([
+            vm.stats.delta(s) for vm, s in zip(self._vms, stats_start)
+        ])
         summary = summarize(
             [s.metrics for s in states.values()],
             slo_ttft_s=econf.slo_ttft_s,
@@ -269,11 +357,75 @@ class ServingEngine:
                 *self.pools,
                 *self.params,
             )
+        # Heterogeneous per-request steps.  Whisper decodes run per
+        # sequence (each carries its own cross-stream block table);
+        # KV-free denoise steps batch into one call.
+        denoise_batch = 0
+        for state, ctx in it.steps:
+            prog = state.program
+            if prog.kind == "denoise":
+                denoise_batch += 1
+                continue
+            t = prog.enc_positions
+            w = max(ctx // page + 1, 1)
+            u = max(-(-t // page), 1)
+            self.whisper.vm.run(
+                "decode_paged",
+                NDArray.abstract((1, 1), "i64"),
+                NDArray.abstract((1, w), "i64"),
+                NDArray.abstract((ctx,), "i64"),
+                NDArray.abstract((1, u), "i64"),
+                NDArray.abstract((t,), "i64"),
+                *self.whisper_pools,
+                *self.whisper.params,
+            )
+        if denoise_batch:
+            dcfg = self.denoise.cfg
+            self.denoise.vm.run(
+                "denoise_step",
+                NDArray.abstract(
+                    (denoise_batch, dcfg.latent_tokens, dcfg.latent_dim),
+                    dcfg.dtype,
+                ),
+                *self.denoise.params,
+            )
+        # Heterogeneous chunked-phase work (whisper encode / cross-KV
+        # projection).  The encode cost model runs the chunk's frame
+        # slice through the encoder entry.
+        for state, phase_name, past, chunk in it.chunks:
+            if phase_name == "encode":
+                self.whisper.vm.run(
+                    "encode_chunk",
+                    NDArray.abstract(
+                        (1, chunk, self.whisper.cfg.n_mel),
+                        self.whisper.cfg.dtype,
+                    ),
+                    *self.whisper.params,
+                )
+            elif phase_name == "cross_project":
+                self.whisper.vm.run(
+                    "cross_project",
+                    NDArray.abstract(
+                        (1, chunk, self.whisper.cfg.d_model),
+                        self.whisper.cfg.dtype,
+                    ),
+                    *self.whisper.params,
+                )
+            else:
+                raise ValueError(
+                    f"no engine entry for chunked phase {phase_name!r}"
+                )
 
     def _advance(self, it: Iteration, sched: ContinuousBatchingScheduler,
                  clock: float) -> None:
         """Commit token production and completions at ``clock``."""
         for state in it.decode:
+            state.generated += 1
+            state.metrics.token_times.append(clock)
+            if state.done:
+                state.metrics.finish_s = clock
+                sched.finish(state)
+        for state, _ in it.steps:
             state.generated += 1
             state.metrics.token_times.append(clock)
             if state.done:
@@ -298,7 +450,7 @@ class ServingEngine:
                 sched: ContinuousBatchingScheduler) -> None:
         idx = len(iterations)
         us = 1e6
-        iterations.append({
+        record = {
             "index": idx,
             "start_s": t_begin,
             "dur_s": t_end - t_begin,
@@ -313,7 +465,13 @@ class ServingEngine:
             "cache_hits": len(it.cache_hits),
             "cached_tokens": sum(n for _, n in it.cache_hits),
             "queue_depth": sched.queue_depth,
-        })
+        }
+        # Heterogeneous keys only appear when such work was scheduled, so
+        # single-type (LLM-only) runs keep their exact legacy records.
+        if it.steps or it.chunks:
+            record["steps"] = len(it.steps)
+            record["chunk_tokens"] = sum(n for _, _, _, n in it.chunks)
+        iterations.append(record)
         # Engine track (pid 0 / tid 0): one slice per iteration plus a
         # KV-utilisation counter.
         trace_events.append({
@@ -344,6 +502,20 @@ class ServingEngine:
         for state, past, chunk in it.prefill:
             trace_events.append({
                 "name": "prefill",
+                "ph": "X", "pid": 1, "tid": state.seq_id,
+                "ts": t_begin * us, "dur": (t_end - t_begin) * us,
+                "args": {"past": past, "chunk": chunk},
+            })
+        for state, ctx in it.steps:
+            trace_events.append({
+                "name": state.program.stepped.name,
+                "ph": "X", "pid": 1, "tid": state.seq_id,
+                "ts": t_begin * us, "dur": (t_end - t_begin) * us,
+                "args": {"step": state.generated + 1, "ctx": ctx},
+            })
+        for state, phase_name, past, chunk in it.chunks:
+            trace_events.append({
+                "name": phase_name,
                 "ph": "X", "pid": 1, "tid": state.seq_id,
                 "ts": t_begin * us, "dur": (t_end - t_begin) * us,
                 "args": {"past": past, "chunk": chunk},
@@ -403,24 +575,27 @@ class ServeReport:
         return trace
 
     def to_dict(self) -> Dict[str, Any]:
+        out_requests = []
+        for r in self.requests:
+            d = {
+                "req_id": r.req_id,
+                "arrival_s": r.arrival_s,
+                "prompt_len": r.prompt_len,
+                "output_len": r.output_len,
+                "ttft_s": r.ttft,
+                "tpot_s": r.tpot,
+                "finish_s": r.finish_s,
+                "preemptions": r.preemptions,
+                "cached_prompt_tokens": r.cached_prompt_tokens,
+            }
+            if r.kind != "llm":
+                d["kind"] = r.kind
+            out_requests.append(d)
         return {
             "device": self.device,
             "model": self.model,
             "summary": self.summary,
-            "requests": [
-                {
-                    "req_id": r.req_id,
-                    "arrival_s": r.arrival_s,
-                    "prompt_len": r.prompt_len,
-                    "output_len": r.output_len,
-                    "ttft_s": r.ttft,
-                    "tpot_s": r.tpot,
-                    "finish_s": r.finish_s,
-                    "preemptions": r.preemptions,
-                    "cached_prompt_tokens": r.cached_prompt_tokens,
-                }
-                for r in self.requests
-            ],
+            "requests": out_requests,
             "iterations": self.iterations,
         }
 
@@ -433,14 +608,22 @@ def serve_workload(
     device: Device,
     workload: "WorkloadConfig | Sequence[Request]",
     engine_config: Optional[EngineConfig] = None,
+    *,
+    whisper_config: Optional[Any] = None,
+    denoise_config: Optional[Any] = None,
 ) -> ServeReport:
     """Run a workload through a fresh engine.
 
     ``workload`` is either a :class:`WorkloadConfig` (the seeded trace is
     generated here) or an already-generated request sequence (e.g. one
     replayed from :func:`~repro.serve.workload.workload_from_json`).
+    Heterogeneous workloads need the matching model configs.
     """
-    engine = ServingEngine(cfg, device, engine_config)
+    engine = ServingEngine(
+        cfg, device, engine_config,
+        whisper_config=whisper_config,
+        denoise_config=denoise_config,
+    )
     if isinstance(workload, WorkloadConfig):
         requests = generate(workload)
     else:

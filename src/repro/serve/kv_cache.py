@@ -188,6 +188,7 @@ class PagedKVCache:
         if page_size <= 0:
             raise ValueError("page_size must be positive")
         self.page_size = page_size
+        self.num_blocks = num_blocks
         self.allocator = BlockAllocator(num_blocks)
         self.padding_block = self.allocator.allocate()  # block 0
         self._seqs: Dict[int, _Sequence] = {}
@@ -218,6 +219,12 @@ class PagedKVCache:
     @property
     def num_available_blocks(self) -> int:
         return self.num_free_blocks + self.num_reclaimable_blocks
+
+    @property
+    def num_usable_blocks(self) -> int:
+        """Pool capacity a single sequence could ever reach (total minus
+        the permanently pinned padding page)."""
+        return self.num_blocks - 1
 
     def blocks_for_tokens(self, num_tokens: int) -> int:
         return -(-num_tokens // self.page_size)
@@ -378,11 +385,6 @@ class PagedKVCache:
             else:
                 shared += tokens
         return ReleaseInfo(freed, private, shared)
-
-    # Preemption and completion share release_sequence; both historical
-    # names are kept for call-site readability.
-    evict = release_sequence
-    free_sequence = release_sequence
 
     # -- batch views ------------------------------------------------------------
 

@@ -15,10 +15,15 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 
-def percentile(values: Sequence[float], p: float) -> float:
-    """Nearest-rank percentile (p in [0, 100]); NaN on empty input."""
+def percentile(values: Sequence[float], p: float) -> Optional[float]:
+    """Nearest-rank percentile (p in [0, 100]).
+
+    Returns ``None`` on an empty series (NaN poisons JSON artifacts and
+    forced every caller to guard).  A single-sample series is well defined
+    under nearest-rank: every percentile is that sample.
+    """
     if not values:
-        return math.nan
+        return None
     ordered = sorted(values)
     rank = max(1, math.ceil(p / 100.0 * len(ordered)))
     return ordered[min(rank, len(ordered)) - 1]
@@ -40,6 +45,9 @@ class RequestMetrics:
     #: Prompt tokens served from the prefix cache at first admission
     #: (``None`` until admitted, or when prefix caching is off).
     cached_prompt_tokens: Optional[int] = None
+    #: Request type ("llm", "whisper", "denoise", ...); heterogeneous
+    #: runs report latency distributions per type.
+    kind: str = "llm"
 
     @property
     def first_token_s(self) -> Optional[float]:
@@ -99,8 +107,8 @@ def summarize(
         "p50": 50.0, "p90": 90.0, "p99": 99.0,
     }
 
-    def dist(values: Sequence[float]) -> Dict[str, float]:
-        out = {"mean": sum(values) / len(values) if values else math.nan}
+    def dist(values: Sequence[float]) -> Dict[str, Optional[float]]:
+        out = {"mean": sum(values) / len(values) if values else None}
         out.update({k: percentile(values, p) for k, p in pct.items()})
         return out
 
@@ -123,6 +131,28 @@ def summarize(
         "itl_s": dist(itls),
         "preemptions": sum(r.preemptions for r in requests),
     }
+    kinds = sorted({r.kind for r in requests})
+    if kinds and kinds != ["llm"]:
+        # Heterogeneous run: break the latency distributions out per
+        # request type.  For iterative-denoise requests ``itl_s`` is the
+        # per-step latency distribution (each "token" is one denoise
+        # iteration).  LLM-only runs omit this key so their summaries are
+        # byte-identical to the pre-heterogeneous format.
+        per_type: Dict[str, Any] = {}
+        for kind in kinds:
+            kdone = [r for r in done if r.kind == kind]
+            per_type[kind] = {
+                "num_requests": sum(1 for r in requests if r.kind == kind),
+                "num_finished": len(kdone),
+                "total_output_tokens": sum(len(r.token_times) for r in kdone),
+                "ttft_s": dist([r.ttft for r in kdone if r.ttft is not None]),
+                "tpot_s": dist([r.tpot for r in kdone if r.tpot is not None]),
+                "itl_s": dist([gap for r in kdone for gap in r.itl]),
+                "preemptions": sum(
+                    r.preemptions for r in requests if r.kind == kind
+                ),
+            }
+        summary["per_type"] = per_type
     if queue_depth_samples:
         summary["queue_depth"] = {
             "mean": sum(queue_depth_samples) / len(queue_depth_samples),

@@ -1,0 +1,260 @@
+"""Per-model request programs: the phase-step protocol.
+
+A request is no longer hard-coded as *prefill then decode*.  Each model
+family declares a :class:`RequestProgram`: an ordered list of **chunked
+phases** (budget-sliced work the scheduler may spread across iterations)
+followed by one **stepped phase** (the iterative tail that emits one
+output unit per engine iteration).  The scheduler manipulates programs
+only through this protocol — it never inspects the request kind — so a
+new model family plugs in by writing a program class, not by editing the
+scheduler:
+
+* **LLM**: chunked prefill (1 KV token appended to the self stream per
+  prompt token), then decode steps (1 KV token per step).
+* **Whisper**: chunked encode (no KV; frames are stacked in pairs, so
+  chunks stay even), an atomic cross-KV projection (writes ``t`` encoder
+  K/V tokens to the *cross* stream once — never appended again), then
+  decode steps (1 self-stream KV token per step, reading both streams).
+* **Iterative denoise**: no chunked work and no KV at all — just N
+  stepped iterations over a fixed latent.
+
+KV-block demand, token-budget accounting, preemption eligibility and the
+completion predicate all live here; ``scheduler.py`` is generic over
+them.  See DESIGN.md §11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .workload import Request
+
+#: KV stream names.  Every program owns a *self* stream (sequence id ==
+#: request id) and may own a *cross* stream (sequence id == ``~req_id``)
+#: in the same shared block pool.
+SELF_STREAM = "self"
+CROSS_STREAM = "cross"
+
+
+def stream_seq_id(req_id: int, stream: str) -> int:
+    """Block-pool sequence id for one stream of a request.
+
+    The cross stream uses the bitwise complement of the request id —
+    disjoint from every self-stream id, so both streams of a request can
+    coexist in one :class:`~repro.serve.kv_cache.PagedKVCache`.
+    """
+    return req_id if stream == SELF_STREAM else ~req_id
+
+
+@dataclass
+class ChunkedPhase:
+    """Budget-sliced phase work (prefill / encode / cross-projection).
+
+    ``target`` units must be processed; the scheduler slices them into
+    chunks against the shared token budget.  Each unit appends
+    ``kv_per_unit`` KV tokens to ``stream``.
+    """
+
+    name: str
+    target: int
+    kv_per_unit: int = 0
+    stream: str = SELF_STREAM
+    #: Chunk sizes must be a multiple of this (final chunk excepted only
+    #: when it completes the phase).  Whisper's frontend stacks frame
+    #: pairs, so its encode phase uses 2.
+    chunk_multiple: int = 1
+    #: All-or-nothing: the phase must be scheduled as one chunk (the
+    #: cross-KV projection writes every encoder position at once).
+    atomic: bool = False
+    done: int = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.target - self.done
+
+
+@dataclass
+class SteppedPhase:
+    """The iterative tail: one output unit per scheduled step."""
+
+    name: str
+    target: int
+    #: KV tokens appended to the self stream per step (0 = the phase
+    #: never grows the pool, e.g. denoise).
+    kv_per_step: int = 1
+    #: Token-budget units one step consumes.  1 for an LLM/Whisper decode
+    #: token; heavier constant-cost steps (a denoise iteration touches
+    #: every latent token) may charge more.
+    budget_per_step: int = 1
+
+
+class RequestProgram:
+    """Phase-step program for one request.  Subclass per model family."""
+
+    #: Request type tag (mirrors ``Request.kind``).
+    kind: str = "llm"
+    #: May the scheduler evict this request's KV under pool pressure?
+    #: Programs with write-once cross streams opt out: their KV cannot be
+    #: regrown by re-running a prefix, so they are never chosen as
+    #: preemption victims (see DESIGN.md §11).
+    evictable: bool = True
+    #: May the engine probe/populate the radix prefix cache with this
+    #: request's prompt?
+    prefix_cacheable: bool = False
+    #: Do this program's steps join the engine's homogeneous batched
+    #: decode call (``Iteration.decode``)?  Programs without engine-side
+    #: batch support run per-request via ``Iteration.steps``.
+    batched_decode: bool = False
+
+    def __init__(self, request: Request, chunked: List[ChunkedPhase],
+                 stepped: SteppedPhase):
+        self.request = request
+        self.chunked = chunked
+        self.stepped = stepped
+
+    # -- chunked-phase protocol -------------------------------------------------
+
+    def current_chunked(self) -> Optional[ChunkedPhase]:
+        for ph in self.chunked:
+            if ph.remaining > 0:
+                return ph
+        return None
+
+    def has_chunked_work(self) -> bool:
+        return self.current_chunked() is not None
+
+    def pending_kv_tokens(self) -> int:
+        """KV tokens the remaining chunked work will append (admission
+        gate: can the pool ever fit this request's phase-declared
+        demand?)."""
+        return sum(ph.remaining * ph.kv_per_unit for ph in self.chunked)
+
+    # -- stepped-phase protocol -------------------------------------------------
+
+    def is_complete(self, generated: int) -> bool:
+        """Completion predicate over emitted output units."""
+        return generated >= self.stepped.target
+
+    # -- KV ownership -----------------------------------------------------------
+
+    def streams(self) -> List[str]:
+        """Streams this program may own in the shared pool."""
+        out = [SELF_STREAM]
+        for ph in self.chunked:
+            if ph.kv_per_unit > 0 and ph.stream not in out:
+                out.append(ph.stream)
+        return out
+
+    def uses_kv(self) -> bool:
+        return self.stepped.kv_per_step > 0 or any(
+            ph.kv_per_unit > 0 and ph.stream == SELF_STREAM
+            for ph in self.chunked
+        )
+
+    def lifetime_kv_blocks(self, page_size: int) -> int:
+        """Worst-case pool blocks this request holds at completion,
+        per stream (each stream rounds up to whole pages).
+
+        Unevictable programs are admission-gated on this: once their KV
+        is written it can never be preempted away, so the scheduler must
+        guarantee up front that all concurrently admitted unevictable
+        requests fit the pool together."""
+        per_stream = {}
+        for ph in self.chunked:
+            if ph.kv_per_unit > 0:
+                per_stream[ph.stream] = (
+                    per_stream.get(ph.stream, 0) + ph.target * ph.kv_per_unit
+                )
+        if self.stepped.kv_per_step > 0:
+            per_stream[SELF_STREAM] = (
+                per_stream.get(SELF_STREAM, 0)
+                + self.stepped.target * self.stepped.kv_per_step
+            )
+        return sum(-(-t // page_size) for t in per_stream.values())
+
+    # -- preemption/swap cost hooks ---------------------------------------------
+
+    def swap_tokens(self, private_tokens: int) -> int:
+        """KV tokens that must cross the host link when this request is
+        swapped out (and back in).  Default: every private token."""
+        return private_tokens
+
+
+class LLMProgram(RequestProgram):
+    """Chunked prefill, then one decode step per output token."""
+
+    kind = "llm"
+    evictable = True
+    prefix_cacheable = True
+    batched_decode = True
+
+    def __init__(self, request: Request):
+        super().__init__(
+            request,
+            chunked=[ChunkedPhase("prefill", target=request.prompt_len,
+                                  kv_per_unit=1)],
+            stepped=SteppedPhase("decode", target=request.output_len),
+        )
+
+
+class WhisperProgram(RequestProgram):
+    """Chunked encode → atomic cross-KV projection → decode steps.
+
+    ``prompt_len`` is the mel-frame count; the frontend's 2x frame
+    stacking makes the encoder context ``t = frames // 2``.  The cross
+    projection writes ``t`` K/V tokens to the cross stream exactly once.
+    """
+
+    kind = "whisper"
+    evictable = False
+    prefix_cacheable = False
+
+    def __init__(self, request: Request):
+        frames = request.prompt_len
+        if frames % 2 != 0:
+            raise ValueError("whisper requests need an even mel-frame count")
+        t = frames // 2
+        super().__init__(
+            request,
+            chunked=[
+                ChunkedPhase("encode", target=frames, chunk_multiple=2),
+                ChunkedPhase("cross_project", target=t, kv_per_unit=1,
+                             stream=CROSS_STREAM, atomic=True),
+            ],
+            stepped=SteppedPhase("decode", target=request.output_len),
+        )
+
+    @property
+    def enc_positions(self) -> int:
+        return self.request.prompt_len // 2
+
+
+class DenoiseProgram(RequestProgram):
+    """N stepped denoise iterations; no chunked work, no KV growth."""
+
+    kind = "denoise"
+    evictable = False
+    prefix_cacheable = False
+
+    def __init__(self, request: Request, *, budget_per_step: int = 1):
+        super().__init__(
+            request,
+            chunked=[],
+            stepped=SteppedPhase("denoise", target=request.output_len,
+                                 kv_per_step=0,
+                                 budget_per_step=budget_per_step),
+        )
+
+
+def program_for(request: Request, *,
+                denoise_budget_per_step: int = 1) -> RequestProgram:
+    """Default program factory keyed on ``Request.kind``."""
+    if request.kind == "llm":
+        return LLMProgram(request)
+    if request.kind == "whisper":
+        return WhisperProgram(request)
+    if request.kind == "denoise":
+        return DenoiseProgram(request,
+                              budget_per_step=denoise_budget_per_step)
+    raise ValueError(f"no program registered for request kind {request.kind!r}")

@@ -1,11 +1,18 @@
 """Iteration-level (Orca-style) continuous-batching scheduler.
 
 Each call to :meth:`ContinuousBatchingScheduler.schedule` plans exactly
-one engine iteration: every running sequence decodes one token, and the
-leftover token budget (``max_num_batched_tokens``) is filled with prefill
-chunks — new admissions and partially-prefilled sequences — so prefill
-and decode interleave instead of head-of-line blocking each other
-(chunked prefill).
+one engine iteration: every running sequence past its chunked phases runs
+one *step* of its stepped phase (an LLM/Whisper decode token, a denoise
+iteration), and the leftover token budget (``max_num_batched_tokens``) is
+filled with chunks of the *chunked* phases — LLM prefill, Whisper encode
+and cross-KV projection — so chunked and stepped work interleave instead
+of head-of-line blocking each other (chunked prefill, generalized).
+
+The scheduler is generic over request types: all per-model structure
+(which phases exist, their KV demand and budget cost, preemption
+eligibility, the completion predicate) comes from the request's
+:class:`~repro.serve.program.RequestProgram`.  The scheduler never
+branches on ``request.kind``.
 
 When the KV block pool cannot cover the next decode step, the scheduler
 preempts the *latest-arrived* running sequence (FCFS priority) and either
@@ -30,12 +37,18 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, List, Optional, Tuple
 
-from .kv_cache import PagedKVCache
+from .kv_cache import CacheError, PagedKVCache
 from .metrics import RequestMetrics
+from .program import RequestProgram, program_for, stream_seq_id
 from .workload import Request
 
 
 class Phase(enum.Enum):
+    """Coarse lifecycle state; fine-grained progress lives in the
+    request's :class:`~repro.serve.program.RequestProgram`.  PREFILL
+    means "still has chunked-phase work", DECODE means "in the stepped
+    phase"."""
+
     WAITING = "waiting"
     PREFILL = "prefill"
     DECODE = "decode"
@@ -49,13 +62,10 @@ class RequestState:
 
     request: Request
     metrics: RequestMetrics
+    #: Phase-step program (built from ``request.kind`` when omitted).
+    program: Optional[RequestProgram] = None
     phase: Phase = Phase.WAITING
-    #: Prompt (or recompute) tokens whose KV is already cached.
-    prefilled: int = 0
-    #: Tokens still to prefill before decoding (prompt, or on a
-    #: recompute-resume the prompt plus previously generated tokens).
-    prefill_target: int = 0
-    #: Output tokens produced so far.
+    #: Output units produced so far (tokens, denoise iterations).
     generated: int = 0
     #: Tokens swapped to host at preemption time (private blocks only —
     #: the bytes a swap-in must copy back).
@@ -67,25 +77,65 @@ class RequestState:
     #: Total cached tokens at preemption time (restored sequence length).
     tokens_at_preempt: int = 0
 
+    def __post_init__(self):
+        if self.program is None:
+            self.program = program_for(self.request)
+
     @property
     def seq_id(self) -> int:
         return self.request.req_id
 
     @property
     def done(self) -> bool:
-        return self.generated >= self.request.output_len
+        return self.program.is_complete(self.generated)
+
+    # Chunked-phase progress, exposed under the historical prefill names
+    # (for the LLM program these are exactly the old fields; recompute
+    # preemption and swap-resume manipulate them through the setters).
+
+    @property
+    def prefilled(self) -> int:
+        """Chunked-phase units already processed."""
+        return sum(ph.done for ph in self.program.chunked)
+
+    @prefilled.setter
+    def prefilled(self, value: int) -> None:
+        if value == 0:
+            for ph in self.program.chunked:
+                ph.done = 0
+        else:
+            self.program.chunked[0].done = value
+
+    @property
+    def prefill_target(self) -> int:
+        """Total chunked-phase units (prompt tokens for the LLM program;
+        on a recompute-resume the prompt plus generated tokens)."""
+        return sum(ph.target for ph in self.program.chunked)
+
+    @prefill_target.setter
+    def prefill_target(self, value: int) -> None:
+        self.program.chunked[0].target = value
 
 
 @dataclass
 class Iteration:
     """One scheduled engine step (already reflected in the KV cache)."""
 
-    #: Sequences decoding one token each; ``decode_lengths[i]`` is the
-    #: cached context *before* this step's append.
+    #: Sequences decoding one token each in the engine's *batched* LLM
+    #: decode call; ``decode_lengths[i]`` is the cached context *before*
+    #: this step's append.
     decode: List[RequestState] = field(default_factory=list)
     decode_lengths: List[int] = field(default_factory=list)
     #: ``(state, past_tokens, chunk_len)`` prefill chunks.
     prefill: List[Tuple[RequestState, int, int]] = field(default_factory=list)
+    #: ``(state, ctx_len)`` stepped-phase steps of non-batched programs
+    #: (Whisper decode tokens, denoise iterations); ``ctx_len`` is the
+    #: self-stream context *before* this step's append (0 for programs
+    #: that hold no KV).
+    steps: List[Tuple[RequestState, int]] = field(default_factory=list)
+    #: ``(state, phase_name, past_units, chunk_units)`` chunked-phase
+    #: chunks of non-LLM programs (Whisper encode / cross-projection).
+    chunks: List[Tuple[RequestState, str, int, int]] = field(default_factory=list)
     #: Sequences restored from host swap this step (tokens copied back).
     swapped_in: List[Tuple[RequestState, int]] = field(default_factory=list)
     #: ``(state, swapped_tokens, mode)`` preemptions performed while
@@ -97,12 +147,17 @@ class Iteration:
 
     @property
     def num_batched_tokens(self) -> int:
-        return len(self.decode) + sum(n for _, _, n in self.prefill)
+        return (
+            len(self.decode)
+            + sum(n for _, _, n in self.prefill)
+            + sum(s.program.stepped.budget_per_step for s, _ in self.steps)
+            + sum(n for _, _, _, n in self.chunks)
+        )
 
     @property
     def empty(self) -> bool:
-        return not (self.decode or self.prefill or self.swapped_in
-                    or self.preempted)
+        return not (self.decode or self.prefill or self.steps or self.chunks
+                    or self.swapped_in or self.preempted)
 
 
 @dataclass(frozen=True)
@@ -129,12 +184,16 @@ class ContinuousBatchingScheduler:
         self.running: List[RequestState] = []   # PREFILL or DECODE
         self.swapped: Deque[RequestState] = deque()
         self.num_preemptions = 0
+        #: Pool blocks promised to admitted *unevictable* requests
+        #: (worst-case lifetime demand).  Their KV cannot be preempted
+        #: away once written, so admission must guarantee they all fit
+        #: the pool together; evictable requests make room on demand.
+        self.unevictable_blocks = 0
 
     # -- intake -----------------------------------------------------------------
 
     def add_request(self, state: RequestState) -> None:
         state.phase = Phase.WAITING
-        state.prefill_target = state.request.prompt_len
         self.waiting.append(state)
 
     def has_unfinished(self) -> bool:
@@ -147,10 +206,19 @@ class ContinuousBatchingScheduler:
     # -- completion -------------------------------------------------------------
 
     def finish(self, state: RequestState) -> None:
-        """Called by the engine once a sequence has all its tokens."""
+        """Called by the engine once a request emitted all its output.
+
+        Releases every KV stream the program owns — for Whisper both the
+        self stream and the write-once cross stream."""
         state.phase = Phase.FINISHED
         self.running.remove(state)
-        self.kv.release_sequence(state.seq_id)
+        if not state.program.evictable:
+            self.unevictable_blocks -= state.program.lifetime_kv_blocks(
+                self.kv.page_size)
+        for stream in state.program.streams():
+            sid = stream_seq_id(state.seq_id, stream)
+            if self.kv.has_sequence(sid):
+                self.kv.release_sequence(sid)
 
     # -- preemption -------------------------------------------------------------
 
@@ -165,6 +233,11 @@ class ContinuousBatchingScheduler:
         """
         for victim in reversed(self.running):
             if victim in protect:
+                continue
+            if not victim.program.evictable:
+                # Write-once KV (e.g. Whisper's cross stream) cannot be
+                # regrown by replaying a prefix: such programs are never
+                # preemption victims.
                 continue
             self.running.remove(victim)
             tokens = self.kv.length(victim.seq_id)
@@ -200,31 +273,62 @@ class ContinuousBatchingScheduler:
         it = Iteration()
         cfg = self.config
 
-        # 1. Decode step for every running sequence already past prefill.
-        #    Each needs room to append one token; evict (other) sequences
-        #    until it fits, else preempt the decoder itself.
+        # 1. One stepped-phase step for every running sequence past its
+        #    chunked phases.  A step needing KV must have room to append;
+        #    evict (other) sequences until it fits, else preempt the
+        #    stepper itself.  Steps of KV-free programs (denoise) always
+        #    place.
         for state in list(self.running):
             if state.phase is not Phase.DECODE:
                 continue
             if state not in self.running:
                 continue  # evicted as a victim earlier in this loop
+            need = state.program.stepped.kv_per_step
+            if need == 0:
+                it.steps.append((state, 0))
+                continue
+            stepping = [s for s, _ in it.steps]
             placed = False
             while True:
-                if self.kv.can_append(state.seq_id, 1):
-                    it.decode_lengths.append(self.kv.length(state.seq_id))
-                    self.kv.append(state.seq_id, 1)
-                    it.decode.append(state)
+                if self.kv.can_append(state.seq_id, need):
+                    ctx = self.kv.length(state.seq_id)
+                    self.kv.append(state.seq_id, need)
+                    if state.program.batched_decode:
+                        it.decode_lengths.append(ctx)
+                        it.decode.append(state)
+                    else:
+                        it.steps.append((state, ctx))
                     placed = True
                     break
-                if not self._preempt_one(it, protect=it.decode + [state]):
+                if not self._preempt_one(
+                    it, protect=it.decode + stepping + [state]
+                ):
                     break
             if not placed:
-                # Could not make room even after evicting everyone else:
-                # preempt this sequence too rather than stall with a
-                # half-planned step.
-                self._preempt_one(it, protect=it.decode)
+                # Could not make room even after evicting everyone else.
+                # If the grown sequence exceeds what an otherwise-empty
+                # pool could ever hold, no preemption will help: fail
+                # fast instead of cycling through self-preempt/swap-in
+                # forever (the recompute policy already fails fast — the
+                # victim is never re-admitted and the run stalls out).
+                grown = self.kv.length(state.seq_id) + need
+                if (self.kv.blocks_for_tokens(grown)
+                        > self.kv.num_usable_blocks):
+                    raise CacheError(
+                        f"request {state.seq_id} needs "
+                        f"{self.kv.blocks_for_tokens(grown)} KV blocks to "
+                        f"keep decoding but the pool only has "
+                        f"{self.kv.num_usable_blocks} usable"
+                    )
+                # Otherwise preempt this sequence too rather than stall
+                # with a half-planned step.
+                self._preempt_one(it, protect=it.decode + stepping)
 
-        budget = cfg.max_num_batched_tokens - len(it.decode)
+        budget = (
+            cfg.max_num_batched_tokens
+            - len(it.decode)
+            - sum(s.program.stepped.budget_per_step for s, _ in it.steps)
+        )
 
         # 2. Resume swapped sequences (oldest first) while seats, blocks
         #    and token budget allow.  A resumed sequence decodes starting
@@ -297,6 +401,7 @@ class ContinuousBatchingScheduler:
             cache = self.kv.prefix_cache
             prompt = state.request.prompt_tokens
             probe = (cache is not None and prompt is not None
+                     and state.program.prefix_cacheable
                      and state.prefilled == 0)
             matched_blocks: List[int] = []
             matched = 0
@@ -311,14 +416,29 @@ class ContinuousBatchingScheduler:
                     state.prefill_target, matched_blocks, matched
                 )
             else:
-                fits = self.kv.can_admit(
-                    state.prefill_target - state.prefilled
-                )
+                # Admit only when the program's declared phase KV demand
+                # (remaining prefill tokens; Whisper's cross KV; nothing
+                # for denoise) fits the free pool now.
+                fits = self.kv.can_admit(state.program.pending_kv_tokens())
+            lifetime = 0
+            if fits and not state.program.evictable:
+                # Unevictable KV is a hard reservation for the request's
+                # whole lifetime: over-admitting could wedge the pool
+                # with blocks nobody may preempt (FCFS: later requests
+                # wait behind this one rather than jump the queue).
+                lifetime = state.program.lifetime_kv_blocks(
+                    self.kv.page_size)
+                fits = (self.unevictable_blocks + lifetime
+                        <= self.kv.num_usable_blocks)
             if not fits:
                 break
+            self.unevictable_blocks += lifetime
             self.waiting.popleft()
-            state.phase = Phase.PREFILL
-            if not self.kv.has_sequence(state.seq_id):
+            state.phase = (
+                Phase.PREFILL if state.program.has_chunked_work()
+                else Phase.DECODE
+            )
+            if state.program.uses_kv() and not self.kv.has_sequence(state.seq_id):
                 self.kv.add_sequence(state.seq_id)
             if probe:
                 got = cache.attach(state.seq_id, prompt,
@@ -329,31 +449,64 @@ class ContinuousBatchingScheduler:
                 if got:
                     it.cache_hits.append((state, got))
             self.running.append(state)
+            # A program with no chunked work (denoise) would otherwise
+            # contribute nothing to its admission iteration — which the
+            # engine reads as a stall.  Take its first KV-free step now,
+            # mirroring how an LLM admission prefills its first chunk in
+            # the same iteration.
+            if (not state.program.has_chunked_work()
+                    and state.program.stepped.kv_per_step == 0):
+                it.steps.append((state, 0))
+                budget -= state.program.stepped.budget_per_step
 
-        # 4. Chunked prefill over every PREFILL sequence, budget permitting.
+        # 4. Chunked-phase work over every PREFILL sequence, budget
+        #    permitting: LLM prefill chunks, Whisper encode chunks and its
+        #    atomic cross-KV projection.
         for state in self.running:
             if state.phase is not Phase.PREFILL or budget <= 0:
                 continue
-            remaining = state.prefill_target - state.prefilled
+            prog = state.program
+            ph = prog.current_chunked()
+            if ph is None:
+                continue
+            remaining = ph.remaining
             chunk = min(remaining, budget)
-            if cfg.prefill_chunk is not None:
+            if ph.atomic:
+                if chunk < remaining:
+                    continue  # all-or-nothing, regardless of chunking
+            elif cfg.prefill_chunk is not None:
                 chunk = min(chunk, cfg.prefill_chunk)
             elif chunk < remaining:
                 continue  # unchunked: all-or-nothing per iteration
-            if chunk <= 0 or not self.kv.can_append(state.seq_id, chunk):
+            if ph.chunk_multiple > 1 and chunk < remaining:
+                chunk -= chunk % ph.chunk_multiple
+            if chunk <= 0:
                 continue
-            past = state.prefilled
-            self.kv.append(state.seq_id, chunk)
-            state.prefilled += chunk
+            if ph.kv_per_unit > 0:
+                # The phase appends KV to its declared stream (Whisper's
+                # cross projection writes to the cross stream, created
+                # here on first touch).
+                sid = stream_seq_id(state.seq_id, ph.stream)
+                if not self.kv.has_sequence(sid):
+                    self.kv.add_sequence(sid)
+                if not self.kv.can_append(sid, chunk * ph.kv_per_unit):
+                    continue
+                self.kv.append(sid, chunk * ph.kv_per_unit)
+            past = ph.done
+            ph.done += chunk
             budget -= chunk
-            it.prefill.append((state, past, chunk))
-            if state.prefilled == state.prefill_target:
+            if prog.batched_decode:
+                it.prefill.append((state, past, chunk))
+            else:
+                it.chunks.append((state, ph.name, past, chunk))
+            if not prog.has_chunked_work():
                 state.phase = Phase.DECODE
                 # Prompt KV is fully cached now: publish its full pages
                 # so later prompts sharing the prefix can reuse them.
                 cache = self.kv.prefix_cache
                 prompt = state.request.prompt_tokens
-                if cache is not None and prompt is not None:
+                if (cache is not None and prompt is not None
+                        and prog.prefix_cacheable):
                     cache.insert(prompt, self.kv.blocks(state.seq_id))
 
         return it

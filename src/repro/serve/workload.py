@@ -36,6 +36,10 @@ class Request:
     #: Prompt token ids (shared-prefix workloads only; ``None`` for
     #: length-only traces — the engine then skips prefix caching).
     prompt_tokens: Optional[Tuple[int, ...]] = None
+    #: Request type: "llm" (default), "whisper" (``prompt_len`` is mel
+    #: frames, ``output_len`` is decoded tokens) or "denoise"
+    #: (``output_len`` is sampling iterations; no prompt).
+    kind: str = "llm"
 
     def to_dict(self) -> Dict[str, Any]:
         d = asdict(self)
@@ -43,6 +47,8 @@ class Request:
             d["prompt_tokens"] = list(d["prompt_tokens"])
         else:
             del d["prompt_tokens"]
+        if d["kind"] == "llm":
+            del d["kind"]  # legacy traces round-trip unchanged
         return d
 
     @classmethod
@@ -56,6 +62,7 @@ class Request:
             prompt_tokens=(
                 tuple(int(t) for t in tokens) if tokens is not None else None
             ),
+            kind=str(d.get("kind", "llm")),
         )
 
 
@@ -86,6 +93,18 @@ class WorkloadConfig:
     prefix_len: int = 0
     #: Token-id range for materialised prompts.
     vocab_size: int = 32000
+    #: Heterogeneous mix: fraction of requests that are Whisper transcribe
+    #: jobs / iterative-denoise jobs (the rest stay LLM).  0.0 keeps the
+    #: legacy single-type trace bit-for-bit.
+    whisper_fraction: float = 0.0
+    denoise_fraction: float = 0.0
+    #: Whisper audio lengths in mel frames (rounded down to even — the
+    #: frontend stacks frame pairs).
+    whisper_frames_min: int = 8
+    whisper_frames_max: int = 12
+    #: Denoise sampling iterations per request.
+    denoise_steps_min: int = 4
+    denoise_steps_max: int = 16
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -124,6 +143,21 @@ def generate(cfg: WorkloadConfig) -> List[Request]:
             )
         if cfg.vocab_size < 2:
             raise ValueError("vocab_size must be >= 2")
+    hetero = cfg.whisper_fraction > 0 or cfg.denoise_fraction > 0
+    if hetero:
+        if cfg.whisper_fraction < 0 or cfg.denoise_fraction < 0:
+            raise ValueError("type fractions must be >= 0")
+        if cfg.whisper_fraction + cfg.denoise_fraction > 1.0:
+            raise ValueError("type fractions must sum to <= 1")
+        if cfg.whisper_frames_min < 2 or cfg.whisper_frames_max < cfg.whisper_frames_min:
+            raise ValueError("invalid whisper frame range")
+        if cfg.denoise_steps_min < 1 or cfg.denoise_steps_max < cfg.denoise_steps_min:
+            raise ValueError("invalid denoise step range")
+        if cfg.prefix_families > 0:
+            raise ValueError(
+                "shared-prefix mode is LLM-only; it cannot be combined "
+                "with a heterogeneous mix"
+            )
     rng = np.random.default_rng(cfg.seed)
     gaps = _inter_arrivals(cfg, rng)
     arrivals = np.cumsum(gaps)
@@ -146,6 +180,27 @@ def generate(cfg: WorkloadConfig) -> List[Request]:
             tokens[i] = tuple(
                 int(t) for t in np.concatenate([prefixes[families[i]], suffix])
             )
+    # Heterogeneous-mix draws come after *all* single-type draws (same
+    # reason as the prefix block above: fractions of 0.0 must reproduce
+    # legacy traces exactly).  Per-request type from one uniform draw;
+    # whisper requests redraw prompt_len as an (even) mel-frame count,
+    # denoise requests redraw output_len as an iteration count.
+    kinds = ["llm"] * cfg.num_requests
+    if hetero:
+        rolls = rng.random(size=cfg.num_requests)
+        frames = rng.integers(cfg.whisper_frames_min // 2,
+                              cfg.whisper_frames_max // 2 + 1,
+                              size=cfg.num_requests) * 2
+        steps = rng.integers(cfg.denoise_steps_min, cfg.denoise_steps_max + 1,
+                             size=cfg.num_requests)
+        for i in range(cfg.num_requests):
+            if rolls[i] < cfg.whisper_fraction:
+                kinds[i] = "whisper"
+                prompts[i] = frames[i]
+            elif rolls[i] < cfg.whisper_fraction + cfg.denoise_fraction:
+                kinds[i] = "denoise"
+                prompts[i] = 0
+                outputs[i] = steps[i]
     return [
         Request(
             req_id=i,
@@ -153,6 +208,7 @@ def generate(cfg: WorkloadConfig) -> List[Request]:
             prompt_len=int(prompts[i]),
             output_len=int(outputs[i]),
             prompt_tokens=tokens[i],
+            kind=kinds[i],
         )
         for i in range(cfg.num_requests)
     ]

@@ -44,6 +44,10 @@ PAGED_SEED = 28
 # chunked-prefill entry into the paged pool).
 PAGED_PREFILL_SEED = 10
 
+# First generator seed whose plan contains a paged_cross_attention step
+# (write-once encoder K/V read through the block table).
+PAGED_CROSS_SEED = 34
+
 
 def test_pinned_paged_attention_seed_passes_oracle():
     plan = generate(PAGED_SEED)
@@ -57,6 +61,40 @@ def test_pinned_paged_prefill_seed_passes_oracle():
     assert any(s.kind == "paged_prefill" for s in plan.steps)
     failure = failure_of(plan)
     assert failure is None, f"seed {PAGED_PREFILL_SEED}: {failure}"
+
+
+def test_pinned_paged_cross_attention_seed_passes_oracle():
+    plan = generate(PAGED_CROSS_SEED)
+    assert any(s.kind == "paged_cross_attention" for s in plan.steps)
+    failure = failure_of(plan)
+    assert failure is None, f"seed {PAGED_CROSS_SEED}: {failure}"
+
+
+def test_handwritten_paged_cross_attention_plan_passes_oracle():
+    """Oracle case for the cross-attention paged lowering: grouped query
+    heads (h = 2 over h_kv = 1) reading t = 3 pool-resident encoder
+    positions through the block table, with the last page only half
+    full — the reduce extent must stop at t, never touch the padding
+    slot."""
+    plan = Plan(
+        seed=0,
+        dims={},
+        params=[
+            ParamSpec("pq", [2, 2, 2, 4], "f32"),
+            ParamSpec("kp", [3, 2, 1, 4], "f32"),
+            ParamSpec("vp", [3, 2, 1, 4], "f32"),
+            ParamSpec("bt", [2, 2], "i64", role="index", index_bound=3),
+            ParamSpec("enc", [3], "i64", role="index", index_bound=3),
+        ],
+        steps=[
+            Step("paged_cross_attention", "paged_cross_attention",
+                 [0, 1, 2, 3, 4]),
+            Step("unary", "exp", [5]),
+        ],
+        outputs=[5, 6],
+    )
+    failure = failure_of(plan)
+    assert failure is None, f"handwritten paged cross plan: {failure}"
 
 
 def test_handwritten_paged_attention_plan_passes_oracle():

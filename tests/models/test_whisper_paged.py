@@ -1,0 +1,127 @@
+"""Paged Whisper decode must be bit-identical to the dense fig19 path.
+
+Mirrors ``test_llama_paged.py``: the dense decode (growing concat caches +
+contiguous cross K/V) is the oracle; the paged path gathers self-attention
+KV through a block table with ``paged_prefill`` and cross-attention KV
+through a second block table with ``paged_cross_attention``.  Both streams
+live in the same per-layer pools.  Logits and every stored K/V element are
+compared with ``np.array_equal`` on both lowering paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro import transform
+from repro.models import TINY_WHISPER, build_whisper
+from repro.runtime import NDArray, TEST_DEVICE, VirtualMachine
+
+PAGE = 4
+CFG = TINY_WHISPER
+FRAMES = 12
+T_ENC = FRAMES // 2  # 2x frontend downsampling
+POOL_PAGES = 8
+L_DECODE = 7  # decode steps; spans two self-stream pages
+
+
+def _build(dispatch):
+    exported = build_whisper(CFG, page_size=PAGE)
+    exported.module.initialize(seed=4, scale=0.1)
+    exe = transform.build(
+        exported.mod, TEST_DEVICE, enable_library_dispatch=dispatch
+    )
+    vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+    return vm, exported.concrete_params()
+
+
+def _empty_caches():
+    return [
+        NDArray.from_numpy(
+            np.zeros((1, 0, CFG.num_heads, CFG.head_dim), np.float32)
+        )
+        for _ in range(2 * CFG.decoder_layers)
+    ]
+
+
+@pytest.mark.parametrize("dispatch", [False, True], ids=["codegen", "library"])
+def test_paged_decode_bit_identical(dispatch):
+    vm, params = _build(dispatch)
+    rng = np.random.default_rng(11)
+    mel = rng.standard_normal((1, FRAMES, CFG.n_mel)).astype(np.float32)
+
+    # Dense oracle: encode -> per-layer cross K/V, then decode with concat
+    # caches.
+    cross_dense = [a.numpy() for a in vm.run("encode", NDArray.from_numpy(mel), *params)]
+
+    # Paged path, stage 1: chunked encode + cross projection must
+    # reproduce the fused dense encode exactly.
+    hidden = vm.run("encode_chunk", NDArray.from_numpy(mel), *params)
+    cross_paged = [a.numpy() for a in vm.run("cross_project", hidden, *params)]
+    assert len(cross_paged) == 2 * CFG.decoder_layers
+    for dense, paged in zip(cross_dense, cross_paged):
+        assert np.array_equal(dense, paged)
+
+    # Stage 2: write the cross K/V into pool pages once (the engine's
+    # cross stream: allocated at admission, never appended).  Page 0 stays
+    # zeroed as the padding target; cross stream takes pages 1..2, the
+    # self stream grows into pages 3..4.
+    h, d = CFG.num_heads, CFG.head_dim
+    pools = [
+        np.zeros((POOL_PAGES, PAGE, h, d), np.float32)
+        for _ in range(2 * CFG.decoder_layers)
+    ]
+    n_cross = -(-T_ENC // PAGE)
+    cross_blocks = list(range(1, 1 + n_cross))
+    self_blocks = list(range(1 + n_cross, 1 + n_cross + 2))
+    for i in range(2 * CFG.decoder_layers):
+        for j, blk in enumerate(cross_blocks):
+            lo, hi = j * PAGE, min((j + 1) * PAGE, T_ENC)
+            pools[i][blk, : hi - lo] = cross_paged[i][0, lo:hi]
+    cross_table = np.array([cross_blocks], dtype=np.int64)
+    enc = np.zeros(T_ENC, dtype=np.int64)
+
+    # Stage 3: step the decoders in lockstep and demand bit-identity on
+    # logits and on every K/V element stored in the pool.
+    caches = _empty_caches()
+    tokens = rng.integers(1, CFG.vocab_size, size=L_DECODE)
+    for m, token in enumerate(tokens):
+        tok = NDArray.from_numpy(np.array([[token]], dtype=np.int64))
+
+        out_d = vm.run("decode", tok, *caches, *[NDArray.from_numpy(c) for c in cross_dense], *params)
+        logits_d, caches = out_d[0], list(out_d[1:])
+
+        w = m // PAGE + 1
+        table = np.array([self_blocks[:w]], dtype=np.int64)
+        out_p = vm.run(
+            "decode_paged", tok,
+            NDArray.from_numpy(table),
+            NDArray.from_numpy(np.zeros(m, dtype=np.int64)),
+            NDArray.from_numpy(cross_table),
+            NDArray.from_numpy(enc),
+            *[NDArray.from_numpy(p) for p in pools],
+            *params,
+        )
+        logits_p, slices = out_p[0], list(out_p[1:])
+        assert np.array_equal(logits_d.numpy(), logits_p.numpy())
+
+        for i in range(2 * CFG.decoder_layers):
+            sl = slices[i].numpy()
+            assert sl.shape == (1, 1, h, d)
+            pools[i][self_blocks[m // PAGE], m % PAGE] = sl[0, 0]
+            dense_cache = caches[i].numpy()
+            for pos in range(m + 1):
+                assert np.array_equal(
+                    pools[i][self_blocks[pos // PAGE], pos % PAGE],
+                    dense_cache[0, pos],
+                )
+
+
+def test_paged_exports_are_gated():
+    """Without page_size the serving entry points are not exported."""
+    dense_only = build_whisper(CFG)
+    names = {n for n, _ in dense_only.mod.functions()}
+    assert names == {"encode", "decode"}
+
+    paged = build_whisper(CFG, page_size=PAGE)
+    names = {n for n, _ in paged.mod.functions()}
+    assert names == {"encode", "decode", "encode_chunk", "cross_project",
+                     "decode_paged"}

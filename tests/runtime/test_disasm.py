@@ -85,8 +85,11 @@ _COVERAGE_BUILDS = [
     (7, {"enable_memory_planning": False}),
     (15, {}),
     (18, {}),
+    (21, {"enable_memory_planning": False}),
     (23, {}),
+    (32, {}),
     (35, {}),
+    (37, {}),
     (45, {}),
 ]
 

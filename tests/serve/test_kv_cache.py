@@ -20,7 +20,7 @@ from repro.serve.workload import Request
 
 
 def _random_schedule(seed, num_blocks=24, page_size=4, steps=400):
-    """Drive a PagedKVCache through a random add/append/evict/free script;
+    """Drive a PagedKVCache through a random add/append/release script;
     returns the cache with every sequence released again."""
     rng = random.Random(seed)
     kv = PagedKVCache(num_blocks, page_size)
@@ -42,14 +42,14 @@ def _random_schedule(seed, num_blocks=24, page_size=4, steps=400):
                     kv.append(seq, n)
         elif roll < 0.9:
             seq = rng.choice(live)
-            kv.evict(seq)
+            kv.release_sequence(seq)
             live.remove(seq)
         else:
             seq = rng.choice(live)
-            kv.free_sequence(seq)
+            kv.release_sequence(seq)
             live.remove(seq)
     for seq in live:
-        kv.free_sequence(seq)
+        kv.release_sequence(seq)
     return kv
 
 
@@ -184,7 +184,7 @@ def test_fragmentation_and_utilization_accounting():
     kv.append(0, 5)  # 2 blocks, 8 slots, 5 tokens -> 3/8 wasted
     assert kv.fragmentation() == pytest.approx(3 / 8)
     assert kv.utilization() == pytest.approx(3 / 8)  # padding + 2 of 8
-    kv.free_sequence(0)
+    kv.release_sequence(0)
     kv.check_no_leaks()
 
 
@@ -270,7 +270,7 @@ def test_cow_append_into_shared_tail_page():
     assert kv.cow_copies == before + 1
     assert kv.blocks(0)[-1] != tail
     assert kv.allocator.refcount(tail) == 1  # other owner keeps the page
-    kv.free_sequence(0)
+    kv.release_sequence(0)
     assert kv.allocator.free(tail) == 0
     kv.check_no_leaks()
 
@@ -284,11 +284,11 @@ def test_attach_shared_and_release_report_private_vs_shared():
     kv.attach_shared(1, shared_blocks, 8)
     assert kv.length(1) == 8
     kv.append(1, 3)  # one private block, no COW (page boundary)
-    rel = kv.free_sequence(1)
+    rel = kv.release_sequence(1)
     assert rel.freed_blocks == 1
     assert rel.private_tokens == 3
     assert rel.shared_tokens == 8
-    rel0 = kv.free_sequence(0)
+    rel0 = kv.release_sequence(0)
     assert rel0.freed_blocks == 2
     assert rel0.private_tokens == 8
     kv.check_no_leaks()
@@ -305,8 +305,8 @@ def test_attach_shared_rejects_bad_calls():
     kv.append(1, 1)
     with pytest.raises(CacheError):
         kv.attach_shared(1, blocks, 4)  # non-empty sequence
-    kv.free_sequence(0)
-    kv.free_sequence(1)
+    kv.release_sequence(0)
+    kv.release_sequence(1)
     kv.check_no_leaks()
 
 

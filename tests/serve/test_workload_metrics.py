@@ -1,7 +1,5 @@
 """Workload generator determinism/round-trip and metric definitions."""
 
-import math
-
 import pytest
 
 from repro.serve import (
@@ -112,15 +110,104 @@ def test_shared_prefix_mode_validates_config():
                                 prefix_len=8))
 
 
+def test_hetero_mix_draws_preserve_legacy_streams():
+    base = WorkloadConfig(num_requests=40, seed=11)
+    mixed = WorkloadConfig(num_requests=40, seed=11,
+                           whisper_fraction=0.25, denoise_fraction=0.25)
+    legacy = generate(base)
+    hetero = generate(mixed)
+    kinds = {r.kind for r in hetero}
+    assert kinds == {"llm", "whisper", "denoise"}
+    for old, new in zip(legacy, hetero):
+        # Arrivals come from the same stream in the same order; LLM
+        # requests keep their exact legacy lengths.
+        assert new.arrival_s == old.arrival_s
+        if new.kind == "llm":
+            assert (new.prompt_len, new.output_len) == \
+                (old.prompt_len, old.output_len)
+        elif new.kind == "whisper":
+            assert new.prompt_len % 2 == 0
+            assert 8 <= new.prompt_len <= 12
+            assert new.output_len == old.output_len
+        else:
+            assert new.prompt_len == 0
+            assert 4 <= new.output_len <= 16
+
+
+def test_hetero_mix_round_trips_and_validates():
+    cfg = WorkloadConfig(num_requests=12, seed=2, whisper_fraction=0.5)
+    requests = generate(cfg)
+    cfg2, rt = workload_from_json(workload_to_json(cfg, requests))
+    assert cfg2 == cfg and rt == requests
+    # Pure-LLM requests serialize without a "kind" key (legacy format).
+    assert all("kind" not in r.to_dict()
+               for r in generate(WorkloadConfig(num_requests=4)))
+    with pytest.raises(ValueError):
+        generate(WorkloadConfig(whisper_fraction=0.7, denoise_fraction=0.7))
+    with pytest.raises(ValueError):
+        generate(WorkloadConfig(whisper_fraction=0.2, prefix_families=2,
+                                prefix_len=4))
+
+
 def test_nearest_rank_percentile():
     data = [10.0, 20.0, 30.0, 40.0]
     assert percentile(data, 50) == 20.0
     assert percentile(data, 75) == 30.0
     assert percentile(data, 100) == 40.0
     assert percentile(data, 1) == 10.0
-    assert math.isnan(percentile([], 50))
     # Always an actual data point, never interpolated.
     assert percentile(data, 60) in data
+
+
+def test_percentile_empty_series_is_none():
+    # None, not NaN: NaN silently poisons JSON artifacts and forced
+    # every caller to guard.
+    for p in (0, 1, 50, 99, 100):
+        assert percentile([], p) is None
+
+
+def test_percentile_single_sample_is_that_sample():
+    # Nearest rank is well defined for n = 1: every percentile is the
+    # one sample (rank clamps to 1).
+    for p in (0, 1, 50, 99, 100):
+        assert percentile([7.25], p) == 7.25
+
+
+def test_summarize_with_no_finished_requests_is_json_safe():
+    import json
+
+    unfinished = RequestMetrics(req_id=0, arrival_s=0.0, prompt_len=4,
+                                output_len=4)
+    s = summarize([unfinished])
+    assert s["num_finished"] == 0
+    for key in ("ttft_s", "tpot_s", "itl_s"):
+        assert s[key] == {"mean": None, "p50": None, "p90": None,
+                          "p99": None}
+    # Round-trips through strict JSON (NaN would need allow_nan).
+    json.loads(json.dumps(s, allow_nan=False))
+
+
+def test_summarize_single_request_needs_no_guards():
+    m = _metrics(0.0, [0.5, 0.6])
+    s = summarize([m])
+    assert s["ttft_s"]["p50"] == pytest.approx(0.5)
+    assert s["ttft_s"]["p99"] == pytest.approx(0.5)
+    assert s["tpot_s"]["mean"] == pytest.approx(0.1)
+
+
+def test_per_type_breakdown_gated_on_heterogeneous_runs():
+    llm = _metrics(0.0, [0.1, 0.2])
+    assert "per_type" not in summarize([llm])
+
+    whisper = _metrics(0.0, [0.3, 0.4, 0.5])
+    whisper.kind = "whisper"
+    s = summarize([llm, whisper])
+    assert set(s["per_type"]) == {"llm", "whisper"}
+    row = s["per_type"]["whisper"]
+    assert row["num_requests"] == row["num_finished"] == 1
+    assert row["total_output_tokens"] == 3
+    assert row["ttft_s"]["p50"] == pytest.approx(0.3)
+    assert s["per_type"]["llm"]["total_output_tokens"] == 2
 
 
 def _metrics(arrival, token_times):
