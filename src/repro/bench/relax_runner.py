@@ -67,6 +67,7 @@ class RelaxLLM:
         enable_cuda_graph: bool = True,
         page_size: Optional[int] = None,
         use_compile_cache: bool = True,
+        _precompiled: Optional[Tuple] = None,
     ):
         self.cfg = cfg
         self.device = device
@@ -85,7 +86,11 @@ class RelaxLLM:
             "enable_cuda_graph": enable_cuda_graph,
         }
         key = _cache_key(cfg, device, bounds, flags, page_size)
-        if use_compile_cache and key in _COMPILE_CACHE:
+        if _precompiled is not None:
+            # Injected by RelaxSpecPair: the executable was built (or
+            # cache-hit) under the *pair's* cache entry; no stats here.
+            self.exe, self.compile_report, self.enable_cuda_graph = _precompiled
+        elif use_compile_cache and key in _COMPILE_CACHE:
             _COMPILE_CACHE_STATS["hits"] += 1
             self.exe, self.compile_report, self.enable_cuda_graph = (
                 _COMPILE_CACHE[key]
@@ -188,6 +193,93 @@ class RelaxLLM:
         pvm.reset()
         pvm.run(fn, *args)
         return pvm
+
+
+class RelaxSpecPair:
+    """A compiled (target, draft) model pair for speculative serving.
+
+    The pair shares **one** compile-cache entry: a benchmark sweeping
+    acceptance rates or request rates re-instantiates the serving engine
+    per point, and keying the cache on the pair means the second engine
+    (and every one after) costs zero compilation for *both* models —
+    hit/miss accounting sees one pair entry, not two stray singles.
+
+    The draft defaults to :func:`repro.models.draft_config` applied to
+    the target (same vocabulary and context length — token streams and
+    block tables line up — but a fraction of the width and depth, which
+    is what makes drafting cheap on the analytical clock).
+    """
+
+    def __init__(
+        self,
+        cfg: LlamaConfig,
+        draft_cfg: Optional[LlamaConfig],
+        device: Device,
+        *,
+        sym_var_upper_bounds: Optional[Dict[str, int]] = None,
+        draft_upper_bounds: Optional[Dict[str, int]] = None,
+        enable_library_dispatch: bool = True,
+        enable_cuda_graph: bool = True,
+        page_size: Optional[int] = None,
+        use_compile_cache: bool = True,
+    ):
+        from ..models.llama import draft_config
+
+        if draft_cfg is None:
+            draft_cfg = draft_config(cfg)
+        if draft_cfg.vocab_size != cfg.vocab_size:
+            raise ValueError(
+                "draft and target must share a vocabulary "
+                f"({draft_cfg.vocab_size} != {cfg.vocab_size})"
+            )
+        flags = {
+            "enable_library_dispatch": enable_library_dispatch,
+            "enable_cuda_graph": enable_cuda_graph,
+        }
+        tb = sym_var_upper_bounds or {}
+        db = draft_upper_bounds or dict(tb)
+        key = (
+            "llama-spec-pair",
+            _cache_key(cfg, device, tb, flags, page_size),
+            _cache_key(draft_cfg, device, db, flags, page_size),
+        )
+        target_pre = draft_pre = None
+        if use_compile_cache and key in _COMPILE_CACHE:
+            _COMPILE_CACHE_STATS["hits"] += 1
+            target_pre, draft_pre = _COMPILE_CACHE[key]
+        self.target = RelaxLLM(
+            cfg, device,
+            sym_var_upper_bounds=sym_var_upper_bounds,
+            enable_library_dispatch=enable_library_dispatch,
+            enable_cuda_graph=enable_cuda_graph,
+            page_size=page_size,
+            use_compile_cache=False,
+            _precompiled=target_pre,
+        )
+        self.draft = RelaxLLM(
+            draft_cfg, device,
+            sym_var_upper_bounds=draft_upper_bounds or sym_var_upper_bounds,
+            enable_library_dispatch=enable_library_dispatch,
+            enable_cuda_graph=enable_cuda_graph,
+            page_size=page_size,
+            use_compile_cache=False,
+            _precompiled=draft_pre,
+        )
+        if target_pre is None and use_compile_cache:
+            _COMPILE_CACHE[key] = (
+                (self.target.exe, self.target.compile_report,
+                 self.target.enable_cuda_graph),
+                (self.draft.exe, self.draft.compile_report,
+                 self.draft.enable_cuda_graph),
+            )
+
+    @property
+    def cfg(self) -> LlamaConfig:
+        return self.target.cfg
+
+    @property
+    def draft_cfg(self) -> LlamaConfig:
+        return self.draft.cfg
 
 
 class RelaxWhisper:

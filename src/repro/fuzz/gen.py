@@ -514,6 +514,13 @@ def _apply_paged_prefill(mat: Materializer, step: Step) -> ValueInfo:
                               kc.var, vc.var))
 
 
+def _apply_paged_verify(mat: Materializer, step: Step) -> ValueInfo:
+    spec = fuzz_spec(step.op)
+    q, kp, vp, bt, ln, sl, kc, vc = _vals(mat, step)
+    return mat.emit(spec.make(q.var, kp.var, vp.var, bt.var, ln.var,
+                              sl.var, kc.var, vc.var))
+
+
 def _apply_paged_cross(mat: Materializer, step: Step) -> ValueInfo:
     spec = fuzz_spec(step.op)
     q, kp, vp, bt, enc = _vals(mat, step)
@@ -586,6 +593,7 @@ _APPLIERS = {
     "attention": _apply_attention,
     "paged_attention": _apply_paged_attention,
     "paged_prefill": _apply_paged_prefill,
+    "paged_verify": _apply_paged_verify,
     "paged_cross_attention": _apply_paged_cross,
     "datadep": _apply_op,
     "shape_of": _apply_op,
@@ -922,6 +930,13 @@ def _gen_paged_attention(rng, mat, plan, spec) -> Optional[Step]:
     return Step("paged_attention", spec.name, list(paged))
 
 
+def _gen_paged_verify(rng, mat, plan, spec) -> Optional[Step]:
+    paged = getattr(mat, "_paged_verify_params", None)
+    if not paged:
+        return None
+    return Step("paged_verify", spec.name, list(paged))
+
+
 def _gen_paged_cross(rng, mat, plan, spec) -> Optional[Step]:
     paged = getattr(mat, "_paged_cross_params", None)
     if not paged:
@@ -1045,6 +1060,7 @@ _GENERATORS = {
     "attention": _gen_attention,
     "paged_attention": _gen_paged_attention,
     "paged_prefill": _gen_paged_prefill,
+    "paged_verify": _gen_paged_verify,
     "paged_cross_attention": _gen_paged_cross,
     "datadep": _gen_datadep,
     "shape_of": _gen_shape_of,
@@ -1151,20 +1167,29 @@ def generate(seed: int, *, max_steps: Optional[int] = None) -> Plan:
         # Anchor for paged_prefill's past length (only its shape matters).
         plan.params.append(ParamSpec("mp", [mpast], "i64",
                                      role="index", index_bound=p))
+        # Ragged speculative widths for paged_verify: values in [0, s],
+        # so plans exercise fully-padded (sl == 0) sequences too.
+        plan.params.append(ParamSpec("sl", [b], "i64",
+                                     role="index", index_bound=s + 1))
         paged_idx = tuple(range(base, base + 7))
         paged_prefill_idx = (base, base + 1, base + 2, base + 3, base + 7,
                              base + 5, base + 6)
+        # Verify reuses the decode pool params plus the ragged widths.
+        paged_verify_idx = (base, base + 1, base + 2, base + 3, base + 4,
+                            base + 8, base + 5, base + 6)
         # Cross-attention reuses the pool params; mp's shape anchors the
         # encoder-context dim t = mpast <= w * page (table covers it).
         paged_cross_idx = (base, base + 1, base + 2, base + 3, base + 7)
     else:
         paged_cross_idx = None
+        paged_verify_idx = None
 
     mat = Materializer(plan)
     mat._flag_param = flag_idx
     mat._attn_params = attn_idx
     mat._paged_params = paged_idx
     mat._paged_prefill_params = paged_prefill_idx
+    mat._paged_verify_params = paged_verify_idx
     mat._paged_cross_params = paged_cross_idx
 
     pool = _weighted_pool()

@@ -9,11 +9,13 @@ from .llama import (
     REDPAJAMA_3B,
     TINY_GEMMA,
     TINY_LLAMA,
+    TINY_LLAMA_DRAFT,
     TINY_NEOX,
     TINY_QWEN,
     LlamaConfig,
     LlamaForCausalLM,
     build_llama,
+    draft_config,
     empty_caches,
 )
 from .whisper import TINY_WHISPER, WHISPER_LARGE_V3, WhisperConfig, build_whisper
@@ -33,11 +35,13 @@ __all__ = [
     "ReferenceLlama",
     "TINY_GEMMA",
     "TINY_LLAMA",
+    "TINY_LLAMA_DRAFT",
     "TINY_QWEN",
     "TINY_NEOX",
     "build_denoise",
     "build_llama",
     "build_llava",
+    "draft_config",
     "build_whisper",
     "CLIP_VIT_L14",
     "DIT_BASE",

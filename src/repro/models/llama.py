@@ -22,7 +22,7 @@ shape relation that memory planning and CUDA-graph keying reason about.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
 from .. import ops, sym
@@ -200,6 +200,35 @@ class LlamaAttention(Module):
         attn = bb.emit(ops.reshape(attn, ShapeExpr([b, s, h * d])))
         return self.o_proj.forward(bb, attn), k, v
 
+    def forward_verify_paged(self, bb: BlockBuilder, x: Expr, k_pages: Expr,
+                             v_pages: Expr, block_table: Expr, lengths: Expr,
+                             spec_lens: Expr, b, s) -> Tuple[Expr, Expr, Expr]:
+        """Speculative verify against the paged KV pool (repro.serve).
+
+        ``s`` query positions per sequence (the last accepted token plus
+        the draft's proposals, ragged per sequence via ``spec_lens``);
+        row ``i`` of sequence ``bi`` sits at absolute position
+        ``lengths[bi] + i``, which is exactly what rotary's per-sequence
+        ``offsets`` mode computes.  Returns the attention output plus
+        the new K/V slices — the engine writes the accepted prefix into
+        the pool and drops the rejected tail (rollback).
+        """
+        cfg = self.cfg
+        h, d, kv = cfg.num_heads, cfg.head_dim, cfg.num_kv_heads
+        q = bb.emit(ops.reshape(self.q_proj.forward(bb, x),
+                                ShapeExpr([b, s, h, d])))
+        k = bb.emit(ops.reshape(self.k_proj.forward(bb, x),
+                                ShapeExpr([b, s, kv, d])))
+        v = bb.emit(ops.reshape(self.v_proj.forward(bb, x),
+                                ShapeExpr([b, s, kv, d])))
+        q = bb.emit(ops.rope(q, theta=cfg.rope_theta, offsets=lengths))
+        k = bb.emit(ops.rope(k, theta=cfg.rope_theta, offsets=lengths))
+        attn = bb.emit(ops.paged_verify(
+            q, k_pages, v_pages, block_table, lengths, spec_lens, k, v
+        ))
+        attn = bb.emit(ops.reshape(attn, ShapeExpr([b, s, h * d])))
+        return self.o_proj.forward(bb, attn), k, v
+
     def forward_paged(self, bb: BlockBuilder, x: Expr, k_pages: Expr,
                       v_pages: Expr, block_table: Expr, lengths: Expr,
                       b) -> Tuple[Expr, Expr, Expr]:
@@ -278,6 +307,14 @@ class LlamaDecoderLayer(Module):
         )
         return self._residual(bb, x, attn_out), k_new, v_new
 
+    def forward_verify_paged(self, bb, x, k_pages, v_pages, block_table,
+                             lengths, spec_lens, b, s):
+        attn_out, k_new, v_new = self.attn.forward_verify_paged(
+            bb, self.input_norm.forward(bb, x), k_pages, v_pages,
+            block_table, lengths, spec_lens, b, s,
+        )
+        return self._residual(bb, x, attn_out), k_new, v_new
+
     def _residual(self, bb, x, attn_out):
         if self.cfg.parallel_residual:
             mlp_out = self.mlp.forward(bb, self.post_norm.forward(bb, x))
@@ -353,6 +390,40 @@ class LlamaForCausalLM(Module):
 
         x = self.final_norm.forward(bb, x)
         logits = self._logits(bb, x)  # s == 1: every position is the last
+
+        from ..core.expr import Tuple as TupleExpr
+
+        return bb.emit(TupleExpr([logits] + new_slices))
+
+    def forward_verify_paged(self, bb: BlockBuilder, tokens: Expr,
+                             block_table: Expr, lengths: Expr,
+                             spec_lens: Expr, caches: List[Expr],
+                             b, s) -> Expr:
+        """Speculative verify over the paged KV pool (repro.serve).
+
+        Unlike decode/prefill, *every* position feeds the LM head: the
+        engine needs the target's logits at each speculative position to
+        judge the draft's proposals, so the result tuple's logits entry
+        is (b, s, vocab).  New K/V slices ride along as usual; the host
+        appends only the accepted prefix per sequence.
+        """
+        cfg = self.cfg
+        x = self.embed.forward(bb, tokens)  # (b, s, hidden)
+        if cfg.scale_embeddings:
+            scale = const(np.asarray(math.sqrt(cfg.hidden_size)), cfg.dtype)
+            x = bb.emit(ops.multiply(x, scale))
+        new_slices: List[Expr] = []
+        for layer, (k_pages, v_pages) in zip(
+            self.layers, zip(caches[0::2], caches[1::2])
+        ):
+            x, k_new, v_new = layer.forward_verify_paged(
+                bb, x, k_pages, v_pages, block_table, lengths, spec_lens,
+                b, s,
+            )
+            new_slices.extend([k_new, v_new])
+
+        x = self.final_norm.forward(bb, x)
+        logits = self._logits(bb, x)  # all s positions are candidates
 
         from ..core.expr import Tuple as TupleExpr
 
@@ -503,7 +574,55 @@ def build_llama(cfg: LlamaConfig,
             },
             prefill_paged,
         )
+
+        def verify_paged(bb: BlockBuilder, tokens, block_table, lengths,
+                         spec_lens, *caches):
+            b = bb.shape_var("b")
+            s = bb.shape_var("s")
+            return model.forward_verify_paged(
+                bb, tokens, block_table, lengths, spec_lens,
+                list(caches), b, s,
+            )
+
+        # Ragged multi-token decode: tokens is padded to the batch's max
+        # speculative width s, spec_lens carries each sequence's valid
+        # width (s_i <= s), and lengths the committed cache length the
+        # rows start at.  Logits come back for every position.
+        spec["verify_paged"] = (
+            {
+                "tokens": TensorAnn(("b", "s"), "i64"),
+                "block_table": TensorAnn(("b", "w"), "i64"),
+                "lengths": TensorAnn(("b",), "i64"),
+                "spec_lens": TensorAnn(("b",), "i64"),
+                **_page_annotations(cfg, page_size),
+            },
+            verify_paged,
+        )
     return export_module(model, spec)
+
+
+def draft_config(cfg: LlamaConfig) -> LlamaConfig:
+    """Derive the paired draft model for speculative decoding.
+
+    A thin single-layer sibling sharing the target's vocabulary, page
+    layout-relevant head geometry and context — small enough that a
+    draft step costs a fraction of a target decode on the analytical
+    clock, which is where the speculative TPOT win comes from.  The
+    name is derived from the target's, so the (target, draft) pair
+    forms one compile-cache entry per device.
+    """
+    return replace(
+        cfg,
+        name=f"{cfg.name}-draft",
+        hidden_size=max(8, cfg.hidden_size // 4),
+        intermediate_size=max(16, cfg.intermediate_size // 4),
+        num_layers=1,
+        num_heads=1,
+        num_kv_heads=1,
+    )
+
+
+TINY_LLAMA_DRAFT = draft_config(TINY_LLAMA)
 
 
 def empty_caches(cfg: LlamaConfig, batch: int, concrete: bool):

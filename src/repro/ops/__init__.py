@@ -56,7 +56,12 @@ from .manipulate import (
 from .reduce import max_, mean, min_, sum_
 from .nn import causal_mask, layer_norm, rms_norm, rope, softmax
 from .attention import attention
-from .paged import paged_attention, paged_cross_attention, paged_prefill
+from .paged import (
+    paged_attention,
+    paged_cross_attention,
+    paged_prefill,
+    paged_verify,
+)
 from .create import arange, full, ones, zeros
 from .datadep import argmax, nonzero, unique, unique_op
 from .shape_of import shape_of, shape_of_op
@@ -100,6 +105,7 @@ __all__ = [
     "paged_attention",
     "paged_cross_attention",
     "paged_prefill",
+    "paged_verify",
     "permute_dims",
     "power",
     "register_fuzz",

@@ -393,6 +393,224 @@ register_fuzz("paged_prefill", "paged_prefill", paged_prefill, weight=1.0)
 
 
 # ---------------------------------------------------------------------------
+# paged_verify: ragged multi-token decode for speculative verification.
+# ---------------------------------------------------------------------------
+
+_VERIFY_ARG_NAMES = ("q", "k_pages", "v_pages", "block_table", "lengths",
+                     "spec_lens", "k_cur", "v_cur")
+
+
+def _verify_deduce(call: Call):
+    q = tensor_ann_of(call.args[0], "paged_verify", 0)
+    table = tensor_ann_of(call.args[3], "paged_verify", 3)
+    if table.dtype not in ("i64", "i32"):
+        raise TypeError("paged_verify: block_table must be an integer tensor")
+    lengths = tensor_ann_of(call.args[4], "paged_verify", 4)
+    if lengths.dtype not in ("i64", "i32"):
+        raise TypeError("paged_verify: lengths must be an integer tensor")
+    spec = tensor_ann_of(call.args[5], "paged_verify", 5)
+    if spec.dtype not in ("i64", "i32"):
+        raise TypeError("paged_verify: spec_lens must be an integer tensor")
+    if q.shape is None:
+        return TensorAnn(dtype=q.dtype, ndim=4)
+    return TensorAnn(q.shape, q.dtype)
+
+
+def _verify_legalize(call: Call) -> Legalized:
+    anns = [tensor_ann_of(a, "paged_verify", i)
+            for i, a in enumerate(call.args)]
+    (q_ann, kp_ann, vp_ann, bt_ann, len_ann, spec_ann, kc_ann,
+     vc_ann) = anns
+    q_shape = require_known_shape(q_ann, "paged_verify")
+    kp_shape = require_known_shape(kp_ann, "paged_verify")
+    bt_shape = require_known_shape(bt_ann, "paged_verify")
+    kc_shape = require_known_shape(kc_ann, "paged_verify")
+
+    b, s, h, d = q_shape
+    page = kp_shape[1]
+    h_kv = kp_shape[2]
+    w = bt_shape[1]
+    if not (sym.is_static(h) and sym.is_static(h_kv) and sym.is_static(d)
+            and sym.is_static(page)):
+        raise ValueError(
+            "paged_verify: head counts, head_dim and the page size must "
+            "be static"
+        )
+    page_i = sym.as_static_int(sym.simplify(page))
+    group = sym.as_static_int(sym.simplify(h)) // sym.as_static_int(
+        sym.simplify(h_kv)
+    )
+    scale = 1.0 / (sym.as_static_int(sym.simplify(d)) ** 0.5)
+    wb = sym.simplify(w * page_i)  # paged key positions per sequence
+
+    # Same two-group online softmax as ``paged_attention`` — the only
+    # difference is the current-block mask, which must handle rows padded
+    # past a sequence's ragged speculative width s_i <= s.
+    f = tir.TirBuilder("paged_verify")
+    f.attr("op_kind", "attention")
+    qb = f.arg("Q", q_shape, q_ann.dtype)
+    kpb = f.arg("KP", kp_shape, kp_ann.dtype)
+    vpb = f.arg("VP", vp_ann.shape, vp_ann.dtype)
+    btb = f.arg("BT", bt_shape, bt_ann.dtype)
+    lnb = f.arg("LN", len_ann.shape, len_ann.dtype)
+    slb = f.arg("SL", spec_ann.shape, spec_ann.dtype)
+    kcb = f.arg("KC", kc_shape, kc_ann.dtype)
+    vcb = f.arg("VC", vc_ann.shape, vc_ann.dtype)
+    ob = f.out("O", q_shape, q_ann.dtype)
+
+    acc = "f32"
+    s_page = f.alloc("SP", (b, h, s, wb), acc)   # paged scores
+    s_cur = f.alloc("SC", (b, h, s, s), acc)     # current-block scores
+    m_page = f.alloc("MP", (b, h, s), acc)
+    m_cur = f.alloc("MC", (b, h, s), acc)
+    m_all = f.alloc("M", (b, h, s), acc)
+    e_page = f.alloc("EP", (b, h, s), acc)
+    e_cur = f.alloc("EC", (b, h, s), acc)
+    e_all = f.alloc("E", (b, h, s), acc)
+    acc_page = f.alloc("AP", (b, s, h, d), acc)
+    acc_cur = f.alloc("AC", (b, s, h, d), acc)
+
+    def gather(data, bi, ji, kv_head, di):
+        # data[block_table[bi, ji // B], ji % B, kv_head, di]
+        return tir.GatherRead(
+            data, btb, (), (bi, ji // page_i),
+            (ji % page_i, kv_head, di),
+        )
+
+    def masked_page(expr, bi, ji):
+        # Paged position ji is valid iff ji < lengths[bi]; both branches
+        # evaluate, so padding pages are read then discarded.
+        valid = tir.Cmp("lt", tir.IndexValue(ji), lnb[bi])
+        return tir.select(valid, expr, -1e9)
+
+    def masked_cur(expr, bi, si, ti):
+        # Current key ti is attendable from query si iff ti <= si AND
+        # (ti < spec_lens[bi] OR ti == si): causal over the valid ragged
+        # width, with the self term kept unconditionally so padded rows
+        # (si >= spec_lens[bi]) still have a non-empty softmax and never
+        # read K columns beyond their own.  For valid rows the self term
+        # is already inside the width, so the escape is a no-op there.
+        causal = tir.Cmp("le", tir.IndexValue(ti), tir.IndexValue(si))
+        in_spec = tir.Cmp("lt", tir.IndexValue(ti), slb[bi])
+        is_self = tir.Cmp("eq", tir.IndexValue(ti), tir.IndexValue(si))
+        inner = tir.select(in_spec, expr, tir.select(is_self, expr, -1e9))
+        return tir.select(causal, inner, -1e9)
+
+    # Stage 1: scaled scores against the paged keys (gather via the table).
+    bi, hi, si, ji = f.spatial(b, h, s, wb)
+    di = f.reduce(d)
+    prod = tir.cast(acc, qb[bi, si, hi, di]) * tir.cast(
+        acc, gather(kpb, bi, ji, hi // group, di)
+    )
+    f.store(s_page, [bi, hi, si, ji], prod * scale, combiner="sum", init=0.0)
+
+    # Stage 2: scaled scores against the current-block keys.
+    bi, hi, si, ti = f.spatial(b, h, s, s)
+    di = f.reduce(d)
+    prod = tir.cast(acc, qb[bi, si, hi, di]) * tir.cast(
+        acc, kcb[bi, ti, hi // group, di]
+    )
+    f.store(s_cur, [bi, hi, si, ti], prod * scale, combiner="sum", init=0.0)
+
+    # Stages 3-5: running max over both score groups.
+    bi, hi, si = f.spatial(b, h, s)
+    ji = f.reduce(wb)
+    f.store(m_page, [bi, hi, si],
+            masked_page(s_page[bi, hi, si, ji], bi, ji), combiner="max")
+
+    bi, hi, si = f.spatial(b, h, s)
+    ti = f.reduce(s)
+    f.store(m_cur, [bi, hi, si],
+            masked_cur(s_cur[bi, hi, si, ti], bi, si, ti), combiner="max")
+
+    bi, hi, si = f.spatial(b, h, s)
+    f.store(m_all, [bi, hi, si],
+            tir.vmax(m_page[bi, hi, si], m_cur[bi, hi, si]))
+
+    # Stages 6-8: exp-sums (masked positions contribute exp(-1e9 - M) ~ 0).
+    bi, hi, si = f.spatial(b, h, s)
+    ji = f.reduce(wb)
+    f.store(
+        e_page, [bi, hi, si],
+        tir.exp(masked_page(s_page[bi, hi, si, ji], bi, ji)
+                - m_all[bi, hi, si]),
+        combiner="sum", init=0.0,
+    )
+
+    bi, hi, si = f.spatial(b, h, s)
+    ti = f.reduce(s)
+    f.store(
+        e_cur, [bi, hi, si],
+        tir.exp(masked_cur(s_cur[bi, hi, si, ti], bi, si, ti)
+                - m_all[bi, hi, si]),
+        combiner="sum", init=0.0,
+    )
+
+    bi, hi, si = f.spatial(b, h, s)
+    f.store(e_all, [bi, hi, si], e_page[bi, hi, si] + e_cur[bi, hi, si])
+
+    # Stage 9: probability-weighted paged values (gather again).
+    bi, si, hi, di = f.spatial(b, s, h, d)
+    ji = f.reduce(wb)
+    prob = tir.exp(
+        masked_page(s_page[bi, hi, si, ji], bi, ji) - m_all[bi, hi, si]
+    ) / e_all[bi, hi, si]
+    f.store(acc_page, [bi, si, hi, di],
+            prob * tir.cast(acc, gather(vpb, bi, ji, hi // group, di)),
+            combiner="sum", init=0.0)
+
+    # Stage 10: probability-weighted current-block values.
+    bi, si, hi, di = f.spatial(b, s, h, d)
+    ti = f.reduce(s)
+    prob = tir.exp(
+        masked_cur(s_cur[bi, hi, si, ti], bi, si, ti) - m_all[bi, hi, si]
+    ) / e_all[bi, hi, si]
+    f.store(acc_cur, [bi, si, hi, di],
+            prob * tir.cast(acc, vcb[bi, ti, hi // group, di]),
+            combiner="sum", init=0.0)
+
+    # Stage 11: combine the two softmax halves and cast out.
+    bi, si, hi, di = f.spatial(b, s, h, d)
+    f.store(
+        ob, [bi, si, hi, di],
+        tir.cast(q_ann.dtype,
+                 acc_page[bi, si, hi, di] + acc_cur[bi, si, hi, di]),
+    )
+
+    return Legalized(
+        f.build(), list(call.args), TensorAnn(q_shape, q_ann.dtype)
+    )
+
+
+paged_verify_op = register_op("paged_verify", _verify_deduce,
+                              _verify_legalize)
+
+
+def paged_verify(q: Expr, k_pages: Expr, v_pages: Expr, block_table: Expr,
+                 lengths: Expr, spec_lens: Expr, k_cur: Expr,
+                 v_cur: Expr) -> Call:
+    """Ragged multi-token paged decode for speculative verification.
+
+    Generalizes ``paged_attention`` from s == 1 to a block of ``s``
+    speculative query positions per sequence, where sequence ``bi``
+    only carries ``spec_lens[bi] <= s`` valid rows (the draft proposed
+    k_i tokens, plus the last accepted token, ragged across the batch).
+    Query ``i`` attends every paged position ``j < lengths[bi]`` plus
+    current positions ``t`` with ``t <= i`` and ``t < spec_lens[bi]``
+    (self always attendable, keeping padded rows' softmax non-empty).
+    Rows at or past ``spec_lens[bi]`` are padding: computed over their
+    own key only, discarded by the host.
+    """
+    return Call(
+        paged_verify_op,
+        [q, k_pages, v_pages, block_table, lengths, spec_lens, k_cur, v_cur],
+    )
+
+
+register_fuzz("paged_verify", "paged_verify", paged_verify, weight=1.0)
+
+
+# ---------------------------------------------------------------------------
 # paged_cross_attention: encoder-decoder cross-attention over pool-resident
 # encoder K/V, bit-exact vs. the dense non-causal ``attention`` op.
 # ---------------------------------------------------------------------------

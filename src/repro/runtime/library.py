@@ -346,6 +346,74 @@ REGISTRY.register(
 )
 
 
+def _paged_verify_cost(in_sd, out_sd):
+    (q_shape, _) = in_sd[0]
+    (kp_shape, kp_dtype) = in_sd[1]
+    (bt_shape, _) = in_sd[3]
+    b, s, h, d = q_shape
+    page, h_kv = kp_shape[1], kp_shape[2]
+    w = bt_shape[1]
+    ctx = w * page + s
+    flops = 2 * b * h * s * ctx * d * 2  # QK^T and PV over paged + current
+    # Same traffic model as paged_attention: only the referenced pages
+    # move, so verifying s speculative tokens re-reads the same cached
+    # K/V a single-token decode would — that is the speculative win the
+    # analytical clock captures.
+    touched = 2 * b * w * page * h_kv * d * dtypes.itemsize(kp_dtype)
+    light = _bytes_of(
+        [in_sd[0], in_sd[3], in_sd[4], in_sd[5], in_sd[6], in_sd[7]]
+    ) + _bytes_of(out_sd)
+    return flops, light + touched
+
+
+def _paged_verify_compute(inputs, outputs):
+    # Ragged multi-token paged decode: like paged_attention's compute, but
+    # the current-block mask is causal over each sequence's own speculative
+    # width spec_lens[i] with the self position always attendable (see
+    # repro.ops.paged's paged_verify).
+    q, kp, vp = (x.astype(np.float64) for x in inputs[:3])
+    table = inputs[3].astype(np.int64)
+    lengths = inputs[4].astype(np.int64)
+    spec_lens = inputs[5].astype(np.int64)
+    kc, vc = (x.astype(np.float64) for x in inputs[6:8])
+    b, s, h, d = q.shape
+    page, h_kv = kp.shape[1], kp.shape[2]
+    w = table.shape[1]
+    group = h // h_kv
+    scale = 1.0 / np.sqrt(d)
+    causal = np.arange(s)[None, :] <= np.arange(s)[:, None]
+    self_pos = np.eye(s, dtype=bool)
+    out = np.zeros_like(q)
+    for i in range(b):
+        k_past = kp[table[i]].reshape(w * page, h_kv, d)
+        v_past = vp[table[i]].reshape(w * page, h_kv, d)
+        valid = np.arange(w * page) < lengths[i]
+        in_spec = np.arange(s)[None, :] < spec_lens[i]
+        cur_mask = causal & (in_spec | self_pos)
+        for head in range(h):
+            g = head // group
+            scores_p = q[i, :, head, :] @ k_past[:, g, :].T * scale
+            scores_p = np.where(valid[None, :], scores_p, -1e9)
+            scores_c = q[i, :, head, :] @ kc[i, :, g, :].T * scale
+            scores_c = np.where(cur_mask, scores_c, -1e9)
+            scores = np.concatenate([scores_p, scores_c], axis=1)
+            e = np.exp(scores - scores.max(axis=-1, keepdims=True))
+            probs = e / e.sum(axis=-1, keepdims=True)
+            values = np.concatenate([v_past[:, g, :], vc[i, :, g, :]], axis=0)
+            out[i, :, head, :] = probs @ values
+    outputs[0][...] = out.astype(inputs[0].dtype)
+
+
+#: Speculative-verify attention: the ragged multi-token sibling of
+#: paged_attention, same CUDA/ROCm-only availability.
+REGISTRY.register(
+    LibraryKernel(
+        "flashinfer.paged_verify", _paged_verify_compute,
+        _paged_verify_cost, ("cuda", "rocm"),
+    )
+)
+
+
 def _unique_compute(inputs, outputs):  # pragma: no cover - handled by VM builtin
     raise RuntimeError("vm.builtin.unique is served by the VM, not the registry")
 

@@ -33,6 +33,7 @@ from .scheduler import (
     RequestState,
     SchedulerConfig,
 )
+from .spec import SpecConfig, TokenOracle
 from .workload import (
     Request,
     WorkloadConfig,
@@ -63,7 +64,9 @@ __all__ = [
     "SchedulerConfig",
     "ServeReport",
     "ServingEngine",
+    "SpecConfig",
     "SteppedPhase",
+    "TokenOracle",
     "WhisperProgram",
     "WorkloadConfig",
     "generate",

@@ -89,6 +89,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "chunking)")
     parser.add_argument("--eviction", choices=("swap", "recompute"),
                         default="swap")
+    parser.add_argument("--spec-tokens", type=int, default=0,
+                        help="speculative decoding: draft tokens proposed "
+                             "per step (0 disables speculation)")
+    parser.add_argument("--draft-quality", type=float, default=0.8,
+                        help="per-position probability the draft matches "
+                             "the target (acceptance converges here)")
+    parser.add_argument("--spec-seed", type=int, default=0,
+                        help="token-oracle seed (a vanilla run with the "
+                             "same seed emits the same token stream)")
+    parser.add_argument("--spec-adaptive", action="store_true",
+                        help="acceptance-aware speculative width control")
     parser.add_argument("--slo-ttft", type=float, default=1.0)
     parser.add_argument("--slo-tpot", type=float, default=0.1)
     parser.add_argument("--no-cuda-graph", action="store_true")
@@ -155,6 +166,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         denoise_config = getattr(
             denoise_models, DENOISE_MODELS[args.denoise_model])
+    spec_config = None
+    if args.spec_tokens > 0:
+        from .spec import SpecConfig
+
+        spec_config = SpecConfig(
+            num_spec_tokens=args.spec_tokens,
+            draft_quality=args.draft_quality,
+            seed=args.spec_seed,
+            adaptive=args.spec_adaptive,
+        )
     engine_config = EngineConfig(
         page_size=args.page_size,
         num_blocks=args.kv_blocks,
@@ -167,6 +188,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ),
         slo_ttft_s=args.slo_ttft,
         slo_tpot_s=args.slo_tpot,
+        spec=spec_config,
     )
 
     engine = ServingEngine(
@@ -211,6 +233,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"{pc['requested_tokens']} "
               f"({pc['cached_token_fraction'] * 100:.0f}%), "
               f"evictions {pc['evictions']}")
+    if "spec_decode" in s:
+        sd = s["spec_decode"]
+        rate = sd["acceptance_rate"]
+        per_pos = sd["per_position_acceptance"]
+        print(f"speculation       k={sd['num_spec_tokens']} "
+              f"draft={sd['draft_model']}, accepted "
+              f"{sd['accepted']}/{sd['proposed']} drafts "
+              f"({rate * 100:.0f}%)" if rate is not None else
+              f"speculation       k={sd['num_spec_tokens']} (no proposals)")
+        if per_pos is not None:
+            print(f"                  per-position acceptance "
+                  f"{per_pos * 100:.0f}% "
+                  f"(configured quality {sd['draft_quality'] * 100:.0f}%)")
     print(f"preemptions       {s['preemptions']} "
           f"(swap time {s['swap_time_s'] * 1e3:.2f} ms)")
     if "per_type" in s:

@@ -41,6 +41,7 @@ from .kv_cache import CacheError, PagedKVCache
 from .metrics import RequestMetrics, summarize
 from .prefix_cache import PrefixCache
 from .program import program_for
+from .spec import SpecConfig, TokenOracle
 from .scheduler import (
     ContinuousBatchingScheduler,
     Iteration,
@@ -93,6 +94,10 @@ class EngineConfig:
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
     slo_ttft_s: float = 1.0
     slo_tpot_s: float = 0.1
+    #: Speculative decoding (draft/verify).  ``None`` — the default —
+    #: keeps the engine byte-identical to its vanilla behaviour: same
+    #: schedule, same records, same trace, same summary JSON.
+    spec: Optional[SpecConfig] = None
 
 
 class ServingEngine:
@@ -107,7 +112,12 @@ class ServingEngine:
         enable_library_dispatch: bool = True,
         enable_cuda_graph: bool = True,
     ):
-        from ..bench.relax_runner import RelaxDenoise, RelaxLLM, RelaxWhisper
+        from ..bench.relax_runner import (
+            RelaxDenoise,
+            RelaxLLM,
+            RelaxSpecPair,
+            RelaxWhisper,
+        )
 
         self.cfg = cfg
         self.device = device
@@ -119,13 +129,28 @@ class ServingEngine:
             "m": cfg.context_length,
             "w": -(-cfg.context_length // page),
         }
-        self.llm = RelaxLLM(
-            cfg, device,
-            sym_var_upper_bounds=bounds,
-            enable_library_dispatch=enable_library_dispatch,
-            enable_cuda_graph=enable_cuda_graph,
-            page_size=page,
-        )
+        self.spec = self.econfig.spec
+        self.draft = None
+        if self.spec is not None:
+            # Paired compilation: target and draft share one compile-cache
+            # entry, so rate/acceptance sweeps compile the pair once.
+            pair = RelaxSpecPair(
+                cfg, self.spec.draft, device,
+                sym_var_upper_bounds=bounds,
+                enable_library_dispatch=enable_library_dispatch,
+                enable_cuda_graph=enable_cuda_graph,
+                page_size=page,
+            )
+            self.llm = pair.target
+            self.draft = pair.draft
+        else:
+            self.llm = RelaxLLM(
+                cfg, device,
+                sym_var_upper_bounds=bounds,
+                enable_library_dispatch=enable_library_dispatch,
+                enable_cuda_graph=enable_cuda_graph,
+                page_size=page,
+            )
         self.vm: VirtualMachine = self.llm.vm
         self.params = self.llm.params
         self.num_blocks = self._pool_blocks()
@@ -136,6 +161,16 @@ class ServingEngine:
             shape = (self.num_blocks, page, cfg.num_kv_heads, cfg.head_dim)
             self.pools.append(NDArray.abstract(shape, cfg.dtype))
             self.pools.append(NDArray.abstract(shape, cfg.dtype))
+        # Draft pools mirror the target's block-id space: both models are
+        # indexed through the *same* block tables (one allocator), so the
+        # draft pool is sized to the same num_blocks.
+        self.draft_pools: List[NDArray] = []
+        if self.draft is not None:
+            dcfg = self.draft.cfg
+            dshape = (self.num_blocks, page, dcfg.num_kv_heads, dcfg.head_dim)
+            for _ in range(dcfg.num_layers):
+                self.draft_pools.append(NDArray.abstract(dshape, dcfg.dtype))
+                self.draft_pools.append(NDArray.abstract(dshape, dcfg.dtype))
         # Optional heterogeneous model families, one compiled VM each.
         # All families share one block-id space (the PagedKVCache
         # allocator): per-family pool arrays are sized to the same
@@ -168,6 +203,8 @@ class ServingEngine:
         if denoise_config is not None:
             self.denoise = RelaxDenoise(denoise_config, device)
         self._vms: List[VirtualMachine] = [self.vm]
+        if self.draft is not None:
+            self._vms.append(self.draft.vm)
         if self.whisper is not None:
             self._vms.append(self.whisper.vm)
         if self.denoise is not None:
@@ -187,6 +224,9 @@ class ServingEngine:
         if self.econfig.num_blocks is not None:
             return self.econfig.num_blocks
         weights = self.llm.exported.param_bytes()
+        if self.draft is not None:
+            # The draft model's weights live in the same VRAM budget.
+            weights += self.draft.exported.param_bytes()
         budget = (self.device.vram_bytes - weights)
         budget = int(budget * self.econfig.kv_memory_fraction)
         blocks = budget // self._block_bytes()
@@ -221,6 +261,22 @@ class ServingEngine:
         kv = PagedKVCache(self.num_blocks, econf.page_size)
         cache = PrefixCache(kv) if econf.enable_prefix_caching else None
         sched = ContinuousBatchingScheduler(econf.scheduler, kv)
+        # Token identity comes from the oracle (abstract mode: the VM
+        # meters cost but produces no logits).  The vanilla engine uses
+        # seed 0, so a speculative run pinning ``SpecConfig.seed=0``
+        # emits the exact same token stream.
+        spec = self.spec
+        oracle = TokenOracle(
+            seed=spec.seed if spec is not None else 0,
+            vocab_size=self.cfg.vocab_size,
+            draft_quality=spec.draft_quality if spec is not None else 0.0,
+        )
+        spec_k = spec.num_spec_tokens if spec is not None else 0
+        sched.spec_k_cap = None
+        # Acceptance-aware controller state (windowed proposal/accept
+        # counters); inert unless ``spec.adaptive``.
+        ctl_proposed = ctl_accepted = 0
+        ctl_cap = spec_k
         states = {
             r.req_id: RequestState(
                 request=r,
@@ -232,7 +288,8 @@ class ServingEngine:
                     kind=r.kind,
                 ),
                 program=program_for(
-                    r, denoise_budget_per_step=denoise_budget
+                    r, denoise_budget_per_step=denoise_budget,
+                    llm_spec_tokens=spec_k,
                 ),
             )
             for r in requests
@@ -285,7 +342,18 @@ class ServingEngine:
             clock = t_begin + delta.time_s + swap_s
             swap_total_s += swap_s
 
-            self._advance(it, sched, clock)
+            self._advance(it, sched, clock, kv, oracle)
+            if spec is not None and spec.adaptive and it.spec_decode:
+                ctl_proposed += sum(k for _, _, k in it.spec_decode)
+                ctl_accepted += sum(it.spec_accepted.values())
+                if ctl_proposed >= spec.adapt_window:
+                    rate = ctl_accepted / ctl_proposed
+                    if rate < spec.adapt_low:
+                        ctl_cap = max(1, ctl_cap - 1)
+                    elif rate > spec.adapt_high:
+                        ctl_cap = min(spec.num_spec_tokens, ctl_cap + 1)
+                    sched.spec_k_cap = ctl_cap
+                    ctl_proposed = ctl_accepted = 0
             self._record(it, iterations, trace_events, t_begin, clock,
                          swap_s, delta, kv, sched)
             queue_samples.append(sched.queue_depth)
@@ -318,6 +386,31 @@ class ServingEngine:
         }
         if cache is not None:
             summary["prefix_cache"] = cache.stats.to_dict()
+        if spec is not None:
+            proposed = sum(s.metrics.spec_proposed for s in states.values())
+            accepted = sum(s.metrics.spec_accepted for s in states.values())
+            checked = sum(s.metrics.spec_checked for s in states.values())
+            summary["spec_decode"] = {
+                "num_spec_tokens": spec.num_spec_tokens,
+                "draft_quality": spec.draft_quality,
+                "draft_model": self.draft.cfg.name,
+                "adaptive": spec.adaptive,
+                "proposed": proposed,
+                "accepted": accepted,
+                "checked": checked,
+                # Drafting efficiency: fraction of proposed drafts that
+                # committed (greedy matching truncates at the first miss,
+                # so this sits below the per-position quality).
+                "acceptance_rate": (
+                    accepted / proposed if proposed else None
+                ),
+                # Per-position acceptance: each *checked* position is an
+                # independent Bernoulli(draft_quality) draw, so this
+                # converges to the configured draft quality.
+                "per_position_acceptance": (
+                    accepted / checked if checked else None
+                ),
+            }
         return ServeReport(
             device=self.device.name,
             model=self.cfg.name,
@@ -347,6 +440,43 @@ class ServingEngine:
                 *self.params,
             )
         page = self.econfig.page_size
+        if it.spec_decode:
+            # Draft proposal rounds: round r decodes one draft token for
+            # every sequence still proposing (k > r); the draft reads the
+            # target's block tables (shared block-id space) with context
+            # grown by the r tokens already proposed this step.
+            max_k = max(k for _, _, k in it.spec_decode)
+            for r in range(max_k):
+                group = [ctx for _, ctx, k in it.spec_decode if k > r]
+                if not group:
+                    break
+                b = len(group)
+                w = max(max(c + r for c in group) // page + 1, 1)
+                self.draft.vm.run(
+                    "decode_paged",
+                    NDArray.abstract((b, 1), "i64"),
+                    NDArray.abstract((b, w), "i64"),
+                    NDArray.abstract((b,), "i64"),
+                    *self.draft_pools,
+                    *self.draft.params,
+                )
+            # One ragged multi-token verify on the target: row 0 is the
+            # last committed token, rows 1..k the draft proposals; the
+            # target scores all k + 1 positions in a single weights pass —
+            # which is the whole speculative bet (decode is weights-bound,
+            # so verifying k extra rows costs barely more than one token).
+            b = len(it.spec_decode)
+            s = max_k + 1
+            w = max(max(ctx for _, ctx, _ in it.spec_decode) // page + 1, 1)
+            self.vm.run(
+                "verify_paged",
+                NDArray.abstract((b, s), "i64"),
+                NDArray.abstract((b, w), "i64"),
+                NDArray.abstract((b,), "i64"),
+                NDArray.abstract((b,), "i64"),
+                *self.pools,
+                *self.params,
+            )
         for _, past, chunk in it.prefill:
             w = max(-(-(past + chunk) // page), 1)
             self.vm.run(
@@ -417,11 +547,48 @@ class ServingEngine:
                 )
 
     def _advance(self, it: Iteration, sched: ContinuousBatchingScheduler,
-                 clock: float) -> None:
-        """Commit token production and completions at ``clock``."""
+                 clock: float, kv: PagedKVCache,
+                 oracle: TokenOracle) -> None:
+        """Commit token production and completions at ``clock``.
+
+        Token *identity* always comes from the oracle, indexed by output
+        position — so any execution strategy (vanilla, speculative,
+        recompute-after-preemption) reconstructs the identical stream;
+        only the timestamps differ.
+        """
         for state in it.decode:
+            state.metrics.output_tokens.append(
+                oracle.target_token(state.seq_id, state.generated))
             state.generated += 1
             state.metrics.token_times.append(clock)
+            if state.done:
+                state.metrics.finish_s = clock
+                sched.finish(state)
+        for state, ctx, k in it.spec_decode:
+            # Greedy-match acceptance: the emitted stream is the longest
+            # prefix of draft proposals the target agrees with, plus the
+            # target's own "bonus" token — so between 1 and k + 1 tokens
+            # commit, all byte-identical to what vanilla decode would
+            # have emitted at these positions.
+            pos = state.generated
+            n = 0
+            while n < k and oracle.draft_matches(state.seq_id, pos + n):
+                n += 1
+            state.metrics.spec_proposed += k
+            state.metrics.spec_accepted += n
+            state.metrics.spec_checked += n if n == k else n + 1
+            it.spec_accepted[state.seq_id] = n
+            # Exact rollback: the scheduler appended k + 1 KV tokens
+            # optimistically; the k - n rejected tail tokens come back
+            # out, returning fully-vacated tail pages to the pool in
+            # LIFO order.
+            if k - n:
+                kv.rollback(state.seq_id, k - n)
+            for i in range(n + 1):
+                state.metrics.output_tokens.append(
+                    oracle.target_token(state.seq_id, pos + i))
+                state.generated += 1
+                state.metrics.token_times.append(clock)
             if state.done:
                 state.metrics.finish_s = clock
                 sched.finish(state)
@@ -438,6 +605,8 @@ class ServingEngine:
                 and state.generated == 0
             ):
                 # Final prefill chunk yields the first output token.
+                state.metrics.output_tokens.append(
+                    oracle.target_token(state.seq_id, 0))
                 state.generated = 1
                 state.metrics.token_times.append(clock)
                 if state.done:
@@ -471,6 +640,11 @@ class ServingEngine:
         if it.steps or it.chunks:
             record["steps"] = len(it.steps)
             record["chunk_tokens"] = sum(n for _, _, _, n in it.chunks)
+        # Speculative keys likewise: vanilla runs must stay byte-identical.
+        if it.spec_decode:
+            record["spec_batch"] = len(it.spec_decode)
+            record["spec_proposed"] = sum(k for _, _, k in it.spec_decode)
+            record["spec_accepted"] = sum(it.spec_accepted.values())
         iterations.append(record)
         # Engine track (pid 0 / tid 0): one slice per iteration plus a
         # KV-utilisation counter.
@@ -498,6 +672,17 @@ class ServingEngine:
                 "ph": "X", "pid": 1, "tid": state.seq_id,
                 "ts": t_begin * us, "dur": (t_end - t_begin) * us,
                 "args": {"token": state.generated + 1},
+            })
+        for state, ctx, k in it.spec_decode:
+            trace_events.append({
+                "name": "spec_decode",
+                "ph": "X", "pid": 1, "tid": state.seq_id,
+                "ts": t_begin * us, "dur": (t_end - t_begin) * us,
+                "args": {
+                    "ctx": ctx,
+                    "proposed": k,
+                    "accepted": it.spec_accepted.get(state.seq_id, 0),
+                },
             })
         for state, past, chunk in it.prefill:
             trace_events.append({
@@ -590,6 +775,9 @@ class ServeReport:
             }
             if r.kind != "llm":
                 d["kind"] = r.kind
+            if r.spec_proposed:
+                d["spec_proposed"] = r.spec_proposed
+                d["spec_accepted"] = r.spec_accepted
             out_requests.append(d)
         return {
             "device": self.device,

@@ -356,6 +356,42 @@ class PagedKVCache:
         self._note_usage()
         return need
 
+    def rollback(self, seq_id: int, num_tokens: int) -> int:
+        """Pop ``num_tokens`` off the tail of ``seq_id``; returns blocks
+        whose reference this sequence dropped.
+
+        This is the speculative-decode rejection path: draft tokens the
+        target model refused were appended optimistically and their KV
+        must come back out *exactly*.  Tail blocks left without any of
+        this sequence's tokens lose one reference each, in reverse block
+        order — the mirror image of how :meth:`append` allocated them —
+        so the allocator's LIFO free list ends up as if the rejected
+        tokens were never appended (block-id reuse determinism).  A
+        partially vacated tail page stays owned: its earlier slots still
+        hold accepted tokens.
+
+        Blocks this sequence shares with the prefix cache or a forked
+        sibling survive a dropped reference; only the last owner's drop
+        returns a page to the pool, matching :meth:`release_sequence`.
+        """
+        if num_tokens < 0:
+            raise CacheError(f"rollback of {num_tokens} tokens")
+        seq = self._seqs[seq_id]
+        if num_tokens > seq.length:
+            raise CacheError(
+                f"rollback of {num_tokens} tokens exceeds sequence "
+                f"{seq_id} length {seq.length}"
+            )
+        new_length = seq.length - num_tokens
+        keep = self.blocks_for_tokens(new_length)
+        released = 0
+        for pos in reversed(range(keep, len(seq.blocks))):
+            self.allocator.free(seq.blocks[pos])
+            released += 1
+        del seq.blocks[keep:]
+        seq.length = new_length
+        return released
+
     def release_sequence(self, seq_id: int) -> ReleaseInfo:
         """Release one sequence's ownership of all its blocks.
 

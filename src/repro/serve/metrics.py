@@ -48,6 +48,21 @@ class RequestMetrics:
     #: Request type ("llm", "whisper", "denoise", ...); heterogeneous
     #: runs report latency distributions per type.
     kind: str = "llm"
+    #: Output token ids in emission order (filled from the engine's token
+    #: oracle).  In-memory only — never serialized — so speculative runs
+    #: can be checked token-for-token against vanilla runs without
+    #: perturbing the summary/report byte format.
+    output_tokens: List[int] = field(default_factory=list)
+    #: Draft tokens proposed for / accepted by this request across all
+    #: its speculative steps (all stay 0 when speculation is off).
+    #: ``spec_checked`` counts positions the greedy-match verifier
+    #: actually examined (it stops at the first mismatch): each check is
+    #: an independent Bernoulli(draft_quality) draw, so
+    #: ``accepted / checked`` converges to the configured draft quality
+    #: while ``accepted / proposed`` sits strictly below it.
+    spec_proposed: int = 0
+    spec_accepted: int = 0
+    spec_checked: int = 0
 
     @property
     def first_token_s(self) -> Optional[float]:
@@ -87,8 +102,17 @@ def summarize(
     slo_tpot_s: float = 0.1,
     queue_depth_samples: Sequence[int] = (),
     kv_utilization_samples: Sequence[float] = (),
+    kinds: Optional[Sequence[str]] = None,
 ) -> Dict[str, Any]:
-    """Aggregate a finished run into one JSON-ready dict."""
+    """Aggregate a finished run into one JSON-ready dict.
+
+    ``kinds`` optionally names every request type the *workload*
+    contained.  The per-type breakdown is keyed on the union of this and
+    the kinds present in ``requests`` — so a type whose requests were all
+    rejected before reaching the engine still appears, with zero counts
+    and ``None`` distribution fields, instead of silently vanishing from
+    the breakdown (consumers diffing sweeps rely on a stable key set).
+    """
     done = [r for r in requests if r.finish_s is not None]
     ttfts = [r.ttft for r in done if r.ttft is not None]
     tpots = [r.tpot for r in done if r.tpot is not None]
@@ -131,15 +155,15 @@ def summarize(
         "itl_s": dist(itls),
         "preemptions": sum(r.preemptions for r in requests),
     }
-    kinds = sorted({r.kind for r in requests})
-    if kinds and kinds != ["llm"]:
+    all_kinds = sorted({r.kind for r in requests} | set(kinds or ()))
+    if all_kinds and all_kinds != ["llm"]:
         # Heterogeneous run: break the latency distributions out per
         # request type.  For iterative-denoise requests ``itl_s`` is the
         # per-step latency distribution (each "token" is one denoise
         # iteration).  LLM-only runs omit this key so their summaries are
         # byte-identical to the pre-heterogeneous format.
         per_type: Dict[str, Any] = {}
-        for kind in kinds:
+        for kind in all_kinds:
             kdone = [r for r in done if r.kind == kind]
             per_type[kind] = {
                 "num_requests": sum(1 for r in requests if r.kind == kind),

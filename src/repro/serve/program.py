@@ -87,6 +87,15 @@ class SteppedPhase:
     #: token; heavier constant-cost steps (a denoise iteration touches
     #: every latent token) may charge more.
     budget_per_step: int = 1
+    #: Speculative variant: maximum draft tokens proposed alongside each
+    #: step.  0 (the default) is the vanilla one-token step; k > 0 lets
+    #: the scheduler plan a draft/verify step that appends up to
+    #: ``(1 + k) * kv_per_step`` KV tokens optimistically (the engine
+    #: rolls back whatever the target rejects) and charges ``1 + k``
+    #: budget units.  The actual width per step is
+    #: ``min(k, remaining_output - 1)``, so speculation degenerates to a
+    #: vanilla step on a request's final token.
+    max_spec_tokens: int = 0
 
 
 class RequestProgram:
@@ -189,12 +198,13 @@ class LLMProgram(RequestProgram):
     prefix_cacheable = True
     batched_decode = True
 
-    def __init__(self, request: Request):
+    def __init__(self, request: Request, *, spec_tokens: int = 0):
         super().__init__(
             request,
             chunked=[ChunkedPhase("prefill", target=request.prompt_len,
                                   kv_per_unit=1)],
-            stepped=SteppedPhase("decode", target=request.output_len),
+            stepped=SteppedPhase("decode", target=request.output_len,
+                                 max_spec_tokens=spec_tokens),
         )
 
 
@@ -248,10 +258,11 @@ class DenoiseProgram(RequestProgram):
 
 
 def program_for(request: Request, *,
-                denoise_budget_per_step: int = 1) -> RequestProgram:
+                denoise_budget_per_step: int = 1,
+                llm_spec_tokens: int = 0) -> RequestProgram:
     """Default program factory keyed on ``Request.kind``."""
     if request.kind == "llm":
-        return LLMProgram(request)
+        return LLMProgram(request, spec_tokens=llm_spec_tokens)
     if request.kind == "whisper":
         return WhisperProgram(request)
     if request.kind == "denoise":

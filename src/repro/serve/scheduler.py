@@ -35,7 +35,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from .kv_cache import CacheError, PagedKVCache
 from .metrics import RequestMetrics
@@ -144,6 +144,15 @@ class Iteration:
     preempted: List[Tuple[RequestState, int, str]] = field(default_factory=list)
     #: ``(state, cached_tokens)`` admissions served from the prefix cache.
     cache_hits: List[Tuple[RequestState, int]] = field(default_factory=list)
+    #: ``(state, ctx_len, k)`` speculative decode entries: the sequence
+    #: runs one draft/verify step proposing ``k`` draft tokens on top of
+    #: the mandatory bonus token; ``ctx_len`` is the cached context
+    #: *before* this step's optimistic ``k + 1``-token append.  Empty
+    #: unless the program's stepped phase enables speculation.
+    spec_decode: List[Tuple[RequestState, int, int]] = field(default_factory=list)
+    #: Filled by the engine after verification: ``seq_id -> accepted``
+    #: draft count for this iteration's speculative entries.
+    spec_accepted: Dict[int, int] = field(default_factory=dict)
 
     @property
     def num_batched_tokens(self) -> int:
@@ -152,12 +161,13 @@ class Iteration:
             + sum(n for _, _, n in self.prefill)
             + sum(s.program.stepped.budget_per_step for s, _ in self.steps)
             + sum(n for _, _, _, n in self.chunks)
+            + sum(k + 1 for _, _, k in self.spec_decode)
         )
 
     @property
     def empty(self) -> bool:
         return not (self.decode or self.prefill or self.steps or self.chunks
-                    or self.swapped_in or self.preempted)
+                    or self.spec_decode or self.swapped_in or self.preempted)
 
 
 @dataclass(frozen=True)
@@ -189,6 +199,10 @@ class ContinuousBatchingScheduler:
         #: away once written, so admission must guarantee they all fit
         #: the pool together; evictable requests make room on demand.
         self.unevictable_blocks = 0
+        #: Acceptance-aware cap on the speculative width, written by the
+        #: engine's adaptive controller (``None`` = no cap).  Planning
+        #: uses ``min(program k, cap)``; vanilla programs ignore it.
+        self.spec_k_cap: Optional[int] = None
 
     # -- intake -----------------------------------------------------------------
 
@@ -283,17 +297,49 @@ class ContinuousBatchingScheduler:
                 continue
             if state not in self.running:
                 continue  # evicted as a victim earlier in this loop
-            need = state.program.stepped.kv_per_step
+            sp = state.program.stepped
+            need = sp.kv_per_step
             if need == 0:
                 it.steps.append((state, 0))
                 continue
+            # Speculative width for this step: the program's k, capped by
+            # the adaptive controller and by the request's remaining
+            # output (the step always emits at least the bonus token, so
+            # proposing more than remaining - 1 drafts is pure waste).
+            # k = 0 degenerates to the vanilla one-token step arithmetic.
+            spec_k = 0
+            if sp.max_spec_tokens > 0 and state.program.batched_decode:
+                spec_k = min(sp.max_spec_tokens,
+                             sp.target - state.generated - 1)
+                if self.spec_k_cap is not None:
+                    spec_k = min(spec_k, self.spec_k_cap)
+                spec_k = max(spec_k, 0)
+                # Never let the optimistic append push the sequence past
+                # what an otherwise-empty pool could hold — the fail-fast
+                # check below must fire only when the *vanilla* step
+                # cannot fit, not because of shrinkable draft width.
+                while spec_k > 0 and (
+                    self.kv.blocks_for_tokens(
+                        self.kv.length(state.seq_id)
+                        + sp.kv_per_step * (1 + spec_k))
+                    > self.kv.num_usable_blocks
+                ):
+                    spec_k -= 1
+                need = sp.kv_per_step * (1 + spec_k)
             stepping = [s for s, _ in it.steps]
+            speccing = [s for s, _, _ in it.spec_decode]
             placed = False
             while True:
                 if self.kv.can_append(state.seq_id, need):
                     ctx = self.kv.length(state.seq_id)
                     self.kv.append(state.seq_id, need)
-                    if state.program.batched_decode:
+                    if sp.max_spec_tokens > 0 and state.program.batched_decode:
+                        # Optimistic append: the engine verifies the k
+                        # drafts and rolls back whatever the target
+                        # rejects, so pool pressure here is the honest
+                        # worst case for this step.
+                        it.spec_decode.append((state, ctx, spec_k))
+                    elif state.program.batched_decode:
                         it.decode_lengths.append(ctx)
                         it.decode.append(state)
                     else:
@@ -301,7 +347,7 @@ class ContinuousBatchingScheduler:
                     placed = True
                     break
                 if not self._preempt_one(
-                    it, protect=it.decode + stepping + [state]
+                    it, protect=it.decode + stepping + speccing + [state]
                 ):
                     break
             if not placed:
@@ -322,12 +368,13 @@ class ContinuousBatchingScheduler:
                     )
                 # Otherwise preempt this sequence too rather than stall
                 # with a half-planned step.
-                self._preempt_one(it, protect=it.decode + stepping)
+                self._preempt_one(it, protect=it.decode + stepping + speccing)
 
         budget = (
             cfg.max_num_batched_tokens
             - len(it.decode)
             - sum(s.program.stepped.budget_per_step for s, _ in it.steps)
+            - sum(k + 1 for _, _, k in it.spec_decode)
         )
 
         # 2. Resume swapped sequences (oldest first) while seats, blocks

@@ -59,6 +59,7 @@ register_dispatch(
 )
 register_dispatch("paged_attention", "flashinfer.paged_attention")
 register_dispatch("paged_prefill", "flashinfer.paged_prefill")
+register_dispatch("paged_verify", "flashinfer.paged_verify")
 register_dispatch("rms_norm", "cutlass.rms_norm")
 register_dispatch("softmax", "cudnn.softmax")
 

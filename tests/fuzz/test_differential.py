@@ -38,15 +38,20 @@ def test_pinned_seed_passes_oracle(seed):
 # First generator seed whose plan contains a paged_attention step; keeps
 # the paged lowering (gather legalization + library dispatch) inside the
 # default pinned batch even if the seed stream shifts the others.
-PAGED_SEED = 28
+PAGED_SEED = 31
 
 # First generator seed whose plan contains a paged_prefill step (the
 # chunked-prefill entry into the paged pool).
 PAGED_PREFILL_SEED = 10
 
-# First generator seed whose plan contains a paged_cross_attention step
-# (write-once encoder K/V read through the block table).
-PAGED_CROSS_SEED = 34
+# First generator seed whose plan contains a paged_verify step (ragged
+# speculative-decode verification over the paged pool).
+PAGED_VERIFY_SEED = 18
+
+# First generator seed with a paged_cross_attention step not already in
+# PAGED_PREFILL_SEED's plan (seed 10 carries both kinds; a distinct seed
+# keeps the pinned coverage spread over more plans for the same cost).
+PAGED_CROSS_SEED = 41
 
 
 def test_pinned_paged_attention_seed_passes_oracle():
@@ -61,6 +66,13 @@ def test_pinned_paged_prefill_seed_passes_oracle():
     assert any(s.kind == "paged_prefill" for s in plan.steps)
     failure = failure_of(plan)
     assert failure is None, f"seed {PAGED_PREFILL_SEED}: {failure}"
+
+
+def test_pinned_paged_verify_seed_passes_oracle():
+    plan = generate(PAGED_VERIFY_SEED)
+    assert any(s.kind == "paged_verify" for s in plan.steps)
+    failure = failure_of(plan)
+    assert failure is None, f"seed {PAGED_VERIFY_SEED}: {failure}"
 
 
 def test_pinned_paged_cross_attention_seed_passes_oracle():
@@ -121,6 +133,36 @@ def test_handwritten_paged_attention_plan_passes_oracle():
     )
     failure = failure_of(plan)
     assert failure is None, f"handwritten paged plan: {failure}"
+
+
+def test_handwritten_paged_verify_plan_passes_oracle():
+    """Oracle case for the speculative-verify lowering: s = 3 query rows
+    per sequence but ragged valid widths via spec_lens (index bound 4
+    lets the inputs hit the fully-padded sl = 0 edge), grouped query
+    heads over a shared page pool, one sequence with zero cached
+    context — the self-position escape must keep every row's softmax
+    non-empty."""
+    plan = Plan(
+        seed=0,
+        dims={},
+        params=[
+            ParamSpec("pq", [2, 3, 2, 4], "f32"),
+            ParamSpec("kp", [3, 2, 1, 4], "f32"),
+            ParamSpec("vp", [3, 2, 1, 4], "f32"),
+            ParamSpec("bt", [2, 2], "i64", role="index", index_bound=3),
+            ParamSpec("ln", [2], "i64", role="index", index_bound=5),
+            ParamSpec("sl", [2], "i64", role="index", index_bound=4),
+            ParamSpec("kc", [2, 3, 1, 4], "f32"),
+            ParamSpec("vc", [2, 3, 1, 4], "f32"),
+        ],
+        steps=[
+            Step("paged_verify", "paged_verify", [0, 1, 2, 3, 4, 5, 6, 7]),
+            Step("unary", "exp", [8]),
+        ],
+        outputs=[8, 9],
+    )
+    failure = failure_of(plan)
+    assert failure is None, f"handwritten paged_verify plan: {failure}"
 
 
 def test_handwritten_paged_prefill_plan_passes_oracle():

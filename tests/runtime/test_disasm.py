@@ -82,15 +82,15 @@ _COVERAGE_BUILDS = [
     (2, {"enable_memory_planning": False}),
     (5, {}),
     (7, {}),
-    (7, {"enable_memory_planning": False}),
-    (15, {}),
+    (10, {}),
     (18, {}),
+    (18, {"enable_memory_planning": False}),
     (21, {"enable_memory_planning": False}),
-    (23, {}),
+    (31, {}),
     (32, {}),
-    (35, {}),
     (37, {}),
-    (45, {}),
+    (38, {}),
+    (41, {}),
 ]
 
 

@@ -349,3 +349,141 @@ def test_random_shared_schedules_keep_exact_accounting(seed):
     for seq in live:
         kv.release_sequence(seq)
     kv.check_no_leaks()
+
+
+# ---------------------------------------------------------------------------
+# Speculative rollback: exact tail-page release, LIFO determinism
+# ---------------------------------------------------------------------------
+
+
+def test_rollback_releases_exactly_the_tail_blocks():
+    kv = PagedKVCache(8, page_size=4)
+    kv.add_sequence(0)
+    kv.append(0, 6)                 # 2 blocks, tail half full
+    kept = list(kv.blocks(0))
+    kv.append(0, 5)                 # speculative burst -> 11 tokens, 3 blocks
+    assert kv.rollback(0, 4) == 1   # back to 7 tokens -> 2 blocks
+    assert kv.length(0) == 7
+    assert kv.blocks(0) == kept     # surviving blocks untouched
+    assert kv.rollback(0, 0) == 0   # no-op rollback is legal
+    kv.rollback(0, 7)               # all the way to empty is legal too
+    assert kv.length(0) == 0
+    assert kv.blocks(0) == []
+    kv.release_sequence(0)
+    kv.check_no_leaks()
+
+
+def test_rollback_error_cases():
+    kv = PagedKVCache(8, page_size=4)
+    kv.add_sequence(0)
+    kv.append(0, 4)
+    with pytest.raises(CacheError):
+        kv.rollback(0, -1)
+    with pytest.raises(CacheError):
+        kv.rollback(0, 5)           # exceeds sequence length
+    assert kv.length(0) == 4        # failed rollback has no side effects
+    kv.release_sequence(0)
+    kv.check_no_leaks()
+
+
+def test_rollback_frees_tail_blocks_in_reverse_order():
+    """Rollback mirrors append on the LIFO free list: the blocks it frees
+    come back out of the allocator in append order."""
+    kv = PagedKVCache(16, page_size=2)
+    kv.add_sequence(0)
+    kv.append(0, 8)                 # 4 blocks
+    grown = list(kv.blocks(0))
+    kv.rollback(0, 6)               # drop the last 3
+    kv.add_sequence(1)
+    kv.append(1, 6)
+    assert kv.blocks(1) == grown[1:]
+    kv.release_sequence(0)
+    kv.release_sequence(1)
+    kv.check_no_leaks()
+
+
+def test_rollback_then_reappend_reuses_identical_blocks():
+    """A rejected speculative burst leaves zero trace: re-appending the
+    same number of tokens lands on the very same block ids."""
+    kv = PagedKVCache(16, page_size=4)
+    kv.add_sequence(0)
+    kv.append(0, 4)
+    kv.append(0, 9)                 # burst crossing two page boundaries
+    burst = list(kv.blocks(0))
+    kv.rollback(0, 9)
+    kv.append(0, 9)
+    assert kv.blocks(0) == burst
+    kv.release_sequence(0)
+    kv.check_no_leaks()
+
+
+def test_rollback_of_shared_tail_keeps_other_owner():
+    kv = PagedKVCache(8, page_size=4)
+    kv.add_sequence(0)
+    kv.append(0, 8)                 # 2 full blocks
+    tail = kv.blocks(0)[-1]
+    kv.allocator.share(tail)        # e.g. the prefix cache holds the page
+    assert kv.rollback(0, 4) == 1   # the sequence drops its ref...
+    assert kv.allocator.refcount(tail) == 1   # ...the block survives
+    kv.release_sequence(0)
+    assert kv.allocator.free(tail) == 0
+    kv.check_no_leaks()
+
+
+def _spec_traffic_script(seed, num_blocks=32, page_size=4, steps=300):
+    """Random interleaving of speculative bursts (optimistic append of
+    1 + k tokens, then greedy-match rollback of the k - n rejected ones),
+    plain appends, COW forks off shared prompt pages, and releases.
+    Exact refcount accounting is asserted after every step; returns the
+    full block-table trajectory for determinism comparison."""
+    rng = random.Random(seed)
+    kv = PagedKVCache(num_blocks, page_size)
+    live = []
+    next_id = 0
+    trajectory = []
+    for _ in range(steps):
+        roll = rng.random()
+        if roll < 0.25 or not live:
+            kv.add_sequence(next_id)
+            live.append(next_id)
+            next_id += 1
+        elif roll < 0.55:
+            seq = rng.choice(live)
+            k = rng.randint(1, 2 * page_size)
+            if kv.can_append(seq, 1 + k):
+                kv.append(seq, 1 + k)
+                n = rng.randint(0, k)       # accepted prefix length
+                kv.rollback(seq, k - n)
+        elif roll < 0.7:
+            seq = rng.choice(live)
+            n = rng.randint(1, page_size)
+            if kv.can_append(seq, n):
+                kv.append(seq, n)
+        elif roll < 0.85:
+            donor = rng.choice(live)
+            full = (kv.length(donor) // page_size) * page_size
+            if full:
+                blocks = kv.blocks(donor)[: full // page_size]
+                kv.add_sequence(next_id)
+                kv.attach_shared(next_id, blocks, full)
+                live.append(next_id)
+                next_id += 1
+        else:
+            seq = rng.choice(live)
+            kv.release_sequence(seq)
+            live.remove(seq)
+        expected_refs = 1 + sum(len(kv.blocks(s)) for s in live)
+        assert kv.allocator.total_refs == expected_refs
+        trajectory.append(sorted((s, tuple(kv.blocks(s))) for s in live))
+    for seq in live:
+        kv.release_sequence(seq)
+    kv.check_no_leaks()
+    return trajectory
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_spec_traffic_keeps_lifo_reuse_determinism(seed):
+    """Interleaved speculative-append/rollback/COW-fork traffic never
+    perturbs block-id reuse: the same script yields the same block
+    tables at every step, and drains leak-free."""
+    assert _spec_traffic_script(seed) == _spec_traffic_script(seed)

@@ -1,0 +1,346 @@
+"""Speculative decoding: determinism + statistics lockdown suite.
+
+Three invariant families pin the draft/verify mode:
+
+1. **Pre-PR byte identity** — a non-speculative run's summary JSON and
+   Perfetto trace hash to the exact values captured *before* speculative
+   decoding existed, across three canonical configs (plain, pool
+   pressure, prefix sharing) and both device models.  Speculation is a
+   strictly additive feature: with ``spec=None`` not one byte moves.
+
+2. **Token-stream equality** — speculation may change *when* tokens are
+   produced, never *which*: every request's output token stream under
+   speculative decoding equals its vanilla stream, across all configs,
+   widths, and the adaptive controller.
+
+3. **Acceptance statistics** — each verified position is an independent
+   Bernoulli(draft_quality) draw in hash space, so the measured
+   per-position acceptance rate converges to the workload's configured
+   draft quality under a pinned seed.
+
+Rollback leak-freedom rides along everywhere: the engine runs
+``check_no_leaks`` (exact refcount accounting) after every run, and
+these tests assert the reported leak count on both vanilla and
+speculative runs.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.models import TINY_LLAMA
+from repro.runtime.device import ALL_DEVICES
+from repro.serve import (
+    EngineConfig,
+    SchedulerConfig,
+    SpecConfig,
+    WorkloadConfig,
+    serve_workload,
+)
+from repro.serve.spec import TokenOracle
+
+DEVICES = ["NVIDIA RTX 4090", "AMD Radeon 7900 XTX"]
+CONFIGS = ["plain", "pressure", "prefix"]
+
+
+def _engine_config(name, spec=None):
+    if name == "plain":
+        return EngineConfig(
+            page_size=4, num_blocks=128,
+            scheduler=SchedulerConfig(max_num_seqs=8,
+                                      max_num_batched_tokens=64,
+                                      prefill_chunk=16),
+            spec=spec,
+        )
+    if name == "pressure":
+        return EngineConfig(
+            page_size=4, num_blocks=24,
+            scheduler=SchedulerConfig(max_num_seqs=4,
+                                      max_num_batched_tokens=32,
+                                      prefill_chunk=8),
+            spec=spec,
+        )
+    if name == "prefix":
+        return EngineConfig(
+            page_size=4, num_blocks=128, enable_prefix_caching=True,
+            scheduler=SchedulerConfig(max_num_seqs=8,
+                                      max_num_batched_tokens=64,
+                                      prefill_chunk=16),
+            spec=spec,
+        )
+    raise ValueError(name)
+
+
+def _workload(name):
+    if name == "plain":
+        return WorkloadConfig(num_requests=10, seed=0, arrival="poisson",
+                              arrival_rate=100.0, prompt_min=4,
+                              prompt_max=12, output_min=4, output_max=12)
+    if name == "pressure":
+        return WorkloadConfig(num_requests=8, seed=1, arrival="poisson",
+                              arrival_rate=400.0, prompt_min=8,
+                              prompt_max=16, output_min=6, output_max=12)
+    if name == "prefix":
+        return WorkloadConfig(num_requests=8, seed=2, arrival="poisson",
+                              arrival_rate=200.0, prompt_min=12,
+                              prompt_max=20, output_min=4, output_max=10,
+                              prefix_families=2, prefix_len=8)
+    raise ValueError(name)
+
+
+# (config, device) -> (summary sha256, perfetto trace sha256), captured
+# on the pre-speculation engine.  Regenerate ONLY for an intentional
+# report-format change — never to absorb a speculative-mode leak.
+BASELINE_HASHES = {
+    ("plain", "NVIDIA RTX 4090"): (
+        "e70ce3a4a07d22be6c8e342872fb71e4ec3f72bb3e7d23e70fb8028e8acc8cfd",
+        "a7808942ab599d653838fa2b35c8891249df4acdee54c7983e022a5053bb992c"),
+    ("plain", "AMD Radeon 7900 XTX"): (
+        "4386fe484afd7678142b9ac5cfa5e1aec8bade0d757dda919a79ed8abe3f6f06",
+        "c1b74cd7f485d16d365a04b5dc9e36b3bae26b6e83a6fd1d0f7a56bff68448f8"),
+    ("pressure", "NVIDIA RTX 4090"): (
+        "5c3505d59101410e690e3a95432cce953a3adea8b36a4028849b075eb3c0a05d",
+        "9a0c5728d370fa681a38f9b168062ac464795ece5300086935e0726acef514c5"),
+    ("pressure", "AMD Radeon 7900 XTX"): (
+        "4b79dadac18e142a93f954e2de807e94276275f7a7a231695389ecfd48bf5781",
+        "c266f4a71e89e05d7a1420cf942836a84e74a64cc99791cf97e24a98b54b51c1"),
+    ("prefix", "NVIDIA RTX 4090"): (
+        "75e676a3a0483d77c5afbdd7912d8221951892ea0c421c77ec67bf74ba107aaa",
+        "af7e8fdf8c6a141559442edbc610e9a0285bae5fe7f18f0964d50711b3a8c546"),
+    ("prefix", "AMD Radeon 7900 XTX"): (
+        "b658591147b4f9efe66818c29f7e6000ea6611cb416fa120965578f871aabe33",
+        "851910ad9959cb646f1df949bcb6d278c17a70d357d49022707590bfbef1c9b2"),
+}
+
+# Engine runs are deterministic, so reports are shared across tests
+# (SpecConfig is frozen/hashable; None = vanilla).
+_REPORTS = {}
+
+
+def _run(config, device, spec=None):
+    key = (config, device, spec)
+    if key not in _REPORTS:
+        _REPORTS[key] = serve_workload(
+            TINY_LLAMA, ALL_DEVICES[device], _workload(config),
+            _engine_config(config, spec=spec),
+        )
+    return _REPORTS[key]
+
+
+def _streams(report):
+    return {r.req_id: list(r.output_tokens) for r in report.requests}
+
+
+# ---------------------------------------------------------------------------
+# 1. Pre-PR byte identity of non-speculative runs
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("device", DEVICES)
+@pytest.mark.parametrize("config", CONFIGS)
+def test_vanilla_run_byte_identical_to_pre_spec_engine(config, device):
+    report = _run(config, device)
+    summary_hash = hashlib.sha256(
+        report.to_json(sort_keys=True).encode()).hexdigest()
+    trace_hash = hashlib.sha256(
+        json.dumps(report.chrome_trace(), sort_keys=True).encode()
+    ).hexdigest()
+    want = BASELINE_HASHES[(config, device)]
+    assert (summary_hash, trace_hash) == want, (
+        f"{config}/{device}: non-speculative serving output drifted from "
+        f"the pre-speculation engine"
+    )
+
+
+def test_vanilla_reports_carry_no_spec_keys():
+    report = _run("plain", DEVICES[0])
+    assert "spec_decode" not in report.summary
+    for rec in report.iterations:
+        assert "spec_batch" not in rec
+        assert "spec_proposed" not in rec
+    for ev in report.trace_events:
+        assert ev["name"] != "spec_decode"
+    for row in report.to_dict()["requests"]:
+        assert "spec_proposed" not in row
+
+
+# ---------------------------------------------------------------------------
+# 2. Token-stream equality: speculation changes *when*, never *which*
+# ---------------------------------------------------------------------------
+
+_SPEC = SpecConfig(num_spec_tokens=3, draft_quality=0.7, seed=0)
+
+
+@pytest.mark.parametrize("device", DEVICES)
+@pytest.mark.parametrize("config", CONFIGS)
+def test_spec_streams_equal_vanilla(config, device):
+    vanilla = _run(config, device)
+    spec = _run(config, device, spec=_SPEC)
+    assert _streams(spec) == _streams(vanilla)
+    # Every finished request emitted exactly its requested output.
+    for r in spec.requests:
+        assert len(r.output_tokens) == r.output_len
+        assert r.finish_s is not None
+    # Rollback leak-freedom: the engine's exact-refcount check passed
+    # (it raises otherwise) on both runs.
+    assert spec.summary["kv_pool"]["leaked_blocks"] == 0
+    assert vanilla.summary["kv_pool"]["leaked_blocks"] == 0
+    # The speculative run actually speculated.
+    assert spec.summary["spec_decode"]["proposed"] > 0
+
+
+@pytest.mark.parametrize("k", [1, 5])
+def test_spec_streams_equal_across_widths(k):
+    vanilla = _run("plain", DEVICES[0])
+    spec = _run("plain", DEVICES[0],
+                spec=SpecConfig(num_spec_tokens=k, draft_quality=0.7, seed=0))
+    assert _streams(spec) == _streams(vanilla)
+
+
+def test_spec_streams_equal_under_adaptive_controller():
+    """The acceptance-aware controller only reshapes *widths*; token
+    identity is positional, so streams must not move."""
+    vanilla = _run("plain", DEVICES[0])
+    spec = _run("plain", DEVICES[0],
+                spec=SpecConfig(num_spec_tokens=4, draft_quality=0.3,
+                                seed=0, adaptive=True, adapt_window=8))
+    assert _streams(spec) == _streams(vanilla)
+    assert spec.summary["spec_decode"]["adaptive"] is True
+
+
+def test_spec_streams_equal_under_recompute_eviction():
+    """Preempt-by-recompute replays prefill over already-emitted tokens;
+    positional token identity must survive the replay interleaved with
+    speculative bursts."""
+    econf = EngineConfig(
+        page_size=4, num_blocks=24,
+        scheduler=SchedulerConfig(max_num_seqs=4, max_num_batched_tokens=32,
+                                  prefill_chunk=8, eviction="recompute"),
+    )
+    wl = _workload("pressure")
+    dev = ALL_DEVICES[DEVICES[0]]
+    vanilla = serve_workload(TINY_LLAMA, dev, wl, econf)
+    sconf = EngineConfig(
+        page_size=4, num_blocks=24,
+        scheduler=SchedulerConfig(max_num_seqs=4, max_num_batched_tokens=32,
+                                  prefill_chunk=8, eviction="recompute"),
+        spec=_SPEC,
+    )
+    spec = serve_workload(TINY_LLAMA, dev, wl, sconf)
+    assert _streams(spec) == _streams(vanilla)
+    assert spec.summary["kv_pool"]["leaked_blocks"] == 0
+
+
+def test_spec_run_is_deterministic():
+    a = serve_workload(TINY_LLAMA, ALL_DEVICES[DEVICES[0]],
+                       _workload("plain"),
+                       _engine_config("plain", spec=_SPEC))
+    b = _run("plain", DEVICES[0], spec=_SPEC)
+    assert a.to_json(sort_keys=True) == b.to_json(sort_keys=True)
+    assert (json.dumps(a.chrome_trace(), sort_keys=True)
+            == json.dumps(b.chrome_trace(), sort_keys=True))
+
+
+# ---------------------------------------------------------------------------
+# 3. Acceptance statistics converge to the configured draft quality
+# ---------------------------------------------------------------------------
+
+_CONVERGENCE_WL = WorkloadConfig(
+    num_requests=24, seed=7, arrival="poisson", arrival_rate=200.0,
+    prompt_min=4, prompt_max=10, output_min=16, output_max=24,
+)
+
+
+def _acceptance_run(quality, k=4):
+    econf = EngineConfig(
+        page_size=4, num_blocks=256,
+        scheduler=SchedulerConfig(max_num_seqs=16,
+                                  max_num_batched_tokens=128,
+                                  prefill_chunk=32),
+        spec=SpecConfig(num_spec_tokens=k, draft_quality=quality, seed=11),
+    )
+    return serve_workload(TINY_LLAMA, ALL_DEVICES[DEVICES[0]],
+                          _CONVERGENCE_WL, econf)
+
+
+@pytest.mark.parametrize("quality", [0.4, 0.7, 0.9])
+def test_per_position_acceptance_converges_to_draft_quality(quality):
+    sd = _acceptance_run(quality).summary["spec_decode"]
+    assert sd["checked"] >= 200  # enough Bernoulli draws to mean anything
+    measured = sd["per_position_acceptance"]
+    # Pinned seed => deterministic; the band is the statistical-noise
+    # allowance for ~a few hundred draws, not flake tolerance.
+    assert abs(measured - quality) < 0.07, (
+        f"measured {measured:.3f}, configured {quality}"
+    )
+    # Greedy prefix matching truncates at the first miss, so drafting
+    # efficiency sits at or below the per-position rate.
+    assert sd["acceptance_rate"] <= measured + 1e-9
+
+
+def test_acceptance_extremes():
+    perfect = _acceptance_run(1.0).summary["spec_decode"]
+    assert perfect["accepted"] == perfect["proposed"] > 0
+    assert perfect["acceptance_rate"] == 1.0
+    hopeless = _acceptance_run(0.0).summary["spec_decode"]
+    assert hopeless["accepted"] == 0
+    assert hopeless["per_position_acceptance"] == 0.0
+
+
+def test_acceptance_statistics_consistent_per_request():
+    report = _acceptance_run(0.7)
+    summary = report.summary["spec_decode"]
+    assert summary["proposed"] == sum(
+        r.spec_proposed for r in report.requests)
+    assert summary["accepted"] == sum(
+        r.spec_accepted for r in report.requests)
+    for row in report.to_dict()["requests"]:
+        if "spec_proposed" in row:
+            assert 0 <= row["spec_accepted"] <= row["spec_proposed"]
+    # Iteration records and trace agree with the totals.
+    assert summary["proposed"] == sum(
+        rec.get("spec_proposed", 0) for rec in report.iterations)
+    assert summary["accepted"] == sum(
+        ev["args"]["accepted"] for ev in report.trace_events
+        if ev["name"] == "spec_decode")
+
+
+# ---------------------------------------------------------------------------
+# Token oracle unit behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_oracle_is_a_pure_function():
+    a = TokenOracle(seed=3, vocab_size=101, draft_quality=0.5)
+    b = TokenOracle(seed=3, vocab_size=101, draft_quality=0.5)
+    for req in (0, 1, 17):
+        for pos in range(50):
+            assert a.target_token(req, pos) == b.target_token(req, pos)
+            assert a.draft_matches(req, pos) == b.draft_matches(req, pos)
+    c = TokenOracle(seed=4, vocab_size=101, draft_quality=0.5)
+    assert any(a.target_token(0, p) != c.target_token(0, p)
+               for p in range(50))
+
+
+def test_oracle_draft_token_matches_iff_agreement():
+    o = TokenOracle(seed=0, vocab_size=64, draft_quality=0.5)
+    hits = 0
+    for pos in range(400):
+        t, d = o.target_token(5, pos), o.draft_token(5, pos)
+        if o.draft_matches(5, pos):
+            assert d == t
+            hits += 1
+        else:
+            assert d != t
+        assert 0 <= d < 64
+    assert abs(hits / 400 - 0.5) < 0.08
+
+
+def test_spec_config_validation():
+    with pytest.raises(ValueError):
+        SpecConfig(num_spec_tokens=0)
+    with pytest.raises(ValueError):
+        SpecConfig(draft_quality=1.5)
+    with pytest.raises(ValueError):
+        SpecConfig(adapt_window=0)
