@@ -1,0 +1,260 @@
+"""Serving KPI regression gate against a committed baseline.
+
+Runs a small set of deterministic serving scenarios (the engine is a
+seeded discrete-event simulation — same seed, same platform, same
+numbers) and compares the key performance indicators against the
+committed baseline ``benchmarks/BENCH_serving.json``.  CI runs this
+after the test suite; a regression beyond tolerance fails the build, so
+scheduler/KV/speculation changes cannot silently trade away throughput
+or latency.
+
+The comparison is **direction-aware**: only changes in the *bad*
+direction fail (throughput lower, latency higher, peak pool demand
+higher, more preemptions).  Improvements print as such and pass — the
+baseline is then refreshed intentionally with ``--update``, which keeps
+the diff reviewable (the new numbers appear in the PR).
+
+Usage::
+
+    python benchmarks/bench_regression.py                # gate (exit 1 on regression)
+    python benchmarks/bench_regression.py --update       # rewrite the baseline
+    python benchmarks/bench_regression.py --tolerance 0.1
+    python benchmarks/bench_regression.py --inject-regression 1.5
+        # self-test: perturb measurements in the bad direction and
+        # verify the gate trips (CI runs this and asserts exit != 0)
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.models import TINY_LLAMA  # noqa: E402
+from repro.runtime import ALL_DEVICES  # noqa: E402
+from repro.serve import (  # noqa: E402
+    EngineConfig,
+    SchedulerConfig,
+    SpecConfig,
+    WorkloadConfig,
+    serve_workload,
+)
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__),
+                             "BENCH_serving.json")
+DEVICE = ALL_DEVICES["NVIDIA RTX 4090"]
+SEED = 0
+
+#: KPI -> direction: +1 means higher is better, -1 lower is better.
+KPI_DIRECTION = {
+    "throughput_tokens_per_s": +1,
+    "goodput_requests_per_s": +1,
+    "makespan_s": -1,
+    "ttft_p50_s": -1,
+    "ttft_p99_s": -1,
+    "tpot_p50_s": -1,
+    "peak_required_blocks": -1,
+    "preemptions": -1,
+}
+
+
+def _workload(**over):
+    base = dict(
+        num_requests=24, seed=SEED, arrival="poisson", arrival_rate=16.0,
+        prompt_min=8, prompt_max=48, output_min=4, output_max=24,
+    )
+    base.update(over)
+    return WorkloadConfig(**base)
+
+
+def _engine(**over):
+    base = dict(
+        page_size=4,
+        num_blocks=128,
+        scheduler=SchedulerConfig(
+            max_num_seqs=8, max_num_batched_tokens=128, prefill_chunk=32,
+        ),
+    )
+    base.update(over)
+    return EngineConfig(**base)
+
+
+def scenario_plain():
+    return serve_workload(TINY_LLAMA, DEVICE, _workload(),
+                          _engine(enable_prefix_caching=False))
+
+
+def scenario_prefix():
+    return serve_workload(
+        TINY_LLAMA, DEVICE,
+        _workload(prefix_families=3, prefix_len=6),
+        _engine(),
+    )
+
+
+def scenario_spec():
+    return serve_workload(
+        TINY_LLAMA, DEVICE, _workload(),
+        _engine(enable_prefix_caching=False,
+                spec=SpecConfig(num_spec_tokens=2, draft_quality=0.8)),
+    )
+
+
+def scenario_pressure():
+    # Pool sized to force swap preemptions: peak demand and preemption
+    # counts become regression-sensitive KPIs here.
+    return serve_workload(
+        TINY_LLAMA, DEVICE,
+        _workload(num_requests=16, arrival_rate=200.0,
+                  prompt_min=4, prompt_max=20, output_min=2, output_max=24),
+        _engine(num_blocks=10, enable_prefix_caching=False,
+                scheduler=SchedulerConfig(
+                    max_num_seqs=8, max_num_batched_tokens=128,
+                    prefill_chunk=16)),
+    )
+
+
+SCENARIOS = {
+    "plain": scenario_plain,
+    "prefix": scenario_prefix,
+    "spec": scenario_spec,
+    "pressure": scenario_pressure,
+}
+
+
+def kpis(report):
+    s = report.summary
+    return {
+        "throughput_tokens_per_s": s["throughput_tokens_per_s"],
+        "goodput_requests_per_s": s["goodput_requests_per_s"],
+        "makespan_s": s["makespan_s"],
+        "ttft_p50_s": s["ttft_s"]["p50"],
+        "ttft_p99_s": s["ttft_s"]["p99"],
+        "tpot_p50_s": s["tpot_s"]["p50"],
+        "peak_required_blocks": s["kv_pool"]["peak_required_blocks"],
+        "preemptions": s["preemptions"],
+    }
+
+
+def inject_regression(measured, factor):
+    """Perturb every KPI in its *bad* direction by ``factor`` — the CI
+    self-test that proves the gate actually trips."""
+    out = {}
+    for scenario, vals in measured.items():
+        out[scenario] = {
+            k: (v / factor if KPI_DIRECTION[k] > 0 else v * factor)
+            if isinstance(v, (int, float)) else v
+            for k, v in vals.items()
+        }
+    return out
+
+
+def compare(baseline, measured, tolerance):
+    """Direction-aware comparison; returns (regressions, improvements),
+    each a list of ``(scenario, kpi, base, cur, rel_change)``."""
+    regressions, improvements = [], []
+    for scenario, base_vals in sorted(baseline.items()):
+        cur_vals = measured.get(scenario)
+        if cur_vals is None:
+            regressions.append((scenario, "<missing>", None, None, None))
+            continue
+        for kpi, base in sorted(base_vals.items()):
+            direction = KPI_DIRECTION.get(kpi)
+            cur = cur_vals.get(kpi)
+            if direction is None or base is None or cur is None:
+                continue
+            if base == 0:
+                # Zero baselines (e.g. preemptions in uncontended
+                # scenarios): any bad-direction change is a regression.
+                if direction < 0 and cur > 0:
+                    regressions.append((scenario, kpi, base, cur, None))
+                elif direction > 0 and cur > 0:
+                    improvements.append((scenario, kpi, base, cur, None))
+                continue
+            rel = (cur - base) / abs(base)
+            bad = -rel if direction > 0 else rel
+            if bad > tolerance:
+                regressions.append((scenario, kpi, base, cur, rel))
+            elif bad < -tolerance:
+                improvements.append((scenario, kpi, base, cur, rel))
+    return regressions, improvements
+
+
+def _fmt_row(scenario, kpi, base, cur, rel):
+    rel_s = f"{rel * 100:+.1f}%" if rel is not None else "n/a"
+    return (f"  {scenario:<10} {kpi:<26} "
+            f"baseline={base} current={cur} ({rel_s})")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Serving KPI regression gate vs BENCH_serving.json")
+    parser.add_argument("--baseline", default=BASELINE_PATH)
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="relative slack before a bad-direction "
+                             "change fails (default 2%%; the simulation "
+                             "itself is deterministic)")
+    parser.add_argument("--scenario", action="append", default=None,
+                        choices=sorted(SCENARIOS),
+                        help="run a subset (repeatable)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline with current numbers")
+    parser.add_argument("--inject-regression", type=float, default=None,
+                        metavar="FACTOR",
+                        help="perturb measurements in the bad direction "
+                             "by FACTOR (gate self-test)")
+    parser.add_argument("--out", default=None,
+                        help="write measured KPIs JSON here")
+    args = parser.parse_args(argv)
+
+    names = args.scenario or sorted(SCENARIOS)
+    measured = {}
+    for name in names:
+        print(f"running scenario: {name}")
+        measured[name] = kpis(SCENARIOS[name]())
+    if args.inject_regression:
+        measured = inject_regression(measured, args.inject_regression)
+
+    if args.out:
+        if os.path.dirname(args.out):
+            os.makedirs(os.path.dirname(args.out), exist_ok=True)
+        with open(args.out, "w") as f:
+            json.dump({"version": 1, "scenarios": measured}, f,
+                      indent=2, sort_keys=True)
+        print(f"measured KPIs -> {args.out}")
+
+    if args.update:
+        with open(args.baseline, "w") as f:
+            json.dump({"version": 1, "scenarios": measured}, f,
+                      indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline updated -> {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; run with --update first",
+              file=sys.stderr)
+        return 2
+    with open(args.baseline) as f:
+        baseline = json.load(f)["scenarios"]
+    baseline = {k: v for k, v in baseline.items() if k in set(names)}
+
+    regressions, improvements = compare(baseline, measured, args.tolerance)
+    for row in improvements:
+        print("improvement:")
+        print(_fmt_row(*row))
+    if regressions:
+        print(f"REGRESSION beyond {args.tolerance * 100:.1f}% tolerance:")
+        for row in regressions:
+            print(_fmt_row(*row))
+        return 1
+    print(f"OK: {len(names)} scenarios within "
+          f"{args.tolerance * 100:.1f}% of baseline"
+          + (f" ({len(improvements)} improved)" if improvements else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

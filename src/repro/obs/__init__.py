@@ -20,6 +20,8 @@ runtime) is loaded lazily to keep the import graph acyclic.
 """
 
 from .provenance import Provenance, merge, of, render, site, site_op, tag
+from .spans import Span, SpanRecorder
+from .stats import dist, extended_dist, percentile
 from .trace import TraceEvent, TraceRecorder
 
 _REPORT_NAMES = (
@@ -39,8 +41,13 @@ __all__ = [
     "site",
     "site_op",
     "tag",
+    "Span",
+    "SpanRecorder",
     "TraceEvent",
     "TraceRecorder",
+    "dist",
+    "extended_dist",
+    "percentile",
     *_REPORT_NAMES,
 ]
 

@@ -20,10 +20,22 @@ import json
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from .provenance import render
+from .stats import extended_dist
 from .trace import TraceEvent, TraceRecorder
 
 #: Event kinds that represent device compute (the rows of an OpTable).
 COMPUTE_KINDS = ("kernel", "library", "builtin")
+
+
+def duration_summary(events: Sequence[TraceEvent]) -> Dict[str, Any]:
+    """Nearest-rank duration distribution of the compute events in a
+    trace (count/sum/mean/min/max/p50/p90/p99) — the same shared
+    implementation (:mod:`repro.obs.stats`) the serving metrics and the
+    telemetry registry use, so kernel-level and request-level percentiles
+    are directly comparable."""
+    return extended_dist(
+        [e.dur_s for e in events if e.kind in COMPUTE_KINDS]
+    )
 
 
 # -- per-op aggregate table ------------------------------------------------------
@@ -350,6 +362,7 @@ class VirtualMachineProfiler(VirtualMachine):
         return {
             "stats": self.stats.summary(),
             "op_table": self.op_table(by=by).to_dict(),
+            "kernel_dur_s": duration_summary(self.events),
             "memory": self.memory_timeline().to_dict(),
             "events": [e.to_dict() for e in self.events],
         }

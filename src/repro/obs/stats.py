@@ -1,0 +1,77 @@
+"""Shared deterministic summary statistics (nearest-rank percentiles).
+
+One implementation of the percentile/distribution helpers every report
+surface uses — the serving metrics (:mod:`repro.serve.metrics`), the
+serve-layer telemetry registry (:mod:`repro.serve.telemetry`), the SLO
+monitor and the per-op report layer — so "p99" means the same thing in
+every artifact this repo emits.
+
+Percentiles use the **nearest-rank** definition: the returned value is
+always an actual observed data point, never an interpolation.  That
+matters for determinism pinning — a nearest-rank percentile of a
+deterministic series is bit-exactly reproducible, with no dependence on
+floating-point interpolation order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional, Sequence
+
+#: The canonical percentile set summaries report.
+DEFAULT_PERCENTILES: Dict[str, float] = {"p50": 50.0, "p90": 90.0, "p99": 99.0}
+
+
+def percentile(values: Sequence[float], p: float) -> Optional[float]:
+    """Nearest-rank percentile (``p`` in [0, 100]).
+
+    Returns ``None`` on an empty series (NaN poisons JSON artifacts and
+    forced every caller to guard).  A single-sample series is well
+    defined under nearest-rank: every percentile is that sample.
+    """
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def dist(values: Sequence[float],
+         percentiles: Optional[Dict[str, float]] = None,
+         ) -> Dict[str, Optional[float]]:
+    """Mean + nearest-rank percentile summary of a series.
+
+    The shape every latency distribution in the serving summaries uses:
+    ``{"mean": ..., "p50": ..., "p90": ..., "p99": ...}``, with ``None``
+    entries for an empty series.
+    """
+    pct = DEFAULT_PERCENTILES if percentiles is None else percentiles
+    ordered = sorted(values)
+    # Mean over the *original* order: float addition is not associative,
+    # and historical summaries (pinned byte-for-byte by baseline-hash
+    # tests) summed the series as observed, not sorted.
+    out: Dict[str, Optional[float]] = {
+        "mean": sum(values) / len(values) if ordered else None
+    }
+    for key, p in pct.items():
+        if not ordered:
+            out[key] = None
+        else:
+            rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+            out[key] = ordered[min(rank, len(ordered)) - 1]
+    return out
+
+
+def extended_dist(values: Sequence[float],
+                  percentiles: Optional[Dict[str, float]] = None,
+                  ) -> Dict[str, Any]:
+    """:func:`dist` plus count/sum/min/max — the histogram-snapshot shape
+    the telemetry registry serializes."""
+    out: Dict[str, Any] = {
+        "count": len(values),
+        "sum": math.fsum(values),
+        "min": min(values) if values else None,
+        "max": max(values) if values else None,
+    }
+    out.update(dist(values, percentiles))
+    return out

@@ -33,7 +33,16 @@ from .scheduler import (
     RequestState,
     SchedulerConfig,
 )
+from .slo import SLOConfig, SLOMonitor
 from .spec import SpecConfig, TokenOracle
+from .telemetry import (
+    Counter,
+    EngineTelemetry,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TelemetryConfig,
+)
 from .workload import (
     Request,
     WorkloadConfig,
@@ -47,9 +56,14 @@ __all__ = [
     "CacheError",
     "ChunkedPhase",
     "ContinuousBatchingScheduler",
+    "Counter",
     "DenoiseProgram",
     "EngineConfig",
+    "EngineTelemetry",
+    "Gauge",
+    "Histogram",
     "Iteration",
+    "MetricsRegistry",
     "LLMProgram",
     "OutOfBlocks",
     "PagedKVCache",
@@ -61,11 +75,14 @@ __all__ = [
     "RequestMetrics",
     "RequestProgram",
     "RequestState",
+    "SLOConfig",
+    "SLOMonitor",
     "SchedulerConfig",
     "ServeReport",
     "ServingEngine",
     "SpecConfig",
     "SteppedPhase",
+    "TelemetryConfig",
     "TokenOracle",
     "WhisperProgram",
     "WorkloadConfig",

@@ -110,6 +110,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workload-out", metavar="WORKLOAD.json",
                         default=None,
                         help="write the generated request trace here")
+    parser.add_argument("--telemetry", metavar="TELEMETRY.json",
+                        default=None,
+                        help="enable serve-layer telemetry and write the "
+                             "metrics registry / spans / SLO snapshot here")
+    parser.add_argument("--prometheus", metavar="METRICS.prom", default=None,
+                        help="enable telemetry and write Prometheus text "
+                             "exposition here")
+    parser.add_argument("--telemetry-window", type=float, default=None,
+                        metavar="SECONDS",
+                        help="sliding window for telemetry latency "
+                             "histograms (simulated seconds; default: "
+                             "whole run)")
     return parser
 
 
@@ -190,6 +202,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         slo_tpot_s=args.slo_tpot,
         spec=spec_config,
     )
+    if args.telemetry or args.prometheus:
+        from .telemetry import TelemetryConfig
+
+        engine_config.telemetry = TelemetryConfig(
+            window_s=args.telemetry_window,
+            # Kernel capture only pays off when a Perfetto file is
+            # being written (that's where the merged events land).
+            capture_kernels=bool(args.trace),
+        )
 
     engine = ServingEngine(
         cfg, device, engine_config,
@@ -248,6 +269,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"(configured quality {sd['draft_quality'] * 100:.0f}%)")
     print(f"preemptions       {s['preemptions']} "
           f"(swap time {s['swap_time_s'] * 1e3:.2f} ms)")
+    if report.telemetry is not None:
+        tl = s["telemetry"]
+        counts = tl["anomaly_counts"]
+        anomalies = (
+            ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+            if counts else "none"
+        )
+        def _pct(v):
+            return f"{v * 100:.0f}%" if v is not None else "-"
+
+        print(f"telemetry         {tl['num_metrics']} metrics, "
+              f"{tl['num_spans']} spans; window attainment "
+              f"ttft {_pct(tl['window_ttft_attainment'])} / "
+              f"tpot {_pct(tl['window_tpot_attainment'])}; "
+              f"anomalies: {anomalies}")
     if "per_type" in s:
         for kind, row in s["per_type"].items():
             print(f"[{kind}]".ljust(18)
@@ -256,7 +292,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"step p50 {_ms(row['tpot_s']['p50'])}, "
                   f"p99 {_ms(row['tpot_s']['p99'])}")
 
-    for path in (args.workload_out, args.out, args.trace):
+    for path in (args.workload_out, args.out, args.trace,
+                 args.telemetry, args.prometheus):
         if path and os.path.dirname(path):
             os.makedirs(os.path.dirname(path), exist_ok=True)
     if args.workload_out:
@@ -271,4 +308,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         report.export_chrome_trace(args.trace)
         print(f"perfetto  -> {args.trace}  "
               f"(open at https://ui.perfetto.dev)")
+    if args.telemetry:
+        with open(args.telemetry, "w") as f:
+            json.dump(report.telemetry.to_dict(), f, indent=2,
+                      sort_keys=True)
+        print(f"telemetry -> {args.telemetry}")
+    if args.prometheus:
+        with open(args.prometheus, "w") as f:
+            f.write(report.telemetry.to_prometheus())
+        print(f"prometheus-> {args.prometheus}")
     return 0

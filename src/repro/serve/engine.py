@@ -42,6 +42,7 @@ from .metrics import RequestMetrics, summarize
 from .prefix_cache import PrefixCache
 from .program import program_for
 from .spec import SpecConfig, TokenOracle
+from .telemetry import EngineTelemetry, TelemetryConfig
 from .scheduler import (
     ContinuousBatchingScheduler,
     Iteration,
@@ -98,6 +99,12 @@ class EngineConfig:
     #: keeps the engine byte-identical to its vanilla behaviour: same
     #: schedule, same records, same trace, same summary JSON.
     spec: Optional[SpecConfig] = None
+    #: Serve-layer telemetry (:mod:`repro.serve.telemetry`).  ``None`` —
+    #: the default — emits no telemetry and keeps summary/trace bytes
+    #: identical to the untelemetered engine (pinned by baseline-hash
+    #: tests); any config object turns on the metrics registry,
+    #: lifecycle spans and the SLO monitor.
+    telemetry: Optional[TelemetryConfig] = None
 
 
 class ServingEngine:
@@ -203,12 +210,16 @@ class ServingEngine:
         if denoise_config is not None:
             self.denoise = RelaxDenoise(denoise_config, device)
         self._vms: List[VirtualMachine] = [self.vm]
+        self._vm_names: List[str] = ["llm"]
         if self.draft is not None:
             self._vms.append(self.draft.vm)
+            self._vm_names.append("draft")
         if self.whisper is not None:
             self._vms.append(self.whisper.vm)
+            self._vm_names.append("whisper")
         if self.denoise is not None:
             self._vms.append(self.denoise.vm)
+            self._vm_names.append("denoise")
 
     def _block_bytes(self) -> int:
         from .. import dtypes
@@ -294,6 +305,17 @@ class ServingEngine:
             )
             for r in requests
         }
+        tel: Optional[EngineTelemetry] = None
+        if econf.telemetry is not None:
+            tel = EngineTelemetry(
+                econf.telemetry,
+                slo_ttft_s=econf.slo_ttft_s,
+                slo_tpot_s=econf.slo_tpot_s,
+                vm_names=self._vm_names,
+                max_num_seqs=econf.scheduler.max_num_seqs,
+                max_num_batched_tokens=econf.scheduler.max_num_batched_tokens,
+            )
+            tel.attach(self._vms)
         pending = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
         clock = 0.0
         iterations: List[Dict[str, Any]] = []
@@ -304,64 +326,84 @@ class ServingEngine:
         swap_total_s = 0.0
         token_bytes = self._block_bytes() // econf.page_size
 
-        while pending or sched.has_unfinished():
-            # Admit arrivals up to the current simulated time.
-            while pending and pending[0].arrival_s <= clock:
-                sched.add_request(states[pending[0].req_id])
-                pending.pop(0)
+        try:
+            while pending or sched.has_unfinished():
+                # Admit arrivals up to the current simulated time.
+                while pending and pending[0].arrival_s <= clock:
+                    sched.add_request(states[pending[0].req_id])
+                    pending.pop(0)
 
-            it = sched.schedule()
-            if it.empty:
-                if pending:
-                    clock = max(clock, pending[0].arrival_s)
-                    continue
-                if sched.has_unfinished():
-                    raise CacheError(
-                        "scheduler stalled: KV pool too small for the "
-                        "remaining requests"
+                it = sched.schedule()
+                if it.empty:
+                    if pending:
+                        clock = max(clock, pending[0].arrival_s)
+                        continue
+                    if sched.has_unfinished():
+                        raise CacheError(
+                            "scheduler stalled: KV pool too small for the "
+                            "remaining requests"
+                        )
+                    break
+
+                t_begin = clock
+                before = [vm.stats.copy() for vm in self._vms]
+
+                # Swap traffic (blocks to/from host) on the analytic
+                # host link.
+                swap_s = 0.0
+                for _, tokens, mode in it.preempted:
+                    if mode == "swap" and tokens:
+                        swap_s += (tokens * token_bytes
+                                   / econf.host_link_bandwidth)
+                for _, tokens in it.swapped_in:
+                    if tokens:
+                        swap_s += (tokens * token_bytes
+                                   / econf.host_link_bandwidth)
+
+                self._execute(it)
+
+                delta = _merge_stats([
+                    vm.stats.delta(b) for vm, b in zip(self._vms, before)
+                ])
+                clock = t_begin + delta.time_s + swap_s
+                swap_total_s += swap_s
+
+                self._advance(it, sched, clock, kv, oracle)
+                if spec is not None and spec.adaptive and it.spec_decode:
+                    ctl_proposed += sum(k for _, _, k in it.spec_decode)
+                    ctl_accepted += sum(it.spec_accepted.values())
+                    if ctl_proposed >= spec.adapt_window:
+                        rate = ctl_accepted / ctl_proposed
+                        if rate < spec.adapt_low:
+                            ctl_cap = max(1, ctl_cap - 1)
+                        elif rate > spec.adapt_high:
+                            ctl_cap = min(spec.num_spec_tokens, ctl_cap + 1)
+                        sched.spec_k_cap = ctl_cap
+                        ctl_proposed = ctl_accepted = 0
+                self._record(it, iterations, trace_events, t_begin, clock,
+                             swap_s, delta, kv, sched)
+                if tel is not None:
+                    tel.on_iteration(
+                        it=it, sched=sched, kv=kv, cache=cache,
+                        index=len(iterations) - 1,
+                        t_begin=t_begin, t_end=clock, swap_s=swap_s,
+                        delta=delta, before=before, vms=self._vms,
                     )
-                break
-
-            t_begin = clock
-            before = [vm.stats.copy() for vm in self._vms]
-
-            # Swap traffic (blocks to/from host) on the analytic host link.
-            swap_s = 0.0
-            for _, tokens, mode in it.preempted:
-                if mode == "swap" and tokens:
-                    swap_s += tokens * token_bytes / econf.host_link_bandwidth
-            for _, tokens in it.swapped_in:
-                if tokens:
-                    swap_s += tokens * token_bytes / econf.host_link_bandwidth
-
-            self._execute(it)
-
-            delta = _merge_stats([
-                vm.stats.delta(b) for vm, b in zip(self._vms, before)
-            ])
-            clock = t_begin + delta.time_s + swap_s
-            swap_total_s += swap_s
-
-            self._advance(it, sched, clock, kv, oracle)
-            if spec is not None and spec.adaptive and it.spec_decode:
-                ctl_proposed += sum(k for _, _, k in it.spec_decode)
-                ctl_accepted += sum(it.spec_accepted.values())
-                if ctl_proposed >= spec.adapt_window:
-                    rate = ctl_accepted / ctl_proposed
-                    if rate < spec.adapt_low:
-                        ctl_cap = max(1, ctl_cap - 1)
-                    elif rate > spec.adapt_high:
-                        ctl_cap = min(spec.num_spec_tokens, ctl_cap + 1)
-                    sched.spec_k_cap = ctl_cap
-                    ctl_proposed = ctl_accepted = 0
-            self._record(it, iterations, trace_events, t_begin, clock,
-                         swap_s, delta, kv, sched)
-            queue_samples.append(sched.queue_depth)
-            # Required utilization: cache-only (reclaimable) blocks are
-            # spare VRAM, not load; identical to raw when caching is off.
-            util_samples.append(kv.required_utilization())
+                queue_samples.append(sched.queue_depth)
+                # Required utilization: cache-only (reclaimable) blocks
+                # are spare VRAM, not load; identical to raw when caching
+                # is off.
+                util_samples.append(kv.required_utilization())
+        finally:
+            # Engine VMs persist across run() calls: never leave a
+            # telemetry tracer attached, even when the run raises.
+            if tel is not None:
+                tel.detach(self._vms)
 
         kv.check_no_leaks()
+        refcount_audit = kv.refcount_audit()
+        if tel is not None:
+            tel.finalize(clock=clock, kv=kv)
         total = _merge_stats([
             vm.stats.delta(s) for vm, s in zip(self._vms, stats_start)
         ])
@@ -411,6 +453,11 @@ class ServingEngine:
                     accepted / checked if checked else None
                 ),
             }
+        if tel is not None:
+            # Both keys are telemetry-gated: the telemetry-off summary
+            # byte format is pinned by the baseline-hash tests.
+            summary["kv_pool"]["refcount_audit"] = refcount_audit
+            summary["telemetry"] = tel.summary_brief()
         return ServeReport(
             device=self.device.name,
             model=self.cfg.name,
@@ -419,6 +466,8 @@ class ServingEngine:
             iterations=iterations,
             trace_events=trace_events,
             stats=total,
+            telemetry=tel,
+            refcount_audit=refcount_audit,
         )
 
     # -- internals --------------------------------------------------------------
@@ -732,9 +781,22 @@ class ServeReport:
     iterations: List[Dict[str, Any]]
     trace_events: List[Dict[str, Any]]
     stats: ExecutionStats
+    #: :class:`~repro.serve.telemetry.EngineTelemetry` when the run was
+    #: telemetered, else ``None``.  In-memory field; serialized (under a
+    #: ``"telemetry"`` key / extra trace tracks) only when present.
+    telemetry: Optional[EngineTelemetry] = None
+    #: Allocator accounting snapshot taken at teardown, *always*
+    #: populated (the refcount audit is cheap); folded into the summary
+    #: only behind the telemetry gate.
+    refcount_audit: Optional[Dict[str, Any]] = None
 
     def chrome_trace(self) -> Dict[str, Any]:
-        """Perfetto-compatible trace: engine track + one track/request."""
+        """Perfetto-compatible trace: engine track + one track/request.
+
+        A telemetered run extends the same file with lifecycle spans on
+        the request tracks, scheduler/pool counter tracks, and — with
+        kernel capture — the VMs' per-op events on the shared clock.
+        """
         meta: List[Dict[str, Any]] = [
             {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
              "args": {"name": f"repro-serve engine ({self.device})"}},
@@ -746,8 +808,11 @@ class ServeReport:
                 "name": "thread_name", "ph": "M", "pid": 1, "tid": r.req_id,
                 "args": {"name": f"request {r.req_id}"},
             })
+        events = meta + self.trace_events
+        if self.telemetry is not None:
+            events = events + self.telemetry.trace_extension()
         return {
-            "traceEvents": meta + self.trace_events,
+            "traceEvents": events,
             "displayTimeUnit": "ms",
         }
 
@@ -779,13 +844,16 @@ class ServeReport:
                 d["spec_proposed"] = r.spec_proposed
                 d["spec_accepted"] = r.spec_accepted
             out_requests.append(d)
-        return {
+        out = {
             "device": self.device,
             "model": self.model,
             "summary": self.summary,
             "requests": out_requests,
             "iterations": self.iterations,
         }
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry.to_dict()
+        return out
 
     def to_json(self, **kwargs) -> str:
         return json.dumps(self.to_dict(), **kwargs)

@@ -60,6 +60,14 @@ class BlockAllocator:
         # 0, 1, 2, ... in order.
         self._free: List[int] = list(range(num_blocks - 1, -1, -1))
         self._refcount: Dict[int, int] = {}
+        # Cumulative reference-traffic counters.  Plain ints bumped on
+        # every operation (cheap) but only ever *serialized* behind the
+        # telemetry flag — they must not perturb the telemetry-off
+        # summary/trace byte format.
+        self.allocated_total = 0
+        self.freed_total = 0
+        self.ref_drops_total = 0
+        self.shares_total = 0
 
     @property
     def num_free(self) -> int:
@@ -85,6 +93,7 @@ class BlockAllocator:
             )
         block = self._free.pop()
         self._refcount[block] = 1
+        self.allocated_total += 1
         return block
 
     def share(self, block: int) -> int:
@@ -92,6 +101,7 @@ class BlockAllocator:
         if block not in self._refcount:
             raise CacheError(f"share of unallocated block {block}")
         self._refcount[block] += 1
+        self.shares_total += 1
         return self._refcount[block]
 
     def free(self, block: int) -> int:
@@ -100,9 +110,11 @@ class BlockAllocator:
         if refs is None:
             raise CacheError(f"double free (or foreign id) of block {block}")
         refs -= 1
+        self.ref_drops_total += 1
         if refs == 0:
             del self._refcount[block]
             self._free.append(block)
+            self.freed_total += 1
         else:
             self._refcount[block] = refs
         return refs
@@ -117,6 +129,7 @@ class BlockAllocator:
         if refs == 1:
             return block
         self._refcount[block] = refs - 1
+        self.ref_drops_total += 1
         return self.allocate()
 
     def check_no_leaks(self, expected_used: int = 0,
@@ -473,6 +486,38 @@ class PagedKVCache:
         slots = used * self.page_size
         tokens = sum(s.length for s in self._seqs.values())
         return max(0.0, 1.0 - tokens / slots)
+
+    def refcount_audit(self) -> Dict[str, object]:
+        """Structured snapshot of the allocator's exact-accounting state.
+
+        The engine attaches this to every :class:`ServeReport` at
+        teardown (after :meth:`check_no_leaks`), and folds it into the
+        run *summary* only when telemetry is enabled — the summary's
+        byte format with telemetry off is pinned by baseline hashes.
+        """
+        cached = (
+            self.prefix_cache.cached_blocks()
+            if self.prefix_cache is not None else []
+        )
+        expected = 1 + len(cached)  # padding page + cache-held blocks
+        alloc = self.allocator
+        return {
+            "num_blocks": alloc.num_blocks,
+            "used_blocks": alloc.num_used,
+            "free_blocks": alloc.num_free,
+            "total_refs": alloc.total_refs,
+            "tracked_sequences": len(self._seqs),
+            "cached_blocks": len(cached),
+            "expected_used_blocks": expected,
+            "leaked_blocks": alloc.num_used - expected,
+            "allocated_total": alloc.allocated_total,
+            "freed_total": alloc.freed_total,
+            "ref_drops_total": alloc.ref_drops_total,
+            "shares_total": alloc.shares_total,
+            "cow_copies": self.cow_copies,
+            "peak_used_blocks": self.peak_used_blocks,
+            "peak_required_blocks": self.peak_required_blocks,
+        }
 
     def check_no_leaks(self) -> None:
         """After all sequences finish, only the padding block plus blocks

@@ -10,23 +10,15 @@ interpolated values.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-
-def percentile(values: Sequence[float], p: float) -> Optional[float]:
-    """Nearest-rank percentile (p in [0, 100]).
-
-    Returns ``None`` on an empty series (NaN poisons JSON artifacts and
-    forced every caller to guard).  A single-sample series is well defined
-    under nearest-rank: every percentile is that sample.
-    """
-    if not values:
-        return None
-    ordered = sorted(values)
-    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
-    return ordered[min(rank, len(ordered)) - 1]
+# The nearest-rank percentile/distribution helpers are shared with the
+# telemetry registry and the obs report layer (one regression-tested
+# implementation); re-exported here because the serving API always
+# offered them under this module.
+from ..obs.stats import dist as _shared_dist
+from ..obs.stats import percentile
 
 
 @dataclass
@@ -127,14 +119,7 @@ def summarize(
         return tpot is None or tpot <= slo_tpot_s
 
     good = sum(1 for r in done if within_slo(r))
-    pct = {
-        "p50": 50.0, "p90": 90.0, "p99": 99.0,
-    }
-
-    def dist(values: Sequence[float]) -> Dict[str, Optional[float]]:
-        out = {"mean": sum(values) / len(values) if values else None}
-        out.update({k: percentile(values, p) for k, p in pct.items()})
-        return out
+    dist = _shared_dist
 
     summary: Dict[str, Any] = {
         "num_requests": len(requests),

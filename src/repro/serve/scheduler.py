@@ -144,6 +144,9 @@ class Iteration:
     preempted: List[Tuple[RequestState, int, str]] = field(default_factory=list)
     #: ``(state, cached_tokens)`` admissions served from the prefix cache.
     cache_hits: List[Tuple[RequestState, int]] = field(default_factory=list)
+    #: Sequences admitted from the waiting queue this step (includes
+    #: recompute-preempted sequences re-entering the running set).
+    admitted: List[RequestState] = field(default_factory=list)
     #: ``(state, ctx_len, k)`` speculative decode entries: the sequence
     #: runs one draft/verify step proposing ``k`` draft tokens on top of
     #: the mandatory bonus token; ``ctx_len`` is the cached context
@@ -216,6 +219,10 @@ class ContinuousBatchingScheduler:
     @property
     def queue_depth(self) -> int:
         return len(self.waiting) + len(self.swapped)
+
+    @property
+    def num_running(self) -> int:
+        return len(self.running)
 
     # -- completion -------------------------------------------------------------
 
@@ -496,6 +503,7 @@ class ContinuousBatchingScheduler:
                 if got:
                     it.cache_hits.append((state, got))
             self.running.append(state)
+            it.admitted.append(state)
             # A program with no chunked work (denoise) would otherwise
             # contribute nothing to its admission iteration — which the
             # engine reads as a stall.  Take its first KV-free step now,

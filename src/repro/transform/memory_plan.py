@@ -29,6 +29,7 @@ from ..core.expr import (
     Expr,
     Function,
     If,
+    MatchCast,
     SeqExpr,
     Tuple as TupleExpr,
     TupleGetItem,
@@ -121,7 +122,11 @@ def _last_uses(blocks, body_expr) -> Dict[int, int]:
 
     for block in blocks:
         for binding in block.bindings:
-            if isinstance(binding, VarBinding) and isinstance(
+            # MatchCast forwards its value's register just like ``gv = lv``
+            # (to_vm aliases reg_map[var] to the source register), so its
+            # var must alias too — otherwise the source is killed at the
+            # cast while the cast's var still reads the same tensor.
+            if isinstance(binding, (VarBinding, MatchCast)) and isinstance(
                 binding.value, (Var, TupleExpr, TupleGetItem)
             ):
                 members: List[int] = []

@@ -1,0 +1,155 @@
+"""The serving KPI regression gate (benchmarks/bench_regression.py).
+
+Gate logic is pinned pure-python (direction awareness, zero baselines,
+tolerance edges, the injected-regression self-test), and one live
+scenario is re-measured and compared against the *committed*
+``BENCH_serving.json`` — the same check CI runs, so a scheduler change
+that shifts serving KPIs fails here first with a readable diff.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+_BENCH_DIR = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                          "benchmarks")
+
+
+def _load():
+    spec = importlib.util.spec_from_file_location(
+        "bench_regression", os.path.join(_BENCH_DIR, "bench_regression.py"))
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+br = _load()
+
+BASE = {
+    "plain": {
+        "throughput_tokens_per_s": 100.0,
+        "ttft_p50_s": 0.010,
+        "peak_required_blocks": 40,
+        "preemptions": 0,
+    }
+}
+
+
+def _measured(**over):
+    vals = dict(BASE["plain"])
+    vals.update(over)
+    return {"plain": vals}
+
+
+# ---------------------------------------------------------------------------
+# compare(): direction-aware gate logic
+# ---------------------------------------------------------------------------
+
+
+def test_identical_measurements_pass():
+    reg, imp = br.compare(BASE, _measured(), tolerance=0.02)
+    assert reg == [] and imp == []
+
+
+def test_within_tolerance_passes_both_directions():
+    reg, _ = br.compare(
+        BASE, _measured(throughput_tokens_per_s=99.0, ttft_p50_s=0.0101),
+        tolerance=0.02)
+    assert reg == []
+
+
+def test_throughput_drop_is_a_regression():
+    reg, _ = br.compare(
+        BASE, _measured(throughput_tokens_per_s=90.0), tolerance=0.02)
+    assert [(r[0], r[1]) for r in reg] == [("plain",
+                                           "throughput_tokens_per_s")]
+
+
+def test_latency_rise_is_a_regression():
+    reg, _ = br.compare(BASE, _measured(ttft_p50_s=0.012), tolerance=0.02)
+    assert [(r[0], r[1]) for r in reg] == [("plain", "ttft_p50_s")]
+
+
+def test_improvements_never_fail():
+    reg, imp = br.compare(
+        BASE,
+        _measured(throughput_tokens_per_s=150.0, ttft_p50_s=0.005,
+                  peak_required_blocks=30),
+        tolerance=0.02)
+    assert reg == []
+    assert len(imp) == 3
+
+
+def test_zero_baseline_bad_direction_trips():
+    # preemptions baseline 0: any preemption is a regression (relative
+    # tolerance is meaningless against a zero denominator).
+    reg, _ = br.compare(BASE, _measured(preemptions=3), tolerance=0.5)
+    assert [(r[0], r[1]) for r in reg] == [("plain", "preemptions")]
+
+
+def test_missing_scenario_is_a_regression():
+    reg, _ = br.compare(BASE, {}, tolerance=0.02)
+    assert reg and reg[0][1] == "<missing>"
+
+
+def test_inject_regression_perturbs_bad_direction_only():
+    injected = br.inject_regression(_measured(), factor=2.0)["plain"]
+    assert injected["throughput_tokens_per_s"] == 50.0   # higher-better / 2
+    assert injected["ttft_p50_s"] == 0.020               # lower-better * 2
+    reg, _ = br.compare(BASE, {"plain": injected}, tolerance=0.02)
+    assert len(reg) >= 2
+
+
+def test_every_kpi_has_a_direction():
+    # A KPI added to kpis() without a direction entry would silently
+    # escape the gate.
+    assert set(br.KPI_DIRECTION) == {
+        "throughput_tokens_per_s", "goodput_requests_per_s", "makespan_s",
+        "ttft_p50_s", "ttft_p99_s", "tpot_p50_s", "peak_required_blocks",
+        "preemptions",
+    }
+
+
+# ---------------------------------------------------------------------------
+# Committed baseline: format + one live scenario
+# ---------------------------------------------------------------------------
+
+
+def _baseline():
+    with open(br.BASELINE_PATH) as f:
+        return json.load(f)
+
+
+def test_committed_baseline_shape():
+    doc = _baseline()
+    assert doc["version"] == 1
+    assert set(doc["scenarios"]) == set(br.SCENARIOS)
+    for name, vals in doc["scenarios"].items():
+        assert set(vals) == set(br.KPI_DIRECTION), name
+    # The pressure scenario is only load-bearing if it actually preempts.
+    assert doc["scenarios"]["pressure"]["preemptions"] > 0
+
+
+def test_live_plain_scenario_matches_committed_baseline():
+    baseline = {"plain": _baseline()["scenarios"]["plain"]}
+    measured = {"plain": br.kpis(br.SCENARIOS["plain"]())}
+    reg, imp = br.compare(baseline, measured, tolerance=0.02)
+    assert reg == [], f"plain serving KPIs regressed: {reg}"
+    # The simulation is deterministic: same platform, same numbers.
+    assert imp == [], (
+        f"plain serving KPIs drifted (improved): {imp}; "
+        f"refresh benchmarks/BENCH_serving.json with --update"
+    )
+
+
+def test_gate_main_trips_on_injected_regression():
+    rc = br.main(["--scenario", "plain", "--inject-regression", "1.5"])
+    assert rc == 1
+
+
+def test_gate_main_passes_clean():
+    rc = br.main(["--scenario", "plain"])
+    assert rc == 0

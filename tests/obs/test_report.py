@@ -175,8 +175,14 @@ class TestVirtualMachineProfiler:
     def test_report_is_json_ready(self):
         report = _profiled().report()
         d = json.loads(json.dumps(report))
-        assert set(d) == {"stats", "op_table", "memory", "events"}
+        assert set(d) == {"stats", "op_table", "kernel_dur_s", "memory",
+                          "events"}
         assert d["stats"]["kernel_launches"] >= 1
+        # Compute-event duration distribution (kernels + library/builtin
+        # calls) uses the shared nearest-rank stats.
+        dur = d["kernel_dur_s"]
+        assert dur["count"] >= d["stats"]["kernel_launches"]
+        assert dur["min"] <= dur["p50"] <= dur["p99"] <= dur["max"]
 
     def test_reset_clears_stats_and_events(self):
         vm = _profiled()

@@ -1,0 +1,120 @@
+"""Shared nearest-rank statistics helpers (repro.obs.stats).
+
+This is the single percentile/distribution implementation behind the
+serving summaries, the telemetry registry, the SLO monitor and the obs
+report layer — regressions here would silently move every "p99" the
+repo reports, including the baseline-hash-pinned serving summaries, so
+the definition is locked down exactly.
+"""
+
+import math
+
+import pytest
+
+from repro.obs.stats import dist, extended_dist, percentile
+
+
+# ---------------------------------------------------------------------------
+# percentile: nearest-rank definition
+# ---------------------------------------------------------------------------
+
+
+def test_percentile_empty_is_none():
+    assert percentile([], 50) is None
+    assert percentile([], 99) is None
+
+
+def test_percentile_single_sample_is_that_sample():
+    for p in (0, 1, 50, 90, 99, 100):
+        assert percentile([7.5], p) == 7.5
+
+
+def test_percentile_returns_actual_data_points():
+    values = [0.3, 0.1, 0.9, 0.5, 0.7]
+    for p in (10, 25, 50, 75, 90, 99):
+        assert percentile(values, p) in values
+
+
+def test_percentile_nearest_rank_exact():
+    # Canonical nearest-rank example: rank = ceil(p/100 * n).
+    values = [15, 20, 35, 40, 50]
+    assert percentile(values, 5) == 15
+    assert percentile(values, 30) == 20
+    assert percentile(values, 40) == 20
+    assert percentile(values, 50) == 35
+    assert percentile(values, 100) == 50
+
+
+def test_percentile_order_invariant():
+    values = [5.0, 1.0, 4.0, 2.0, 3.0]
+    assert percentile(values, 50) == percentile(sorted(values), 50) == 3.0
+
+
+def test_percentile_never_interpolates():
+    # p50 of [1, 2] is 1 under nearest-rank (rank ceil(0.5*2)=1), not 1.5.
+    assert percentile([1.0, 2.0], 50) == 1.0
+    assert percentile([1.0, 2.0], 51) == 2.0
+
+
+# ---------------------------------------------------------------------------
+# dist / extended_dist shapes
+# ---------------------------------------------------------------------------
+
+
+def test_dist_shape_and_values():
+    d = dist([2.0, 1.0, 3.0])
+    assert set(d) == {"mean", "p50", "p90", "p99"}
+    assert d["mean"] == pytest.approx(2.0)
+    assert d["p50"] == 2.0
+    assert d["p99"] == 3.0
+
+
+def test_dist_empty_all_none():
+    d = dist([])
+    assert d == {"mean": None, "p50": None, "p90": None, "p99": None}
+
+
+def test_dist_mean_sums_in_observed_order():
+    # Float addition is not associative: the mean must be computed over
+    # the series as observed (the serving summaries' byte format is
+    # pinned on this), never over the sorted copy.
+    values = [0.1, 0.7, 1e-9, 0.3, 1e9, -1e9, 0.2]
+    assert dist(values)["mean"] == sum(values) / len(values)
+
+
+def test_dist_custom_percentiles():
+    d = dist([1.0, 2.0, 3.0, 4.0], percentiles={"p25": 25.0, "p75": 75.0})
+    assert set(d) == {"mean", "p25", "p75"}
+    assert d["p25"] == 1.0
+    assert d["p75"] == 3.0
+
+
+def test_extended_dist_adds_count_sum_min_max():
+    d = extended_dist([3.0, 1.0, 2.0])
+    assert d["count"] == 3
+    assert d["sum"] == pytest.approx(6.0)
+    assert d["min"] == 1.0
+    assert d["max"] == 3.0
+    assert d["p50"] == 2.0
+
+
+def test_extended_dist_empty():
+    d = extended_dist([])
+    assert d["count"] == 0
+    assert d["sum"] == 0.0
+    assert d["min"] is None and d["max"] is None
+    assert d["p99"] is None
+
+
+def test_extended_dist_sum_is_compensated():
+    # fsum: the cumulative sum must not lose small terms to cancellation.
+    values = [1e16, 1.0, -1e16]
+    assert extended_dist(values)["sum"] == 1.0
+    assert math.fsum(values) == 1.0
+
+
+def test_serve_metrics_reexports_shared_percentile():
+    from repro.obs import stats
+    from repro.serve import metrics
+
+    assert metrics.percentile is stats.percentile

@@ -1,0 +1,474 @@
+"""Serve-layer telemetry: determinism contract + component lockdown.
+
+Four invariant families:
+
+1. **Telemetry-off byte identity** — ``EngineConfig.telemetry=None``
+   (the default) emits the exact bytes of the untelemetered engine;
+   enabling telemetry must not change a single core-summary value,
+   request metric, iteration record or pre-existing trace event.
+2. **Telemetry-on determinism** — two fresh same-seed telemetered runs
+   produce byte-identical telemetry JSON and Prometheus text (sliding
+   windows slide on the analytical clock; nothing reads wall time).
+3. **Component behaviour** — the metrics registry (labels, histogram
+   windows, exposition format), the SLO monitor (stall / storm /
+   violation anomalies) and the span recorder (lifecycle nesting).
+4. **Perfetto schema** — telemetered serve timelines (request lifecycle
+   spans + counter tracks + merged VM kernel events) pass the chrome
+   trace validator, and lifecycle spans nest inside their request's
+   root span on the shared clock.
+"""
+
+import json
+
+import pytest
+
+from repro.models import TINY_DENOISE, TINY_LLAMA, TINY_WHISPER
+from repro.obs import validate_chrome_trace
+from repro.obs.spans import SpanRecorder
+from repro.runtime import TEST_DEVICE
+from repro.runtime.device import ALL_DEVICES
+from repro.serve import (
+    EngineConfig,
+    MetricsRegistry,
+    SchedulerConfig,
+    ServingEngine,
+    SLOConfig,
+    SLOMonitor,
+    SpecConfig,
+    TelemetryConfig,
+    WorkloadConfig,
+    generate,
+    serve_workload,
+)
+from repro.serve.metrics import RequestMetrics
+from repro.serve.telemetry import Histogram
+
+DEVICE = ALL_DEVICES["NVIDIA RTX 4090"]
+
+
+def _engine_config(telemetry=None, spec=None, num_blocks=128):
+    return EngineConfig(
+        page_size=4, num_blocks=num_blocks,
+        scheduler=SchedulerConfig(max_num_seqs=8,
+                                  max_num_batched_tokens=64,
+                                  prefill_chunk=16),
+        spec=spec, telemetry=telemetry,
+    )
+
+
+def _workload(**over):
+    base = dict(num_requests=10, seed=0, arrival="poisson",
+                arrival_rate=100.0, prompt_min=4, prompt_max=12,
+                output_min=4, output_max=12)
+    base.update(over)
+    return WorkloadConfig(**base)
+
+
+def _run(telemetry=None, spec=None, num_blocks=128, **wl):
+    return serve_workload(TINY_LLAMA, DEVICE, _workload(**wl),
+                          _engine_config(telemetry, spec, num_blocks))
+
+
+# ---------------------------------------------------------------------------
+# 1. Telemetry-off byte identity / telemetry-on additivity
+# ---------------------------------------------------------------------------
+
+
+def test_telemetry_defaults_off_and_changes_nothing():
+    plain = _run()
+    told = _run(telemetry=TelemetryConfig())
+
+    assert plain.telemetry is None
+    assert "telemetry" not in plain.to_dict()
+    assert "telemetry" not in plain.summary
+    assert "refcount_audit" not in plain.summary["kv_pool"]
+
+    # The telemetered run adds keys but never changes existing bytes:
+    # stripping the gated additions yields the identical document.
+    d = told.to_dict()
+    assert told.telemetry is not None
+    assert "telemetry" in d
+    del d["telemetry"]
+    del d["summary"]["telemetry"]
+    del d["summary"]["kv_pool"]["refcount_audit"]
+    assert json.dumps(d, sort_keys=True) == plain.to_json(sort_keys=True)
+
+    # Pre-existing trace events are untouched; telemetry only appends.
+    plain_trace = plain.chrome_trace()["traceEvents"]
+    told_trace = told.chrome_trace()["traceEvents"]
+    assert told_trace[: len(plain_trace)] == plain_trace
+    assert len(told_trace) > len(plain_trace)
+
+
+def test_refcount_audit_always_on_report_and_clean():
+    # Satellite: the audit itself is unconditional (the summary
+    # placement is what the telemetry flag gates).
+    for report in (_run(), _run(telemetry=TelemetryConfig())):
+        audit = report.refcount_audit
+        assert audit is not None
+        assert audit["leaked_blocks"] == 0
+        assert audit["tracked_sequences"] == 0
+        assert audit["used_blocks"] == audit["expected_used_blocks"]
+        # Reference traffic balances: every allocate was freed except
+        # the survivors (padding page + cache-held blocks).
+        assert (audit["allocated_total"] - audit["freed_total"]
+                == audit["used_blocks"])
+    told = _run(telemetry=TelemetryConfig())
+    assert told.summary["kv_pool"]["refcount_audit"] == told.refcount_audit
+
+
+# ---------------------------------------------------------------------------
+# 2. Telemetry-on determinism
+# ---------------------------------------------------------------------------
+
+
+def test_telemetry_deterministic_across_same_seed_runs():
+    cfg = TelemetryConfig(window_s=0.01)
+    a = _run(telemetry=cfg, spec=SpecConfig(num_spec_tokens=2))
+    b = _run(telemetry=cfg, spec=SpecConfig(num_spec_tokens=2))
+    assert (json.dumps(a.telemetry.to_dict(), sort_keys=True)
+            == json.dumps(b.telemetry.to_dict(), sort_keys=True))
+    assert a.telemetry.to_prometheus() == b.telemetry.to_prometheus()
+    assert (json.dumps(a.chrome_trace(), sort_keys=True)
+            == json.dumps(b.chrome_trace(), sort_keys=True))
+
+
+def test_telemetry_counters_match_engine_truth():
+    report = _run(telemetry=TelemetryConfig(),
+                  spec=SpecConfig(num_spec_tokens=2))
+    counters = report.telemetry.registry.to_dict()["counters"]
+    s = report.summary
+    assert counters["iterations_total"] == len(report.iterations)
+    total_tokens = sum(v for k, v in counters.items()
+                       if k.startswith("tokens_total"))
+    assert total_tokens == s["total_output_tokens"]
+    assert counters["spec_proposed_total"] == s["spec_decode"]["proposed"]
+    assert counters["spec_accepted_total"] == s["spec_decode"]["accepted"]
+    assert (counters["spec_rollback_tokens_total"]
+            == s["spec_decode"]["proposed"] - s["spec_decode"]["accepted"])
+    finished = sum(v for k, v in counters.items()
+                   if k.startswith("requests_finished_total"))
+    assert finished == s["num_finished"]
+
+
+def test_preemption_telemetry_under_pool_pressure():
+    report = serve_workload(
+        TINY_LLAMA, TEST_DEVICE,
+        _workload(num_requests=16, seed=0, arrival_rate=200.0,
+                  prompt_min=4, prompt_max=20, output_min=2,
+                  output_max=24),
+        EngineConfig(
+            page_size=4, num_blocks=10,
+            scheduler=SchedulerConfig(max_num_seqs=8,
+                                      max_num_batched_tokens=128,
+                                      prefill_chunk=16),
+            telemetry=TelemetryConfig(),
+        ),
+    )
+    assert report.summary["preemptions"] > 0
+    counters = report.telemetry.registry.to_dict()["counters"]
+    preempts = sum(v for k, v in counters.items()
+                   if k.startswith("preemptions_total"))
+    assert preempts == report.summary["preemptions"]
+    names = {s["name"] for s in report.telemetry.spans.to_dicts()}
+    assert any(n.startswith("preempted[") for n in names)
+
+
+# ---------------------------------------------------------------------------
+# 3a. Metrics registry
+# ---------------------------------------------------------------------------
+
+
+def test_registry_get_or_create_and_labels():
+    reg = MetricsRegistry()
+    c1 = reg.counter("reqs_total", "requests", kind="llm")
+    c2 = reg.counter("reqs_total", "requests", kind="llm")
+    c3 = reg.counter("reqs_total", "requests", kind="whisper")
+    assert c1 is c2 and c1 is not c3
+    c1.inc(2)
+    c3.inc()
+    d = reg.to_dict()["counters"]
+    assert d['reqs_total{kind="llm"}'] == 2
+    assert d['reqs_total{kind="whisper"}'] == 1
+
+
+def test_registry_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+
+
+def test_counter_rejects_decrease():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("c").inc(-1)
+
+
+def test_histogram_sliding_window_prunes_on_analytical_clock():
+    h = Histogram("lat", window_s=1.0)
+    h.observe(10.0, ts_s=0.0)
+    h.observe(20.0, ts_s=0.5)
+    h.observe(30.0, ts_s=2.0)  # evicts ts 0.0 and 0.5 (cutoff 1.0)
+    snap = h.snapshot()
+    assert snap["count"] == 3           # cumulative survives the window
+    assert snap["sum"] == 60.0
+    assert snap["window_count"] == 1
+    assert snap["p50"] == 30.0 and snap["min"] == 30.0
+
+
+def test_histogram_no_window_keeps_everything():
+    h = Histogram("lat")
+    for i in range(100):
+        h.observe(float(i), ts_s=float(i))
+    snap = h.snapshot()
+    assert snap["window_count"] == 100
+    assert snap["p50"] == 49.0
+
+
+def test_prometheus_exposition_format():
+    reg = MetricsRegistry(prefix="repro_serve")
+    reg.counter("reqs_total", "finished requests", kind="llm").inc(3)
+    reg.gauge("queue_depth", "waiting").set(5)
+    h = reg.histogram("ttft_seconds", "time to first token")
+    h.observe(0.5, 0.0)
+    h.observe(1.5, 1.0)
+    text = reg.to_prometheus()
+    lines = text.splitlines()
+    assert "# TYPE repro_serve_reqs_total counter" in lines
+    assert 'repro_serve_reqs_total{kind="llm"} 3.0' in lines
+    assert "# TYPE repro_serve_queue_depth gauge" in lines
+    assert "repro_serve_queue_depth 5.0" in lines
+    assert "# TYPE repro_serve_ttft_seconds summary" in lines
+    assert 'repro_serve_ttft_seconds{quantile="0.5"} 0.5' in lines
+    assert "repro_serve_ttft_seconds_sum 2.0" in lines
+    assert "repro_serve_ttft_seconds_count 2" in lines
+    assert text.endswith("\n")
+    # HELP precedes TYPE precedes samples for each metric.
+    assert (lines.index("# HELP repro_serve_reqs_total finished requests")
+            < lines.index("# TYPE repro_serve_reqs_total counter"))
+
+
+# ---------------------------------------------------------------------------
+# 3b. SLO monitor
+# ---------------------------------------------------------------------------
+
+
+def _metrics(req_id, ttft, tpot, arrival=0.0, n_tokens=4):
+    m = RequestMetrics(req_id=req_id, arrival_s=arrival, prompt_len=8,
+                       output_len=n_tokens)
+    t0 = arrival + ttft
+    m.token_times = [t0 + i * tpot for i in range(n_tokens)]
+    m.finish_s = m.token_times[-1]
+    return m
+
+
+def test_slo_stall_anomaly_fires_once_at_threshold():
+    mon = SLOMonitor(SLOConfig(stall_iterations=3), slo_ttft_s=1.0,
+                     slo_tpot_s=0.1)
+    for i in range(5):
+        mon.on_iteration(i, t_s=float(i), committed=0, preemptions=0,
+                         queue_depth=2)
+    stalls = [a for a in mon.anomalies if a["kind"] == "stall"]
+    assert len(stalls) == 1
+    assert stalls[0]["iteration"] == 2  # exactly at the threshold
+    # Progress resets the streak; a fresh stall can fire again.
+    mon.on_iteration(5, 5.0, committed=3, preemptions=0, queue_depth=0)
+    for i in range(6, 9):
+        mon.on_iteration(i, float(i), committed=0, preemptions=0,
+                         queue_depth=1)
+    assert len([a for a in mon.anomalies if a["kind"] == "stall"]) == 2
+
+
+def test_slo_preemption_storm_edge_triggered():
+    mon = SLOMonitor(SLOConfig(storm_preemptions=4, window_requests=8),
+                     slo_ttft_s=1.0, slo_tpot_s=0.1)
+    for i in range(4):
+        mon.on_iteration(i, float(i), committed=0, preemptions=2,
+                         queue_depth=4)
+    storms = [a for a in mon.anomalies if a["kind"] == "preemption_storm"]
+    assert len(storms) == 1  # stays open, does not re-fire every step
+    assert storms[0]["window_preemptions"] >= 4
+
+
+def test_slo_attainment_and_violation_records():
+    mon = SLOMonitor(SLOConfig(window_requests=4), slo_ttft_s=1.0,
+                     slo_tpot_s=0.1)
+    mon.on_finish(_metrics(0, ttft=0.5, tpot=0.05), t_s=1.0, iteration=0)
+    mon.on_finish(_metrics(1, ttft=2.0, tpot=0.05), t_s=2.0, iteration=1)
+    mon.on_finish(_metrics(2, ttft=0.5, tpot=0.5), t_s=3.0, iteration=2)
+    assert mon.window_ttft_attainment == pytest.approx(2 / 3)
+    assert mon.window_tpot_attainment == pytest.approx(2 / 3)
+    assert mon.violations == 2
+    kinds = [a["kind"] for a in mon.anomalies]
+    assert kinds.count("slo_violation") == 2
+    snap = mon.snapshot()
+    json.dumps(snap)  # JSON-ready
+    assert snap["anomaly_counts"] == {"slo_violation": 2}
+    assert snap["window_ttft_s"]["p50"] == 0.5
+
+
+def test_slo_one_token_request_vacuously_meets_tpot():
+    mon = SLOMonitor(SLOConfig(), slo_ttft_s=1.0, slo_tpot_s=0.1)
+    mon.on_finish(_metrics(0, ttft=0.2, tpot=0.0, n_tokens=1), 1.0, 0)
+    assert mon.violations == 0
+    assert mon.window_tpot_attainment is None  # nothing to measure
+
+
+# ---------------------------------------------------------------------------
+# 3c. Span recorder
+# ---------------------------------------------------------------------------
+
+
+def test_span_lifecycle_with_queueing_and_phases():
+    rec = SpanRecorder()
+    rec.admitted(7, arrival_s=0.0, t=1.0, kind="llm")
+    rec.activity(7, "prefill", 1.0, 2.0)
+    rec.activity(7, "prefill", 2.0, 3.0)   # merges into one segment
+    rec.activity(7, "decode", 3.0, 4.0)    # closes prefill
+    rec.finished(7, 5.0, output_tokens=3)
+    spans = {(s.name, s.depth): s for s in rec.spans}
+    assert spans[("queued", 0)].start_s == 0.0
+    assert spans[("queued", 0)].end_s == 1.0
+    assert spans[("prefill", 1)].start_s == 1.0
+    assert spans[("prefill", 1)].end_s == 3.0  # merged, not two segments
+    # The decode segment ends at its last recorded activity (4.0), not
+    # at the finish call — no activity was claimed over [4, 5].
+    assert spans[("decode", 1)].end_s == 4.0
+    root = spans[("request", 0)]
+    assert (root.start_s, root.end_s) == (1.0, 5.0)
+    assert root.args["output_tokens"] == 3
+
+
+def test_span_preemption_and_resume():
+    rec = SpanRecorder()
+    rec.admitted(1, arrival_s=0.0, t=0.0)
+    rec.activity(1, "decode", 0.0, 1.0)
+    rec.preempted(1, 1.0, "swap", swapped_tokens=8)
+    rec.resumed(1, 3.0)
+    rec.activity(1, "decode", 3.0, 4.0)
+    rec.finished(1, 4.0)
+    names = [s.name for s in rec.spans]
+    assert "preempted[swap]" in names
+    pre = next(s for s in rec.spans if s.name == "preempted[swap]")
+    assert (pre.start_s, pre.end_s) == (1.0, 3.0)
+    # Two decode segments: preemption closed the first.
+    assert names.count("decode") == 2
+
+
+def test_span_recompute_readmission_closes_preemption():
+    rec = SpanRecorder()
+    rec.admitted(2, arrival_s=0.0, t=0.0)
+    rec.activity(2, "decode", 0.0, 1.0)
+    rec.preempted(2, 1.0, "recompute")
+    rec.admitted(2, arrival_s=0.0, t=2.5)  # re-admission, not a new root
+    rec.finished(2, 3.0)
+    assert [s.name for s in rec.spans].count("request") == 1
+    assert [s.name for s in rec.spans].count("queued") == 0  # only once,
+    # and admission at t=0 == arrival produced no queued span at all
+    pre = next(s for s in rec.spans if s.name == "preempted[recompute]")
+    assert (pre.start_s, pre.end_s) == (1.0, 2.5)
+
+
+def test_span_finalize_closes_dangling():
+    rec = SpanRecorder()
+    rec.admitted(3, arrival_s=0.0, t=0.5)
+    rec.activity(3, "prefill", 0.5, 1.0)
+    rec.finalize(2.0)
+    root = next(s for s in rec.spans if s.name == "request")
+    assert root.end_s == 2.0
+    assert root.args["unfinished"] is True
+    assert not rec._open_phase and not rec._open_root
+
+
+# ---------------------------------------------------------------------------
+# 4. Perfetto schema over serve-engine timelines
+# ---------------------------------------------------------------------------
+
+
+def _lifecycle_nesting_ok(trace):
+    events = trace["traceEvents"]
+    roots = {}
+    for e in events:
+        if e.get("cat") == "lifecycle" and e["name"] == "request":
+            roots[e["tid"]] = (e["ts"], e["ts"] + e["dur"])
+    children = [e for e in events
+                if e.get("cat") == "lifecycle"
+                and e["name"] not in ("request", "queued")]
+    assert children, "no lifecycle child spans emitted"
+    for e in children:
+        lo, hi = roots[e["tid"]]
+        assert lo - 1e-6 <= e["ts"] and e["ts"] + e["dur"] <= hi + 1e-6, (
+            f"span {e['name']} of request {e['tid']} escapes its root"
+        )
+    return roots
+
+
+def test_telemetered_trace_validates_and_spans_nest():
+    report = _run(telemetry=TelemetryConfig())
+    trace = validate_chrome_trace(report.chrome_trace())
+    roots = _lifecycle_nesting_ok(trace)
+    assert len(roots) == report.summary["num_finished"]
+    counter_names = {e["name"] for e in trace["traceEvents"]
+                     if e["ph"] == "C"}
+    assert {"sched_queue", "batch_occupancy", "token_budget_util",
+            "kv_pressure"} <= counter_names
+
+
+def test_merged_export_spans_counters_and_kernels_shared_clock():
+    # Acceptance scenario: mixed LLM + Whisper + denoise workload with
+    # speculation, kernel capture on — one Perfetto file carries request
+    # lifecycle spans (pid 1), scheduler/pool counter tracks (pid 0) and
+    # per-op VM kernel events (pid 2) on the same engine clock.
+    sched = SchedulerConfig(max_num_seqs=8, max_num_batched_tokens=64,
+                            prefill_chunk=8)
+    engine = ServingEngine(
+        TINY_LLAMA, TEST_DEVICE,
+        EngineConfig(page_size=4, num_blocks=96, scheduler=sched,
+                     spec=SpecConfig(num_spec_tokens=2),
+                     telemetry=TelemetryConfig(capture_kernels=True)),
+        whisper_config=TINY_WHISPER,
+        denoise_config=TINY_DENOISE,
+    )
+    wl = generate(WorkloadConfig(
+        num_requests=12, seed=1, arrival_rate=100.0,
+        prompt_min=4, prompt_max=12, output_min=2, output_max=8,
+        whisper_fraction=0.25, denoise_fraction=0.25,
+    ))
+    assert {r.kind for r in wl} == {"llm", "whisper", "denoise"}
+    report = engine.run(wl)
+    trace = validate_chrome_trace(report.chrome_trace())
+    events = trace["traceEvents"]
+    _lifecycle_nesting_ok(trace)
+
+    kernels = [e for e in events if e["pid"] == 2 and e["ph"] == "X"]
+    assert kernels, "kernel capture produced no merged VM events"
+    vm_threads = {e["args"]["name"] for e in events
+                  if e["ph"] == "M" and e["pid"] == 2
+                  and e["name"] == "thread_name"}
+    assert vm_threads == {"vm[llm]", "vm[draft]", "vm[whisper]",
+                          "vm[denoise]"}
+    # Shared clock: every kernel lies inside the run's makespan (with
+    # sub-microsecond slack for the trailing event's duration).
+    end_us = report.summary["makespan_s"] * 1e6
+    for e in kernels:
+        assert -1e-6 <= e["ts"] <= end_us + 1.0
+    # The draft VM's kernels only exist because speculation ran.
+    draft_tid = next(e["tid"] for e in events
+                     if e["ph"] == "M" and e["pid"] == 2
+                     and e["args"]["name"] == "vm[draft]")
+    assert any(e["tid"] == draft_tid for e in kernels)
+    # Lifecycle spans cover the heterogeneous phases too.
+    lifecycle = {e["name"] for e in events if e.get("cat") == "lifecycle"}
+    assert {"request", "spec_decode"} <= lifecycle
+    assert lifecycle & {"encode", "cross_project", "denoise"}
+
+
+def test_kernel_capture_restores_vm_tracers():
+    engine = ServingEngine(
+        TINY_LLAMA, DEVICE,
+        _engine_config(TelemetryConfig(capture_kernels=True)),
+    )
+    assert all(vm.tracer is None for vm in engine._vms)
+    engine.run(generate(_workload()))
+    assert all(vm.tracer is None for vm in engine._vms)

@@ -364,6 +364,35 @@ class TestMatchCastThroughPipeline:
         out = vm.run("main", NDArray.from_numpy(x))
         np.testing.assert_allclose(out.numpy(), np.exp(np.unique(x)), rtol=1e-6)
 
+    def test_match_cast_alias_not_killed_before_use(self):
+        """InsertKills regression (found by the differential fuzzer,
+        seeds 297/337): a match_cast var aliases its source's register,
+        so using the cast var must count as a use of the source — the
+        unoptimized pipeline used to kill the source right after the
+        cast's shape check and feed a dead register to the next op."""
+        bb = BlockBuilder()
+        n = core.sym_var("n")
+        with bb.function("main", {"x": TensorAnn(("n",), "f32")}) as frame:
+            (x,) = frame.params
+            with bb.dataflow():
+                lv = bb.emit(ops.expand_dims(x, axis=1))
+                cast = bb.match_cast(lv, TensorAnn((n, 1), "f32"))
+                flat = bb.emit(ops.reshape(cast, (n * 1,)))
+                gv = bb.emit_output(flat)
+            bb.emit_func_output(gv)
+        mod = bb.get()
+        # The reference configuration: no planning, pool allocs + kills.
+        exe = transform.build(
+            mod, TEST_DEVICE, sym_var_upper_bounds={"n": 16},
+            enable_library_dispatch=False, enable_fusion=False,
+            enable_memory_planning=False, enable_cuda_graph=False,
+            enable_autotuning=False,
+        )
+        vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+        x = RNG.standard_normal((5,)).astype(np.float32)
+        out = vm.run("main", NDArray.from_numpy(x))
+        np.testing.assert_array_equal(out.numpy(), x)
+
 
 class TestVerifyEachPass:
     def test_pipeline_is_well_formed_after_every_pass(self):
