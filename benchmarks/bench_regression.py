@@ -32,7 +32,7 @@ import sys
 sys.path.insert(
     0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 
-from repro.models import TINY_LLAMA  # noqa: E402
+from repro.models import TINY_LLAMA, TINY_LLAMA_TP  # noqa: E402
 from repro.runtime import ALL_DEVICES  # noqa: E402
 from repro.serve import (  # noqa: E402
     EngineConfig,
@@ -116,11 +116,22 @@ def scenario_pressure():
     )
 
 
+def scenario_tp():
+    # Tensor-parallel serving on a 2-device mesh: the whole stack above
+    # the VM (scheduler, paging, batching) runs unchanged; the KPIs pin
+    # the lockstep-mesh timing and the per-shard pool accounting.
+    return serve_workload(
+        TINY_LLAMA_TP, DEVICE, _workload(),
+        _engine(enable_prefix_caching=False, tp=2),
+    )
+
+
 SCENARIOS = {
     "plain": scenario_plain,
     "prefix": scenario_prefix,
     "spec": scenario_spec,
     "pressure": scenario_pressure,
+    "tp": scenario_tp,
 }
 
 

@@ -1,0 +1,185 @@
+"""Tensor-parallel scaling curves: latency/throughput vs TP width with a
+compute-vs-communication breakdown.
+
+Serves the paper-scale models through ``build_llama(cfg, tp=N)`` on a
+:class:`repro.dist.MeshExecutor` of N analytical devices and sweeps the
+mesh width.  Two directional claims are asserted (the same shape every
+Megatron-style system shows):
+
+* decode TPOT *decreases* with N on an NVLink-class interconnect —
+  per-rank weight traffic shrinks ~1/N and the two ring all-reduces per
+  block stay cheap;
+* the communication *fraction* of each step grows with N — the ring
+  all-reduce term ``2·(N−1)/N · bytes/bw`` approaches a constant while
+  compute keeps shrinking.
+
+Usage::
+
+    python benchmarks/bench_tp.py                          # full sweep
+    python benchmarks/bench_tp.py --device rtx4090 --tp 1,2,4
+    python benchmarks/bench_tp.py --out artifacts/tp.json  # CI artifact
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.bench import RelaxLLM, print_table  # noqa: E402
+from repro.dist import NVLINK, PCIE  # noqa: E402
+from repro.models import LLAMA2_7B, LLAMA3_8B  # noqa: E402
+from repro.runtime import ALL_DEVICES  # noqa: E402
+
+DEVICES = {
+    "rtx4090": "NVIDIA RTX 4090",
+    "7900xtx": "AMD Radeon 7900 XTX",
+}
+MODELS = {m.name.lower(): m for m in (LLAMA3_8B, LLAMA2_7B)}
+LINKS = {"nvlink": NVLINK, "pcie": PCIE}
+
+BATCH = 8
+CONTEXT = 1024
+PREFILL_LEN = 512
+
+
+def measure(cfg, device, tp, interconnect):
+    """One (model, device, tp, link) point: steady-state decode and
+    prefill step with the comm share of each."""
+    llm = RelaxLLM(cfg, device, tp=tp, interconnect=interconnect)
+
+    def step(fn):
+        fn()  # warm: captures graphs, settles allocator
+        before = llm.vm.stats.copy()
+        fn()
+        return llm.vm.stats.delta(before)
+
+    decode = step(lambda: llm.run_decode(BATCH, CONTEXT))
+    prefill = step(lambda: llm.run_prefill(1, PREFILL_LEN))
+    return {
+        "tp": tp,
+        "tpot_s": decode.time_s,
+        "decode_comm_s": decode.comm_time_s,
+        "decode_comm_fraction": (
+            decode.comm_time_s / decode.time_s if decode.time_s else 0.0
+        ),
+        "decode_compute_s": decode.time_s - decode.comm_time_s,
+        "decode_throughput_tokens_per_s": (
+            BATCH / decode.time_s if decode.time_s else 0.0
+        ),
+        "prefill_s": prefill.time_s,
+        "prefill_comm_s": prefill.comm_time_s,
+        "prefill_comm_fraction": (
+            prefill.comm_time_s / prefill.time_s if prefill.time_s else 0.0
+        ),
+    }
+
+
+def check_directional(points):
+    """The two asserted claims, on the NVLink series only."""
+    nv = sorted(points["nvlink"], key=lambda p: p["tp"])
+    for lo, hi in zip(nv, nv[1:]):
+        assert hi["tpot_s"] < lo["tpot_s"], (
+            f"decode TPOT must decrease with TP on NVLink: "
+            f"tp={lo['tp']} {lo['tpot_s']:.6f}s -> "
+            f"tp={hi['tp']} {hi['tpot_s']:.6f}s"
+        )
+        assert hi["decode_comm_fraction"] > lo["decode_comm_fraction"], (
+            f"comm fraction must grow with TP: "
+            f"tp={lo['tp']} {lo['decode_comm_fraction']:.4f} -> "
+            f"tp={hi['tp']} {hi['decode_comm_fraction']:.4f}"
+        )
+    if "pcie" in points:
+        for nv_p, pcie_p in zip(nv, sorted(points["pcie"],
+                                           key=lambda p: p["tp"])):
+            if nv_p["tp"] > 1:
+                assert (pcie_p["decode_comm_fraction"]
+                        > nv_p["decode_comm_fraction"]), (
+                    f"PCIe must pay a larger comm share than NVLink at "
+                    f"tp={nv_p['tp']}"
+                )
+
+
+def run_model(cfg, device, tps, links):
+    points = {
+        link_name: [measure(cfg, device, tp, link) for tp in tps]
+        for link_name, link in links.items()
+    }
+    rows = {}
+    for link_name, series in points.items():
+        rows[f"TPOT ({link_name})"] = [p["tpot_s"] * 1e3 for p in series]
+        rows[f"compute ({link_name})"] = [
+            p["decode_compute_s"] * 1e3 for p in series
+        ]
+        rows[f"comm ({link_name})"] = [
+            p["decode_comm_s"] * 1e3 for p in series
+        ]
+        rows[f"comm frac ({link_name})"] = [
+            p["decode_comm_fraction"] for p in series
+        ]
+    print_table(
+        f"TP scaling — {cfg.name} on {device.name} "
+        f"(decode batch {BATCH}, context {CONTEXT})",
+        "tp", list(tps), rows, "",
+        notes=[
+            "TPOT rows are ms/token; comm frac is the communication "
+            "share of the step",
+        ],
+    )
+    check_directional(points)
+    return points
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Tensor-parallel scaling curves (repro.dist)")
+    parser.add_argument("--device", choices=sorted(DEVICES), default=None,
+                        help="one device model (default: both)")
+    parser.add_argument("--model", choices=sorted(MODELS), default=None,
+                        help="one model config (default: both)")
+    parser.add_argument("--tp", default="1,2,4,8",
+                        help="comma-separated mesh widths (default 1,2,4,8)")
+    parser.add_argument("--links", default="nvlink,pcie",
+                        help="comma-separated interconnects")
+    parser.add_argument("--out", default=None,
+                        help="write the scaling curves as JSON")
+    args = parser.parse_args(argv)
+
+    tps = sorted({int(t) for t in args.tp.split(",")})
+    if 1 not in tps:
+        tps = [1] + tps  # the directional check needs the tp=1 anchor
+    links = {name: LINKS[name] for name in args.links.split(",")}
+    device_keys = [args.device] if args.device else sorted(DEVICES)
+    model_keys = [args.model] if args.model else sorted(MODELS)
+
+    results = {}
+    for dkey in device_keys:
+        device = ALL_DEVICES[DEVICES[dkey]]
+        for mkey in model_keys:
+            cfg = MODELS[mkey]
+            points = run_model(cfg, device, tps, links)
+            results[f"{dkey}/{mkey}"] = points
+    print("\ndirectional checks passed: TPOT falls and comm fraction "
+          "grows with TP on every NVLink series")
+
+    if args.out:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w") as f:
+            json.dump(
+                {
+                    "batch": BATCH,
+                    "context": CONTEXT,
+                    "prefill_len": PREFILL_LEN,
+                    "tp": tps,
+                    "results": results,
+                },
+                f, indent=2, sort_keys=True,
+            )
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,7 +41,7 @@ def clear_compile_cache() -> None:
 
 def _cache_key(cfg, device: Device, bounds: Dict[str, int],
                flags: Dict[str, bool], page_size: Optional[int],
-               family: str = "llama") -> Tuple:
+               family: str = "llama", tp: int = 1) -> Tuple:
     return (
         family,
         dataclasses.astuple(cfg),
@@ -49,6 +49,7 @@ def _cache_key(cfg, device: Device, bounds: Dict[str, int],
         tuple(sorted(bounds.items())),
         tuple(sorted(flags.items())),
         page_size,
+        tp,
     )
 
 
@@ -67,12 +68,16 @@ class RelaxLLM:
         enable_cuda_graph: bool = True,
         page_size: Optional[int] = None,
         use_compile_cache: bool = True,
+        tp: int = 1,
+        interconnect=None,
         _precompiled: Optional[Tuple] = None,
     ):
         self.cfg = cfg
         self.device = device
         self.page_size = page_size
-        self.exported = build_llama(cfg, page_size=page_size)
+        self.tp = tp
+        self.interconnect = interconnect
+        self.exported = build_llama(cfg, page_size=page_size, tp=tp)
         if sym_var_upper_bounds is None:
             bounds = {"b": 64, "s": cfg.context_length, "m": cfg.context_length}
             if page_size is not None:
@@ -85,7 +90,7 @@ class RelaxLLM:
             "enable_memory_planning": enable_memory_planning,
             "enable_cuda_graph": enable_cuda_graph,
         }
-        key = _cache_key(cfg, device, bounds, flags, page_size)
+        key = _cache_key(cfg, device, bounds, flags, page_size, tp=tp)
         if _precompiled is not None:
             # Injected by RelaxSpecPair: the executable was built (or
             # cache-hit) under the *pair's* cache entry; no stats here.
@@ -113,17 +118,29 @@ class RelaxLLM:
                 _COMPILE_CACHE[key] = (
                     self.exe, self.compile_report, self.enable_cuda_graph
                 )
-        self.vm = VirtualMachine(
-            self.exe, device, concrete=False,
-            enable_cuda_graph=self.enable_cuda_graph,
-        )
+        if tp > 1:
+            from ..dist import MeshExecutor, MeshVM, NVLINK
+
+            self.mesh = MeshExecutor(
+                self.exe, device, tp,
+                interconnect=interconnect or NVLINK,
+                concrete=False,
+                enable_cuda_graph=self.enable_cuda_graph,
+            )
+            self.vm = MeshVM(self.mesh)
+        else:
+            self.mesh = None
+            self.vm = VirtualMachine(
+                self.exe, device, concrete=False,
+                enable_cuda_graph=self.enable_cuda_graph,
+            )
         self.params = self.exported.abstract_params()
 
     # -- workload helpers -------------------------------------------------------
 
     def _caches(self, batch: int, length: int) -> List[NDArray]:
         cfg = self.cfg
-        shape = (batch, length, cfg.num_kv_heads, cfg.head_dim)
+        shape = (batch, length, cfg.num_kv_heads // self.tp, cfg.head_dim)
         return [
             NDArray.abstract(shape, cfg.dtype)
             for _ in range(2 * cfg.num_layers)
@@ -222,6 +239,8 @@ class RelaxSpecPair:
         enable_cuda_graph: bool = True,
         page_size: Optional[int] = None,
         use_compile_cache: bool = True,
+        tp: int = 1,
+        interconnect=None,
     ):
         from ..models.llama import draft_config
 
@@ -240,7 +259,7 @@ class RelaxSpecPair:
         db = draft_upper_bounds or dict(tb)
         key = (
             "llama-spec-pair",
-            _cache_key(cfg, device, tb, flags, page_size),
+            _cache_key(cfg, device, tb, flags, page_size, tp=tp),
             _cache_key(draft_cfg, device, db, flags, page_size),
         )
         target_pre = draft_pre = None
@@ -254,8 +273,12 @@ class RelaxSpecPair:
             enable_cuda_graph=enable_cuda_graph,
             page_size=page_size,
             use_compile_cache=False,
+            tp=tp,
+            interconnect=interconnect,
             _precompiled=target_pre,
         )
+        # The draft stays unsharded: it is already a fraction of the
+        # target's width, so splitting it buys nothing but collectives.
         self.draft = RelaxLLM(
             draft_cfg, device,
             sym_var_upper_bounds=draft_upper_bounds or sym_var_upper_bounds,

@@ -41,6 +41,14 @@ DimLike = Union[int, str, sym.PrimExpr]
 class Annotation:
     """Base class of all structural annotations."""
 
+    #: Tensor-parallel placement struct info, attached per-instance by
+    #: ``repro.transform.sharding.PropagateSharding``: a
+    #: ``repro.dist.shard.ShardSpec`` (or a tuple of them for tuple
+    #: annotations).  ``None`` means "not analyzed" — distinct from an
+    #: explicit replicated spec.  A class-level default keeps annotation
+    #: construction and structural comparison entirely unchanged.
+    shard = None
+
     def resolve(self, ctx: sym.ShapeVarContext) -> "Annotation":
         """Replace quoted string dimensions with symbolic expressions."""
         return self

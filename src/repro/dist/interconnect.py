@@ -1,0 +1,103 @@
+"""Analytical interconnect cost model for collective communication.
+
+Costs follow the classic ring-algorithm algebra (Thakur et al.; the
+NCCL/RCCL defaults): a collective over ``world`` peers moving a logical
+tensor of ``nbytes`` (the *full*, unsharded payload) decomposes into
+per-hop transfers on a unidirectional ring.
+
+* **all-reduce** — reduce-scatter then all-gather: ``2·(N−1)`` hops each
+  carrying ``nbytes/N``, so ``2·(N−1)/N · nbytes/bw + 2·(N−1)·lat``.
+* **all-gather / reduce-scatter** — one ring traversal: ``(N−1)`` hops of
+  ``nbytes/N``, so ``(N−1)/N · nbytes/bw + (N−1)·lat``.  The two are
+  exact duals and their sum is the all-reduce cost by construction.
+* **broadcast** — pipelined ring: the payload streams through ``N−1``
+  hops overlapped chunk-wise, ``nbytes/bw + (N−1)·lat``.
+
+Every cost is exactly zero at ``world == 1`` (nothing moves) — the
+degenerate mesh must price like the single-device build, which is what
+keeps ``tp=1`` byte-identical to unsharded execution.
+
+Like the roofline :class:`~repro.runtime.device.Device`, this is a
+*model*, deterministic on the discrete-event clock: good enough to rank
+TP configurations and expose compute-vs-communication crossovers, cheap
+enough to sweep cluster shapes in a unit test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Point-to-point link model between mesh peers.
+
+    ``bandwidth`` is the per-direction link bandwidth in bytes/s,
+    ``latency`` the per-hop message latency in seconds.
+    """
+
+    name: str
+    bandwidth: float  # bytes/s, per direction
+    latency: float  # seconds per hop
+
+    def __post_init__(self):
+        if self.bandwidth <= 0:
+            raise ValueError("interconnect bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError("interconnect latency cannot be negative")
+
+    # -- ring collective costs (nbytes = full logical payload) ------------------
+
+    def all_reduce_s(self, world: int, nbytes: int) -> float:
+        """Ring all-reduce: reduce-scatter + all-gather."""
+        self._check(world, nbytes)
+        if world <= 1 or nbytes == 0:
+            return 0.0
+        hops = 2 * (world - 1)
+        return hops / world * (nbytes / self.bandwidth) + hops * self.latency
+
+    def all_gather_s(self, world: int, nbytes: int) -> float:
+        """Ring all-gather of a tensor whose *gathered* size is ``nbytes``."""
+        self._check(world, nbytes)
+        if world <= 1 or nbytes == 0:
+            return 0.0
+        hops = world - 1
+        return hops / world * (nbytes / self.bandwidth) + hops * self.latency
+
+    def reduce_scatter_s(self, world: int, nbytes: int) -> float:
+        """Ring reduce-scatter of a tensor of *full* size ``nbytes``.
+
+        Exact dual of :meth:`all_gather_s`: same hop count, same per-hop
+        payload, so the two costs are equal and sum to the all-reduce.
+        """
+        return self.all_gather_s(world, nbytes)
+
+    def broadcast_s(self, world: int, nbytes: int) -> float:
+        """Pipelined ring broadcast from one root to every peer."""
+        self._check(world, nbytes)
+        if world <= 1 or nbytes == 0:
+            return 0.0
+        return nbytes / self.bandwidth + (world - 1) * self.latency
+
+    @staticmethod
+    def _check(world: int, nbytes: int) -> None:
+        if world < 1:
+            raise ValueError(f"world must be >= 1, got {world}")
+        if nbytes < 0:
+            raise ValueError(f"nbytes cannot be negative, got {nbytes}")
+
+
+#: NVLink-class intra-node fabric (NVLink4-generation: ~450 GB/s per
+#: direction per link, ~1 µs hop latency).
+NVLINK = Interconnect("nvlink", bandwidth=450e9, latency=1e-6)
+
+#: PCIe-class fallback fabric (PCIe 4.0 x16: ~32 GB/s per direction,
+#: ~5 µs hop latency through the switch/root complex).
+PCIE = Interconnect("pcie", bandwidth=32e9, latency=5e-6)
+
+#: Infinitely fast zero-latency link — collectives cost nothing.  The
+#: degenerate model a mesh falls back to when no interconnect is given
+#: (and the natural choice for correctness-only concrete tests).
+LOOPBACK = Interconnect("loopback", bandwidth=float("inf"), latency=0.0)
+
+PRESETS = {link.name: link for link in (NVLINK, PCIE, LOOPBACK)}

@@ -167,6 +167,65 @@ class ExportedModule:
         return sum(p.size_bytes() for _, p in self.param_order)
 
 
+class ShardedExportedModule(ExportedModule):
+    """A tensor-parallel export: one SPMD IRModule + per-rank weights.
+
+    The IRModule has been through ``PropagateSharding`` / ``LowerSharding``
+    — every rank interprets the same functions, differing only in which
+    slice of each split parameter it holds.  ``abstract_params`` /
+    ``concrete_params`` take the rank and materialize that slice.
+    """
+
+    def __init__(self, mod, module: Module,
+                 param_order: List[Tuple[str, Parameter]], plan):
+        super().__init__(mod, module, param_order)
+        self.plan = plan
+        self.world = plan.world
+
+    def _spec(self, pname: str):
+        return self.plan.spec_for(f"p_{pname.replace('.', '_')}")
+
+    def _shard_shape(self, pname: str, p: Parameter) -> Tuple[int, ...]:
+        spec = self._spec(pname)
+        if not spec.is_split:
+            return p.shape
+        shape = list(p.shape)
+        shape[spec.dim] //= self.world
+        return tuple(shape)
+
+    def abstract_params(self, rank: int = 0) -> List[NDArray]:
+        return [
+            NDArray.abstract(self._shard_shape(name, p), p.dtype)
+            for name, p in self.param_order
+        ]
+
+    def concrete_params(self, rank: int = 0) -> List[NDArray]:
+        from ..dist.shard import shard_slice
+
+        arrays = []
+        for name, p in self.param_order:
+            if p.data is None:
+                raise RuntimeError(
+                    f"parameter {name} has no data; call initialize()"
+                )
+            arrays.append(NDArray.from_numpy(
+                shard_slice(p.data, self._spec(name), self.world, rank)
+            ))
+        return arrays
+
+    def param_bytes(self) -> int:
+        """Per-rank weight bytes (split params count their slice only)."""
+        from .. import dtypes
+
+        total = 0
+        for name, p in self.param_order:
+            count = 1
+            for d in self._shard_shape(name, p):
+                count *= d
+            total += count * dtypes.itemsize(p.dtype)
+        return total
+
+
 def export_module(module: Module, spec: ExportSpec) -> ExportedModule:
     """Build an IRModule from a module tree and a set of forward functions.
 

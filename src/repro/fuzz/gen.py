@@ -527,6 +527,18 @@ def _apply_paged_cross(mat: Materializer, step: Step) -> ValueInfo:
     return mat.emit(spec.make(q.var, kp.var, vp.var, bt.var, enc.var))
 
 
+def _apply_ccl(mat: Materializer, step: Step) -> ValueInfo:
+    spec = fuzz_spec(step.op)
+    (x,) = _vals(mat, step)
+    world = int(step.attrs["world"])
+    if step.op == "ccl.all_reduce":
+        return mat.emit(spec.make(x.var, world))
+    if step.op == "ccl.broadcast":
+        return mat.emit(spec.make(x.var, world,
+                                  int(step.attrs.get("root", 0))))
+    return mat.emit(spec.make(x.var, world, int(step.attrs["axis"])))
+
+
 def _apply_tuple_get(mat: Materializer, step: Step) -> ValueInfo:
     (t,) = _vals(mat, step)
     return mat.emit(TupleGetItem(t.var, step.attrs["index"]))
@@ -595,6 +607,7 @@ _APPLIERS = {
     "paged_prefill": _apply_paged_prefill,
     "paged_verify": _apply_paged_verify,
     "paged_cross_attention": _apply_paged_cross,
+    "ccl": _apply_ccl,
     "datadep": _apply_op,
     "shape_of": _apply_op,
     "tuple_get": _apply_tuple_get,
@@ -951,6 +964,39 @@ def _gen_paged_prefill(rng, mat, plan, spec) -> Optional[Step]:
     return Step("paged_prefill", spec.name, list(paged))
 
 
+def _gen_ccl(rng, mat, plan, spec) -> Optional[Step]:
+    # Collectives run in single-VM replica semantics here (no mesh), so
+    # they are ordinary total functions the oracle can compare.
+    cands = _f32_tensors(mat)
+    if not cands:
+        return None
+    x = rng.choice(cands)
+    world = rng.choice([2, 2, 3, 4])
+    if spec.name == "ccl.all_reduce":
+        return Step("ccl", spec.name, [x], {"world": world})
+    if spec.name == "ccl.broadcast":
+        return Step("ccl", spec.name, [x],
+                    {"world": world, "root": rng.randrange(world)})
+    toks = mat.values[x].tokens
+    if spec.name == "ccl.all_gather":
+        return Step("ccl", spec.name, [x],
+                    {"world": world, "axis": rng.randrange(len(toks))})
+    # reduce_scatter: the scattered dim must divide evenly at runtime —
+    # checked against the plan's concrete dim bindings.  Dims the plan
+    # cannot evaluate (fresh match_cast syms) are out of bounds.
+    def divides(t):
+        try:
+            return eval_token(t, plan.dims) % world == 0
+        except PlanError:
+            return False
+
+    axes = [d for d, t in enumerate(toks) if divides(t)]
+    if not axes:
+        return None
+    return Step("ccl", spec.name, [x],
+                {"world": world, "axis": rng.choice(axes)})
+
+
 def _gen_datadep(rng, mat, plan, spec) -> Optional[Step]:
     cands = _f32_tensors(mat)
     if not cands:
@@ -1062,6 +1108,7 @@ _GENERATORS = {
     "paged_prefill": _gen_paged_prefill,
     "paged_verify": _gen_paged_verify,
     "paged_cross_attention": _gen_paged_cross,
+    "ccl": _gen_ccl,
     "datadep": _gen_datadep,
     "shape_of": _gen_shape_of,
     "match_cast": _gen_match_cast,

@@ -35,6 +35,7 @@ from ..frontend.nn import (
     Linear,
     Module,
     RMSNorm,
+    ShardedExportedModule,
     export_module,
 )
 from ..frontend.quantize import QuantizedLinear
@@ -134,6 +135,15 @@ TINY_QWEN = LlamaConfig(
     name="tiny-qwen", hidden_size=16, intermediate_size=32,
     num_layers=2, num_heads=4, num_kv_heads=2, vocab_size=32,
     attention_bias=True, context_length=64, dtype="f32",
+)
+
+#: Head geometry divisible by a mesh of up to 4 (8 heads, 4 KV heads):
+#: the tensor-parallel test/bench config.  TINY_LLAMA's single KV head
+#: cannot be head-sharded.
+TINY_LLAMA_TP = LlamaConfig(
+    name="tiny-llama-tp", hidden_size=32, intermediate_size=64,
+    num_layers=2, num_heads=8, num_kv_heads=4, vocab_size=32,
+    context_length=64, dtype="f32",
 )
 
 
@@ -499,12 +509,20 @@ def _page_annotations(cfg: LlamaConfig, page_size: int) -> dict:
 
 
 def build_llama(cfg: LlamaConfig,
-                page_size: Optional[int] = None) -> ExportedModule:
+                page_size: Optional[int] = None,
+                tp: int = 1) -> ExportedModule:
     """Export prefill + decode functions for a decoder-only config.
 
     With ``page_size`` set, a third function ``decode_paged`` is exported:
     single-token decode over a paged KV pool with per-sequence block tables
     and cache lengths (the serving engine's ragged-batch entry point).
+
+    With ``tp > 1`` the export is run through the sharding pass pair
+    under a Megatron-style plan (column-parallel q/k/v and gate/up,
+    row-parallel o/down, head-sharded KV) and comes back as a
+    :class:`~repro.frontend.nn.ShardedExportedModule`: one SPMD module
+    whose per-rank weights/pools are ``1/tp`` slices.  ``tp=1`` returns
+    the exact unsharded export, untouched.
     """
     model = LlamaForCausalLM(cfg)
 
@@ -598,7 +616,17 @@ def build_llama(cfg: LlamaConfig,
             },
             verify_paged,
         )
-    return export_module(model, spec)
+    exported = export_module(model, spec)
+    if tp == 1:
+        return exported
+
+    from ..dist.shard import make_llama_tp_plan
+    from ..transform import LowerSharding, PropagateSharding
+
+    plan = make_llama_tp_plan(cfg, tp)
+    mod = PropagateSharding(plan)(exported.mod)
+    mod = LowerSharding(plan)(mod)
+    return ShardedExportedModule(mod, model, exported.param_order, plan)
 
 
 def draft_config(cfg: LlamaConfig) -> LlamaConfig:

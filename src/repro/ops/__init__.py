@@ -65,6 +65,7 @@ from .paged import (
 from .create import arange, full, ones, zeros
 from .datadep import argmax, nonzero, unique, unique_op
 from .shape_of import shape_of, shape_of_op
+from . import ccl
 
 __all__ = [
     "FuzzOpSpec",
@@ -78,6 +79,7 @@ __all__ = [
     "broadcast_shapes",
     "broadcast_to",
     "causal_mask",
+    "ccl",
     "concat",
     "divide",
     "erf",

@@ -1,0 +1,154 @@
+"""Collective communication ops (``ccl.*``) for sharded execution.
+
+Collectives are graph-level ops whose *values* couple the shards of a
+device mesh, so they cannot be DPS tensor programs on one device: like
+``unique`` they take the extern lowering path and are served by VM
+builtins (``vm.builtin.ccl.*``) that consult the VM's mesh context and
+charge the modeled :class:`~repro.dist.interconnect.Interconnect`.
+
+Shape deduction is fully symbolic (§4.1): ``all_gather`` multiplies the
+gathered dim by the mesh size, ``reduce_scatter`` divides it — symbolic
+dims flow through as ``d*N`` / ``d//N`` expressions, so sharded
+functions keep the paper's cross-function symbolic-shape relations.
+
+Integer operands (mesh size, axis, root) ride as ``PrimValue`` trailing
+args: the VM compiles a ``PrimValue`` to a one-element shape tuple, so
+they arrive at the builtin as ordinary arguments with no new
+instruction fields.  They are *also* recorded as call attrs, which is
+what deduction reads.
+
+On a single VM with no mesh attached the builtins degrade to replica
+semantics — the VM acts as one rank of a mesh on which every peer holds
+the same value (all-reduce sums ``world`` replicas in rank order,
+all-gather tiles, reduce-scatter sums then keeps the rank's chunk,
+broadcast is the identity).  That keeps the ops total functions of
+their inputs, which is what the differential fuzz oracle requires.
+"""
+
+from __future__ import annotations
+
+from .. import sym
+from ..core.annotations import TensorAnn
+from ..core.expr import Call, Expr, PrimValue
+from .registry import register_fuzz, register_op, tensor_ann_of
+
+
+def _check_world(world: int, op: str) -> int:
+    world = int(world)
+    if world < 1:
+        raise ValueError(f"{op}: world must be >= 1, got {world}")
+    return world
+
+
+def _split_dim(dim, world: int, op: str):
+    """``dim / world`` with static divisibility checking."""
+    if sym.is_static(dim):
+        size = sym.as_static_int(sym.simplify(dim))
+        if size % world:
+            raise ValueError(
+                f"{op}: dim of size {size} is not divisible by world {world}"
+            )
+        return size // world
+    # Symbolic dims divide symbolically; divisibility is the caller's
+    # obligation, checked at runtime like every §4.1 shape check.
+    return sym.simplify(sym.FloorDiv(dim, sym.IntImm(world)))
+
+
+def _gather_dim(dim, world: int):
+    if sym.is_static(dim):
+        return sym.as_static_int(sym.simplify(dim)) * world
+    return sym.simplify(sym.Mul(dim, sym.IntImm(world)))
+
+
+def _axis_of(call: Call, ndim: int, op: str) -> int:
+    axis = int(call.attrs.get("axis", 0))
+    if not 0 <= axis < ndim:
+        raise ValueError(f"{op}: axis {axis} out of range for rank {ndim}")
+    return axis
+
+
+def _all_reduce_deduce(call: Call):
+    x = tensor_ann_of(call.args[0], "ccl.all_reduce", 0)
+    return TensorAnn(x.shape, x.dtype)
+
+
+def _all_gather_deduce(call: Call):
+    x = tensor_ann_of(call.args[0], "ccl.all_gather", 0)
+    world = _check_world(call.attrs.get("world", 1), "ccl.all_gather")
+    if x.shape is None:
+        return TensorAnn(dtype=x.dtype)
+    axis = _axis_of(call, len(x.shape), "ccl.all_gather")
+    shape = list(x.shape)
+    shape[axis] = _gather_dim(shape[axis], world)
+    return TensorAnn(tuple(shape), x.dtype)
+
+
+def _reduce_scatter_deduce(call: Call):
+    x = tensor_ann_of(call.args[0], "ccl.reduce_scatter", 0)
+    world = _check_world(call.attrs.get("world", 1), "ccl.reduce_scatter")
+    if x.shape is None:
+        return TensorAnn(dtype=x.dtype)
+    axis = _axis_of(call, len(x.shape), "ccl.reduce_scatter")
+    shape = list(x.shape)
+    shape[axis] = _split_dim(shape[axis], world, "ccl.reduce_scatter")
+    return TensorAnn(tuple(shape), x.dtype)
+
+
+def _broadcast_deduce(call: Call):
+    x = tensor_ann_of(call.args[0], "ccl.broadcast", 0)
+    world = _check_world(call.attrs.get("world", 1), "ccl.broadcast")
+    root = int(call.attrs.get("root", 0))
+    if not 0 <= root < world:
+        raise ValueError(f"ccl.broadcast: root {root} out of range for "
+                         f"world {world}")
+    return TensorAnn(x.shape, x.dtype)
+
+
+all_reduce_op = register_op("ccl.all_reduce", _all_reduce_deduce)
+all_reduce_op.extern_name = "vm.builtin.ccl.all_reduce"
+
+all_gather_op = register_op("ccl.all_gather", _all_gather_deduce)
+all_gather_op.extern_name = "vm.builtin.ccl.all_gather"
+
+reduce_scatter_op = register_op("ccl.reduce_scatter", _reduce_scatter_deduce)
+reduce_scatter_op.extern_name = "vm.builtin.ccl.reduce_scatter"
+
+broadcast_op = register_op("ccl.broadcast", _broadcast_deduce)
+broadcast_op.extern_name = "vm.builtin.ccl.broadcast"
+
+
+def all_reduce(x: Expr, world: int) -> Call:
+    """Elementwise sum over all mesh shards, result replicated.
+
+    The reduction order is fixed (rank 0, 1, ..., N−1) so sharded
+    execution is deterministic down to the last float bit."""
+    world = _check_world(world, "ccl.all_reduce")
+    return Call(all_reduce_op, [x, PrimValue(world)],
+                attrs={"world": world})
+
+
+def all_gather(x: Expr, world: int, axis: int = 0) -> Call:
+    """Concatenate every shard's chunk along ``axis`` in rank order."""
+    world = _check_world(world, "ccl.all_gather")
+    return Call(all_gather_op, [x, PrimValue(world), PrimValue(axis)],
+                attrs={"world": world, "axis": int(axis)})
+
+
+def reduce_scatter(x: Expr, world: int, axis: int = 0) -> Call:
+    """Sum over shards (rank order), keep this rank's chunk of ``axis``."""
+    world = _check_world(world, "ccl.reduce_scatter")
+    return Call(reduce_scatter_op, [x, PrimValue(world), PrimValue(axis)],
+                attrs={"world": world, "axis": int(axis)})
+
+
+def broadcast(x: Expr, world: int, root: int = 0) -> Call:
+    """Every shard receives the root shard's value."""
+    world = _check_world(world, "ccl.broadcast")
+    return Call(broadcast_op, [x, PrimValue(world), PrimValue(root)],
+                attrs={"world": world, "root": int(root)})
+
+
+register_fuzz("ccl.all_reduce", "ccl", all_reduce, weight=0.6)
+register_fuzz("ccl.all_gather", "ccl", all_gather, weight=0.5)
+register_fuzz("ccl.reduce_scatter", "ccl", reduce_scatter, weight=0.5)
+register_fuzz("ccl.broadcast", "ccl", broadcast, weight=0.4)

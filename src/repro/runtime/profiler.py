@@ -39,6 +39,9 @@ class ExecutionStats:
     peak_bytes: int = 0
     kernel_time_s: float = 0.0
     launch_overhead_s: float = 0.0
+    #: Interconnect time charged by collective builtins (``ccl.*``); part
+    #: of ``time_s``, broken out so benches can split compute vs comm.
+    comm_time_s: float = 0.0
 
     def record_alloc(self, size: int, escaping: bool = False) -> None:
         self.allocations += 1
@@ -95,6 +98,7 @@ class ExecutionStats:
             peak_bytes=self.peak_bytes,
             kernel_time_s=self.kernel_time_s - since.kernel_time_s,
             launch_overhead_s=self.launch_overhead_s - since.launch_overhead_s,
+            comm_time_s=self.comm_time_s - since.comm_time_s,
         )
 
     def merge(self, other: "ExecutionStats") -> None:
@@ -112,9 +116,10 @@ class ExecutionStats:
         self.peak_bytes = max(self.peak_bytes, other.peak_bytes)
         self.kernel_time_s += other.kernel_time_s
         self.launch_overhead_s += other.launch_overhead_s
+        self.comm_time_s += other.comm_time_s
 
     def summary(self) -> Dict[str, float]:
-        return {
+        out = {
             "time_s": self.time_s,
             "kernel_launches": self.kernel_launches,
             "lib_calls": self.lib_calls,
@@ -127,6 +132,11 @@ class ExecutionStats:
             "allocated_MiB": self.allocated_bytes_total / (1 << 20),
             "peak_MiB": self.peak_bytes / (1 << 20),
         }
+        # Emitted only when collectives actually ran: single-device
+        # summaries stay byte-identical to their pinned baselines.
+        if self.comm_time_s:
+            out["comm_time_s"] = self.comm_time_s
+        return out
 
 
 @dataclass

@@ -225,6 +225,44 @@ class _Frame:
         self.heap = np.zeros(num_slots, dtype=np.int64)
 
 
+def ccl_combine(kind: str, chunks: List[np.ndarray], rank: int,
+                extra: int) -> np.ndarray:
+    """Combine rank-ordered collective contributions (shared by the VM's
+    degenerate single-device path and the mesh's CollectiveChannel).
+
+    Reductions accumulate strictly in rank order (``((c0 + c1) + c2)...``)
+    and in f64 — the fixed order and precision that make sharded float
+    results deterministic to the last bit (the caller casts back to the
+    input dtype, a single rounding, matching the one rounding of the
+    f64-internal compute kernels).  ``extra`` is the axis (all_gather /
+    reduce_scatter) or the root rank (broadcast).
+    """
+    def widen(c):
+        return c.astype(np.float64) if c.dtype.kind == "f" else c
+
+    if kind == "all_reduce":
+        acc = widen(chunks[0])
+        for c in chunks[1:]:
+            acc = acc + widen(c)
+        return acc
+    if kind == "all_gather":
+        return np.concatenate(chunks, axis=extra)
+    if kind == "reduce_scatter":
+        acc = widen(chunks[0])
+        for c in chunks[1:]:
+            acc = acc + widen(c)
+        world = len(chunks)
+        if acc.shape[extra] % world:
+            raise VMError(
+                f"ccl.reduce_scatter: dim {extra} of size "
+                f"{acc.shape[extra]} is not divisible by {world}"
+            )
+        return np.split(acc, world, axis=extra)[rank]
+    if kind == "broadcast":
+        return chunks[extra]
+    raise VMError(f"unknown collective ccl.{kind!r}")
+
+
 class VirtualMachine:
     """Interprets an Executable on a modeled device.
 
@@ -250,6 +288,13 @@ class VirtualMachine:
         #: Optional trace hook (see :mod:`repro.obs.trace`).  ``None`` —
         #: the default — keeps execution bit-identical to an untraced run.
         self.tracer: Optional[TraceRecorder] = None
+        #: Optional mesh placement (:class:`repro.dist.mesh.MeshContext`):
+        #: rank/world/channel for ``ccl.*`` builtins.  ``None`` — the
+        #: default — selects degenerate single-device replica semantics.
+        self.mesh = None
+        #: Optional :class:`repro.dist.interconnect.Interconnect` charged
+        #: by collective builtins; ``None`` prices collectives at zero.
+        self.interconnect = None
         self.pool = RuntimePool(self.stats)
         self._storage_cache: Dict[Tuple[str, int], Storage] = {}
         self._graph_cache: Dict[Tuple, int] = {}
@@ -676,6 +721,10 @@ class VirtualMachine:
             result = self._builtin_unique(args[0])
         elif instr.name == "vm.builtin.nonzero":
             result = self._builtin_nonzero(args[0])
+        elif instr.name.startswith("vm.builtin.ccl."):
+            result = self._builtin_ccl(
+                instr.name[len("vm.builtin.ccl."):], args
+            )
         else:
             raise VMError(f"unknown builtin {instr.name!r}")
         if self.tracer is not None:
@@ -696,6 +745,78 @@ class VirtualMachine:
         result = NDArray.abstract((arr.num_elements(),), arr.dtype)
         self.pool.allocate(result.size_bytes())
         return result
+
+    def _builtin_ccl(self, kind: str, args: List) -> NDArray:
+        """Collective over the device mesh (``vm.builtin.ccl.*``).
+
+        Integer operands (world, then axis or root) arrive as one-element
+        shape tuples — the ``PrimValue`` calling convention.  With a mesh
+        attached the value comes from the rank-ordered exchange over the
+        :class:`~repro.dist.mesh.CollectiveChannel`; without one the VM
+        acts as one rank of a mesh whose peers all hold this replica.
+        The modeled interconnect (when attached) charges ring time into
+        both ``time_s`` and ``comm_time_s``.
+        """
+        if kind not in ("all_reduce", "all_gather", "reduce_scatter",
+                        "broadcast"):
+            raise VMError(f"unknown collective ccl.{kind!r}")
+        arr = self._as_ndarray(args[0], f"ccl.{kind}")
+        world = int(args[1][0])
+        extra = int(args[2][0]) if len(args) > 2 else 0
+        if world < 1:
+            raise VMError(f"ccl.{kind}: world must be >= 1, got {world}")
+        mesh = self.mesh
+        rank = 0
+        if mesh is not None:
+            if mesh.world != world:
+                raise VMError(
+                    f"ccl.{kind}: compiled for world {world} but running "
+                    f"on a mesh of {mesh.world}"
+                )
+            rank = mesh.rank
+
+        # One host-side enqueue, like every builtin; the wire time is the
+        # interconnect's ring cost over the full logical payload.
+        self.stats.time_s += self.device.kernel_launch_overhead
+        if self.interconnect is not None and world > 1:
+            full_bytes = arr.size_bytes()
+            if kind == "all_gather":
+                full_bytes *= world
+            comm_s = getattr(self.interconnect, f"{kind}_s")(
+                world, full_bytes
+            )
+            self.stats.time_s += comm_s
+            self.stats.comm_time_s += comm_s
+
+        if not self.concrete:
+            shape = list(arr.shape)
+            if kind == "all_gather":
+                shape[extra] *= world
+            elif kind == "reduce_scatter":
+                if shape[extra] % world:
+                    raise VMError(
+                        f"ccl.reduce_scatter: dim {extra} of size "
+                        f"{shape[extra]} is not divisible by {world}"
+                    )
+                shape[extra] //= world
+            result = NDArray.abstract(tuple(shape), arr.dtype)
+            self.pool.allocate(result.size_bytes())
+            return result
+
+        x = arr.numpy()
+        if mesh is not None and mesh.channel is not None:
+            chunks = mesh.channel.exchange(rank, x)
+        else:
+            chunks = [x] * world
+        out = ccl_combine(kind, chunks, rank, extra)
+        if out.dtype != x.dtype:
+            out = out.astype(x.dtype)  # round the f64 reduction once
+        elif any(out is c or out.base is not None for c in chunks):
+            # Never alias a peer's (or our own) buffer: reduce_scatter
+            # slices and broadcast returns the root's array directly.
+            out = out.copy()
+        self.pool.allocate(out.nbytes)
+        return NDArray.from_numpy(out)
 
     def _builtin_nonzero(self, arr: NDArray) -> NDArray:
         self.stats.time_s += self.device.kernel_launch_overhead * 2

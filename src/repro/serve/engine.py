@@ -105,6 +105,16 @@ class EngineConfig:
     #: tests); any config object turns on the metrics registry,
     #: lifecycle spans and the SLO monitor.
     telemetry: Optional[TelemetryConfig] = None
+    #: Tensor-parallel width.  ``tp > 1`` builds the sharded module
+    #: (Megatron column/row-parallel blocks, head-sharded KV pools) and
+    #: serves it on a :class:`~repro.dist.MeshExecutor` of ``tp`` device
+    #: models; ``tp=1`` — the default — is byte-identical to the
+    #: unsharded engine.
+    tp: int = 1
+    #: Link model for the mesh collectives (``repro.dist.NVLINK`` /
+    #: ``PCIE`` / any :class:`~repro.dist.Interconnect`).  ``None``
+    #: defaults to the NVLink-class preset when ``tp > 1``.
+    interconnect: Optional[Any] = None
 
 
 class ServingEngine:
@@ -137,6 +147,7 @@ class ServingEngine:
             "w": -(-cfg.context_length // page),
         }
         self.spec = self.econfig.spec
+        self.tp = self.econfig.tp
         self.draft = None
         if self.spec is not None:
             # Paired compilation: target and draft share one compile-cache
@@ -147,6 +158,8 @@ class ServingEngine:
                 enable_library_dispatch=enable_library_dispatch,
                 enable_cuda_graph=enable_cuda_graph,
                 page_size=page,
+                tp=self.tp,
+                interconnect=self.econfig.interconnect,
             )
             self.llm = pair.target
             self.draft = pair.draft
@@ -157,15 +170,20 @@ class ServingEngine:
                 enable_library_dispatch=enable_library_dispatch,
                 enable_cuda_graph=enable_cuda_graph,
                 page_size=page,
+                tp=self.tp,
+                interconnect=self.econfig.interconnect,
             )
         self.vm: VirtualMachine = self.llm.vm
         self.params = self.llm.params
         self.num_blocks = self._pool_blocks()
         # The device-side pool, one (p, page, h_kv, d) pair per layer.
         # Abstract mode: shape-only arrays, allocated once per engine.
+        # Under tensor parallelism every shard owns its own pool slice:
+        # same block-id space, ``h_kv / tp`` heads per page.
         self.pools: List[NDArray] = []
+        kv_local = cfg.num_kv_heads // self.tp
         for _ in range(cfg.num_layers):
-            shape = (self.num_blocks, page, cfg.num_kv_heads, cfg.head_dim)
+            shape = (self.num_blocks, page, kv_local, cfg.head_dim)
             self.pools.append(NDArray.abstract(shape, cfg.dtype))
             self.pools.append(NDArray.abstract(shape, cfg.dtype))
         # Draft pools mirror the target's block-id space: both models are
@@ -240,7 +258,10 @@ class ServingEngine:
             weights += self.draft.exported.param_bytes()
         budget = (self.device.vram_bytes - weights)
         budget = int(budget * self.econfig.kv_memory_fraction)
-        blocks = budget // self._block_bytes()
+        # Per-device budget against per-device block bytes: sharded pools
+        # hold h_kv/tp heads per page (and `weights` is already the
+        # per-rank slice), so TP frees VRAM for more KV blocks.
+        blocks = budget // (self._block_bytes() // self.tp)
         blocks = min(blocks, self.econfig.max_kv_blocks)
         if blocks < 2:
             raise CacheError(
@@ -401,6 +422,9 @@ class ServingEngine:
                 tel.detach(self._vms)
 
         kv.check_no_leaks()
+        if self.tp > 1:
+            # Per-shard pool audit: SPMD ranks must balance identically.
+            self.vm.check_no_leaks()
         refcount_audit = kv.refcount_audit()
         if tel is not None:
             tel.finalize(clock=clock, kv=kv)
@@ -454,10 +478,16 @@ class ServingEngine:
                 ),
             }
         if tel is not None:
-            # Both keys are telemetry-gated: the telemetry-off summary
-            # byte format is pinned by the baseline-hash tests.
+            # Telemetry-gated keys: the telemetry-off summary byte
+            # format is pinned by the baseline-hash tests, and the
+            # telemetry-on single-device format by the strip-equality
+            # test — so comm_fraction additionally needs a mesh.
             summary["kv_pool"]["refcount_audit"] = refcount_audit
             summary["telemetry"] = tel.summary_brief()
+            if self.tp > 1:
+                summary["comm_fraction"] = (
+                    total.comm_time_s / total.time_s if total.time_s else 0.0
+                )
         return ServeReport(
             device=self.device.name,
             model=self.cfg.name,

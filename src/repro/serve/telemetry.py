@@ -485,6 +485,26 @@ class EngineTelemetry:
                 "accepted": sum(it.spec_accepted.values()),
             })
 
+        # ---- per-shard mesh tracks (tensor parallelism): one counter
+        # track per rank, sampled from the live lockstep stats.  The
+        # kv_pressure sample is per-shard bytes resident in that rank's
+        # pool — identical across ranks under SPMD, which is exactly the
+        # invariant the track makes visible.
+        for vm_name, vm in zip(self.vm_names, vms):
+            shards = getattr(vm, "shard_stats", None)
+            if not shards or len(shards) < 2:
+                continue
+            for rank, s in enumerate(shards):
+                counter(f"{vm_name}_shard{rank}_comm", {
+                    "comm_time_s": s.comm_time_s,
+                    "comm_fraction": (
+                        s.comm_time_s / s.time_s if s.time_s else 0.0
+                    ),
+                })
+                counter(f"{vm_name}_shard{rank}_kv_pressure", {
+                    "resident_bytes": s.current_bytes,
+                })
+
         # ---- lifecycle spans
         spans = self.spans
         for state in it.admitted:

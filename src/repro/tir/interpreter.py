@@ -63,6 +63,18 @@ def _eval_index(expr: sym.PrimExpr, env: Dict) -> np.ndarray:
     raise TirInterpreterError(f"unknown index node {type(expr).__name__}")
 
 
+def _widen(a: np.ndarray):
+    """Float buffer reads compute in f64 — the same internal-precision
+    convention the library kernels use — and :func:`run_stage` rounds
+    exactly once at the output write.  This is what makes row-parallel
+    sharding bit-exact: per-shard f64 partial sums combined by a
+    rank-ordered all-reduce round to the same low-precision result as
+    the unsharded reduction."""
+    if a.dtype.kind == "f" and a.dtype != np.float64:
+        return a.astype(np.float64)
+    return a
+
+
 def _eval_value(value: Value, env: Dict, buffers: Dict[int, np.ndarray]):
     if isinstance(value, IntConst):
         return np.int64(value.value)
@@ -75,7 +87,7 @@ def _eval_value(value: Value, env: Dict, buffers: Dict[int, np.ndarray]):
         if data is None:
             raise TirInterpreterError(f"buffer {value.buffer.name} not materialized")
         idx = tuple(_eval_index(i, env) for i in value.indices)
-        return data[idx]
+        return _widen(data[idx])
     if isinstance(value, GatherRead):
         data = buffers.get(value.data._id)
         index = buffers.get(value.index_buffer._id)
@@ -88,7 +100,7 @@ def _eval_value(value: Value, env: Dict, buffers: Dict[int, np.ndarray]):
             + [gathered]
             + [_eval_index(i, env) for i in value.post]
         )
-        return data[idx]
+        return _widen(data[idx])
     if isinstance(value, BinValue):
         a = _eval_value(value.a, env, buffers)
         b = _eval_value(value.b, env, buffers)

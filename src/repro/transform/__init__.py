@@ -56,6 +56,7 @@ from .pipeline import (
     optimize,
 )
 from .refine_shapes import SHAPE_PRESERVING_UNARY, RefineShapes
+from .sharding import LowerSharding, PropagateSharding, ShardingError
 from .to_vm import VMCodegen, VMCodegenError
 from .tune_tir import (
     SCHEDULE_ATTR,
@@ -83,6 +84,9 @@ __all__ = [
     "LegalizeOps",
     "LibraryDispatch",
     "LowerCallTIR",
+    "LowerSharding",
+    "PropagateSharding",
+    "ShardingError",
     "MemoryPlan",
     "PATTERN_ATTR",
     "Pass",

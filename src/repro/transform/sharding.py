@@ -1,0 +1,567 @@
+"""Tensor-parallel sharding passes: ``PropagateSharding`` + ``LowerSharding``.
+
+The pair turns one single-device module into one SPMD program that every
+rank of a device mesh interprets with its own weight shards:
+
+* :class:`PropagateSharding` is pure analysis.  It seeds
+  :class:`~repro.dist.shard.ShardSpec` placements from a
+  :class:`~repro.dist.shard.ShardingPlan` (matched to function params by
+  name) and pushes them forward through every binding with per-operator
+  rules, attaching the inferred spec to each variable's annotation as
+  struct info (``ann.shard``).  Megatron-style column-parallel matmuls
+  yield ``Split(last)`` activations; row-parallel matmuls over split
+  activations yield *partial sums* (``Shard(partial)``).
+
+* :class:`LowerSharding` consumes the annotations and rebuilds every
+  function as the per-shard program: split parameter dims narrow to
+  ``dim // world``, reshape targets are rewritten to their per-shard
+  literals, and each partial-sum matmul becomes the minimal collective
+  sequence ``matmul(out_dtype=f64) -> ccl.all_reduce -> astype`` — the
+  f64 partials cross the wire unrounded and the all-reduce combines them
+  in fixed rank order, so the sharded result rounds to *bitwise* the
+  same low-precision value as the unsharded computation.  For a Llama
+  block this inserts exactly two all-reduces: one after the attention
+  output projection and one after the MLP down projection.
+
+Both passes are identity (the *same* module object) at ``world == 1``,
+which is what makes a ``tp=1`` sharded build byte-identical to an
+unsharded one.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import ops, sym
+from ..core.annotations import Annotation, TensorAnn
+from ..core.expr import (
+    Call,
+    Constant,
+    DataflowBlock,
+    DataflowVar,
+    Expr,
+    Function,
+    MatchCast,
+    Op,
+    PrimValue,
+    SeqExpr,
+    ShapeExpr,
+    Tuple as TupleExpr,
+    TupleGetItem,
+    Var,
+    VarBinding,
+)
+from ..core.block_builder import BlockBuilder
+from ..core.ir_module import IRModule
+from ..dist.shard import Replicated, ShardSpec, ShardingPlan
+from .pass_infra import Pass, PassContext, register_pass
+
+
+class ShardingError(ValueError):
+    """A sharding plan cannot be propagated or lowered through a module."""
+
+
+_PARTIAL = ShardSpec(partial=True)
+
+#: Elementwise ops that preserve their input's placement unchanged.
+_ELEMENTWISE_UNARY = frozenset({
+    "abs", "astype", "erf", "exp", "gelu", "log", "negative", "relu",
+    "rsqrt", "sigmoid", "silu", "sqrt", "tanh",
+})
+
+_ELEMENTWISE_BINARY = frozenset({
+    "add", "divide", "maximum", "minimum", "multiply", "power", "subtract",
+})
+
+#: Ops computing independently per KV/attention head: a head shard
+#: (``Split(2)`` on every tensor operand) passes straight through.
+_PER_HEAD = frozenset({
+    "attention", "paged_attention", "paged_prefill", "paged_verify",
+    "paged_cross_attention",
+})
+
+#: Ops that normalize (or reduce) over the feature axis and therefore
+#: need their tensor input whole on every rank.
+_NEEDS_REPLICATED = frozenset({
+    "rms_norm", "layer_norm", "softmax", "causal_mask",
+    "sum", "mean", "max", "min",
+})
+
+_CREATION = frozenset({"arange", "zeros", "ones", "full"})
+
+
+def _static_int(dim) -> Optional[int]:
+    if sym.is_static(dim):
+        return sym.as_static_int(sym.simplify(dim))
+    return None
+
+
+def _spec_of(expr: Expr, env: Dict[int, ShardSpec]) -> ShardSpec:
+    """Placement of an operand: tracked vars from the env, everything
+    else (constants, shapes, prim values) replicated.  Partial values
+    read as replicated downstream — lowering resolves them with an
+    all-reduce at the defining binding, before any consumer runs."""
+    if isinstance(expr, Var):
+        spec = env.get(expr._id, ShardSpec())
+        return ShardSpec() if spec.partial else spec
+    return ShardSpec()
+
+
+def _tensor_ann(expr: Expr) -> Optional[TensorAnn]:
+    ann = getattr(expr, "ann", None)
+    return ann if isinstance(ann, TensorAnn) else None
+
+
+# ---------------------------------------------------------------------------
+# Reshape regrouping
+# ---------------------------------------------------------------------------
+
+
+def _reshape_regroup(in_shape, out_dims, in_axis: int, world: int):
+    """Map a split axis through a reshape.
+
+    ``in_shape`` / ``out_dims`` are the ORIGINAL (unsharded) dims.
+    Returns ``(out_axis, new_out_dims)`` — the output axis that carries
+    the shard and the target dims with that axis narrowed ``// world``.
+
+    Matching dims are peeled from both ends (the common prefix/suffix of
+    provably-equal dims); whatever remains is one regrouped span, e.g.
+    ``(b, s, h, d) <-> (b, s, h*d)``.  The split axis must lead its span
+    — only then is the per-shard reshape a contiguous slice of the
+    global reshape (an inner split would interleave ranks' elements).
+    """
+    n_in, n_out = len(in_shape), len(out_dims)
+    prefix = 0
+    while (prefix < min(n_in, n_out) - 1
+           and sym.prove_equal(in_shape[prefix], out_dims[prefix])):
+        prefix += 1
+    suffix = 0
+    while (suffix < min(n_in, n_out) - prefix - 1
+           and sym.prove_equal(in_shape[n_in - 1 - suffix],
+                               out_dims[n_out - 1 - suffix])):
+        suffix += 1
+
+    def narrowed(dims, axis):
+        size = _static_int(dims[axis])
+        if size is None or size % world:
+            raise ShardingError(
+                f"reshape: cannot narrow dim {dims[axis]} by world {world}"
+            )
+        new = list(dims)
+        new[axis] = size // world
+        return axis, tuple(new)
+
+    if in_axis < prefix:  # split axis maps one-to-one
+        return narrowed(out_dims, in_axis)
+    if in_axis >= n_in - suffix:
+        return narrowed(out_dims, n_out - (n_in - in_axis))
+    if in_axis != prefix:
+        raise ShardingError(
+            "reshape: split axis must lead its regrouped span "
+            f"(axis {in_axis}, span starts at {prefix})"
+        )
+    for axis in range(prefix, n_out - suffix):
+        size = _static_int(out_dims[axis])
+        if size is not None and size % world == 0:
+            return narrowed(out_dims, axis)
+    raise ShardingError(
+        f"reshape: no target dim in {out_dims[prefix:n_out - suffix]} "
+        f"is divisible by world {world}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Per-op propagation rules
+# ---------------------------------------------------------------------------
+
+
+def _matmul_spec(call: Call, env, world: int) -> ShardSpec:
+    a, b = call.args[0], call.args[1]
+    sa, sb = _spec_of(a, env), _spec_of(b, env)
+    a_ann, b_ann = _tensor_ann(a), _tensor_ann(b)
+    if a_ann is None or b_ann is None:
+        raise ShardingError("matmul: operands lack tensor annotations")
+    a_nd, b_nd = a_ann.ndim, b_ann.ndim
+    out_nd = max(a_nd, b_nd)
+    transpose_b = bool(call.attrs.get("transpose_b"))
+    a_contract = a_nd - 1
+    b_contract = (b_nd - 1) if transpose_b else (b_nd - 2 if b_nd > 1 else 0)
+    b_feature = (b_nd - 2 if b_nd > 1 else 0) if transpose_b else b_nd - 1
+
+    if sa.is_replicated and sb.is_replicated:
+        return ShardSpec()
+    if sa.is_replicated and sb.dim == b_feature:
+        return ShardSpec(dim=out_nd - 1)  # column parallel
+    if sa.dim == a_contract and sb.dim == b_contract:
+        return _PARTIAL  # row parallel: per-rank partial sums
+    if sa.dim is not None and sa.dim < a_contract and sb.is_replicated:
+        return ShardSpec(dim=sa.dim + (out_nd - a_nd))  # sharded batch dim
+    raise ShardingError(
+        f"matmul: unsupported operand placement {sa} x {sb}"
+    )
+
+
+def _elementwise_binary_spec(call: Call, env) -> ShardSpec:
+    a, b = call.args[0], call.args[1]
+    sa, sb = _spec_of(a, env), _spec_of(b, env)
+    if sa.is_replicated and sb.is_replicated:
+        return ShardSpec()
+    a_ann, b_ann = _tensor_ann(a), _tensor_ann(b)
+    a_nd = a_ann.ndim if a_ann is not None else 0
+    b_nd = b_ann.ndim if b_ann is not None else 0
+    out_nd = max(a_nd, b_nd)
+
+    def from_right(spec, nd):
+        return None if spec.dim is None else nd - 1 - spec.dim
+
+    ra, rb = from_right(sa, a_nd), from_right(sb, b_nd)
+    if ra is not None and rb is not None:
+        if ra != rb:
+            raise ShardingError(
+                f"{call.op.name}: operands split on different axes "
+                f"({sa} vs {sb})"
+            )
+        return ShardSpec(dim=out_nd - 1 - ra)
+    split_r, other_ann, other_nd = (
+        (ra, b_ann, b_nd) if ra is not None else (rb, a_ann, a_nd)
+    )
+    # The replicated side must broadcast along the split axis: either its
+    # rank doesn't reach it, or its dim there is literally 1.  A full-size
+    # replicated operand would mix whole tensors with shards.
+    if other_nd > split_r:
+        dim = other_ann.shape[other_nd - 1 - split_r]
+        if _static_int(dim) != 1:
+            raise ShardingError(
+                f"{call.op.name}: replicated operand spans the split axis "
+                f"(dim {dim}); shard or broadcast it instead"
+            )
+    return ShardSpec(dim=out_nd - 1 - split_r)
+
+
+def _infer_call_spec(call: Call, env: Dict[int, ShardSpec],
+                     world: int) -> ShardSpec:
+    """Forward placement rule for one operator call."""
+    name = call.op.name
+    arg_specs = [_spec_of(a, env) for a in call.args]
+
+    if name == "matmul":
+        return _matmul_spec(call, env, world)
+    if name in _ELEMENTWISE_UNARY:
+        return arg_specs[0]
+    if name in _ELEMENTWISE_BINARY:
+        return _elementwise_binary_spec(call, env)
+    if name == "reshape":
+        spec = arg_specs[0]
+        if spec.is_replicated:
+            return spec
+        ann = _tensor_ann(call.args[0])
+        target = call.args[1]
+        if not isinstance(target, ShapeExpr):
+            raise ShardingError("reshape: split input needs a literal shape")
+        out_axis, _ = _reshape_regroup(
+            ann.shape, target.values, spec.dim, world
+        )
+        return ShardSpec(dim=out_axis)
+    if name == "rope":
+        for extra in arg_specs[1:]:
+            if not extra.is_replicated:
+                raise ShardingError("rope: offsets must be replicated")
+        return arg_specs[0]
+    if name == "concat":
+        specs = arg_specs
+        first = specs[0]
+        if any(s != first for s in specs[1:]):
+            raise ShardingError("concat: operands differ in placement")
+        if first.is_split and first.dim == int(call.attrs.get("axis", 0)):
+            raise ShardingError("concat: cannot concatenate along the "
+                                "split axis")
+        return first
+    if name in _PER_HEAD:
+        tensor_specs = [
+            s for a, s in zip(call.args, arg_specs)
+            if (ann := _tensor_ann(a)) is not None and ann.ndim >= 3
+        ]
+        if all(s.is_replicated for s in tensor_specs):
+            return ShardSpec()
+        if all(s.dim == 2 for s in tensor_specs):
+            return ShardSpec(dim=2)  # head-sharded
+        raise ShardingError(
+            f"{name}: q/kv operands must all be head-sharded (Split(2)) "
+            f"or all replicated, got {tensor_specs}"
+        )
+    if name in _NEEDS_REPLICATED:
+        if not all(s.is_replicated for s in arg_specs):
+            raise ShardingError(f"{name}: requires replicated inputs")
+        return ShardSpec()
+    if name == "take":
+        x_spec, idx_spec = arg_specs[0], arg_specs[1]
+        if not idx_spec.is_replicated:
+            raise ShardingError("take: indices must be replicated")
+        if x_spec.is_split and x_spec.dim == int(call.attrs.get("axis", 0)):
+            raise ShardingError("take: cannot gather along the split axis")
+        return x_spec
+    if name in _CREATION:
+        return ShardSpec()
+    if name.startswith("ccl."):
+        if name == "ccl.all_reduce":
+            return ShardSpec()
+        raise ShardingError(f"{name}: collectives are inserted by "
+                            "LowerSharding, not user programs")
+    if all(s.is_replicated for s in arg_specs):
+        return ShardSpec()
+    raise ShardingError(
+        f"no sharding rule for operator {name!r} with split inputs"
+    )
+
+
+# ---------------------------------------------------------------------------
+# PropagateSharding
+# ---------------------------------------------------------------------------
+
+
+@register_pass
+class PropagateSharding(Pass):
+    """Seed param placements from a plan and propagate them forward,
+    annotating every variable's annotation with its ShardSpec."""
+
+    name = "PropagateSharding"
+    opt_level = 0
+    required = True
+
+    def __init__(self, plan: ShardingPlan):
+        self.plan = plan
+
+    def run(self, mod: IRModule, ctx: PassContext) -> IRModule:
+        if self.plan.world == 1:
+            return mod  # identity, same object: tp=1 stays byte-identical
+        for _name, func in mod.relax_functions():
+            self._annotate_function(func)
+        return mod
+
+    def _annotate_function(self, func: Function) -> None:
+        world = self.plan.world
+        env: Dict[int, ShardSpec] = {}
+        # Alias bindings (emit_output) can share the source var's ann
+        # object; give each var a private ann before attaching its spec
+        # so annotating an alias never clobbers its source.
+        annotated: set = set()
+
+        def attach(var, spec):
+            if var.ann is None:
+                return
+            if id(var.ann) in annotated:
+                var.ann = copy.copy(var.ann)
+            var.ann.shard = spec
+            annotated.add(id(var.ann))
+
+        for param in func.params:
+            spec = self.plan.spec_for(param.name_hint)
+            if spec.is_split:
+                ann = _tensor_ann(param)
+                if ann is None or ann.shape is None:
+                    raise ShardingError(
+                        f"cannot shard param {param.name_hint}: no shape"
+                    )
+                size = _static_int(ann.shape[spec.dim])
+                if size is None or size % world:
+                    raise ShardingError(
+                        f"param {param.name_hint}: dim {spec.dim} "
+                        f"({ann.shape[spec.dim]}) not divisible by {world}"
+                    )
+            env[param._id] = spec
+            attach(param, spec)
+        seq = func.body
+        if not isinstance(seq, SeqExpr):
+            raise ShardingError("sharding expects SeqExpr function bodies")
+        for block in seq.blocks:
+            for binding in block.bindings:
+                if isinstance(binding, MatchCast):
+                    raise ShardingError(
+                        "sharding does not support match_cast bindings"
+                    )
+                spec = self._infer_binding(binding.value, env, world)
+                env[binding.var._id] = (
+                    spec if isinstance(spec, ShardSpec) else ShardSpec()
+                )
+                attach(binding.var, spec)
+
+    def _infer_binding(self, value: Expr, env, world):
+        if isinstance(value, Call) and isinstance(value.op, Op):
+            return _infer_call_spec(value, env, world)
+        if isinstance(value, TupleExpr):
+            return tuple(_spec_of(f, env) for f in value.fields)
+        if isinstance(value, Var):
+            # An alias observes the defining binding's *resolved* value:
+            # partial sums are reduced where they are produced, so the
+            # alias itself is replicated.
+            spec = env.get(value._id, ShardSpec())
+            if isinstance(spec, ShardSpec) and spec.partial:
+                return ShardSpec()
+            return spec
+        if isinstance(value, TupleGetItem):
+            base = value.tuple_value
+            if isinstance(base, Var):
+                ann = getattr(base, "ann", None)
+                shard = getattr(ann, "shard", None)
+                if isinstance(shard, tuple):
+                    return shard[value.index]
+            return ShardSpec()
+        if isinstance(value, (Constant, ShapeExpr, PrimValue)):
+            return ShardSpec()
+        if isinstance(value, Call):
+            raise ShardingError(
+                "sharding supports operator calls only, not "
+                f"{type(value.op).__name__} calls"
+            )
+        raise ShardingError(
+            f"no sharding rule for bound {type(value).__name__}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# LowerSharding
+# ---------------------------------------------------------------------------
+
+
+@register_pass
+class LowerSharding(Pass):
+    """Rebuild every function as its per-shard SPMD program.
+
+    Requires :class:`PropagateSharding` annotations.  Narrows split
+    param dims, rewrites reshape literals, and expands each partial-sum
+    matmul into ``matmul(out_dtype=f64) -> ccl.all_reduce -> astype``.
+    """
+
+    name = "LowerSharding"
+    opt_level = 0
+    required = True
+
+    def __init__(self, plan: ShardingPlan):
+        self.plan = plan
+
+    def run(self, mod: IRModule, ctx: PassContext) -> IRModule:
+        if self.plan.world == 1:
+            return mod  # identity, same object: tp=1 stays byte-identical
+        bb = BlockBuilder()
+        for name, func in mod.relax_functions():
+            self._lower_function(bb, name, func)
+        out = bb.get()
+        for name, func in mod.functions():
+            if name not in out:
+                out.add(name, func)
+        return out
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _shard_of(self, expr: Expr) -> ShardSpec:
+        shard = getattr(getattr(expr, "ann", None), "shard", None)
+        if shard is None:
+            raise ShardingError(
+                "LowerSharding needs PropagateSharding annotations; "
+                f"missing on {getattr(expr, 'name_hint', expr)}"
+            )
+        return shard if isinstance(shard, ShardSpec) else ShardSpec()
+
+    def _narrow_ann(self, ann: TensorAnn, spec: ShardSpec) -> TensorAnn:
+        world = self.plan.world
+        size = _static_int(ann.shape[spec.dim])
+        shape = list(ann.shape)
+        shape[spec.dim] = size // world
+        return TensorAnn(tuple(shape), ann.dtype)
+
+    def _lower_function(self, bb: BlockBuilder, name: str,
+                        func: Function) -> None:
+        world = self.plan.world
+        env: Dict[int, Var] = {}
+        params: List[Var] = []
+        for param in func.params:
+            spec = self._shard_of(param)
+            if spec.is_split:
+                new = Var(param.name_hint,
+                          self._narrow_ann(param.ann, spec))
+                new.ann.shard = spec
+            else:
+                new = param  # same Var: annotations and SymVars carry over
+            env[param._id] = new
+            params.append(new)
+
+        seq = func.body
+        blocks = [b for b in seq.blocks if b.bindings]
+        if len(blocks) != 1 or not isinstance(blocks[0], DataflowBlock):
+            raise ShardingError(
+                f"{name}: sharding lowers single-dataflow-block functions"
+            )
+        with bb.function(name, params, attrs=func.attrs):
+            with bb.dataflow():
+                for binding in blocks[0].bindings:
+                    self._lower_binding(bb, binding, env, world)
+            if not isinstance(seq.body, Var):
+                raise ShardingError(f"{name}: function result must be a var")
+            bb.emit_func_output(env[seq.body._id])
+
+    def _lower_binding(self, bb: BlockBuilder, binding: VarBinding,
+                       env: Dict[int, Var], world: int) -> None:
+        old = binding.var
+        emit = bb.emit if isinstance(old, DataflowVar) else bb.emit_output
+        spec = getattr(old.ann, "shard", None) if old.ann is not None else None
+        value = binding.value
+
+        if isinstance(spec, ShardSpec) and spec.partial:
+            # Row-parallel matmul: keep per-rank partials unrounded (f64),
+            # combine them in rank order, round back exactly once.
+            out_dtype = old.ann.dtype
+            a = self._rewrite(value.args[0], env)
+            b = self._rewrite(value.args[1], env)
+            partial = bb.emit(ops.matmul(
+                a, b, out_dtype="f64",
+                transpose_b=bool(value.attrs.get("transpose_b")),
+            ))
+            reduced = bb.emit(ops.ccl.all_reduce(partial, world))
+            new_var = emit(ops.astype(reduced, out_dtype))
+            new_var.ann.shard = Replicated()
+            env[old._id] = new_var
+            return
+
+        if isinstance(value, Call) and isinstance(value.op, Op):
+            new_expr = self._lower_call(value, env, spec, world)
+        elif isinstance(value, TupleExpr):
+            new_expr = TupleExpr([self._rewrite(f, env)
+                                  for f in value.fields])
+        elif isinstance(value, Var):
+            new_expr = self._rewrite(value, env)
+        elif isinstance(value, TupleGetItem):
+            new_expr = TupleGetItem(
+                self._rewrite(value.tuple_value, env), value.index
+            )
+        else:
+            new_expr = value
+        new_var = emit(new_expr)
+        if new_var.ann is not None and spec is not None:
+            new_var.ann.shard = spec
+        env[old._id] = new_var
+
+    def _lower_call(self, call: Call, env, spec, world: int) -> Call:
+        new_args = [self._rewrite(a, env) for a in call.args]
+        if (call.op.name == "reshape"
+                and isinstance(spec, ShardSpec) and spec.is_split):
+            in_spec = self._shard_of(call.args[0])
+            in_ann = _tensor_ann(call.args[0])
+            target = call.args[1]
+            _axis, new_dims = _reshape_regroup(
+                in_ann.shape, target.values, in_spec.dim, world
+            )
+            new_args[1] = ShapeExpr(new_dims)
+        return Call(call.op, new_args, attrs=dict(call.attrs),
+                    sinfo_args=call.sinfo_args)
+
+    def _rewrite(self, expr: Expr, env: Dict[int, Var]) -> Expr:
+        if isinstance(expr, Var):
+            try:
+                return env[expr._id]
+            except KeyError:
+                raise ShardingError(
+                    f"unbound variable {expr.name_hint} during lowering"
+                ) from None
+        return expr

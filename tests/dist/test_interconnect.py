@@ -1,0 +1,84 @@
+"""Property tests for the analytical interconnect cost model."""
+
+import pytest
+
+from repro.dist import Interconnect, LOOPBACK, NVLINK, PCIE
+
+LINKS = [NVLINK, PCIE]
+COLLECTIVES = ["all_reduce_s", "all_gather_s", "reduce_scatter_s",
+               "broadcast_s"]
+
+
+class TestZeroCases:
+    @pytest.mark.parametrize("fn", COLLECTIVES)
+    @pytest.mark.parametrize("link", LINKS)
+    def test_world_one_is_free(self, link, fn):
+        assert getattr(link, fn)(1, 1 << 20) == 0.0
+
+    @pytest.mark.parametrize("fn", COLLECTIVES)
+    @pytest.mark.parametrize("link", LINKS)
+    def test_zero_bytes_is_free(self, link, fn):
+        assert getattr(link, fn)(8, 0) == 0.0
+
+    @pytest.mark.parametrize("fn", COLLECTIVES)
+    def test_loopback_is_free(self, fn):
+        assert getattr(LOOPBACK, fn)(8, 1 << 30) == 0.0
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("fn", COLLECTIVES)
+    @pytest.mark.parametrize("link", LINKS)
+    def test_increasing_in_bytes(self, link, fn):
+        costs = [getattr(link, fn)(4, b) for b in (1 << 10, 1 << 20, 1 << 30)]
+        assert costs[0] < costs[1] < costs[2]
+
+    @pytest.mark.parametrize("fn", COLLECTIVES)
+    @pytest.mark.parametrize("link", LINKS)
+    def test_nondecreasing_in_world(self, link, fn):
+        costs = [getattr(link, fn)(n, 1 << 24) for n in (2, 4, 8, 16)]
+        assert all(a <= b for a, b in zip(costs, costs[1:]))
+
+    def test_ring_all_reduce_bandwidth_term_saturates(self):
+        # 2(N-1)/N -> 2: chunked rings approach twice the buffer transfer.
+        lat_free = Interconnect("ideal", 100e9, 0.0)
+        limit = 2 * (1 << 24) / 100e9
+        c8 = lat_free.all_reduce_s(8, 1 << 24)
+        c1024 = lat_free.all_reduce_s(1024, 1 << 24)
+        assert c8 < c1024 < limit
+
+
+class TestDuality:
+    @pytest.mark.parametrize("link", LINKS)
+    @pytest.mark.parametrize("world", [2, 4, 8])
+    def test_all_gather_equals_reduce_scatter(self, link, world):
+        b = 3 << 20
+        assert link.all_gather_s(world, b) == link.reduce_scatter_s(world, b)
+
+    @pytest.mark.parametrize("link", LINKS)
+    @pytest.mark.parametrize("world", [2, 4, 8])
+    def test_all_reduce_is_rs_plus_ag(self, link, world):
+        # Ring all-reduce == reduce-scatter then all-gather, exactly.
+        b = 3 << 20
+        got = link.all_reduce_s(world, b)
+        want = link.reduce_scatter_s(world, b) + link.all_gather_s(world, b)
+        assert got == pytest.approx(want, rel=1e-12)
+
+
+class TestPresetsAndValidation:
+    def test_nvlink_beats_pcie(self):
+        assert (NVLINK.all_reduce_s(8, 1 << 26)
+                < PCIE.all_reduce_s(8, 1 << 26))
+
+    def test_invalid_world(self):
+        with pytest.raises(ValueError):
+            NVLINK.all_reduce_s(0, 1024)
+
+    def test_negative_bytes(self):
+        with pytest.raises(ValueError):
+            NVLINK.all_gather_s(2, -1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Interconnect("bad", 0.0, 1e-6)
+        with pytest.raises(ValueError):
+            Interconnect("bad", 1e9, -1.0)

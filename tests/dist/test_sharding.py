@@ -1,0 +1,379 @@
+"""PropagateSharding / LowerSharding: rules, plan validation, and the
+acceptance bar — tp=N logits bitwise-equal to tp=1 on both lowering
+paths for every exported llama entry."""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro import ops, sym, transform
+from repro.core import BlockBuilder, TensorAnn
+from repro.core.expr import Call, Op
+from repro.dist import (
+    MeshExecutor,
+    NVLINK,
+    Replicated,
+    ShardingPlan,
+    Split,
+    make_llama_tp_plan,
+    shard_slice,
+)
+from repro.frontend.nn import ExportedModule, ShardedExportedModule
+from repro.models import TINY_QWEN, build_llama, empty_caches
+from repro.models.llama import TINY_LLAMA_TP
+from repro.runtime import NDArray, TEST_DEVICE, VirtualMachine
+from repro.transform import LowerSharding, PropagateSharding, ShardingError
+
+RNG = np.random.default_rng(61)
+PAGE = 4
+KV_SPLIT = Split(2)
+
+
+def _plan(world, **params):
+    return ShardingPlan(world, tuple(params.items()))
+
+
+def _mlp_mod():
+    """x @ w1 (column) @ w2 (row): the Megatron two-matmul cell."""
+    bb = BlockBuilder()
+    anns = {
+        "x": TensorAnn((4, 8), "f32"),
+        "w1": TensorAnn((8, 16), "f32"),
+        "w2": TensorAnn((16, 8), "f32"),
+    }
+    with bb.function("mlp", anns) as frame:
+        x, w1, w2 = frame.params
+        with bb.dataflow():
+            h = bb.emit(ops.matmul(x, w1))
+            h = bb.emit(ops.silu(h))
+            out = bb.emit(ops.matmul(h, w2))
+            gv = bb.emit_output(out)
+        bb.emit_func_output(gv)
+    return bb.get()
+
+
+class TestPropagation:
+    def test_column_then_row_parallel(self):
+        mod = _mlp_mod()
+        plan = _plan(2, x=Replicated(), w1=Split(1), w2=Split(0))
+        out = PropagateSharding(plan)(mod)
+        fn = dict(out.relax_functions())["mlp"]
+        binds = fn.body.blocks[0].bindings
+        # x@w1 column-parallel: output split on the feature dim.
+        assert binds[0].var.ann.shard == Split(1)
+        # silu preserves the split.
+        assert binds[1].var.ann.shard == Split(1)
+        # h@w2 row-parallel: partial sum awaiting an all-reduce.
+        assert binds[2].var.ann.shard.partial
+
+    def test_world_one_is_identity(self):
+        mod = _mlp_mod()
+        plan = _plan(1, x=Replicated(), w1=Split(1), w2=Split(0))
+        assert PropagateSharding(plan)(mod) is mod
+        assert LowerSharding(plan)(mod) is mod
+
+    def test_norm_of_split_tensor_rejected(self):
+        bb = BlockBuilder()
+        anns = {"x": TensorAnn((4, 8), "f32"), "g": TensorAnn((8,), "f32")}
+        with bb.function("f", anns) as frame:
+            x, g = frame.params
+            with bb.dataflow():
+                gv = bb.emit_output(bb.emit(ops.rms_norm(x, g)))
+            bb.emit_func_output(gv)
+        plan = _plan(2, x=Split(1), g=Replicated())
+        with pytest.raises(ShardingError):
+            PropagateSharding(plan)(bb.get())
+
+    def test_indivisible_param_dim_rejected(self):
+        mod = _mlp_mod()
+        plan = _plan(3, x=Replicated(), w1=Split(1), w2=Split(0))
+        with pytest.raises(ShardingError, match="divis"):
+            PropagateSharding(plan)(mod)
+
+
+class TestLowering:
+    def test_row_parallel_lowering_inserts_one_all_reduce(self):
+        mod = _mlp_mod()
+        plan = _plan(2, x=Replicated(), w1=Split(1), w2=Split(0))
+        out = LowerSharding(plan)(PropagateSharding(plan)(mod))
+        fn = dict(out.relax_functions())["mlp"]
+        names = [
+            b.value.op.name
+            for b in fn.body.blocks[0].bindings
+            if isinstance(b.value, Call) and isinstance(b.value.op, Op)
+        ]
+        assert names.count("ccl.all_reduce") == 1
+        # Partial matmul accumulates in f64, rounded once after the reduce.
+        assert names == ["matmul", "silu", "matmul", "ccl.all_reduce", "astype"]
+        # Split param anns narrowed to the per-shard slice.
+        w1 = fn.params[1]
+        assert sym.as_static_int(w1.ann.shape[1]) == 8
+
+    def test_lowered_mlp_matches_dense(self):
+        mod = _mlp_mod()
+        world = 2
+        plan = _plan(world, x=Replicated(), w1=Split(1), w2=Split(0))
+        x = RNG.standard_normal((4, 8)).astype(np.float32)
+        w1 = RNG.standard_normal((8, 16)).astype(np.float32)
+        w2 = RNG.standard_normal((16, 8)).astype(np.float32)
+
+        exe = transform.build(mod, TEST_DEVICE)
+        vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+        ref = vm.run("mlp", *[NDArray.from_numpy(a) for a in (x, w1, w2)])
+
+        sharded = LowerSharding(plan)(PropagateSharding(plan)(mod))
+        sexe = transform.build(sharded, TEST_DEVICE)
+        mesh = MeshExecutor(sexe, TEST_DEVICE, world, concrete=True)
+        outs = mesh.run("mlp", [
+            [NDArray.from_numpy(x),
+             NDArray.from_numpy(shard_slice(w1, Split(1), world, r)),
+             NDArray.from_numpy(shard_slice(w2, Split(0), world, r))]
+            for r in range(world)
+        ])
+        for r in range(world):
+            assert np.array_equal(ref.numpy(), outs[r].numpy())
+
+
+class TestPlan:
+    def test_tp_plan_shards_attention_and_mlp(self):
+        plan = make_llama_tp_plan(TINY_LLAMA_TP, 2)
+        assert plan.spec_for("p_layers_0_attn_q_proj_weight") == Split(1)
+        assert plan.spec_for("p_layers_0_attn_o_proj_weight") == Split(0)
+        assert plan.spec_for("p_layers_0_mlp_down_proj_weight") == Split(0)
+        assert plan.spec_for("p_embed_weight").is_replicated
+        assert plan.spec_for("k_pages_0") == Split(2)
+
+    def test_plan_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError, match="divide"):
+            make_llama_tp_plan(TINY_LLAMA_TP, 3)
+        with pytest.raises(ValueError, match="num_kv_heads"):
+            make_llama_tp_plan(TINY_LLAMA_TP, 8)
+
+    def test_qkv_bias_sharded_with_qwen(self):
+        plan = make_llama_tp_plan(TINY_QWEN, 2)
+        assert plan.spec_for("p_layers_0_attn_q_proj_bias") == Split(0)
+        assert plan.spec_for("p_layers_0_attn_o_proj_weight") == Split(0)
+
+
+class TestShardedExport:
+    def test_tp1_returns_plain_export(self):
+        exp = build_llama(TINY_LLAMA_TP, page_size=PAGE, tp=1)
+        assert type(exp) is ExportedModule
+
+    def test_sharded_export_params_and_bytes(self):
+        exp = build_llama(TINY_LLAMA_TP, page_size=PAGE, tp=2)
+        assert isinstance(exp, ShardedExportedModule)
+        exp.module.initialize(seed=0)
+        full = build_llama(TINY_LLAMA_TP, page_size=PAGE)
+        # Split params hold half; replicated (embed, norms) the whole.
+        assert exp.param_bytes() < full.param_bytes()
+        p0 = exp.concrete_params(0)
+        p1 = exp.concrete_params(1)
+        order = [name for name, _ in exp.param_order]
+        qi = order.index("layers.0.attn.q_proj.weight")
+        cfg = TINY_LLAMA_TP
+        assert p0[qi].shape == (cfg.hidden_size, cfg.hidden_size // 2)
+        assert not np.array_equal(p0[qi].numpy(), p1[qi].numpy())
+        ei = order.index("embed.weight")
+        assert np.array_equal(p0[ei].numpy(), p1[ei].numpy())
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: every exported entry, both lowering paths, tp in {2, 4}.
+# ---------------------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=None)
+def _dense(cfg_name, dispatch):
+    cfg = TINY_LLAMA_TP if cfg_name == "tp" else TINY_QWEN
+    exp = build_llama(cfg, page_size=PAGE)
+    exp.module.initialize(seed=5, scale=0.1)
+    exe = transform.build(exp.mod, TEST_DEVICE, enable_library_dispatch=dispatch)
+    vm = VirtualMachine(exe, TEST_DEVICE, concrete=True)
+    return cfg, vm, exp.concrete_params()
+
+
+@functools.lru_cache(maxsize=None)
+def _mesh(cfg_name, world, dispatch):
+    cfg = TINY_LLAMA_TP if cfg_name == "tp" else TINY_QWEN
+    exp = build_llama(cfg, page_size=PAGE, tp=world)
+    exp.module.initialize(seed=5, scale=0.1)
+    exe = transform.build(exp.mod, TEST_DEVICE, enable_library_dispatch=dispatch)
+    mesh = MeshExecutor(exe, TEST_DEVICE, world, interconnect=NVLINK,
+                        concrete=True)
+    return cfg, mesh, [exp.concrete_params(r) for r in range(world)]
+
+
+def _pools(cfg, num_pages=8):
+    kv, d = cfg.num_kv_heads, cfg.head_dim
+    return [
+        RNG.standard_normal((num_pages, PAGE, kv, d)).astype(np.float32)
+        for _ in range(2 * cfg.num_layers)
+    ]
+
+
+def _shard_pools(pools, world, rank):
+    return [
+        NDArray.from_numpy(shard_slice(p, KV_SPLIT, world, rank))
+        for p in pools
+    ]
+
+
+def _assert_tuple_equal(ref, outs, world):
+    """Logits (entry 0) replicated; K/V slices (rest) split on heads."""
+    assert np.array_equal(ref[0].numpy(), outs[0][0].numpy())
+    for j in range(1, len(ref)):
+        merged = np.concatenate(
+            [outs[r][j].numpy() for r in range(world)], axis=2
+        )
+        assert np.array_equal(ref[j].numpy(), merged)
+
+
+CASES = [(w, d) for w in (2, 4) for d in (False, True)]
+IDS = [f"tp{w}-{'library' if d else 'codegen'}" for w, d in CASES]
+
+
+@pytest.mark.parametrize("world,dispatch", CASES, ids=IDS)
+def test_prefill_and_decode_dense(world, dispatch):
+    cfg, vm, params = _dense("tp", dispatch)
+    _, mesh, shard_params = _mesh("tp", world, dispatch)
+    prompt = RNG.integers(0, cfg.vocab_size, size=(1, 6), dtype=np.int64)
+    tok = RNG.integers(0, cfg.vocab_size, size=(1, 1), dtype=np.int64)
+
+    ref = vm.run("prefill", NDArray.from_numpy(prompt),
+                 *empty_caches(cfg, 1, True), *params)
+    outs = mesh.run("prefill", [
+        [NDArray.from_numpy(prompt)]
+        + [NDArray.from_numpy(shard_slice(c.numpy(), KV_SPLIT, world, r))
+           for c in empty_caches(cfg, 1, True)]
+        + shard_params[r]
+        for r in range(world)
+    ])
+    _assert_tuple_equal(ref, outs, world)
+
+    # Decode from the prefill caches each rank produced (cache flow).
+    ref_d = vm.run("decode", NDArray.from_numpy(tok), *ref[1:], *params)
+    outs_d = mesh.run("decode", [
+        [NDArray.from_numpy(tok)] + list(outs[r][1:]) + shard_params[r]
+        for r in range(world)
+    ])
+    _assert_tuple_equal(ref_d, outs_d, world)
+
+
+@pytest.mark.parametrize("world,dispatch", CASES, ids=IDS)
+def test_decode_paged(world, dispatch):
+    cfg, vm, params = _dense("tp", dispatch)
+    _, mesh, shard_params = _mesh("tp", world, dispatch)
+    lens = [3, 6]
+    b = len(lens)
+    toks = RNG.integers(0, cfg.vocab_size, size=(b, 1), dtype=np.int64)
+    table = np.array([[1, 0], [2, 3]], np.int64)
+    pools = _pools(cfg)
+    head = [NDArray.from_numpy(toks), NDArray.from_numpy(table),
+            NDArray.from_numpy(np.asarray(lens, np.int64))]
+
+    ref = vm.run("decode_paged", *head,
+                 *[NDArray.from_numpy(p) for p in pools], *params)
+    outs = mesh.run("decode_paged", [
+        head + _shard_pools(pools, world, r) + shard_params[r]
+        for r in range(world)
+    ])
+    _assert_tuple_equal(ref, outs, world)
+
+
+@pytest.mark.parametrize("world,dispatch", CASES, ids=IDS)
+def test_prefill_paged(world, dispatch):
+    cfg, vm, params = _dense("tp", dispatch)
+    _, mesh, shard_params = _mesh("tp", world, dispatch)
+    past = 2
+    toks = RNG.integers(0, cfg.vocab_size, size=(1, 3), dtype=np.int64)
+    table = np.array([[1, 2]], np.int64)
+    pools = _pools(cfg)
+    head = [NDArray.from_numpy(toks), NDArray.from_numpy(table),
+            NDArray.from_numpy(np.zeros(past, np.int64))]
+
+    ref = vm.run("prefill_paged", *head,
+                 *[NDArray.from_numpy(p) for p in pools], *params)
+    outs = mesh.run("prefill_paged", [
+        head + _shard_pools(pools, world, r) + shard_params[r]
+        for r in range(world)
+    ])
+    _assert_tuple_equal(ref, outs, world)
+
+
+@pytest.mark.parametrize("world,dispatch", CASES, ids=IDS)
+def test_verify_paged(world, dispatch):
+    cfg, vm, params = _dense("tp", dispatch)
+    _, mesh, shard_params = _mesh("tp", world, dispatch)
+    lens = [4, 5]
+    spec = [2, 3]
+    b, s = len(lens), max(spec) + 1
+    toks = RNG.integers(0, cfg.vocab_size, size=(b, s), dtype=np.int64)
+    table = np.array([[1, 2], [3, 4]], np.int64)
+    pools = _pools(cfg)
+    head = [NDArray.from_numpy(toks), NDArray.from_numpy(table),
+            NDArray.from_numpy(np.asarray(lens, np.int64)),
+            NDArray.from_numpy(np.asarray(spec, np.int64))]
+
+    ref = vm.run("verify_paged", *head,
+                 *[NDArray.from_numpy(p) for p in pools], *params)
+    outs = mesh.run("verify_paged", [
+        head + _shard_pools(pools, world, r) + shard_params[r]
+        for r in range(world)
+    ])
+    _assert_tuple_equal(ref, outs, world)
+
+
+@pytest.mark.parametrize("dispatch", [False, True], ids=["codegen", "library"])
+def test_qwen_attention_bias_sharded(dispatch):
+    """GQA + qkv bias (Split(0) bias slices) through the full stack."""
+    world = 2
+    cfg, vm, params = _dense("qwen", dispatch)
+    _, mesh, shard_params = _mesh("qwen", world, dispatch)
+    prompt = RNG.integers(0, cfg.vocab_size, size=(1, 5), dtype=np.int64)
+
+    ref = vm.run("prefill", NDArray.from_numpy(prompt),
+                 *empty_caches(cfg, 1, True), *params)
+    outs = mesh.run("prefill", [
+        [NDArray.from_numpy(prompt)]
+        + [NDArray.from_numpy(shard_slice(c.numpy(), KV_SPLIT, world, r))
+           for c in empty_caches(cfg, 1, True)]
+        + shard_params[r]
+        for r in range(world)
+    ])
+    _assert_tuple_equal(ref, outs, world)
+
+
+def test_mesh_run_is_deterministic():
+    cfg, mesh, shard_params = _mesh("tp", 2, True)[0], None, None
+    cfg, mesh, shard_params = _mesh("tp", 2, True)
+    prompt = np.arange(6, dtype=np.int64).reshape(1, 6) % cfg.vocab_size
+
+    def run():
+        outs = mesh.run("prefill", [
+            [NDArray.from_numpy(prompt)]
+            + [NDArray.from_numpy(shard_slice(c.numpy(), KV_SPLIT, 2, r))
+               for c in empty_caches(cfg, 1, True)]
+            + shard_params[r]
+            for r in range(2)
+        ])
+        return outs[0][0].numpy()
+
+    a, b, c = run(), run(), run()
+    assert np.array_equal(a, b) and np.array_equal(b, c)
+
+
+def test_tp_build_charges_comm_time():
+    cfg, mesh, shard_params = _mesh("tp", 2, False)
+    prompt = np.zeros((1, 4), np.int64)
+    base = mesh.stats.comm_time_s
+    mesh.run("prefill", [
+        [NDArray.from_numpy(prompt)]
+        + [NDArray.from_numpy(shard_slice(c.numpy(), KV_SPLIT, 2, r))
+           for c in empty_caches(cfg, 1, True)]
+        + shard_params[r]
+        for r in range(2)
+    ])
+    assert mesh.stats.comm_time_s > base
+    assert "comm_time_s" in mesh.stats.summary()

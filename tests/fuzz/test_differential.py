@@ -38,20 +38,28 @@ def test_pinned_seed_passes_oracle(seed):
 # First generator seed whose plan contains a paged_attention step; keeps
 # the paged lowering (gather legalization + library dispatch) inside the
 # default pinned batch even if the seed stream shifts the others.
-PAGED_SEED = 31
+PAGED_SEED = 28
 
 # First generator seed whose plan contains a paged_prefill step (the
 # chunked-prefill entry into the paged pool).
-PAGED_PREFILL_SEED = 10
+PAGED_PREFILL_SEED = 18
 
 # First generator seed whose plan contains a paged_verify step (ragged
 # speculative-decode verification over the paged pool).
-PAGED_VERIFY_SEED = 18
+PAGED_VERIFY_SEED = 7
 
-# First generator seed with a paged_cross_attention step not already in
-# PAGED_PREFILL_SEED's plan (seed 10 carries both kinds; a distinct seed
-# keeps the pinned coverage spread over more plans for the same cost).
-PAGED_CROSS_SEED = 41
+# First generator seed whose plan contains a paged_cross_attention step.
+PAGED_CROSS_SEED = 70
+
+# First generator seed containing each collective (single-VM replica
+# semantics: all-reduce sums ``world`` identical replicas, gather tiles,
+# scatter sums-then-chunks, broadcast is the identity).
+CCL_SEEDS = {
+    "ccl.reduce_scatter": 1,
+    "ccl.all_gather": 3,
+    "ccl.broadcast": 4,
+    "ccl.all_reduce": 10,
+}
 
 
 def test_pinned_paged_attention_seed_passes_oracle():
@@ -80,6 +88,39 @@ def test_pinned_paged_cross_attention_seed_passes_oracle():
     assert any(s.kind == "paged_cross_attention" for s in plan.steps)
     failure = failure_of(plan)
     assert failure is None, f"seed {PAGED_CROSS_SEED}: {failure}"
+
+
+@pytest.mark.parametrize("op,seed", sorted(CCL_SEEDS.items()))
+def test_pinned_ccl_seed_passes_oracle(op, seed):
+    plan = generate(seed)
+    assert any(s.op == op for s in plan.steps)
+    failure = failure_of(plan)
+    assert failure is None, f"seed {seed} ({op}): {failure}"
+
+
+def test_handwritten_ccl_plan_passes_oracle():
+    """Oracle case chaining all four collectives over a symbolic dim:
+    all_gather doubles ``n`` symbolically (``n*2``), reduce_scatter
+    divides it back down (``n*2 // 4`` with divisibility only provable
+    at runtime), all_reduce sums world=3 replicas, broadcast from a
+    non-zero root is the identity.  Pins the symbolic shape deduction
+    *and* the single-VM replica execution of every ``vm.builtin.ccl.*``
+    builtin through every pipeline ablation."""
+    plan = Plan(
+        seed=0,
+        dims={"n": 4},
+        params=[ParamSpec("x", ["n", 3], "f32")],
+        steps=[
+            Step("ccl", "ccl.all_gather", [0], {"world": 2, "axis": 0}),
+            Step("ccl", "ccl.all_reduce", [1], {"world": 3}),
+            Step("ccl", "ccl.reduce_scatter", [2], {"world": 4, "axis": 0}),
+            Step("ccl", "ccl.broadcast", [3], {"world": 2, "root": 1}),
+            Step("unary", "exp", [4]),
+        ],
+        outputs=[4, 5],
+    )
+    failure = failure_of(plan)
+    assert failure is None, f"handwritten ccl plan: {failure}"
 
 
 def test_handwritten_paged_cross_attention_plan_passes_oracle():

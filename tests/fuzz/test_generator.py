@@ -11,7 +11,7 @@ silently stops emitting some construct fails loudly.
 from repro.core import well_formed
 from repro.fuzz import build_module, generate, make_inputs
 
-COVERAGE_SEEDS = range(60)
+COVERAGE_SEEDS = range(70)
 
 
 def test_generated_modules_are_well_formed():
@@ -35,7 +35,7 @@ def test_feature_coverage():
         saw_multi_output = saw_multi_output or len(plan.outputs) > 1
     # Structural features the differential oracle is supposed to stress.
     for kind in ("match_cast", "if", "call", "split", "tuple_get",
-                 "concat", "matmul", "reduce", "shape_of"):
+                 "concat", "matmul", "reduce", "shape_of", "ccl"):
         assert kind in kinds, f"no seed in range generated a {kind!r} step"
     assert saw_symbolic, "no seed used symbolic dims"
     assert saw_subfunc, "no seed generated a callable subgraph"

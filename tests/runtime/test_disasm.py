@@ -80,6 +80,7 @@ _COVERAGE_BUILDS = [
     (1, {}),
     (2, {}),
     (2, {"enable_memory_planning": False}),
+    (4, {}),
     (5, {}),
     (7, {}),
     (10, {}),
@@ -91,6 +92,7 @@ _COVERAGE_BUILDS = [
     (37, {}),
     (38, {}),
     (41, {}),
+    (61, {}),
 ]
 
 
