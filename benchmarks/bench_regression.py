@@ -35,10 +35,12 @@ sys.path.insert(
 from repro.models import TINY_LLAMA, TINY_LLAMA_TP  # noqa: E402
 from repro.runtime import ALL_DEVICES  # noqa: E402
 from repro.serve import (  # noqa: E402
+    ClusterConfig,
     EngineConfig,
     SchedulerConfig,
     SpecConfig,
     WorkloadConfig,
+    serve_cluster,
     serve_workload,
 )
 
@@ -57,6 +59,9 @@ KPI_DIRECTION = {
     "tpot_p50_s": -1,
     "peak_required_blocks": -1,
     "preemptions": -1,
+    # Cluster (dp) scenarios only:
+    "prefix_cache_hit_rate": +1,
+    "load_balance_entropy": +1,
 }
 
 
@@ -126,27 +131,53 @@ def scenario_tp():
     )
 
 
+def scenario_dp():
+    # Data-parallel cluster: 2 replicas behind the prefix-affinity
+    # router over a shared-prefix trace.  The KPIs pin router
+    # determinism (assignment-sensitive makespan/TTFT), fleet cache
+    # effectiveness and load-balance entropy.
+    return serve_cluster(
+        TINY_LLAMA, DEVICE,
+        _workload(num_requests=32, arrival_rate=64.0,
+                  prefix_families=3, prefix_len=6),
+        ClusterConfig(dp=2, policy="prefix_affinity", engine=_engine()),
+    )
+
+
 SCENARIOS = {
     "plain": scenario_plain,
     "prefix": scenario_prefix,
     "spec": scenario_spec,
     "pressure": scenario_pressure,
     "tp": scenario_tp,
+    "dp": scenario_dp,
 }
 
 
 def kpis(report):
     s = report.summary
-    return {
+    out = {
         "throughput_tokens_per_s": s["throughput_tokens_per_s"],
         "goodput_requests_per_s": s["goodput_requests_per_s"],
         "makespan_s": s["makespan_s"],
         "ttft_p50_s": s["ttft_s"]["p50"],
         "ttft_p99_s": s["ttft_s"]["p99"],
         "tpot_p50_s": s["tpot_s"]["p50"],
-        "peak_required_blocks": s["kv_pool"]["peak_required_blocks"],
         "preemptions": s["preemptions"],
     }
+    if "kv_pool" in s:
+        out["peak_required_blocks"] = s["kv_pool"]["peak_required_blocks"]
+    else:
+        # Cluster report: per-replica pools; gate on the fleet max.
+        out["peak_required_blocks"] = max(
+            r.summary["kv_pool"]["peak_required_blocks"]
+            for r in report.replica_reports
+        )
+        out["prefix_cache_hit_rate"] = s["prefix_cache"]["hit_rate"]
+        out["load_balance_entropy"] = (
+            s["routing"]["load_balance_entropy"]
+        )
+    return out
 
 
 def inject_regression(measured, factor):

@@ -203,27 +203,11 @@ class MeshExecutor:
         ``peak_bytes`` is the per-device high-water mark (each shard has
         its own VRAM) — the same conventions a multi-GPU profiler uses.
         Returns a fresh snapshot; window metering works exactly as with
-        a single VM (``stats.copy()`` / ``stats.delta()``)."""
-        shards = self.shard_stats
-        return ExecutionStats(
-            time_s=max(s.time_s for s in shards),
-            kernel_launches=sum(s.kernel_launches for s in shards),
-            lib_calls=sum(s.lib_calls for s in shards),
-            builtin_calls=sum(s.builtin_calls for s in shards),
-            graph_captures=sum(s.graph_captures for s in shards),
-            graph_replays=sum(s.graph_replays for s in shards),
-            replayed_kernels=sum(s.replayed_kernels for s in shards),
-            allocations=sum(s.allocations for s in shards),
-            allocated_bytes_total=sum(
-                s.allocated_bytes_total for s in shards
-            ),
-            escaping_bytes_total=sum(s.escaping_bytes_total for s in shards),
-            current_bytes=sum(s.current_bytes for s in shards),
-            peak_bytes=max(s.peak_bytes for s in shards),
-            kernel_time_s=max(s.kernel_time_s for s in shards),
-            launch_overhead_s=max(s.launch_overhead_s for s in shards),
-            comm_time_s=max(s.comm_time_s for s in shards),
-        )
+        a single VM (``stats.copy()`` / ``stats.delta()``).  The combine
+        semantics (wall-time max, counter sum) live in
+        :meth:`ExecutionStats.merge_parallel`, shared with the serving
+        cluster's fleet aggregation."""
+        return ExecutionStats.merge_parallel(self.shard_stats)
 
     # -- tracing -----------------------------------------------------------------
 

@@ -101,6 +101,52 @@ class ExecutionStats:
             comm_time_s=self.comm_time_s - since.comm_time_s,
         )
 
+    @classmethod
+    def merge_serial(cls, parts: "list[ExecutionStats]") -> "ExecutionStats":
+        """Combine stats of work that ran *back-to-back on one clock*
+        (e.g. the serving engine's per-model-family VMs within one
+        iteration): every time field and counter sums, while
+        ``peak_bytes`` — a high-water mark across distinct pools, not a
+        rate — takes the max.  A single part is returned as-is (callers
+        treat the result as read-only)."""
+        if len(parts) == 1:
+            return parts[0]
+        out = cls()
+        for part in parts:
+            out.merge(part)
+        return out
+
+    @classmethod
+    def merge_parallel(cls, parts: "list[ExecutionStats]") -> "ExecutionStats":
+        """Combine stats of work that ran *concurrently in lockstep*
+        (e.g. SPMD mesh shards, data-parallel replicas on a shared
+        clock): wall-time fields take the max over parts — nobody leaves
+        the barrier before the slowest — event counters and byte totals
+        sum, and ``peak_bytes`` stays the per-device high-water mark
+        (each part has its own VRAM), the same conventions a multi-GPU
+        profiler uses.  Returns a fresh snapshot."""
+        if not parts:
+            raise ValueError("merge_parallel needs at least one part")
+        return cls(
+            time_s=max(s.time_s for s in parts),
+            kernel_launches=sum(s.kernel_launches for s in parts),
+            lib_calls=sum(s.lib_calls for s in parts),
+            builtin_calls=sum(s.builtin_calls for s in parts),
+            graph_captures=sum(s.graph_captures for s in parts),
+            graph_replays=sum(s.graph_replays for s in parts),
+            replayed_kernels=sum(s.replayed_kernels for s in parts),
+            allocations=sum(s.allocations for s in parts),
+            allocated_bytes_total=sum(
+                s.allocated_bytes_total for s in parts
+            ),
+            escaping_bytes_total=sum(s.escaping_bytes_total for s in parts),
+            current_bytes=sum(s.current_bytes for s in parts),
+            peak_bytes=max(s.peak_bytes for s in parts),
+            kernel_time_s=max(s.kernel_time_s for s in parts),
+            launch_overhead_s=max(s.launch_overhead_s for s in parts),
+            comm_time_s=max(s.comm_time_s for s in parts),
+        )
+
     def merge(self, other: "ExecutionStats") -> None:
         self.time_s += other.time_s
         self.kernel_launches += other.kernel_launches

@@ -6,6 +6,19 @@ come from running the real compiled Executable in abstract mode on the
 analytical device model.  ``python -m repro.serve --help`` for the CLI.
 """
 
+from .cluster import (
+    ClusterConfig,
+    ClusterEngine,
+    ClusterReport,
+    LeastLoadedPolicy,
+    PrefixAffinityPolicy,
+    ReplicaView,
+    ROUTING_POLICIES,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    make_policy,
+    serve_cluster,
+)
 from .engine import EngineConfig, ServeReport, ServingEngine, serve_workload
 from .kv_cache import (
     BlockAllocator,
@@ -55,6 +68,17 @@ __all__ = [
     "BlockAllocator",
     "CacheError",
     "ChunkedPhase",
+    "ClusterConfig",
+    "ClusterEngine",
+    "ClusterReport",
+    "LeastLoadedPolicy",
+    "PrefixAffinityPolicy",
+    "ROUTING_POLICIES",
+    "ReplicaView",
+    "RoundRobinPolicy",
+    "RoutingPolicy",
+    "make_policy",
+    "serve_cluster",
     "ContinuousBatchingScheduler",
     "Counter",
     "DenoiseProgram",

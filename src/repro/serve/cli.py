@@ -79,6 +79,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--whisper-frames-max", type=int, default=12)
     parser.add_argument("--denoise-steps-min", type=int, default=4)
     parser.add_argument("--denoise-steps-max", type=int, default=16)
+    parser.add_argument("--dp", type=int, default=1,
+                        help="data-parallel replicas: serve the trace "
+                             "across N engines behind a router (1 = the "
+                             "plain single engine)")
+    parser.add_argument("--route", default="rr", metavar="POLICY",
+                        help="routing policy for --dp > 1: rr/round_robin, "
+                             "lb/least_loaded, affinity/prefix_affinity")
     parser.add_argument("--page-size", type=int, default=16)
     parser.add_argument("--kv-blocks", type=int, default=None,
                         help="KV pool size in blocks (default: from VRAM)")
@@ -125,8 +132,52 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: CLI spellings of the routing policies (short and full names).
+ROUTE_ALIASES = {
+    "rr": "round_robin",
+    "round_robin": "round_robin",
+    "lb": "least_loaded",
+    "least_loaded": "least_loaded",
+    "affinity": "prefix_affinity",
+    "prefix_affinity": "prefix_affinity",
+}
+
+
+def _validate_cluster_args(args) -> str:
+    """Check the --dp/--route combination; returns the resolved policy
+    name.  Raises SystemExit with an actionable message otherwise."""
+    if args.dp < 1:
+        raise SystemExit(
+            f"--dp must be >= 1 (got {args.dp}): it is the number of "
+            f"data-parallel engine replicas; use --dp 1 for a single "
+            f"engine"
+        )
+    policy = ROUTE_ALIASES.get(args.route)
+    if policy is None:
+        options = ", ".join(sorted(set(ROUTE_ALIASES)))
+        raise SystemExit(
+            f"--route {args.route!r} is not a routing policy; "
+            f"choose one of: {options}"
+        )
+    if args.dp > 1:
+        if args.telemetry or args.prometheus:
+            raise SystemExit(
+                "--dp > 1 does not support --telemetry/--prometheus yet "
+                "(per-replica telemetry is not merged at the fleet "
+                "level); drop those flags or run with --dp 1"
+            )
+        if args.whisper_frac > 0 or args.denoise_frac > 0:
+            raise SystemExit(
+                "--dp > 1 serves LLM-only traces (the router has no "
+                "placement model for heterogeneous requests); drop "
+                "--whisper-frac/--denoise-frac or run with --dp 1"
+            )
+    return policy
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    route_policy = _validate_cluster_args(args)
     cfg = MODELS[args.model]
     device = ALL_DEVICES[DEVICES[args.device]]
 
@@ -210,6 +261,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # Kernel capture only pays off when a Perfetto file is
             # being written (that's where the merged events land).
             capture_kernels=bool(args.trace),
+        )
+
+    if args.dp > 1:
+        return _run_cluster(
+            args, cfg, device, engine_config, workload, route_policy,
         )
 
     engine = ServingEngine(
@@ -317,4 +373,83 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with open(args.prometheus, "w") as f:
             f.write(report.telemetry.to_prometheus())
         print(f"prometheus-> {args.prometheus}")
+    return 0
+
+
+def _run_cluster(args, cfg, device, engine_config, workload,
+                 policy: str) -> int:
+    from .cluster import ClusterConfig, ClusterEngine
+
+    cluster = ClusterEngine(
+        cfg, device,
+        ClusterConfig(dp=args.dp, policy=policy, engine=engine_config),
+        enable_cuda_graph=not args.no_cuda_graph,
+    )
+    requests = generate(workload)
+    report = cluster.run(requests)
+    s = report.summary
+
+    print(f"== repro.serve cluster: {cfg.name} x{args.dp} on {device.name} "
+          f"(seed {args.seed}, {args.requests} requests, "
+          f"route={policy}) ==")
+    print(f"finished          {s['num_finished']}/{s['num_requests']} "
+          f"in {s['makespan_s']:.3f} simulated s")
+    print(f"throughput        {s['throughput_tokens_per_s']:.1f} tok/s, "
+          f"{s['throughput_requests_per_s']:.2f} req/s")
+    print(f"goodput           {s['goodput_requests_per_s']:.2f} req/s "
+          f"({s['slo']['fraction'] * 100:.0f}% within "
+          f"TTFT<={s['slo']['ttft_s']}s, TPOT<={s['slo']['tpot_s']}s)")
+
+    def _ms(v):
+        return f"{v * 1e3:8.2f} ms" if v is not None else "       - ms"
+
+    for metric in ("ttft_s", "tpot_s", "itl_s"):
+        row = s[metric]
+        print(f"{metric:<17} p50 {_ms(row['p50'])}   "
+              f"p90 {_ms(row['p90'])}   "
+              f"p99 {_ms(row['p99'])}")
+    routing = s["routing"]
+    print(f"routing           {routing['assignments']} requests/replica, "
+          f"balance entropy {routing['load_balance_entropy']:.3f}")
+    if "prefix_cache" in s:
+        pc = s["prefix_cache"]
+        print(f"prefix cache      fleet hit rate {pc['hit_rate'] * 100:.0f}% "
+              f"({pc['hits']}/{pc['lookups']} lookups), cached tokens "
+              f"{pc['matched_tokens']}/{pc['requested_tokens']} "
+              f"({pc['cached_token_fraction'] * 100:.0f}%)")
+    fleet_slo = s["fleet_slo"]
+    counts = fleet_slo["anomaly_counts"]
+    anomalies = (
+        ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        if counts else "none"
+    )
+    print(f"fleet slo         {fleet_slo['violations']} violations / "
+          f"{fleet_slo['finished']} finished; anomalies: {anomalies}")
+    for row in s["per_replica"]:
+        ttft = row["ttft_mean_s"]
+        ttft_txt = f"{ttft * 1e3:.2f} ms" if ttft is not None else "-"
+        line = (f"[replica {row['replica']}]".ljust(18)
+                + f"{row['num_requests']} reqs, "
+                f"makespan {row['makespan_s']:.3f}s, "
+                f"ttft mean {ttft_txt}, "
+                f"kv peak {row['kv_peak_utilization'] * 100:.0f}%")
+        if "prefix_cache_hit_rate" in row:
+            line += f", cache hits {row['prefix_cache_hit_rate'] * 100:.0f}%"
+        print(line)
+
+    for path in (args.workload_out, args.out, args.trace):
+        if path and os.path.dirname(path):
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+    if args.workload_out:
+        with open(args.workload_out, "w") as f:
+            f.write(workload_to_json(workload, requests))
+        print(f"workload  -> {args.workload_out}")
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report.to_dict(), f, indent=2)
+        print(f"metrics   -> {args.out}")
+    if args.trace:
+        report.export_chrome_trace(args.trace)
+        print(f"perfetto  -> {args.trace}  "
+              f"(open at https://ui.perfetto.dev)")
     return 0

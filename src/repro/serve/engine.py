@@ -53,29 +53,47 @@ from .scheduler import (
 from .workload import Request, WorkloadConfig, generate
 
 
-def _merge_stats(deltas: List[ExecutionStats]) -> ExecutionStats:
-    """Combine per-VM stat deltas (heterogeneous engines run one VM per
-    model family).  Additive fields sum; ``peak_bytes`` is a high-water
-    mark across pools, so the max is the honest aggregate."""
-    if len(deltas) == 1:
-        return deltas[0]
-    out = ExecutionStats()
-    for d in deltas:
-        out.time_s += d.time_s
-        out.kernel_launches += d.kernel_launches
-        out.lib_calls += d.lib_calls
-        out.builtin_calls += d.builtin_calls
-        out.graph_captures += d.graph_captures
-        out.graph_replays += d.graph_replays
-        out.replayed_kernels += d.replayed_kernels
-        out.allocations += d.allocations
-        out.allocated_bytes_total += d.allocated_bytes_total
-        out.escaping_bytes_total += d.escaping_bytes_total
-        out.current_bytes += d.current_bytes
-        out.peak_bytes = max(out.peak_bytes, d.peak_bytes)
-        out.kernel_time_s += d.kernel_time_s
-        out.launch_overhead_s += d.launch_overhead_s
-    return out
+class _RunState:
+    """Mutable state of one in-flight serving run.
+
+    Everything :meth:`ServingEngine.run` used to keep in local variables
+    lives here so the run can be driven incrementally — ``submit()`` /
+    ``step()`` / ``drain()`` / ``report()`` — by an outer coordinator
+    (the data-parallel :class:`~repro.serve.cluster.ClusterEngine`
+    interleaves N of these the way ``MeshExecutor`` interleaves
+    per-shard VMs).  Dropped wholesale by ``report()``; the engine's
+    compiled VMs persist across runs.
+    """
+
+    def __init__(self, *, kv: PagedKVCache, cache: Optional[PrefixCache],
+                 sched: ContinuousBatchingScheduler, oracle: TokenOracle,
+                 tel: Optional[EngineTelemetry], denoise_budget: int,
+                 token_bytes: int, ctl_cap: int,
+                 stats_start: List[ExecutionStats]):
+        self.kv = kv
+        self.cache = cache
+        self.sched = sched
+        self.oracle = oracle
+        self.tel = tel
+        self.denoise_budget = denoise_budget
+        self.token_bytes = token_bytes
+        self.stats_start = stats_start
+        #: Submitted requests in submission order (report order).
+        self.requests: List[Request] = []
+        self.states: Dict[int, RequestState] = {}
+        #: Submitted but not yet admitted, sorted by (arrival_s, req_id).
+        self.pending: List[Request] = []
+        self.clock = 0.0
+        self.iterations: List[Dict[str, Any]] = []
+        self.trace_events: List[Dict[str, Any]] = []
+        self.queue_samples: List[int] = []
+        self.util_samples: List[float] = []
+        self.swap_total_s = 0.0
+        # Acceptance-aware speculative-width controller state (windowed
+        # proposal/accept counters); inert unless ``spec.adaptive``.
+        self.ctl_proposed = 0
+        self.ctl_accepted = 0
+        self.ctl_cap = ctl_cap
 
 
 @dataclass
@@ -238,6 +256,8 @@ class ServingEngine:
         if self.denoise is not None:
             self._vms.append(self.denoise.vm)
             self._vm_names.append("denoise")
+        #: The in-flight run, if any (see the steppable core below).
+        self._run: Optional[_RunState] = None
 
     def _block_bytes(self) -> int:
         from .. import dtypes
@@ -270,10 +290,22 @@ class ServingEngine:
             )
         return blocks
 
-    # -- one run ----------------------------------------------------------------
+    # -- steppable core ---------------------------------------------------------
+    #
+    # One run is the submit() -> step()* -> report() protocol; ``run()``
+    # is the thin loop over it.  The engine never owns an outer clock
+    # loop any more: each ``step()`` plans and executes exactly one
+    # scheduler iteration and advances this engine's analytical clock,
+    # which is what lets a cluster coordinator interleave N engines on
+    # independent clocks (always stepping the lagging one first).
 
-    def run(self, requests: Sequence[Request]) -> "ServeReport":
-        econf = self.econfig
+    def submit(self, requests: Sequence[Request]) -> None:
+        """Feed requests into the active run, starting one if needed.
+
+        May be called repeatedly (the cluster router feeds arrivals as
+        the shared clock reaches them); a request only becomes eligible
+        for admission once the engine clock reaches its ``arrival_s``.
+        """
         for r in requests:
             if r.kind == "whisper" and self.whisper is None:
                 raise ValueError(
@@ -285,6 +317,36 @@ class ServingEngine:
                     "workload contains denoise requests but the engine was "
                     "built without denoise_config"
                 )
+        if self._run is None:
+            self._run = self._begin_run()
+        run = self._run
+        spec = self.spec
+        spec_k = spec.num_spec_tokens if spec is not None else 0
+        for r in requests:
+            if r.req_id in run.states:
+                raise ValueError(
+                    f"request {r.req_id} was already submitted to this run"
+                )
+            run.states[r.req_id] = RequestState(
+                request=r,
+                metrics=RequestMetrics(
+                    req_id=r.req_id,
+                    arrival_s=r.arrival_s,
+                    prompt_len=r.prompt_len,
+                    output_len=r.output_len,
+                    kind=r.kind,
+                ),
+                program=program_for(
+                    r, denoise_budget_per_step=run.denoise_budget,
+                    llm_spec_tokens=spec_k,
+                ),
+            )
+            run.requests.append(r)
+        run.pending.extend(requests)
+        run.pending.sort(key=lambda r: (r.arrival_s, r.req_id))
+
+    def _begin_run(self) -> _RunState:
+        econf = self.econfig
         # A denoise step computes over every latent token — charge the
         # shared token budget accordingly.
         denoise_budget = (
@@ -303,29 +365,7 @@ class ServingEngine:
             vocab_size=self.cfg.vocab_size,
             draft_quality=spec.draft_quality if spec is not None else 0.0,
         )
-        spec_k = spec.num_spec_tokens if spec is not None else 0
         sched.spec_k_cap = None
-        # Acceptance-aware controller state (windowed proposal/accept
-        # counters); inert unless ``spec.adaptive``.
-        ctl_proposed = ctl_accepted = 0
-        ctl_cap = spec_k
-        states = {
-            r.req_id: RequestState(
-                request=r,
-                metrics=RequestMetrics(
-                    req_id=r.req_id,
-                    arrival_s=r.arrival_s,
-                    prompt_len=r.prompt_len,
-                    output_len=r.output_len,
-                    kind=r.kind,
-                ),
-                program=program_for(
-                    r, denoise_budget_per_step=denoise_budget,
-                    llm_spec_tokens=spec_k,
-                ),
-            )
-            for r in requests
-        }
         tel: Optional[EngineTelemetry] = None
         if econf.telemetry is not None:
             tel = EngineTelemetry(
@@ -337,89 +377,156 @@ class ServingEngine:
                 max_num_batched_tokens=econf.scheduler.max_num_batched_tokens,
             )
             tel.attach(self._vms)
-        pending = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
-        clock = 0.0
-        iterations: List[Dict[str, Any]] = []
-        trace_events: List[Dict[str, Any]] = []
-        queue_samples: List[int] = []
-        util_samples: List[float] = []
-        stats_start = [vm.stats.copy() for vm in self._vms]
-        swap_total_s = 0.0
-        token_bytes = self._block_bytes() // econf.page_size
+        return _RunState(
+            kv=kv, cache=cache, sched=sched, oracle=oracle, tel=tel,
+            denoise_budget=denoise_budget,
+            token_bytes=self._block_bytes() // econf.page_size,
+            ctl_cap=spec.num_spec_tokens if spec is not None else 0,
+            stats_start=[vm.stats.copy() for vm in self._vms],
+        )
 
+    @property
+    def has_work(self) -> bool:
+        """True while the active run still has pending or unfinished
+        requests (i.e. :meth:`step` can make progress)."""
+        run = self._run
+        return run is not None and (
+            bool(run.pending) or run.sched.has_unfinished()
+        )
+
+    @property
+    def clock(self) -> float:
+        """The engine's analytical clock (0.0 outside a run)."""
+        return self._run.clock if self._run is not None else 0.0
+
+    @property
+    def active_run(self) -> Optional[_RunState]:
+        """The in-flight run state, for coordinators (read-mostly:
+        routers inspect ``sched``/``kv``/``cache`` for load and prefix
+        feedback).  ``None`` between runs."""
+        return self._run
+
+    def step(self) -> Optional[Dict[str, Any]]:
+        """Advance the run by one scheduler iteration.
+
+        Returns the iteration record when work was executed, or ``None``
+        when the engine only advanced its clock to the next pending
+        arrival (call again) or has fully drained (``has_work`` is then
+        False).  Raises :class:`CacheError` when the scheduler is
+        stalled with no way to make progress.
+        """
+        if self._run is None:
+            raise RuntimeError("no active run: call submit() first")
         try:
-            while pending or sched.has_unfinished():
-                # Admit arrivals up to the current simulated time.
-                while pending and pending[0].arrival_s <= clock:
-                    sched.add_request(states[pending[0].req_id])
-                    pending.pop(0)
+            return self._step(self._run)
+        except BaseException:
+            # Engine VMs persist across runs: never leave a telemetry
+            # tracer attached, even when the step raises.
+            self._teardown_telemetry()
+            raise
 
-                it = sched.schedule()
-                if it.empty:
-                    if pending:
-                        clock = max(clock, pending[0].arrival_s)
-                        continue
-                    if sched.has_unfinished():
-                        raise CacheError(
-                            "scheduler stalled: KV pool too small for the "
-                            "remaining requests"
-                        )
-                    break
+    def drain(self) -> None:
+        """Step until every submitted request has finished."""
+        while self.has_work:
+            self.step()
 
-                t_begin = clock
-                before = [vm.stats.copy() for vm in self._vms]
+    def _step(self, run: _RunState) -> Optional[Dict[str, Any]]:
+        econf = self.econfig
+        sched = run.sched
+        # Admit arrivals up to the current simulated time.
+        while run.pending and run.pending[0].arrival_s <= run.clock:
+            sched.add_request(run.states[run.pending[0].req_id])
+            run.pending.pop(0)
 
-                # Swap traffic (blocks to/from host) on the analytic
-                # host link.
-                swap_s = 0.0
-                for _, tokens, mode in it.preempted:
-                    if mode == "swap" and tokens:
-                        swap_s += (tokens * token_bytes
-                                   / econf.host_link_bandwidth)
-                for _, tokens in it.swapped_in:
-                    if tokens:
-                        swap_s += (tokens * token_bytes
-                                   / econf.host_link_bandwidth)
+        it = sched.schedule()
+        if it.empty:
+            if run.pending:
+                run.clock = max(run.clock, run.pending[0].arrival_s)
+                return None
+            if sched.has_unfinished():
+                raise CacheError(
+                    "scheduler stalled: KV pool too small for the "
+                    "remaining requests"
+                )
+            return None  # drained
 
-                self._execute(it)
+        t_begin = run.clock
+        before = [vm.stats.copy() for vm in self._vms]
 
-                delta = _merge_stats([
-                    vm.stats.delta(b) for vm, b in zip(self._vms, before)
-                ])
-                clock = t_begin + delta.time_s + swap_s
-                swap_total_s += swap_s
+        # Swap traffic (blocks to/from host) on the analytic host link.
+        swap_s = 0.0
+        for _, tokens, mode in it.preempted:
+            if mode == "swap" and tokens:
+                swap_s += (tokens * run.token_bytes
+                           / econf.host_link_bandwidth)
+        for _, tokens in it.swapped_in:
+            if tokens:
+                swap_s += (tokens * run.token_bytes
+                           / econf.host_link_bandwidth)
 
-                self._advance(it, sched, clock, kv, oracle)
-                if spec is not None and spec.adaptive and it.spec_decode:
-                    ctl_proposed += sum(k for _, _, k in it.spec_decode)
-                    ctl_accepted += sum(it.spec_accepted.values())
-                    if ctl_proposed >= spec.adapt_window:
-                        rate = ctl_accepted / ctl_proposed
-                        if rate < spec.adapt_low:
-                            ctl_cap = max(1, ctl_cap - 1)
-                        elif rate > spec.adapt_high:
-                            ctl_cap = min(spec.num_spec_tokens, ctl_cap + 1)
-                        sched.spec_k_cap = ctl_cap
-                        ctl_proposed = ctl_accepted = 0
-                self._record(it, iterations, trace_events, t_begin, clock,
-                             swap_s, delta, kv, sched)
-                if tel is not None:
-                    tel.on_iteration(
-                        it=it, sched=sched, kv=kv, cache=cache,
-                        index=len(iterations) - 1,
-                        t_begin=t_begin, t_end=clock, swap_s=swap_s,
-                        delta=delta, before=before, vms=self._vms,
-                    )
-                queue_samples.append(sched.queue_depth)
-                # Required utilization: cache-only (reclaimable) blocks
-                # are spare VRAM, not load; identical to raw when caching
-                # is off.
-                util_samples.append(kv.required_utilization())
-        finally:
-            # Engine VMs persist across run() calls: never leave a
-            # telemetry tracer attached, even when the run raises.
-            if tel is not None:
-                tel.detach(self._vms)
+        self._execute(it)
+
+        delta = ExecutionStats.merge_serial([
+            vm.stats.delta(b) for vm, b in zip(self._vms, before)
+        ])
+        run.clock = t_begin + delta.time_s + swap_s
+        run.swap_total_s += swap_s
+
+        self._advance(it, sched, run.clock, run.kv, run.oracle)
+        spec = self.spec
+        if spec is not None and spec.adaptive and it.spec_decode:
+            run.ctl_proposed += sum(k for _, _, k in it.spec_decode)
+            run.ctl_accepted += sum(it.spec_accepted.values())
+            if run.ctl_proposed >= spec.adapt_window:
+                rate = run.ctl_accepted / run.ctl_proposed
+                if rate < spec.adapt_low:
+                    run.ctl_cap = max(1, run.ctl_cap - 1)
+                elif rate > spec.adapt_high:
+                    run.ctl_cap = min(spec.num_spec_tokens, run.ctl_cap + 1)
+                sched.spec_k_cap = run.ctl_cap
+                run.ctl_proposed = run.ctl_accepted = 0
+        self._record(it, run.iterations, run.trace_events, t_begin,
+                     run.clock, swap_s, delta, run.kv, sched)
+        if run.tel is not None:
+            run.tel.on_iteration(
+                it=it, sched=sched, kv=run.kv, cache=run.cache,
+                index=len(run.iterations) - 1,
+                t_begin=t_begin, t_end=run.clock, swap_s=swap_s,
+                delta=delta, before=before, vms=self._vms,
+            )
+        run.queue_samples.append(sched.queue_depth)
+        # Required utilization: cache-only (reclaimable) blocks are
+        # spare VRAM, not load; identical to raw when caching is off.
+        run.util_samples.append(run.kv.required_utilization())
+        return run.iterations[-1]
+
+    def _teardown_telemetry(self) -> None:
+        run = self._run
+        if run is not None and run.tel is not None:
+            run.tel.detach(self._vms)
+
+    def report(self) -> "ServeReport":
+        """Finalize the run: audits, aggregation, and the ServeReport.
+
+        Ends the run — the engine is ready for a fresh ``submit()`` (or
+        ``run()``) afterwards; the compiled VMs persist.
+        """
+        if self._run is None:
+            raise RuntimeError("no active run to report")
+        if self.has_work:
+            raise RuntimeError(
+                "report() before the run drained: "
+                "call drain() (or step() until has_work is False) first"
+            )
+        run = self._run
+        econf = self.econfig
+        spec = self.spec
+        self._teardown_telemetry()
+        kv = run.kv
+        cache = run.cache
+        tel = run.tel
+        states = run.states
+        clock = run.clock
 
         kv.check_no_leaks()
         if self.tp > 1:
@@ -428,18 +535,18 @@ class ServingEngine:
         refcount_audit = kv.refcount_audit()
         if tel is not None:
             tel.finalize(clock=clock, kv=kv)
-        total = _merge_stats([
-            vm.stats.delta(s) for vm, s in zip(self._vms, stats_start)
+        total = ExecutionStats.merge_serial([
+            vm.stats.delta(s) for vm, s in zip(self._vms, run.stats_start)
         ])
         summary = summarize(
             [s.metrics for s in states.values()],
             slo_ttft_s=econf.slo_ttft_s,
             slo_tpot_s=econf.slo_tpot_s,
-            queue_depth_samples=queue_samples,
-            kv_utilization_samples=util_samples,
+            queue_depth_samples=run.queue_samples,
+            kv_utilization_samples=run.util_samples,
         )
         summary["vm"] = total.summary()
-        summary["swap_time_s"] = swap_total_s
+        summary["swap_time_s"] = run.swap_total_s
         summary["kv_pool"] = {
             "num_blocks": self.num_blocks,
             "page_size": econf.page_size,
@@ -488,17 +595,34 @@ class ServingEngine:
                 summary["comm_fraction"] = (
                     total.comm_time_s / total.time_s if total.time_s else 0.0
                 )
-        return ServeReport(
+        report = ServeReport(
             device=self.device.name,
             model=self.cfg.name,
             summary=summary,
-            requests=[states[r.req_id].metrics for r in requests],
-            iterations=iterations,
-            trace_events=trace_events,
+            requests=[states[r.req_id].metrics for r in run.requests],
+            iterations=run.iterations,
+            trace_events=run.trace_events,
             stats=total,
             telemetry=tel,
             refcount_audit=refcount_audit,
         )
+        self._run = None
+        return report
+
+    # -- one run ----------------------------------------------------------------
+
+    def run(self, requests: Sequence[Request]) -> "ServeReport":
+        """Serve ``requests`` to completion: the submit/drain/report
+        protocol as one call.  Always starts a fresh run."""
+        self._run = None
+        try:
+            self.submit(requests)
+            self.drain()
+        except BaseException:
+            self._teardown_telemetry()
+            self._run = None
+            raise
+        return self.report()
 
     # -- internals --------------------------------------------------------------
 

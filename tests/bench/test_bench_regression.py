@@ -109,7 +109,7 @@ def test_every_kpi_has_a_direction():
     assert set(br.KPI_DIRECTION) == {
         "throughput_tokens_per_s", "goodput_requests_per_s", "makespan_s",
         "ttft_p50_s", "ttft_p99_s", "tpot_p50_s", "peak_required_blocks",
-        "preemptions",
+        "preemptions", "prefix_cache_hit_rate", "load_balance_entropy",
     }
 
 
@@ -127,8 +127,12 @@ def test_committed_baseline_shape():
     doc = _baseline()
     assert doc["version"] == 1
     assert set(doc["scenarios"]) == set(br.SCENARIOS)
+    cluster_only = {"prefix_cache_hit_rate", "load_balance_entropy"}
     for name, vals in doc["scenarios"].items():
-        assert set(vals) == set(br.KPI_DIRECTION), name
+        expected = set(br.KPI_DIRECTION)
+        if name != "dp":
+            expected -= cluster_only
+        assert set(vals) == expected, name
     # The pressure scenario is only load-bearing if it actually preempts.
     assert doc["scenarios"]["pressure"]["preemptions"] > 0
 

@@ -270,3 +270,76 @@ def test_peak_required_blocks_counts_cache_as_reclaimable():
     assert pool_on["peak_required_blocks"] <= pool_on["peak_used_blocks"]
     assert pool_off["peak_required_blocks"] == pool_off["peak_used_blocks"]
     assert pool_on["peak_required_blocks"] <= pool_off["peak_required_blocks"]
+
+
+class TestSteppableAPI:
+    """submit()/step()/drain()/report() — the protocol run() wraps."""
+
+    def test_stepwise_run_matches_run_wrapper(self):
+        requests = generate(_workload())
+        baseline = _engine().run(requests)
+        engine = _engine()
+        engine.submit(requests)
+        steps = 0
+        while engine.has_work:
+            engine.step()
+            steps += 1
+        report = engine.report()
+        assert report.to_json(sort_keys=True) == baseline.to_json(
+            sort_keys=True)
+        assert steps >= len(baseline.iterations)
+
+    def test_incremental_submit_matches_upfront_submit(self):
+        requests = generate(_workload())
+        baseline = _engine().run(requests)
+        engine = _engine()
+        # Feed arrivals in two batches, as the cluster router does: the
+        # later batch lands before the clock reaches its arrival times.
+        engine.submit(requests[:12])
+        engine.step()
+        engine.submit(requests[12:])
+        engine.drain()
+        report = engine.report()
+        assert report.to_json(sort_keys=True) == baseline.to_json(
+            sort_keys=True)
+
+    def test_step_without_submit_raises(self):
+        with pytest.raises(RuntimeError, match="submit"):
+            _engine().step()
+
+    def test_report_without_run_raises(self):
+        with pytest.raises(RuntimeError, match="no active run"):
+            _engine().report()
+
+    def test_report_before_drain_raises(self):
+        engine = _engine()
+        engine.submit(generate(_workload()))
+        with pytest.raises(RuntimeError, match="drain"):
+            engine.report()
+        engine.drain()
+        engine.report()  # and now it works
+
+    def test_duplicate_req_id_rejected(self):
+        engine = _engine()
+        requests = generate(_workload())
+        engine.submit(requests)
+        with pytest.raises(ValueError, match="already submitted"):
+            engine.submit([requests[0]])
+
+    def test_report_ends_the_run(self):
+        engine = _engine()
+        engine.submit(generate(_workload(n=4)))
+        engine.drain()
+        engine.report()
+        assert engine.active_run is None
+        with pytest.raises(RuntimeError, match="no active run"):
+            engine.report()
+
+    def test_clock_is_monotonic_across_steps(self):
+        engine = _engine()
+        engine.submit(generate(_workload(n=8)))
+        last = engine.clock
+        while engine.has_work:
+            engine.step()
+            assert engine.clock >= last
+            last = engine.clock
